@@ -1,0 +1,16 @@
+"""Benchmark: reproduce Example A.2 (the paper's worked instance).
+
+One constrained LP on the 8-state running example: minimum power under
+an average-queue bound of 0.5 and a loss bound of 0.2, checked against
+the paper's reported 1.798 W band and randomized-policy structure.
+"""
+
+from benchmarks.conftest import run_and_verify
+
+
+def bench_example_a2_worked_instance(benchmark):
+    result = benchmark.pedantic(
+        run_and_verify, args=("example_a2",), rounds=5, iterations=1
+    )
+    benchmark.extra_info["min_power_w"] = result.data["power"]
+    benchmark.extra_info["paper_power_w"] = result.data["paper_power"]

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 10 (nonstationary workload).
+
+Times the full adversarial pipeline: synthesize the merged two-regime
+trace, fit a (deliberately misspecified) stationary SR model, optimize,
+then trace-simulate the stochastic and timeout policies.
+"""
+
+from benchmarks.conftest import run_and_verify
+
+
+def bench_fig10_nonstationary_workload(benchmark):
+    result = benchmark.pedantic(
+        run_and_verify, args=("fig10",), rounds=1, iterations=1
+    )
+    benchmark.extra_info["max_model_error"] = max(result.data["model_errors"])

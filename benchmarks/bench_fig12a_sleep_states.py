@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 12(a) (power vs available sleep states).
+
+Twelve LP solves (six SP structures x tight/loose performance
+constraint) over freshly composed baseline systems.
+"""
+
+from benchmarks.conftest import run_and_verify
+
+
+def bench_fig12a_sleep_state_structures(benchmark):
+    result = benchmark.pedantic(
+        run_and_verify, args=("fig12a",), rounds=2, iterations=1
+    )
+    results = result.data["results"]
+    benchmark.extra_info["sleep2_loose_power"] = results["sleep2"]["loose"]

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 12(b) (power vs transition speed).
+
+Twenty-four LP solves: six wake probabilities x two sleep powers x two
+constraint regimes, each on a freshly composed baseline system.
+"""
+
+from benchmarks.conftest import run_and_verify
+
+
+def bench_fig12b_transition_speed(benchmark):
+    result = benchmark.pedantic(
+        run_and_verify, args=("fig12b",), rounds=2, iterations=1
+    )
+    series = result.data["series"]
+    benchmark.extra_info["fast_2w_power"] = series["loss(sleepP=2.0)"][-1]
+    benchmark.extra_info["slow_0w_power"] = series["loss(sleepP=0.0)"][0]

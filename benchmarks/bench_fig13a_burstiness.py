@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 13(a) (power vs workload burstiness).
+
+Fourteen LP solves across the burstiness sweep of the four-sleep-state
+baseline, constant load throughout.
+"""
+
+from benchmarks.conftest import run_and_verify
+
+
+def bench_fig13a_burstiness_sweep(benchmark):
+    result = benchmark.pedantic(
+        run_and_verify, args=("fig13a",), rounds=2, iterations=1
+    )
+    series = result.data["series"]["0.7"]
+    benchmark.extra_info["burstiest_power"] = series[0]
+    benchmark.extra_info["least_bursty_power"] = series[-1]

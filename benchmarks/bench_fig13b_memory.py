@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 13(b) (power vs SR model memory).
+
+Times the full memory study: sampling the ground-truth 3-memory stream,
+extracting k = 1..3 models, optimizing each and exactly evaluating the
+lifted policies on the ground-truth system.
+"""
+
+from benchmarks.conftest import run_and_verify
+
+
+def bench_fig13b_sr_memory(benchmark):
+    result = benchmark.pedantic(
+        run_and_verify, args=("fig13b",), rounds=1, iterations=1
+    )
+    series = result.data["series"]["sleep1+sleep2"]
+    benchmark.extra_info["memory_gain"] = series[0] - series[-1]

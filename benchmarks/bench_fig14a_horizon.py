@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 14(a) (power vs time horizon).
+
+Ten LP solves across the horizon sweep (five discount factors x two
+overflow budgets) of the four-sleep-state baseline.
+"""
+
+from benchmarks.conftest import run_and_verify
+
+
+def bench_fig14a_horizon_sweep(benchmark):
+    result = benchmark.pedantic(
+        run_and_verify, args=("fig14a",), rounds=2, iterations=1
+    )
+    series = result.data["series"]["0.01"]
+    benchmark.extra_info["long_horizon_power"] = series[0]
+    benchmark.extra_info["short_horizon_power"] = series[-1]

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 14(b) (power vs queue capacity).
+
+Eighteen LP solves: six queue capacities x (two overflow budgets + one
+penalty budget), with the joint state space growing with the queue.
+"""
+
+from benchmarks.conftest import run_and_verify
+
+
+def bench_fig14b_queue_capacity(benchmark):
+    result = benchmark.pedantic(
+        run_and_verify, args=("fig14b",), rounds=2, iterations=1
+    )
+    benchmark.extra_info["penalty_dominated_spread"] = (
+        result.data["penalty_series"][-1] - result.data["penalty_series"][0]
+    )

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 6 (running-example Pareto curves).
+
+Times the full three-curve sweep: 39 constrained LP solves over the
+8-state joint chain, plus the infeasible-region probe.
+"""
+
+from benchmarks.conftest import run_and_verify
+
+
+def bench_fig6_pareto_curves(benchmark):
+    result = benchmark.pedantic(
+        run_and_verify, args=("fig6",), rounds=3, iterations=1
+    )
+    benchmark.extra_info["penalty_floor"] = result.data["penalty_floor"]

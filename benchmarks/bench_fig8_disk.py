@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 8(b) (disk drive, optimal vs heuristics).
+
+The heaviest experiment: an 8-point Pareto sweep over the 66-state,
+330-variable LP, exact evaluation of four greedy policies with fresh
+reference LPs, and Monte-Carlo simulation of the optimal policies and
+six stateful heuristics.
+"""
+
+from benchmarks.conftest import run_and_verify
+
+
+def bench_fig8_disk_tradeoff(benchmark):
+    result = benchmark.pedantic(
+        run_and_verify, args=("fig8",), rounds=1, iterations=1
+    )
+    curve = result.data["curve"]
+    benchmark.extra_info["optimal_power_at_loosest"] = curve[-1][2]
+    benchmark.extra_info["n_heuristics"] = len(result.data["greedy"]) + len(
+        result.data["simulated_heuristics"]
+    )

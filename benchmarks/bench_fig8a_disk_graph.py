@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 8(a) (disk state-transition graph).
+
+Pure structural work: build the 11-state SP, export its transition
+graph, verify the paper's topology invariants and emit the edge table
+plus Graphviz source.
+"""
+
+from benchmarks.conftest import run_and_verify
+
+
+def bench_fig8a_transition_graph(benchmark):
+    result = benchmark.pedantic(
+        run_and_verify, args=("fig8a",), rounds=3, iterations=1
+    )
+    benchmark.extra_info["n_edges"] = result.data["n_edges"]

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 9(a) (web-server power vs throughput).
+
+Seven throughput-constrained LP solves plus simulation of each optimal
+policy; the run also verifies the paper's "fast processor never used
+alone" finding.
+"""
+
+from benchmarks.conftest import run_and_verify
+
+
+def bench_fig9a_web_server(benchmark):
+    result = benchmark.pedantic(
+        run_and_verify, args=("fig9a",), rounds=1, iterations=1
+    )
+    benchmark.extra_info["max_p2_alone_usage"] = max(
+        result.data["p2_alone_usage"]
+    )

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 9(b) (CPU, stochastic control vs timeout).
+
+Times the masked-action Pareto sweep and the simulated timeout family,
+verifying timeout policies never beat the optimum and waste power while
+the timer runs.
+"""
+
+from benchmarks.conftest import run_and_verify
+
+
+def bench_fig9b_cpu_timeout_comparison(benchmark):
+    result = benchmark.pedantic(
+        run_and_verify, args=("fig9b",), rounds=1, iterations=1
+    )
+    benchmark.extra_info["n_timeout_points"] = len(result.data["timeout"])

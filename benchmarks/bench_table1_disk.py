@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table I (disk-drive state inventory).
+
+Pure model construction and hitting-time analysis; the timing measures
+building the 11-state Travelstar SP and verifying its wake delays
+against the data sheet.
+"""
+
+from benchmarks.conftest import run_and_verify
+
+
+def bench_table1_disk_states(benchmark):
+    result = benchmark.pedantic(
+        run_and_verify, args=("table1",), rounds=3, iterations=1
+    )
+    measured = result.data["measured"]
+    benchmark.extra_info["sleep_wake_ms"] = measured["sleep"]["wake_ms"]

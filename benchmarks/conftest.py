@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*`` module regenerates one paper table or figure through
+the experiment registry, printing the rows/series the paper reports and
+asserting the experiment's shape checks.  Timing numbers come from
+pytest-benchmark; experiments with simulations run one pedantic round
+(they take seconds), while pure-LP experiments let the calibrator run.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentResult, run_experiment
+
+
+def run_and_verify(experiment_id: str, quick: bool = True, seed: int = 0):
+    """Run one experiment, print its report, assert its checks."""
+    result: ExperimentResult = run_experiment(experiment_id, quick=quick, seed=seed)
+    print()
+    print(result.render())
+    assert result.all_checks_pass, (
+        f"{experiment_id} failed checks: {result.failed_checks}"
+    )
+    return result
+
+
+@pytest.fixture()
+def experiment_runner():
+    """Fixture handing benches the verified experiment runner."""
+    return run_and_verify

@@ -1,0 +1,91 @@
+"""SA-1100 CPU: optimal stochastic shutdown versus timeouts (Fig. 9b).
+
+The CPU wakes on interrupts regardless of the power manager, so the
+only controllable decision is *whether to shut down when idle* — a
+single probability.  The example computes the optimal randomized
+policy for a range of performance constraints and simulates a family
+of timeout heuristics, showing the paper's point: timeouts waste power
+while waiting for the timer to expire.
+
+Run:  python examples/cpu_timeout_comparison.py
+"""
+
+from repro import PolicyOptimizer
+from repro.policies import TimeoutAgent
+from repro.sim import make_rng, simulate
+from repro.systems import cpu
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    bundle = cpu.build()
+    system = bundle.system
+    print(
+        f"CPU model: tau = {bundle.time_resolution * 1e3:.0f} ms slices, "
+        f"active {cpu.ACTIVE_POWER} W, wake burst {cpu.WAKE_POWER} W"
+    )
+
+    optimizer = PolicyOptimizer(
+        system,
+        bundle.costs,
+        gamma=bundle.gamma,
+        initial_distribution=bundle.initial_distribution,
+        action_mask=bundle.action_mask,
+    )
+
+    rows = []
+    for bound in (0.01, 0.02, 0.04, 0.08):
+        result = optimizer.minimize_power(penalty_bound=bound)
+        if not result.feasible:
+            continue
+        # The single free decision: P(shutdown | active, idle).
+        idle_active = system.state_index("active", "idle", 0)
+        shutdown = system.chain.command_index("shutdown")
+        p_shutdown = result.policy.matrix[idle_active, shutdown]
+        rows.append(
+            (bound, result.average("penalty"), result.average("power"), p_shutdown)
+        )
+    print()
+    print(
+        format_table(
+            ["penalty bound", "penalty", "power (W)", "P(shutdown|active,idle)"],
+            rows,
+            title="optimal stochastic control (solid line of Fig. 9b)",
+        )
+    )
+
+    rng = make_rng(0)
+    rows = []
+    for timeout in (0, 2, 5, 15, 40):
+        agent = TimeoutAgent(
+            timeout,
+            bundle.metadata["active_command"],
+            bundle.metadata["sleep_command"],
+        )
+        sim = simulate(
+            system,
+            bundle.costs,
+            agent,
+            200_000,
+            rng,
+            initial_state=("active", "idle", 0),
+        )
+        rows.append((timeout, sim.averages["penalty"], sim.averages["power"]))
+    print()
+    print(
+        format_table(
+            ["timeout (slices)", "penalty", "power (W)"],
+            rows,
+            title="timeout heuristic (dashed line of Fig. 9b)",
+        )
+    )
+    print()
+    print(
+        "note how every nonzero timeout burns extra power at equal or "
+        "better penalty than some optimal point: the CPU idles at "
+        "0.3 W while the timer counts down."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""The full tool pipeline of paper Fig. 7, end to end.
+
+Starting from a *time-stamped request trace* (synthesized here — the
+paper used Auspex file-system measurements), the pipeline
+
+1. discretizes the trace and extracts a k-memory Markov workload model
+   (the "SR extractor");
+2. composes the joint controlled Markov chain with the disk-drive SP;
+3. solves the constrained LP and extracts the optimal policy;
+4. verifies the policy twice: against the Markov model (consistency)
+   and against the raw trace (model quality) — the two simulation modes
+   of Section V.
+
+Run:  python examples/trace_pipeline.py
+"""
+
+from repro.sim import make_rng
+from repro.systems import disk_drive
+from repro.tool.pipeline import run_pipeline
+from repro.tool.spec import SystemSpec
+from repro.traces import mmpp2_trace
+
+
+def main() -> None:
+    rng = make_rng(7)
+
+    # A bursty synthetic request trace standing in for the measured one:
+    # mean idle period 1 s, mean burst 20 ms, at 1 ms resolution.
+    trace = mmpp2_trace(
+        p_stay_idle=0.999,
+        p_stay_busy=0.95,
+        n_slices=200_000,
+        resolution=disk_drive.TIME_RESOLUTION,
+        rng=rng,
+    )
+    print(
+        f"trace: {trace.n_requests} requests over {trace.duration:.0f} s, "
+        f"burstiness (CoV of interarrivals) = {trace.burstiness():.2f}"
+    )
+
+    spec = SystemSpec(
+        name="travelstar-from-trace",
+        provider=disk_drive.build_provider(),
+        requester=None,  # to be extracted from the trace
+        queue_capacity=2,
+        gamma=1.0 - 1e-6,  # the paper's 1e6-slice disk horizon
+        time_resolution=disk_drive.TIME_RESOLUTION,
+        initial_state=("active", "0", 0),
+        objective="power",
+        constraints={"penalty": 0.5, "loss": 0.05},
+    )
+
+    report = run_pipeline(
+        spec,
+        trace=trace,
+        memory=2,
+        rng=rng,
+        verify_slices=100_000,
+    )
+
+    model = report.sr_model
+    print(
+        f"extracted SR model: memory {model.memory}, {model.n_states} states, "
+        f"{model.n_observations} transitions observed"
+    )
+    print()
+    print(report.summary())
+    print()
+    print(
+        "reading the table: 'analytic' is the LP's prediction, 'markov-sim'\n"
+        "replays the fitted model (consistency check), 'trace-sim' replays\n"
+        "the original trace (model-quality check). Close agreement in the\n"
+        "last column means the Markov workload assumption holds — compare\n"
+        "paper Fig. 8(b), where the simulated circles sit on the curve."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Dual-processor web server: the paper's Section VI-B scenario.
+
+Two non-identical processors serve a bursty request stream: P2 delivers
+1.5x the throughput of P1 at 2x the power.  The power manager can turn
+each processor on or off independently.  This example sweeps the
+minimum-throughput requirement, prints the power trade-off (paper
+Fig. 9a), and reproduces the paper's analysis finding that the fast,
+power-hungry processor is never worth running alone.
+
+Run:  python examples/web_server_tradeoff.py
+"""
+
+import numpy as np
+
+from repro import PolicyOptimizer
+from repro.systems import web_server
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    bundle = web_server.build()
+    system = bundle.system
+    print(
+        "web-server model: SP states = "
+        + ", ".join(
+            f"{name} ({web_server.THROUGHPUT[name]:.1f} thr)"
+            for name in system.provider.state_names
+        )
+    )
+
+    optimizer = PolicyOptimizer(
+        system,
+        bundle.costs,
+        gamma=bundle.gamma,
+        initial_distribution=bundle.initial_distribution,
+    )
+
+    p2 = system.provider.chain.state_index("p2")
+    sp_of = system.provider_index_of_state
+
+    rows = []
+    for bound in (0.02, 0.06, 0.10, 0.14, 0.18, 0.22):
+        result = optimizer.optimize(
+            "power", "min", lower_bounds={"throughput": bound}
+        )
+        if not result.feasible:
+            rows.append((bound, float("nan"), float("nan"), "-"))
+            continue
+        occupancy = result.evaluation.frequencies.sum(axis=1)
+        p2_share = float(occupancy[sp_of == p2].sum() * (1.0 - bundle.gamma))
+        rows.append(
+            (
+                bound,
+                result.average("power"),
+                result.average("throughput"),
+                f"{p2_share:.2e}",
+            )
+        )
+
+    print()
+    print(
+        format_table(
+            ["min throughput", "power (W)", "delivered", "time in P2-only"],
+            rows,
+            title=(
+                "Fig. 9(a) trade-off — the P2-only column shows the paper's "
+                "finding: the fast processor never runs alone"
+            ),
+        )
+    )
+    print()
+    print(
+        "why: P2 costs 2x P1's power for only 1.5x its throughput, so any "
+        "demand worth 0.6 of capacity is served cheaper by P1 + bursts of "
+        "both."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy build shim.
+
+The offline target environment lacks the ``wheel`` package, so
+``pip install -e .`` must use the legacy ``setup.py develop`` path; all
+real metadata lives in ``pyproject.toml`` (PEP 621), which setuptools
+reads from here.
+"""
+
+from setuptools import setup
+
+setup()

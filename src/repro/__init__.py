@@ -1,0 +1,77 @@
+"""repro — Policy Optimization for Dynamic Power Management.
+
+A faithful, production-quality reproduction of L. Benini, A. Bogliolo,
+G. A. Paleologo and G. De Micheli, "Policy Optimization for Dynamic
+Power Management" (DAC 1998; IEEE TCAD 18(6), 1999).
+
+The library models power-managed systems as controlled Markov chains —
+a service provider, a service requester and a bounded queue — and
+computes *globally optimal* power-management policies by linear
+programming over state-action frequencies, exactly as the paper
+prescribes.  It ships the paper's case studies (disk drive, web server,
+CPU), the heuristic baselines it compares against (eager, timeout,
+randomized, predictive), simulation engines for verification, a
+workload-trace pipeline with the k-memory SR extractor, and experiment
+drivers regenerating every table and figure in the evaluation.
+
+Quickstart::
+
+    from repro import PolicyOptimizer
+    from repro.systems import example_system
+
+    bundle = example_system.build()
+    optimizer = PolicyOptimizer(
+        bundle.system, bundle.costs, gamma=bundle.gamma,
+        initial_distribution=bundle.initial_distribution,
+    )
+    result = optimizer.minimize_power(penalty_bound=0.5, loss_bound=0.2)
+    print(result.average("power"))          # ~1.8 W (paper Example A.2)
+    print(result.policy.matrix)             # the optimal randomized policy
+"""
+
+from repro.core import (
+    AverageCostOptimizer,
+    CostModel,
+    InfeasibleProblemError,
+    MarkovPolicy,
+    OptimizationResult,
+    ParetoCurve,
+    ParetoPoint,
+    PolicyEvaluation,
+    PolicyOptimizer,
+    PowerManagedSystem,
+    ServiceProvider,
+    ServiceQueue,
+    ServiceRequester,
+    SystemState,
+    evaluate_policy,
+    min_achievable,
+    policy_iteration,
+    trade_off_curve,
+    value_iteration,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ServiceProvider",
+    "ServiceRequester",
+    "ServiceQueue",
+    "PowerManagedSystem",
+    "SystemState",
+    "CostModel",
+    "MarkovPolicy",
+    "PolicyEvaluation",
+    "evaluate_policy",
+    "PolicyOptimizer",
+    "AverageCostOptimizer",
+    "OptimizationResult",
+    "InfeasibleProblemError",
+    "ParetoCurve",
+    "ParetoPoint",
+    "trade_off_curve",
+    "min_achievable",
+    "value_iteration",
+    "policy_iteration",
+]

@@ -1,0 +1,266 @@
+"""Average-cost policy optimization (paper Eq. 7, solved directly).
+
+The paper first writes policy optimization as a *long-run average*
+problem (Eq. 7) and then replaces it with the discounted finite-window
+formulation (Eq. 9) for computability.  The average-cost problem is,
+however, also an LP for finite unichain MDPs (Puterman, Ch. 8/9, the
+paper's reference [22]):
+
+    min   sum_{s,a} c(s, a) x[s, a]
+    s.t.  sum_a x[j, a] - sum_{s,a} P^a[s, j] x[s, a] = 0   for all j
+          sum_{s,a} x[s, a] = 1
+          x >= 0
+
+where ``x`` is now a stationary state-action *distribution* rather than
+discounted expected counts; metric constraints are direct per-slice
+bounds with no horizon scaling.  Compared to the discounted LP this
+formulation
+
+* needs no discount factor or initial distribution, and
+* cannot exploit the end-of-session accounting (sleeping into the trap
+  state) that the paper acknowledges as a small model error — the
+  ablation benchmark ``bench_ablation_formulations`` quantifies the
+  difference.
+
+For unichain models (every stationary policy has a single recurrent
+class — true of all the case studies, whose SR mixes every state) the
+LP optimum is the optimal average cost over all policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.costs import LOSS, PENALTY, POWER, CostModel
+from repro.core.optimizer import (
+    OptimizationResult,
+    VISIT_TOL,
+    _ActionMaskMixin,
+)
+from repro.core.policy import MarkovPolicy, PolicyEvaluation
+from repro.core.system import PowerManagedSystem
+from repro.lp.problem import LinearProgram
+from repro.lp.solve import solve_lp
+from repro.util.validation import ValidationError
+
+
+class AverageCostOptimizer(_ActionMaskMixin):
+    """Long-run average policy optimization (the paper's Eq. 7).
+
+    The interface mirrors :class:`~repro.core.optimizer.PolicyOptimizer`
+    (``optimize`` / ``minimize_power`` / ``minimize_penalty``) but all
+    metrics are long-run per-slice averages of the stationary policy —
+    no discount factor and no initial distribution enter the problem.
+
+    Parameters
+    ----------
+    system / costs:
+        The composed system and its metrics.
+    backend / cross_check:
+        LP backend options (see :func:`repro.lp.solve_lp`).
+    fallback:
+        Completion rule for states with zero stationary probability
+        (see :class:`PolicyOptimizer`).
+    action_mask:
+        Optional boolean availability mask over (state, command).
+
+    Examples
+    --------
+    >>> from repro.systems import example_system
+    >>> from repro.core.average_cost import AverageCostOptimizer
+    >>> bundle = example_system.build()
+    >>> opt = AverageCostOptimizer(bundle.system, bundle.costs)
+    >>> res = opt.minimize_power(penalty_bound=0.5, loss_bound=0.2)
+    >>> res.feasible
+    True
+    """
+
+    def __init__(
+        self,
+        system: PowerManagedSystem,
+        costs: CostModel,
+        backend: str = "scipy",
+        cross_check: bool = False,
+        fallback: str = "greedy-service",
+        action_mask=None,
+    ):
+        if not isinstance(system, PowerManagedSystem):
+            raise ValidationError("system must be a PowerManagedSystem")
+        if not isinstance(costs, CostModel):
+            raise ValidationError("costs must be a CostModel")
+        if costs.system is not system:
+            raise ValidationError("costs were built for a different system")
+        self._system = system
+        self._costs = costs
+        self._backend = backend
+        self._cross_check = bool(cross_check)
+        self._fallback = fallback
+        self._mask = self._check_action_mask(system, action_mask)
+
+        n, n_a = system.n_states, system.n_commands
+        tensor = system.chain.tensor
+        outflow = np.kron(np.eye(n), np.ones((1, n_a)))
+        inflow = np.transpose(tensor, (2, 1, 0)).reshape(n, n * n_a)
+        self._balance = outflow - inflow
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def system(self) -> PowerManagedSystem:
+        """The system being optimized."""
+        return self._system
+
+    @property
+    def costs(self) -> CostModel:
+        """The registered cost metrics."""
+        return self._costs
+
+    # ------------------------------------------------------------------
+    # the solve
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        objective: str,
+        sense: str = "min",
+        upper_bounds: dict[str, float] | None = None,
+        lower_bounds: dict[str, float] | None = None,
+    ) -> OptimizationResult:
+        """Optimize a long-run average metric under per-slice bounds."""
+        if sense not in ("min", "max"):
+            raise ValidationError(f"sense must be 'min' or 'max', got {sense!r}")
+        c = self._costs.metric(objective).reshape(-1)
+        if sense == "max":
+            c = -c
+
+        lp = LinearProgram(c)
+        n = self._system.n_states
+        # One balance row per state is redundant with normalization
+        # (rows sum to zero); keep all — the backends drop dependencies.
+        for j in range(n):
+            lp.add_equality(self._balance[j], 0.0)
+        lp.add_equality(np.ones(n * self._system.n_commands), 1.0)
+        if self._mask is not None and not self._mask.all():
+            lp.add_equality((~self._mask).astype(float).reshape(-1), 0.0)
+
+        recorded: dict[str, tuple[str, float]] = {}
+        for name, bound in (upper_bounds or {}).items():
+            lp.add_inequality(self._costs.metric(name).reshape(-1), float(bound))
+            recorded[name] = ("<=", float(bound))
+        for name, bound in (lower_bounds or {}).items():
+            lp.add_lower_bound_inequality(
+                self._costs.metric(name).reshape(-1), float(bound)
+            )
+            recorded[name] = (">=", float(bound))
+
+        lp_result = solve_lp(lp, backend=self._backend, cross_check=self._cross_check)
+        if not lp_result.is_optimal:
+            return OptimizationResult(
+                feasible=False,
+                policy=None,
+                frequencies=None,
+                evaluation=None,
+                objective_metric=objective,
+                objective_average=None,
+                constraints=recorded,
+                gamma=1.0,
+                lp_result=lp_result,
+            )
+
+        frequencies = np.clip(
+            lp_result.x.reshape(n, self._system.n_commands), 0.0, None
+        )
+        policy = self.policy_from_frequencies(frequencies)
+        evaluation = self._evaluate(frequencies)
+        return OptimizationResult(
+            feasible=True,
+            policy=policy,
+            frequencies=frequencies,
+            evaluation=evaluation,
+            objective_metric=objective,
+            objective_average=evaluation.averages[objective],
+            constraints=recorded,
+            gamma=1.0,
+            lp_result=lp_result,
+        )
+
+    def _evaluate(self, frequencies: np.ndarray) -> PolicyEvaluation:
+        """Package the stationary distribution as a PolicyEvaluation.
+
+        ``frequencies`` is the LP's stationary state-action distribution
+        itself; averages are direct inner products and totals coincide
+        with averages (per-slice accounting, infinite horizon).
+        """
+        occupancy = frequencies.sum(axis=1)
+        averages = {
+            name: self._costs.evaluate(name, frequencies)
+            for name in self._costs.metric_names
+        }
+        return PolicyEvaluation(
+            gamma=1.0,
+            expected_horizon=float("inf"),
+            occupancy=occupancy,
+            frequencies=frequencies.copy(),
+            totals=dict(averages),
+            averages=averages,
+        )
+
+    # ------------------------------------------------------------------
+    # paper-named entry points (PO1 / PO2 analogues)
+    # ------------------------------------------------------------------
+    def minimize_power(
+        self,
+        penalty_bound: float | None = None,
+        loss_bound: float | None = None,
+        extra_upper_bounds: dict[str, float] | None = None,
+    ) -> OptimizationResult:
+        """Minimum average power under performance constraints."""
+        upper = dict(extra_upper_bounds or {})
+        if penalty_bound is not None:
+            upper[PENALTY] = float(penalty_bound)
+        if loss_bound is not None:
+            upper[LOSS] = float(loss_bound)
+        return self.optimize(POWER, "min", upper_bounds=upper)
+
+    def minimize_penalty(
+        self,
+        power_bound: float | None = None,
+        loss_bound: float | None = None,
+        extra_upper_bounds: dict[str, float] | None = None,
+    ) -> OptimizationResult:
+        """Minimum average penalty under a power budget."""
+        upper = dict(extra_upper_bounds or {})
+        if power_bound is not None:
+            upper[POWER] = float(power_bound)
+        if loss_bound is not None:
+            upper[LOSS] = float(loss_bound)
+        return self.optimize(PENALTY, "min", upper_bounds=upper)
+
+    def minimize_unconstrained(self, objective: str = PENALTY) -> OptimizationResult:
+        """Unconstrained minimization of one long-run average metric."""
+        return self.optimize(objective, "min")
+
+    # ------------------------------------------------------------------
+    # policy extraction (Eq. 16, unchanged)
+    # ------------------------------------------------------------------
+    def policy_from_frequencies(self, frequencies: np.ndarray) -> MarkovPolicy:
+        """Extract the stationary policy from the LP distribution."""
+        freq = np.asarray(frequencies, dtype=float)
+        expected = (self._system.n_states, self._system.n_commands)
+        if freq.shape != expected:
+            raise ValidationError(
+                f"frequencies must have shape {expected}, got {freq.shape}"
+            )
+        freq = np.clip(freq, 0.0, None)
+        if self._mask is not None:
+            freq = np.where(self._mask, freq, 0.0)
+        row_sums = freq.sum(axis=1)
+        matrix = np.zeros_like(freq)
+        visited = row_sums > VISIT_TOL
+        matrix[visited] = freq[visited] / row_sums[visited, None]
+        fallback_commands = self._fallback_commands(
+            self._system, self._fallback, self._mask
+        )
+        for state in np.where(~visited)[0]:
+            matrix[state, fallback_commands[state]] = 1.0
+        return MarkovPolicy(matrix, self._system.command_names)

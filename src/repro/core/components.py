@@ -1,0 +1,465 @@
+"""Component models: service provider, service requester, service queue.
+
+These are the paper's Definitions 3.1-3.3.  Each component is a thin,
+validated wrapper around the Markov substrate plus the component's cost
+and rate annotations; :class:`~repro.core.system.PowerManagedSystem`
+composes them into the joint controlled chain.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.markov.chain import MarkovChain
+from repro.markov.controlled import ControlledMarkovChain
+from repro.util.validation import (
+    ValidationError,
+    check_probability,
+)
+
+
+def _table_to_matrix(
+    table,
+    state_names: Sequence[str],
+    command_names: Sequence[str],
+    name: str,
+) -> np.ndarray:
+    """Normalize a (state, command) table to an array.
+
+    Accepts either an array-like of shape ``(n_states, n_commands)`` or a
+    nested mapping ``{state: {command: value}}``.
+    """
+    n_s, n_c = len(state_names), len(command_names)
+    if isinstance(table, Mapping):
+        matrix = np.zeros((n_s, n_c))
+        state_idx = {s: i for i, s in enumerate(state_names)}
+        command_idx = {c: i for i, c in enumerate(command_names)}
+        seen_states = set()
+        for state, row in table.items():
+            if str(state) not in state_idx:
+                raise ValidationError(
+                    f"{name}: unknown state {state!r}; states are {tuple(state_names)}"
+                )
+            seen_states.add(str(state))
+            if not isinstance(row, Mapping):
+                raise ValidationError(
+                    f"{name}: value for state {state!r} must be a mapping "
+                    f"{{command: value}}"
+                )
+            seen_commands = set()
+            for command, value in row.items():
+                if str(command) not in command_idx:
+                    raise ValidationError(
+                        f"{name}: unknown command {command!r}; commands are "
+                        f"{tuple(command_names)}"
+                    )
+                seen_commands.add(str(command))
+                matrix[state_idx[str(state)], command_idx[str(command)]] = float(value)
+            missing = set(map(str, command_names)) - seen_commands
+            if missing:
+                raise ValidationError(
+                    f"{name}: state {state!r} is missing commands {sorted(missing)}"
+                )
+        missing_states = set(map(str, state_names)) - seen_states
+        if missing_states:
+            raise ValidationError(f"{name}: missing states {sorted(missing_states)}")
+        return matrix
+    matrix = np.asarray(table, dtype=float)
+    if matrix.shape != (n_s, n_c):
+        raise ValidationError(
+            f"{name} must have shape ({n_s}, {n_c}), got {matrix.shape}"
+        )
+    if not np.all(np.isfinite(matrix)):
+        raise ValidationError(f"{name} contains non-finite entries")
+    return matrix
+
+
+class ServiceProvider:
+    """The power-managed resource (paper Definition 3.1).
+
+    A stationary controlled Markov chain together with, for every
+    (state, command) pair, a *service rate* ``sigma(s, a)`` in [0, 1]
+    (probability of completing one request per slice) and a *power
+    consumption* ``m(s, a)`` in watts.
+
+    Parameters
+    ----------
+    chain:
+        The controlled Markov chain over SP states and PM commands.
+    service_rates:
+        ``(n_states, n_commands)`` table of service rates (array or
+        nested ``{state: {command: rate}}`` mapping).
+    power:
+        ``(n_states, n_commands)`` table of power values, same formats.
+
+    Examples
+    --------
+    The two-state provider of paper Example 3.1::
+
+        >>> sp = ServiceProvider.from_tables(
+        ...     states=["on", "off"],
+        ...     commands=["s_on", "s_off"],
+        ...     transitions={
+        ...         "s_on": [[1.0, 0.0], [0.1, 0.9]],
+        ...         "s_off": [[0.2, 0.8], [0.0, 1.0]],
+        ...     },
+        ...     service_rates={"on": {"s_on": 0.8, "s_off": 0.0},
+        ...                    "off": {"s_on": 0.0, "s_off": 0.0}},
+        ...     power={"on": {"s_on": 3.0, "s_off": 4.0},
+        ...            "off": {"s_on": 4.0, "s_off": 0.0}},
+        ... )
+        >>> sp.service_rate("on", "s_on")
+        0.8
+        >>> sp.sleep_states
+        ('off',)
+    """
+
+    def __init__(self, chain: ControlledMarkovChain, service_rates, power):
+        if not isinstance(chain, ControlledMarkovChain):
+            raise ValidationError("chain must be a ControlledMarkovChain")
+        self._chain = chain
+        rates = _table_to_matrix(
+            service_rates, chain.state_names, chain.command_names, "service_rates"
+        )
+        for s in range(rates.shape[0]):
+            for a in range(rates.shape[1]):
+                check_probability(
+                    rates[s, a],
+                    f"service_rates[{chain.state_names[s]!r}, "
+                    f"{chain.command_names[a]!r}]",
+                )
+        self._rates = rates
+        power_matrix = _table_to_matrix(
+            power, chain.state_names, chain.command_names, "power"
+        )
+        if np.any(power_matrix < 0):
+            raise ValidationError("power values must be non-negative")
+        self._power = power_matrix
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tables(
+        cls,
+        states: Sequence[str],
+        commands: Sequence[str],
+        transitions,
+        service_rates,
+        power,
+    ) -> "ServiceProvider":
+        """Build from plain tables (the format of the paper's examples)."""
+        chain = ControlledMarkovChain(
+            transitions, state_names=states, command_names=commands
+        )
+        return cls(chain, service_rates, power)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def chain(self) -> ControlledMarkovChain:
+        """The underlying controlled Markov chain."""
+        return self._chain
+
+    @property
+    def n_states(self) -> int:
+        """Number of SP states."""
+        return self._chain.n_states
+
+    @property
+    def n_commands(self) -> int:
+        """Number of PM commands."""
+        return self._chain.n_commands
+
+    @property
+    def state_names(self) -> tuple[str, ...]:
+        """SP state names."""
+        return self._chain.state_names
+
+    @property
+    def command_names(self) -> tuple[str, ...]:
+        """Command names."""
+        return self._chain.command_names
+
+    @property
+    def service_rate_matrix(self) -> np.ndarray:
+        """``(n_states, n_commands)`` service-rate table (copy)."""
+        return self._rates.copy()
+
+    @property
+    def power_matrix(self) -> np.ndarray:
+        """``(n_states, n_commands)`` power table (copy)."""
+        return self._power.copy()
+
+    def service_rate(self, state, command) -> float:
+        """Service rate ``sigma(s, a)``."""
+        return float(
+            self._rates[self._chain.state_index(state), self._chain.command_index(command)]
+        )
+
+    def power(self, state, command) -> float:
+        """Power consumption ``m(s, a)`` in watts."""
+        return float(
+            self._power[self._chain.state_index(state), self._chain.command_index(command)]
+        )
+
+    @property
+    def active_states(self) -> tuple[str, ...]:
+        """States with a non-zero service rate under some command."""
+        mask = self._rates.max(axis=1) > 0.0
+        return tuple(
+            name for name, active in zip(self._chain.state_names, mask) if active
+        )
+
+    @property
+    def sleep_states(self) -> tuple[str, ...]:
+        """States whose service rate is zero under every command."""
+        mask = self._rates.max(axis=1) == 0.0
+        return tuple(
+            name for name, asleep in zip(self._chain.state_names, mask) if asleep
+        )
+
+    def expected_transition_time(self, src, dst, command) -> float:
+        """Expected slices for ``src -> dst`` holding ``command`` (Eq. 2)."""
+        p = self._chain.transition_probability(src, dst, command)
+        if p <= 0.0:
+            return float("inf")
+        return 1.0 / p
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServiceProvider(states={self.state_names}, "
+            f"commands={self.command_names})"
+        )
+
+
+class ServiceRequester:
+    """The workload model (paper Definition 3.2).
+
+    An autonomous Markov chain; state ``r`` issues ``z(r)`` requests per
+    time slice.  The chain does not depend on the system — it is the
+    environment.
+
+    Parameters
+    ----------
+    chain:
+        The workload Markov chain.
+    arrivals:
+        Number of requests per slice for each state, as a sequence
+        aligned with the chain's states or a ``{state: count}`` mapping.
+
+    Examples
+    --------
+    The bursty requester of paper Example 3.2::
+
+        >>> sr = ServiceRequester(
+        ...     MarkovChain([[0.95, 0.05], [0.15, 0.85]], ["0", "1"]),
+        ...     arrivals=[0, 1],
+        ... )
+        >>> sr.arrivals("1")
+        1
+        >>> round(sr.mean_arrival_rate(), 3)
+        0.25
+    """
+
+    def __init__(self, chain: MarkovChain, arrivals):
+        if not isinstance(chain, MarkovChain):
+            raise ValidationError("chain must be a MarkovChain")
+        self._chain = chain
+        if isinstance(arrivals, Mapping):
+            values = np.zeros(chain.n_states, dtype=int)
+            seen = set()
+            for state, count in arrivals.items():
+                values[chain.state_index(str(state))] = int(count)
+                seen.add(str(state))
+            missing = set(chain.state_names) - seen
+            if missing:
+                raise ValidationError(f"arrivals missing states {sorted(missing)}")
+        else:
+            values = np.asarray(arrivals, dtype=int)
+            if values.shape != (chain.n_states,):
+                raise ValidationError(
+                    f"arrivals must have {chain.n_states} entries, got shape "
+                    f"{values.shape}"
+                )
+        if np.any(values < 0):
+            raise ValidationError("arrival counts must be non-negative")
+        self._arrivals = values
+
+    @property
+    def chain(self) -> MarkovChain:
+        """The underlying workload Markov chain."""
+        return self._chain
+
+    @property
+    def n_states(self) -> int:
+        """Number of SR states."""
+        return self._chain.n_states
+
+    @property
+    def state_names(self) -> tuple[str, ...]:
+        """SR state names."""
+        return self._chain.state_names
+
+    @property
+    def arrival_counts(self) -> np.ndarray:
+        """Requests per slice for each state (copy)."""
+        return self._arrivals.copy()
+
+    @property
+    def max_arrivals(self) -> int:
+        """Largest per-slice arrival count over all states."""
+        return int(self._arrivals.max())
+
+    def arrivals(self, state) -> int:
+        """Requests per slice issued in ``state``."""
+        return int(self._arrivals[self._chain.state_index(state)])
+
+    def mean_arrival_rate(self) -> float:
+        """Long-run average requests per slice (stationary-weighted)."""
+        pi = self._chain.stationary_distribution()
+        return float(pi @ self._arrivals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServiceRequester(states={self.state_names}, "
+            f"arrivals={tuple(self._arrivals)})"
+        )
+
+
+class ServiceQueue:
+    """Bounded request queue (paper Definition 3.3 and Eq. 3).
+
+    The queue holds up to ``capacity`` requests.  During a slice in which
+    the SP has service rate ``sigma`` and ``z`` requests arrive, the
+    number of pending requests is ``q + z``; with probability ``sigma``
+    one request (enqueued or just arrived) completes.  The next queue
+    state is clamped to ``capacity`` — the clamped-away mass is *request
+    loss*, the paper's abstract congestion penalty.
+
+    Examples
+    --------
+    >>> q = ServiceQueue(capacity=1)
+    >>> q.transition_matrix(service_rate=0.8, arrivals=1)
+    array([[0.8, 0.2],
+           [0. , 1. ]])
+    """
+
+    def __init__(self, capacity: int):
+        capacity = int(capacity)
+        if capacity < 0:
+            raise ValidationError(f"queue capacity must be >= 0, got {capacity}")
+        self._capacity = capacity
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of enqueued requests ``Q``."""
+        return self._capacity
+
+    @property
+    def n_states(self) -> int:
+        """Number of queue states (``Q + 1``)."""
+        return self._capacity + 1
+
+    @property
+    def state_names(self) -> tuple[str, ...]:
+        """Queue state names ``"0" .. "Q"``."""
+        return tuple(str(q) for q in range(self.n_states))
+
+    def next_state_distribution(
+        self, queue_length: int, service_rate: float, arrivals: int
+    ) -> np.ndarray:
+        """Distribution of the next queue state (paper Eq. 3 + corners)."""
+        q = int(queue_length)
+        if not 0 <= q <= self._capacity:
+            raise ValidationError(
+                f"queue length {q} out of range [0, {self._capacity}]"
+            )
+        sigma = check_probability(service_rate, "service_rate")
+        z = int(arrivals)
+        if z < 0:
+            raise ValidationError(f"arrivals must be >= 0, got {z}")
+
+        out = np.zeros(self.n_states)
+        pending = q + z
+        if pending == 0:
+            out[0] = 1.0
+            return out
+        served = min(pending - 1, self._capacity)
+        unserved = min(pending, self._capacity)
+        out[served] += sigma
+        out[unserved] += 1.0 - sigma
+        return out
+
+    def transition_matrix(self, service_rate: float, arrivals: int) -> np.ndarray:
+        """Full ``(Q+1, Q+1)`` queue transition matrix for one slice."""
+        rows = [
+            self.next_state_distribution(q, service_rate, arrivals)
+            for q in range(self.n_states)
+        ]
+        return np.vstack(rows)
+
+    def expected_loss(
+        self, queue_length: int, service_rate: float, arrivals: int
+    ) -> float:
+        """Expected number of requests lost to overflow in one slice."""
+        q = int(queue_length)
+        if not 0 <= q <= self._capacity:
+            raise ValidationError(
+                f"queue length {q} out of range [0, {self._capacity}]"
+            )
+        sigma = check_probability(service_rate, "service_rate")
+        z = int(arrivals)
+        if z < 0:
+            raise ValidationError(f"arrivals must be >= 0, got {z}")
+        pending = q + z
+        if pending == 0:
+            return 0.0
+        lost_if_served = max(pending - 1 - self._capacity, 0)
+        lost_if_not = max(pending - self._capacity, 0)
+        return sigma * lost_if_served + (1.0 - sigma) * lost_if_not
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ServiceQueue(capacity={self._capacity})"
+
+
+def compose_requesters(
+    first: ServiceRequester, second: ServiceRequester
+) -> ServiceRequester:
+    """Merge two independent workload sources into one SR.
+
+    Paper Section VII sketches systems with "multiple SR's": when two
+    independent request streams feed the same provider, their joint
+    behaviour is the product chain with summed per-state arrivals.
+    State names combine as ``"<first>&<second>"``; the state count is
+    the product, so compose sparingly (the paper's state-explosion
+    caveat applies).
+
+    Examples
+    --------
+    >>> from repro.markov.chain import MarkovChain
+    >>> a = ServiceRequester(MarkovChain([[0.9, 0.1], [0.5, 0.5]]), [0, 1])
+    >>> b = ServiceRequester(MarkovChain([[0.8, 0.2], [0.3, 0.7]]), [0, 2])
+    >>> merged = compose_requesters(a, b)
+    >>> merged.n_states
+    4
+    >>> merged.arrivals("1&1")
+    3
+    """
+    if not isinstance(first, ServiceRequester) or not isinstance(
+        second, ServiceRequester
+    ):
+        raise ValidationError("compose_requesters takes two ServiceRequesters")
+    matrix = np.kron(first.chain.matrix, second.chain.matrix)
+    names = [
+        f"{a}&{b}" for a in first.state_names for b in second.state_names
+    ]
+    arrivals = [
+        int(first.arrivals(a)) + int(second.arrivals(b))
+        for a in first.state_names
+        for b in second.state_names
+    ]
+    return ServiceRequester(MarkovChain(matrix, names), arrivals)

@@ -1,0 +1,203 @@
+"""Cost metrics over (state, command) pairs (paper Section III-B).
+
+A :class:`CostModel` is a named collection of ``(n_states, n_commands)``
+cost matrices for a given :class:`~repro.core.system.PowerManagedSystem`.
+By convention the optimizer understands three metric names:
+
+* ``"power"`` — expected power per slice (the paper's ``m(s, a)``);
+* ``"penalty"`` — the performance penalty per slice (the paper's
+  ``g(x, a)``; default: queue length);
+* ``"loss"`` — request-loss risk per slice (indicator of "SR issuing
+  while queue full", paper Appendix A);
+* ``"overflow"`` — expected number of requests actually lost to queue
+  overflow per slice (a finer-grained loss metric derived from the
+  queue law; used by the Appendix-B sensitivity studies, where the
+  indicator saturates).
+
+Arbitrary additional metrics can be registered and used as objectives or
+constraints; everything downstream works off the matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.system import PowerManagedSystem
+from repro.util.validation import ValidationError
+
+POWER = "power"
+PENALTY = "penalty"
+LOSS = "loss"
+OVERFLOW = "overflow"
+
+
+class CostModel:
+    """Named cost matrices for a power-managed system.
+
+    Parameters
+    ----------
+    system:
+        The composed system the costs refer to.
+    metrics:
+        Optional initial mapping of metric name to ``(n_states,
+        n_commands)`` matrix.
+
+    Examples
+    --------
+    >>> from repro.systems import example_system
+    >>> bundle = example_system.build()
+    >>> sorted(bundle.costs.metric_names)
+    ['loss', 'overflow', 'penalty', 'power']
+    """
+
+    def __init__(self, system: PowerManagedSystem, metrics=None):
+        if not isinstance(system, PowerManagedSystem):
+            raise ValidationError("system must be a PowerManagedSystem")
+        self._system = system
+        self._metrics: dict[str, np.ndarray] = {}
+        if metrics:
+            for name, matrix in metrics.items():
+                self.add_metric(name, matrix)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def standard(cls, system: PowerManagedSystem) -> "CostModel":
+        """Power, queue-length penalty, loss indicator and overflow."""
+        model = cls(system)
+        model.add_metric(POWER, system.power_cost_matrix())
+        model.add_metric(PENALTY, system.queue_length_penalty_matrix())
+        model.add_metric(LOSS, system.request_loss_indicator_matrix())
+        model.add_metric(OVERFLOW, system.expected_loss_matrix())
+        return model
+
+    def add_metric(self, name: str, matrix) -> None:
+        """Register (or replace) a metric matrix under ``name``."""
+        arr = np.asarray(matrix, dtype=float)
+        expected = (self._system.n_states, self._system.n_commands)
+        if arr.shape != expected:
+            raise ValidationError(
+                f"metric {name!r} must have shape {expected}, got {arr.shape}"
+            )
+        if not np.all(np.isfinite(arr)):
+            raise ValidationError(f"metric {name!r} contains non-finite entries")
+        self._metrics[str(name)] = arr.copy()
+
+    def add_state_metric(self, name: str, state_values) -> None:
+        """Register a metric that depends on the joint state only."""
+        values = np.asarray(state_values, dtype=float)
+        if values.shape != (self._system.n_states,):
+            raise ValidationError(
+                f"state metric {name!r} must have {self._system.n_states} "
+                f"entries, got shape {values.shape}"
+            )
+        self.add_metric(
+            name, np.repeat(values[:, None], self._system.n_commands, axis=1)
+        )
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def system(self) -> PowerManagedSystem:
+        """The system these costs refer to."""
+        return self._system
+
+    @property
+    def metric_names(self) -> tuple[str, ...]:
+        """Registered metric names."""
+        return tuple(self._metrics)
+
+    def metric(self, name: str) -> np.ndarray:
+        """The ``(n_states, n_commands)`` matrix for ``name`` (copy)."""
+        try:
+            return self._metrics[str(name)].copy()
+        except KeyError:
+            raise KeyError(
+                f"unknown metric {name!r}; registered: {sorted(self._metrics)}"
+            ) from None
+
+    def has_metric(self, name: str) -> bool:
+        """True when ``name`` is registered."""
+        return str(name) in self._metrics
+
+    def evaluate(self, name: str, frequencies: np.ndarray) -> float:
+        """Inner product of a metric with state-action frequencies."""
+        matrix = self._metrics.get(str(name))
+        if matrix is None:
+            raise KeyError(
+                f"unknown metric {name!r}; registered: {sorted(self._metrics)}"
+            )
+        freq = np.asarray(frequencies, dtype=float)
+        if freq.shape != matrix.shape:
+            raise ValidationError(
+                f"frequencies must have shape {matrix.shape}, got {freq.shape}"
+            )
+        return float(np.sum(matrix * freq))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CostModel(metrics={sorted(self._metrics)})"
+
+
+def sleep_while_busy_penalty(
+    system: PowerManagedSystem, sleep_states, busy_requester_states
+) -> np.ndarray:
+    """Penalty 1 when the SP sleeps while the SR is busy (CPU case study).
+
+    This is the performance penalty of paper Section VI-C: the
+    undesirable event is a request arriving while the CPU is in the
+    sleep state; no queue is involved.
+    """
+    sp_sleep = {system.provider.chain.state_index(s) for s in sleep_states}
+    sr_busy = {system.requester.chain.state_index(r) for r in busy_requester_states}
+    sp_of = system.provider_index_of_state
+    sr_of = system.requester_index_of_state
+    indicator = np.array(
+        [
+            1.0 if (sp_of[x] in sp_sleep and sr_of[x] in sr_busy) else 0.0
+            for x in range(system.n_states)
+        ]
+    )
+    return np.repeat(indicator[:, None], system.n_commands, axis=1)
+
+
+def waiting_time_penalty(system: PowerManagedSystem) -> np.ndarray:
+    """Mean-waiting-time metric via Little's law (paper Section VI-A).
+
+    The paper lets the user "enforce a latency constraint by specifying
+    a value for maximum expected waiting time for an incoming request".
+    By Little's law the long-run mean waiting time (in slices) equals
+    the mean queue length divided by the *admitted* arrival rate.  This
+    metric divides by the offered rate instead (the admitted rate is
+    policy-dependent and would make the metric nonlinear), so it is
+    exact when losses are negligible and underestimates waiting time
+    otherwise — pair a bound on it with a request-loss bound, as the
+    paper's disk study does.
+
+    Returns the queue-length metric scaled by ``1 / offered_rate``.
+    """
+    rate = system.requester.mean_arrival_rate()
+    if rate <= 0:
+        raise ValidationError(
+            "waiting-time metric needs a workload with positive arrival rate"
+        )
+    return system.queue_length_penalty_matrix() / rate
+
+
+def throughput_reward(system: PowerManagedSystem, throughput_by_state) -> np.ndarray:
+    """Delivered throughput per slice (web-server case study).
+
+    ``throughput_by_state`` maps each SP state to its capacity; the
+    delivered throughput counts only slices in which the SR actually
+    issues requests (capacity without demand earns nothing).
+    """
+    sp = system.provider
+    capacity = np.zeros(sp.n_states)
+    for state, value in dict(throughput_by_state).items():
+        capacity[sp.chain.state_index(state)] = float(value)
+    demand = (system.requester.arrival_counts > 0).astype(float)
+    values = capacity[system.provider_index_of_state] * demand[
+        system.requester_index_of_state
+    ]
+    return np.repeat(values[:, None], system.n_commands, axis=1)

@@ -1,0 +1,168 @@
+"""Value iteration and policy iteration for the unconstrained problem.
+
+The paper (Appendix A) notes that POU — unconstrained minimization of a
+single discounted cost — can be solved by "policy improvement,
+successive approximations, and linear programming"; it uses the LP
+because constraints extend it naturally.  This module provides the other
+two classical solvers.  They serve two purposes here:
+
+* cross-validation — Theorem A.1 says all three must agree on the
+  optimal value vector ``v*`` and (up to ties) on the deterministic
+  optimal policy; the test suite checks this on every case study;
+* scalability — for large unconstrained models value iteration avoids
+  building the LP at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.policy import MarkovPolicy
+from repro.core.system import PowerManagedSystem
+from repro.util.validation import ValidationError, check_probability
+
+
+@dataclass
+class DPResult:
+    """Solution of an unconstrained discounted-cost problem.
+
+    Attributes
+    ----------
+    values:
+        Optimal value vector ``v*`` (total discounted expected cost from
+        each start state; paper's optimality equations, Eq. 12).
+    policy:
+        An optimal deterministic Markov stationary policy.
+    iterations:
+        Sweeps (value iteration) or improvement rounds (policy
+        iteration) performed.
+    converged:
+        Whether the stopping criterion was met within the budget.
+    """
+
+    values: np.ndarray
+    policy: MarkovPolicy
+    iterations: int
+    converged: bool
+
+
+def _check_inputs(system: PowerManagedSystem, cost_matrix, gamma: float):
+    gamma = check_probability(gamma, "gamma")
+    if not 0.0 < gamma < 1.0:
+        raise ValidationError(f"gamma must be in (0, 1), got {gamma!r}")
+    costs = np.asarray(cost_matrix, dtype=float)
+    expected = (system.n_states, system.n_commands)
+    if costs.shape != expected:
+        raise ValidationError(
+            f"cost matrix must have shape {expected}, got {costs.shape}"
+        )
+    if not np.all(np.isfinite(costs)):
+        raise ValidationError("cost matrix contains non-finite entries")
+    return costs, gamma
+
+
+def q_values(
+    system: PowerManagedSystem, cost_matrix, gamma: float, values: np.ndarray
+) -> np.ndarray:
+    """Action values ``Q[s, a] = c[s, a] + gamma sum_j P^a[s, j] v[j]``."""
+    costs, gamma = _check_inputs(system, cost_matrix, gamma)
+    v = np.asarray(values, dtype=float)
+    if v.shape != (system.n_states,):
+        raise ValidationError(
+            f"values must have {system.n_states} entries, got shape {v.shape}"
+        )
+    tensor = system.chain.tensor  # (A, N, N)
+    future = np.einsum("aij,j->ia", tensor, v)
+    return costs + gamma * future
+
+
+def value_iteration(
+    system: PowerManagedSystem,
+    cost_matrix,
+    gamma: float,
+    tol: float = 1e-10,
+    max_iterations: int = 1_000_000,
+) -> DPResult:
+    """Solve POU by successive approximation of the optimality equations.
+
+    Iterates ``v <- min_a [c(., a) + gamma P^a v]`` until the sup-norm
+    change guarantees the value error is below ``tol`` (standard
+    ``gamma/(1-gamma)`` contraction bound).
+
+    Parameters
+    ----------
+    system, cost_matrix, gamma:
+        The model; ``cost_matrix`` has shape (n_states, n_commands).
+    tol:
+        Target sup-norm accuracy of the returned value vector.
+    max_iterations:
+        Safety ceiling on sweeps.
+    """
+    costs, gamma = _check_inputs(system, cost_matrix, gamma)
+    tensor = system.chain.tensor
+    n = system.n_states
+    v = np.zeros(n)
+    threshold = tol * (1.0 - gamma) / max(gamma, 1e-16)
+    converged = False
+    iterations = 0
+    for iterations in range(1, int(max_iterations) + 1):
+        q = costs + gamma * np.einsum("aij,j->ia", tensor, v)
+        v_new = q.min(axis=1)
+        delta = float(np.max(np.abs(v_new - v)))
+        v = v_new
+        if delta <= threshold:
+            converged = True
+            break
+    greedy = np.argmin(
+        costs + gamma * np.einsum("aij,j->ia", tensor, v), axis=1
+    )
+    policy = MarkovPolicy.deterministic(
+        greedy, system.n_commands, system.command_names
+    )
+    return DPResult(values=v, policy=policy, iterations=iterations, converged=converged)
+
+
+def policy_iteration(
+    system: PowerManagedSystem,
+    cost_matrix,
+    gamma: float,
+    max_iterations: int = 1000,
+) -> DPResult:
+    """Solve POU by Howard's policy iteration.
+
+    Alternates exact policy evaluation (a linear solve) with greedy
+    improvement; terminates when the policy is stable, which for finite
+    MDPs happens in finitely many rounds at the exact optimum.
+    """
+    costs, gamma = _check_inputs(system, cost_matrix, gamma)
+    tensor = system.chain.tensor
+    n = system.n_states
+
+    commands = np.argmin(costs, axis=1)
+    identity = np.eye(n)
+    converged = False
+    iterations = 0
+    values = np.zeros(n)
+    for iterations in range(1, int(max_iterations) + 1):
+        P_pi = tensor[commands, np.arange(n), :]
+        c_pi = costs[np.arange(n), commands]
+        values = np.linalg.solve(identity - gamma * P_pi, c_pi)
+        q = costs + gamma * np.einsum("aij,j->ia", tensor, values)
+        greedy = np.argmin(q, axis=1)
+        # Keep the incumbent command on exact ties to guarantee progress.
+        keep = np.isclose(
+            q[np.arange(n), commands], q[np.arange(n), greedy], rtol=0, atol=1e-12
+        )
+        greedy[keep] = commands[keep]
+        if np.array_equal(greedy, commands):
+            converged = True
+            break
+        commands = greedy
+    policy = MarkovPolicy.deterministic(
+        commands, system.n_commands, system.command_names
+    )
+    return DPResult(
+        values=values, policy=policy, iterations=iterations, converged=converged
+    )

@@ -1,0 +1,427 @@
+"""Exact policy optimization via linear programming (paper Appendix A).
+
+The unknowns are the *state-action frequencies* ``x[s, a]`` — total
+discounted expected number of slices the system spends in joint state
+``s`` with command ``a`` issued.  They satisfy the balance equations
+(paper LP2, Fig. 11)::
+
+    sum_a x[j, a]  -  gamma * sum_{s, a} P^a[s, j] x[s, a]  =  p0[j]
+
+for every state ``j``, and any cost metric is linear in ``x``.  The
+constrained problems PO1/PO2 (paper LP3/LP4) add budget rows for the
+other metrics; the optimal policy is recovered from the optimal ``x``
+by Eq. 16::
+
+    pi[s, a] = x[s, a] / sum_a' x[s, a']
+
+States never visited by the optimal flow (row sum zero) are completed
+with a deterministic fallback rule — they are unreachable under the
+optimal policy from ``p0``, but trace-driven simulation can still enter
+them, so the completion matters in practice (see ``fallback``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.costs import LOSS, PENALTY, POWER, CostModel
+from repro.core.policy import MarkovPolicy, PolicyEvaluation, evaluate_policy
+from repro.core.system import PowerManagedSystem
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPResult
+from repro.lp.solve import solve_lp
+from repro.util.validation import ValidationError, check_probability
+
+#: Row sums below this are treated as "state never visited" in Eq. 16.
+VISIT_TOL = 1e-12
+
+
+class _ActionMaskMixin:
+    """Action-mask validation and fallback-command selection.
+
+    Shared between the discounted optimizer and the average-cost
+    optimizer (:mod:`repro.core.average_cost`).
+    """
+
+    @staticmethod
+    def _check_action_mask(system: PowerManagedSystem, action_mask):
+        if action_mask is None:
+            return None
+        mask = np.asarray(action_mask, dtype=bool)
+        expected = (system.n_states, system.n_commands)
+        if mask.shape != expected:
+            raise ValidationError(
+                f"action_mask must have shape {expected}, got {mask.shape}"
+            )
+        if not np.all(mask.any(axis=1)):
+            bad = int(np.argmin(mask.any(axis=1)))
+            raise ValidationError(
+                f"action_mask forbids every command in state {bad}"
+            )
+        return mask
+
+    @staticmethod
+    def _fallback_commands(
+        system: PowerManagedSystem, fallback: str, mask
+    ) -> np.ndarray:
+        """Per-state deterministic completion for unvisited states."""
+        if fallback == "greedy-service":
+            rates = system.provider.service_rate_matrix
+            power = system.provider.power_matrix
+            # argmax service rate, ties broken toward lower power.
+            score = rates - 1e-9 * power
+            scores = score[system.provider_index_of_state]
+        elif fallback == "lowest-power":
+            scores = -system.power_cost_matrix()
+        else:
+            # Otherwise interpret as an explicit command name.
+            try:
+                command = system.chain.command_index(fallback)
+            except KeyError:
+                raise ValidationError(
+                    f"unknown fallback rule or command {fallback!r}; "
+                    f"use 'greedy-service', 'lowest-power' or one of "
+                    f"{system.command_names}"
+                ) from None
+            scores = np.zeros((system.n_states, system.n_commands))
+            scores[:, command] = 1.0
+        if mask is not None:
+            scores = np.where(mask, scores, -np.inf)
+        return np.argmax(scores, axis=1)
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one policy-optimization solve.
+
+    Attributes
+    ----------
+    feasible:
+        True when the LP had an optimal solution (constraints can be
+        met).  When False, every other field except ``lp_result`` and
+        ``constraints`` is ``None`` — matching the paper's convention
+        ``f(c) = +inf`` on infeasible instances.
+    policy:
+        The optimal randomized Markov stationary policy (Eq. 16).
+    frequencies:
+        Optimal state-action frequencies ``x`` with shape
+        ``(n_states, n_commands)``.
+    evaluation:
+        Closed-form evaluation of ``policy`` (totals and per-slice
+        averages of every registered metric).
+    objective_metric:
+        Name of the optimized metric.
+    objective_average:
+        Optimal per-slice average of the objective metric.
+    constraints:
+        The per-slice bounds that were imposed, as
+        ``{metric: (sense, bound)}``.
+    gamma:
+        Discount factor used.
+    lp_result:
+        The raw LP backend result (for diagnostics).
+    """
+
+    feasible: bool
+    policy: MarkovPolicy | None
+    frequencies: np.ndarray | None
+    evaluation: PolicyEvaluation | None
+    objective_metric: str
+    objective_average: float | None
+    constraints: dict[str, tuple[str, float]]
+    gamma: float
+    lp_result: LPResult = field(repr=False, default=None)
+
+    def average(self, metric: str) -> float:
+        """Per-slice average of ``metric`` under the optimal policy."""
+        self.require_feasible()
+        return self.evaluation.averages[metric]
+
+    def require_feasible(self) -> "OptimizationResult":
+        """Return self, raising if the problem was infeasible."""
+        if not self.feasible:
+            raise InfeasibleProblemError(
+                f"policy optimization infeasible under constraints "
+                f"{self.constraints!r}"
+            )
+        return self
+
+
+class InfeasibleProblemError(RuntimeError):
+    """The requested constraint combination cannot be met."""
+
+
+class PolicyOptimizer(_ActionMaskMixin):
+    """Exact policy optimization for a power-managed system.
+
+    Parameters
+    ----------
+    system:
+        The composed joint system.
+    costs:
+        Registered cost metrics (must include whatever metrics are used
+        as objectives or constraints; :meth:`CostModel.standard`
+        registers ``power``, ``penalty`` and ``loss``).
+    gamma:
+        Discount factor in (0, 1); the expected session length is
+        ``1/(1-gamma)`` slices (paper Section IV).
+    initial_distribution:
+        Initial joint-state distribution ``p0``; defaults to uniform.
+    backend:
+        LP backend name (see :func:`repro.lp.available_backends`).
+    cross_check:
+        Forwarize to :func:`repro.lp.solve_lp` — solve every LP twice
+        with independent backends and compare.
+    fallback:
+        Completion rule for states the optimal flow never visits:
+        ``"greedy-service"`` (default: command with the highest service
+        rate, ties to lower power), ``"lowest-power"``, or an explicit
+        command name applied to all such states.
+    action_mask:
+        Optional boolean ``(n_states, n_commands)`` array; ``False``
+        marks command choices the hardware does not expose to the power
+        manager (e.g. the CPU case study's unconditional reactive wake,
+        Section VI-C).  Masked-out state-action frequencies are pinned
+        to zero in every LP, and the extracted policy never issues a
+        masked command.  Every state must keep at least one allowed
+        command.
+
+    Examples
+    --------
+    >>> from repro.systems import example_system
+    >>> bundle = example_system.build()
+    >>> opt = PolicyOptimizer(bundle.system, bundle.costs, gamma=0.99999,
+    ...                       initial_distribution=bundle.initial_distribution)
+    >>> res = opt.minimize_power(penalty_bound=0.5, loss_bound=0.2)
+    >>> res.feasible
+    True
+    """
+
+    def __init__(
+        self,
+        system: PowerManagedSystem,
+        costs: CostModel,
+        gamma: float,
+        initial_distribution=None,
+        backend: str = "scipy",
+        cross_check: bool = False,
+        fallback: str = "greedy-service",
+        action_mask=None,
+    ):
+        if not isinstance(system, PowerManagedSystem):
+            raise ValidationError("system must be a PowerManagedSystem")
+        if not isinstance(costs, CostModel):
+            raise ValidationError("costs must be a CostModel")
+        if costs.system is not system:
+            raise ValidationError("costs were built for a different system")
+        gamma = check_probability(gamma, "gamma")
+        if not 0.0 < gamma < 1.0:
+            raise ValidationError(f"gamma must be in (0, 1), got {gamma!r}")
+        self._system = system
+        self._costs = costs
+        self._gamma = gamma
+        if initial_distribution is None:
+            initial_distribution = system.uniform_distribution()
+        self._p0 = system.check_distribution(initial_distribution)
+        self._backend = backend
+        self._cross_check = bool(cross_check)
+        self._fallback = fallback
+
+        self._mask = self._check_action_mask(system, action_mask)
+
+        # Balance-equation matrix, built once: A_bal x = p0 with columns
+        # in (state-major, command-minor) order matching flattened
+        # (n_states, n_commands) metric matrices.
+        n, n_a = system.n_states, system.n_commands
+        tensor = system.chain.tensor  # (A, N, N)
+        outflow = np.kron(np.eye(n), np.ones((1, n_a)))
+        inflow = np.transpose(tensor, (2, 1, 0)).reshape(n, n * n_a)
+        self._balance = outflow - gamma * inflow
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def system(self) -> PowerManagedSystem:
+        """The system being optimized."""
+        return self._system
+
+    @property
+    def costs(self) -> CostModel:
+        """The registered cost metrics."""
+        return self._costs
+
+    @property
+    def gamma(self) -> float:
+        """Discount factor."""
+        return self._gamma
+
+    @property
+    def expected_horizon(self) -> float:
+        """Expected session length ``1/(1-gamma)`` in slices."""
+        return 1.0 / (1.0 - self._gamma)
+
+    @property
+    def initial_distribution(self) -> np.ndarray:
+        """Initial joint-state distribution ``p0`` (copy)."""
+        return self._p0.copy()
+
+    # ------------------------------------------------------------------
+    # the general solve
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        objective: str,
+        sense: str = "min",
+        upper_bounds: dict[str, float] | None = None,
+        lower_bounds: dict[str, float] | None = None,
+    ) -> OptimizationResult:
+        """Optimize ``objective`` subject to per-slice metric bounds.
+
+        Parameters
+        ----------
+        objective:
+            Name of a registered metric to optimize.
+        sense:
+            ``"min"`` or ``"max"``.
+        upper_bounds:
+            ``{metric: bound}`` — per-slice average of each metric must
+            not exceed its bound (scaled internally by the horizon,
+            matching paper Example A.2).
+        lower_bounds:
+            ``{metric: bound}`` — per-slice average must be at least the
+            bound (e.g. a minimum-throughput requirement).
+        """
+        if sense not in ("min", "max"):
+            raise ValidationError(f"sense must be 'min' or 'max', got {sense!r}")
+        objective_matrix = self._costs.metric(objective)
+        c = objective_matrix.reshape(-1)
+        if sense == "max":
+            c = -c
+
+        lp = LinearProgram(c)
+        for j in range(self._system.n_states):
+            lp.add_equality(self._balance[j], self._p0[j])
+        if self._mask is not None and not self._mask.all():
+            # One row pins every masked frequency to zero (x >= 0 makes
+            # the sum-to-zero equality equivalent to per-entry zeros).
+            forbidden = (~self._mask).astype(float).reshape(-1)
+            lp.add_equality(forbidden, 0.0)
+
+        horizon = self.expected_horizon
+        recorded: dict[str, tuple[str, float]] = {}
+        for name, bound in (upper_bounds or {}).items():
+            lp.add_inequality(
+                self._costs.metric(name).reshape(-1), float(bound) * horizon
+            )
+            recorded[name] = ("<=", float(bound))
+        for name, bound in (lower_bounds or {}).items():
+            lp.add_lower_bound_inequality(
+                self._costs.metric(name).reshape(-1), float(bound) * horizon
+            )
+            recorded[name] = (">=", float(bound))
+
+        lp_result = solve_lp(lp, backend=self._backend, cross_check=self._cross_check)
+        if not lp_result.is_optimal:
+            return OptimizationResult(
+                feasible=False,
+                policy=None,
+                frequencies=None,
+                evaluation=None,
+                objective_metric=objective,
+                objective_average=None,
+                constraints=recorded,
+                gamma=self._gamma,
+                lp_result=lp_result,
+            )
+
+        frequencies = np.clip(
+            lp_result.x.reshape(self._system.n_states, self._system.n_commands),
+            0.0,
+            None,
+        )
+        policy = self.policy_from_frequencies(frequencies)
+        evaluation = evaluate_policy(
+            self._system, self._costs, policy, self._gamma, self._p0
+        )
+        return OptimizationResult(
+            feasible=True,
+            policy=policy,
+            frequencies=frequencies,
+            evaluation=evaluation,
+            objective_metric=objective,
+            objective_average=evaluation.averages[objective],
+            constraints=recorded,
+            gamma=self._gamma,
+            lp_result=lp_result,
+        )
+
+    # ------------------------------------------------------------------
+    # paper-named entry points
+    # ------------------------------------------------------------------
+    def minimize_power(
+        self,
+        penalty_bound: float | None = None,
+        loss_bound: float | None = None,
+        extra_upper_bounds: dict[str, float] | None = None,
+    ) -> OptimizationResult:
+        """PO2 / LP4: minimum power under performance constraints."""
+        upper = dict(extra_upper_bounds or {})
+        if penalty_bound is not None:
+            upper[PENALTY] = float(penalty_bound)
+        if loss_bound is not None:
+            upper[LOSS] = float(loss_bound)
+        return self.optimize(POWER, "min", upper_bounds=upper)
+
+    def minimize_penalty(
+        self,
+        power_bound: float | None = None,
+        loss_bound: float | None = None,
+        extra_upper_bounds: dict[str, float] | None = None,
+    ) -> OptimizationResult:
+        """PO1 / LP3: minimum performance penalty under a power budget."""
+        upper = dict(extra_upper_bounds or {})
+        if power_bound is not None:
+            upper[POWER] = float(power_bound)
+        if loss_bound is not None:
+            upper[LOSS] = float(loss_bound)
+        return self.optimize(PENALTY, "min", upper_bounds=upper)
+
+    def minimize_unconstrained(self, objective: str = PENALTY) -> OptimizationResult:
+        """POU / LP2: unconstrained minimization of one metric.
+
+        By Theorem A.1 the optimum is attained by a deterministic
+        Markov stationary policy; vertex-seeking LP backends (simplex,
+        HiGHS) return it directly.
+        """
+        return self.optimize(objective, "min")
+
+    # ------------------------------------------------------------------
+    # policy extraction (paper Eq. 16)
+    # ------------------------------------------------------------------
+    def policy_from_frequencies(self, frequencies: np.ndarray) -> MarkovPolicy:
+        """Extract the randomized policy from state-action frequencies."""
+        freq = np.asarray(frequencies, dtype=float)
+        expected = (self._system.n_states, self._system.n_commands)
+        if freq.shape != expected:
+            raise ValidationError(
+                f"frequencies must have shape {expected}, got {freq.shape}"
+            )
+        freq = np.clip(freq, 0.0, None)
+        if self._mask is not None:
+            # Solver-tolerance dust on forbidden pairs must not leak
+            # into the policy.
+            freq = np.where(self._mask, freq, 0.0)
+        row_sums = freq.sum(axis=1)
+        matrix = np.zeros_like(freq)
+        visited = row_sums > VISIT_TOL
+        matrix[visited] = freq[visited] / row_sums[visited, None]
+
+        fallback_commands = self._fallback_commands(
+            self._system, self._fallback, self._mask
+        )
+        for state in np.where(~visited)[0]:
+            matrix[state, fallback_commands[state]] = 1.0
+        return MarkovPolicy(matrix, self._system.command_names)

@@ -1,0 +1,170 @@
+"""Power-performance trade-off exploration (paper Section IV-A).
+
+Repeatedly solving the constrained LP while sweeping the constraint
+bound traces the Pareto curve of the system (paper Figs. 6, 8b, 9a).
+Theorem 4.1 proves the set of feasible (constraint, objective) pairs is
+convex, so the curve is convex and non-increasing — both properties are
+exposed as checkable predicates and exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.costs import PENALTY, POWER
+from repro.core.optimizer import OptimizationResult, PolicyOptimizer
+from repro.core.policy import MarkovPolicy
+
+
+@dataclass
+class ParetoPoint:
+    """One solved point of a trade-off curve.
+
+    Attributes
+    ----------
+    bound:
+        The swept constraint bound (per-slice average).
+    feasible:
+        Whether the LP was feasible at this bound.
+    objective:
+        Optimal per-slice average of the objective metric (``None`` when
+        infeasible — the paper's ``f(c) = +inf`` convention).
+    averages:
+        Per-slice averages of every registered metric at the optimum.
+    policy:
+        The optimal policy at this bound.
+    """
+
+    bound: float
+    feasible: bool
+    objective: float | None
+    averages: dict[str, float] = field(default_factory=dict)
+    policy: MarkovPolicy | None = None
+
+
+@dataclass
+class ParetoCurve:
+    """A swept power-performance trade-off curve.
+
+    Attributes
+    ----------
+    objective_metric / constraint_metric:
+        Names of the metrics on the two axes.
+    points:
+        One :class:`ParetoPoint` per swept bound, in sweep order.
+    """
+
+    objective_metric: str
+    constraint_metric: str
+    points: list[ParetoPoint] = field(default_factory=list)
+
+    @property
+    def feasible_points(self) -> list[ParetoPoint]:
+        """Only the feasible points, in sweep order."""
+        return [p for p in self.points if p.feasible]
+
+    @property
+    def bounds(self) -> np.ndarray:
+        """Bounds of the feasible points."""
+        return np.asarray([p.bound for p in self.feasible_points])
+
+    @property
+    def objectives(self) -> np.ndarray:
+        """Optimal objective values of the feasible points."""
+        return np.asarray([p.objective for p in self.feasible_points])
+
+    @property
+    def infeasible_bounds(self) -> np.ndarray:
+        """Bounds at which the problem was infeasible."""
+        return np.asarray([p.bound for p in self.points if not p.feasible])
+
+    def is_non_increasing(self, tol: float = 1e-7) -> bool:
+        """Objective never increases as the constraint is relaxed.
+
+        Assumes the sweep visited the bounds in increasing order (the
+        helper :func:`trade_off_curve` sorts them).
+        """
+        objectives = self.objectives
+        return bool(np.all(np.diff(objectives) <= tol))
+
+    def is_convex(self, tol: float = 1e-7) -> bool:
+        """Convexity of the trade-off curve (paper Theorem 4.1).
+
+        Checks that every feasible point lies on or below the chord of
+        its neighbours.
+        """
+        xs, ys = self.bounds, self.objectives
+        if xs.size < 3:
+            return True
+        for i in range(1, xs.size - 1):
+            span = xs[i + 1] - xs[i - 1]
+            if span <= 0:
+                continue
+            t = (xs[i] - xs[i - 1]) / span
+            chord = (1 - t) * ys[i - 1] + t * ys[i + 1]
+            if ys[i] > chord + tol:
+                return False
+        return True
+
+
+def trade_off_curve(
+    optimizer: PolicyOptimizer,
+    bounds: Sequence[float],
+    objective: str = POWER,
+    constraint: str = PENALTY,
+    extra_upper_bounds: dict[str, float] | None = None,
+) -> ParetoCurve:
+    """Sweep ``constraint`` over ``bounds`` minimizing ``objective``.
+
+    Parameters
+    ----------
+    optimizer:
+        A configured :class:`PolicyOptimizer`.
+    bounds:
+        Constraint bounds to sweep (sorted ascending internally).
+    objective / constraint:
+        Metric names for the two axes (defaults: minimum power versus a
+        performance-penalty budget, the paper's PO2).
+    extra_upper_bounds:
+        Additional fixed per-slice bounds applied at every point (e.g. a
+        request-loss budget, giving the three curves of paper Fig. 6).
+
+    Returns
+    -------
+    ParetoCurve
+        One point per bound; infeasible bounds are kept with
+        ``feasible=False`` so the infeasible region is visible.
+    """
+    curve = ParetoCurve(objective_metric=objective, constraint_metric=constraint)
+    for bound in sorted(float(b) for b in bounds):
+        upper = dict(extra_upper_bounds or {})
+        upper[constraint] = bound
+        result: OptimizationResult = optimizer.optimize(
+            objective, "min", upper_bounds=upper
+        )
+        if result.feasible:
+            point = ParetoPoint(
+                bound=bound,
+                feasible=True,
+                objective=result.objective_average,
+                averages=dict(result.evaluation.averages),
+                policy=result.policy,
+            )
+        else:
+            point = ParetoPoint(bound=bound, feasible=False, objective=None)
+        curve.points.append(point)
+    return curve
+
+
+def min_achievable(optimizer: PolicyOptimizer, metric: str) -> float:
+    """Smallest attainable per-slice average of ``metric``.
+
+    This is the boundary of the infeasible region the paper highlights
+    in Fig. 6: no policy can push the average queue length below the
+    value achieved by unconstrained minimization of the penalty.
+    """
+    result = optimizer.minimize_unconstrained(metric).require_feasible()
+    return float(result.objective_average)

@@ -1,0 +1,307 @@
+"""Markov stationary policies and their exact evaluation.
+
+Policies are the paper's Definition 3.7 objects: a matrix ``pi`` with
+one row per joint system state, each row a probability distribution over
+commands.  Deterministic policies are the special case of 0/1 rows.
+
+Evaluation is closed-form: under policy ``pi`` the induced chain is
+``P_pi`` and the discounted occupancy is ``y = p0 (I - gamma P_pi)^-1``;
+state-action frequencies are ``x[s, a] = y[s] pi[s, a]`` and every cost
+metric is an inner product with ``x`` (paper Eq. 8 summed in closed
+form).  This is the reference against which both the LP optimum and the
+Monte-Carlo simulator are checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.costs import CostModel
+from repro.core.system import PowerManagedSystem
+from repro.markov.analysis import discounted_occupancy
+from repro.util.validation import (
+    ValidationError,
+    check_distribution,
+    check_probability,
+)
+
+
+class MarkovPolicy:
+    """A randomized Markov stationary policy (paper Definition 3.7).
+
+    Parameters
+    ----------
+    matrix:
+        ``(n_states, n_commands)`` array; row ``x`` is the distribution
+        over commands issued in state ``x``.
+    command_names:
+        Optional command names for pretty-printing.
+
+    Examples
+    --------
+    >>> pi = MarkovPolicy([[0.4, 0.6], [1.0, 0.0]], ["s_on", "s_off"])
+    >>> pi.is_deterministic
+    False
+    >>> pi.probability(0, "s_off")
+    0.6
+    """
+
+    def __init__(self, matrix, command_names: Sequence[str] | None = None):
+        arr = np.asarray(matrix, dtype=float)
+        if arr.ndim != 2 or arr.shape[0] == 0 or arr.shape[1] == 0:
+            raise ValidationError(
+                f"policy matrix must be 2-D and non-empty, got shape {arr.shape}"
+            )
+        for row in range(arr.shape[0]):
+            check_distribution(arr[row], f"policy row {row}")
+        self._matrix = np.clip(arr, 0.0, None)
+        # Renormalize away validation-tolerance dust so rows sum exactly to 1.
+        self._matrix /= self._matrix.sum(axis=1, keepdims=True)
+        if command_names is None:
+            command_names = [str(a) for a in range(arr.shape[1])]
+        names = [str(c) for c in command_names]
+        if len(names) != arr.shape[1]:
+            raise ValidationError(
+                f"{len(names)} command names for {arr.shape[1]} commands"
+            )
+        self._commands = tuple(names)
+        self._command_index = {c: i for i, c in enumerate(names)}
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def deterministic(
+        cls,
+        commands,
+        n_commands: int,
+        command_names: Sequence[str] | None = None,
+    ) -> "MarkovPolicy":
+        """Build from a vector of per-state command indices or names."""
+        if command_names is not None:
+            index = {str(c): i for i, c in enumerate(command_names)}
+            resolved = [
+                c if isinstance(c, (int, np.integer)) else index[str(c)]
+                for c in commands
+            ]
+        else:
+            resolved = [int(c) for c in commands]
+        matrix = np.zeros((len(resolved), int(n_commands)))
+        for state, command in enumerate(resolved):
+            if not 0 <= int(command) < n_commands:
+                raise ValidationError(
+                    f"command index {command} out of range [0, {n_commands})"
+                )
+            matrix[state, int(command)] = 1.0
+        return cls(matrix, command_names)
+
+    @classmethod
+    def constant(
+        cls,
+        command,
+        n_states: int,
+        n_commands: int,
+        command_names: Sequence[str] | None = None,
+    ) -> "MarkovPolicy":
+        """The constant policy issuing the same command in every state."""
+        return cls.deterministic(
+            [command] * int(n_states), n_commands, command_names
+        )
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def matrix(self) -> np.ndarray:
+        """The ``(n_states, n_commands)`` policy matrix (copy)."""
+        return self._matrix.copy()
+
+    @property
+    def n_states(self) -> int:
+        """Number of states the policy is defined on."""
+        return self._matrix.shape[0]
+
+    @property
+    def n_commands(self) -> int:
+        """Number of commands."""
+        return self._matrix.shape[1]
+
+    @property
+    def command_names(self) -> tuple[str, ...]:
+        """Command names, in index order."""
+        return self._commands
+
+    @property
+    def is_deterministic(self) -> bool:
+        """True when every row puts all mass on one command."""
+        return bool(np.all(self._matrix.max(axis=1) > 1.0 - 1e-12))
+
+    def probability(self, state: int, command) -> float:
+        """Probability of issuing ``command`` in ``state``."""
+        if isinstance(command, (int, np.integer)):
+            a = int(command)
+        else:
+            a = self._command_index[str(command)]
+        return float(self._matrix[int(state), a])
+
+    def greedy_commands(self) -> np.ndarray:
+        """Most likely command index per state (ties to lowest index)."""
+        return np.argmax(self._matrix, axis=1)
+
+    def as_deterministic(self) -> np.ndarray:
+        """Per-state command indices; raises if the policy is randomized."""
+        if not self.is_deterministic:
+            raise ValidationError("policy is randomized, not deterministic")
+        return self.greedy_commands()
+
+    def randomization_degree(self) -> float:
+        """Total probability mass off the per-row argmax (0 = deterministic)."""
+        return float(np.sum(1.0 - self._matrix.max(axis=1)))
+
+    def sample_command(self, state: int, rng: np.random.Generator) -> int:
+        """Draw a command for ``state`` from the policy's row distribution."""
+        row = self._matrix[int(state)]
+        return int(rng.choice(row.size, p=row))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MarkovPolicy):
+            return NotImplemented
+        return (
+            self._commands == other._commands
+            and self._matrix.shape == other._matrix.shape
+            and bool(np.allclose(self._matrix, other._matrix, atol=1e-9))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "deterministic" if self.is_deterministic else "randomized"
+        return (
+            f"MarkovPolicy({kind}, n_states={self.n_states}, "
+            f"commands={self._commands})"
+        )
+
+    # ------------------------------------------------------------------
+    # persistence — policies are deployment artifacts ("easy to store
+    # and implement", paper Section III-B), so they serialize to JSON.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable representation of the policy."""
+        return {
+            "command_names": list(self._commands),
+            "matrix": self._matrix.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MarkovPolicy":
+        """Rebuild a policy written by :meth:`to_dict`."""
+        try:
+            matrix = payload["matrix"]
+            commands = payload["command_names"]
+        except (TypeError, KeyError) as exc:
+            raise ValidationError(
+                f"policy payload must have 'matrix' and 'command_names': {exc}"
+            ) from exc
+        return cls(matrix, commands)
+
+    def save(self, path) -> None:
+        """Write the policy to ``path`` as JSON."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "MarkovPolicy":
+        """Read a policy written by :meth:`save`."""
+        import json
+        from pathlib import Path
+
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+@dataclass
+class PolicyEvaluation:
+    """Exact discounted evaluation of a policy on a system.
+
+    Attributes
+    ----------
+    gamma:
+        Discount factor used.
+    expected_horizon:
+        ``1 / (1 - gamma)`` — the expected session length in slices.
+    occupancy:
+        Discounted expected visits per joint state (sums to the
+        horizon).
+    frequencies:
+        State-action frequencies ``x[s, a]`` (the LP unknowns).
+    totals:
+        Metric name -> total discounted expected value (paper Eq. 8
+        summed over time).
+    averages:
+        Metric name -> per-slice average (total × ``(1 - gamma)``) —
+        the numbers the paper's figures report.
+    """
+
+    gamma: float
+    expected_horizon: float
+    occupancy: np.ndarray = field(repr=False)
+    frequencies: np.ndarray = field(repr=False)
+    totals: dict[str, float] = field(default_factory=dict)
+    averages: dict[str, float] = field(default_factory=dict)
+
+
+def evaluate_policy(
+    system: PowerManagedSystem,
+    costs: CostModel,
+    policy: MarkovPolicy,
+    gamma: float,
+    initial_distribution=None,
+) -> PolicyEvaluation:
+    """Exact closed-form evaluation of ``policy`` under discounting.
+
+    Parameters
+    ----------
+    system:
+        The composed system.
+    costs:
+        Metrics to evaluate; every registered metric is reported.
+    policy:
+        The (possibly randomized) Markov stationary policy.
+    gamma:
+        Discount factor in [0, 1); expected horizon ``1/(1-gamma)``.
+    initial_distribution:
+        Initial joint-state distribution; defaults to uniform.
+    """
+    gamma = check_probability(gamma, "gamma")
+    if gamma >= 1.0:
+        raise ValidationError("evaluation requires gamma < 1")
+    if policy.n_states != system.n_states or policy.n_commands != system.n_commands:
+        raise ValidationError(
+            f"policy shape ({policy.n_states}, {policy.n_commands}) does not "
+            f"match system ({system.n_states}, {system.n_commands})"
+        )
+    if initial_distribution is None:
+        initial_distribution = system.uniform_distribution()
+    p0 = system.check_distribution(initial_distribution)
+
+    P_pi = system.chain.policy_matrix(policy.matrix)
+    occupancy = discounted_occupancy(P_pi, gamma, p0)
+    frequencies = occupancy[:, None] * policy.matrix
+
+    totals: dict[str, float] = {}
+    averages: dict[str, float] = {}
+    for name in costs.metric_names:
+        total = costs.evaluate(name, frequencies)
+        totals[name] = total
+        averages[name] = total * (1.0 - gamma)
+
+    return PolicyEvaluation(
+        gamma=gamma,
+        expected_horizon=1.0 / (1.0 - gamma),
+        occupancy=occupancy,
+        frequencies=frequencies,
+        totals=totals,
+        averages=averages,
+    )

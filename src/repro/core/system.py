@@ -1,0 +1,313 @@
+"""The Markov composer: joint system chain of SP, SR and SQ (paper Eq. 4).
+
+The composed system is a controlled Markov chain over triples
+``x = (s, r, q)`` (provider state, requester state, queue length) with
+the provider's command set.  Following paper Example 3.5, arrivals
+materialize *with* the SR transition and may be serviced in the same
+slice, so the one-step probability factorizes as::
+
+    P[(s,r,q) -> (s',r',q') | a]
+        = P_SP^a[s, s'] * P_SR[r, r'] * P_SQ^{sigma(s,a), z(r')}[q, q']
+
+(see DESIGN.md, "Queue/SR timing convention").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.components import ServiceProvider, ServiceQueue, ServiceRequester
+from repro.markov.controlled import ControlledMarkovChain
+from repro.util.validation import ValidationError, check_distribution
+
+
+@dataclass(frozen=True)
+class SystemState:
+    """A joint system state ``(provider, requester, queue)``.
+
+    Attributes
+    ----------
+    provider:
+        Service-provider state name.
+    requester:
+        Service-requester state name.
+    queue:
+        Number of enqueued requests.
+    """
+
+    provider: str
+    requester: str
+    queue: int
+
+    def __str__(self) -> str:
+        return f"({self.provider},{self.requester},{self.queue})"
+
+
+class PowerManagedSystem:
+    """Joint controlled Markov chain of a power-managed system.
+
+    Parameters
+    ----------
+    provider:
+        The service provider (resource under PM control).
+    requester:
+        The workload model.
+    queue:
+        The bounded request queue; ``ServiceQueue(0)`` models systems
+        without buffering (paper's CPU case study).
+
+    Examples
+    --------
+    Composing the paper's running example gives the 8-state chain of
+    Example 3.5::
+
+        >>> from repro.systems import example_system
+        >>> system = example_system.build().system
+        >>> system.n_states
+        8
+        >>> system.n_commands
+        2
+    """
+
+    def __init__(
+        self,
+        provider: ServiceProvider,
+        requester: ServiceRequester,
+        queue: ServiceQueue,
+    ):
+        if not isinstance(provider, ServiceProvider):
+            raise ValidationError("provider must be a ServiceProvider")
+        if not isinstance(requester, ServiceRequester):
+            raise ValidationError("requester must be a ServiceRequester")
+        if not isinstance(queue, ServiceQueue):
+            raise ValidationError("queue must be a ServiceQueue")
+        self._sp = provider
+        self._sr = requester
+        self._sq = queue
+
+        n_sp = provider.n_states
+        n_sr = requester.n_states
+        n_q = queue.n_states
+        self._n_states = n_sp * n_sr * n_q
+
+        # Decomposition arrays: joint index -> component indices.
+        grid = np.indices((n_sp, n_sr, n_q))
+        self._sp_of = grid[0].reshape(-1)
+        self._sr_of = grid[1].reshape(-1)
+        self._q_of = grid[2].reshape(-1)
+
+        self._states = tuple(
+            SystemState(
+                provider.state_names[self._sp_of[i]],
+                requester.state_names[self._sr_of[i]],
+                int(self._q_of[i]),
+            )
+            for i in range(self._n_states)
+        )
+        self._chain = self._compose()
+
+    # ------------------------------------------------------------------
+    # composition (paper Eq. 4)
+    # ------------------------------------------------------------------
+    def _compose(self) -> ControlledMarkovChain:
+        sp, sr, sq = self._sp, self._sr, self._sq
+        n_a = sp.n_commands
+        n_sp, n_sr, n_q = sp.n_states, sr.n_states, sq.n_states
+
+        sp_tensor = sp.chain.tensor  # (A, S, S)
+        sr_matrix = sr.chain.matrix  # (R, R)
+        rates = sp.service_rate_matrix  # (S, A)
+        arrivals = sr.arrival_counts  # (R,)
+
+        # Queue blocks QB[a, s, r', q, q'] depend on sigma(s, a) and
+        # z(r'); cache by (sigma, z) since few distinct pairs occur.
+        cache: dict[tuple[float, int], np.ndarray] = {}
+        qb = np.empty((n_a, n_sp, n_sr, n_q, n_q))
+        for a in range(n_a):
+            for s in range(n_sp):
+                sigma = float(rates[s, a])
+                for r_next in range(n_sr):
+                    z = int(arrivals[r_next])
+                    key = (sigma, z)
+                    if key not in cache:
+                        cache[key] = sq.transition_matrix(sigma, z)
+                    qb[a, s, r_next] = cache[key]
+
+        # T[a, (s,r,q), (s',r',q')] = SP[a,s,s'] SR[r,r'] QB[a,s,r',q,q']
+        joint = np.einsum("aij,kl,ailmn->aikmjln", sp_tensor, sr_matrix, qb)
+        n = self._n_states
+        matrices = joint.reshape(n_a, n, n)
+        names = [str(state) for state in self._states]
+        return ControlledMarkovChain(
+            list(matrices), state_names=names, command_names=sp.command_names
+        )
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def provider(self) -> ServiceProvider:
+        """The service provider component."""
+        return self._sp
+
+    @property
+    def requester(self) -> ServiceRequester:
+        """The service requester component."""
+        return self._sr
+
+    @property
+    def queue(self) -> ServiceQueue:
+        """The queue component."""
+        return self._sq
+
+    @property
+    def chain(self) -> ControlledMarkovChain:
+        """The composed joint controlled Markov chain."""
+        return self._chain
+
+    @property
+    def n_states(self) -> int:
+        """Number of joint states (``|S| * |R| * (Q+1)``)."""
+        return self._n_states
+
+    @property
+    def n_commands(self) -> int:
+        """Number of PM commands."""
+        return self._sp.n_commands
+
+    @property
+    def command_names(self) -> tuple[str, ...]:
+        """Command names, in index order."""
+        return self._sp.command_names
+
+    @property
+    def states(self) -> tuple[SystemState, ...]:
+        """All joint states in index order."""
+        return self._states
+
+    def state(self, index: int) -> SystemState:
+        """The :class:`SystemState` at joint index ``index``."""
+        return self._states[int(index)]
+
+    def state_index(self, provider, requester, queue: int) -> int:
+        """Joint index of ``(provider, requester, queue)``."""
+        s = self._sp.chain.state_index(provider)
+        r = self._sr.chain.state_index(requester)
+        q = int(queue)
+        if not 0 <= q <= self._sq.capacity:
+            raise ValidationError(
+                f"queue length {q} out of range [0, {self._sq.capacity}]"
+            )
+        return (s * self._sr.n_states + r) * self._sq.n_states + q
+
+    @property
+    def provider_index_of_state(self) -> np.ndarray:
+        """For each joint state, the SP state index (copy)."""
+        return self._sp_of.copy()
+
+    @property
+    def requester_index_of_state(self) -> np.ndarray:
+        """For each joint state, the SR state index (copy)."""
+        return self._sr_of.copy()
+
+    @property
+    def queue_length_of_state(self) -> np.ndarray:
+        """For each joint state, the queue length (copy)."""
+        return self._q_of.copy()
+
+    # ------------------------------------------------------------------
+    # cost building blocks
+    # ------------------------------------------------------------------
+    def expand_provider_table(self, table: np.ndarray) -> np.ndarray:
+        """Lift an ``(n_sp_states, n_commands)`` table to joint states.
+
+        Row ``x`` of the result equals row ``s(x)`` of ``table`` — used
+        to turn the SP power table into the joint power cost.
+        """
+        table = np.asarray(table, dtype=float)
+        expected = (self._sp.n_states, self.n_commands)
+        if table.shape != expected:
+            raise ValidationError(
+                f"table must have shape {expected}, got {table.shape}"
+            )
+        return table[self._sp_of]
+
+    def power_cost_matrix(self) -> np.ndarray:
+        """Joint ``(n_states, n_commands)`` power cost (paper's m)."""
+        return self.expand_provider_table(self._sp.power_matrix)
+
+    def queue_length_penalty_matrix(self) -> np.ndarray:
+        """Penalty ``g(x, a) = q`` — the paper's default performance cost."""
+        return np.repeat(
+            self._q_of.astype(float)[:, None], self.n_commands, axis=1
+        )
+
+    def request_loss_indicator_matrix(self) -> np.ndarray:
+        """Indicator of the loss-risk condition (paper Appendix A).
+
+        1 for states where the SR issues requests *and* the queue is
+        full; the LP bounds the discounted frequency of this event.
+        """
+        arrivals = self._sr.arrival_counts
+        issuing = arrivals[self._sr_of] > 0
+        full = self._q_of == self._sq.capacity
+        indicator = (issuing & full).astype(float)
+        return np.repeat(indicator[:, None], self.n_commands, axis=1)
+
+    def expected_loss_matrix(self) -> np.ndarray:
+        """Expected requests lost per slice from each (state, command).
+
+        A finer-grained loss metric than the indicator: averages the
+        overflow of the queue law over the next SR state.
+        """
+        sr_matrix = self._sr.chain.matrix
+        arrivals = self._sr.arrival_counts
+        rates = self._sp.service_rate_matrix
+        out = np.zeros((self.n_states, self.n_commands))
+        loss_cache: dict[tuple[int, float, int], float] = {}
+        for x in range(self.n_states):
+            s = int(self._sp_of[x])
+            r = int(self._sr_of[x])
+            q = int(self._q_of[x])
+            for a in range(self.n_commands):
+                sigma = float(rates[s, a])
+                total = 0.0
+                for r_next in range(self._sr.n_states):
+                    z = int(arrivals[r_next])
+                    key = (q, sigma, z)
+                    if key not in loss_cache:
+                        loss_cache[key] = self._sq.expected_loss(q, sigma, z)
+                    total += sr_matrix[r, r_next] * loss_cache[key]
+                out[x, a] = total
+        return out
+
+    # ------------------------------------------------------------------
+    # initial distributions
+    # ------------------------------------------------------------------
+    def point_distribution(self, provider, requester, queue: int) -> np.ndarray:
+        """Initial distribution concentrated on one joint state."""
+        p0 = np.zeros(self.n_states)
+        p0[self.state_index(provider, requester, queue)] = 1.0
+        return p0
+
+    def uniform_distribution(self) -> np.ndarray:
+        """Uniform initial distribution over joint states."""
+        return np.full(self.n_states, 1.0 / self.n_states)
+
+    def check_distribution(self, p0) -> np.ndarray:
+        """Validate an initial distribution for this system."""
+        arr = check_distribution(p0, "initial_distribution")
+        if arr.size != self.n_states:
+            raise ValidationError(
+                f"initial distribution has {arr.size} entries for "
+                f"{self.n_states} states"
+            )
+        return arr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PowerManagedSystem(n_states={self.n_states}, "
+            f"commands={self.command_names})"
+        )

@@ -1,0 +1,84 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every module exposes ``run(quick=False, seed=0) -> ExperimentResult``;
+``quick=True`` shrinks simulation lengths for benchmark loops while
+keeping every code path.  The registry in :mod:`~repro.experiments.runner`
+maps experiment ids (``"table1"``, ``"fig6"``, ...) to drivers; the CLI
+(``repro-dpm experiment <id>``) and the benchmark suite both go through
+it.
+
+Absolute numbers depend on our substituted workloads (see DESIGN.md);
+what each driver *asserts* are the paper's shape claims — who wins, in
+which direction each parameter pushes the optimum, where constraints
+dominate.  The assertions live in ``ExperimentResult.checks`` so both
+tests and benchmarks can verify them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment driver.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry id (e.g. ``"fig8"``).
+    title:
+        Human-readable description, naming the paper artifact.
+    tables:
+        Rendered text tables — the rows/series the paper reports.
+    data:
+        Structured numeric results (series name -> list/dict), for
+        programmatic consumption by tests.
+    checks:
+        Named qualitative assertions: ``{name: bool}``.  These encode
+        the paper's shape claims and must all be True.
+    """
+
+    experiment_id: str
+    title: str
+    tables: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+    checks: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        """True when every recorded qualitative check holds."""
+        return all(self.checks.values())
+
+    @property
+    def failed_checks(self) -> list[str]:
+        """Names of the checks that failed."""
+        return [name for name, ok in self.checks.items() if not ok]
+
+    def render(self) -> str:
+        """The full printable report for this experiment."""
+        parts = [f"=== {self.experiment_id}: {self.title} ==="]
+        parts.extend(self.tables)
+        if self.checks:
+            status = ", ".join(
+                f"{name}={'PASS' if ok else 'FAIL'}"
+                for name, ok in self.checks.items()
+            )
+            parts.append(f"checks: {status}")
+        return "\n\n".join(parts)
+
+
+from repro.experiments.runner import (  # noqa: E402 - re-export
+    available_experiments,
+    get_experiment,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "available_experiments",
+    "get_experiment",
+    "run_experiment",
+    "run_all",
+]

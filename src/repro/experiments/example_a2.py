@@ -1,0 +1,90 @@
+"""Example A.2 — the paper's fully worked optimization instance.
+
+The running example system is optimized for minimum power with
+gamma = 0.99999 from initial state (on, no request, empty queue), under
+an average-queue-length bound of 0.5 and a request-loss bound of 0.2.
+The paper reports:
+
+* minimum expected power 1.798 W ("the optimal policy reduces power
+  consumption of almost a factor of two with respect to the trivial
+  policy that never shuts down the SP", whose power is 3 W);
+* a *randomized* optimal policy (both constraints are active, so by
+  Theorem A.2 the optimum cannot be deterministic), with decision
+  (on, 0, 0) -> s_off issued with probability 0.226.
+
+Our reconstruction of the (OCR-garbled) power table yields 1.74 W with
+the same qualitative structure; the checks assert the band and the
+randomization, and verify both constraints are exactly active.
+"""
+
+from __future__ import annotations
+
+from repro.core.costs import LOSS, PENALTY, POWER
+from repro.core.optimizer import PolicyOptimizer
+from repro.experiments import ExperimentResult
+from repro.systems import example_system
+from repro.util.tables import format_table
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Reproduce Example A.2 (quick/seed unused — one LP solve)."""
+    bundle = example_system.build()
+    optimizer = PolicyOptimizer(
+        bundle.system,
+        bundle.costs,
+        gamma=bundle.gamma,
+        initial_distribution=bundle.initial_distribution,
+    )
+    result = optimizer.minimize_power(
+        penalty_bound=example_system.PAPER_PENALTY_BOUND_A2,
+        loss_bound=example_system.PAPER_LOSS_BOUND_A2,
+    ).require_feasible()
+
+    power = result.average(POWER)
+    penalty = result.average(PENALTY)
+    loss = result.average(LOSS)
+    policy = result.policy
+
+    always_on = 3.0  # SP power when held on
+    checks = {
+        # 1.798 W in the paper; our power-table reconstruction gives a
+        # value in the same band, far below always-on.
+        "power_in_paper_band": 1.55 <= power <= 1.95,
+        "nearly_halves_always_on": power < 0.65 * always_on,
+        "penalty_constraint_active": abs(penalty - 0.5) < 1e-6,
+        "loss_constraint_active": abs(loss - 0.2) < 1e-6,
+        # Theorem A.2: active constraints -> randomized optimal policy.
+        "policy_is_randomized": not policy.is_deterministic,
+    }
+
+    rows = [
+        (str(state), policy.matrix[i, 0], policy.matrix[i, 1])
+        for i, state in enumerate(bundle.system.states)
+    ]
+    table_policy = format_table(
+        ["state (sp,sr,q)", "P(s_on)", "P(s_off)"],
+        rows,
+        title="Example A.2 — optimal randomized policy matrix",
+    )
+    table_metrics = format_table(
+        ["metric", "value", "paper"],
+        [
+            ("min expected power (W)", power, example_system.PAPER_MINIMUM_POWER_A2),
+            ("avg queue length", penalty, 0.5),
+            ("request-loss probability", loss, 0.2),
+        ],
+        title="Example A.2 — optimum vs the paper's reported numbers",
+    )
+    return ExperimentResult(
+        experiment_id="example_a2",
+        title="Worked optimization instance (Example A.2)",
+        tables=[table_metrics, table_policy],
+        data={
+            "power": power,
+            "penalty": penalty,
+            "loss": loss,
+            "paper_power": example_system.PAPER_MINIMUM_POWER_A2,
+            "policy": policy.matrix.tolist(),
+        },
+        checks=checks,
+    )

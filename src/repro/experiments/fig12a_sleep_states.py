@@ -1,0 +1,115 @@
+"""Fig. 12(a) — power versus the set of available sleep states.
+
+Appendix B's first sensitivity study: six alternative SP structures
+drawn from the sleep-state menu are optimized for minimum power under a
+tight and a loose performance constraint.
+
+Shape claims asserted (all from the paper's discussion):
+
+* "Having more than one sleep state improves power, but many multiple
+  sleep states are not always useful" — adding states never hurts
+  (supersets achieve <= power), and for this workload adding states
+  beyond sleep2 yields (almost) nothing;
+* "introducing state sleep2 brings a sizable power reduction" — the
+  sleep2 structures beat the sleep1 baseline by a clear margin at the
+  loose constraint;
+* "When the constraint is tight ... deep sleep states ... are less
+  effective" — savings at the tight constraint are smaller than at the
+  loose one;
+* "the system with only the active and the sleep4 state performs
+  better than the baseline" — sleep4-only < sleep1-only.
+"""
+
+from __future__ import annotations
+
+from repro.core.optimizer import PolicyOptimizer
+from repro.experiments import ExperimentResult
+from repro.systems import baseline
+from repro.util.tables import format_table
+
+#: Six SP structures, as in the paper's figure (menu subsets).
+STRUCTURES = (
+    ("sleep1",),
+    ("sleep2",),
+    ("sleep4",),
+    ("sleep1", "sleep2"),
+    ("sleep1", "sleep2", "sleep3"),
+    ("sleep1", "sleep2", "sleep3", "sleep4"),
+)
+
+TIGHT_PENALTY = 0.1
+LOOSE_PENALTY = 0.9
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Regenerate Fig. 12(a) (quick/seed unused — pure LP solves)."""
+    rows = []
+    results = {}
+    for structure in STRUCTURES:
+        bundle = baseline.build(sleep_states=list(structure))
+        optimizer = PolicyOptimizer(
+            bundle.system,
+            bundle.costs,
+            gamma=bundle.gamma,
+            initial_distribution=bundle.initial_distribution,
+        )
+        tight = optimizer.minimize_power(penalty_bound=TIGHT_PENALTY)
+        loose = optimizer.minimize_power(penalty_bound=LOOSE_PENALTY)
+        tight.require_feasible()
+        loose.require_feasible()
+        key = "+".join(structure)
+        results[key] = {
+            "tight": tight.average("power"),
+            "loose": loose.average("power"),
+        }
+        rows.append((key, tight.average("power"), loose.average("power")))
+
+    def loose_power(key: str) -> float:
+        return results[key]["loose"]
+
+    def tight_power(key: str) -> float:
+        return results[key]["tight"]
+
+    full = "sleep1+sleep2+sleep3+sleep4"
+    checks = {
+        # Supersets never hurt.
+        "superset_never_worse_loose": (
+            loose_power("sleep1+sleep2") <= loose_power("sleep1") + 1e-9
+            and loose_power(full) <= loose_power("sleep1+sleep2") + 1e-9
+        ),
+        "superset_never_worse_tight": (
+            tight_power("sleep1+sleep2") <= tight_power("sleep1") + 1e-9
+            and tight_power(full) <= tight_power("sleep1+sleep2") + 1e-9
+        ),
+        # sleep2 is the big win for this workload...
+        "sleep2_sizable_reduction": (
+            loose_power("sleep2") < loose_power("sleep1") - 0.3
+        ),
+        # ...and deeper states add (almost) nothing beyond it.
+        "deeper_states_marginal": (
+            loose_power("sleep1+sleep2") - loose_power(full) < 0.05
+        ),
+        # Deep sleep states are less usable under the tight constraint.
+        "tight_savings_smaller": (
+            (tight_power("sleep1") - tight_power(full))
+            < (loose_power("sleep1") - loose_power(full))
+        ),
+        # Fewer-but-better states can beat the baseline.
+        "sleep4_only_beats_sleep1_only": (
+            loose_power("sleep4") < loose_power("sleep1")
+        ),
+    }
+
+    table = format_table(
+        ["sleep states", f"power (penalty<={TIGHT_PENALTY})",
+         f"power (penalty<={LOOSE_PENALTY})"],
+        rows,
+        title="Fig. 12(a) — minimum power vs available sleep states",
+    )
+    return ExperimentResult(
+        experiment_id="fig12a",
+        title="Sensitivity to the sleep-state structure (Fig. 12a)",
+        tables=[table],
+        data={"results": results},
+        checks=checks,
+    )

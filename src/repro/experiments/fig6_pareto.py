@@ -1,0 +1,148 @@
+"""Fig. 6 — Pareto curves of the running example under loss constraints.
+
+The paper sweeps the performance constraint (average queue length) for
+three request-loss constraint settings and plots minimum power:
+
+* a loose loss bound — performance dominates everywhere (lowest curve);
+* a very tight loss bound — the resource can never afford to sleep and
+  power stays maximal (topmost, flat curve);
+* an intermediate bound — flat where loss dominates, then both
+  constraints active, then performance dominates (the "interesting
+  intermediate situation").
+
+An infeasible region exists on the left: no policy can push the average
+queue below the unconstrained minimum (paper: "it is impossible to
+achieve average queue smaller than 0.175").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.costs import PENALTY, POWER
+from repro.core.optimizer import PolicyOptimizer
+from repro.core.pareto import min_achievable, trade_off_curve
+from repro.experiments import ExperimentResult
+from repro.systems import example_system
+from repro.util.tables import format_table
+
+#: Loss-bound settings: loose / intermediate / tight.  The system's
+#: minimum achievable loss is ~0.157 (the always-on policy) and the
+#: loss metric saturates at ~0.25 (the workload's busy probability), so
+#: 0.16 forces the resource to stay on (the paper's topmost flat
+#: curve), 0.21 gives the mixed-dominance middle curve and 0.5 never
+#: binds (the lowest curve).
+LOSS_BOUNDS = (0.5, 0.21, 0.16)
+
+#: Performance-constraint sweep (average queue length).
+PENALTY_BOUNDS = (0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Sweep the three Pareto curves of Fig. 6 (quick/seed unused)."""
+    bundle = example_system.build()
+    optimizer = PolicyOptimizer(
+        bundle.system,
+        bundle.costs,
+        gamma=bundle.gamma,
+        initial_distribution=bundle.initial_distribution,
+    )
+
+    floor = min_achievable(optimizer, PENALTY)
+    curves = {}
+    for loss_bound in LOSS_BOUNDS:
+        curves[loss_bound] = trade_off_curve(
+            optimizer,
+            PENALTY_BOUNDS,
+            objective=POWER,
+            constraint=PENALTY,
+            extra_upper_bounds={"loss": loss_bound},
+        )
+
+    rows = []
+    for bound in PENALTY_BOUNDS:
+        row = [bound]
+        for loss_bound in LOSS_BOUNDS:
+            point = next(
+                p for p in curves[loss_bound].points if abs(p.bound - bound) < 1e-12
+            )
+            row.append(point.objective if point.feasible else float("nan"))
+        rows.append(row)
+
+    loose, middle, tight = (curves[b] for b in LOSS_BOUNDS)
+    checks = {
+        "infeasible_region_exists": floor > 0.05,
+        "loose_curve_convex": loose.is_convex(),
+        "loose_curve_non_increasing": loose.is_non_increasing(),
+        "middle_curve_non_increasing": middle.is_non_increasing(),
+        # Tighter loss bounds can only cost more power, pointwise.
+        "tight_dominates_loose": _pointwise_at_least(tight, loose),
+        "middle_between": (
+            _pointwise_at_least(middle, loose)
+            and _pointwise_at_least(tight, middle)
+        ),
+        # The tight curve goes flat: loss dominates and the performance
+        # constraint stops mattering on the loose end of the sweep.
+        "tight_curve_flat_region": _has_flat_tail(tight),
+        # The middle curve shows the paper's intermediate behaviour: a
+        # loss-dominated flat region at loose penalty bounds, but it
+        # still departs from the loose curve somewhere.
+        "middle_curve_flat_region": _has_flat_tail(middle),
+        "middle_differs_from_loose": any(
+            p.feasible
+            and q.feasible
+            and abs(p.objective - q.objective) > 1e-6
+            for p, q in zip(middle.points, loose.points)
+        ),
+        # Below the floor every problem is infeasible.
+        "floor_is_sharp": all(
+            not p.feasible for p in loose.points if p.bound < floor - 1e-6
+        ),
+    }
+
+    table = format_table(
+        ["penalty_bound"] + [f"power(loss<={b})" for b in LOSS_BOUNDS],
+        rows,
+        title=(
+            "Fig. 6 — minimum power vs average-queue-length bound "
+            f"(infeasible below penalty ~{floor:.3f})"
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Pareto curves of the running example (Fig. 6)",
+        tables=[table],
+        data={
+            "penalty_floor": floor,
+            "loss_bounds": list(LOSS_BOUNDS),
+            "penalty_bounds": list(PENALTY_BOUNDS),
+            "curves": {
+                str(b): {
+                    "bounds": list(curves[b].bounds),
+                    "powers": list(curves[b].objectives),
+                }
+                for b in LOSS_BOUNDS
+            },
+        },
+        checks=checks,
+    )
+
+
+def _pointwise_at_least(upper, lower) -> bool:
+    """``upper``'s power >= ``lower``'s at every bound both solved."""
+    lower_by_bound = {p.bound: p.objective for p in lower.points if p.feasible}
+    for point in upper.points:
+        if not point.feasible or point.bound not in lower_by_bound:
+            continue
+        if point.objective < lower_by_bound[point.bound] - 1e-9:
+            return False
+    return True
+
+
+def _has_flat_tail(curve) -> bool:
+    """True when the last few feasible points are (nearly) constant."""
+    ys = np.asarray([p.objective for p in curve.points if p.feasible])
+    if ys.size < 3:
+        return False
+    tail = ys[-3:]
+    return bool(tail.max() - tail.min() <= 1e-6 + 1e-3 * abs(tail.mean()))

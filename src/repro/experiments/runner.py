@@ -1,0 +1,58 @@
+"""Experiment registry: id -> driver, with lazy imports.
+
+Experiment ids follow the paper's artifact names (``table1``, ``fig6``,
+``fig8`` ...).  Drivers are imported on first use so that importing
+:mod:`repro.experiments` stays cheap.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+#: Experiment id -> module path (each module exposes ``run``).
+_REGISTRY: dict[str, str] = {
+    "table1": "repro.experiments.table1_disk",
+    "fig6": "repro.experiments.fig6_pareto",
+    "fig8a": "repro.experiments.fig8a_disk_graph",
+    "fig8": "repro.experiments.fig8_disk",
+    "fig9a": "repro.experiments.fig9a_web_server",
+    "fig9b": "repro.experiments.fig9b_cpu",
+    "fig10": "repro.experiments.fig10_nonstationary",
+    "fig12a": "repro.experiments.fig12a_sleep_states",
+    "fig12b": "repro.experiments.fig12b_transition_cost",
+    "fig13a": "repro.experiments.fig13a_burstiness",
+    "fig13b": "repro.experiments.fig13b_sr_memory",
+    "fig14a": "repro.experiments.fig14a_horizon",
+    "fig14b": "repro.experiments.fig14b_queue_length",
+    "example_a2": "repro.experiments.example_a2",
+}
+
+
+def available_experiments() -> tuple[str, ...]:
+    """All registered experiment ids, in paper order."""
+    return tuple(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> Callable:
+    """The ``run`` callable for ``experiment_id``."""
+    if experiment_id not in _REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(_REGISTRY)}"
+        )
+    module = importlib.import_module(_REGISTRY[experiment_id])
+    return module.run
+
+
+def run_experiment(experiment_id: str, quick: bool = False, seed: int = 0):
+    """Run one experiment and return its :class:`ExperimentResult`."""
+    return get_experiment(experiment_id)(quick=quick, seed=seed)
+
+
+def run_all(quick: bool = False, seed: int = 0) -> dict:
+    """Run every registered experiment; returns ``{id: result}``."""
+    return {
+        experiment_id: run_experiment(experiment_id, quick=quick, seed=seed)
+        for experiment_id in _REGISTRY
+    }

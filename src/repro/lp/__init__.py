@@ -1,0 +1,35 @@
+"""Linear programming substrate.
+
+The paper's policy-optimization tool is built around PCx, an interior
+point LP solver.  This package provides the equivalent layer:
+
+* :class:`~repro.lp.problem.LinearProgram` — a dense LP container
+  ``min c.x  s.t.  A_eq x = b_eq, A_ub x <= b_ub, x >= 0`` with
+  conversion to standard equality form;
+* :mod:`~repro.lp.interior_point` — a from-scratch Mehrotra
+  predictor–corrector primal–dual interior-point solver (the PCx
+  stand-in);
+* :mod:`~repro.lp.simplex` — a from-scratch two-phase revised simplex
+  with Bland's anti-cycling rule;
+* :mod:`~repro.lp.scipy_backend` — scipy's HiGHS, the default
+  production backend;
+* :func:`~repro.lp.solve.solve_lp` — the single entry point used by the
+  optimizer, with backend selection and optional cross-checking.
+
+All three backends are interchangeable on the policy-optimization LPs
+(a few hundred unknowns at most) and are cross-validated in the test
+suite.
+"""
+
+from repro.lp.problem import LinearProgram, StandardFormLP
+from repro.lp.result import LPResult, LPStatus
+from repro.lp.solve import available_backends, solve_lp
+
+__all__ = [
+    "LinearProgram",
+    "StandardFormLP",
+    "LPResult",
+    "LPStatus",
+    "solve_lp",
+    "available_backends",
+]

@@ -1,0 +1,224 @@
+"""Dense linear program container and standard-form conversion.
+
+The policy-optimization LPs (paper Appendix A, LP2/LP3/LP4) are small
+and dense — one unknown per (state, command) pair — so this layer keeps
+everything as NumPy arrays and favors clarity over sparse machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import ValidationError
+
+
+@dataclass(frozen=True)
+class StandardFormLP:
+    """An LP in standard equality form: ``min c.x  s.t.  A x = b, x >= 0``.
+
+    Attributes
+    ----------
+    c, A, b:
+        Objective vector, constraint matrix and right-hand side.
+    n_original:
+        Number of leading variables that correspond to the original
+        problem (the remainder are slack variables).
+    """
+
+    c: np.ndarray
+    A: np.ndarray
+    b: np.ndarray
+    n_original: int
+
+    @property
+    def n_variables(self) -> int:
+        """Total variables including slacks."""
+        return self.c.size
+
+    @property
+    def n_constraints(self) -> int:
+        """Number of equality rows."""
+        return self.b.size
+
+    def extract_original(self, x: np.ndarray) -> np.ndarray:
+        """Project a standard-form solution back onto original variables."""
+        return np.asarray(x, dtype=float)[: self.n_original].copy()
+
+
+class LinearProgram:
+    """``min c.x  s.t.  A_eq x = b_eq, A_ub x <= b_ub, x >= 0``.
+
+    All variables are implicitly non-negative — exactly the form of the
+    state-action-frequency LPs.  Constraints may be added incrementally,
+    which is how the optimizer layers the balance equations, the power
+    budget and the request-loss budget (paper LP3 and the loss extension
+    of Appendix A).
+
+    Parameters
+    ----------
+    objective:
+        Coefficient vector ``c``.
+
+    Examples
+    --------
+    >>> lp = LinearProgram([1.0, 2.0])
+    >>> lp.add_equality([1.0, 1.0], 1.0)
+    >>> lp.add_inequality([1.0, 0.0], 0.75)
+    >>> lp.n_variables
+    2
+    """
+
+    def __init__(self, objective):
+        c = np.asarray(objective, dtype=float)
+        if c.ndim != 1 or c.size == 0:
+            raise ValidationError(f"objective must be a non-empty vector, got shape {c.shape}")
+        if not np.all(np.isfinite(c)):
+            raise ValidationError("objective contains non-finite entries")
+        self._c = c
+        self._eq_rows: list[np.ndarray] = []
+        self._eq_rhs: list[float] = []
+        self._ub_rows: list[np.ndarray] = []
+        self._ub_rhs: list[float] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _check_row(self, row) -> np.ndarray:
+        arr = np.asarray(row, dtype=float)
+        if arr.shape != (self._c.size,):
+            raise ValidationError(
+                f"constraint row has shape {arr.shape}, expected ({self._c.size},)"
+            )
+        if not np.all(np.isfinite(arr)):
+            raise ValidationError("constraint row contains non-finite entries")
+        return arr
+
+    def add_equality(self, row, rhs: float) -> None:
+        """Append the constraint ``row . x == rhs``."""
+        self._eq_rows.append(self._check_row(row))
+        rhs = float(rhs)
+        if not np.isfinite(rhs):
+            raise ValidationError(f"equality rhs must be finite, got {rhs!r}")
+        self._eq_rhs.append(rhs)
+
+    def add_inequality(self, row, rhs: float) -> None:
+        """Append the constraint ``row . x <= rhs``."""
+        self._ub_rows.append(self._check_row(row))
+        rhs = float(rhs)
+        if not np.isfinite(rhs):
+            raise ValidationError(f"inequality rhs must be finite, got {rhs!r}")
+        self._ub_rhs.append(rhs)
+
+    def add_lower_bound_inequality(self, row, rhs: float) -> None:
+        """Append ``row . x >= rhs`` (stored as ``-row . x <= -rhs``)."""
+        self.add_inequality(-self._check_row(row), -float(rhs))
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_variables(self) -> int:
+        """Number of decision variables."""
+        return self._c.size
+
+    @property
+    def n_equalities(self) -> int:
+        """Number of equality constraints added so far."""
+        return len(self._eq_rows)
+
+    @property
+    def n_inequalities(self) -> int:
+        """Number of inequality constraints added so far."""
+        return len(self._ub_rows)
+
+    @property
+    def c(self) -> np.ndarray:
+        """Objective vector (copy)."""
+        return self._c.copy()
+
+    @property
+    def A_eq(self) -> np.ndarray:
+        """Equality matrix, shape ``(n_equalities, n_variables)``."""
+        if not self._eq_rows:
+            return np.zeros((0, self._c.size))
+        return np.vstack(self._eq_rows)
+
+    @property
+    def b_eq(self) -> np.ndarray:
+        """Equality right-hand side."""
+        return np.asarray(self._eq_rhs, dtype=float)
+
+    @property
+    def A_ub(self) -> np.ndarray:
+        """Inequality matrix, shape ``(n_inequalities, n_variables)``."""
+        if not self._ub_rows:
+            return np.zeros((0, self._c.size))
+        return np.vstack(self._ub_rows)
+
+    @property
+    def b_ub(self) -> np.ndarray:
+        """Inequality right-hand side."""
+        return np.asarray(self._ub_rhs, dtype=float)
+
+    def objective_value(self, x) -> float:
+        """Evaluate ``c . x``."""
+        return float(self._c @ np.asarray(x, dtype=float))
+
+    # ------------------------------------------------------------------
+    # feasibility checking (used by tests and the cross-check harness)
+    # ------------------------------------------------------------------
+    def residuals(self, x) -> dict[str, float]:
+        """Worst-case constraint violations of a candidate point.
+
+        Returns a dict with keys ``equality`` (max ``|A_eq x - b_eq|``),
+        ``inequality`` (max positive part of ``A_ub x - b_ub``) and
+        ``bound`` (max positive part of ``-x``).
+        """
+        x = np.asarray(x, dtype=float)
+        eq = 0.0
+        if self._eq_rows:
+            eq = float(np.max(np.abs(self.A_eq @ x - self.b_eq)))
+        ub = 0.0
+        if self._ub_rows:
+            ub = float(np.max(np.clip(self.A_ub @ x - self.b_ub, 0.0, None)))
+        bound = float(np.max(np.clip(-x, 0.0, None))) if x.size else 0.0
+        return {"equality": eq, "inequality": ub, "bound": bound}
+
+    def is_feasible(self, x, tol: float = 1e-7) -> bool:
+        """True when ``x`` satisfies every constraint within ``tol``."""
+        res = self.residuals(x)
+        return all(v <= tol for v in res.values())
+
+    # ------------------------------------------------------------------
+    # standard form
+    # ------------------------------------------------------------------
+    def to_standard_form(self) -> StandardFormLP:
+        """Convert to ``min c.x  s.t.  A x = b, x >= 0``.
+
+        Each inequality gains one non-negative slack variable.  Rows of
+        the combined system with a negative right-hand side are *not*
+        sign-flipped here — backends that need ``b >= 0`` (phase-1
+        simplex) handle that locally.
+        """
+        n = self._c.size
+        n_ub = len(self._ub_rows)
+        c = np.concatenate([self._c, np.zeros(n_ub)])
+        blocks = []
+        rhs = []
+        if self._eq_rows:
+            eq_block = np.hstack([self.A_eq, np.zeros((self.n_equalities, n_ub))])
+            blocks.append(eq_block)
+            rhs.append(self.b_eq)
+        if n_ub:
+            ub_block = np.hstack([self.A_ub, np.eye(n_ub)])
+            blocks.append(ub_block)
+            rhs.append(self.b_ub)
+        if blocks:
+            A = np.vstack(blocks)
+            b = np.concatenate(rhs)
+        else:
+            A = np.zeros((0, n))
+            b = np.zeros(0)
+        return StandardFormLP(c=c, A=A, b=b, n_original=n)

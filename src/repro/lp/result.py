@@ -1,0 +1,76 @@
+"""Solver-independent result type for linear programs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class LPStatus(enum.Enum):
+    """Termination status of an LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+    NUMERICAL_ERROR = "numerical_error"
+
+    @property
+    def is_optimal(self) -> bool:
+        """True when the solver proved optimality."""
+        return self is LPStatus.OPTIMAL
+
+
+@dataclass
+class LPResult:
+    """Outcome of solving a :class:`~repro.lp.problem.LinearProgram`.
+
+    Attributes
+    ----------
+    status:
+        Termination status.
+    x:
+        Primal solution in the *original* variable space (``None`` unless
+        optimal).
+    objective:
+        Objective value ``c.x`` (``None`` unless optimal).
+    iterations:
+        Iterations taken by the backend (0 if unknown).
+    backend:
+        Name of the backend that produced this result.
+    dual_eq:
+        Dual multipliers of the equality constraints, when available.
+    dual_ub:
+        Dual multipliers of the inequality constraints, when available.
+    message:
+        Free-form diagnostic from the backend.
+    """
+
+    status: LPStatus
+    x: np.ndarray | None = None
+    objective: float | None = None
+    iterations: int = 0
+    backend: str = ""
+    dual_eq: np.ndarray | None = field(default=None, repr=False)
+    dual_ub: np.ndarray | None = field(default=None, repr=False)
+    message: str = ""
+
+    @property
+    def is_optimal(self) -> bool:
+        """True when the solve terminated at a proven optimum."""
+        return self.status.is_optimal
+
+    def require_optimal(self) -> "LPResult":
+        """Return self, raising :class:`InfeasibleError` otherwise."""
+        if not self.is_optimal:
+            raise InfeasibleError(
+                f"LP solve failed: status={self.status.value!r} "
+                f"backend={self.backend!r} message={self.message!r}"
+            )
+        return self
+
+
+class InfeasibleError(RuntimeError):
+    """Raised when an LP required to be solvable is not."""

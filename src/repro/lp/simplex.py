@@ -1,0 +1,220 @@
+"""Two-phase revised simplex with Bland's anti-cycling rule.
+
+A from-scratch dense simplex used as an independent baseline against the
+interior-point solver and scipy.  The policy-optimization LPs are small
+(one variable per state-command pair), so each iteration simply
+refactorizes the basis with :func:`numpy.linalg.solve` — clarity over
+asymptotics.
+
+Entering variables are chosen by Dantzig's rule (most negative reduced
+cost) for speed, switching permanently to Bland's rule (lowest index)
+after an iteration budget proportional to the problem size, which
+guarantees termination even on degenerate instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lp.problem import LinearProgram, StandardFormLP
+from repro.lp.result import LPResult, LPStatus
+
+#: Pivot tolerance: entries smaller than this are treated as zero.
+PIVOT_TOL = 1e-10
+#: Reduced-cost tolerance for optimality.
+COST_TOL = 1e-9
+#: Phase-1 objective above this value means the LP is infeasible.
+FEASIBILITY_TOL = 1e-7
+
+
+class _SimplexState:
+    """Mutable tableau-free simplex state over a standard-form LP."""
+
+    def __init__(self, A: np.ndarray, b: np.ndarray, c: np.ndarray, basis: list[int]):
+        self.A = A
+        self.b = b
+        self.c = c
+        self.basis = basis
+        self.iterations = 0
+
+    def solve_basis(self) -> np.ndarray:
+        """Current basic solution ``x_B = B^{-1} b``."""
+        B = self.A[:, self.basis]
+        return np.linalg.solve(B, self.b)
+
+    def run(self, max_iterations: int) -> str:
+        """Iterate to optimality; returns 'optimal' or 'unbounded'."""
+        m, n = self.A.shape
+        bland_after = max_iterations // 2
+        while True:
+            if self.iterations >= max_iterations:
+                return "iteration_limit"
+            self.iterations += 1
+            use_bland = self.iterations > bland_after
+
+            B = self.A[:, self.basis]
+            try:
+                x_b = np.linalg.solve(B, self.b)
+                y = np.linalg.solve(B.T, self.c[self.basis])
+            except np.linalg.LinAlgError:
+                return "numerical_error"
+
+            reduced = self.c - self.A.T @ y
+            reduced[self.basis] = 0.0
+            candidates = np.where(reduced < -COST_TOL)[0]
+            if candidates.size == 0:
+                return "optimal"
+            if use_bland:
+                entering = int(candidates[0])
+            else:
+                entering = int(candidates[np.argmin(reduced[candidates])])
+
+            direction = np.linalg.solve(B, self.A[:, entering])
+            positive = np.where(direction > PIVOT_TOL)[0]
+            if positive.size == 0:
+                return "unbounded"
+            ratios = x_b[positive] / direction[positive]
+            best = ratios.min()
+            ties = positive[np.where(ratios <= best + PIVOT_TOL)[0]]
+            if use_bland:
+                # Lowest *variable* index among ties (Bland's rule).
+                leaving_row = min(ties, key=lambda r: self.basis[r])
+            else:
+                # Largest pivot among ties for numerical stability.
+                leaving_row = max(ties, key=lambda r: direction[r])
+            self.basis[leaving_row] = entering
+
+
+def _prepare(A: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Flip rows so the right-hand side is non-negative."""
+    A = A.copy()
+    b = b.copy()
+    negative = b < 0
+    A[negative] *= -1.0
+    b[negative] *= -1.0
+    return A, b
+
+
+def solve_standard_form(
+    std: StandardFormLP, max_iterations: int | None = None
+) -> LPResult:
+    """Solve a standard-form LP with the two-phase revised simplex.
+
+    Parameters
+    ----------
+    std:
+        Problem in ``min c.x, A x = b, x >= 0`` form.
+    max_iterations:
+        Per-phase iteration budget; defaults to ``50 * (m + n) + 1000``.
+    """
+    A, b = _prepare(std.A, std.b)
+    c = std.c.copy()
+    m, n = A.shape
+    if max_iterations is None:
+        max_iterations = 50 * (m + n) + 1000
+
+    if m == 0:
+        # No constraints: optimum is x = 0 unless some cost is negative.
+        if np.any(c < -COST_TOL):
+            return LPResult(status=LPStatus.UNBOUNDED, backend="simplex")
+        x = np.zeros(n)
+        return LPResult(
+            status=LPStatus.OPTIMAL,
+            x=std.extract_original(x),
+            objective=0.0,
+            backend="simplex",
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 1: artificial variables form the starting identity basis.
+    # ------------------------------------------------------------------
+    A1 = np.hstack([A, np.eye(m)])
+    c1 = np.concatenate([np.zeros(n), np.ones(m)])
+    basis = list(range(n, n + m))
+    phase1 = _SimplexState(A1, b, c1, basis)
+    status = phase1.run(max_iterations)
+    if status in ("numerical_error", "iteration_limit"):
+        return LPResult(
+            status=LPStatus.NUMERICAL_ERROR
+            if status == "numerical_error"
+            else LPStatus.ITERATION_LIMIT,
+            backend="simplex",
+            iterations=phase1.iterations,
+            message=f"phase 1 terminated with {status}",
+        )
+    x_b = phase1.solve_basis()
+    phase1_objective = float(c1[phase1.basis] @ x_b)
+    if phase1_objective > FEASIBILITY_TOL:
+        return LPResult(
+            status=LPStatus.INFEASIBLE,
+            backend="simplex",
+            iterations=phase1.iterations,
+            message=f"phase 1 objective {phase1_objective:.3e}",
+        )
+
+    # Drive any artificial variables still in the basis (at zero level)
+    # out; rows where no original column can pivot are redundant and
+    # dropped together with their artificial.
+    keep_rows = list(range(m))
+    for row in range(m):
+        var = phase1.basis[row]
+        if var < n:
+            continue
+        B = A1[:, phase1.basis]
+        tableau_row = np.linalg.solve(B, A1)[row]
+        pivots = [
+            j
+            for j in range(n)
+            if abs(tableau_row[j]) > PIVOT_TOL and j not in phase1.basis
+        ]
+        if pivots:
+            phase1.basis[row] = pivots[0]
+        else:
+            keep_rows.remove(row)
+
+    rows = np.asarray(keep_rows, dtype=int)
+    A2 = A[rows]
+    b2 = b[rows]
+    basis2 = [phase1.basis[r] for r in keep_rows]
+    if any(v >= n for v in basis2):  # pragma: no cover - defensive
+        return LPResult(
+            status=LPStatus.NUMERICAL_ERROR,
+            backend="simplex",
+            iterations=phase1.iterations,
+            message="could not eliminate artificial variables",
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 2: optimize the true objective from the feasible basis.
+    # ------------------------------------------------------------------
+    phase2 = _SimplexState(A2, b2, c, basis2)
+    status = phase2.run(max_iterations)
+    total_iters = phase1.iterations + phase2.iterations
+    if status == "unbounded":
+        return LPResult(
+            status=LPStatus.UNBOUNDED, backend="simplex", iterations=total_iters
+        )
+    if status in ("numerical_error", "iteration_limit"):
+        return LPResult(
+            status=LPStatus.NUMERICAL_ERROR
+            if status == "numerical_error"
+            else LPStatus.ITERATION_LIMIT,
+            backend="simplex",
+            iterations=total_iters,
+            message=f"phase 2 terminated with {status}",
+        )
+
+    x = np.zeros(n)
+    x[phase2.basis] = np.clip(phase2.solve_basis(), 0.0, None)
+    return LPResult(
+        status=LPStatus.OPTIMAL,
+        x=std.extract_original(x),
+        objective=float(c @ x),
+        iterations=total_iters,
+        backend="simplex",
+    )
+
+
+def solve(problem: LinearProgram, max_iterations: int | None = None) -> LPResult:
+    """Solve a :class:`LinearProgram` with the two-phase simplex."""
+    return solve_standard_form(problem.to_standard_form(), max_iterations)

@@ -1,0 +1,89 @@
+"""Backend dispatch and cross-checking for LP solves.
+
+:func:`solve_lp` is the single entry point the optimizer uses.  The
+``backend`` argument selects between the production scipy/HiGHS solver
+and the two from-scratch implementations; ``cross_check=True`` runs a
+second backend and verifies the optimal objectives agree — cheap
+insurance on problems this small and the mechanism behind the solver
+equivalence tests.
+"""
+
+from __future__ import annotations
+
+from repro.lp import interior_point, scipy_backend, simplex
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPResult
+from repro.util.validation import ValidationError
+
+#: Backend name -> callable(problem) -> LPResult.
+_BACKENDS = {
+    "scipy": scipy_backend.solve,
+    "interior-point": interior_point.solve,
+    "simplex": simplex.solve,
+}
+
+#: Default agreement tolerance between two backends' objectives.
+CROSS_CHECK_TOL = 1e-6
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`solve_lp`'s ``backend`` argument."""
+    return tuple(_BACKENDS)
+
+
+def solve_lp(
+    problem: LinearProgram,
+    backend: str = "scipy",
+    cross_check: bool = False,
+    cross_check_backend: str | None = None,
+) -> LPResult:
+    """Solve ``problem`` with the selected backend.
+
+    Parameters
+    ----------
+    problem:
+        The LP to solve.
+    backend:
+        One of :func:`available_backends` (default ``"scipy"``).
+    cross_check:
+        When True, also solve with ``cross_check_backend`` and raise
+        :class:`CrossCheckError` if the two disagree on status or on the
+        optimal objective beyond :data:`CROSS_CHECK_TOL` (relative).
+    cross_check_backend:
+        Backend used for the check; defaults to ``"interior-point"``
+        unless that is the primary, in which case ``"scipy"``.
+    """
+    if backend not in _BACKENDS:
+        raise ValidationError(
+            f"unknown LP backend {backend!r}; available: {sorted(_BACKENDS)}"
+        )
+    result = _BACKENDS[backend](problem)
+    if not cross_check:
+        return result
+
+    if cross_check_backend is None:
+        cross_check_backend = "interior-point" if backend != "interior-point" else "scipy"
+    if cross_check_backend not in _BACKENDS:
+        raise ValidationError(
+            f"unknown cross-check backend {cross_check_backend!r}; "
+            f"available: {sorted(_BACKENDS)}"
+        )
+    other = _BACKENDS[cross_check_backend](problem)
+
+    if result.is_optimal != other.is_optimal:
+        raise CrossCheckError(
+            f"backends disagree on solvability: {backend}={result.status.value}, "
+            f"{cross_check_backend}={other.status.value}"
+        )
+    if result.is_optimal:
+        scale = 1.0 + abs(result.objective)
+        if abs(result.objective - other.objective) > CROSS_CHECK_TOL * scale:
+            raise CrossCheckError(
+                f"backends disagree on the optimum: {backend}={result.objective!r}, "
+                f"{cross_check_backend}={other.objective!r}"
+            )
+    return result
+
+
+class CrossCheckError(RuntimeError):
+    """Two LP backends disagreed on the same problem."""

@@ -1,0 +1,40 @@
+"""Markov chain substrate.
+
+Discrete-time (slotted) Markov chains as used throughout the paper:
+
+* :class:`~repro.markov.chain.MarkovChain` — a stationary chain with a
+  row-stochastic transition matrix and named states (the service
+  requester, Definition 3.2).
+* :class:`~repro.markov.controlled.ControlledMarkovChain` — a stationary
+  *controlled* chain: one transition matrix per command (the service
+  provider, Definition 3.1, and the composed system of Section III).
+* :mod:`~repro.markov.analysis` — geometric transition-time algebra
+  (paper Eq. 1–2), stationary distributions, hitting times, and the
+  trap-state discounting transform (paper Fig. 5).
+"""
+
+from repro.markov.analysis import (
+    discounted_occupancy,
+    expected_transition_time,
+    geometric_pmf,
+    geometric_survival,
+    hitting_time,
+    probability_from_expected_time,
+    stationary_distribution,
+    with_trap_state,
+)
+from repro.markov.chain import MarkovChain
+from repro.markov.controlled import ControlledMarkovChain
+
+__all__ = [
+    "MarkovChain",
+    "ControlledMarkovChain",
+    "stationary_distribution",
+    "hitting_time",
+    "expected_transition_time",
+    "probability_from_expected_time",
+    "geometric_pmf",
+    "geometric_survival",
+    "discounted_occupancy",
+    "with_trap_state",
+]

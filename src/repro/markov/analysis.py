@@ -1,0 +1,207 @@
+"""Analysis helpers for slotted-time Markov chains.
+
+Implements the probabilistic algebra the paper relies on:
+
+* geometric transition-time distributions (paper Eq. 1) and the expected
+  transition time ``1 / p`` (paper Eq. 2), together with the inverse map
+  used when building service-provider models from data-sheet transition
+  times (Table I);
+* stationary distributions and expected hitting times;
+* the trap-state discounting transform (paper Fig. 5): scale every
+  transition by the discount ``gamma`` and add a ``1 - gamma`` escape to
+  an absorbing session-end state;
+* discounted state occupancy ``p0 (I - gamma P)^{-1}`` — the closed form
+  behind both policy evaluation and the LP balance equations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import (
+    ValidationError,
+    check_distribution,
+    check_probability,
+    check_stochastic_matrix,
+)
+
+
+# ----------------------------------------------------------------------
+# geometric transition times (paper Eq. 1 and Eq. 2)
+# ----------------------------------------------------------------------
+def geometric_pmf(p: float, t) -> np.ndarray:
+    """P(transition happens exactly at slice ``t``) for exit probability ``p``.
+
+    Paper Eq. 1: ``Prob(T = t) = p (1 - p)^(t-1)`` for ``t >= 1``.
+    ``t`` may be a scalar or array of positive integers.
+    """
+    p = check_probability(p, "exit probability")
+    t_arr = np.asarray(t, dtype=float)
+    if np.any(t_arr < 1):
+        raise ValidationError("geometric_pmf is defined for t >= 1")
+    return p * (1.0 - p) ** (t_arr - 1.0)
+
+
+def geometric_survival(p: float, t) -> np.ndarray:
+    """P(transition has not happened after ``t`` slices): ``(1 - p)^t``."""
+    p = check_probability(p, "exit probability")
+    t_arr = np.asarray(t, dtype=float)
+    if np.any(t_arr < 0):
+        raise ValidationError("geometric_survival is defined for t >= 0")
+    return (1.0 - p) ** t_arr
+
+
+def expected_transition_time(p: float) -> float:
+    """Expected slices until a geometric transition fires (paper Eq. 2).
+
+    ``E[T] = 1 / p``; infinite when ``p == 0``.
+    """
+    p = check_probability(p, "exit probability")
+    if p == 0.0:
+        return float("inf")
+    return 1.0 / p
+
+
+def probability_from_expected_time(
+    expected_time: float, time_resolution: float = 1.0
+) -> float:
+    """Per-slice exit probability realizing a mean transition time.
+
+    This is the inverse of :func:`expected_transition_time`, used when a
+    data sheet specifies "typical" transition delays (paper Table I): a
+    delay of ``expected_time`` seconds at resolution ``time_resolution``
+    seconds/slice becomes an exit probability
+    ``time_resolution / expected_time`` (capped at one — transitions
+    faster than a slice are performed in a single slice).
+    """
+    if expected_time <= 0:
+        raise ValidationError(f"expected_time must be > 0, got {expected_time!r}")
+    if time_resolution <= 0:
+        raise ValidationError(
+            f"time_resolution must be > 0, got {time_resolution!r}"
+        )
+    return min(1.0, time_resolution / float(expected_time))
+
+
+# ----------------------------------------------------------------------
+# stationary distribution / hitting times
+# ----------------------------------------------------------------------
+def stationary_distribution(matrix) -> np.ndarray:
+    """A stationary distribution ``pi`` with ``pi P = pi``.
+
+    Solves the linear system ``(P^T - I) pi = 0`` with the normalisation
+    ``sum(pi) = 1`` appended, by least squares (robust to the rank
+    deficiency the constraint introduces).  For chains with multiple
+    recurrent classes this returns one valid stationary distribution.
+    """
+    P = check_stochastic_matrix(matrix, "matrix")
+    n = P.shape[0]
+    A = np.vstack([P.T - np.eye(n), np.ones((1, n))])
+    b = np.zeros(n + 1)
+    b[-1] = 1.0
+    pi, *_ = np.linalg.lstsq(A, b, rcond=None)
+    pi = np.clip(pi, 0.0, None)
+    total = pi.sum()
+    if total <= 0:
+        raise ValidationError("failed to compute a stationary distribution")
+    return pi / total
+
+
+def hitting_time(matrix, targets) -> np.ndarray:
+    """Expected slices to reach the ``targets`` set from each state.
+
+    Solves the standard first-step equations: ``h[i] = 0`` for targets,
+    ``h[i] = 1 + sum_j P[i, j] h[j]`` otherwise.  States that cannot
+    reach the target set get ``inf``.
+    """
+    P = check_stochastic_matrix(matrix, "matrix")
+    n = P.shape[0]
+    target_set = {int(t) for t in np.atleast_1d(np.asarray(targets, dtype=int))}
+    for t in target_set:
+        if not 0 <= t < n:
+            raise ValidationError(f"target state {t} out of range [0, {n})")
+    others = [i for i in range(n) if i not in target_set]
+    h = np.zeros(n)
+    if not others:
+        return h
+
+    # Restrict to non-target states: (I - Q) h = 1, Q = P[others][:, others].
+    Q = P[np.ix_(others, others)]
+    ones = np.ones(len(others))
+    try:
+        h_others = np.linalg.solve(np.eye(len(others)) - Q, ones)
+    except np.linalg.LinAlgError:
+        h_others = np.full(len(others), np.inf)
+    else:
+        # A singular-but-solvable system can still return garbage for
+        # states with no path to the target; detect via reachability.
+        reachable = _reaches_targets(P, target_set)
+        h_others = np.where(
+            [reachable[i] for i in others], np.maximum(h_others, 0.0), np.inf
+        )
+    h[others] = h_others
+    return h
+
+
+def _reaches_targets(P: np.ndarray, target_set: set[int]) -> np.ndarray:
+    """Boolean vector: can state ``i`` ever reach the target set?"""
+    n = P.shape[0]
+    adjacency = P > 0.0
+    reached = np.zeros(n, dtype=bool)
+    frontier = list(target_set)
+    for t in target_set:
+        reached[t] = True
+    # Reverse BFS over the adjacency graph.
+    while frontier:
+        node = frontier.pop()
+        predecessors = np.where(adjacency[:, node])[0]
+        for pred in predecessors:
+            if not reached[pred]:
+                reached[pred] = True
+                frontier.append(int(pred))
+    return reached
+
+
+# ----------------------------------------------------------------------
+# discounting (paper Section IV, Fig. 5)
+# ----------------------------------------------------------------------
+def with_trap_state(matrix, gamma: float) -> np.ndarray:
+    """Add the session-end trap state of paper Fig. 5.
+
+    Every original transition probability is multiplied by ``gamma`` and
+    each state gains a ``1 - gamma`` transition to a new absorbing state
+    appended as the last row/column.  The stopping time is then geometric
+    with mean ``1 / (1 - gamma)`` slices.
+    """
+    P = check_stochastic_matrix(matrix, "matrix")
+    gamma = check_probability(gamma, "gamma")
+    n = P.shape[0]
+    out = np.zeros((n + 1, n + 1))
+    out[:n, :n] = gamma * P
+    out[:n, n] = 1.0 - gamma
+    out[n, n] = 1.0
+    return out
+
+
+def discounted_occupancy(matrix, gamma: float, initial_distribution) -> np.ndarray:
+    """Total discounted expected visits to each state.
+
+    Returns ``y = p0 (I - gamma P)^{-1}``, i.e. ``y[j] = E[sum_t gamma^t
+    1{x_t = j}]``.  The entries sum to ``1 / (1 - gamma)`` (the expected
+    session length); multiplying by ``1 - gamma`` yields the per-slice
+    average occupancy the paper reports.
+    """
+    P = check_stochastic_matrix(matrix, "matrix")
+    gamma = check_probability(gamma, "gamma")
+    if gamma >= 1.0:
+        raise ValidationError("discounted occupancy requires gamma < 1")
+    p0 = check_distribution(initial_distribution, "initial_distribution")
+    if p0.size != P.shape[0]:
+        raise ValidationError(
+            f"initial distribution has {p0.size} entries for "
+            f"{P.shape[0]} states"
+        )
+    n = P.shape[0]
+    # Solve y (I - gamma P) = p0  <=>  (I - gamma P)^T y^T = p0^T.
+    y = np.linalg.solve(np.eye(n) - gamma * P.T, p0)
+    return y

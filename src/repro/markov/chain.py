@@ -1,0 +1,180 @@
+"""Stationary discrete-time Markov chains with named states.
+
+This is the substrate for the paper's *service requester* (Definition
+3.2) and for any autonomous component of the system model.  The chain is
+defined on a slotted time axis; state transition times are geometrically
+distributed (paper Eq. 1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.validation import (
+    ValidationError,
+    check_distribution,
+    check_stochastic_matrix,
+)
+
+
+class MarkovChain:
+    """A stationary Markov chain over a finite, named state set.
+
+    Parameters
+    ----------
+    transition_matrix:
+        Row-stochastic matrix ``P`` where ``P[i, j]`` is the one-step
+        probability of moving from state ``i`` to state ``j``.
+    state_names:
+        Optional names for the states; defaults to ``"0", "1", ...``.
+        Names must be unique.
+
+    Examples
+    --------
+    The paper's bursty service requester (Example 3.2)::
+
+        >>> sr = MarkovChain([[0.95, 0.05], [0.15, 0.85]], ["0", "1"])
+        >>> sr.n_states
+        2
+        >>> float(round(sr.stationary_distribution()[1], 3))
+        0.25
+    """
+
+    def __init__(self, transition_matrix, state_names: Sequence[str] | None = None):
+        self._matrix = check_stochastic_matrix(transition_matrix, "transition_matrix")
+        n = self._matrix.shape[0]
+        if state_names is None:
+            state_names = [str(i) for i in range(n)]
+        names = [str(s) for s in state_names]
+        if len(names) != n:
+            raise ValidationError(
+                f"{len(names)} state names given for a {n}-state chain"
+            )
+        if len(set(names)) != len(names):
+            raise ValidationError(f"state names must be unique, got {names}")
+        self._names = tuple(names)
+        self._index = {name: i for i, name in enumerate(names)}
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        """Number of states in the chain."""
+        return self._matrix.shape[0]
+
+    @property
+    def state_names(self) -> tuple[str, ...]:
+        """Tuple of state names, in index order."""
+        return self._names
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """A copy of the transition matrix."""
+        return self._matrix.copy()
+
+    def state_index(self, name: str) -> int:
+        """Return the index of the state called ``name``."""
+        try:
+            return self._index[str(name)]
+        except KeyError:
+            raise KeyError(f"unknown state {name!r}; states are {self._names}") from None
+
+    def transition_probability(self, src, dst) -> float:
+        """One-step probability of ``src -> dst`` (names or indices)."""
+        i = src if isinstance(src, (int, np.integer)) else self.state_index(src)
+        j = dst if isinstance(dst, (int, np.integer)) else self.state_index(dst)
+        return float(self._matrix[i, j])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MarkovChain(n_states={self.n_states}, states={self._names})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MarkovChain):
+            return NotImplemented
+        return self._names == other._names and np.allclose(
+            self._matrix, other._matrix, atol=1e-12
+        )
+
+    # ------------------------------------------------------------------
+    # distribution evolution
+    # ------------------------------------------------------------------
+    def step_distribution(self, distribution) -> np.ndarray:
+        """Advance a state distribution one slice: ``p' = p P``."""
+        p = check_distribution(distribution, "distribution")
+        if p.size != self.n_states:
+            raise ValidationError(
+                f"distribution has {p.size} entries for a {self.n_states}-state chain"
+            )
+        return p @ self._matrix
+
+    def distribution_at(self, distribution, t: int) -> np.ndarray:
+        """Return the state distribution after ``t`` slices."""
+        if t < 0:
+            raise ValidationError(f"t must be >= 0, got {t}")
+        p = check_distribution(distribution, "distribution")
+        result = p
+        for _ in range(int(t)):
+            result = result @ self._matrix
+        return result
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Stationary distribution ``pi`` with ``pi P = pi``.
+
+        Computed as the null space of ``(P^T - I)`` with the simplex
+        normalisation added; for chains with several recurrent classes an
+        arbitrary stationary distribution is returned.
+        """
+        from repro.markov.analysis import stationary_distribution
+
+        return stationary_distribution(self._matrix)
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sample_path(
+        self,
+        n_steps: int,
+        rng: np.random.Generator,
+        initial_state: int | str | None = None,
+    ) -> np.ndarray:
+        """Sample a state trajectory of ``n_steps`` transitions.
+
+        Parameters
+        ----------
+        n_steps:
+            Number of transitions; the returned array has ``n_steps + 1``
+            entries including the initial state.
+        rng:
+            NumPy random generator (the caller owns seeding, see
+            :mod:`repro.sim.rng`).
+        initial_state:
+            Starting state (name or index).  ``None`` draws it from the
+            stationary distribution.
+        """
+        if initial_state is None:
+            start = int(
+                rng.choice(self.n_states, p=self.stationary_distribution())
+            )
+        elif isinstance(initial_state, (int, np.integer)):
+            start = int(initial_state)
+            if not 0 <= start < self.n_states:
+                raise ValidationError(f"initial_state {start} out of range")
+        else:
+            start = self.state_index(initial_state)
+
+        path = np.empty(int(n_steps) + 1, dtype=np.int64)
+        path[0] = start
+        # Pre-draw uniforms and walk the cumulative rows: one pass, no
+        # per-step allocation of choice machinery.
+        cumulative = np.cumsum(self._matrix, axis=1)
+        uniforms = rng.random(int(n_steps))
+        current = start
+        for step in range(int(n_steps)):
+            current = int(np.searchsorted(cumulative[current], uniforms[step]))
+            if current >= self.n_states:  # guard against cumsum rounding
+                current = self.n_states - 1
+            path[step + 1] = current
+        return path

@@ -1,0 +1,227 @@
+"""Stationary *controlled* Markov chains (one transition matrix per command).
+
+This is the substrate for the paper's service provider (Definition 3.1)
+and for the composed system chain of Section III: a finite-state chain
+whose one-step transition matrix is selected each slice by the command
+``a`` issued by the power manager.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.markov.chain import MarkovChain
+from repro.util.validation import (
+    ValidationError,
+    check_distribution,
+    check_stochastic_matrix,
+)
+
+
+class ControlledMarkovChain:
+    """A controlled Markov chain: ``P^a`` for each command ``a``.
+
+    Parameters
+    ----------
+    matrices:
+        Mapping from command name to a row-stochastic transition matrix,
+        or a sequence of matrices (commands are then named ``"0", ...``).
+        All matrices must share the same state dimension.
+    state_names:
+        Optional state names (unique), defaults to ``"0", "1", ...``.
+    command_names:
+        Optional explicit command ordering when ``matrices`` is a mapping;
+        defaults to the mapping's insertion order.
+
+    Examples
+    --------
+    The paper's two-state service provider (Example 3.1)::
+
+        >>> sp = ControlledMarkovChain(
+        ...     {
+        ...         "s_on": [[1.0, 0.0], [0.1, 0.9]],
+        ...         "s_off": [[0.2, 0.8], [0.0, 1.0]],
+        ...     },
+        ...     state_names=["on", "off"],
+        ... )
+        >>> sp.n_commands
+        2
+        >>> float(sp.matrix("s_on")[1, 0])
+        0.1
+    """
+
+    def __init__(
+        self,
+        matrices,
+        state_names: Sequence[str] | None = None,
+        command_names: Sequence[str] | None = None,
+    ):
+        if isinstance(matrices, Mapping):
+            commands = list(matrices.keys()) if command_names is None else list(command_names)
+            if command_names is not None and set(command_names) != set(matrices.keys()):
+                raise ValidationError(
+                    "command_names must match the mapping keys: "
+                    f"{sorted(map(str, command_names))} vs {sorted(map(str, matrices.keys()))}"
+                )
+            raw = [matrices[c] for c in commands]
+        else:
+            raw = list(matrices)
+            commands = (
+                [str(i) for i in range(len(raw))]
+                if command_names is None
+                else list(command_names)
+            )
+            if len(commands) != len(raw):
+                raise ValidationError(
+                    f"{len(commands)} command names given for {len(raw)} matrices"
+                )
+        if not raw:
+            raise ValidationError("a controlled chain needs at least one command")
+
+        commands = [str(c) for c in commands]
+        if len(set(commands)) != len(commands):
+            raise ValidationError(f"command names must be unique, got {commands}")
+
+        checked = [
+            check_stochastic_matrix(m, f"transition matrix for command {c!r}")
+            for c, m in zip(commands, raw)
+        ]
+        n = checked[0].shape[0]
+        for c, m in zip(commands, checked):
+            if m.shape[0] != n:
+                raise ValidationError(
+                    f"command {c!r} matrix has {m.shape[0]} states, expected {n}"
+                )
+
+        if state_names is None:
+            state_names = [str(i) for i in range(n)]
+        names = [str(s) for s in state_names]
+        if len(names) != n:
+            raise ValidationError(f"{len(names)} state names given for {n} states")
+        if len(set(names)) != len(names):
+            raise ValidationError(f"state names must be unique, got {names}")
+
+        # Shape (n_commands, n_states, n_states) for fast indexing.
+        self._tensor = np.stack(checked, axis=0)
+        self._states = tuple(names)
+        self._commands = tuple(commands)
+        self._state_index = {s: i for i, s in enumerate(names)}
+        self._command_index = {c: i for i, c in enumerate(commands)}
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return self._tensor.shape[1]
+
+    @property
+    def n_commands(self) -> int:
+        """Number of commands."""
+        return self._tensor.shape[0]
+
+    @property
+    def state_names(self) -> tuple[str, ...]:
+        """State names in index order."""
+        return self._states
+
+    @property
+    def command_names(self) -> tuple[str, ...]:
+        """Command names in index order."""
+        return self._commands
+
+    @property
+    def tensor(self) -> np.ndarray:
+        """A copy of the full ``(n_commands, n_states, n_states)`` tensor."""
+        return self._tensor.copy()
+
+    def state_index(self, name) -> int:
+        """Index of state ``name`` (passes through integer indices)."""
+        if isinstance(name, (int, np.integer)):
+            idx = int(name)
+            if not 0 <= idx < self.n_states:
+                raise KeyError(f"state index {idx} out of range [0, {self.n_states})")
+            return idx
+        try:
+            return self._state_index[str(name)]
+        except KeyError:
+            raise KeyError(
+                f"unknown state {name!r}; states are {self._states}"
+            ) from None
+
+    def command_index(self, name) -> int:
+        """Index of command ``name`` (passes through integer indices)."""
+        if isinstance(name, (int, np.integer)):
+            idx = int(name)
+            if not 0 <= idx < self.n_commands:
+                raise KeyError(
+                    f"command index {idx} out of range [0, {self.n_commands})"
+                )
+            return idx
+        try:
+            return self._command_index[str(name)]
+        except KeyError:
+            raise KeyError(
+                f"unknown command {name!r}; commands are {self._commands}"
+            ) from None
+
+    def matrix(self, command) -> np.ndarray:
+        """Transition matrix ``P^a`` for ``command`` (a copy)."""
+        return self._tensor[self.command_index(command)].copy()
+
+    def transition_probability(self, src, dst, command) -> float:
+        """One-step probability of ``src -> dst`` under ``command``."""
+        return float(
+            self._tensor[
+                self.command_index(command),
+                self.state_index(src),
+                self.state_index(dst),
+            ]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ControlledMarkovChain(n_states={self.n_states}, "
+            f"commands={self._commands})"
+        )
+
+    # ------------------------------------------------------------------
+    # decisions and policies (paper Definition 3.5 / Eq. 5)
+    # ------------------------------------------------------------------
+    def decision_matrix(self, decision) -> np.ndarray:
+        """Transition matrix under a single randomized decision.
+
+        ``decision`` is a distribution over commands applied in *every*
+        state; the result is the probability-weighted sum of the ``P^a``
+        (paper Eq. 5).
+        """
+        d = check_distribution(decision, "decision")
+        if d.size != self.n_commands:
+            raise ValidationError(
+                f"decision has {d.size} entries for {self.n_commands} commands"
+            )
+        return np.einsum("a,aij->ij", d, self._tensor)
+
+    def policy_matrix(self, policy_matrix) -> np.ndarray:
+        """Transition matrix under a randomized Markov stationary policy.
+
+        ``policy_matrix`` has shape ``(n_states, n_commands)``; row ``i``
+        is the decision taken in state ``i`` (paper Definition 3.7).  The
+        induced chain is ``P_pi[i, j] = sum_a pi[i, a] P^a[i, j]``.
+        """
+        pi = np.asarray(policy_matrix, dtype=float)
+        if pi.shape != (self.n_states, self.n_commands):
+            raise ValidationError(
+                f"policy matrix must have shape ({self.n_states}, "
+                f"{self.n_commands}), got {pi.shape}"
+            )
+        for row in range(pi.shape[0]):
+            check_distribution(pi[row], f"policy row {row}")
+        return np.einsum("ia,aij->ij", pi, self._tensor)
+
+    def induced_chain(self, policy_matrix) -> MarkovChain:
+        """The :class:`MarkovChain` induced by a stationary policy."""
+        return MarkovChain(self.policy_matrix(policy_matrix), self._states)

@@ -1,0 +1,131 @@
+"""State-transition-diagram export (paper Figs. 2-4 and 8(a)).
+
+The paper communicates its models as state-transition diagrams — "a
+directed graph whose nodes are states, and whose edges are labeled with
+conditional transition probabilities" (Section III-A).  This module
+renders any chain of the library in three forms:
+
+* a :mod:`networkx` digraph (for programmatic analysis of the model's
+  topology — reachability, transient structure);
+* a text edge table (the printable form of the figures);
+* Graphviz DOT source (paste into ``dot -Tpng`` to draw the figure).
+
+The ``fig8a`` experiment uses these to regenerate the disk drive's
+transition-graph figure and verify its stated structural invariants.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.markov.chain import MarkovChain
+from repro.markov.controlled import ControlledMarkovChain
+from repro.util.tables import format_table
+from repro.util.validation import ValidationError
+
+#: Probabilities below this are treated as absent edges.
+EDGE_TOL = 1e-12
+
+
+def chain_graph(chain: MarkovChain) -> "nx.DiGraph":
+    """Digraph of a plain Markov chain; edges carry ``probability``."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(chain.state_names)
+    matrix = chain.matrix
+    for i, src in enumerate(chain.state_names):
+        for j, dst in enumerate(chain.state_names):
+            if matrix[i, j] > EDGE_TOL:
+                graph.add_edge(src, dst, probability=float(matrix[i, j]))
+    return graph
+
+
+def controlled_graph(
+    chain: ControlledMarkovChain, command=None
+) -> "nx.DiGraph":
+    """Digraph of a controlled chain.
+
+    With ``command`` given, edges carry that command's probabilities
+    (attribute ``probability``).  Without it, an edge exists when *any*
+    command enables the transition, and the attribute ``probabilities``
+    maps command name to value — the labelling convention of the
+    paper's Fig. 2 ("each edge is labeled with two transition
+    probabilities, one for each command").
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(chain.state_names)
+    if command is not None:
+        matrix = chain.matrix(command)
+        for i, src in enumerate(chain.state_names):
+            for j, dst in enumerate(chain.state_names):
+                if matrix[i, j] > EDGE_TOL:
+                    graph.add_edge(src, dst, probability=float(matrix[i, j]))
+        return graph
+
+    tensor = chain.tensor
+    for i, src in enumerate(chain.state_names):
+        for j, dst in enumerate(chain.state_names):
+            labels = {
+                chain.command_names[a]: float(tensor[a, i, j])
+                for a in range(chain.n_commands)
+                if tensor[a, i, j] > EDGE_TOL
+            }
+            if labels:
+                graph.add_edge(src, dst, probabilities=labels)
+    return graph
+
+
+def edge_table(chain: ControlledMarkovChain, states=None) -> str:
+    """Printable edge list, optionally restricted to edges touching
+    ``states`` (the paper's Fig. 8(a) shows only transitions from and
+    to the active state "for the sake of readability")."""
+    focus = None
+    if states is not None:
+        focus = {str(s) for s in states}
+        unknown = focus - set(chain.state_names)
+        if unknown:
+            raise ValidationError(
+                f"unknown states {sorted(unknown)}; chain has "
+                f"{chain.state_names}"
+            )
+    graph = controlled_graph(chain)
+    rows = []
+    for src, dst, data in graph.edges(data=True):
+        if focus is not None and src not in focus and dst not in focus:
+            continue
+        if src == dst:
+            continue  # self-loops clutter the figure
+        label = ", ".join(
+            f"{cmd}: {p:.4g}" for cmd, p in sorted(data["probabilities"].items())
+        )
+        rows.append((src, dst, label))
+    rows.sort()
+    return format_table(
+        ["from", "to", "P(transition | command)"],
+        rows,
+        title="state-transition edges",
+    )
+
+
+def to_dot(chain: ControlledMarkovChain, command=None) -> str:
+    """Graphviz DOT source for the transition diagram."""
+    graph = controlled_graph(chain, command)
+    lines = ["digraph chain {", "  rankdir=LR;"]
+    for node in graph.nodes:
+        lines.append(f'  "{node}";')
+    for src, dst, data in graph.edges(data=True):
+        if "probability" in data:
+            label = f"{data['probability']:.3g}"
+        else:
+            label = ", ".join(
+                f"{cmd}:{p:.3g}" for cmd, p in sorted(data["probabilities"].items())
+            )
+        lines.append(f'  "{src}" -> "{dst}" [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def reachable_from(chain: ControlledMarkovChain, source, command) -> set[str]:
+    """States reachable from ``source`` while holding ``command``."""
+    graph = controlled_graph(chain, command)
+    src = chain.state_names[chain.state_index(source)]
+    return set(nx.descendants(graph, src)) | {src}

@@ -1,0 +1,58 @@
+"""Power-management policy agents for simulation.
+
+The paper compares its optimal stochastic policies against the heuristic
+families that preceded it (Section I, Section VI, refs [12], [14],
+[15]).  This package implements those baselines plus the wrapper that
+lets an optimal :class:`~repro.core.policy.MarkovPolicy` drive the
+simulator:
+
+* :class:`~repro.policies.always_on.ConstantAgent` — constant policies
+  (always-on being the trivial one);
+* :class:`~repro.policies.eager.EagerAgent` — the "eager"/greedy policy:
+  shut down the instant the system idles (paper Example 3.4);
+* :class:`~repro.policies.timeout.TimeoutAgent` — classic fixed-timeout
+  shutdown (the widely deployed disk heuristic, ref [12]);
+* :class:`~repro.policies.randomized.RandomizedTimeoutAgent` — timeout
+  and target sleep state drawn from distributions (the heuristic
+  rendition of randomized optimal policies, paper Fig. 8b boxes);
+* :class:`~repro.policies.predictive.LastActivityPredictiveAgent` and
+  :class:`~repro.policies.predictive.ExponentialAveragePredictiveAgent`
+  — predictive shutdown after refs [14] and [15];
+* :class:`~repro.policies.stochastic.StationaryPolicyAgent` — samples
+  commands from a (randomized) Markov stationary policy matrix.
+
+All agents implement the :class:`~repro.policies.base.PolicyAgent`
+protocol consumed by :mod:`repro.sim`.
+"""
+
+from repro.policies.adaptive import AdaptivePolicyAgent
+from repro.policies.always_on import ConstantAgent, always_on_agent
+from repro.policies.base import Observation, PolicyAgent
+from repro.policies.eager import EagerAgent
+from repro.policies.markov_conversion import (
+    constant_markov_policy,
+    eager_markov_policy,
+)
+from repro.policies.predictive import (
+    ExponentialAveragePredictiveAgent,
+    LastActivityPredictiveAgent,
+)
+from repro.policies.randomized import RandomizedTimeoutAgent
+from repro.policies.stochastic import StationaryPolicyAgent
+from repro.policies.timeout import TimeoutAgent
+
+__all__ = [
+    "PolicyAgent",
+    "Observation",
+    "ConstantAgent",
+    "always_on_agent",
+    "EagerAgent",
+    "TimeoutAgent",
+    "RandomizedTimeoutAgent",
+    "LastActivityPredictiveAgent",
+    "ExponentialAveragePredictiveAgent",
+    "StationaryPolicyAgent",
+    "AdaptivePolicyAgent",
+    "eager_markov_policy",
+    "constant_markov_policy",
+]

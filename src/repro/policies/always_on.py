@@ -1,0 +1,44 @@
+"""Constant policies: the same command every slice (paper Example 3.4).
+
+The always-on constant policy is the natural upper bound on power and
+lower bound on penalty — it anchors the top of every trade-off plot in
+the paper ("the trivial policy that never shuts down the SP",
+Example A.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies.base import Observation, PolicyAgent
+
+
+class ConstantAgent(PolicyAgent):
+    """Issue the same command in every slice.
+
+    Parameters
+    ----------
+    command:
+        Command index to issue unconditionally.
+    name:
+        Optional label used by :meth:`describe`.
+    """
+
+    def __init__(self, command: int, name: str | None = None):
+        self._command = int(command)
+        self._name = name
+
+    def select_command(
+        self, observation: Observation, rng: np.random.Generator
+    ) -> int:
+        return self._command
+
+    def describe(self) -> str:
+        if self._name:
+            return f"constant({self._name})"
+        return f"constant(command={self._command})"
+
+
+def always_on_agent(active_command: int) -> ConstantAgent:
+    """The always-on policy: keep issuing the active command."""
+    return ConstantAgent(active_command, name="always-on")

@@ -1,0 +1,69 @@
+"""The policy-agent protocol consumed by the simulation engine.
+
+An *agent* is any object that maps the observable system condition to a
+command index each slice.  Unlike :class:`~repro.core.policy.MarkovPolicy`
+matrices, agents may keep internal state (idle counters, predictors),
+which is exactly what the paper's heuristic baselines need — a timeout
+policy is not Markov in the joint system state.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What the power manager sees at the start of a slice.
+
+    Attributes
+    ----------
+    provider_state:
+        SP state index.
+    requester_state:
+        SR state index as known to the manager.  In trace-driven
+        simulation this is the state *inferred* from observed arrivals
+        (paper Section V's trace-driven verification mode).
+    queue_length:
+        Requests currently enqueued.
+    arrivals:
+        Requests that arrived during the previous slice.
+    slice_index:
+        Zero-based index of the current slice.
+    """
+
+    provider_state: int
+    requester_state: int
+    queue_length: int
+    arrivals: int
+    slice_index: int
+
+    @property
+    def has_pending_work(self) -> bool:
+        """True when requests are enqueued or just arrived."""
+        return self.queue_length > 0 or self.arrivals > 0
+
+
+class PolicyAgent(abc.ABC):
+    """Base class for simulation policies.
+
+    Subclasses implement :meth:`select_command`; stateful agents also
+    override :meth:`reset`, which the engine calls once per run (and per
+    session in session-mode simulation).
+    """
+
+    def reset(self) -> None:
+        """Clear internal state before a fresh simulation run."""
+
+    @abc.abstractmethod
+    def select_command(
+        self, observation: Observation, rng: np.random.Generator
+    ) -> int:
+        """Return the command index to issue for this slice."""
+
+    def describe(self) -> str:
+        """Human-readable one-line description (used in result tables)."""
+        return type(self).__name__

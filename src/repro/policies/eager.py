@@ -1,0 +1,47 @@
+"""The eager (greedy) shutdown policy (paper Section I, Example 3.4).
+
+"The most aggressive policy ... turns off every system component as
+soon as it becomes idle."  The paper's Fig. 8(b) upward triangles are
+deterministic greedy policies parameterized by *which* inactive state
+they dive into; this agent takes that target command as a parameter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies.base import Observation, PolicyAgent
+
+
+class EagerAgent(PolicyAgent):
+    """Shut down the instant there is no pending work.
+
+    Parameters
+    ----------
+    active_command:
+        Command that (re)activates the service provider.
+    sleep_command:
+        Command issued whenever the system is idle; choosing different
+        inactive states gives the family of greedy policies compared in
+        paper Fig. 8(b).
+
+    Notes
+    -----
+    A wake-up command is issued whenever a request is pending (enqueued
+    or newly arrived), matching "a wake-up command is issued whenever a
+    new request arrives".
+    """
+
+    def __init__(self, active_command: int, sleep_command: int):
+        self._active = int(active_command)
+        self._sleep = int(sleep_command)
+
+    def select_command(
+        self, observation: Observation, rng: np.random.Generator
+    ) -> int:
+        if observation.has_pending_work:
+            return self._active
+        return self._sleep
+
+    def describe(self) -> str:
+        return f"eager(sleep_command={self._sleep})"

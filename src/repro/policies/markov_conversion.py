@@ -1,0 +1,53 @@
+"""Exact Markov-policy matrices for memoryless heuristics.
+
+Some heuristic agents decide from the current joint state only — the
+eager policy looks at "is work pending", which in the composed chain is
+``queue > 0 or z(r) > 0``.  Such agents are Markov stationary policies
+(paper Definition 3.7) and can be evaluated *exactly* with
+:func:`repro.core.policy.evaluate_policy`, with no Monte-Carlo noise.
+The experiment drivers use these exact forms for the dominance checks
+against the optimal Pareto curve; stateful heuristics (timeouts,
+predictors) still go through simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policy import MarkovPolicy
+from repro.core.system import PowerManagedSystem
+
+
+def constant_markov_policy(
+    system: PowerManagedSystem, command
+) -> MarkovPolicy:
+    """The constant policy issuing ``command`` in every joint state."""
+    a = system.chain.command_index(command)
+    return MarkovPolicy.constant(
+        a, system.n_states, system.n_commands, system.command_names
+    )
+
+
+def eager_markov_policy(
+    system: PowerManagedSystem, active_command, sleep_command
+) -> MarkovPolicy:
+    """The eager policy as an exact Markov stationary policy.
+
+    Issues ``active_command`` whenever work is pending (non-empty queue
+    or the current SR state issues requests) and ``sleep_command``
+    otherwise — the joint-state rendition of
+    :class:`repro.policies.eager.EagerAgent`.
+    """
+    active = system.chain.command_index(active_command)
+    sleep = system.chain.command_index(sleep_command)
+    arrivals = system.requester.arrival_counts
+    sr_of = system.requester_index_of_state
+    q_of = system.queue_length_of_state
+
+    commands = np.empty(system.n_states, dtype=int)
+    for x in range(system.n_states):
+        pending = q_of[x] > 0 or arrivals[sr_of[x]] > 0
+        commands[x] = active if pending else sleep
+    return MarkovPolicy.deterministic(
+        commands, system.n_commands, system.command_names
+    )

@@ -1,0 +1,148 @@
+"""Predictive shutdown policies (paper references [14] and [15]).
+
+Two baselines from the related-work the paper compares its framework
+against:
+
+* :class:`LastActivityPredictiveAgent` — the "simplified policy" of
+  Srivastava, Chandrakasan and Brodersen [14]: predict the length of an
+  idle period from the duration of the *preceding activity burst*; if
+  the prediction exceeds the break-even time, shut down immediately at
+  the start of the idle period (no timeout wasted).
+* :class:`ExponentialAveragePredictiveAgent` — Hwang and Wu [15]:
+  predict each idle period as an exponentially-weighted average of past
+  idle periods ("a weighted sum of the duration of past idle periods,
+  with geometrically decaying weights"), shutting down when the
+  prediction exceeds the break-even time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies.base import Observation, PolicyAgent
+from repro.util.validation import ValidationError, check_probability
+
+
+class LastActivityPredictiveAgent(PolicyAgent):
+    """Shutdown at idle start when the last busy burst was short.
+
+    The heuristic of [14]: short bursts of activity tend to be followed
+    by long idle periods (think keystroke-driven workloads), so an idle
+    period that follows a busy burst shorter than ``busy_threshold``
+    slices is predicted to be long and the provider is shut down
+    immediately; otherwise it stays active for the whole idle period.
+
+    Parameters
+    ----------
+    busy_threshold:
+        Bursts strictly shorter than this predict a long idle period.
+    active_command / sleep_command:
+        Commands to issue in the two regimes.
+    """
+
+    def __init__(self, busy_threshold: int, active_command: int, sleep_command: int):
+        busy_threshold = int(busy_threshold)
+        if busy_threshold < 0:
+            raise ValidationError(
+                f"busy_threshold must be >= 0, got {busy_threshold}"
+            )
+        self._threshold = busy_threshold
+        self._active = int(active_command)
+        self._sleep = int(sleep_command)
+        self._busy_run = 0
+        self._last_busy_run = 0
+
+    def reset(self) -> None:
+        self._busy_run = 0
+        self._last_busy_run = 0
+
+    def select_command(
+        self, observation: Observation, rng: np.random.Generator
+    ) -> int:
+        if observation.has_pending_work:
+            self._busy_run += 1
+            return self._active
+        if self._busy_run > 0:
+            # An idle period just started; remember the burst length.
+            self._last_busy_run = self._busy_run
+            self._busy_run = 0
+        if self._last_busy_run < self._threshold:
+            return self._sleep
+        return self._active
+
+    def describe(self) -> str:
+        return f"predictive-last-activity(threshold={self._threshold})"
+
+
+class ExponentialAveragePredictiveAgent(PolicyAgent):
+    """Shutdown when the exponentially-averaged idle prediction is long.
+
+    The predictor of [15]: maintain ``I_pred = alpha * i_last +
+    (1 - alpha) * I_pred`` over observed idle-period lengths and shut
+    down at the start of an idle period whenever the prediction exceeds
+    ``breakeven`` slices.  A watchdog timeout guards against gross
+    mispredictions ("a technique that reduces the likelihood of multiple
+    mispredictions"): if the provider was kept active but the idle
+    period outlives the watchdog, shut down anyway.
+
+    Parameters
+    ----------
+    alpha:
+        Exponential-averaging weight in (0, 1].
+    breakeven:
+        Idle-length prediction (slices) above which shutdown pays off.
+    watchdog:
+        Idle slices after which shutdown happens regardless.
+    active_command / sleep_command:
+        Commands to issue.
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        breakeven: float,
+        watchdog: int,
+        active_command: int,
+        sleep_command: int,
+    ):
+        self._alpha = check_probability(alpha, "alpha")
+        if self._alpha == 0.0:
+            raise ValidationError("alpha must be > 0")
+        self._breakeven = float(breakeven)
+        watchdog = int(watchdog)
+        if watchdog < 0:
+            raise ValidationError(f"watchdog must be >= 0, got {watchdog}")
+        self._watchdog = watchdog
+        self._active = int(active_command)
+        self._sleep = int(sleep_command)
+        self._prediction = 0.0
+        self._idle_run = 0
+
+    def reset(self) -> None:
+        self._prediction = 0.0
+        self._idle_run = 0
+
+    def select_command(
+        self, observation: Observation, rng: np.random.Generator
+    ) -> int:
+        if observation.has_pending_work:
+            if self._idle_run > 0:
+                # Idle period ended: fold its length into the predictor.
+                self._prediction = (
+                    self._alpha * self._idle_run
+                    + (1.0 - self._alpha) * self._prediction
+                )
+                self._idle_run = 0
+            return self._active
+        self._idle_run += 1
+        if self._prediction > self._breakeven:
+            return self._sleep
+        if self._idle_run > self._watchdog:
+            return self._sleep
+        return self._active
+
+    def describe(self) -> str:
+        return (
+            f"predictive-exp-average(alpha={self._alpha}, "
+            f"breakeven={self._breakeven}, watchdog={self._watchdog})"
+        )

@@ -1,0 +1,103 @@
+"""Randomized timeout heuristics (paper Fig. 8(b), box markers).
+
+"Boxes represent randomized policies where the timeout value and the
+inactive state are chosen randomly with a given probability
+distribution.  The randomized policies are the heuristic version of the
+optimal policies computed by our tool."
+
+At the start of each idle period the agent draws a timeout and a target
+sleep command from user-supplied distributions, then behaves like a
+plain timeout policy until work arrives again.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.policies.base import Observation, PolicyAgent
+from repro.util.validation import ValidationError, check_distribution
+
+
+class RandomizedTimeoutAgent(PolicyAgent):
+    """Timeout policy with randomized timeout and sleep target.
+
+    Parameters
+    ----------
+    timeouts:
+        Candidate timeout values (slices).
+    timeout_probabilities:
+        Probability of each candidate timeout.
+    sleep_commands:
+        Candidate sleep-command indices.
+    sleep_probabilities:
+        Probability of each candidate sleep command.
+    active_command:
+        Command that (re)activates the provider.
+    """
+
+    def __init__(
+        self,
+        timeouts: Sequence[int],
+        timeout_probabilities: Sequence[float],
+        sleep_commands: Sequence[int],
+        sleep_probabilities: Sequence[float],
+        active_command: int,
+    ):
+        self._timeouts = [int(t) for t in timeouts]
+        if any(t < 0 for t in self._timeouts):
+            raise ValidationError("timeouts must be >= 0")
+        self._timeout_probs = check_distribution(
+            timeout_probabilities, "timeout_probabilities"
+        )
+        if self._timeout_probs.size != len(self._timeouts):
+            raise ValidationError(
+                f"{self._timeout_probs.size} probabilities for "
+                f"{len(self._timeouts)} timeouts"
+            )
+        self._sleep_commands = [int(c) for c in sleep_commands]
+        self._sleep_probs = check_distribution(
+            sleep_probabilities, "sleep_probabilities"
+        )
+        if self._sleep_probs.size != len(self._sleep_commands):
+            raise ValidationError(
+                f"{self._sleep_probs.size} probabilities for "
+                f"{len(self._sleep_commands)} sleep commands"
+            )
+        self._active = int(active_command)
+        self._idle_slices = 0
+        self._current_timeout: int | None = None
+        self._current_sleep: int | None = None
+
+    def reset(self) -> None:
+        self._idle_slices = 0
+        self._current_timeout = None
+        self._current_sleep = None
+
+    def select_command(
+        self, observation: Observation, rng: np.random.Generator
+    ) -> int:
+        if observation.has_pending_work:
+            self._idle_slices = 0
+            self._current_timeout = None
+            self._current_sleep = None
+            return self._active
+        if self._current_timeout is None:
+            # A new idle period begins: draw this period's parameters.
+            self._current_timeout = self._timeouts[
+                int(rng.choice(len(self._timeouts), p=self._timeout_probs))
+            ]
+            self._current_sleep = self._sleep_commands[
+                int(rng.choice(len(self._sleep_commands), p=self._sleep_probs))
+            ]
+        self._idle_slices += 1
+        if self._idle_slices > self._current_timeout:
+            return self._current_sleep
+        return self._active
+
+    def describe(self) -> str:
+        return (
+            f"randomized-timeout(timeouts={self._timeouts}, "
+            f"sleep_commands={self._sleep_commands})"
+        )

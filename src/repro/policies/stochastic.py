@@ -1,0 +1,67 @@
+"""Agent wrapper for (randomized) Markov stationary policies.
+
+Bridges the optimizer's output — a :class:`~repro.core.policy.MarkovPolicy`
+matrix over joint states — to the simulation engine's agent protocol.
+Each slice the agent looks up the joint state index and samples a
+command from the policy row, exactly the behaviour paper Definition 3.5
+prescribes for randomized decisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policy import MarkovPolicy
+from repro.core.system import PowerManagedSystem
+from repro.policies.base import Observation, PolicyAgent
+from repro.util.validation import ValidationError
+
+
+class StationaryPolicyAgent(PolicyAgent):
+    """Simulate a Markov stationary policy matrix.
+
+    Parameters
+    ----------
+    system:
+        The composed system (provides the joint state indexing).
+    policy:
+        The policy to execute; shapes must match the system.
+    """
+
+    def __init__(self, system: PowerManagedSystem, policy: MarkovPolicy):
+        if (
+            policy.n_states != system.n_states
+            or policy.n_commands != system.n_commands
+        ):
+            raise ValidationError(
+                f"policy shape ({policy.n_states}, {policy.n_commands}) does "
+                f"not match system ({system.n_states}, {system.n_commands})"
+            )
+        self._system = system
+        self._policy = policy
+        self._matrix = policy.matrix
+        self._n_requesters = system.requester.n_states
+        self._n_queue = system.queue.n_states
+        # Deterministic rows short-circuit the RNG draw.
+        self._deterministic_row = self._matrix.max(axis=1) > 1.0 - 1e-12
+        self._greedy = np.argmax(self._matrix, axis=1)
+
+    @property
+    def policy(self) -> MarkovPolicy:
+        """The wrapped policy."""
+        return self._policy
+
+    def select_command(
+        self, observation: Observation, rng: np.random.Generator
+    ) -> int:
+        state = (
+            observation.provider_state * self._n_requesters
+            + observation.requester_state
+        ) * self._n_queue + observation.queue_length
+        if self._deterministic_row[state]:
+            return int(self._greedy[state])
+        return int(rng.choice(self._matrix.shape[1], p=self._matrix[state]))
+
+    def describe(self) -> str:
+        kind = "deterministic" if self._policy.is_deterministic else "randomized"
+        return f"stationary-policy({kind})"

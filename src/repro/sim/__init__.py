@@ -1,0 +1,32 @@
+"""Slotted-time stochastic simulation of power-managed systems.
+
+The paper's tool verifies every optimized policy by simulation (Fig. 7):
+once against the Markov workload model ("to check consistency") and
+once driven by the actual request trace ("to check the quality of the
+Markov model of the service provider").  This package implements both
+modes:
+
+* :func:`~repro.sim.engine.simulate` — Markov-driven simulation of the
+  composed system under any :class:`~repro.policies.base.PolicyAgent`;
+* :func:`~repro.sim.engine.simulate_sessions` — geometric-session
+  simulation estimating the *discounted* totals of Section IV directly;
+* :func:`~repro.sim.trace_sim.simulate_trace` — trace-driven simulation
+  where arrivals are replayed from a discretized request trace.
+"""
+
+from repro.sim.engine import SimulationResult, simulate, simulate_sessions
+from repro.sim.rng import make_rng, spawn_rngs
+from repro.sim.stats import SampleStats, confidence_interval
+from repro.sim.trace_sim import TraceSimulationResult, simulate_trace
+
+__all__ = [
+    "simulate",
+    "simulate_sessions",
+    "simulate_trace",
+    "SimulationResult",
+    "TraceSimulationResult",
+    "SampleStats",
+    "confidence_interval",
+    "make_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,251 @@
+"""Markov-driven simulation of a power-managed system under a policy.
+
+The engine reproduces the composed chain's semantics *component by
+component* so that heuristic agents with internal state (timeouts,
+predictors) can be simulated alongside stationary policies:
+
+at each slice ``t`` with joint state ``X_t = (s, r, q)``:
+
+1. the agent observes ``X_t`` and issues command ``a``;
+2. every cost metric accrues its ``matrix[X_t, a]`` value;
+3. the SP moves ``s -> s'`` with ``P_SP^a``, the SR moves ``r -> r'``
+   with ``P_SR`` and ``z(r')`` requests arrive;
+4. the queue updates with service probability ``sigma(s, a)`` applied
+   to ``q + z(r')`` pending requests (paper Eq. 3); overflow is counted
+   as lost.
+
+For a stationary Markov policy this is distributed identically to the
+joint chain of :class:`~repro.core.system.PowerManagedSystem` — the
+equivalence is verified in the test suite against the closed-form
+evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.costs import CostModel
+from repro.core.system import PowerManagedSystem
+from repro.policies.base import Observation, PolicyAgent
+from repro.sim.stats import SampleStats
+from repro.util.validation import ValidationError, check_probability
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate output of a Markov-driven simulation run.
+
+    Attributes
+    ----------
+    n_slices:
+        Simulated slices.
+    averages:
+        Metric name -> per-slice average of the accumulated metric
+        (directly comparable to the optimizer's per-slice averages).
+    totals:
+        Metric name -> undiscounted sum over the run.
+    arrivals / serviced / lost:
+        Physical request counters: requests that arrived, completed
+        service, and overflowed the queue.
+    loss_event_slices:
+        Slices in which the loss-risk condition held (SR issuing with a
+        full queue) — the paper's request-loss metric.
+    command_counts:
+        Times each command was issued.
+    provider_occupancy:
+        Slices spent in each SP state.
+    final_state:
+        Joint ``(provider, requester, queue)`` indices after the run.
+    """
+
+    n_slices: int
+    averages: dict[str, float]
+    totals: dict[str, float]
+    arrivals: int
+    serviced: int
+    lost: int
+    loss_event_slices: int
+    command_counts: np.ndarray = field(repr=False)
+    provider_occupancy: np.ndarray = field(repr=False)
+    final_state: tuple[int, int, int] = (0, 0, 0)
+
+
+def _resolve_initial_state(system: PowerManagedSystem, initial_state):
+    if initial_state is None:
+        return 0, 0, 0
+    provider, requester, queue = initial_state
+    s = system.provider.chain.state_index(provider)
+    r = system.requester.chain.state_index(requester)
+    q = int(queue)
+    if not 0 <= q <= system.queue.capacity:
+        raise ValidationError(
+            f"queue length {q} out of range [0, {system.queue.capacity}]"
+        )
+    return s, r, q
+
+
+def simulate(
+    system: PowerManagedSystem,
+    costs: CostModel,
+    agent: PolicyAgent,
+    n_slices: int,
+    rng: np.random.Generator,
+    initial_state=None,
+) -> SimulationResult:
+    """Simulate ``agent`` on ``system`` for ``n_slices`` slices.
+
+    Parameters
+    ----------
+    system:
+        The composed system to simulate.
+    costs:
+        Metrics to accumulate (every registered metric is reported).
+    agent:
+        The power-management policy; ``agent.reset()`` is called first.
+    n_slices:
+        Number of slices to run.
+    rng:
+        Random generator driving all stochastic choices.
+    initial_state:
+        ``(provider, requester, queue)`` start (names or indices);
+        defaults to all components in their first state, empty queue.
+    """
+    n_slices = int(n_slices)
+    if n_slices <= 0:
+        raise ValidationError(f"n_slices must be > 0, got {n_slices}")
+
+    s, r, q = _resolve_initial_state(system, initial_state)
+    agent.reset()
+
+    metric_names = list(costs.metric_names)
+    metric_stack = np.stack([costs.metric(name) for name in metric_names], axis=0)
+
+    sp_cum = np.cumsum(system.provider.chain.tensor, axis=2)  # (A, S, S)
+    sr_cum = np.cumsum(system.requester.chain.matrix, axis=1)  # (R, R)
+    rates = system.provider.service_rate_matrix  # (S, A)
+    arrivals_of = system.requester.arrival_counts  # (R,)
+    capacity = system.queue.capacity
+    n_sr = system.requester.n_states
+    n_sq = system.queue.n_states
+    n_sp_states = system.provider.n_states
+    issuing = arrivals_of > 0
+
+    totals = np.zeros(len(metric_names))
+    command_counts = np.zeros(system.n_commands, dtype=np.int64)
+    provider_occupancy = np.zeros(n_sp_states, dtype=np.int64)
+    total_arrivals = 0
+    total_serviced = 0
+    total_lost = 0
+    loss_event_slices = 0
+    prev_arrivals = 0
+
+    for t in range(n_slices):
+        observation = Observation(
+            provider_state=s,
+            requester_state=r,
+            queue_length=q,
+            arrivals=prev_arrivals,
+            slice_index=t,
+        )
+        a = int(agent.select_command(observation, rng))
+        if not 0 <= a < system.n_commands:
+            raise ValidationError(
+                f"agent returned command {a}, valid range is "
+                f"[0, {system.n_commands})"
+            )
+
+        joint = (s * n_sr + r) * n_sq + q
+        totals += metric_stack[:, joint, a]
+        command_counts[a] += 1
+        provider_occupancy[s] += 1
+        if issuing[r] and q == capacity:
+            loss_event_slices += 1
+
+        # --- transition -------------------------------------------------
+        s_next = int(np.searchsorted(sp_cum[a, s], rng.random()))
+        if s_next >= n_sp_states:  # cumsum rounding guard
+            s_next = n_sp_states - 1
+        r_next = int(np.searchsorted(sr_cum[r], rng.random()))
+        if r_next >= n_sr:
+            r_next = n_sr - 1
+        z = int(arrivals_of[r_next])
+        pending = q + z
+        served = 0
+        if pending > 0 and rng.random() < rates[s, a]:
+            served = 1
+        q_next = min(pending - served, capacity)
+        lost = max(pending - served - capacity, 0)
+
+        total_arrivals += z
+        total_serviced += served
+        total_lost += lost
+        prev_arrivals = z
+        s, r, q = s_next, r_next, q_next
+
+    averages = {
+        name: float(totals[i]) / n_slices for i, name in enumerate(metric_names)
+    }
+    return SimulationResult(
+        n_slices=n_slices,
+        averages=averages,
+        totals={name: float(totals[i]) for i, name in enumerate(metric_names)},
+        arrivals=total_arrivals,
+        serviced=total_serviced,
+        lost=total_lost,
+        loss_event_slices=loss_event_slices,
+        command_counts=command_counts,
+        provider_occupancy=provider_occupancy,
+        final_state=(s, r, q),
+    )
+
+
+def simulate_sessions(
+    system: PowerManagedSystem,
+    costs: CostModel,
+    agent: PolicyAgent,
+    gamma: float,
+    n_sessions: int,
+    rng: np.random.Generator,
+    initial_state=None,
+    max_session_slices: int | None = None,
+) -> dict[str, SampleStats]:
+    """Estimate *discounted* totals by simulating geometric sessions.
+
+    The discounted formulation of Section IV equals the expected
+    undiscounted sum over a session of geometric length with mean
+    ``1/(1-gamma)`` (the trap-state construction, Fig. 5).  Each session
+    draws its length accordingly, runs the engine, and contributes one
+    sample of each metric's session total; the returned statistics
+    estimate the LP's discounted objective values.
+
+    Parameters
+    ----------
+    gamma:
+        Discount factor in (0, 1).
+    n_sessions:
+        Independent sessions to run (each resets the agent and state).
+    max_session_slices:
+        Optional cap on a single session's length (guards runaway
+        budgets when ``gamma`` is very close to one).
+    """
+    gamma = check_probability(gamma, "gamma")
+    if not 0.0 < gamma < 1.0:
+        raise ValidationError(f"gamma must be in (0, 1), got {gamma!r}")
+    n_sessions = int(n_sessions)
+    if n_sessions <= 0:
+        raise ValidationError(f"n_sessions must be > 0, got {n_sessions}")
+
+    samples: dict[str, list[float]] = {name: [] for name in costs.metric_names}
+    for _ in range(n_sessions):
+        length = int(rng.geometric(1.0 - gamma))
+        if max_session_slices is not None:
+            length = min(length, int(max_session_slices))
+        length = max(length, 1)
+        result = simulate(system, costs, agent, length, rng, initial_state)
+        for name in samples:
+            samples[name].append(result.totals[name])
+    return {
+        name: SampleStats.from_samples(values) for name, values in samples.items()
+    }

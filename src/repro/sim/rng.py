@@ -1,0 +1,27 @@
+"""Random-number-generator management for reproducible simulations.
+
+All stochastic code in :mod:`repro` takes an explicit
+:class:`numpy.random.Generator`; these helpers centralize construction
+so experiments are reproducible end to end from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | None = None) -> np.random.Generator:
+    """Create a PCG64 generator from ``seed`` (fresh entropy if None)."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | None, count: int) -> list[np.random.Generator]:
+    """Create ``count`` statistically independent generators.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, so parallel
+    replications of an experiment never share streams.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(int(count))]

@@ -1,0 +1,69 @@
+"""Sample statistics for simulation output.
+
+Monte-Carlo estimates of power and performance come with sampling
+error; the paper plots simulated points against analytic curves
+("circles ... lie almost perfectly on the theoretical tradeoff curve").
+These helpers quantify that agreement with normal-approximation
+confidence intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Summary of a sample of scalar observations.
+
+    Attributes
+    ----------
+    count:
+        Number of observations.
+    mean / std / stderr:
+        Sample mean, standard deviation (ddof=1) and standard error.
+    """
+
+    count: int
+    mean: float
+    std: float
+    stderr: float
+
+    @classmethod
+    def from_samples(cls, samples) -> "SampleStats":
+        """Compute statistics from a 1-D sample array."""
+        arr = np.asarray(samples, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError(
+                f"samples must be a non-empty 1-D array, got shape {arr.shape}"
+            )
+        count = int(arr.size)
+        mean = float(arr.mean())
+        std = float(arr.std(ddof=1)) if count > 1 else 0.0
+        stderr = std / np.sqrt(count) if count > 1 else 0.0
+        return cls(count=count, mean=mean, std=std, stderr=stderr)
+
+    def interval(self, confidence: float = 0.95) -> tuple[float, float]:
+        """Two-sided confidence interval for the mean (t-distribution)."""
+        if self.count < 2 or self.stderr == 0.0:
+            return (self.mean, self.mean)
+        half = (
+            scipy_stats.t.ppf(0.5 + confidence / 2.0, df=self.count - 1)
+            * self.stderr
+        )
+        return (self.mean - half, self.mean + half)
+
+    def agrees_with(self, reference: float, confidence: float = 0.99) -> bool:
+        """True when ``reference`` lies inside the confidence interval."""
+        low, high = self.interval(confidence)
+        return low <= reference <= high
+
+
+def confidence_interval(
+    samples, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Convenience wrapper: CI of the mean of ``samples``."""
+    return SampleStats.from_samples(samples).interval(confidence)

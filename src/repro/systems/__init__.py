@@ -1,0 +1,82 @@
+"""Prebuilt system models for the paper's case studies.
+
+Each module exposes a ``build(...)`` function returning a
+:class:`SystemBundle` — the composed system, its cost model, the
+initial distribution and the discount factor the paper uses — plus
+case-specific metadata:
+
+* :mod:`~repro.systems.example_system` — the running example of
+  Sections III-IV (Examples 3.1-3.7, A.1, A.2);
+* :mod:`~repro.systems.disk_drive` — the IBM Travelstar disk drive
+  (Table I, Fig. 8; 11 SP states, 5 commands, 66 joint states);
+* :mod:`~repro.systems.web_server` — the dual-processor web server
+  (Fig. 9a);
+* :mod:`~repro.systems.cpu` — the SA-1100 CPU (Figs. 9b and 10);
+* :mod:`~repro.systems.baseline` — the Appendix-B baseline system used
+  for all sensitivity experiments (Figs. 12-14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.costs import CostModel
+from repro.core.system import PowerManagedSystem
+
+
+@dataclass
+class SystemBundle:
+    """A ready-to-optimize case study.
+
+    Attributes
+    ----------
+    name:
+        Case-study identifier.
+    system:
+        The composed joint system.
+    costs:
+        Registered cost metrics (at least ``power``; plus ``penalty`` /
+        ``loss`` / ``throughput`` as the case study defines).
+    gamma:
+        The paper's discount factor for this study.
+    initial_distribution:
+        The paper's initial joint-state distribution.
+    time_resolution:
+        Seconds per slice (tau).
+    action_mask:
+        Optional boolean ``(n_states, n_commands)`` array; False marks
+        command choices the hardware does not expose to the power
+        manager (the CPU's unconditional reactive wake).  ``None``
+        means every command is available everywhere.
+    metadata:
+        Free-form extras (command indices for heuristics, etc.).
+    """
+
+    name: str
+    system: PowerManagedSystem
+    costs: CostModel
+    gamma: float
+    initial_distribution: np.ndarray = field(repr=False)
+    time_resolution: float = 1.0
+    action_mask: np.ndarray | None = field(repr=False, default=None)
+    metadata: dict = field(default_factory=dict)
+
+
+from repro.systems import (  # noqa: E402 - re-export after SystemBundle
+    baseline,
+    cpu,
+    disk_drive,
+    example_system,
+    web_server,
+)
+
+__all__ = [
+    "SystemBundle",
+    "example_system",
+    "disk_drive",
+    "web_server",
+    "cpu",
+    "baseline",
+]

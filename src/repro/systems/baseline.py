@@ -1,0 +1,249 @@
+"""Appendix-B baseline system for the sensitivity studies (Figs. 12-14).
+
+"Our baseline implementation is the following.  SP has two states:
+active and sleep1.  Power consumption is high in active state (3 W) and
+lower in sleep state (2 W).  When the SP is performing a state
+transition, the power consumption is 4 W.  Transitions from active to
+sleep1 require only one time slice.  The SR model has two states as
+well ... The transition probability from one state to another and vice
+versa is 0.01.  The queue has maximum length equal 2."
+
+The sensitivity experiments swap in deeper sleep states (paper numbers):
+
+=======  ======  =====================
+state    power   wake exit probability
+=======  ======  =====================
+sleep1   2.0 W   1.0  (one slice)
+sleep2   1.0 W   0.1  (mean 10 slices)
+sleep3   0.5 W   0.01 (mean 100 slices)
+sleep4   0.0 W   0.001 (mean 1000)
+=======  ======  =====================
+
+:func:`build` accepts any subset of the menu (Fig. 12a), fully custom
+sleep specifications (Fig. 12b sweeps wake probability and sleep
+power), an SR flip probability (Fig. 13a burstiness), a replacement
+requester (Fig. 13b memory models), a discount factor (Fig. 14a) and a
+queue capacity (Fig. 14b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.components import ServiceProvider, ServiceQueue, ServiceRequester
+from repro.core.costs import CostModel
+from repro.core.system import PowerManagedSystem
+from repro.markov.chain import MarkovChain
+from repro.systems import SystemBundle
+from repro.util.validation import ValidationError, check_probability
+
+ACTIVE_POWER = 3.0
+TRANSITION_POWER = 4.0
+#: The active resource keeps up with the unit-rate bursts (sigma = 1):
+#: with a slower server the queue saturates during every burst and the
+#: paper's request-loss bounds (e.g. 0.01 in Fig. 13a) are infeasible
+#: for *any* policy, so the sweeps would be vacuous.
+SERVICE_RATE = 1.0
+DEFAULT_SR_FLIP = 0.01
+DEFAULT_QUEUE_CAPACITY = 2
+DEFAULT_GAMMA = 1.0 - 1e-5  # Fig. 12(a) horizon of 1e5 slices
+
+
+@dataclass(frozen=True)
+class SleepSpec:
+    """One sleep state: name, power draw and transition probabilities.
+
+    ``wake_probability`` is the per-slice chance of completing the
+    transition back to active; ``entry_probability`` the per-slice
+    chance of completing the transition *into* the sleep state (the
+    paper states only sleep1 is entered in a single slice — deeper
+    states take symmetrically longer, and the 4 W transition power is
+    drawn while the entry is in progress).
+    """
+
+    name: str
+    power: float
+    wake_probability: float
+    entry_probability: float = 1.0
+
+
+#: The paper's sleep-state menu (Appendix B).  Entry delays mirror the
+#: wake delays; the paper specifies them only for sleep1 ("transitions
+#: from active to sleep1 require only one time slice").
+SLEEP_MENU = {
+    "sleep1": SleepSpec("sleep1", 2.0, 1.0, 1.0),
+    "sleep2": SleepSpec("sleep2", 1.0, 0.1, 0.1),
+    "sleep3": SleepSpec("sleep3", 0.5, 0.01, 0.01),
+    "sleep4": SleepSpec("sleep4", 0.0, 0.001, 0.001),
+}
+
+
+def build_provider(
+    sleep_specs: Sequence[SleepSpec],
+    active_power: float = ACTIVE_POWER,
+    transition_power: float = TRANSITION_POWER,
+    service_rate: float = SERVICE_RATE,
+) -> ServiceProvider:
+    """Active state plus the given sleep states.
+
+    Entering any sleep state takes one slice; waking follows the
+    spec's geometric exit probability.  Commands toward a *deeper*
+    sleep state move directly; commands toward a shallower one act as
+    ``go_active`` (the resource must fully wake first) — the same
+    convention as the disk model.
+    """
+    specs = list(sleep_specs)
+    if not specs:
+        raise ValidationError("at least one sleep state is required")
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValidationError(f"duplicate sleep state names: {names}")
+    for spec in specs:
+        check_probability(spec.wake_probability, f"{spec.name} wake probability")
+        check_probability(spec.entry_probability, f"{spec.name} entry probability")
+
+    states = ["active"] + names
+    commands = ["go_active"] + [f"go_{name}" for name in names]
+    n = len(states)
+    index = {name: i for i, name in enumerate(states)}
+    depth = {name: k for k, name in enumerate(names)}
+
+    transitions = {}
+    for command in commands:
+        target = command.removeprefix("go_")
+        matrix = np.zeros((n, n))
+
+        # Active row: entering a sleep state takes geometric time with
+        # the spec's entry probability (the SP idles at transition power
+        # while the entry is in progress).
+        if target == "active":
+            matrix[0, 0] = 1.0
+        else:
+            p_in = specs[depth[target]].entry_probability
+            matrix[0, index[target]] = p_in
+            matrix[0, 0] = 1.0 - p_in
+
+        # Sleep rows.
+        for name in names:
+            row = index[name]
+            spec = specs[depth[name]]
+            if target == name:
+                matrix[row, row] = 1.0
+            elif target != "active" and depth[target] > depth[name]:
+                # Deepen: geometric with the deeper state's entry prob.
+                p_in = specs[depth[target]].entry_probability
+                matrix[row, index[target]] = p_in
+                matrix[row, row] = 1.0 - p_in
+            else:
+                # Wake (also for commands toward shallower states).
+                p = spec.wake_probability
+                matrix[row, 0] = p
+                matrix[row, row] = 1.0 - p
+        transitions[command] = matrix
+
+    power = np.zeros((n, len(commands)))
+    rates = np.zeros((n, len(commands)))
+    for a, command in enumerate(commands):
+        target = command.removeprefix("go_")
+        # Active state: holding costs active power, moving costs 4 W.
+        power[0, a] = active_power if target == "active" else transition_power
+        for name in names:
+            row = index[name]
+            if target == name:
+                power[row, a] = specs[depth[name]].power
+            else:
+                power[row, a] = transition_power  # waking or switching
+    rates[0, 0] = check_probability(service_rate, "service_rate")
+
+    return ServiceProvider.from_tables(
+        states=states,
+        commands=commands,
+        transitions=transitions,
+        service_rates=rates,
+        power=power,
+    )
+
+
+def build_requester(flip_probability: float = DEFAULT_SR_FLIP) -> ServiceRequester:
+    """Symmetric two-state SR: P(switch) = ``flip_probability``.
+
+    The stationary request probability is 0.5 regardless of the flip
+    probability — burstiness changes, load does not (the Fig. 13a
+    sweep's key property).
+    """
+    p = check_probability(flip_probability, "flip_probability")
+    chain = MarkovChain([[1.0 - p, p], [p, 1.0 - p]], ["0", "1"])
+    return ServiceRequester(chain, arrivals=[0, 1])
+
+
+def resolve_sleep_specs(sleep_states: Sequence) -> list[SleepSpec]:
+    """Turn menu names and/or explicit :class:`SleepSpec`s into specs."""
+    specs = []
+    for item in sleep_states:
+        if isinstance(item, SleepSpec):
+            specs.append(item)
+        elif str(item) in SLEEP_MENU:
+            specs.append(SLEEP_MENU[str(item)])
+        else:
+            raise ValidationError(
+                f"unknown sleep state {item!r}; menu: {sorted(SLEEP_MENU)}"
+            )
+    return specs
+
+
+def build(
+    sleep_states: Sequence = ("sleep1",),
+    gamma: float = DEFAULT_GAMMA,
+    queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+    sr_flip: float = DEFAULT_SR_FLIP,
+    requester: ServiceRequester | None = None,
+    active_power: float = ACTIVE_POWER,
+    transition_power: float = TRANSITION_POWER,
+    service_rate: float = SERVICE_RATE,
+) -> SystemBundle:
+    """Compose a baseline-system variant.
+
+    Parameters
+    ----------
+    sleep_states:
+        Menu names (``"sleep1"`` .. ``"sleep4"``) and/or explicit
+        :class:`SleepSpec` objects, ordered shallow to deep.
+    gamma:
+        Discount factor (Fig. 14a sweeps this).
+    queue_capacity:
+        Queue capacity (Fig. 14b sweeps this).
+    sr_flip:
+        SR flip probability (Fig. 13a sweeps this; smaller = burstier).
+    requester:
+        Optional replacement SR (Fig. 13b passes k-memory models);
+        overrides ``sr_flip``.
+    active_power / transition_power / service_rate:
+        SP parameters, defaulting to the paper's values.
+    """
+    specs = resolve_sleep_specs(sleep_states)
+    provider = build_provider(specs, active_power, transition_power, service_rate)
+    if requester is None:
+        requester = build_requester(sr_flip)
+    system = PowerManagedSystem(provider, requester, ServiceQueue(queue_capacity))
+    costs = CostModel.standard(system)
+    p0 = system.point_distribution("active", requester.state_names[0], 0)
+    return SystemBundle(
+        name="baseline",
+        system=system,
+        costs=costs,
+        gamma=float(gamma),
+        initial_distribution=p0,
+        time_resolution=1.0,
+        metadata={
+            "active_command": system.chain.command_index("go_active"),
+            "sleep_commands": {
+                spec.name: system.chain.command_index(f"go_{spec.name}")
+                for spec in specs
+            },
+            "sleep_specs": specs,
+            "paper_reference": "Appendix B, Figs. 12-14",
+        },
+    )

@@ -1,0 +1,210 @@
+"""ARM SA-1100 CPU case study (paper Section VI-C, Figs. 9b and 10).
+
+The CPU is modelled with two SP states (the actual processor's active
+and idle states are merged): ``active`` burns 0.3 W at full
+performance, ``sleep`` burns nothing and serves nothing.  Shut-down and
+turn-on both take about 100 ms; at tau = 50 ms that is a geometric
+transition with probability 0.5 per slice.  Transition powers are 0.3 W
+(shutting down) and 0.9 W (waking up).
+
+The hardware wakes on interrupts regardless of the power manager:
+"whenever there are incoming requests the SP is insensitive to PM
+commands, and a turn-on transition is performed unconditionally if a
+new request arrives when the SP is in sleep state.  In practice, only
+when the SP is active and the SR is idle the PM can control the
+evolution of the system."  We encode this as an *action mask* over the
+joint states:
+
+* (sleep, busy):   only ``run``   — the interrupt forces a wake;
+* (sleep, idle):   only ``shutdown`` — the CPU stays asleep until work;
+* (active, busy):  only ``run``   — requests must be served;
+* (active, idle):  free            — the single degree of freedom.
+
+Requests are not enqueued (queue capacity 0); the performance penalty
+is 1 whenever the SR is busy while the SP sleeps (the constrained
+"undesirable condition" of the paper).
+
+The workload stands in for the laptop-monitor traces of ref [28]; the
+nonstationary merged trace of Example 7.1 / Fig. 10 is produced by
+:func:`repro.traces.synthetic.merge_traces`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.components import ServiceProvider, ServiceQueue, ServiceRequester
+from repro.core.costs import CostModel, sleep_while_busy_penalty
+from repro.core.system import PowerManagedSystem
+from repro.markov.chain import MarkovChain
+from repro.systems import SystemBundle
+from repro.traces.extractor import SRExtractor
+
+#: 50 ms slices; the ~100 ms transitions become geometric with p = 0.5.
+TIME_RESOLUTION = 0.05
+TRANSITION_PROBABILITY = 0.5
+
+ACTIVE_POWER = 0.3
+WAKE_POWER = 0.9
+SHUTDOWN_POWER = 0.3
+
+SP_STATES = ["active", "sleep"]
+COMMANDS = ["run", "shutdown"]
+
+#: Default workload standing in for the monitored laptop CPU traces.
+DEFAULT_SR_STAY_IDLE = 0.95
+DEFAULT_SR_STAY_BUSY = 0.8
+
+DEFAULT_GAMMA = 1.0 - 1e-5
+
+
+def build_provider() -> ServiceProvider:
+    """The two-state SA-1100 SP."""
+    p = TRANSITION_PROBABILITY
+    transitions = {
+        # run: wake (or stay awake).
+        "run": [[1.0, 0.0], [p, 1.0 - p]],
+        # shutdown: go to (or stay in) sleep.
+        "shutdown": [[1.0 - p, p], [0.0, 1.0]],
+    }
+    service_rates = {
+        "active": {"run": 1.0, "shutdown": 0.0},
+        "sleep": {"run": 0.0, "shutdown": 0.0},
+    }
+    power = {
+        # Waking from sleep draws 0.9 W; shutting down from active 0.3 W
+        # (same as running, per the paper's numbers).
+        "active": {"run": ACTIVE_POWER, "shutdown": SHUTDOWN_POWER},
+        "sleep": {"run": WAKE_POWER, "shutdown": 0.0},
+    }
+    return ServiceProvider.from_tables(
+        states=SP_STATES,
+        commands=COMMANDS,
+        transitions=transitions,
+        service_rates=service_rates,
+        power=power,
+    )
+
+
+def build_requester(
+    stay_idle: float = DEFAULT_SR_STAY_IDLE,
+    stay_busy: float = DEFAULT_SR_STAY_BUSY,
+) -> ServiceRequester:
+    """Two-state idle/busy workload."""
+    chain = MarkovChain(
+        [[stay_idle, 1.0 - stay_idle], [1.0 - stay_busy, stay_busy]],
+        ["idle", "busy"],
+    )
+    return ServiceRequester(chain, arrivals={"idle": 0, "busy": 1})
+
+
+def reactive_wake_mask(system: PowerManagedSystem) -> np.ndarray:
+    """The action mask encoding the CPU's hardware-driven transitions.
+
+    Works for any requester (including k-memory extracted models): an
+    SR state is "busy" when it issues requests.
+    """
+    run = system.chain.command_index("run")
+    shutdown = system.chain.command_index("shutdown")
+    sleep = system.provider.chain.state_index("sleep")
+    arrivals = system.requester.arrival_counts
+
+    mask = np.zeros((system.n_states, system.n_commands), dtype=bool)
+    sp_of = system.provider_index_of_state
+    sr_of = system.requester_index_of_state
+    for x in range(system.n_states):
+        s, r = int(sp_of[x]), int(sr_of[x])
+        if arrivals[r] > 0:
+            mask[x, run] = True  # interrupts force service / wake
+        elif s == sleep:
+            mask[x, shutdown] = True  # stays asleep until an interrupt
+        else:  # active and idle: the PM's one free decision
+            mask[x, run] = True
+            mask[x, shutdown] = True
+    return mask
+
+
+def standard_costs(system: PowerManagedSystem) -> CostModel:
+    """The CPU study's cost model for any (possibly refit) requester.
+
+    Standard metrics with the performance penalty replaced by the
+    sleep-while-busy indicator of Section VI-C.  Usable as the
+    ``build_costs`` hook of
+    :class:`~repro.policies.adaptive.AdaptivePolicyAgent`.
+    """
+    costs = CostModel.standard(system)
+    busy_states = [
+        name
+        for name in system.requester.state_names
+        if system.requester.arrivals(name) > 0
+    ]
+    costs.add_metric(
+        "penalty", sleep_while_busy_penalty(system, ["sleep"], busy_states)
+    )
+    return costs
+
+
+def _bundle(
+    provider: ServiceProvider,
+    requester: ServiceRequester,
+    gamma: float,
+    name: str,
+    extra_metadata: dict | None = None,
+) -> SystemBundle:
+    system = PowerManagedSystem(provider, requester, ServiceQueue(0))
+    costs = standard_costs(system)
+    idle_name = next(
+        name_
+        for name_ in requester.state_names
+        if requester.arrivals(name_) == 0
+    )
+    p0 = system.point_distribution("active", idle_name, 0)
+    metadata = {
+        "active_command": system.chain.command_index("run"),
+        "sleep_command": system.chain.command_index("shutdown"),
+        "sleep_state_index": system.provider.chain.state_index("sleep"),
+        "paper_reference": "Section VI-C, Figs. 9(b) and 10",
+    }
+    if extra_metadata:
+        metadata.update(extra_metadata)
+    return SystemBundle(
+        name=name,
+        system=system,
+        costs=costs,
+        gamma=float(gamma),
+        initial_distribution=p0,
+        time_resolution=TIME_RESOLUTION,
+        action_mask=reactive_wake_mask(system),
+        metadata=metadata,
+    )
+
+
+def build(
+    gamma: float = DEFAULT_GAMMA,
+    stay_idle: float = DEFAULT_SR_STAY_IDLE,
+    stay_busy: float = DEFAULT_SR_STAY_BUSY,
+) -> SystemBundle:
+    """Compose the CPU case study (4 joint states)."""
+    return _bundle(
+        build_provider(), build_requester(stay_idle, stay_busy), gamma, "cpu"
+    )
+
+
+def build_from_trace(trace, gamma: float = DEFAULT_GAMMA, memory: int = 1) -> SystemBundle:
+    """Compose with an SR extracted from a CPU activity trace.
+
+    Used for the Fig. 10 experiment: fit a simple two-state model to a
+    nonstationary merged trace, optimize, then simulate against the
+    original trace.
+    """
+    model = SRExtractor(memory=memory).fit_trace(trace, TIME_RESOLUTION)
+    requester = model.to_requester()
+    # Rename states for the penalty definition: any state issuing
+    # requests counts as busy.
+    return _bundle(
+        build_provider(),
+        requester,
+        gamma,
+        "cpu-trace",
+        extra_metadata={"sr_model": model},
+    )

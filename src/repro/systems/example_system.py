@@ -1,0 +1,96 @@
+"""The paper's running example (Examples 3.1-3.7, A.1, A.2).
+
+A two-state service provider (on/off) with commands ``s_on`` / ``s_off``
+(Example 3.1), a bursty two-state requester (Example 3.2), and a queue
+of capacity 1 — giving the 8-state joint chain of Example 3.5.  Costs
+follow Example A.2: the SP burns 3 W on, 0 W off and 4 W while being
+switched in either direction; the performance penalty is the queue
+length and the loss metric flags requests arriving at a full queue.
+
+Example A.2 optimizes this system with gamma = 0.99999 from the initial
+state (on, no request, empty queue) under an average-queue bound of 0.5
+and a loss bound of 0.2, obtaining minimum expected power 1.798 W and a
+randomized decision in state (on, 0, 0) — the reference numbers for the
+integration tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.components import ServiceProvider, ServiceQueue, ServiceRequester
+from repro.core.costs import CostModel
+from repro.core.system import PowerManagedSystem
+from repro.markov.chain import MarkovChain
+from repro.systems import SystemBundle
+
+#: Example A.2 discount factor (time window of 1e5 slices).
+DEFAULT_GAMMA = 0.99999
+
+
+def build_provider() -> ServiceProvider:
+    """The two-state SP of Example 3.1 with Example A.2's power table."""
+    return ServiceProvider.from_tables(
+        states=["on", "off"],
+        commands=["s_on", "s_off"],
+        transitions={
+            "s_on": [[1.0, 0.0], [0.1, 0.9]],
+            "s_off": [[0.2, 0.8], [0.0, 1.0]],
+        },
+        service_rates={
+            "on": {"s_on": 0.8, "s_off": 0.0},
+            "off": {"s_on": 0.0, "s_off": 0.0},
+        },
+        power={
+            "on": {"s_on": 3.0, "s_off": 4.0},
+            "off": {"s_on": 4.0, "s_off": 0.0},
+        },
+    )
+
+
+def build_requester() -> ServiceRequester:
+    """The bursty two-state SR of Example 3.2."""
+    chain = MarkovChain([[0.95, 0.05], [0.15, 0.85]], ["0", "1"])
+    return ServiceRequester(chain, arrivals=[0, 1])
+
+
+def build(gamma: float = DEFAULT_GAMMA, queue_capacity: int = 1) -> SystemBundle:
+    """Compose the running example.
+
+    Parameters
+    ----------
+    gamma:
+        Discount factor (Example A.2 uses 0.99999).
+    queue_capacity:
+        Queue capacity; 1 gives the paper's 8-state joint chain.
+    """
+    provider = build_provider()
+    requester = build_requester()
+    system = PowerManagedSystem(provider, requester, ServiceQueue(queue_capacity))
+    costs = CostModel.standard(system)
+
+    # Example A.2 initial state: SP on, no request, queue empty.
+    p0 = system.point_distribution("on", "0", 0)
+    return SystemBundle(
+        name="example-system",
+        system=system,
+        costs=costs,
+        gamma=float(gamma),
+        initial_distribution=p0,
+        time_resolution=1.0,
+        metadata={
+            "active_command": system.chain.command_index("s_on"),
+            "sleep_command": system.chain.command_index("s_off"),
+            "paper_reference": "Examples 3.1-3.7, A.1, A.2; Fig. 6",
+        },
+    )
+
+
+#: Example A.2 constraint settings: average queue length and loss bounds.
+PAPER_PENALTY_BOUND_A2 = 0.5
+PAPER_LOSS_BOUND_A2 = 0.2
+
+#: Minimum expected power the paper reports for Example A.2 (watts).
+PAPER_MINIMUM_POWER_A2 = 1.798
+
+#: The randomized decision the paper reports for state (on, 0, 0):
+#: issue s_off with probability 0.226, s_on with probability 0.774.
+PAPER_DECISION_ON_IDLE_EMPTY_A2 = {"s_on": 0.774, "s_off": 0.226}

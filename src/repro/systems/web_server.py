@@ -1,0 +1,189 @@
+"""Dual-processor web-server case study (paper Section VI-B, Fig. 9a).
+
+A high-traffic web site served by two non-identical processors:
+processor 2 delivers 1.5x the throughput of processor 1 at 2x the
+power.  The SP state is the pair of processor on/off bits, giving four
+states; the PM issues one of four commands selecting the target
+configuration, and each processor moves toward its target independently
+(expected turn-on time 2 slices, expected shut-down time 1 slice).
+
+Numbers from the paper:
+
+* throughput: both on = 1.0, only P1 = 0.4, only P2 = 0.6, none = 0;
+* active power: P1 = 1 W, P2 = 2 W;
+* turn-on transition power: active + 0.5 W; shut-down: active - 0.5 W;
+* tau = 1 s, horizon one day (86 400 slices).
+
+Performance is *throughput delivered under demand* (capacity counts
+only in slices where the workload issues requests), constrained from
+below; there is no queue.  The paper's qualitative finding — "the
+processor with higher performance was never used alone" — is asserted
+by the Fig. 9(a) experiment.
+
+The workload stands in for the Internet Traffic Archive trace: a bursty
+two-state SR; :func:`build_from_trace` runs the real extraction
+pipeline on any trace instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.components import ServiceProvider, ServiceQueue, ServiceRequester
+from repro.core.costs import CostModel, throughput_reward
+from repro.core.system import PowerManagedSystem
+from repro.markov.chain import MarkovChain
+from repro.systems import SystemBundle
+from repro.traces.extractor import SRExtractor
+
+#: One-second slices; horizon of one day.
+TIME_RESOLUTION = 1.0
+DEFAULT_GAMMA = 1.0 - 1.0 / 86_400.0
+
+#: SP states: which processors are powered, as (p1, p2) bits.
+SP_STATES = ["both", "p1", "p2", "none"]
+STATE_BITS = {"both": (1, 1), "p1": (1, 0), "p2": (0, 1), "none": (0, 0)}
+
+COMMANDS = ["to_both", "to_p1", "to_p2", "to_none"]
+COMMAND_TARGET = {"to_both": (1, 1), "to_p1": (1, 0), "to_p2": (0, 1), "to_none": (0, 0)}
+
+#: Paper throughputs per SP state.
+THROUGHPUT = {"both": 1.0, "p1": 0.4, "p2": 0.6, "none": 0.0}
+
+#: Paper active powers per processor (watts).
+ACTIVE_POWER = (1.0, 2.0)
+
+#: Per-slice probability a processor completes turn-on (mean 2 slices)
+#: and shut-down (mean 1 slice).
+TURN_ON_PROBABILITY = 0.5
+SHUT_DOWN_PROBABILITY = 1.0
+
+#: Default bursty workload standing in for the ITA trace.
+DEFAULT_SR_STAY_IDLE = 0.95
+DEFAULT_SR_STAY_BUSY = 0.98
+
+
+def _processor_step_probability(bit: int, target: int) -> dict[int, float]:
+    """Distribution of one processor's next bit given its target."""
+    if bit == target:
+        return {bit: 1.0}
+    if target == 1:  # turning on
+        return {1: TURN_ON_PROBABILITY, 0: 1.0 - TURN_ON_PROBABILITY}
+    return {0: SHUT_DOWN_PROBABILITY, 1: 1.0 - SHUT_DOWN_PROBABILITY}
+
+
+def build_provider() -> ServiceProvider:
+    """The four-state dual-processor SP."""
+    n = len(SP_STATES)
+    index = {name: i for i, name in enumerate(SP_STATES)}
+    bits_of = [STATE_BITS[name] for name in SP_STATES]
+
+    transitions = {}
+    for command in COMMANDS:
+        target = COMMAND_TARGET[command]
+        matrix = np.zeros((n, n))
+        for src_name, src_bits in STATE_BITS.items():
+            p1_next = _processor_step_probability(src_bits[0], target[0])
+            p2_next = _processor_step_probability(src_bits[1], target[1])
+            for dst_name, dst_bits in STATE_BITS.items():
+                matrix[index[src_name], index[dst_name]] = p1_next.get(
+                    dst_bits[0], 0.0
+                ) * p2_next.get(dst_bits[1], 0.0)
+        transitions[command] = matrix
+
+    # Power: per processor, depends on its bit and the command target.
+    power = np.zeros((n, len(COMMANDS)))
+    for s, name in enumerate(SP_STATES):
+        bits = bits_of[s]
+        for a, command in enumerate(COMMANDS):
+            target = COMMAND_TARGET[command]
+            total = 0.0
+            for proc in (0, 1):
+                active = ACTIVE_POWER[proc]
+                if bits[proc] == 1 and target[proc] == 1:
+                    total += active  # running
+                elif bits[proc] == 1 and target[proc] == 0:
+                    total += active - 0.5  # shutting down
+                elif bits[proc] == 0 and target[proc] == 1:
+                    total += active + 0.5  # turning on
+                # off and staying off: 0 W
+            power[s, a] = total
+
+    # Service rate: the probability of completing a request per slice
+    # equals the state's throughput (requests are unit work).
+    rates = np.zeros((n, len(COMMANDS)))
+    for s, name in enumerate(SP_STATES):
+        rates[s, :] = THROUGHPUT[name]
+
+    return ServiceProvider.from_tables(
+        states=SP_STATES,
+        commands=COMMANDS,
+        transitions=transitions,
+        service_rates=rates,
+        power=power,
+    )
+
+
+def build_requester(
+    stay_idle: float = DEFAULT_SR_STAY_IDLE,
+    stay_busy: float = DEFAULT_SR_STAY_BUSY,
+) -> ServiceRequester:
+    """Two-state bursty workload (ITA-trace substitute)."""
+    chain = MarkovChain(
+        [[stay_idle, 1.0 - stay_idle], [1.0 - stay_busy, stay_busy]],
+        ["0", "1"],
+    )
+    return ServiceRequester(chain, arrivals=[0, 1])
+
+
+def _bundle(
+    provider: ServiceProvider,
+    requester: ServiceRequester,
+    gamma: float,
+    name: str,
+    extra_metadata: dict | None = None,
+) -> SystemBundle:
+    system = PowerManagedSystem(provider, requester, ServiceQueue(0))
+    costs = CostModel.standard(system)
+    costs.add_metric("throughput", throughput_reward(system, THROUGHPUT))
+    p0 = system.point_distribution("both", requester.state_names[0], 0)
+    metadata = {
+        "active_command": system.chain.command_index("to_both"),
+        "sleep_command": system.chain.command_index("to_none"),
+        "throughput_by_state": dict(THROUGHPUT),
+        "paper_reference": "Section VI-B, Fig. 9(a)",
+    }
+    if extra_metadata:
+        metadata.update(extra_metadata)
+    return SystemBundle(
+        name=name,
+        system=system,
+        costs=costs,
+        gamma=float(gamma),
+        initial_distribution=p0,
+        time_resolution=TIME_RESOLUTION,
+        metadata=metadata,
+    )
+
+
+def build(
+    gamma: float = DEFAULT_GAMMA,
+    stay_idle: float = DEFAULT_SR_STAY_IDLE,
+    stay_busy: float = DEFAULT_SR_STAY_BUSY,
+) -> SystemBundle:
+    """Compose the web-server case study (8 joint states)."""
+    return _bundle(
+        build_provider(), build_requester(stay_idle, stay_busy), gamma, "web-server"
+    )
+
+
+def build_from_trace(trace, gamma: float = DEFAULT_GAMMA, memory: int = 1) -> SystemBundle:
+    """Compose with an SR extracted from a request trace (Fig. 7 pipeline)."""
+    model = SRExtractor(memory=memory).fit_trace(trace, TIME_RESOLUTION)
+    return _bundle(
+        build_provider(),
+        model.to_requester(),
+        gamma,
+        "web-server-trace",
+        extra_metadata={"sr_model": model},
+    )

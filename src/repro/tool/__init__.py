@@ -1,0 +1,27 @@
+"""The policy-optimization tool (paper Section V, Fig. 7).
+
+The paper wraps its machinery in a tool that takes a *system
+description* and a *request trace*, extracts the SR model, composes the
+Markov chains, solves the LP, extracts the policy and verifies it by
+simulation.  This package is that tool:
+
+* :mod:`~repro.tool.spec` — a declarative, JSON-serializable system
+  description format with syntactic checking (the paper's "syntax
+  checker" box);
+* :mod:`~repro.tool.pipeline` — the end-to-end flow: trace -> SR
+  extractor -> Markov composer -> LP solver -> policy extractor ->
+  simulation verification (both Markov-driven and trace-driven);
+* :mod:`~repro.tool.cli` — the ``repro-dpm`` command-line interface.
+"""
+
+from repro.tool.pipeline import PipelineReport, optimize_spec, run_pipeline
+from repro.tool.spec import SystemSpec, load_spec, parse_spec
+
+__all__ = [
+    "SystemSpec",
+    "parse_spec",
+    "load_spec",
+    "run_pipeline",
+    "optimize_spec",
+    "PipelineReport",
+]

@@ -1,0 +1,217 @@
+"""``repro-dpm`` — command-line interface to the policy-optimization tool.
+
+Subcommands:
+
+* ``optimize SPEC.json [--trace TRACE.txt]`` — run the Fig. 7 pipeline
+  on a system spec (extracting the workload model from the trace when
+  one is given) and print the optimal policy and verification summary;
+* ``pareto SPEC.json --constraint penalty --bounds 0.1,0.2,0.5`` —
+  sweep a constraint and print the trade-off curve;
+* ``experiment ID [--full]`` — regenerate a paper table/figure
+  (``repro-dpm experiment list`` shows the registry);
+* ``extract TRACE.txt --resolution 0.001 --memory 2`` — run just the
+  SR extractor and print the fitted model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.optimizer import PolicyOptimizer
+from repro.core.pareto import trade_off_curve
+from repro.experiments import available_experiments, run_experiment
+from repro.sim.rng import make_rng
+from repro.tool.pipeline import run_pipeline
+from repro.tool.spec import load_spec
+from repro.traces.extractor import SRExtractor
+from repro.traces.trace import Trace
+from repro.util.tables import format_table
+from repro.util.validation import ValidationError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dpm",
+        description=(
+            "Policy optimization for dynamic power management "
+            "(Benini et al., DAC 1998)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_opt = sub.add_parser("optimize", help="run the full pipeline on a spec")
+    p_opt.add_argument("spec", help="path to a JSON system spec")
+    p_opt.add_argument("--trace", help="path to a request trace file")
+    p_opt.add_argument("--memory", type=int, default=1, help="SR extractor memory")
+    p_opt.add_argument("--seed", type=int, default=0, help="verification RNG seed")
+    p_opt.add_argument(
+        "--no-verify", action="store_true", help="skip simulation verification"
+    )
+    p_opt.add_argument(
+        "--backend", default="scipy", help="LP backend (scipy/interior-point/simplex)"
+    )
+    p_opt.add_argument(
+        "--average",
+        action="store_true",
+        help="use the long-run average formulation (paper Eq. 7) instead "
+        "of the discounted one",
+    )
+    p_opt.add_argument(
+        "--print-policy", action="store_true", help="print the full policy matrix"
+    )
+
+    p_pareto = sub.add_parser("pareto", help="sweep a constraint bound")
+    p_pareto.add_argument("spec", help="path to a JSON system spec")
+    p_pareto.add_argument(
+        "--constraint", default="penalty", help="metric to sweep (default: penalty)"
+    )
+    p_pareto.add_argument(
+        "--bounds",
+        required=True,
+        help="comma-separated bounds, e.g. 0.1,0.2,0.5",
+    )
+    p_pareto.add_argument(
+        "--objective", default="power", help="metric to minimize (default: power)"
+    )
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument(
+        "experiment_id",
+        help="experiment id, 'list' to enumerate, or 'all'",
+    )
+    p_exp.add_argument(
+        "--full",
+        action="store_true",
+        help="full-length simulations (default: quick mode)",
+    )
+    p_exp.add_argument("--seed", type=int, default=0)
+
+    p_ext = sub.add_parser("extract", help="fit an SR model from a trace")
+    p_ext.add_argument("trace", help="path to a request trace file")
+    p_ext.add_argument("--resolution", type=float, required=True, help="tau, seconds")
+    p_ext.add_argument("--memory", type=int, default=1)
+
+    return parser
+
+
+def _cmd_optimize(args) -> int:
+    spec = load_spec(args.spec)
+    trace = Trace.load(args.trace) if args.trace else None
+    rng = None if args.no_verify else make_rng(args.seed)
+    report = run_pipeline(
+        spec,
+        trace=trace,
+        memory=args.memory,
+        rng=rng,
+        backend=args.backend,
+        formulation="average" if args.average else "discounted",
+    )
+    print(report.summary())
+    if not report.optimization.feasible:
+        return 1
+    if args.print_policy:
+        policy = report.optimization.policy
+        rows = [
+            [state] + [policy.matrix[i, a] for a in range(policy.n_commands)]
+            for i, state in enumerate(report.system_states)
+        ]
+        print(
+            format_table(
+                ["state"] + list(policy.command_names),
+                rows,
+                title="optimal policy matrix",
+            )
+        )
+    return 0
+
+
+def _cmd_pareto(args) -> int:
+    spec = load_spec(args.spec)
+    system, costs, p0 = spec.compose()
+    optimizer = PolicyOptimizer(
+        system, costs, gamma=spec.gamma, initial_distribution=p0
+    )
+    bounds = [float(b) for b in args.bounds.split(",") if b.strip()]
+    curve = trade_off_curve(
+        optimizer, bounds, objective=args.objective, constraint=args.constraint
+    )
+    rows = [
+        (
+            point.bound,
+            point.objective if point.feasible else float("nan"),
+            "yes" if point.feasible else "no",
+        )
+        for point in curve.points
+    ]
+    print(
+        format_table(
+            [f"{args.constraint}_bound", f"min_{args.objective}", "feasible"],
+            rows,
+            title=f"trade-off curve for {spec.name}",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.experiment_id == "list":
+        for experiment_id in available_experiments():
+            print(experiment_id)
+        return 0
+    ids = (
+        list(available_experiments())
+        if args.experiment_id == "all"
+        else [args.experiment_id]
+    )
+    exit_code = 0
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, quick=not args.full, seed=args.seed)
+        print(result.render())
+        print()
+        if not result.all_checks_pass:
+            exit_code = 1
+    return exit_code
+
+
+def _cmd_extract(args) -> int:
+    trace = Trace.load(args.trace)
+    model = SRExtractor(memory=args.memory).fit_trace(trace, args.resolution)
+    print(
+        f"fitted {model.memory}-memory model over {model.n_states} states "
+        f"from {model.n_observations} transitions"
+    )
+    names = ["".join(map(str, s)) for s in model.states]
+    rows = [
+        [names[i]] + [model.matrix[i, j] for j in range(model.n_states)]
+        for i in range(model.n_states)
+    ]
+    print(format_table(["state"] + names, rows, title="transition matrix"))
+    with np.printoptions(precision=4, suppress=True):
+        print("state counts:", model.state_counts)
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point (installed as ``repro-dpm``)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "optimize": _cmd_optimize,
+        "pareto": _cmd_pareto,
+        "experiment": _cmd_experiment,
+        "extract": _cmd_extract,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:  # output piped into head etc.
+        return 0
+    except (ValidationError, FileNotFoundError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

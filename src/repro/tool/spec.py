@@ -1,0 +1,239 @@
+"""Declarative system descriptions (paper Fig. 7, "system description").
+
+The paper's tool consumes "an informal specification of the information
+needed to formulate the SP model, various system parameters (time
+horizon, queue length), cost functions ... constraints and optimization
+target", hand-translated into stochastic matrices.  Here the format is
+a JSON-serializable dictionary, checked for syntactic and stochastic
+correctness before composition:
+
+.. code-block:: python
+
+    spec = {
+        "name": "my-device",
+        "time_resolution": 1e-3,
+        "gamma": 0.99999,
+        "queue_capacity": 2,
+        "provider": {
+            "states": ["on", "off"],
+            "commands": ["s_on", "s_off"],
+            "transitions": {
+                "s_on": [[1.0, 0.0], [0.1, 0.9]],
+                "s_off": [[0.2, 0.8], [0.0, 1.0]],
+            },
+            "service_rates": [[0.8, 0.0], [0.0, 0.0]],
+            "power": [[3.0, 4.0], [4.0, 0.0]],
+        },
+        "requester": {            # optional if a trace is supplied
+            "states": ["idle", "busy"],
+            "transitions": [[0.95, 0.05], [0.15, 0.85]],
+            "arrivals": [0, 1],
+        },
+        "initial_state": ["on", "idle", 0],
+        "objective": "power",     # metric to minimize
+        "constraints": {"penalty": 0.5, "loss": 0.2},
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.components import ServiceProvider, ServiceQueue, ServiceRequester
+from repro.core.costs import CostModel
+from repro.core.system import PowerManagedSystem
+from repro.markov.chain import MarkovChain
+from repro.util.validation import ValidationError
+
+
+@dataclass
+class SystemSpec:
+    """A validated system description, ready for composition.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports.
+    provider:
+        The service-provider model.
+    requester:
+        The workload model, or ``None`` when it is to be extracted from
+        a trace by the pipeline.
+    queue_capacity:
+        Bounded queue capacity.
+    gamma:
+        Discount factor (time horizon ``1/(1-gamma)`` slices).
+    time_resolution:
+        Seconds per slice.
+    initial_state:
+        ``(provider, requester, queue)`` start for optimization, or
+        ``None`` for uniform.
+    objective:
+        Metric name to minimize.
+    constraints:
+        Per-slice upper bounds: ``{metric: bound}``.
+    lower_constraints:
+        Per-slice lower bounds (e.g. minimum throughput).
+    """
+
+    name: str
+    provider: ServiceProvider
+    requester: ServiceRequester | None
+    queue_capacity: int
+    gamma: float
+    time_resolution: float = 1.0
+    initial_state: tuple | None = None
+    objective: str = "power"
+    constraints: dict[str, float] = field(default_factory=dict)
+    lower_constraints: dict[str, float] = field(default_factory=dict)
+
+    def compose(
+        self, requester: ServiceRequester | None = None
+    ) -> tuple[PowerManagedSystem, CostModel, np.ndarray]:
+        """Compose the joint system, standard costs and p0.
+
+        When the spec's objective or constraints reference the
+        ``"waiting"`` metric, the Little's-law waiting-time metric is
+        registered automatically (paper Section VI-A's latency
+        constraint).
+
+        Parameters
+        ----------
+        requester:
+            Overrides the spec's requester (the pipeline passes the
+            trace-extracted model here).
+        """
+        requester = requester or self.requester
+        if requester is None:
+            raise ValidationError(
+                f"spec {self.name!r} has no requester; supply one or run "
+                f"the pipeline with a trace"
+            )
+        system = PowerManagedSystem(
+            self.provider, requester, ServiceQueue(self.queue_capacity)
+        )
+        costs = self.costs_for(system)
+        if self.initial_state is None:
+            p0 = system.uniform_distribution()
+        else:
+            provider_state, requester_state, queue = self.initial_state
+            p0 = system.point_distribution(provider_state, requester_state, int(queue))
+        return system, costs, p0
+
+    def costs_for(self, system: PowerManagedSystem) -> CostModel:
+        """Standard costs plus any extra metrics the spec references."""
+        costs = CostModel.standard(system)
+        referenced = (
+            {self.objective}
+            | set(self.constraints)
+            | set(self.lower_constraints)
+        )
+        if "waiting" in referenced:
+            from repro.core.costs import waiting_time_penalty
+
+            costs.add_metric("waiting", waiting_time_penalty(system))
+        return costs
+
+
+def _require(mapping: dict, key: str, context: str):
+    if key not in mapping:
+        raise ValidationError(f"{context}: missing required field {key!r}")
+    return mapping[key]
+
+
+def parse_spec(raw: dict) -> SystemSpec:
+    """Validate a raw dictionary into a :class:`SystemSpec`.
+
+    Raises :class:`~repro.util.validation.ValidationError` with a field
+    path on any structural or stochastic error — this is the "syntax
+    checker" stage of the paper's tool.
+    """
+    if not isinstance(raw, dict):
+        raise ValidationError(f"spec must be a mapping, got {type(raw).__name__}")
+    name = str(raw.get("name", "unnamed-system"))
+
+    provider_raw = _require(raw, "provider", f"spec {name!r}")
+    for key in ("states", "commands", "transitions", "service_rates", "power"):
+        _require(provider_raw, key, f"spec {name!r} provider")
+    provider = ServiceProvider.from_tables(
+        states=[str(s) for s in provider_raw["states"]],
+        commands=[str(c) for c in provider_raw["commands"]],
+        transitions=provider_raw["transitions"],
+        service_rates=provider_raw["service_rates"],
+        power=provider_raw["power"],
+    )
+
+    requester = None
+    if raw.get("requester") is not None:
+        requester_raw = raw["requester"]
+        for key in ("transitions", "arrivals"):
+            _require(requester_raw, key, f"spec {name!r} requester")
+        states = requester_raw.get("states")
+        chain = MarkovChain(
+            requester_raw["transitions"],
+            [str(s) for s in states] if states is not None else None,
+        )
+        requester = ServiceRequester(chain, requester_raw["arrivals"])
+
+    gamma = float(raw.get("gamma", 0.99999))
+    if not 0.0 < gamma < 1.0:
+        raise ValidationError(f"spec {name!r}: gamma must be in (0, 1), got {gamma!r}")
+    queue_capacity = int(raw.get("queue_capacity", 0))
+    if queue_capacity < 0:
+        raise ValidationError(
+            f"spec {name!r}: queue_capacity must be >= 0, got {queue_capacity}"
+        )
+    time_resolution = float(raw.get("time_resolution", 1.0))
+    if time_resolution <= 0:
+        raise ValidationError(
+            f"spec {name!r}: time_resolution must be > 0, got {time_resolution!r}"
+        )
+
+    initial_state = raw.get("initial_state")
+    if initial_state is not None:
+        if len(initial_state) != 3:
+            raise ValidationError(
+                f"spec {name!r}: initial_state must be "
+                f"[provider, requester, queue], got {initial_state!r}"
+            )
+        initial_state = (
+            str(initial_state[0]),
+            str(initial_state[1]),
+            int(initial_state[2]),
+        )
+
+    constraints = {
+        str(metric): float(bound)
+        for metric, bound in dict(raw.get("constraints", {})).items()
+    }
+    lower_constraints = {
+        str(metric): float(bound)
+        for metric, bound in dict(raw.get("lower_constraints", {})).items()
+    }
+    objective = str(raw.get("objective", "power"))
+
+    return SystemSpec(
+        name=name,
+        provider=provider,
+        requester=requester,
+        queue_capacity=queue_capacity,
+        gamma=gamma,
+        time_resolution=time_resolution,
+        initial_state=initial_state,
+        objective=objective,
+        constraints=constraints,
+        lower_constraints=lower_constraints,
+    )
+
+
+def load_spec(path) -> SystemSpec:
+    """Parse a spec from a JSON file."""
+    try:
+        raw = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"spec file {path}: invalid JSON ({exc})") from exc
+    return parse_spec(raw)

@@ -1,0 +1,43 @@
+"""Workload traces: containers, discretization, synthesis, extraction.
+
+The paper's tool takes "a request trace consisting of time-stamped
+request records (obtained from measurements on a real system)" and
+automatically builds a Markov SR model from it (Fig. 7, "SR extractor").
+The original traces (Auspex file-system, Internet Traffic Archive,
+laptop CPU monitors) are not redistributable, so this package also
+provides synthetic generators with matching statistical structure —
+bursty two-state modulated processes, on/off sources, and nonstationary
+merges (paper Example 7.1).
+
+* :class:`~repro.traces.trace.Trace` — time-stamped request records;
+* :func:`~repro.traces.discretize.discretize_timestamps` — timestamps
+  to per-slice counts at a resolution tau (paper Example 5.1);
+* :mod:`~repro.traces.synthetic` — workload generators;
+* :class:`~repro.traces.extractor.SRExtractor` — the k-memory Markov
+  model extraction of Section V.
+"""
+
+from repro.traces.discretize import binarize, discretize_timestamps
+from repro.traces.extractor import KMemoryModel, KMemoryTracker, SRExtractor
+from repro.traces.synthetic import (
+    merge_traces,
+    mmpp2_trace,
+    on_off_trace,
+    periodic_burst_trace,
+    poisson_trace,
+)
+from repro.traces.trace import Trace
+
+__all__ = [
+    "Trace",
+    "discretize_timestamps",
+    "binarize",
+    "poisson_trace",
+    "mmpp2_trace",
+    "on_off_trace",
+    "periodic_burst_trace",
+    "merge_traces",
+    "SRExtractor",
+    "KMemoryModel",
+    "KMemoryTracker",
+]

@@ -1,0 +1,185 @@
+"""Synthetic workload generators.
+
+Substitutes for the measured traces the paper used (Auspex file-system
+traces for the disk, an Internet Traffic Archive HTTP trace for the web
+server, laptop monitor traces for the CPU — none redistributable).
+Each generator produces a :class:`~repro.traces.trace.Trace` whose
+slice-level statistics match the structure the paper relies on:
+
+* :func:`poisson_trace` — memoryless arrivals (the burstiness baseline);
+* :func:`mmpp2_trace` — a two-state Markov-modulated process, i.e.
+  exactly the families of SR models the paper extracts from its traces
+  (bursty, geometrically distributed busy/idle periods);
+* :func:`on_off_trace` — on/off source with arbitrary period-length
+  samplers (used to create *non*-geometric structure that a k-memory
+  extractor can exploit, paper Fig. 13b);
+* :func:`periodic_burst_trace` — deterministic periodic bursts (highly
+  non-Markovian);
+* :func:`merge_traces` — concatenation of differently-distributed
+  segments, the paper's nonstationary workload (Example 7.1, Fig. 10).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.traces.trace import Trace
+from repro.util.validation import ValidationError, check_probability
+
+
+def _slice_midpoints(slice_indices: np.ndarray, resolution: float) -> np.ndarray:
+    """Place one timestamp at the midpoint of each chosen slice."""
+    return (slice_indices + 0.5) * resolution
+
+
+def poisson_trace(
+    rate: float,
+    duration: float,
+    rng: np.random.Generator,
+) -> Trace:
+    """Homogeneous Poisson arrivals at ``rate`` requests/second."""
+    if rate < 0:
+        raise ValidationError(f"rate must be >= 0, got {rate!r}")
+    if duration <= 0:
+        raise ValidationError(f"duration must be > 0, got {duration!r}")
+    n = int(rng.poisson(rate * duration))
+    stamps = np.sort(rng.uniform(0.0, duration, size=n))
+    return Trace(stamps, duration=duration)
+
+
+def mmpp2_trace(
+    p_stay_idle: float,
+    p_stay_busy: float,
+    n_slices: int,
+    resolution: float,
+    rng: np.random.Generator,
+    busy_arrival_probability: float = 1.0,
+) -> Trace:
+    """Two-state Markov-modulated arrivals on a slotted time axis.
+
+    A hidden idle/busy chain flips with the given stay probabilities;
+    busy slices emit one request with ``busy_arrival_probability``.
+    With probability 1 this is exactly a realization of the paper's
+    two-state SR models (Example 3.2), so SR extraction from such a
+    trace recovers the generating probabilities — verified in tests.
+
+    Parameters
+    ----------
+    p_stay_idle / p_stay_busy:
+        Self-transition probabilities of the modulating chain.
+    n_slices:
+        Trace length in slices.
+    resolution:
+        Seconds per slice (timestamps land at slice midpoints).
+    rng:
+        Random generator.
+    busy_arrival_probability:
+        Chance a busy slice actually emits a request.
+    """
+    p_ii = check_probability(p_stay_idle, "p_stay_idle")
+    p_bb = check_probability(p_stay_busy, "p_stay_busy")
+    emit = check_probability(busy_arrival_probability, "busy_arrival_probability")
+    n_slices = int(n_slices)
+    if n_slices <= 0:
+        raise ValidationError(f"n_slices must be > 0, got {n_slices}")
+    if resolution <= 0:
+        raise ValidationError(f"resolution must be > 0, got {resolution!r}")
+
+    uniforms = rng.random(n_slices)
+    emits = rng.random(n_slices)
+    busy = False
+    chosen = []
+    for t in range(n_slices):
+        stay = p_bb if busy else p_ii
+        if uniforms[t] >= stay:
+            busy = not busy
+        if busy and emits[t] < emit:
+            chosen.append(t)
+    stamps = _slice_midpoints(np.asarray(chosen, dtype=float), resolution)
+    return Trace(stamps, duration=n_slices * resolution)
+
+
+def on_off_trace(
+    on_length_sampler: Callable[[np.random.Generator], int],
+    off_length_sampler: Callable[[np.random.Generator], int],
+    n_slices: int,
+    resolution: float,
+    rng: np.random.Generator,
+) -> Trace:
+    """Alternating on/off source with caller-supplied period samplers.
+
+    During "on" periods every slice carries one request; "off" periods
+    are silent.  Supplying non-geometric samplers (fixed lengths,
+    heavy tails) produces workloads a 1-memory Markov model fits poorly
+    but higher-memory models capture — the mechanism behind paper
+    Fig. 13(b).
+    """
+    n_slices = int(n_slices)
+    if n_slices <= 0:
+        raise ValidationError(f"n_slices must be > 0, got {n_slices}")
+    if resolution <= 0:
+        raise ValidationError(f"resolution must be > 0, got {resolution!r}")
+
+    chosen = []
+    t = 0
+    on = False
+    while t < n_slices:
+        length = int(
+            on_length_sampler(rng) if on else off_length_sampler(rng)
+        )
+        if length <= 0:
+            raise ValidationError("period samplers must return positive lengths")
+        if on:
+            end = min(t + length, n_slices)
+            chosen.extend(range(t, end))
+        t += length
+        on = not on
+    stamps = _slice_midpoints(np.asarray(chosen, dtype=float), resolution)
+    return Trace(stamps, duration=n_slices * resolution)
+
+
+def periodic_burst_trace(
+    burst_length: int,
+    gap_length: int,
+    n_slices: int,
+    resolution: float,
+) -> Trace:
+    """Deterministic periodic bursts: ``burst_length`` on, ``gap_length`` off.
+
+    Entirely predictable yet strongly non-geometric — the adversarial
+    case for the memoryless SR assumption (paper Section VII).
+    """
+    burst_length = int(burst_length)
+    gap_length = int(gap_length)
+    if burst_length <= 0 or gap_length < 0:
+        raise ValidationError(
+            "burst_length must be > 0 and gap_length >= 0, got "
+            f"{burst_length} and {gap_length}"
+        )
+    n_slices = int(n_slices)
+    if n_slices <= 0:
+        raise ValidationError(f"n_slices must be > 0, got {n_slices}")
+    if resolution <= 0:
+        raise ValidationError(f"resolution must be > 0, got {resolution!r}")
+    period = burst_length + gap_length
+    indices = [t for t in range(n_slices) if (t % period) < burst_length]
+    stamps = _slice_midpoints(np.asarray(indices, dtype=float), resolution)
+    return Trace(stamps, duration=n_slices * resolution)
+
+
+def merge_traces(traces: Sequence[Trace]) -> Trace:
+    """Concatenate trace segments back to back (paper Example 7.1).
+
+    The segments keep their internal statistics, so the result is
+    nonstationary by construction — e.g. an editing-like sparse segment
+    followed by a compile-like dense burst, the workload of Fig. 10.
+    """
+    traces = list(traces)
+    if not traces:
+        raise ValidationError("merge_traces needs at least one trace")
+    merged = traces[0]
+    for trace in traces[1:]:
+        merged = merged.concatenated(trace)
+    return merged

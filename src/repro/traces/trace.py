@@ -1,0 +1,159 @@
+"""Time-stamped request traces.
+
+A :class:`Trace` is the paper's primary workload input: a sorted list of
+request arrival times measured (or synthesized) in seconds.  It carries
+the elementary statistics the case studies need (interarrival moments,
+burstiness) and converts to per-slice counts via
+:func:`~repro.traces.discretize.discretize_timestamps`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.discretize import discretize_timestamps
+from repro.util.validation import ValidationError
+
+
+class Trace:
+    """A sorted sequence of request arrival timestamps (seconds).
+
+    Parameters
+    ----------
+    timestamps:
+        Arrival times; sorted internally.  May be empty.
+    duration:
+        Total observation window; defaults to the last timestamp (or 0
+        for an empty trace).  Must cover every timestamp.
+
+    Examples
+    --------
+    The trace of paper Example 5.1::
+
+        >>> trace = Trace([2, 5, 6, 7, 12], duration=13)
+        >>> trace.n_requests
+        5
+        >>> trace.discretize(1.0).tolist()
+        [0, 0, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1]
+    """
+
+    def __init__(self, timestamps, duration: float | None = None):
+        arr = np.sort(np.asarray(timestamps, dtype=float).reshape(-1))
+        if arr.size and (not np.all(np.isfinite(arr)) or arr[0] < 0):
+            raise ValidationError("timestamps must be finite and non-negative")
+        self._timestamps = arr
+        if duration is None:
+            duration = float(arr[-1]) if arr.size else 0.0
+        duration = float(duration)
+        if arr.size and duration < arr[-1]:
+            raise ValidationError(
+                f"duration {duration} is before the last timestamp {arr[-1]}"
+            )
+        self._duration = duration
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Sorted arrival times (copy)."""
+        return self._timestamps.copy()
+
+    @property
+    def n_requests(self) -> int:
+        """Number of requests in the trace."""
+        return int(self._timestamps.size)
+
+    @property
+    def duration(self) -> float:
+        """Observation window length in seconds."""
+        return self._duration
+
+    def mean_rate(self) -> float:
+        """Average requests per second over the window."""
+        if self._duration <= 0:
+            return 0.0
+        return self.n_requests / self._duration
+
+    def interarrival_times(self) -> np.ndarray:
+        """Differences between consecutive arrivals."""
+        if self._timestamps.size < 2:
+            return np.zeros(0)
+        return np.diff(self._timestamps)
+
+    def burstiness(self) -> float:
+        """Coefficient of variation of interarrival times.
+
+        1 for a Poisson process; > 1 indicates bursty arrivals (the
+        regime where power management pays off, paper Fig. 13a).
+        """
+        gaps = self.interarrival_times()
+        if gaps.size < 2 or gaps.mean() == 0:
+            return 0.0
+        return float(gaps.std(ddof=1) / gaps.mean())
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def discretize(self, resolution: float) -> np.ndarray:
+        """Per-slice arrival counts at ``resolution`` seconds per slice."""
+        return discretize_timestamps(
+            self._timestamps, resolution, duration=self._duration
+        )
+
+    def shifted(self, offset: float) -> "Trace":
+        """A copy with all timestamps moved by ``offset`` seconds."""
+        offset = float(offset)
+        if self._timestamps.size and self._timestamps[0] + offset < 0:
+            raise ValidationError("shift would create negative timestamps")
+        return Trace(self._timestamps + offset, duration=self._duration + offset)
+
+    def concatenated(self, other: "Trace") -> "Trace":
+        """This trace followed by ``other`` (offset by this duration).
+
+        The construction behind the paper's nonstationary workload
+        (Example 7.1: "obtained by merging two real-world traces with
+        completely different statistics").
+        """
+        if not isinstance(other, Trace):
+            raise ValidationError("can only concatenate another Trace")
+        moved = other._timestamps + self._duration
+        return Trace(
+            np.concatenate([self._timestamps, moved]),
+            duration=self._duration + other._duration,
+        )
+
+    # ------------------------------------------------------------------
+    # persistence (plain text, one timestamp per line)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write one timestamp per line; first line is the duration."""
+        lines = [f"# duration {self._duration!r}"]
+        lines.extend(repr(float(t)) for t in self._timestamps)
+        Path(path).write_text("\n".join(lines) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        """Read a trace written by :meth:`save`."""
+        text = Path(path).read_text()
+        duration = None
+        stamps = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] == "duration":
+                    duration = float(parts[1])
+                continue
+            stamps.append(float(line))
+        return cls(stamps, duration=duration)
+
+    def __len__(self) -> int:
+        return self.n_requests
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace(n_requests={self.n_requests}, duration={self._duration})"

@@ -1,0 +1,28 @@
+"""Shared utilities: validation helpers and plain-text table rendering.
+
+These helpers are deliberately dependency-light; everything in
+:mod:`repro` that needs to check a stochastic matrix or print an aligned
+results table goes through this package so error messages and output
+formatting stay consistent across the library.
+"""
+
+from repro.util.tables import format_table, format_series
+from repro.util.validation import (
+    ValidationError,
+    check_distribution,
+    check_probability,
+    check_square,
+    check_stochastic_matrix,
+    check_nonnegative,
+)
+
+__all__ = [
+    "ValidationError",
+    "check_distribution",
+    "check_probability",
+    "check_square",
+    "check_stochastic_matrix",
+    "check_nonnegative",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,87 @@
+"""Plain-text table rendering for experiment and benchmark output.
+
+The experiment drivers (one per paper table/figure) print their results
+through these helpers so that ``pytest benchmarks/ --benchmark-only`` and
+the example scripts produce aligned, diff-friendly tables resembling the
+rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _render_cell(value, float_format: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    float_format: str = ".4f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; cells may be any type, floats are
+        formatted with ``float_format``.
+    float_format:
+        ``format()`` spec applied to float cells.
+    title:
+        Optional title line printed above the table.
+
+    Returns
+    -------
+    str
+        The rendered table (no trailing newline).
+    """
+    rendered = [[_render_cell(cell, float_format) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[idx]) for idx, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    float_format: str = ".4f",
+) -> str:
+    """Render a named (x, y) series as a two-column table.
+
+    Used for figure reproductions where the paper plots a curve; each
+    point becomes one row so the series can be compared numerically.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"series {name!r}: {len(xs)} x values vs {len(ys)} y values")
+    return format_table(
+        [x_label, y_label],
+        list(zip(xs, ys)),
+        float_format=float_format,
+        title=name,
+    )

@@ -1,0 +1,100 @@
+"""Validation helpers for probabilistic model inputs.
+
+Every user-facing constructor in :mod:`repro` validates its numeric
+inputs through these functions, so a malformed model fails fast with a
+message naming the offending quantity instead of surfacing later as a
+mysteriously non-stochastic composed chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Absolute tolerance used when checking that probabilities sum to one.
+#: Chosen loose enough to accept matrices assembled from rounded literals
+#: (e.g. the paper's 0.85 / 0.15 examples) but tight enough to catch
+#: genuinely broken rows.
+PROBABILITY_ATOL = 1e-9
+
+
+class ValidationError(ValueError):
+    """Raised when a model input fails a structural or numeric check."""
+
+
+def check_probability(value: float, name: str = "probability") -> float:
+    """Return ``value`` if it lies in [0, 1], else raise.
+
+    Parameters
+    ----------
+    value:
+        Scalar to check.
+    name:
+        Human-readable name used in the error message.
+    """
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    if value < -PROBABILITY_ATOL or value > 1.0 + PROBABILITY_ATOL:
+        raise ValidationError(f"{name} must be in [0, 1], got {value!r}")
+    return min(max(value, 0.0), 1.0)
+
+
+def check_nonnegative(value: float, name: str = "value") -> float:
+    """Return ``value`` if it is finite and >= 0, else raise."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0:
+        raise ValidationError(f"{name} must be finite and non-negative, got {value!r}")
+    return value
+
+
+def check_distribution(vector, name: str = "distribution") -> np.ndarray:
+    """Validate a probability distribution and return it as an array.
+
+    The vector must be one-dimensional, entrywise in [0, 1] and sum to one
+    up to :data:`PROBABILITY_ATOL` (scaled by length).
+    """
+    arr = np.asarray(vector, dtype=float)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains non-finite entries")
+    if np.any(arr < -PROBABILITY_ATOL):
+        raise ValidationError(f"{name} contains negative entries: min={arr.min()!r}")
+    total = arr.sum()
+    if abs(total - 1.0) > PROBABILITY_ATOL * max(arr.size, 10):
+        raise ValidationError(f"{name} must sum to 1, got {total!r}")
+    return np.clip(arr, 0.0, None)
+
+
+def check_square(matrix, name: str = "matrix") -> np.ndarray:
+    """Validate that ``matrix`` is a finite square 2-D array and return it."""
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValidationError(f"{name} must be square, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains non-finite entries")
+    return arr
+
+
+def check_stochastic_matrix(matrix, name: str = "matrix") -> np.ndarray:
+    """Validate a row-stochastic matrix and return it as an array.
+
+    Each row must be a probability distribution.  Substochastic rows (sums
+    below one) are rejected; discounting is modelled explicitly through the
+    trap state (paper Fig. 5), never by silently leaking probability mass.
+    """
+    arr = check_square(matrix, name)
+    if np.any(arr < -PROBABILITY_ATOL):
+        bad = np.unravel_index(int(np.argmin(arr)), arr.shape)
+        raise ValidationError(f"{name} has negative entry at {bad}: {arr[bad]!r}")
+    sums = arr.sum(axis=1)
+    bad_rows = np.where(np.abs(sums - 1.0) > PROBABILITY_ATOL * max(arr.shape[0], 10))[0]
+    if bad_rows.size:
+        row = int(bad_rows[0])
+        raise ValidationError(
+            f"{name} row {row} sums to {sums[row]!r}, expected 1 "
+            f"({bad_rows.size} bad row(s) total)"
+        )
+    return np.clip(arr, 0.0, None)

@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite.
+
+Session-scoped fixtures build each case-study bundle once; tests must
+treat them as read-only (CostModel and the bundles are mutable — any
+test needing to mutate builds its own).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import PolicyOptimizer
+from repro.sim.rng import make_rng
+from repro.systems import baseline, cpu, disk_drive, example_system, web_server
+
+
+@pytest.fixture(scope="session")
+def example_bundle():
+    """The paper's running example (8 joint states)."""
+    return example_system.build()
+
+
+@pytest.fixture(scope="session")
+def example_optimizer(example_bundle):
+    """Optimizer configured exactly as in Example A.2."""
+    return PolicyOptimizer(
+        example_bundle.system,
+        example_bundle.costs,
+        gamma=example_bundle.gamma,
+        initial_distribution=example_bundle.initial_distribution,
+    )
+
+
+@pytest.fixture(scope="session")
+def disk_bundle():
+    """The disk-drive case study (66 joint states)."""
+    return disk_drive.build()
+
+
+@pytest.fixture(scope="session")
+def web_bundle():
+    """The web-server case study."""
+    return web_server.build()
+
+
+@pytest.fixture(scope="session")
+def cpu_bundle():
+    """The CPU case study (4 joint states, action mask)."""
+    return cpu.build()
+
+
+@pytest.fixture(scope="session")
+def baseline_bundle():
+    """The Appendix-B baseline system (sleep1 only)."""
+    return baseline.build()
+
+
+@pytest.fixture()
+def rng():
+    """A fresh, fixed-seed generator per test."""
+    return make_rng(12345)
+
+
+@pytest.fixture()
+def rng_factory():
+    """Factory for generators with chosen seeds."""
+    return make_rng
+
+
+def assert_distribution(vector, atol=1e-9):
+    """Assert ``vector`` is a probability distribution."""
+    arr = np.asarray(vector, dtype=float)
+    assert np.all(arr >= -atol), f"negative entries: {arr.min()}"
+    assert abs(arr.sum() - 1.0) <= atol * max(arr.size, 10), f"sum {arr.sum()}"
+
+
+def assert_stochastic(matrix, atol=1e-9):
+    """Assert ``matrix`` is row-stochastic."""
+    arr = np.asarray(matrix, dtype=float)
+    for row in range(arr.shape[0]):
+        assert_distribution(arr[row], atol=atol)

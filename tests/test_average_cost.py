@@ -1,0 +1,143 @@
+"""Tests for the average-cost formulation (paper Eq. 7 solved directly)."""
+
+import numpy as np
+import pytest
+
+from repro.core.average_cost import AverageCostOptimizer
+from repro.core.costs import LOSS, PENALTY, POWER
+from repro.core.optimizer import PolicyOptimizer
+from repro.core.policy import evaluate_policy
+from repro.markov.analysis import stationary_distribution
+from repro.systems import cpu, example_system
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return example_system.build()
+
+
+@pytest.fixture(scope="module")
+def optimizer(bundle):
+    return AverageCostOptimizer(bundle.system, bundle.costs)
+
+
+class TestBasics:
+    def test_example_a2_constraints_active(self, optimizer):
+        result = optimizer.minimize_power(penalty_bound=0.5, loss_bound=0.2)
+        result.require_feasible()
+        assert result.average(PENALTY) == pytest.approx(0.5, abs=1e-7)
+        assert result.average(LOSS) == pytest.approx(0.2, abs=1e-7)
+        assert not result.policy.is_deterministic
+
+    def test_no_horizon_bookkeeping(self, optimizer):
+        result = optimizer.minimize_power(penalty_bound=0.5)
+        assert result.evaluation.expected_horizon == float("inf")
+        # Averages equal totals in per-slice accounting.
+        assert result.evaluation.averages == result.evaluation.totals
+
+    def test_frequencies_are_a_distribution(self, optimizer):
+        result = optimizer.minimize_power(penalty_bound=0.5, loss_bound=0.2)
+        assert result.frequencies.sum() == pytest.approx(1.0, abs=1e-8)
+        assert np.all(result.frequencies >= -1e-12)
+
+    def test_frequencies_are_stationary(self, bundle, optimizer):
+        """The LP distribution is stationary for the induced chain."""
+        result = optimizer.minimize_power(penalty_bound=0.5, loss_bound=0.2)
+        P_pi = bundle.system.chain.policy_matrix(result.policy.matrix)
+        occupancy = result.frequencies.sum(axis=1)
+        assert np.allclose(occupancy @ P_pi, occupancy, atol=1e-8)
+
+    def test_infeasible_detected(self, optimizer):
+        result = optimizer.minimize_power(penalty_bound=0.01)
+        assert not result.feasible
+
+    def test_bad_sense_rejected(self, optimizer):
+        with pytest.raises(ValidationError):
+            optimizer.optimize(POWER, "down")
+
+    def test_foreign_costs_rejected(self, bundle):
+        other = example_system.build()
+        with pytest.raises(ValidationError):
+            AverageCostOptimizer(bundle.system, other.costs)
+
+
+class TestAgreementWithDiscounted:
+    def test_discounted_converges_to_average(self, bundle, optimizer):
+        """As gamma -> 1 the discounted optimum approaches the
+        average-cost optimum (standard vanishing-discount result)."""
+        average = optimizer.minimize_power(
+            penalty_bound=0.5, loss_bound=0.2
+        ).average(POWER)
+        previous_gap = None
+        for gamma in (0.999, 0.99999, 0.9999999):
+            discounted = PolicyOptimizer(
+                bundle.system,
+                bundle.costs,
+                gamma=gamma,
+                initial_distribution=bundle.initial_distribution,
+            ).minimize_power(penalty_bound=0.5, loss_bound=0.2)
+            gap = abs(discounted.average(POWER) - average)
+            if previous_gap is not None:
+                assert gap <= previous_gap + 1e-9
+            previous_gap = gap
+        assert previous_gap < 1e-4
+
+    def test_average_immune_to_session_end_gamble(self, bundle):
+        """The discounted LP can sleep into the session end; the
+        average-cost LP cannot — its unconstrained minimum power is the
+        true long-run floor."""
+        avg = AverageCostOptimizer(bundle.system, bundle.costs)
+        floor = avg.minimize_unconstrained(POWER).require_feasible()
+        # Long-run: the SP parks off, power exactly 0 (off + s_off).
+        assert floor.average(POWER) == pytest.approx(0.0, abs=1e-9)
+
+    def test_unconstrained_deterministic(self, optimizer):
+        result = optimizer.minimize_unconstrained(POWER).require_feasible()
+        assert result.policy.is_deterministic
+
+
+class TestActionMask:
+    def test_mask_respected(self, cpu_bundle):
+        optimizer = AverageCostOptimizer(
+            cpu_bundle.system,
+            cpu_bundle.costs,
+            action_mask=cpu_bundle.action_mask,
+        )
+        result = optimizer.minimize_power(penalty_bound=0.05).require_feasible()
+        assert np.all(result.policy.matrix[~cpu_bundle.action_mask] == 0.0)
+
+    def test_single_free_decision(self, cpu_bundle):
+        optimizer = AverageCostOptimizer(
+            cpu_bundle.system,
+            cpu_bundle.costs,
+            action_mask=cpu_bundle.action_mask,
+        )
+        result = optimizer.minimize_power(penalty_bound=0.03).require_feasible()
+        randomized = np.sum(result.policy.matrix.max(axis=1) < 1.0 - 1e-9)
+        assert randomized <= 1
+
+
+class TestOptimalityDominance:
+    def test_random_policies_never_beat_average_lp(self, bundle, optimizer):
+        """Long-run averages of arbitrary stationary policies are
+        dominated by the average-cost optimum at matched constraints."""
+        from repro.core.policy import MarkovPolicy
+
+        rng = np.random.default_rng(9)
+        system, costs = bundle.system, bundle.costs
+        for _ in range(15):
+            raw = rng.random((8, 2)) + 1e-6
+            policy = MarkovPolicy(
+                raw / raw.sum(axis=1, keepdims=True), ("s_on", "s_off")
+            )
+            P_pi = system.chain.policy_matrix(policy.matrix)
+            pi = stationary_distribution(P_pi)
+            freq = pi[:, None] * policy.matrix
+            penalty = costs.evaluate(PENALTY, freq)
+            loss = costs.evaluate(LOSS, freq)
+            power = costs.evaluate(POWER, freq)
+            result = optimizer.minimize_power(
+                penalty_bound=penalty, loss_bound=loss
+            ).require_feasible()
+            assert result.average(POWER) <= power + 1e-7

@@ -1,0 +1,174 @@
+"""Unit tests for the SP / SR / SQ component models (Defs 3.1-3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.components import ServiceProvider, ServiceQueue, ServiceRequester
+from repro.markov.chain import MarkovChain
+from repro.markov.controlled import ControlledMarkovChain
+from repro.systems import example_system
+from repro.util.validation import ValidationError
+
+
+class TestServiceProvider:
+    def test_example_31_tables(self):
+        sp = example_system.build_provider()
+        assert sp.n_states == 2
+        assert sp.n_commands == 2
+        assert sp.service_rate("on", "s_on") == 0.8
+        assert sp.service_rate("on", "s_off") == 0.0
+        assert sp.service_rate("off", "s_on") == 0.0
+        assert sp.power("on", "s_on") == 3.0
+        assert sp.power("on", "s_off") == 4.0
+        assert sp.power("off", "s_off") == 0.0
+
+    def test_active_and_sleep_states(self):
+        sp = example_system.build_provider()
+        assert sp.active_states == ("on",)
+        assert sp.sleep_states == ("off",)
+
+    def test_expected_transition_time_eq2(self):
+        # Example 3.1: off -> on under s_on averages 10 slices.
+        sp = example_system.build_provider()
+        assert sp.expected_transition_time("off", "on", "s_on") == pytest.approx(10.0)
+
+    def test_impossible_transition_is_infinite(self):
+        sp = example_system.build_provider()
+        assert sp.expected_transition_time("off", "on", "s_off") == float("inf")
+
+    def test_rejects_service_rate_above_one(self):
+        chain = ControlledMarkovChain({"a": np.eye(2)}, state_names=["x", "y"])
+        with pytest.raises(ValidationError, match="service_rates"):
+            ServiceProvider(chain, [[1.5], [0.0]], [[1.0], [1.0]])
+
+    def test_rejects_negative_power(self):
+        chain = ControlledMarkovChain({"a": np.eye(2)}, state_names=["x", "y"])
+        with pytest.raises(ValidationError, match="non-negative"):
+            ServiceProvider(chain, [[0.5], [0.0]], [[-1.0], [1.0]])
+
+    def test_rejects_incomplete_mapping_table(self):
+        chain = ControlledMarkovChain({"a": np.eye(2)}, state_names=["x", "y"])
+        with pytest.raises(ValidationError, match="missing"):
+            ServiceProvider(chain, {"x": {"a": 0.5}}, [[1.0], [1.0]])
+
+    def test_rejects_unknown_state_in_table(self):
+        chain = ControlledMarkovChain({"a": np.eye(2)}, state_names=["x", "y"])
+        with pytest.raises(ValidationError, match="unknown state"):
+            ServiceProvider(
+                chain, {"x": {"a": 0.5}, "z": {"a": 0.0}}, [[1.0], [1.0]]
+            )
+
+    def test_rejects_non_chain(self):
+        with pytest.raises(ValidationError, match="ControlledMarkovChain"):
+            ServiceProvider("not a chain", [[0.0]], [[0.0]])
+
+    def test_matrix_copies_isolated(self):
+        sp = example_system.build_provider()
+        rates = sp.service_rate_matrix
+        rates[0, 0] = 0.0
+        assert sp.service_rate("on", "s_on") == 0.8
+
+
+class TestServiceRequester:
+    def test_example_32(self):
+        sr = example_system.build_requester()
+        assert sr.n_states == 2
+        assert sr.arrivals("0") == 0
+        assert sr.arrivals("1") == 1
+        assert sr.max_arrivals == 1
+
+    def test_mean_arrival_rate(self):
+        sr = example_system.build_requester()
+        # Stationary busy probability 0.25, one request per busy slice.
+        assert sr.mean_arrival_rate() == pytest.approx(0.25, abs=1e-10)
+
+    def test_arrivals_mapping_form(self):
+        chain = MarkovChain(np.eye(2), ["quiet", "loud"])
+        sr = ServiceRequester(chain, {"quiet": 0, "loud": 3})
+        assert sr.arrivals("loud") == 3
+        assert sr.arrival_counts.tolist() == [0, 3]
+
+    def test_rejects_negative_arrivals(self):
+        chain = MarkovChain(np.eye(2))
+        with pytest.raises(ValidationError, match="non-negative"):
+            ServiceRequester(chain, [0, -1])
+
+    def test_rejects_missing_mapping_state(self):
+        chain = MarkovChain(np.eye(2), ["a", "b"])
+        with pytest.raises(ValidationError, match="missing"):
+            ServiceRequester(chain, {"a": 1})
+
+    def test_rejects_wrong_length(self):
+        chain = MarkovChain(np.eye(2))
+        with pytest.raises(ValidationError, match="entries"):
+            ServiceRequester(chain, [0, 1, 2])
+
+
+class TestServiceQueue:
+    def test_example_33_matrix(self):
+        # Paper Example 3.3: Q=1, sigma=0.8, one arrival.
+        queue = ServiceQueue(1)
+        matrix = queue.transition_matrix(0.8, 1)
+        assert np.allclose(matrix, [[0.8, 0.2], [0.0, 1.0]])
+
+    def test_no_arrivals_empty_queue_stays(self):
+        queue = ServiceQueue(2)
+        dist = queue.next_state_distribution(0, 0.8, 0)
+        assert dist.tolist() == [1.0, 0.0, 0.0]
+
+    def test_no_arrivals_full_queue_drains(self):
+        # Paper corner case: full queue with z=0 drains with prob sigma.
+        queue = ServiceQueue(2)
+        dist = queue.next_state_distribution(2, 0.6, 0)
+        assert dist.tolist() == pytest.approx([0.0, 0.6, 0.4])
+
+    def test_full_queue_with_arrivals_stays_full(self):
+        # Paper corner case: "it will remain Q with probability 1 if z > 0".
+        queue = ServiceQueue(2)
+        dist = queue.next_state_distribution(2, 0.6, 1)
+        assert dist.tolist() == [0.0, 0.0, 1.0]
+
+    def test_burst_overflows_to_full(self):
+        # Arrivals exceeding capacity land at Q with probability 1.
+        queue = ServiceQueue(2)
+        dist = queue.next_state_distribution(1, 0.0, 5)
+        assert dist.tolist() == [0.0, 0.0, 1.0]
+
+    def test_service_of_incoming_request(self):
+        # An arrival can be serviced in the same slice (Example 3.3).
+        queue = ServiceQueue(1)
+        dist = queue.next_state_distribution(0, 0.8, 1)
+        assert dist.tolist() == pytest.approx([0.8, 0.2])
+
+    def test_zero_capacity_queue(self):
+        queue = ServiceQueue(0)
+        assert queue.n_states == 1
+        dist = queue.next_state_distribution(0, 0.5, 3)
+        assert dist.tolist() == [1.0]
+
+    def test_expected_loss_zero_when_no_overflow(self):
+        queue = ServiceQueue(2)
+        assert queue.expected_loss(0, 0.8, 1) == 0.0
+        assert queue.expected_loss(1, 0.8, 1) == 0.0
+
+    def test_expected_loss_full_queue(self):
+        # q=Q=2, one arrival: lose it unless a service frees a slot.
+        queue = ServiceQueue(2)
+        assert queue.expected_loss(2, 0.6, 1) == pytest.approx(0.4)
+
+    def test_expected_loss_massive_burst(self):
+        queue = ServiceQueue(1)
+        # q=1, z=4: pending 5; serve one w.p. 0.5 -> lose 3 or 4.
+        assert queue.expected_loss(1, 0.5, 4) == pytest.approx(3.5)
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValidationError):
+            ServiceQueue(-1)
+
+    def test_rejects_out_of_range_length(self):
+        with pytest.raises(ValidationError, match="out of range"):
+            ServiceQueue(2).next_state_distribution(3, 0.5, 0)
+
+    def test_rejects_negative_arrivals(self):
+        with pytest.raises(ValidationError):
+            ServiceQueue(2).next_state_distribution(0, 0.5, -1)

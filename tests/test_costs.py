@@ -1,0 +1,112 @@
+"""Unit tests for :mod:`repro.core.costs`."""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import (
+    LOSS,
+    OVERFLOW,
+    PENALTY,
+    POWER,
+    CostModel,
+    sleep_while_busy_penalty,
+    throughput_reward,
+)
+from repro.util.validation import ValidationError
+
+
+class TestCostModel:
+    def test_standard_metrics(self, example_bundle):
+        costs = CostModel.standard(example_bundle.system)
+        assert set(costs.metric_names) == {POWER, PENALTY, LOSS, OVERFLOW}
+
+    def test_metric_lookup_copy(self, example_bundle):
+        costs = CostModel.standard(example_bundle.system)
+        m = costs.metric(POWER)
+        m[0, 0] = -1.0
+        assert costs.metric(POWER)[0, 0] != -1.0
+
+    def test_unknown_metric_raises(self, example_bundle):
+        costs = CostModel.standard(example_bundle.system)
+        with pytest.raises(KeyError, match="registered"):
+            costs.metric("nope")
+
+    def test_has_metric(self, example_bundle):
+        costs = CostModel.standard(example_bundle.system)
+        assert costs.has_metric(POWER)
+        assert not costs.has_metric("latency")
+
+    def test_add_metric_shape_check(self, example_bundle):
+        costs = CostModel(example_bundle.system)
+        with pytest.raises(ValidationError, match="shape"):
+            costs.add_metric("bad", np.zeros((2, 2)))
+
+    def test_add_metric_nan_check(self, example_bundle):
+        system = example_bundle.system
+        costs = CostModel(system)
+        bad = np.zeros((system.n_states, system.n_commands))
+        bad[0, 0] = float("nan")
+        with pytest.raises(ValidationError, match="non-finite"):
+            costs.add_metric("bad", bad)
+
+    def test_add_state_metric_broadcasts(self, example_bundle):
+        system = example_bundle.system
+        costs = CostModel(system)
+        values = np.arange(system.n_states, dtype=float)
+        costs.add_state_metric("per_state", values)
+        matrix = costs.metric("per_state")
+        assert matrix.shape == (system.n_states, system.n_commands)
+        assert np.allclose(matrix[:, 0], values)
+        assert np.allclose(matrix[:, 1], values)
+
+    def test_evaluate_inner_product(self, example_bundle):
+        system = example_bundle.system
+        costs = CostModel.standard(system)
+        freq = np.ones((system.n_states, system.n_commands))
+        assert costs.evaluate(POWER, freq) == pytest.approx(
+            costs.metric(POWER).sum()
+        )
+
+    def test_evaluate_shape_check(self, example_bundle):
+        costs = CostModel.standard(example_bundle.system)
+        with pytest.raises(ValidationError):
+            costs.evaluate(POWER, np.ones((2, 2)))
+
+    def test_rejects_foreign_system(self, example_bundle):
+        with pytest.raises(ValidationError):
+            CostModel("not a system")
+
+
+class TestSleepWhileBusyPenalty:
+    def test_cpu_shape(self, cpu_bundle):
+        system = cpu_bundle.system
+        matrix = sleep_while_busy_penalty(system, ["sleep"], ["busy"])
+        # Penalty only in (sleep, busy) joint states, same for both commands.
+        for x in range(system.n_states):
+            sp = system.provider_index_of_state[x]
+            sr = system.requester_index_of_state[x]
+            expected = (
+                1.0
+                if (
+                    system.provider.state_names[sp] == "sleep"
+                    and system.requester.state_names[sr] == "busy"
+                )
+                else 0.0
+            )
+            assert matrix[x].tolist() == [expected] * system.n_commands
+
+
+class TestThroughputReward:
+    def test_counts_only_under_demand(self, web_bundle):
+        system = web_bundle.system
+        matrix = throughput_reward(system, {"both": 1.0, "p1": 0.4, "p2": 0.6, "none": 0.0})
+        both_busy = system.state_index("both", "1", 0)
+        both_idle = system.state_index("both", "0", 0)
+        assert matrix[both_busy, 0] == 1.0
+        assert matrix[both_idle, 0] == 0.0
+
+    def test_partial_configuration(self, web_bundle):
+        system = web_bundle.system
+        matrix = throughput_reward(system, {"both": 1.0, "p1": 0.4, "p2": 0.6, "none": 0.0})
+        assert matrix[system.state_index("p2", "1", 0), 0] == 0.6
+        assert matrix[system.state_index("none", "1", 0), 0] == 0.0

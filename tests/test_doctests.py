@@ -1,0 +1,39 @@
+"""Run the docstring examples of the public modules as tests.
+
+Every public class carries a worked example (usually one of the paper's
+own numeric examples); this module keeps them honest without enabling
+``--doctest-modules`` globally.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.average_cost
+import repro.core.components
+import repro.core.costs
+import repro.core.policy
+import repro.lp.problem
+import repro.markov.chain
+import repro.markov.controlled
+import repro.traces.extractor
+import repro.traces.trace
+
+MODULES = [
+    repro.markov.chain,
+    repro.markov.controlled,
+    repro.lp.problem,
+    repro.core.components,
+    repro.core.costs,
+    repro.core.policy,
+    repro.core.average_cost,
+    repro.traces.trace,
+    repro.traces.extractor,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} failures"
+    assert results.attempted > 0, f"{module.__name__} has no doctests"

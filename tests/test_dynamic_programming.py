@@ -1,0 +1,107 @@
+"""Tests for value iteration and policy iteration."""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import PENALTY, POWER
+from repro.core.dynamic_programming import policy_iteration, q_values, value_iteration
+from repro.core.policy import evaluate_policy
+from repro.systems import cpu, example_system
+from repro.util.validation import ValidationError
+
+GAMMA = 0.95
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return example_system.build()
+
+
+class TestValueIteration:
+    def test_converges(self, bundle):
+        dp = value_iteration(bundle.system, bundle.costs.metric(POWER), GAMMA)
+        assert dp.converged
+        assert dp.values.shape == (8,)
+        assert np.all(dp.values >= 0)
+
+    def test_policy_is_greedy_wrt_values(self, bundle):
+        costs = bundle.costs.metric(POWER)
+        dp = value_iteration(bundle.system, costs, GAMMA, tol=1e-12)
+        q = q_values(bundle.system, costs, GAMMA, dp.values)
+        greedy = q.argmin(axis=1)
+        # On ties any greedy action is fine; check value-equality instead.
+        chosen = dp.policy.as_deterministic()
+        assert np.allclose(
+            q[np.arange(8), chosen], q[np.arange(8), greedy], atol=1e-8
+        )
+
+    def test_value_bounds(self, bundle):
+        # 0 <= v* <= max cost / (1 - gamma).
+        costs = bundle.costs.metric(POWER)
+        dp = value_iteration(bundle.system, costs, GAMMA)
+        assert np.all(dp.values <= costs.max() / (1 - GAMMA) + 1e-9)
+
+    def test_iteration_limit_reported(self, bundle):
+        dp = value_iteration(
+            bundle.system, bundle.costs.metric(POWER), 0.999, max_iterations=3
+        )
+        assert not dp.converged
+        assert dp.iterations == 3
+
+    def test_rejects_bad_gamma(self, bundle):
+        with pytest.raises(ValidationError):
+            value_iteration(bundle.system, bundle.costs.metric(POWER), 1.0)
+
+    def test_rejects_bad_cost_shape(self, bundle):
+        with pytest.raises(ValidationError):
+            value_iteration(bundle.system, np.zeros((3, 2)), GAMMA)
+
+
+class TestPolicyIteration:
+    def test_converges(self, bundle):
+        dp = policy_iteration(bundle.system, bundle.costs.metric(POWER), GAMMA)
+        assert dp.converged
+        assert dp.policy.is_deterministic
+
+    def test_matches_value_iteration(self, bundle):
+        for metric in (POWER, PENALTY):
+            costs = bundle.costs.metric(metric)
+            vi = value_iteration(bundle.system, costs, GAMMA, tol=1e-12)
+            pi = policy_iteration(bundle.system, costs, GAMMA)
+            assert np.allclose(vi.values, pi.values, atol=1e-7)
+
+    def test_policy_evaluation_consistency(self, bundle):
+        """The DP policy's closed-form evaluation equals its value vector."""
+        costs = bundle.costs.metric(POWER)
+        dp = policy_iteration(bundle.system, costs, GAMMA)
+        ev = evaluate_policy(
+            bundle.system,
+            bundle.costs,
+            dp.policy,
+            GAMMA,
+            bundle.system.point_distribution("on", "0", 0),
+        )
+        start = bundle.system.state_index("on", "0", 0)
+        assert ev.totals[POWER] == pytest.approx(dp.values[start], rel=1e-9)
+
+    def test_on_larger_system(self, disk_bundle):
+        costs = disk_bundle.costs.metric(POWER)
+        vi = value_iteration(disk_bundle.system, costs, 0.99, tol=1e-10)
+        pi = policy_iteration(disk_bundle.system, costs, 0.99)
+        assert vi.converged and pi.converged
+        assert np.allclose(vi.values, pi.values, atol=1e-5)
+
+
+class TestQValues:
+    def test_shape(self, bundle):
+        q = q_values(bundle.system, bundle.costs.metric(POWER), GAMMA, np.zeros(8))
+        assert q.shape == (8, 2)
+
+    def test_zero_values_give_immediate_cost(self, bundle):
+        costs = bundle.costs.metric(POWER)
+        q = q_values(bundle.system, costs, GAMMA, np.zeros(8))
+        assert np.allclose(q, costs)
+
+    def test_rejects_bad_value_shape(self, bundle):
+        with pytest.raises(ValidationError):
+            q_values(bundle.system, bundle.costs.metric(POWER), GAMMA, np.zeros(3))

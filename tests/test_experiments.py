@@ -1,0 +1,84 @@
+"""Integration tests: every paper table/figure regenerates and its
+shape claims hold.
+
+Each experiment driver encodes the paper's qualitative claims as named
+checks (see DESIGN.md section 4); this module runs all of them in quick
+mode and asserts every check passes.  LP-only experiments are exact;
+simulation-backed ones use fixed seeds.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    available_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+LP_ONLY = [
+    "table1",
+    "fig6",
+    "fig8a",
+    "fig12a",
+    "fig12b",
+    "fig13a",
+    "fig14a",
+    "fig14b",
+    "example_a2",
+]
+SIMULATION_BACKED = ["fig8", "fig9a", "fig9b", "fig10", "fig13b"]
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = set(LP_ONLY) | set(SIMULATION_BACKED)
+        assert set(available_experiments()) == expected
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_run_experiment_returns_result(self):
+        result = run_experiment("table1")
+        assert isinstance(result, ExperimentResult)
+
+
+@pytest.mark.parametrize("experiment_id", LP_ONLY)
+def test_lp_experiment_checks_pass(experiment_id):
+    result = run_experiment(experiment_id, quick=True, seed=0)
+    assert result.all_checks_pass, (
+        f"{experiment_id} failed checks: {result.failed_checks}\n"
+        f"{result.render()}"
+    )
+    assert result.tables, "experiment produced no tables"
+    assert result.render()
+
+
+@pytest.mark.parametrize("experiment_id", SIMULATION_BACKED)
+def test_simulation_experiment_checks_pass(experiment_id):
+    result = run_experiment(experiment_id, quick=True, seed=0)
+    assert result.all_checks_pass, (
+        f"{experiment_id} failed checks: {result.failed_checks}\n"
+        f"{result.render()}"
+    )
+    assert result.tables
+
+
+class TestExperimentResult:
+    def test_render_contains_checks(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="t",
+            tables=["table text"],
+            checks={"a": True, "b": False},
+        )
+        text = result.render()
+        assert "a=PASS" in text
+        assert "b=FAIL" in text
+        assert not result.all_checks_pass
+        assert result.failed_checks == ["b"]
+
+    def test_empty_checks_pass(self):
+        result = ExperimentResult(experiment_id="x", title="t")
+        assert result.all_checks_pass

@@ -1,0 +1,155 @@
+"""Tests for the library extensions: policy persistence, requester
+composition, and the Little's-law waiting-time metric."""
+
+import numpy as np
+import pytest
+
+from repro.core.components import ServiceRequester, compose_requesters
+from repro.core.costs import waiting_time_penalty
+from repro.core.policy import MarkovPolicy
+from repro.markov.chain import MarkovChain
+from repro.util.validation import ValidationError
+from tests.conftest import assert_stochastic
+
+
+class TestPolicyPersistence:
+    def test_roundtrip(self, tmp_path):
+        policy = MarkovPolicy(
+            [[0.4, 0.6], [1.0, 0.0], [0.25, 0.75]], ["go", "stop"]
+        )
+        path = tmp_path / "policy.json"
+        policy.save(path)
+        loaded = MarkovPolicy.load(path)
+        assert loaded == policy
+        assert loaded.command_names == ("go", "stop")
+
+    def test_to_dict_is_json_serializable(self):
+        import json
+
+        policy = MarkovPolicy.deterministic([0, 1], 2, ["a", "b"])
+        payload = json.loads(json.dumps(policy.to_dict()))
+        rebuilt = MarkovPolicy.from_dict(payload)
+        assert rebuilt == policy
+
+    def test_from_dict_validates(self):
+        with pytest.raises(ValidationError, match="payload"):
+            MarkovPolicy.from_dict({"matrix": [[1.0]]})
+
+    def test_from_dict_rejects_bad_rows(self):
+        with pytest.raises(ValidationError):
+            MarkovPolicy.from_dict(
+                {"matrix": [[0.5, 0.6]], "command_names": ["a", "b"]}
+            )
+
+    def test_optimal_policy_roundtrip(self, example_optimizer, tmp_path):
+        result = example_optimizer.minimize_power(
+            penalty_bound=0.5, loss_bound=0.2
+        ).require_feasible()
+        path = tmp_path / "optimal.json"
+        result.policy.save(path)
+        loaded = MarkovPolicy.load(path)
+        assert loaded == result.policy
+
+
+class TestComposeRequesters:
+    def make_pair(self):
+        a = ServiceRequester(
+            MarkovChain([[0.9, 0.1], [0.5, 0.5]], ["qa", "ba"]), [0, 1]
+        )
+        b = ServiceRequester(
+            MarkovChain([[0.8, 0.2], [0.3, 0.7]], ["qb", "bb"]), [0, 2]
+        )
+        return a, b
+
+    def test_product_structure(self):
+        a, b = self.make_pair()
+        merged = compose_requesters(a, b)
+        assert merged.n_states == 4
+        assert merged.state_names == ("qa&qb", "qa&bb", "ba&qb", "ba&bb")
+        assert_stochastic(merged.chain.matrix)
+
+    def test_arrivals_sum(self):
+        a, b = self.make_pair()
+        merged = compose_requesters(a, b)
+        assert merged.arrivals("qa&qb") == 0
+        assert merged.arrivals("ba&qb") == 1
+        assert merged.arrivals("qa&bb") == 2
+        assert merged.arrivals("ba&bb") == 3
+
+    def test_kronecker_probabilities(self):
+        a, b = self.make_pair()
+        merged = compose_requesters(a, b)
+        # P[(ba,bb) -> (qa,qb)] = P_a[ba,qa] * P_b[bb,qb] = 0.5 * 0.3.
+        assert merged.chain.transition_probability(
+            "ba&bb", "qa&qb"
+        ) == pytest.approx(0.15)
+
+    def test_mean_rate_adds(self):
+        a, b = self.make_pair()
+        merged = compose_requesters(a, b)
+        assert merged.mean_arrival_rate() == pytest.approx(
+            a.mean_arrival_rate() + b.mean_arrival_rate()
+        )
+
+    def test_composes_into_system(self):
+        from repro.core.components import ServiceQueue
+        from repro.core.system import PowerManagedSystem
+        from repro.systems import example_system
+
+        a, b = self.make_pair()
+        merged = compose_requesters(a, b)
+        system = PowerManagedSystem(
+            example_system.build_provider(), merged, ServiceQueue(2)
+        )
+        assert system.n_states == 2 * 4 * 3
+        for command in system.command_names:
+            assert_stochastic(system.chain.matrix(command), atol=1e-8)
+
+    def test_type_check(self):
+        a, _ = self.make_pair()
+        with pytest.raises(ValidationError):
+            compose_requesters(a, "not a requester")
+
+
+class TestWaitingTimeMetric:
+    def test_scaling(self, example_bundle):
+        system = example_bundle.system
+        metric = waiting_time_penalty(system)
+        rate = system.requester.mean_arrival_rate()
+        assert np.allclose(
+            metric, system.queue_length_penalty_matrix() / rate
+        )
+
+    def test_littles_law_consistency(self, example_bundle):
+        """Bounding the waiting-time metric bounds queue/rate: a policy
+        meeting W also meets L = W * rate."""
+        from repro.core.optimizer import PolicyOptimizer
+
+        system = example_bundle.system
+        costs = example_bundle.costs
+        costs_local = type(costs).standard(system)
+        costs_local.add_metric("waiting", waiting_time_penalty(system))
+        optimizer = PolicyOptimizer(
+            system,
+            costs_local,
+            gamma=example_bundle.gamma,
+            initial_distribution=example_bundle.initial_distribution,
+        )
+        max_wait = 2.0  # slices
+        result = optimizer.optimize(
+            "power", "min", upper_bounds={"waiting": max_wait}
+        ).require_feasible()
+        rate = system.requester.mean_arrival_rate()
+        assert result.average("penalty") <= max_wait * rate + 1e-7
+
+    def test_rejects_zero_rate_workload(self):
+        from repro.core.components import ServiceQueue
+        from repro.core.system import PowerManagedSystem
+        from repro.systems import example_system
+
+        silent = ServiceRequester(MarkovChain(np.eye(2)), [0, 0])
+        system = PowerManagedSystem(
+            example_system.build_provider(), silent, ServiceQueue(1)
+        )
+        with pytest.raises(ValidationError, match="positive arrival rate"):
+            waiting_time_penalty(system)

@@ -1,0 +1,171 @@
+"""Tests for the SR extractor (paper Section V, Example 5.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import make_rng
+from repro.traces import KMemoryTracker, SRExtractor, Trace, mmpp2_trace
+from repro.util.validation import ValidationError
+from tests.conftest import assert_stochastic
+
+EXAMPLE_51_STREAM = [0, 0, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1]
+
+
+class TestExample51:
+    def test_paper_transition_probability(self):
+        """Example 5.1: 'three 01-sequences, eight occurrences of zero
+        ... the conditional probability of the 0->1 transition is 3/8'."""
+        model = SRExtractor(memory=1).fit(EXAMPLE_51_STREAM)
+        assert model.matrix[0, 1] == pytest.approx(3.0 / 8.0)
+        assert model.matrix[0, 0] == pytest.approx(5.0 / 8.0)
+
+    def test_busy_transitions(self):
+        model = SRExtractor(memory=1).fit(EXAMPLE_51_STREAM)
+        # Four ones start transitions (the final 1 ends the stream):
+        # 1->0 twice (positions 2, 7), 1->1 twice (5->6, 6->7).
+        assert model.matrix[1, 0] == pytest.approx(2.0 / 4.0)
+        assert model.matrix[1, 1] == pytest.approx(2.0 / 4.0)
+
+    def test_from_trace_object(self):
+        trace = Trace([2, 5, 6, 7, 12], duration=13)
+        model = SRExtractor(memory=1).fit_trace(trace, 1.0)
+        assert model.matrix[0, 1] == pytest.approx(3.0 / 8.0)
+
+
+class TestModelStructure:
+    def test_memory_two_states(self):
+        model = SRExtractor(memory=2).fit(EXAMPLE_51_STREAM)
+        assert model.n_states == 4
+        assert model.states == ((0, 0), (0, 1), (1, 0), (1, 1))
+        assert_stochastic(model.matrix)
+
+    def test_transitions_respect_shift_structure(self):
+        """From state (a, b) only states (b, *) are reachable."""
+        model = SRExtractor(memory=2).fit(EXAMPLE_51_STREAM)
+        for u, state_u in enumerate(model.states):
+            for v, state_v in enumerate(model.states):
+                if model.matrix[u, v] > 0:
+                    assert state_v[:-1] == state_u[1:]
+
+    def test_arrivals_are_newest_level(self):
+        model = SRExtractor(memory=2).fit(EXAMPLE_51_STREAM)
+        for index, state in enumerate(model.states):
+            assert model.arrivals_of_state(index) == state[-1]
+
+    def test_state_index_roundtrip(self):
+        model = SRExtractor(memory=3).fit([0, 1] * 20)
+        for index, state in enumerate(model.states):
+            assert model.state_index(state) == index
+
+    def test_unseen_states_get_uniform_rows(self):
+        # An all-zeros stream never visits any state containing a 1.
+        model = SRExtractor(memory=1).fit([0] * 50)
+        assert model.matrix[1].tolist() == [0.5, 0.5]
+        assert_stochastic(model.matrix)
+
+    def test_smoothing(self):
+        smoothed = SRExtractor(memory=1, smoothing=1.0).fit([0] * 50)
+        # Laplace mass creates a nonzero 0 -> 1 probability.
+        assert 0 < smoothed.matrix[0, 1] < 0.1
+
+    def test_multilevel_extraction(self):
+        stream = [0, 2, 1, 2, 0, 2, 2, 1, 0, 1, 2, 0]
+        model = SRExtractor(memory=1, max_level=2).fit(stream)
+        assert model.n_states == 3
+        assert_stochastic(model.matrix)
+        requester = model.to_requester()
+        assert requester.arrival_counts.tolist() == [0, 1, 2]
+
+    def test_counts_clipped_to_max_level(self):
+        model = SRExtractor(memory=1, max_level=1).fit([0, 5, 0, 3])
+        assert model.n_states == 2  # levels clipped to {0, 1}
+
+    def test_too_short_stream_rejected(self):
+        with pytest.raises(ValidationError, match="at least"):
+            SRExtractor(memory=3).fit([0, 1, 0])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            SRExtractor(memory=0)
+        with pytest.raises(ValidationError):
+            SRExtractor(max_level=0)
+        with pytest.raises(ValidationError):
+            SRExtractor(smoothing=-1.0)
+
+
+class TestRecovery:
+    def test_recovers_mmpp_parameters(self):
+        trace = mmpp2_trace(0.97, 0.88, 300_000, 1.0, make_rng(42))
+        model = SRExtractor(memory=1).fit(trace.discretize(1.0))
+        assert model.matrix[0, 0] == pytest.approx(0.97, abs=0.005)
+        assert model.matrix[1, 1] == pytest.approx(0.88, abs=0.01)
+
+    def test_to_requester_composition(self):
+        model = SRExtractor(memory=1).fit(EXAMPLE_51_STREAM)
+        requester = model.to_requester()
+        assert requester.n_states == 2
+        assert requester.state_names == ("0", "1")
+        assert requester.arrival_counts.tolist() == [0, 1]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_extraction_always_valid_property(self, memory, seed):
+        rng = np.random.default_rng(seed)
+        stream = rng.integers(0, 2, size=200)
+        model = SRExtractor(memory=memory).fit(stream)
+        assert_stochastic(model.matrix)
+        assert model.n_states == 2**memory
+
+
+class TestLikelihood:
+    def test_perfect_fit_higher_than_mismatch(self):
+        periodic = [0, 0, 1] * 100
+        model_fit = SRExtractor(memory=2).fit(periodic)
+        model_bad = SRExtractor(memory=2).fit([0, 1] * 150)
+        assert model_fit.log_likelihood(periodic) > model_bad.log_likelihood(
+            periodic
+        )
+
+    def test_memory_improves_fit_on_structured_stream(self):
+        periodic = [0, 0, 1] * 200
+        ll1 = SRExtractor(memory=1).fit(periodic).log_likelihood(periodic)
+        ll2 = SRExtractor(memory=2).fit(periodic).log_likelihood(periodic)
+        assert ll2 > ll1
+        # Memory 2 fully determines the periodic pattern.
+        assert ll2 == pytest.approx(0.0, abs=1e-9)
+
+    def test_impossible_stream_is_minus_infinity(self):
+        model = SRExtractor(memory=1).fit([0] * 30)  # P(0 -> 1) == 0
+        assert model.log_likelihood([0, 0, 1, 0]) == float("-inf")
+
+
+class TestTracker:
+    def test_follows_window(self):
+        model = SRExtractor(memory=2).fit(EXAMPLE_51_STREAM)
+        tracker = model.tracker()
+        state = tracker.reset()
+        assert model.states[state] == (0, 0)
+        state = tracker.update(1)
+        assert model.states[state] == (0, 1)
+        state = tracker.update(1)
+        assert model.states[state] == (1, 1)
+        state = tracker.update(0)
+        assert model.states[state] == (1, 0)
+
+    def test_clips_levels(self):
+        model = SRExtractor(memory=1).fit(EXAMPLE_51_STREAM)
+        tracker = model.tracker()
+        tracker.reset()
+        assert model.states[tracker.update(9)] == (1,)
+
+    def test_is_arrival_tracker(self):
+        from repro.sim.trace_sim import ArrivalTracker
+
+        model = SRExtractor(memory=1).fit(EXAMPLE_51_STREAM)
+        assert isinstance(model.tracker(), ArrivalTracker)
+        assert isinstance(model.tracker(), KMemoryTracker)

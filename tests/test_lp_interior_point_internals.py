@@ -1,0 +1,144 @@
+"""Unit tests for the interior-point solver's internal machinery.
+
+The Mehrotra implementation is the library's PCx stand-in; its helper
+stages (row-rank reduction, equilibration, starting point, step rule)
+each carry invariants worth pinning down independently of end-to-end
+solves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lp.interior_point import (
+    _equilibrate,
+    _independent_rows,
+    _max_step,
+    _solve_normal_equations,
+    _starting_point,
+)
+
+
+class TestIndependentRows:
+    def test_full_rank_passthrough(self):
+        A = np.array([[1.0, 0.0], [0.0, 1.0]])
+        b = np.array([1.0, 2.0])
+        A2, b2, consistent = _independent_rows(A, b)
+        assert consistent
+        assert A2.shape == (2, 2)
+
+    def test_drops_dependent_consistent_row(self):
+        A = np.array([[1.0, 1.0], [2.0, 2.0]])
+        b = np.array([1.0, 2.0])
+        A2, b2, consistent = _independent_rows(A, b)
+        assert consistent
+        assert A2.shape == (1, 2)
+
+    def test_flags_dependent_inconsistent_row(self):
+        A = np.array([[1.0, 1.0], [2.0, 2.0]])
+        b = np.array([1.0, 3.0])
+        _, _, consistent = _independent_rows(A, b)
+        assert not consistent
+
+    def test_zero_rows(self):
+        A = np.zeros((2, 3))
+        b = np.zeros(2)
+        A2, b2, consistent = _independent_rows(A, b)
+        assert consistent
+        assert A2.shape[0] == 0
+
+    def test_zero_rows_nonzero_rhs_inconsistent(self):
+        A = np.zeros((1, 3))
+        b = np.array([1.0])
+        _, _, consistent = _independent_rows(A, b)
+        assert not consistent
+
+    def test_empty(self):
+        A = np.zeros((0, 4))
+        b = np.zeros(0)
+        A2, b2, consistent = _independent_rows(A, b)
+        assert consistent
+        assert A2.shape == (0, 4)
+
+
+class TestEquilibrate:
+    def test_scaled_entries_bounded_by_one(self):
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((4, 6)) * np.array([1.0, 1e4, 1e-3, 1.0])[:, None]
+        b = rng.standard_normal(4)
+        c = rng.standard_normal(6)
+        A2, b2, c2, row, col = _equilibrate(A, b, c)
+        assert np.max(np.abs(A2)) <= 1.0 + 1e-12
+
+    def test_solution_mapping(self):
+        """x' = col * x solves the scaled system iff x solves the original."""
+        rng = np.random.default_rng(1)
+        A = rng.standard_normal((3, 5)) * 100.0
+        x = rng.random(5)
+        b = A @ x
+        c = rng.random(5)
+        A2, b2, c2, row, col = _equilibrate(A, b, c)
+        x_scaled = col * x
+        assert np.allclose(A2 @ x_scaled, b2, atol=1e-12)
+        # Objective value is invariant under the mapping.
+        assert c2 @ x_scaled == pytest.approx(c @ x)
+
+    def test_zero_rows_and_columns_survive(self):
+        A = np.zeros((2, 2))
+        A[0, 0] = 5.0
+        A2, b2, c2, row, col = _equilibrate(A, np.ones(2), np.ones(2))
+        assert np.all(np.isfinite(A2))
+        assert np.all(np.isfinite(b2))
+        assert np.all(np.isfinite(c2))
+
+
+class TestStartingPoint:
+    def test_strictly_interior(self):
+        rng = np.random.default_rng(2)
+        A = rng.standard_normal((3, 6))
+        b = rng.standard_normal(3)
+        c = rng.standard_normal(6)
+        x, y, s = _starting_point(A, b, c)
+        assert np.all(x > 0)
+        assert np.all(s > 0)
+        assert y.shape == (3,)
+
+    def test_degenerate_zero_data(self):
+        A = np.eye(2)
+        x, y, s = _starting_point(A, np.zeros(2), np.zeros(2))
+        assert np.all(x > 0)
+        assert np.all(s > 0)
+
+
+class TestMaxStep:
+    def test_no_negative_direction_gives_full_step(self):
+        assert _max_step(np.array([1.0, 2.0]), np.array([0.5, 0.0])) == 1.0
+
+    def test_blocking_coordinate(self):
+        # x = 1 moving at -2: blocks at alpha = 0.5.
+        assert _max_step(np.array([1.0]), np.array([-2.0])) == pytest.approx(0.5)
+
+    def test_capped_at_one(self):
+        assert _max_step(np.array([10.0]), np.array([-1.0])) == 1.0
+
+    def test_multiple_blockers(self):
+        v = np.array([1.0, 4.0])
+        dv = np.array([-4.0, -1.0])
+        assert _max_step(v, dv) == pytest.approx(0.25)
+
+
+class TestNormalEquations:
+    def test_positive_definite_solve(self):
+        rng = np.random.default_rng(3)
+        A = rng.standard_normal((4, 4))
+        M = A @ A.T + np.eye(4)
+        rhs = rng.standard_normal(4)
+        z = _solve_normal_equations(M, rhs)
+        assert np.allclose(M @ z, rhs, atol=1e-9)
+
+    def test_singular_matrix_regularized(self):
+        M = np.zeros((2, 2))
+        M[0, 0] = 1.0  # rank 1
+        rhs = np.array([1.0, 0.0])
+        z = _solve_normal_equations(M, rhs)
+        assert np.all(np.isfinite(z))
+        assert z[0] == pytest.approx(1.0, abs=1e-3)

@@ -1,0 +1,84 @@
+"""Unit tests for the revised-simplex internals."""
+
+import numpy as np
+import pytest
+
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPStatus
+from repro.lp.simplex import _prepare, solve, solve_standard_form
+
+
+class TestPrepare:
+    def test_flips_negative_rhs_rows(self):
+        A = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([1.0, -2.0])
+        A2, b2 = _prepare(A, b)
+        assert np.allclose(A2[0], A[0])
+        assert np.allclose(A2[1], -A[1])
+        assert b2.tolist() == [1.0, 2.0]
+
+    def test_originals_untouched(self):
+        A = np.array([[1.0]])
+        b = np.array([-1.0])
+        _prepare(A, b)
+        assert b[0] == -1.0
+
+
+class TestDegenerateInstances:
+    def test_highly_degenerate_cycling_guard(self):
+        """A classic degenerate instance where Dantzig's rule can cycle;
+        the Bland fallback guarantees termination at the optimum."""
+        # Beale's cycling example (standard form, min).
+        c = np.array([-0.75, 150.0, -0.02, 6.0, 0.0, 0.0, 0.0])
+        A = np.array(
+            [
+                [0.25, -60.0, -0.04, 9.0, 1.0, 0.0, 0.0],
+                [0.5, -90.0, -0.02, 3.0, 0.0, 1.0, 0.0],
+                [0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
+            ]
+        )
+        b = np.array([0.0, 0.0, 1.0])
+        from repro.lp.problem import StandardFormLP
+
+        std = StandardFormLP(c=c, A=A, b=b, n_original=7)
+        result = solve_standard_form(std)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(-0.05, abs=1e-9)
+
+    def test_redundant_row_dropped_in_phase_one(self):
+        lp = LinearProgram([1.0, 1.0, 1.0])
+        lp.add_equality([1.0, 1.0, 0.0], 1.0)
+        lp.add_equality([2.0, 2.0, 0.0], 2.0)  # redundant
+        lp.add_equality([0.0, 0.0, 1.0], 0.5)
+        result = solve(lp)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(1.5, abs=1e-9)
+
+    def test_equality_with_negative_rhs(self):
+        lp = LinearProgram([1.0, 2.0])
+        lp.add_equality([-1.0, -1.0], -1.0)  # i.e. x + y = 1
+        result = solve(lp)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(1.0, abs=1e-9)
+
+    def test_zero_objective(self):
+        lp = LinearProgram([0.0, 0.0])
+        lp.add_equality([1.0, 1.0], 1.0)
+        result = solve(lp)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(0.0)
+
+    def test_solution_feasibility_on_larger_instance(self):
+        rng = np.random.default_rng(7)
+        n = 12
+        lp = LinearProgram(rng.random(n))
+        x0 = rng.random(n)
+        for _ in range(5):
+            row = rng.standard_normal(n)
+            lp.add_equality(row, float(row @ x0))
+        for _ in range(4):
+            row = rng.standard_normal(n)
+            lp.add_inequality(row, float(row @ x0) + 0.5)
+        result = solve(lp)
+        assert result.is_optimal
+        assert lp.is_feasible(result.x, tol=1e-6)

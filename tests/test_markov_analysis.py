@@ -1,0 +1,177 @@
+"""Unit and property tests for :mod:`repro.markov.analysis`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.analysis import (
+    discounted_occupancy,
+    expected_transition_time,
+    geometric_pmf,
+    geometric_survival,
+    hitting_time,
+    probability_from_expected_time,
+    stationary_distribution,
+    with_trap_state,
+)
+from repro.util.validation import ValidationError
+from tests.conftest import assert_stochastic
+
+BURSTY = np.array([[0.95, 0.05], [0.15, 0.85]])
+
+
+class TestGeometric:
+    def test_pmf_sums_to_one(self):
+        p = 0.3
+        ts = np.arange(1, 300)
+        assert abs(geometric_pmf(p, ts).sum() - 1.0) < 1e-12
+
+    def test_pmf_first_slice(self):
+        assert geometric_pmf(0.25, 1) == 0.25
+
+    def test_pmf_rejects_t_zero(self):
+        with pytest.raises(ValidationError):
+            geometric_pmf(0.5, 0)
+
+    def test_survival_complements_pmf(self):
+        p = 0.4
+        for t in range(1, 10):
+            cumulative = geometric_pmf(p, np.arange(1, t + 1)).sum()
+            assert abs(cumulative + geometric_survival(p, t) - 1.0) < 1e-12
+
+    def test_expected_time_paper_example(self):
+        # Example 3.1: off -> on at 0.1 per slice averages 10 slices.
+        assert expected_transition_time(0.1) == pytest.approx(10.0)
+
+    def test_expected_time_zero_probability(self):
+        assert expected_transition_time(0.0) == float("inf")
+
+    def test_probability_from_expected_time_roundtrip(self):
+        p = probability_from_expected_time(40e-3, 1e-3)
+        assert p == pytest.approx(1.0 / 40.0)
+        assert expected_transition_time(p) == pytest.approx(40.0)
+
+    def test_probability_capped_at_one(self):
+        assert probability_from_expected_time(0.5e-3, 1e-3) == 1.0
+
+    def test_probability_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            probability_from_expected_time(0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.01, max_value=1.0))
+    def test_mean_identity_property(self, p):
+        # E[T] computed from the pmf matches 1/p.
+        ts = np.arange(1, 4000)
+        mean = float((ts * geometric_pmf(p, ts)).sum())
+        assert mean == pytest.approx(1.0 / p, rel=1e-3)
+
+
+class TestStationary:
+    def test_bursty(self):
+        pi = stationary_distribution(BURSTY)
+        assert np.allclose(pi, [0.75, 0.25], atol=1e-10)
+
+    def test_symmetric_flip(self):
+        pi = stationary_distribution([[0.99, 0.01], [0.01, 0.99]])
+        assert np.allclose(pi, [0.5, 0.5], atol=1e-10)
+
+    def test_absorbing_state(self):
+        matrix = [[0.5, 0.5], [0.0, 1.0]]
+        pi = stationary_distribution(matrix)
+        assert np.allclose(pi, [0.0, 1.0], atol=1e-8)
+
+
+class TestHittingTime:
+    def test_two_state_geometric(self):
+        # From state 0, hitting state 1 with exit prob 0.1 takes 10.
+        matrix = [[0.9, 0.1], [0.0, 1.0]]
+        h = hitting_time(matrix, [1])
+        assert h[1] == 0.0
+        assert h[0] == pytest.approx(10.0)
+
+    def test_chain_of_states(self):
+        # 0 -> 1 -> 2 deterministic: hitting 2 takes 2 from 0.
+        matrix = [[0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [0.0, 0.0, 1.0]]
+        h = hitting_time(matrix, [2])
+        assert h.tolist() == [2.0, 1.0, 0.0]
+
+    def test_unreachable_target_is_infinite(self):
+        matrix = [[1.0, 0.0], [0.0, 1.0]]
+        h = hitting_time(matrix, [1])
+        assert h[0] == float("inf")
+        assert h[1] == 0.0
+
+    def test_invalid_target_raises(self):
+        with pytest.raises(ValidationError):
+            hitting_time(BURSTY, [5])
+
+    def test_disk_wake_times(self, disk_bundle):
+        # Table I regeneration: expected wake delays from each inactive
+        # state under a held go_active command.
+        chain = disk_bundle.system.provider.chain
+        h = hitting_time(chain.matrix("go_active"), [chain.state_index("active")])
+        assert h[chain.state_index("idle")] == pytest.approx(1.0)
+        assert h[chain.state_index("lpidle")] == pytest.approx(40.0)
+        assert h[chain.state_index("standby")] == pytest.approx(2200.0)
+        assert h[chain.state_index("sleep")] == pytest.approx(6000.0)
+
+
+class TestTrapState:
+    def test_structure(self):
+        out = with_trap_state(BURSTY, gamma=0.9)
+        assert out.shape == (3, 3)
+        assert_stochastic(out)
+        assert np.allclose(out[:2, :2], 0.9 * BURSTY)
+        assert np.allclose(out[:2, 2], 0.1)
+        assert out[2, 2] == 1.0
+
+    def test_expected_stopping_time(self):
+        # Hitting the trap state is geometric with mean 1/(1-gamma).
+        gamma = 0.98
+        out = with_trap_state(BURSTY, gamma)
+        h = hitting_time(out, [2])
+        assert np.allclose(h[:2], 1.0 / (1.0 - gamma), rtol=1e-9)
+
+
+class TestDiscountedOccupancy:
+    def test_total_mass_is_horizon(self):
+        gamma = 0.95
+        y = discounted_occupancy(BURSTY, gamma, [1.0, 0.0])
+        assert y.sum() == pytest.approx(1.0 / (1.0 - gamma))
+
+    def test_matches_series(self):
+        gamma = 0.9
+        p0 = np.array([0.5, 0.5])
+        series = np.zeros(2)
+        p = p0.copy()
+        for t in range(2000):
+            series += (gamma**t) * p
+            p = p @ BURSTY
+        y = discounted_occupancy(BURSTY, gamma, p0)
+        assert np.allclose(y, series, atol=1e-8)
+
+    def test_gamma_one_rejected(self):
+        with pytest.raises(ValidationError):
+            discounted_occupancy(BURSTY, 1.0, [1.0, 0.0])
+
+    def test_wrong_p0_size_rejected(self):
+        with pytest.raises(ValidationError):
+            discounted_occupancy(BURSTY, 0.9, [1.0, 0.0, 0.0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.floats(min_value=0.1, max_value=0.99),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_occupancy_nonnegative_property(self, n, gamma, seed):
+        rng = np.random.default_rng(seed)
+        raw = rng.random((n, n)) + 1e-3
+        matrix = raw / raw.sum(axis=1, keepdims=True)
+        p0 = np.zeros(n)
+        p0[0] = 1.0
+        y = discounted_occupancy(matrix, gamma, p0)
+        assert np.all(y >= -1e-12)
+        assert y.sum() == pytest.approx(1.0 / (1.0 - gamma), rel=1e-9)

@@ -1,0 +1,151 @@
+"""Unit and property tests for :class:`repro.markov.chain.MarkovChain`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.chain import MarkovChain
+from repro.util.validation import ValidationError
+from tests.conftest import assert_distribution
+
+BURSTY = [[0.95, 0.05], [0.15, 0.85]]  # paper Example 3.2
+
+
+def random_stochastic(rows: int, rng: np.random.Generator) -> np.ndarray:
+    raw = rng.random((rows, rows)) + 1e-3
+    return raw / raw.sum(axis=1, keepdims=True)
+
+
+class TestConstruction:
+    def test_basic(self):
+        chain = MarkovChain(BURSTY, ["0", "1"])
+        assert chain.n_states == 2
+        assert chain.state_names == ("0", "1")
+
+    def test_default_names(self):
+        chain = MarkovChain(np.eye(3))
+        assert chain.state_names == ("0", "1", "2")
+
+    def test_rejects_bad_matrix(self):
+        with pytest.raises(ValidationError):
+            MarkovChain([[0.5, 0.4], [0.5, 0.5]])
+
+    def test_rejects_wrong_name_count(self):
+        with pytest.raises(ValidationError, match="state names"):
+            MarkovChain(BURSTY, ["a"])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValidationError, match="unique"):
+            MarkovChain(BURSTY, ["x", "x"])
+
+    def test_matrix_copy_is_isolated(self):
+        chain = MarkovChain(BURSTY)
+        m = chain.matrix
+        m[0, 0] = 0.0
+        assert chain.matrix[0, 0] == 0.95
+
+    def test_equality(self):
+        assert MarkovChain(BURSTY, ["0", "1"]) == MarkovChain(BURSTY, ["0", "1"])
+        assert MarkovChain(BURSTY) != MarkovChain(np.eye(2))
+
+
+class TestAccessors:
+    def test_state_index(self):
+        chain = MarkovChain(BURSTY, ["idle", "busy"])
+        assert chain.state_index("busy") == 1
+
+    def test_unknown_state_raises(self):
+        chain = MarkovChain(BURSTY)
+        with pytest.raises(KeyError, match="unknown state"):
+            chain.state_index("nope")
+
+    def test_transition_probability_by_name(self):
+        chain = MarkovChain(BURSTY, ["idle", "busy"])
+        assert chain.transition_probability("idle", "busy") == 0.05
+
+    def test_transition_probability_by_index(self):
+        chain = MarkovChain(BURSTY)
+        assert chain.transition_probability(1, 1) == 0.85
+
+
+class TestDistributionEvolution:
+    def test_step(self):
+        chain = MarkovChain(BURSTY)
+        p1 = chain.step_distribution([1.0, 0.0])
+        assert np.allclose(p1, [0.95, 0.05])
+
+    def test_step_rejects_wrong_size(self):
+        chain = MarkovChain(BURSTY)
+        with pytest.raises(ValidationError, match="entries"):
+            chain.step_distribution([1.0, 0.0, 0.0])
+
+    def test_distribution_at_zero_is_identity(self):
+        chain = MarkovChain(BURSTY)
+        assert np.allclose(chain.distribution_at([0.3, 0.7], 0), [0.3, 0.7])
+
+    def test_distribution_at_matches_matrix_power(self):
+        chain = MarkovChain(BURSTY)
+        p0 = np.array([1.0, 0.0])
+        direct = p0 @ np.linalg.matrix_power(np.array(BURSTY), 7)
+        assert np.allclose(chain.distribution_at(p0, 7), direct)
+
+    def test_negative_time_raises(self):
+        chain = MarkovChain(BURSTY)
+        with pytest.raises(ValidationError):
+            chain.distribution_at([1.0, 0.0], -1)
+
+
+class TestStationary:
+    def test_bursty_example(self):
+        # pi_1 = p01 / (p01 + p10) = 0.05 / 0.20 = 0.25
+        chain = MarkovChain(BURSTY)
+        pi = chain.stationary_distribution()
+        assert np.allclose(pi, [0.75, 0.25], atol=1e-10)
+
+    def test_fixed_point(self):
+        rng = np.random.default_rng(5)
+        matrix = random_stochastic(5, rng)
+        chain = MarkovChain(matrix)
+        pi = chain.stationary_distribution()
+        assert np.allclose(pi @ matrix, pi, atol=1e-9)
+        assert_distribution(pi)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=10_000))
+    def test_stationary_is_distribution_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        chain = MarkovChain(random_stochastic(n, rng))
+        pi = chain.stationary_distribution()
+        assert_distribution(pi, atol=1e-8)
+        assert np.allclose(pi @ chain.matrix, pi, atol=1e-7)
+
+
+class TestSampling:
+    def test_path_length(self, rng):
+        chain = MarkovChain(BURSTY)
+        path = chain.sample_path(100, rng, initial_state=0)
+        assert path.shape == (101,)
+        assert path[0] == 0
+
+    def test_path_respects_support(self, rng):
+        # From state 0 of the identity chain you can never leave.
+        chain = MarkovChain(np.eye(2))
+        path = chain.sample_path(50, rng, initial_state=0)
+        assert np.all(path == 0)
+
+    def test_initial_state_by_name(self, rng):
+        chain = MarkovChain(BURSTY, ["idle", "busy"])
+        path = chain.sample_path(10, rng, initial_state="busy")
+        assert path[0] == 1
+
+    def test_empirical_frequencies_converge(self, rng):
+        chain = MarkovChain(BURSTY)
+        path = chain.sample_path(60_000, rng, initial_state=0)
+        busy_fraction = float(np.mean(path == 1))
+        assert abs(busy_fraction - 0.25) < 0.02
+
+    def test_out_of_range_initial_raises(self, rng):
+        chain = MarkovChain(BURSTY)
+        with pytest.raises(ValidationError):
+            chain.sample_path(5, rng, initial_state=7)

@@ -1,0 +1,127 @@
+"""Unit tests for :class:`repro.markov.controlled.ControlledMarkovChain`."""
+
+import numpy as np
+import pytest
+
+from repro.markov.controlled import ControlledMarkovChain
+from repro.util.validation import ValidationError
+from tests.conftest import assert_stochastic
+
+# Paper Example 3.1 service provider.
+SP_MATRICES = {
+    "s_on": [[1.0, 0.0], [0.1, 0.9]],
+    "s_off": [[0.2, 0.8], [0.0, 1.0]],
+}
+
+
+def example_chain() -> ControlledMarkovChain:
+    return ControlledMarkovChain(SP_MATRICES, state_names=["on", "off"])
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        chain = example_chain()
+        assert chain.n_states == 2
+        assert chain.n_commands == 2
+        assert chain.command_names == ("s_on", "s_off")
+
+    def test_from_sequence(self):
+        chain = ControlledMarkovChain([np.eye(2), np.ones((2, 2)) / 2])
+        assert chain.command_names == ("0", "1")
+
+    def test_explicit_command_order(self):
+        chain = ControlledMarkovChain(
+            SP_MATRICES, state_names=["on", "off"], command_names=["s_off", "s_on"]
+        )
+        assert chain.command_names == ("s_off", "s_on")
+        assert chain.matrix("s_off")[0, 1] == 0.8
+
+    def test_rejects_mismatched_command_names(self):
+        with pytest.raises(ValidationError, match="command_names"):
+            ControlledMarkovChain(SP_MATRICES, command_names=["a", "b"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="at least one"):
+            ControlledMarkovChain({})
+
+    def test_rejects_inconsistent_dimensions(self):
+        with pytest.raises(ValidationError, match="states"):
+            ControlledMarkovChain({"a": np.eye(2), "b": np.eye(3)})
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ValidationError):
+            ControlledMarkovChain({"a": [[0.5, 0.4], [0.0, 1.0]]})
+
+    def test_rejects_duplicate_commands(self):
+        with pytest.raises(ValidationError, match="unique"):
+            ControlledMarkovChain([np.eye(2), np.eye(2)], command_names=["x", "x"])
+
+
+class TestAccessors:
+    def test_matrix_lookup(self):
+        chain = example_chain()
+        assert chain.matrix("s_on")[1, 0] == 0.1
+
+    def test_matrix_by_index(self):
+        chain = example_chain()
+        assert np.allclose(chain.matrix(1), SP_MATRICES["s_off"])
+
+    def test_transition_probability(self):
+        chain = example_chain()
+        assert chain.transition_probability("off", "on", "s_on") == 0.1
+        assert chain.transition_probability("on", "off", "s_off") == 0.8
+
+    def test_unknown_command_raises(self):
+        with pytest.raises(KeyError, match="unknown command"):
+            example_chain().matrix("nope")
+
+    def test_out_of_range_index_raises(self):
+        with pytest.raises(KeyError):
+            example_chain().command_index(5)
+
+    def test_tensor_shape_and_isolation(self):
+        chain = example_chain()
+        tensor = chain.tensor
+        assert tensor.shape == (2, 2, 2)
+        tensor[0, 0, 0] = 0.0
+        assert chain.matrix("s_on")[0, 0] == 1.0
+
+
+class TestDecisions:
+    def test_decision_matrix_is_convex_combination(self):
+        chain = example_chain()
+        mixed = chain.decision_matrix([0.8, 0.2])
+        expected = 0.8 * np.array(SP_MATRICES["s_on"]) + 0.2 * np.array(
+            SP_MATRICES["s_off"]
+        )
+        assert np.allclose(mixed, expected)
+        assert_stochastic(mixed)
+
+    def test_decision_rejects_bad_distribution(self):
+        with pytest.raises(ValidationError):
+            example_chain().decision_matrix([0.5, 0.6])
+
+    def test_policy_matrix_per_state_mixing(self):
+        chain = example_chain()
+        policy = np.array([[1.0, 0.0], [0.0, 1.0]])  # on->s_on, off->s_off
+        induced = chain.policy_matrix(policy)
+        assert np.allclose(induced[0], SP_MATRICES["s_on"][0])
+        assert np.allclose(induced[1], SP_MATRICES["s_off"][1])
+        assert_stochastic(induced)
+
+    def test_policy_matrix_randomized(self):
+        chain = example_chain()
+        policy = np.array([[0.5, 0.5], [0.5, 0.5]])
+        induced = chain.policy_matrix(policy)
+        expected = 0.5 * chain.matrix("s_on") + 0.5 * chain.matrix("s_off")
+        assert np.allclose(induced, expected)
+
+    def test_policy_matrix_shape_check(self):
+        with pytest.raises(ValidationError, match="shape"):
+            example_chain().policy_matrix(np.ones((3, 2)) / 2)
+
+    def test_induced_chain_roundtrip(self):
+        chain = example_chain()
+        induced = chain.induced_chain(np.array([[1.0, 0.0], [1.0, 0.0]]))
+        assert induced.state_names == ("on", "off")
+        assert np.allclose(induced.matrix, SP_MATRICES["s_on"])

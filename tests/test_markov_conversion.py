@@ -1,0 +1,105 @@
+"""Tests for exact Markov forms of memoryless heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import PENALTY, POWER
+from repro.core.policy import evaluate_policy
+from repro.policies import (
+    EagerAgent,
+    StationaryPolicyAgent,
+    constant_markov_policy,
+    eager_markov_policy,
+)
+from repro.sim import make_rng, simulate
+
+
+class TestConstantMarkovPolicy:
+    def test_matches_constant_agent(self, example_bundle):
+        policy = constant_markov_policy(example_bundle.system, "s_off")
+        assert policy.is_deterministic
+        assert np.all(policy.as_deterministic() == 1)
+
+
+class TestEagerMarkovPolicy:
+    def test_structure(self, example_bundle):
+        system = example_bundle.system
+        policy = eager_markov_policy(system, "s_on", "s_off")
+        on = system.chain.command_index("s_on")
+        off = system.chain.command_index("s_off")
+        # Pending work (queue > 0 or SR issuing) -> active command.
+        assert policy.as_deterministic()[system.state_index("on", "1", 0)] == on
+        assert policy.as_deterministic()[system.state_index("on", "0", 1)] == on
+        assert policy.as_deterministic()[system.state_index("off", "1", 1)] == on
+        # Fully idle -> sleep command.
+        assert policy.as_deterministic()[system.state_index("on", "0", 0)] == off
+        assert policy.as_deterministic()[system.state_index("off", "0", 0)] == off
+
+    def test_exact_equals_simulated_eager(self, example_bundle):
+        """The Markov form and the stateful agent are the same policy.
+
+        The agent observes ``arrivals`` = z of the current SR state (the
+        engine's bookkeeping makes these coincide), so simulating the
+        eager agent and the Markov-policy agent with the same seed gives
+        identical trajectories.
+        """
+        system, costs = example_bundle.system, example_bundle.costs
+        markov = eager_markov_policy(system, "s_on", "s_off")
+        sim_agent = simulate(
+            system,
+            costs,
+            EagerAgent(0, 1),
+            20_000,
+            make_rng(77),
+            initial_state=("on", "0", 0),
+        )
+        sim_markov = simulate(
+            system,
+            costs,
+            StationaryPolicyAgent(system, markov),
+            20_000,
+            make_rng(77),
+            initial_state=("on", "0", 0),
+        )
+        assert sim_agent.averages == sim_markov.averages
+        assert sim_agent.final_state == sim_markov.final_state
+
+    def test_exact_evaluation_close_to_simulation(self, example_bundle):
+        system, costs = example_bundle.system, example_bundle.costs
+        markov = eager_markov_policy(system, "s_on", "s_off")
+        analytic = evaluate_policy(
+            system, costs, markov, example_bundle.gamma,
+            example_bundle.initial_distribution,
+        )
+        sim = simulate(
+            system,
+            costs,
+            EagerAgent(0, 1),
+            150_000,
+            make_rng(3),
+            initial_state=("on", "0", 0),
+        )
+        assert sim.averages[POWER] == pytest.approx(
+            analytic.averages[POWER], rel=0.05, abs=0.02
+        )
+        assert sim.averages[PENALTY] == pytest.approx(
+            analytic.averages[PENALTY], rel=0.08, abs=0.03
+        )
+
+    def test_disk_eager_policies(self, disk_bundle):
+        """Eager variants exist for every disk sleep state and differ."""
+        system = disk_bundle.system
+        active = disk_bundle.metadata["active_command"]
+        evaluations = {}
+        for state, command in disk_bundle.metadata["sleep_commands"].items():
+            policy = eager_markov_policy(system, active, command)
+            ev = evaluate_policy(
+                system,
+                disk_bundle.costs,
+                policy,
+                disk_bundle.gamma,
+                disk_bundle.initial_distribution,
+            )
+            evaluations[state] = ev.averages[POWER]
+        # Deeper eager targets risk longer wakes; all four are distinct.
+        assert len(set(round(v, 6) for v in evaluations.values())) == 4

@@ -1,0 +1,84 @@
+"""Tests for transition-diagram export (paper Figs. 2-4, 8a)."""
+
+import networkx as nx
+import pytest
+
+from repro.markov.chain import MarkovChain
+from repro.markov.graph import (
+    chain_graph,
+    controlled_graph,
+    edge_table,
+    reachable_from,
+    to_dot,
+)
+from repro.systems import example_system
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def sp_chain():
+    return example_system.build_provider().chain
+
+
+class TestChainGraph:
+    def test_nodes_and_edges(self):
+        graph = chain_graph(MarkovChain([[0.95, 0.05], [0.15, 0.85]], ["0", "1"]))
+        assert set(graph.nodes) == {"0", "1"}
+        assert graph.edges["0", "1"]["probability"] == 0.05
+        assert graph.number_of_edges() == 4  # two self-loops included
+
+    def test_zero_edges_absent(self):
+        graph = chain_graph(MarkovChain([[1.0, 0.0], [0.0, 1.0]]))
+        assert graph.number_of_edges() == 2  # only self-loops
+
+
+class TestControlledGraph:
+    def test_per_command_view(self, sp_chain):
+        graph = controlled_graph(sp_chain, "s_on")
+        assert graph.edges["off", "on"]["probability"] == pytest.approx(0.1)
+        assert ("on", "off") not in graph.edges
+
+    def test_any_command_view_labels(self, sp_chain):
+        """Paper Fig. 2's convention: one edge, one label per command."""
+        graph = controlled_graph(sp_chain)
+        labels = graph.edges["on", "off"]["probabilities"]
+        assert labels == {"s_off": pytest.approx(0.8)}
+        on_self = graph.edges["on", "on"]["probabilities"]
+        assert set(on_self) == {"s_on", "s_off"}
+
+    def test_edge_table_focus(self, sp_chain):
+        table = edge_table(sp_chain, states=["on"])
+        assert "off" in table
+        assert "s_off: 0.8" in table
+
+    def test_edge_table_unknown_state(self, sp_chain):
+        with pytest.raises(ValidationError, match="unknown states"):
+            edge_table(sp_chain, states=["nope"])
+
+    def test_dot_output_parses_structurally(self, sp_chain):
+        dot = to_dot(sp_chain)
+        assert dot.startswith("digraph")
+        assert '"off" -> "on"' in dot
+        # Merged-command view: on/on, on/off, off/on, off/off.
+        assert dot.count("->") == 4
+
+    def test_reachability(self, sp_chain):
+        assert reachable_from(sp_chain, "off", "s_on") == {"off", "on"}
+        # Holding s_off, the SP can never return to on.
+        assert reachable_from(sp_chain, "off", "s_off") == {"off"}
+
+
+class TestDiskGraphInvariants:
+    def test_disk_transient_chains(self, disk_bundle):
+        chain = disk_bundle.system.provider.chain
+        # Under go_active everything reaches active.
+        for state in chain.state_names:
+            assert "active" in reachable_from(chain, state, "go_active")
+
+    def test_disk_sleep_absorbing_under_own_command(self, disk_bundle):
+        chain = disk_bundle.system.provider.chain
+        assert reachable_from(chain, "sleep", "go_sleep") == {"sleep"}
+
+    def test_disk_graph_is_weakly_connected(self, disk_bundle):
+        graph = controlled_graph(disk_bundle.system.provider.chain)
+        assert nx.is_weakly_connected(graph)

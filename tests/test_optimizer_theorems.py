@@ -1,0 +1,167 @@
+"""Tests of the paper's theoretical results.
+
+* Theorem A.1: the unconstrained optimum is attained by a deterministic
+  Markov stationary policy, whose value vector is independent of the
+  initial distribution, and LP / value iteration / policy iteration all
+  find it.
+* Theorem A.2: with an active constraint the optimum is randomized.
+* Theorem 4.1: the feasible-allocation set is convex, hence the Pareto
+  curve is convex.
+* Optimality dominance: no heuristic (history-dependent) policy can
+  beat the LP optimum — checked exactly for Markov heuristics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import PENALTY, POWER
+from repro.core.dynamic_programming import policy_iteration, value_iteration
+from repro.core.optimizer import PolicyOptimizer
+from repro.core.policy import evaluate_policy
+from repro.policies import constant_markov_policy, eager_markov_policy
+from repro.systems import example_system
+
+GAMMA = 0.99  # fast-converging discount for the DP comparisons
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return example_system.build(gamma=GAMMA)
+
+
+@pytest.fixture(scope="module")
+def optimizer(bundle):
+    return PolicyOptimizer(
+        bundle.system,
+        bundle.costs,
+        gamma=GAMMA,
+        initial_distribution=bundle.initial_distribution,
+    )
+
+
+class TestTheoremA1:
+    @pytest.mark.parametrize("metric", [POWER, PENALTY])
+    def test_unconstrained_optimum_is_deterministic(self, optimizer, metric):
+        result = optimizer.minimize_unconstrained(metric).require_feasible()
+        assert result.policy.is_deterministic
+
+    def test_lp_equals_value_iteration(self, bundle, optimizer):
+        result = optimizer.minimize_unconstrained(POWER).require_feasible()
+        dp = value_iteration(bundle.system, bundle.costs.metric(POWER), GAMMA, tol=1e-12)
+        assert dp.converged
+        lp_total = result.evaluation.totals[POWER]
+        dp_total = float(bundle.initial_distribution @ dp.values)
+        assert lp_total == pytest.approx(dp_total, rel=1e-7)
+
+    def test_lp_equals_policy_iteration(self, bundle, optimizer):
+        result = optimizer.minimize_unconstrained(POWER).require_feasible()
+        dp = policy_iteration(bundle.system, bundle.costs.metric(POWER), GAMMA)
+        assert dp.converged
+        dp_total = float(bundle.initial_distribution @ dp.values)
+        assert result.evaluation.totals[POWER] == pytest.approx(dp_total, rel=1e-9)
+
+    def test_value_iteration_equals_policy_iteration(self, bundle):
+        vi = value_iteration(bundle.system, bundle.costs.metric(PENALTY), GAMMA, tol=1e-12)
+        pi = policy_iteration(bundle.system, bundle.costs.metric(PENALTY), GAMMA)
+        assert np.allclose(vi.values, pi.values, atol=1e-7)
+
+    def test_optimal_value_independent_of_p0(self, bundle):
+        """Theorem A.1: v* does not depend on the initial distribution;
+        the optimal *policy value from each start* is fixed, so two
+        optimizers with different p0 agree state-wise."""
+        opt_a = PolicyOptimizer(
+            bundle.system,
+            bundle.costs,
+            gamma=GAMMA,
+            initial_distribution=bundle.system.point_distribution("on", "0", 0),
+        )
+        opt_b = PolicyOptimizer(
+            bundle.system,
+            bundle.costs,
+            gamma=GAMMA,
+            initial_distribution=bundle.system.uniform_distribution(),
+        )
+        dp = value_iteration(bundle.system, bundle.costs.metric(POWER), GAMMA, tol=1e-12)
+        for opt, p0 in (
+            (opt_a, bundle.system.point_distribution("on", "0", 0)),
+            (opt_b, bundle.system.uniform_distribution()),
+        ):
+            result = opt.minimize_unconstrained(POWER).require_feasible()
+            assert result.evaluation.totals[POWER] == pytest.approx(
+                float(p0 @ dp.values), rel=1e-6
+            )
+
+    def test_optimality_equations_hold(self, bundle):
+        """v* satisfies v = min_a [c + gamma P^a v] (paper Eq. 12)."""
+        from repro.core.dynamic_programming import q_values
+
+        dp = value_iteration(bundle.system, bundle.costs.metric(POWER), GAMMA, tol=1e-12)
+        q = q_values(bundle.system, bundle.costs.metric(POWER), GAMMA, dp.values)
+        assert np.allclose(q.min(axis=1), dp.values, atol=1e-8)
+
+
+class TestTheoremA2:
+    def test_active_constraints_give_randomized_policy(self, optimizer):
+        result = optimizer.minimize_power(penalty_bound=0.5, loss_bound=0.2)
+        result.require_feasible()
+        # Both constraints bind (checked in test_optimizer), so the
+        # optimum cannot be deterministic.
+        assert not result.policy.is_deterministic
+
+    def test_inactive_constraint_gives_deterministic_policy(self, optimizer):
+        # A very loose bound is inactive; Theorem A.2's first clause.
+        result = optimizer.minimize_power(penalty_bound=50.0).require_feasible()
+        assert result.average(PENALTY) < 50.0 - 1e-6  # inactive indeed
+        assert result.policy.is_deterministic
+
+    def test_randomization_is_minimal(self, optimizer):
+        """A vertex solution randomizes in at most #active-constraints
+        states (basic solutions have <= m nonzeros)."""
+        result = optimizer.minimize_power(penalty_bound=0.5, loss_bound=0.2)
+        matrix = result.policy.matrix
+        randomized_states = int(np.sum(matrix.max(axis=1) < 1.0 - 1e-9))
+        assert randomized_states <= 2
+
+
+class TestOptimalityDominance:
+    """No Markov heuristic can beat the LP optimum — checked exactly."""
+
+    @pytest.mark.parametrize("loss_bound", [None, 0.25])
+    def test_eager_policy_never_beats_lp(self, bundle, optimizer, loss_bound):
+        eager = eager_markov_policy(bundle.system, "s_on", "s_off")
+        ev = evaluate_policy(
+            bundle.system, bundle.costs, eager, GAMMA, bundle.initial_distribution
+        )
+        kwargs = {"penalty_bound": ev.averages[PENALTY]}
+        if loss_bound is not None:
+            kwargs["loss_bound"] = max(loss_bound, ev.averages["loss"])
+        result = optimizer.minimize_power(**kwargs).require_feasible()
+        assert result.average(POWER) <= ev.averages[POWER] + 1e-7
+
+    def test_always_on_never_beats_lp(self, bundle, optimizer):
+        always_on = constant_markov_policy(bundle.system, "s_on")
+        ev = evaluate_policy(
+            bundle.system, bundle.costs, always_on, GAMMA, bundle.initial_distribution
+        )
+        result = optimizer.minimize_power(
+            penalty_bound=ev.averages[PENALTY], loss_bound=ev.averages["loss"]
+        ).require_feasible()
+        assert result.average(POWER) <= ev.averages[POWER] + 1e-7
+
+    def test_random_policies_never_beat_lp(self, bundle, optimizer):
+        rng = np.random.default_rng(202)
+        from repro.core.policy import MarkovPolicy
+
+        for _ in range(25):
+            raw = rng.random((8, 2)) + 1e-6
+            policy = MarkovPolicy(
+                raw / raw.sum(axis=1, keepdims=True), ("s_on", "s_off")
+            )
+            ev = evaluate_policy(
+                bundle.system, bundle.costs, policy, GAMMA, bundle.initial_distribution
+            )
+            result = optimizer.minimize_power(
+                penalty_bound=ev.averages[PENALTY],
+                loss_bound=ev.averages["loss"],
+            ).require_feasible()
+            assert result.average(POWER) <= ev.averages[POWER] + 1e-7

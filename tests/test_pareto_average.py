@@ -1,0 +1,63 @@
+"""Pareto exploration also works over the average-cost formulation.
+
+:func:`trade_off_curve` only requires the ``optimize`` method shape, so
+the average-cost optimizer sweeps the same way; Theorem 4.1's convexity
+argument applies unchanged (the feasible set of stationary state-action
+distributions is a polytope).
+"""
+
+import pytest
+
+from repro.core.average_cost import AverageCostOptimizer
+from repro.core.costs import PENALTY, POWER
+from repro.core.pareto import trade_off_curve
+from repro.systems import example_system
+
+BOUNDS = (0.2, 0.3, 0.4, 0.5, 0.7, 0.9)
+
+
+@pytest.fixture(scope="module")
+def curve():
+    bundle = example_system.build()
+    optimizer = AverageCostOptimizer(bundle.system, bundle.costs)
+    return trade_off_curve(
+        optimizer, BOUNDS, objective=POWER, constraint=PENALTY
+    )
+
+
+def test_average_cost_curve_convex(curve):
+    assert curve.is_convex()
+
+
+def test_average_cost_curve_non_increasing(curve):
+    assert curve.is_non_increasing()
+
+
+def test_average_cost_curve_close_to_discounted(curve):
+    """At gamma = 0.99999 (horizon 1e5) the discounted curve should sit
+    within a whisker of the average-cost curve."""
+    from repro.core.optimizer import PolicyOptimizer
+
+    bundle = example_system.build()
+    discounted_optimizer = PolicyOptimizer(
+        bundle.system,
+        bundle.costs,
+        gamma=bundle.gamma,
+        initial_distribution=bundle.initial_distribution,
+    )
+    discounted = trade_off_curve(
+        discounted_optimizer, BOUNDS, objective=POWER, constraint=PENALTY
+    )
+    for avg_point, disc_point in zip(curve.points, discounted.points):
+        assert avg_point.feasible == disc_point.feasible
+        if avg_point.feasible:
+            assert avg_point.objective == pytest.approx(
+                disc_point.objective, abs=2e-3
+            )
+
+
+def test_average_cost_infeasible_region(curve):
+    bundle = example_system.build()
+    optimizer = AverageCostOptimizer(bundle.system, bundle.costs)
+    result = optimizer.minimize_power(penalty_bound=0.05)
+    assert not result.feasible

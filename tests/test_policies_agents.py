@@ -1,0 +1,223 @@
+"""Behavioural tests for the heuristic policy agents."""
+
+import numpy as np
+import pytest
+
+from repro.policies import (
+    ConstantAgent,
+    EagerAgent,
+    ExponentialAveragePredictiveAgent,
+    LastActivityPredictiveAgent,
+    RandomizedTimeoutAgent,
+    StationaryPolicyAgent,
+    TimeoutAgent,
+    always_on_agent,
+)
+from repro.policies.base import Observation
+from repro.core.policy import MarkovPolicy
+from repro.sim import make_rng
+from repro.util.validation import ValidationError
+
+ACTIVE, SLEEP = 0, 1
+
+
+def obs(queue=0, arrivals=0, provider=0, requester=0, t=0) -> Observation:
+    return Observation(
+        provider_state=provider,
+        requester_state=requester,
+        queue_length=queue,
+        arrivals=arrivals,
+        slice_index=t,
+    )
+
+
+class TestObservation:
+    def test_pending_work_flags(self):
+        assert not obs().has_pending_work
+        assert obs(queue=1).has_pending_work
+        assert obs(arrivals=2).has_pending_work
+
+
+class TestConstantAgent:
+    def test_always_same_command(self, rng):
+        agent = ConstantAgent(3)
+        assert agent.select_command(obs(), rng) == 3
+        assert agent.select_command(obs(queue=5, arrivals=1), rng) == 3
+
+    def test_always_on_helper(self, rng):
+        agent = always_on_agent(ACTIVE)
+        assert agent.select_command(obs(), rng) == ACTIVE
+        assert "always-on" in agent.describe()
+
+
+class TestEagerAgent:
+    def test_sleeps_when_idle(self, rng):
+        agent = EagerAgent(ACTIVE, SLEEP)
+        assert agent.select_command(obs(), rng) == SLEEP
+
+    def test_wakes_on_queue(self, rng):
+        agent = EagerAgent(ACTIVE, SLEEP)
+        assert agent.select_command(obs(queue=1), rng) == ACTIVE
+
+    def test_wakes_on_arrival(self, rng):
+        agent = EagerAgent(ACTIVE, SLEEP)
+        assert agent.select_command(obs(arrivals=1), rng) == ACTIVE
+
+
+class TestTimeoutAgent:
+    def test_counts_idle_slices(self, rng):
+        agent = TimeoutAgent(2, ACTIVE, SLEEP)
+        agent.reset()
+        assert agent.select_command(obs(t=0), rng) == ACTIVE  # idle 1
+        assert agent.select_command(obs(t=1), rng) == ACTIVE  # idle 2
+        assert agent.select_command(obs(t=2), rng) == SLEEP  # idle 3 > 2
+
+    def test_work_resets_counter(self, rng):
+        agent = TimeoutAgent(1, ACTIVE, SLEEP)
+        agent.reset()
+        assert agent.select_command(obs(), rng) == ACTIVE
+        assert agent.select_command(obs(arrivals=1), rng) == ACTIVE  # reset
+        assert agent.select_command(obs(), rng) == ACTIVE  # idle 1 again
+        assert agent.select_command(obs(), rng) == SLEEP
+
+    def test_timeout_zero_is_eager(self, rng):
+        timeout0 = TimeoutAgent(0, ACTIVE, SLEEP)
+        eager = EagerAgent(ACTIVE, SLEEP)
+        timeout0.reset()
+        for queue, arrivals in [(0, 0), (1, 0), (0, 1), (0, 0)]:
+            assert timeout0.select_command(
+                obs(queue=queue, arrivals=arrivals), rng
+            ) == eager.select_command(obs(queue=queue, arrivals=arrivals), rng)
+
+    def test_reset_clears_counter(self, rng):
+        agent = TimeoutAgent(1, ACTIVE, SLEEP)
+        agent.reset()
+        agent.select_command(obs(), rng)
+        agent.select_command(obs(), rng)
+        agent.reset()
+        assert agent.select_command(obs(), rng) == ACTIVE
+
+    def test_rejects_negative_timeout(self):
+        with pytest.raises(ValidationError):
+            TimeoutAgent(-1, ACTIVE, SLEEP)
+
+
+class TestRandomizedTimeoutAgent:
+    def make(self):
+        return RandomizedTimeoutAgent(
+            timeouts=[0, 100],
+            timeout_probabilities=[0.5, 0.5],
+            sleep_commands=[1, 2],
+            sleep_probabilities=[0.5, 0.5],
+            active_command=ACTIVE,
+        )
+
+    def test_draws_once_per_idle_period(self):
+        agent = self.make()
+        rng = make_rng(0)
+        agent.reset()
+        commands = set()
+        # Within a single long idle period the drawn sleep target is fixed.
+        first_sleep = None
+        for t in range(200):
+            command = agent.select_command(obs(t=t), rng)
+            if command != ACTIVE:
+                commands.add(command)
+                if first_sleep is None:
+                    first_sleep = command
+                assert command == first_sleep
+        assert commands  # it eventually slept
+
+    def test_redraws_after_busy_period(self):
+        agent = self.make()
+        rng = make_rng(1)
+        agent.reset()
+        sleeps = set()
+        for period in range(40):
+            agent.select_command(obs(arrivals=1), rng)  # busy resets
+            for t in range(150):
+                command = agent.select_command(obs(t=t), rng)
+                if command != ACTIVE:
+                    sleeps.add(command)
+                    break
+        # Across many idle periods both targets appear.
+        assert sleeps == {1, 2}
+
+    def test_validates_distributions(self):
+        with pytest.raises(ValidationError):
+            RandomizedTimeoutAgent([1], [0.5], [1], [1.0], ACTIVE)
+
+
+class TestPredictiveAgents:
+    def test_last_activity_short_burst_sleeps(self, rng):
+        agent = LastActivityPredictiveAgent(5, ACTIVE, SLEEP)
+        agent.reset()
+        # Short burst (2 < 5) then idle: predicted-long idle -> sleep now.
+        agent.select_command(obs(arrivals=1), rng)
+        agent.select_command(obs(arrivals=1), rng)
+        assert agent.select_command(obs(), rng) == SLEEP
+
+    def test_last_activity_long_burst_stays(self, rng):
+        agent = LastActivityPredictiveAgent(3, ACTIVE, SLEEP)
+        agent.reset()
+        for _ in range(5):  # long burst
+            agent.select_command(obs(arrivals=1), rng)
+        assert agent.select_command(obs(), rng) == ACTIVE
+
+    def test_exponential_average_learns_long_idles(self, rng):
+        agent = ExponentialAveragePredictiveAgent(
+            alpha=1.0, breakeven=10.0, watchdog=1000, active_command=ACTIVE,
+            sleep_command=SLEEP,
+        )
+        agent.reset()
+        # First idle period of 30 slices: no prediction yet -> active.
+        for _ in range(30):
+            assert agent.select_command(obs(), rng) == ACTIVE
+        agent.select_command(obs(arrivals=1), rng)  # ends idle, learns 30
+        # Next idle: prediction 30 > 10 -> sleeps immediately.
+        assert agent.select_command(obs(), rng) == SLEEP
+
+    def test_exponential_average_watchdog(self, rng):
+        agent = ExponentialAveragePredictiveAgent(
+            alpha=0.5, breakeven=1000.0, watchdog=3, active_command=ACTIVE,
+            sleep_command=SLEEP,
+        )
+        agent.reset()
+        for _ in range(3):
+            assert agent.select_command(obs(), rng) == ACTIVE
+        assert agent.select_command(obs(), rng) == SLEEP
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ExponentialAveragePredictiveAgent(0.0, 1.0, 1, ACTIVE, SLEEP)
+        with pytest.raises(ValidationError):
+            LastActivityPredictiveAgent(-1, ACTIVE, SLEEP)
+
+
+class TestStationaryPolicyAgent:
+    def test_deterministic_lookup(self, example_bundle, rng):
+        policy = MarkovPolicy.deterministic(
+            [0, 1, 0, 1, 0, 1, 0, 1], 2, ("s_on", "s_off")
+        )
+        agent = StationaryPolicyAgent(example_bundle.system, policy)
+        # Joint index (s * R + r) * Q + q maps to the policy row.
+        assert agent.select_command(obs(provider=0, requester=0, queue=0), rng) == 0
+        assert agent.select_command(obs(provider=0, requester=0, queue=1), rng) == 1
+        assert agent.select_command(obs(provider=1, requester=1, queue=1), rng) == 1
+
+    def test_randomized_sampling_frequencies(self, example_bundle):
+        matrix = np.tile([0.3, 0.7], (8, 1))
+        policy = MarkovPolicy(matrix, ("s_on", "s_off"))
+        agent = StationaryPolicyAgent(example_bundle.system, policy)
+        rng = make_rng(5)
+        draws = [
+            agent.select_command(obs(), rng)
+            for _ in range(5000)
+        ]
+        assert np.mean(draws) == pytest.approx(0.7, abs=0.02)
+
+    def test_shape_mismatch_rejected(self, example_bundle):
+        with pytest.raises(ValidationError):
+            StationaryPolicyAgent(
+                example_bundle.system, MarkovPolicy.constant(0, 4, 2)
+            )

@@ -1,0 +1,180 @@
+"""Tests for Markov policies and their closed-form evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import MarkovPolicy, evaluate_policy
+from repro.util.validation import ValidationError
+
+
+class TestMarkovPolicy:
+    def test_randomized_rows(self):
+        policy = MarkovPolicy([[0.4, 0.6], [1.0, 0.0]], ["s_on", "s_off"])
+        assert not policy.is_deterministic
+        assert policy.probability(0, "s_off") == pytest.approx(0.6)
+        assert policy.probability(1, 0) == 1.0
+
+    def test_deterministic_constructor(self):
+        policy = MarkovPolicy.deterministic([1, 0, 1], 2)
+        assert policy.is_deterministic
+        assert policy.as_deterministic().tolist() == [1, 0, 1]
+
+    def test_deterministic_by_name(self):
+        policy = MarkovPolicy.deterministic(
+            ["s_off", "s_on"], 2, command_names=["s_on", "s_off"]
+        )
+        assert policy.as_deterministic().tolist() == [1, 0]
+
+    def test_constant_policy(self):
+        policy = MarkovPolicy.constant(1, 4, 3)
+        assert policy.n_states == 4
+        assert np.all(policy.greedy_commands() == 1)
+
+    def test_as_deterministic_raises_on_randomized(self):
+        policy = MarkovPolicy([[0.5, 0.5]])
+        with pytest.raises(ValidationError, match="randomized"):
+            policy.as_deterministic()
+
+    def test_randomization_degree(self):
+        deterministic = MarkovPolicy.deterministic([0, 1], 2)
+        assert deterministic.randomization_degree() == pytest.approx(0.0)
+        mixed = MarkovPolicy([[0.7, 0.3], [1.0, 0.0]])
+        assert mixed.randomization_degree() == pytest.approx(0.3)
+
+    def test_rows_renormalized(self):
+        # Tolerance dust is cleaned up on construction.
+        policy = MarkovPolicy([[0.5 + 1e-12, 0.5 - 1e-12]])
+        assert policy.matrix.sum() == pytest.approx(1.0)
+
+    def test_rejects_non_distribution_rows(self):
+        with pytest.raises(ValidationError):
+            MarkovPolicy([[0.5, 0.6]])
+
+    def test_rejects_bad_command_count(self):
+        with pytest.raises(ValidationError, match="command names"):
+            MarkovPolicy([[1.0, 0.0]], ["only_one_name_for_two"][:1] * 1)
+
+    def test_out_of_range_deterministic_command(self):
+        with pytest.raises(ValidationError, match="out of range"):
+            MarkovPolicy.deterministic([2], 2)
+
+    def test_sample_command_respects_support(self, rng):
+        policy = MarkovPolicy([[0.0, 1.0], [1.0, 0.0]])
+        assert policy.sample_command(0, rng) == 1
+        assert policy.sample_command(1, rng) == 0
+
+    def test_sample_command_frequencies(self, rng):
+        policy = MarkovPolicy([[0.25, 0.75]])
+        draws = [policy.sample_command(0, rng) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(0.75, abs=0.03)
+
+    def test_equality(self):
+        a = MarkovPolicy([[0.5, 0.5]], ["x", "y"])
+        b = MarkovPolicy([[0.5, 0.5]], ["x", "y"])
+        c = MarkovPolicy([[0.4, 0.6]], ["x", "y"])
+        assert a == b
+        assert a != c
+
+
+class TestEvaluatePolicy:
+    def test_horizon_and_occupancy_mass(self, example_bundle):
+        policy = MarkovPolicy.constant(
+            0, example_bundle.system.n_states, 2, ("s_on", "s_off")
+        )
+        ev = evaluate_policy(
+            example_bundle.system,
+            example_bundle.costs,
+            policy,
+            gamma=0.99,
+            initial_distribution=example_bundle.initial_distribution,
+        )
+        assert ev.expected_horizon == pytest.approx(100.0)
+        assert ev.occupancy.sum() == pytest.approx(100.0)
+
+    def test_always_on_power_is_three_watts(self, example_bundle):
+        # Holding s_on from (on, 0, 0): the SP stays on, m = 3 W always.
+        policy = MarkovPolicy.constant(
+            0, example_bundle.system.n_states, 2, ("s_on", "s_off")
+        )
+        ev = evaluate_policy(
+            example_bundle.system,
+            example_bundle.costs,
+            policy,
+            gamma=example_bundle.gamma,
+            initial_distribution=example_bundle.initial_distribution,
+        )
+        assert ev.averages["power"] == pytest.approx(3.0, abs=1e-9)
+
+    def test_frequencies_match_occupancy_times_policy(self, example_bundle):
+        policy = MarkovPolicy(
+            np.full((8, 2), 0.5), ("s_on", "s_off")
+        )
+        ev = evaluate_policy(
+            example_bundle.system,
+            example_bundle.costs,
+            policy,
+            gamma=0.95,
+            initial_distribution=example_bundle.initial_distribution,
+        )
+        assert np.allclose(ev.frequencies.sum(axis=1), ev.occupancy)
+        assert np.allclose(ev.frequencies[:, 0], ev.frequencies[:, 1])
+
+    def test_average_is_total_scaled(self, example_bundle):
+        policy = MarkovPolicy.constant(0, 8, 2, ("s_on", "s_off"))
+        ev = evaluate_policy(
+            example_bundle.system,
+            example_bundle.costs,
+            policy,
+            gamma=0.9,
+            initial_distribution=example_bundle.initial_distribution,
+        )
+        for name in example_bundle.costs.metric_names:
+            assert ev.averages[name] == pytest.approx(ev.totals[name] * 0.1)
+
+    def test_uniform_default_p0(self, example_bundle):
+        policy = MarkovPolicy.constant(0, 8, 2, ("s_on", "s_off"))
+        ev = evaluate_policy(
+            example_bundle.system, example_bundle.costs, policy, gamma=0.9
+        )
+        assert ev.occupancy.sum() == pytest.approx(10.0)
+
+    def test_gamma_one_rejected(self, example_bundle):
+        policy = MarkovPolicy.constant(0, 8, 2, ("s_on", "s_off"))
+        with pytest.raises(ValidationError):
+            evaluate_policy(
+                example_bundle.system, example_bundle.costs, policy, gamma=1.0
+            )
+
+    def test_shape_mismatch_rejected(self, example_bundle):
+        policy = MarkovPolicy.constant(0, 4, 2)
+        with pytest.raises(ValidationError, match="does not\n?.*match|match"):
+            evaluate_policy(
+                example_bundle.system, example_bundle.costs, policy, gamma=0.9
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_matches_monte_carlo_series_property(self, seed):
+        """Closed form equals explicit truncated series on random policies."""
+        # hypothesis can't inject fixtures; rebuild the small system.
+        from repro.systems import example_system
+
+        bundle = example_system.build()
+        rng = np.random.default_rng(seed)
+        raw = rng.random((8, 2)) + 1e-3
+        policy = MarkovPolicy(raw / raw.sum(axis=1, keepdims=True), ("s_on", "s_off"))
+        gamma = 0.9
+        ev = evaluate_policy(
+            bundle.system, bundle.costs, policy, gamma, bundle.initial_distribution
+        )
+        # Truncated series for the power metric.
+        P = bundle.system.chain.policy_matrix(policy.matrix)
+        cost = (bundle.costs.metric("power") * policy.matrix).sum(axis=1)
+        p = bundle.initial_distribution.copy()
+        total = 0.0
+        for t in range(400):
+            total += (gamma**t) * float(p @ cost)
+            p = p @ P
+        assert ev.totals["power"] == pytest.approx(total, rel=1e-8)

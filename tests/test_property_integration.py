@@ -1,0 +1,154 @@
+"""Property-based integration tests over randomly generated systems.
+
+Hypothesis builds small random power-managed systems end to end and
+checks the paper's structural guarantees hold for *every* one of them,
+not just the case studies:
+
+* the composed chain is a valid controlled Markov chain;
+* the constrained LP, when feasible, returns a valid policy whose
+  closed-form evaluation reproduces the LP objective (Eq. 16 is exact);
+* the unconstrained optimum is deterministic (Theorem A.1) and matches
+  value iteration;
+* the optimal policy weakly dominates arbitrary random policies at
+  matched constraints;
+* the average-cost LP returns a stationary distribution.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.average_cost import AverageCostOptimizer
+from repro.core.components import ServiceProvider, ServiceQueue, ServiceRequester
+from repro.core.costs import PENALTY, POWER, CostModel
+from repro.core.dynamic_programming import value_iteration
+from repro.core.optimizer import PolicyOptimizer
+from repro.core.policy import MarkovPolicy, evaluate_policy
+from repro.core.system import PowerManagedSystem
+from repro.markov.chain import MarkovChain
+from tests.conftest import assert_stochastic
+
+
+def random_system(seed: int, n_sp: int, n_sr: int, capacity: int, n_cmd: int):
+    """Build a random but valid power-managed system."""
+    rng = np.random.default_rng(seed)
+
+    def stochastic(n):
+        raw = rng.random((n, n)) + 1e-2
+        return raw / raw.sum(axis=1, keepdims=True)
+
+    provider = ServiceProvider.from_tables(
+        states=[f"s{i}" for i in range(n_sp)],
+        commands=[f"a{c}" for c in range(n_cmd)],
+        transitions={f"a{c}": stochastic(n_sp) for c in range(n_cmd)},
+        service_rates=rng.random((n_sp, n_cmd)),
+        power=rng.random((n_sp, n_cmd)) * 4.0,
+    )
+    requester = ServiceRequester(
+        MarkovChain(stochastic(n_sr)), rng.integers(0, 2, size=n_sr)
+    )
+    system = PowerManagedSystem(provider, requester, ServiceQueue(capacity))
+    costs = CostModel.standard(system)
+    return system, costs, rng
+
+
+system_params = {
+    "seed": st.integers(min_value=0, max_value=100_000),
+    "n_sp": st.integers(min_value=1, max_value=3),
+    "n_sr": st.integers(min_value=1, max_value=3),
+    "capacity": st.integers(min_value=0, max_value=2),
+    "n_cmd": st.integers(min_value=1, max_value=3),
+}
+
+
+@settings(max_examples=25, deadline=None)
+@given(**system_params)
+def test_lp_objective_equals_policy_evaluation(seed, n_sp, n_sr, capacity, n_cmd):
+    system, costs, _ = random_system(seed, n_sp, n_sr, capacity, n_cmd)
+    optimizer = PolicyOptimizer(system, costs, gamma=0.95)
+    result = optimizer.minimize_unconstrained(POWER)
+    assert result.feasible  # unconstrained problems are always feasible
+    assert_stochastic(result.policy.matrix)
+    evaluation = evaluate_policy(
+        system, costs, result.policy, 0.95, system.uniform_distribution()
+    )
+    assert evaluation.totals[POWER] == pytest.approx(
+        result.lp_result.objective, rel=1e-6, abs=1e-8
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(**system_params)
+def test_unconstrained_matches_value_iteration(seed, n_sp, n_sr, capacity, n_cmd):
+    system, costs, _ = random_system(seed, n_sp, n_sr, capacity, n_cmd)
+    optimizer = PolicyOptimizer(system, costs, gamma=0.9)
+    result = optimizer.minimize_unconstrained(POWER)
+    dp = value_iteration(system, costs.metric(POWER), 0.9, tol=1e-11)
+    assert dp.converged
+    expected = float(system.uniform_distribution() @ dp.values)
+    assert result.evaluation.totals[POWER] == pytest.approx(
+        expected, rel=1e-6, abs=1e-7
+    )
+    assert result.policy.is_deterministic
+
+
+@settings(max_examples=20, deadline=None)
+@given(**system_params)
+def test_optimal_dominates_random_policy(seed, n_sp, n_sr, capacity, n_cmd):
+    system, costs, rng = random_system(seed, n_sp, n_sr, capacity, n_cmd)
+    optimizer = PolicyOptimizer(system, costs, gamma=0.95)
+    raw = rng.random((system.n_states, system.n_commands)) + 1e-6
+    policy = MarkovPolicy(raw / raw.sum(axis=1, keepdims=True))
+    evaluation = evaluate_policy(
+        system, costs, policy, 0.95, system.uniform_distribution()
+    )
+    result = optimizer.minimize_power(
+        penalty_bound=evaluation.averages[PENALTY] + 1e-9
+    )
+    assert result.feasible
+    assert result.average(POWER) <= evaluation.averages[POWER] + 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(**system_params)
+def test_average_cost_distribution_is_stationary(seed, n_sp, n_sr, capacity, n_cmd):
+    system, costs, _ = random_system(seed, n_sp, n_sr, capacity, n_cmd)
+    optimizer = AverageCostOptimizer(system, costs)
+    result = optimizer.minimize_unconstrained(POWER)
+    assert result.feasible
+    assert result.frequencies.sum() == pytest.approx(1.0, abs=1e-7)
+    occupancy = result.frequencies.sum(axis=1)
+    P_pi = system.chain.policy_matrix(result.policy.matrix)
+    assert np.allclose(occupancy @ P_pi, occupancy, atol=1e-6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(**system_params, gamma=st.floats(min_value=0.5, max_value=0.99))
+def test_tighter_constraints_cost_more(seed, n_sp, n_sr, capacity, n_cmd, gamma):
+    system, costs, _ = random_system(seed, n_sp, n_sr, capacity, n_cmd)
+    optimizer = PolicyOptimizer(system, costs, gamma=gamma)
+    loose = optimizer.minimize_power(penalty_bound=float(capacity) + 1.0)
+    assert loose.feasible
+    mid_bound = max(loose.average(PENALTY) * 0.5, 1e-6)
+    tight = optimizer.minimize_power(penalty_bound=mid_bound)
+    if tight.feasible:
+        assert tight.average(POWER) >= loose.average(POWER) - 1e-7
+
+
+@settings(max_examples=15, deadline=None)
+@given(**system_params)
+def test_simulation_counters_consistent(seed, n_sp, n_sr, capacity, n_cmd):
+    """Short engine runs on arbitrary systems keep request accounting."""
+    from repro.policies import ConstantAgent
+    from repro.sim import make_rng, simulate
+
+    system, costs, _ = random_system(seed, n_sp, n_sr, capacity, n_cmd)
+    result = simulate(
+        system, costs, ConstantAgent(0), 500, make_rng(seed)
+    )
+    assert result.n_slices == 500
+    assert result.serviced + result.lost <= result.arrivals
+    final_queue = result.arrivals - result.serviced - result.lost
+    assert 0 <= final_queue <= capacity
+    assert result.command_counts.sum() == 500

@@ -1,0 +1,88 @@
+"""Property-based tests of the queue law (paper Eq. 3).
+
+The queue update must conserve probability and requests for *every*
+(capacity, length, service rate, arrivals) combination — hypothesis
+sweeps the space.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.components import ServiceQueue
+from tests.conftest import assert_distribution, assert_stochastic
+
+capacities = st.integers(min_value=0, max_value=8)
+rates = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+arrival_counts = st.integers(min_value=0, max_value=12)
+
+
+@settings(max_examples=200, deadline=None)
+@given(capacities, rates, arrival_counts)
+def test_rows_are_distributions(capacity, sigma, z):
+    queue = ServiceQueue(capacity)
+    matrix = queue.transition_matrix(sigma, z)
+    assert_stochastic(matrix)
+
+
+@settings(max_examples=200, deadline=None)
+@given(capacities, rates, arrival_counts, st.data())
+def test_request_conservation(capacity, sigma, z, data):
+    """E[next queue] + E[served] + E[lost] == queue + arrivals."""
+    queue = ServiceQueue(capacity)
+    q = data.draw(st.integers(min_value=0, max_value=capacity))
+    dist = queue.next_state_distribution(q, sigma, z)
+    expected_next = float(np.arange(queue.n_states) @ dist)
+    pending = q + z
+    expected_served = sigma if pending > 0 else 0.0
+    expected_lost = queue.expected_loss(q, sigma, z)
+    np.testing.assert_allclose(
+        expected_next + expected_served + expected_lost, pending, atol=1e-9
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(capacities, rates, arrival_counts, st.data())
+def test_queue_support_is_two_adjacent_levels(capacity, sigma, z, data):
+    """Single server: the next queue takes at most two adjacent values."""
+    queue = ServiceQueue(capacity)
+    q = data.draw(st.integers(min_value=0, max_value=capacity))
+    dist = queue.next_state_distribution(q, sigma, z)
+    support = np.where(dist > 1e-15)[0]
+    assert support.size in (1, 2)
+    if support.size == 2:
+        assert support[1] - support[0] == 1
+    # Both support points are the clamped served / unserved levels.
+    served = min(max(q + z - 1, 0), capacity)
+    unserved = min(q + z, capacity)
+    assert set(support.tolist()) <= {served, unserved, 0}
+
+
+@settings(max_examples=200, deadline=None)
+@given(capacities, rates, arrival_counts, st.data())
+def test_loss_zero_when_capacity_sufficient(capacity, sigma, z, data):
+    queue = ServiceQueue(capacity)
+    q = data.draw(st.integers(min_value=0, max_value=capacity))
+    if q + z <= capacity:
+        assert queue.expected_loss(q, sigma, z) == 0.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(capacities, rates, arrival_counts, st.data())
+def test_loss_monotone_in_service_rate(capacity, sigma, z, data):
+    """A faster server can only lose fewer requests."""
+    queue = ServiceQueue(capacity)
+    q = data.draw(st.integers(min_value=0, max_value=capacity))
+    slower = queue.expected_loss(q, sigma * 0.5, z)
+    faster = queue.expected_loss(q, sigma, z)
+    assert faster <= slower + 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(capacities, arrival_counts)
+def test_perfect_server_empties_singles(capacity, z):
+    """With sigma = 1 and one pending request, the queue empties."""
+    queue = ServiceQueue(capacity)
+    if capacity >= 1 and z == 0:
+        dist = queue.next_state_distribution(1, 1.0, 0)
+        assert dist[0] == 1.0

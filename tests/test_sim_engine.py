@@ -1,0 +1,209 @@
+"""Tests for the Markov-driven simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import PENALTY, POWER
+from repro.core.policy import MarkovPolicy, evaluate_policy
+from repro.policies import ConstantAgent, StationaryPolicyAgent
+from repro.sim import make_rng, simulate, simulate_sessions
+from repro.util.validation import ValidationError
+
+
+class TestBasicRuns:
+    def test_slice_accounting(self, example_bundle, rng):
+        agent = ConstantAgent(0)
+        result = simulate(example_bundle.system, example_bundle.costs, agent, 500, rng)
+        assert result.n_slices == 500
+        assert result.command_counts.sum() == 500
+        assert result.provider_occupancy.sum() == 500
+
+    def test_always_on_power_exact(self, example_bundle, rng):
+        # Holding s_on from (on, ., .) keeps the SP on at 3 W every slice.
+        agent = ConstantAgent(0)
+        result = simulate(
+            example_bundle.system,
+            example_bundle.costs,
+            agent,
+            2000,
+            rng,
+            initial_state=("on", "0", 0),
+        )
+        assert result.averages[POWER] == pytest.approx(3.0)
+        assert result.provider_occupancy[0] == 2000
+
+    def test_counters_consistent(self, example_bundle, rng):
+        agent = ConstantAgent(0)
+        result = simulate(
+            example_bundle.system,
+            example_bundle.costs,
+            agent,
+            5000,
+            rng,
+            initial_state=("on", "0", 0),
+        )
+        # Requests cannot be serviced or lost more than arrived (+ final queue).
+        assert result.serviced + result.lost <= result.arrivals
+        capacity = example_bundle.system.queue.capacity
+        assert (
+            result.arrivals - result.serviced - result.lost <= capacity
+        )
+
+    def test_invalid_agent_command_rejected(self, example_bundle, rng):
+        agent = ConstantAgent(7)
+        with pytest.raises(ValidationError, match="command"):
+            simulate(example_bundle.system, example_bundle.costs, agent, 10, rng)
+
+    def test_zero_slices_rejected(self, example_bundle, rng):
+        with pytest.raises(ValidationError):
+            simulate(example_bundle.system, example_bundle.costs, ConstantAgent(0), 0, rng)
+
+    def test_reproducible_with_seed(self, example_bundle):
+        agent = ConstantAgent(0)
+        a = simulate(
+            example_bundle.system, example_bundle.costs, agent, 2000, make_rng(9)
+        )
+        b = simulate(
+            example_bundle.system, example_bundle.costs, agent, 2000, make_rng(9)
+        )
+        assert a.averages == b.averages
+        assert a.final_state == b.final_state
+
+    def test_different_seeds_differ(self, example_bundle):
+        agent = ConstantAgent(0)
+        a = simulate(
+            example_bundle.system, example_bundle.costs, agent, 2000, make_rng(1)
+        )
+        b = simulate(
+            example_bundle.system, example_bundle.costs, agent, 2000, make_rng(2)
+        )
+        assert a.averages[PENALTY] != b.averages[PENALTY]
+
+
+class TestAgreementWithAnalytic:
+    """The paper's 'circles on the curve': simulated averages converge
+    to the closed-form policy evaluation."""
+
+    def test_always_on(self, example_bundle, rng):
+        policy = MarkovPolicy.constant(0, 8, 2, ("s_on", "s_off"))
+        analytic = evaluate_policy(
+            example_bundle.system,
+            example_bundle.costs,
+            policy,
+            example_bundle.gamma,
+            example_bundle.initial_distribution,
+        )
+        agent = StationaryPolicyAgent(example_bundle.system, policy)
+        sim = simulate(
+            example_bundle.system,
+            example_bundle.costs,
+            agent,
+            120_000,
+            rng,
+            initial_state=("on", "0", 0),
+        )
+        for metric in (POWER, PENALTY):
+            assert sim.averages[metric] == pytest.approx(
+                analytic.averages[metric], rel=0.05, abs=0.02
+            )
+
+    def test_randomized_optimal_policy(self, example_bundle, example_optimizer, rng):
+        result = example_optimizer.minimize_power(penalty_bound=0.5, loss_bound=0.2)
+        result.require_feasible()
+        agent = StationaryPolicyAgent(example_bundle.system, result.policy)
+        sim = simulate(
+            example_bundle.system,
+            example_bundle.costs,
+            agent,
+            150_000,
+            rng,
+            initial_state=("on", "0", 0),
+        )
+        assert sim.averages[POWER] == pytest.approx(
+            result.average(POWER), rel=0.06, abs=0.03
+        )
+        assert sim.averages[PENALTY] == pytest.approx(
+            result.average(PENALTY), rel=0.10, abs=0.04
+        )
+
+    def test_overflow_metric_matches_physical_losses(self, example_bundle, rng):
+        """The expected-overflow metric accumulated from matrices must
+        track the engine's physical lost-request counter."""
+        policy = MarkovPolicy.constant(1, 8, 2, ("s_on", "s_off"))  # always off
+        agent = StationaryPolicyAgent(example_bundle.system, policy)
+        sim = simulate(
+            example_bundle.system,
+            example_bundle.costs,
+            agent,
+            80_000,
+            rng,
+            initial_state=("on", "0", 0),
+        )
+        physical_rate = sim.lost / sim.n_slices
+        assert sim.averages["overflow"] == pytest.approx(
+            physical_rate, rel=0.08, abs=0.01
+        )
+
+    def test_loss_indicator_matches_event_count(self, example_bundle, rng):
+        policy = MarkovPolicy.constant(1, 8, 2, ("s_on", "s_off"))
+        agent = StationaryPolicyAgent(example_bundle.system, policy)
+        sim = simulate(
+            example_bundle.system,
+            example_bundle.costs,
+            agent,
+            50_000,
+            rng,
+            initial_state=("on", "0", 0),
+        )
+        assert sim.averages["loss"] == pytest.approx(
+            sim.loss_event_slices / sim.n_slices, abs=1e-12
+        )
+
+
+class TestSessions:
+    def test_session_totals_estimate_discounted_totals(self, example_bundle):
+        gamma = 0.99
+        policy = MarkovPolicy.constant(0, 8, 2, ("s_on", "s_off"))
+        analytic = evaluate_policy(
+            example_bundle.system,
+            example_bundle.costs,
+            policy,
+            gamma,
+            example_bundle.initial_distribution,
+        )
+        agent = StationaryPolicyAgent(example_bundle.system, policy)
+        stats = simulate_sessions(
+            example_bundle.system,
+            example_bundle.costs,
+            agent,
+            gamma,
+            400,
+            make_rng(11),
+            initial_state=("on", "0", 0),
+        )
+        assert stats[POWER].agrees_with(analytic.totals[POWER], confidence=0.999)
+
+    def test_session_length_cap(self, example_bundle, rng):
+        agent = ConstantAgent(0)
+        stats = simulate_sessions(
+            example_bundle.system,
+            example_bundle.costs,
+            agent,
+            0.999,
+            20,
+            rng,
+            max_session_slices=50,
+        )
+        # Power per slice is at most 4 W; capped sessions bound totals.
+        assert stats[POWER].mean <= 4.0 * 50
+
+    def test_rejects_bad_gamma(self, example_bundle, rng):
+        with pytest.raises(ValidationError):
+            simulate_sessions(
+                example_bundle.system,
+                example_bundle.costs,
+                ConstantAgent(0),
+                1.0,
+                5,
+                rng,
+            )

@@ -1,0 +1,76 @@
+"""Tests for simulation statistics and RNG management."""
+
+import numpy as np
+import pytest
+
+from repro.sim import SampleStats, confidence_interval, make_rng, spawn_rngs
+
+
+class TestSampleStats:
+    def test_basic_moments(self):
+        stats = SampleStats.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        assert stats.stderr == pytest.approx(stats.std / 2.0)
+
+    def test_single_sample(self):
+        stats = SampleStats.from_samples([7.0])
+        assert stats.std == 0.0
+        assert stats.interval() == (7.0, 7.0)
+
+    def test_interval_contains_mean(self):
+        stats = SampleStats.from_samples(np.arange(50, dtype=float))
+        low, high = stats.interval(0.95)
+        assert low < stats.mean < high
+
+    def test_interval_widens_with_confidence(self):
+        stats = SampleStats.from_samples(np.random.default_rng(0).random(30))
+        narrow = stats.interval(0.5)
+        wide = stats.interval(0.999)
+        assert wide[1] - wide[0] > narrow[1] - narrow[0]
+
+    def test_agrees_with(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(10.0, 1.0, size=200)
+        stats = SampleStats.from_samples(samples)
+        assert stats.agrees_with(10.0)
+        assert not stats.agrees_with(20.0)
+
+    def test_coverage_calibration(self):
+        """~95% of 95% CIs cover the true mean."""
+        rng = np.random.default_rng(2)
+        covered = 0
+        trials = 300
+        for _ in range(trials):
+            samples = rng.normal(0.0, 1.0, size=25)
+            low, high = SampleStats.from_samples(samples).interval(0.95)
+            covered += low <= 0.0 <= high
+        assert 0.90 <= covered / trials <= 0.99
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SampleStats.from_samples([])
+
+    def test_confidence_interval_helper(self):
+        low, high = confidence_interval([1.0, 2.0, 3.0])
+        assert low < 2.0 < high
+
+
+class TestRng:
+    def test_make_rng_reproducible(self):
+        assert make_rng(3).random() == make_rng(3).random()
+
+    def test_spawn_independence(self):
+        streams = spawn_rngs(0, 3)
+        values = [rng.random() for rng in streams]
+        assert len(set(values)) == 3
+
+    def test_spawn_reproducible(self):
+        a = [rng.random() for rng in spawn_rngs(42, 2)]
+        b = [rng.random() for rng in spawn_rngs(42, 2)]
+        assert a == b
+
+    def test_spawn_count_validation(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,110 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.sim import make_rng
+from repro.traces import (
+    merge_traces,
+    mmpp2_trace,
+    on_off_trace,
+    periodic_burst_trace,
+    poisson_trace,
+)
+from repro.util.validation import ValidationError
+
+
+class TestPoisson:
+    def test_rate_recovered(self):
+        trace = poisson_trace(5.0, 2000.0, make_rng(0))
+        assert trace.mean_rate() == pytest.approx(5.0, rel=0.05)
+
+    def test_burstiness_near_one(self):
+        trace = poisson_trace(2.0, 5000.0, make_rng(1))
+        assert trace.burstiness() == pytest.approx(1.0, abs=0.08)
+
+    def test_zero_rate(self):
+        trace = poisson_trace(0.0, 10.0, make_rng(2))
+        assert trace.n_requests == 0
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValidationError):
+            poisson_trace(-1.0, 10.0, make_rng(0))
+
+
+class TestMMPP2:
+    def test_statistics_recovered(self):
+        """SR extraction from an MMPP2 trace recovers the generator."""
+        from repro.traces import SRExtractor
+
+        trace = mmpp2_trace(0.95, 0.85, 200_000, 1.0, make_rng(3))
+        model = SRExtractor(memory=1).fit(trace.discretize(1.0))
+        assert model.matrix[0, 0] == pytest.approx(0.95, abs=0.01)
+        assert model.matrix[1, 1] == pytest.approx(0.85, abs=0.01)
+
+    def test_burstier_than_poisson(self):
+        bursty = mmpp2_trace(0.995, 0.95, 100_000, 1.0, make_rng(4))
+        assert bursty.burstiness() > 1.5
+
+    def test_duration(self):
+        trace = mmpp2_trace(0.9, 0.9, 1000, 0.5, make_rng(5))
+        assert trace.duration == pytest.approx(500.0)
+
+    def test_emission_probability(self):
+        sparse = mmpp2_trace(
+            0.5, 0.5, 50_000, 1.0, make_rng(6), busy_arrival_probability=0.3
+        )
+        dense = mmpp2_trace(
+            0.5, 0.5, 50_000, 1.0, make_rng(6), busy_arrival_probability=1.0
+        )
+        assert sparse.n_requests < dense.n_requests
+
+    def test_rejects_bad_slices(self):
+        with pytest.raises(ValidationError):
+            mmpp2_trace(0.9, 0.9, 0, 1.0, make_rng(0))
+
+
+class TestOnOff:
+    def test_fixed_lengths(self):
+        trace = on_off_trace(lambda r: 3, lambda r: 7, 100, 1.0, make_rng(7))
+        counts = trace.discretize(1.0)
+        # Starts off (7 silent), then 3 on, repeating.
+        assert counts[:7].sum() == 0
+        assert counts[7:10].sum() == 3
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValidationError, match="positive"):
+            on_off_trace(lambda r: 0, lambda r: 1, 10, 1.0, make_rng(0))
+
+
+class TestPeriodicBurst:
+    def test_pattern(self):
+        trace = periodic_burst_trace(2, 3, 10, 1.0)
+        assert trace.discretize(1.0).tolist() == [1, 1, 0, 0, 0, 1, 1, 0, 0, 0]
+
+    def test_no_gap(self):
+        trace = periodic_burst_trace(1, 0, 5, 1.0)
+        assert trace.discretize(1.0).tolist() == [1, 1, 1, 1, 1]
+
+    def test_rejects_bad_burst(self):
+        with pytest.raises(ValidationError):
+            periodic_burst_trace(0, 1, 10, 1.0)
+
+
+class TestMerge:
+    def test_two_segment_statistics(self):
+        sparse = mmpp2_trace(0.999, 0.5, 20_000, 1.0, make_rng(8))
+        dense = periodic_burst_trace(50, 5, 20_000, 1.0)
+        merged = merge_traces([sparse, dense])
+        counts = merged.discretize(1.0)
+        first, second = counts[:20_000], counts[20_000:]
+        assert second.mean() > 4 * max(first.mean(), 1e-9)
+
+    def test_single_trace_identity(self):
+        trace = periodic_burst_trace(1, 1, 10, 1.0)
+        merged = merge_traces([trace])
+        assert merged.timestamps.tolist() == trace.timestamps.tolist()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            merge_traces([])

@@ -1,0 +1,191 @@
+"""Tests for the Markov composer (paper Eq. 4, Example 3.5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.components import ServiceProvider, ServiceQueue, ServiceRequester
+from repro.core.system import PowerManagedSystem
+from repro.markov.chain import MarkovChain
+from repro.systems import example_system
+from repro.util.validation import ValidationError
+from tests.conftest import assert_stochastic
+
+
+class TestExampleComposition:
+    def test_eight_states_two_commands(self, example_bundle):
+        system = example_bundle.system
+        assert system.n_states == 8
+        assert system.n_commands == 2
+        assert system.command_names == ("s_on", "s_off")
+
+    def test_joint_matrices_are_stochastic(self, example_bundle):
+        for command in example_bundle.system.command_names:
+            assert_stochastic(example_bundle.system.chain.matrix(command))
+
+    def test_example_35_transition_value(self, example_bundle):
+        """The worked transition of paper Example 3.5.
+
+        P[(on,0,0) -> (on,1,0) | s_on] = P_SR[0,1] * sigma(on,s_on)
+            * P_SP[on,on | s_on] = 0.05 * 0.8 * 1.0 = 0.04.
+        """
+        system = example_bundle.system
+        src = system.state_index("on", "0", 0)
+        dst = system.state_index("on", "1", 0)
+        value = system.chain.transition_probability(src, dst, "s_on")
+        assert value == pytest.approx(0.05 * 0.8 * 1.0)
+
+    def test_example_35_sleep_command_blocks_service(self, example_bundle):
+        """Under s_off the SP cannot service: the arriving request stays."""
+        system = example_bundle.system
+        src = system.state_index("on", "0", 0)
+        dst = system.state_index("on", "1", 0)
+        assert system.chain.transition_probability(src, dst, "s_off") == 0.0
+
+    def test_state_tuple_roundtrip(self, example_bundle):
+        system = example_bundle.system
+        for index in range(system.n_states):
+            state = system.state(index)
+            assert (
+                system.state_index(state.provider, state.requester, state.queue)
+                == index
+            )
+
+    def test_state_names_format(self, example_bundle):
+        assert str(example_bundle.system.state(0)) == "(on,0,0)"
+
+    def test_decomposition_arrays(self, example_bundle):
+        system = example_bundle.system
+        sp_of = system.provider_index_of_state
+        sr_of = system.requester_index_of_state
+        q_of = system.queue_length_of_state
+        idx = system.state_index("off", "1", 1)
+        assert sp_of[idx] == 1
+        assert sr_of[idx] == 1
+        assert q_of[idx] == 1
+
+
+class TestCostBuildingBlocks:
+    def test_power_cost_matrix(self, example_bundle):
+        system = example_bundle.system
+        power = system.power_cost_matrix()
+        on_idle_empty = system.state_index("on", "0", 0)
+        off_idle_empty = system.state_index("off", "0", 0)
+        assert power[on_idle_empty].tolist() == [3.0, 4.0]
+        assert power[off_idle_empty].tolist() == [4.0, 0.0]
+
+    def test_queue_penalty_matrix(self, example_bundle):
+        system = example_bundle.system
+        penalty = system.queue_length_penalty_matrix()
+        assert penalty[system.state_index("on", "0", 0)].tolist() == [0.0, 0.0]
+        assert penalty[system.state_index("on", "1", 1)].tolist() == [1.0, 1.0]
+
+    def test_loss_indicator_matrix(self, example_bundle):
+        system = example_bundle.system
+        loss = system.request_loss_indicator_matrix()
+        # Loss risk requires the SR issuing AND a full queue (Q = 1).
+        assert loss[system.state_index("on", "1", 1)].tolist() == [1.0, 1.0]
+        assert loss[system.state_index("on", "1", 0)].tolist() == [0.0, 0.0]
+        assert loss[system.state_index("on", "0", 1)].tolist() == [0.0, 0.0]
+
+    def test_expected_loss_matrix_values(self, example_bundle):
+        system = example_bundle.system
+        overflow = system.expected_loss_matrix()
+        # From (on, 1, 1) under s_on: stay busy w.p. 0.85, arrival joins
+        # a full queue, serve w.p. 0.8 -> lose (1 - 0.8) of it.
+        x = system.state_index("on", "1", 1)
+        a = system.chain.command_index("s_on")
+        assert overflow[x, a] == pytest.approx(0.85 * 0.2)
+        # Under s_off nothing is served: every arrival to the full queue
+        # is lost.
+        a_off = system.chain.command_index("s_off")
+        assert overflow[x, a_off] == pytest.approx(0.85 * 1.0)
+
+    def test_expand_provider_table_shape_check(self, example_bundle):
+        with pytest.raises(ValidationError, match="shape"):
+            example_bundle.system.expand_provider_table(np.zeros((3, 2)))
+
+
+class TestDistributions:
+    def test_point_distribution(self, example_bundle):
+        system = example_bundle.system
+        p0 = system.point_distribution("on", "0", 0)
+        assert p0.sum() == 1.0
+        assert p0[system.state_index("on", "0", 0)] == 1.0
+
+    def test_uniform_distribution(self, example_bundle):
+        p0 = example_bundle.system.uniform_distribution()
+        assert np.allclose(p0, 1.0 / 8)
+
+    def test_check_distribution_wrong_size(self, example_bundle):
+        with pytest.raises(ValidationError):
+            example_bundle.system.check_distribution(np.ones(4) / 4)
+
+    def test_bad_queue_index(self, example_bundle):
+        with pytest.raises(ValidationError, match="queue length"):
+            example_bundle.system.state_index("on", "0", 5)
+
+
+class TestCompositionFactorization:
+    """Eq. 4: the joint kernel factorizes into SP x SR x SQ terms."""
+
+    def test_factorization_everywhere(self, example_bundle):
+        system = example_bundle.system
+        sp = system.provider
+        sr = system.requester
+        queue = system.queue
+        for command in system.command_names:
+            joint = system.chain.matrix(command)
+            a = sp.chain.command_index(command)
+            for src in range(system.n_states):
+                s = system.provider_index_of_state[src]
+                r = system.requester_index_of_state[src]
+                q = system.queue_length_of_state[src]
+                for dst in range(system.n_states):
+                    s2 = system.provider_index_of_state[dst]
+                    r2 = system.requester_index_of_state[dst]
+                    q2 = system.queue_length_of_state[dst]
+                    expected = (
+                        sp.chain.tensor[a, s, s2]
+                        * sr.chain.matrix[r, r2]
+                        * queue.next_state_distribution(
+                            q,
+                            sp.service_rate_matrix[s, a],
+                            sr.arrival_counts[r2],
+                        )[q2]
+                    )
+                    assert joint[src, dst] == pytest.approx(expected, abs=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=100_000),
+)
+def test_random_compositions_are_stochastic(n_sp, n_sr, capacity, n_cmd, seed):
+    """Any valid component triple composes to a valid controlled chain."""
+    rng = np.random.default_rng(seed)
+
+    def stochastic(n):
+        raw = rng.random((n, n)) + 1e-3
+        return raw / raw.sum(axis=1, keepdims=True)
+
+    chain = {str(c): stochastic(n_sp) for c in range(n_cmd)}
+    provider = ServiceProvider.from_tables(
+        states=[f"s{i}" for i in range(n_sp)],
+        commands=[str(c) for c in range(n_cmd)],
+        transitions=chain,
+        service_rates=rng.random((n_sp, n_cmd)),
+        power=rng.random((n_sp, n_cmd)) * 5,
+    )
+    requester = ServiceRequester(
+        MarkovChain(stochastic(n_sr)), rng.integers(0, 3, size=n_sr)
+    )
+    system = PowerManagedSystem(provider, requester, ServiceQueue(capacity))
+    assert system.n_states == n_sp * n_sr * (capacity + 1)
+    for command in system.command_names:
+        assert_stochastic(system.chain.matrix(command), atol=1e-8)

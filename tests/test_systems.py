@@ -1,0 +1,259 @@
+"""Tests for the prebuilt case-study systems (paper Section VI, App. B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import PENALTY, POWER
+from repro.core.optimizer import PolicyOptimizer
+from repro.markov.analysis import hitting_time
+from repro.sim import make_rng
+from repro.systems import baseline, cpu, disk_drive, example_system, web_server
+from repro.systems.baseline import SleepSpec
+from repro.traces import mmpp2_trace
+from repro.util.validation import ValidationError
+from tests.conftest import assert_stochastic
+
+
+class TestExampleSystem:
+    def test_paper_example_a2_band(self, example_optimizer):
+        result = example_optimizer.minimize_power(
+            penalty_bound=example_system.PAPER_PENALTY_BOUND_A2,
+            loss_bound=example_system.PAPER_LOSS_BOUND_A2,
+        ).require_feasible()
+        # Paper reports 1.798 W; our reconstruction of the OCR-garbled
+        # power table gives the same band and structure.
+        assert 1.55 <= result.average(POWER) <= 1.95
+        assert result.average(POWER) < 0.65 * 3.0  # "almost a factor of two"
+        assert not result.policy.is_deterministic  # Theorem A.2
+
+    def test_gamma_default(self, example_bundle):
+        assert example_bundle.gamma == pytest.approx(0.99999)
+
+    def test_initial_state_is_on_idle_empty(self, example_bundle):
+        p0 = example_bundle.initial_distribution
+        idx = example_bundle.system.state_index("on", "0", 0)
+        assert p0[idx] == 1.0
+
+    def test_queue_capacity_parameter(self):
+        bundle = example_system.build(queue_capacity=3)
+        assert bundle.system.n_states == 2 * 2 * 4
+
+
+class TestDiskDrive:
+    def test_state_census(self, disk_bundle):
+        provider = disk_bundle.system.provider
+        assert provider.n_states == 11
+        inactive = [s for s in provider.state_names if s in disk_drive.INACTIVE_ORDER]
+        transients = [
+            s for s in provider.state_names if s.endswith(("_down", "_wake"))
+        ]
+        assert len(inactive) == 4
+        assert len(transients) == 6
+        assert disk_bundle.system.n_states == 66  # 11 x 2 x 3 (paper)
+
+    def test_five_commands(self, disk_bundle):
+        assert disk_bundle.system.n_commands == 5
+
+    def test_table_one_powers(self, disk_bundle):
+        provider = disk_bundle.system.provider
+        for state, power in disk_drive.STATE_POWER.items():
+            command = "go_active" if state == "active" else f"go_{state}"
+            assert provider.power(state, command) == power
+
+    def test_table_one_wake_times(self, disk_bundle):
+        chain = disk_bundle.system.provider.chain
+        h = hitting_time(chain.matrix("go_active"), [chain.state_index("active")])
+        for state, slices in disk_drive.WAKE_SLICES.items():
+            assert h[chain.state_index(state)] == pytest.approx(float(slices))
+
+    def test_transients_command_insensitive(self, disk_bundle):
+        chain = disk_bundle.system.provider.chain
+        tensor = chain.tensor
+        for name in chain.state_names:
+            if not name.endswith(("_down", "_wake")):
+                continue
+            idx = chain.state_index(name)
+            rows = tensor[:, idx, :]
+            assert np.allclose(rows, rows[0])
+
+    def test_transients_draw_active_power(self, disk_bundle):
+        provider = disk_bundle.system.provider
+        for name in provider.state_names:
+            if name.endswith(("_down", "_wake")):
+                for command in provider.command_names:
+                    assert provider.power(name, command) == 2.5
+
+    def test_shallower_command_starts_wake(self, disk_bundle):
+        chain = disk_bundle.system.provider.chain
+        # From sleep, asking for idle must begin the wake transition.
+        sleep = chain.state_index("sleep")
+        wake = chain.state_index("sleep_wake")
+        assert chain.tensor[chain.command_index("go_idle"), sleep, wake] == 1.0
+
+    def test_service_only_when_active_and_commanded(self, disk_bundle):
+        rates = disk_bundle.system.provider.service_rate_matrix
+        assert rates.sum() == pytest.approx(disk_drive.ACTIVE_SERVICE_RATE)
+
+    def test_build_from_trace_pipeline(self):
+        trace = mmpp2_trace(0.99, 0.8, 20_000, 1e-3, make_rng(0))
+        bundle = disk_drive.build_from_trace(trace, memory=2)
+        assert bundle.system.requester.n_states == 4
+        assert "sr_model" in bundle.metadata
+        for command in bundle.system.command_names:
+            assert_stochastic(bundle.system.chain.matrix(command), atol=1e-8)
+
+
+class TestWebServer:
+    def test_structure(self, web_bundle):
+        assert web_bundle.system.provider.n_states == 4
+        assert web_bundle.system.n_commands == 4
+        assert web_bundle.system.n_states == 8  # no queue
+
+    def test_paper_powers(self, web_bundle):
+        provider = web_bundle.system.provider
+        assert provider.power("both", "to_both") == 3.0
+        assert provider.power("p1", "to_p1") == 1.0
+        assert provider.power("p2", "to_p2") == 2.0
+        assert provider.power("none", "to_none") == 0.0
+
+    def test_transition_power_adjustments(self, web_bundle):
+        provider = web_bundle.system.provider
+        # Turning P2 on from 'p1': P1 runs (1) + P2 turn-on (2 + 0.5).
+        assert provider.power("p1", "to_both") == pytest.approx(3.5)
+        # Shutting P2 down from 'both': P1 runs (1) + P2 shutdown (1.5).
+        assert provider.power("both", "to_p1") == pytest.approx(2.5)
+
+    def test_turn_on_time_two_slices(self, web_bundle):
+        chain = web_bundle.system.provider.chain
+        # none -> p1 under to_p1: geometric with p = 0.5.
+        assert chain.transition_probability("none", "p1", "to_p1") == 0.5
+
+    def test_shutdown_immediate(self, web_bundle):
+        chain = web_bundle.system.provider.chain
+        assert chain.transition_probability("both", "p1", "to_p1") == 1.0
+
+    def test_throughput_metric_registered(self, web_bundle):
+        assert web_bundle.costs.has_metric("throughput")
+
+    def test_processors_move_independently(self, web_bundle):
+        chain = web_bundle.system.provider.chain
+        # From none to both: both processors turn on, 0.5 * 0.5.
+        assert chain.transition_probability("none", "both", "to_both") == 0.25
+
+    def test_build_from_trace_pipeline(self):
+        trace = mmpp2_trace(0.95, 0.9, 20_000, web_server.TIME_RESOLUTION, make_rng(2))
+        bundle = web_server.build_from_trace(trace, memory=1)
+        assert bundle.costs.has_metric("throughput")
+        assert "sr_model" in bundle.metadata
+        for command in bundle.system.command_names:
+            assert_stochastic(bundle.system.chain.matrix(command), atol=1e-8)
+
+
+class TestCPU:
+    def test_structure(self, cpu_bundle):
+        assert cpu_bundle.system.provider.n_states == 2
+        assert cpu_bundle.system.n_states == 4
+        assert cpu_bundle.action_mask is not None
+
+    def test_mask_forces_reactive_wake(self, cpu_bundle):
+        system = cpu_bundle.system
+        mask = cpu_bundle.action_mask
+        run = system.chain.command_index("run")
+        shutdown = system.chain.command_index("shutdown")
+        sleep_busy = system.state_index("sleep", "busy", 0)
+        sleep_idle = system.state_index("sleep", "idle", 0)
+        active_idle = system.state_index("active", "idle", 0)
+        active_busy = system.state_index("active", "busy", 0)
+        assert mask[sleep_busy].tolist() == [True, False]
+        assert mask[sleep_idle].tolist() == [False, True]
+        assert mask[active_busy].tolist() == [True, False]
+        assert mask[active_idle].tolist() == [True, True]
+
+    def test_transition_powers(self, cpu_bundle):
+        provider = cpu_bundle.system.provider
+        assert provider.power("sleep", "run") == cpu.WAKE_POWER
+        assert provider.power("active", "shutdown") == cpu.SHUTDOWN_POWER
+        assert provider.power("sleep", "shutdown") == 0.0
+
+    def test_single_free_decision(self, cpu_bundle):
+        opt = PolicyOptimizer(
+            cpu_bundle.system,
+            cpu_bundle.costs,
+            gamma=cpu_bundle.gamma,
+            initial_distribution=cpu_bundle.initial_distribution,
+            action_mask=cpu_bundle.action_mask,
+        )
+        result = opt.minimize_power(penalty_bound=0.03).require_feasible()
+        matrix = result.policy.matrix
+        randomized = np.sum(matrix.max(axis=1) < 1.0 - 1e-9)
+        assert randomized <= 1
+
+    def test_build_from_trace(self):
+        trace = mmpp2_trace(0.9, 0.7, 10_000, cpu.TIME_RESOLUTION, make_rng(1))
+        bundle = cpu.build_from_trace(trace)
+        assert bundle.action_mask is not None
+        assert bundle.system.n_states == 4
+
+
+class TestBaseline:
+    def test_paper_defaults(self, baseline_bundle):
+        provider = baseline_bundle.system.provider
+        assert provider.power("active", "go_active") == 3.0
+        assert provider.power("sleep1", "go_sleep1") == 2.0
+        assert provider.power("active", "go_sleep1") == 4.0
+        assert provider.power("sleep1", "go_active") == 4.0
+
+    def test_sleep_menu_values(self):
+        assert baseline.SLEEP_MENU["sleep2"].power == 1.0
+        assert baseline.SLEEP_MENU["sleep2"].wake_probability == 0.1
+        assert baseline.SLEEP_MENU["sleep4"].wake_probability == 0.001
+
+    def test_sr_symmetric_flip(self, baseline_bundle):
+        matrix = baseline_bundle.system.requester.chain.matrix
+        assert matrix[0, 1] == pytest.approx(0.01)
+        assert matrix[1, 0] == pytest.approx(0.01)
+        # Stationary load is 0.5 regardless of flip probability.
+        assert baseline_bundle.system.requester.mean_arrival_rate() == pytest.approx(0.5)
+
+    def test_multiple_sleep_states(self):
+        bundle = baseline.build(sleep_states=["sleep1", "sleep2", "sleep3"])
+        assert bundle.system.provider.n_states == 4
+        assert bundle.system.n_commands == 4
+
+    def test_custom_sleep_spec(self):
+        spec = SleepSpec("custom", 0.7, 0.05, 0.2)
+        bundle = baseline.build(sleep_states=[spec])
+        chain = bundle.system.provider.chain
+        assert chain.transition_probability("custom", "active", "go_active") == 0.05
+        assert chain.transition_probability("active", "custom", "go_custom") == 0.2
+
+    def test_deepen_directly_shallow_wakes(self):
+        bundle = baseline.build(sleep_states=["sleep1", "sleep4"])
+        chain = bundle.system.provider.chain
+        # sleep1 -> sleep4 directly (deeper), at sleep4's entry prob.
+        assert chain.transition_probability(
+            "sleep1", "sleep4", "go_sleep4"
+        ) == pytest.approx(0.001)
+        # sleep4 -> sleep1 requires waking first.
+        assert chain.transition_probability(
+            "sleep4", "active", "go_sleep1"
+        ) == pytest.approx(0.001)
+        assert chain.transition_probability("sleep4", "sleep1", "go_sleep1") == 0.0
+
+    def test_unknown_menu_name_rejected(self):
+        with pytest.raises(ValidationError, match="menu"):
+            baseline.build(sleep_states=["sleep9"])
+
+    def test_requester_override(self):
+        requester = baseline.build_requester(0.3).chain
+        from repro.core.components import ServiceRequester
+
+        custom = ServiceRequester(requester, [0, 1])
+        bundle = baseline.build(requester=custom)
+        assert bundle.system.requester.chain.matrix[0, 1] == pytest.approx(0.3)
+
+    def test_all_variants_compose_validly(self):
+        for states in (["sleep1"], ["sleep2"], ["sleep1", "sleep2", "sleep3", "sleep4"]):
+            bundle = baseline.build(sleep_states=states)
+            for command in bundle.system.command_names:
+                assert_stochastic(bundle.system.chain.matrix(command), atol=1e-8)

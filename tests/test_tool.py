@@ -1,0 +1,260 @@
+"""Tests for the tool layer: specs, the Fig. 7 pipeline, and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sim import make_rng
+from repro.tool.cli import main as cli_main
+from repro.tool.pipeline import optimize_spec, run_pipeline
+from repro.tool.spec import load_spec, parse_spec
+from repro.traces import Trace, mmpp2_trace
+from repro.util.validation import ValidationError
+
+
+def example_spec_dict() -> dict:
+    return {
+        "name": "example",
+        "gamma": 0.99999,
+        "queue_capacity": 1,
+        "time_resolution": 1.0,
+        "provider": {
+            "states": ["on", "off"],
+            "commands": ["s_on", "s_off"],
+            "transitions": {
+                "s_on": [[1.0, 0.0], [0.1, 0.9]],
+                "s_off": [[0.2, 0.8], [0.0, 1.0]],
+            },
+            "service_rates": [[0.8, 0.0], [0.0, 0.0]],
+            "power": [[3.0, 4.0], [4.0, 0.0]],
+        },
+        "requester": {
+            "states": ["0", "1"],
+            "transitions": [[0.95, 0.05], [0.15, 0.85]],
+            "arrivals": [0, 1],
+        },
+        "initial_state": ["on", "0", 0],
+        "objective": "power",
+        "constraints": {"penalty": 0.5, "loss": 0.2},
+    }
+
+
+class TestSpecParsing:
+    def test_roundtrip(self):
+        spec = parse_spec(example_spec_dict())
+        assert spec.name == "example"
+        assert spec.provider.n_states == 2
+        assert spec.requester.n_states == 2
+        assert spec.constraints == {"penalty": 0.5, "loss": 0.2}
+
+    def test_compose(self):
+        spec = parse_spec(example_spec_dict())
+        system, costs, p0 = spec.compose()
+        assert system.n_states == 8
+        assert costs.has_metric("power")
+        assert p0[system.state_index("on", "0", 0)] == 1.0
+
+    def test_missing_provider(self):
+        raw = example_spec_dict()
+        del raw["provider"]
+        with pytest.raises(ValidationError, match="provider"):
+            parse_spec(raw)
+
+    def test_missing_provider_field(self):
+        raw = example_spec_dict()
+        del raw["provider"]["power"]
+        with pytest.raises(ValidationError, match="power"):
+            parse_spec(raw)
+
+    def test_bad_gamma(self):
+        raw = example_spec_dict()
+        raw["gamma"] = 1.5
+        with pytest.raises(ValidationError, match="gamma"):
+            parse_spec(raw)
+
+    def test_bad_initial_state(self):
+        raw = example_spec_dict()
+        raw["initial_state"] = ["on", "0"]
+        with pytest.raises(ValidationError, match="initial_state"):
+            parse_spec(raw)
+
+    def test_stochastic_error_propagates(self):
+        raw = example_spec_dict()
+        raw["provider"]["transitions"]["s_on"] = [[0.5, 0.4], [0.1, 0.9]]
+        with pytest.raises(ValidationError):
+            parse_spec(raw)
+
+    def test_requester_optional(self):
+        raw = example_spec_dict()
+        raw["requester"] = None
+        spec = parse_spec(raw)
+        assert spec.requester is None
+        with pytest.raises(ValidationError, match="no requester"):
+            spec.compose()
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(example_spec_dict()))
+        spec = load_spec(path)
+        assert spec.name == "example"
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError, match="JSON"):
+            load_spec(path)
+
+
+class TestPipeline:
+    def test_optimize_spec(self):
+        spec = parse_spec(example_spec_dict())
+        optimizer, result = optimize_spec(spec)
+        result.require_feasible()
+        assert result.average("power") == pytest.approx(1.7383, abs=2e-3)
+
+    def test_optimize_spec_average_formulation(self):
+        spec = parse_spec(example_spec_dict())
+        _, result = optimize_spec(spec, formulation="average")
+        result.require_feasible()
+        # Long-run average optimum sits next to the discounted one at
+        # gamma = 0.99999.
+        assert result.average("power") == pytest.approx(1.7386, abs=2e-3)
+        assert result.evaluation.expected_horizon == float("inf")
+
+    def test_optimize_spec_unknown_formulation(self):
+        spec = parse_spec(example_spec_dict())
+        with pytest.raises(ValidationError, match="formulation"):
+            optimize_spec(spec, formulation="quantum")
+
+    def test_waiting_metric_constraint(self):
+        raw = example_spec_dict()
+        raw["constraints"] = {"waiting": 2.0, "loss": 0.2}
+        spec = parse_spec(raw)
+        _, result = optimize_spec(spec)
+        result.require_feasible()
+        assert result.average("waiting") <= 2.0 + 1e-7
+        rate = 0.25  # stationary arrival rate of the example workload
+        assert result.average("penalty") == pytest.approx(
+            result.average("waiting") * rate, rel=1e-9
+        )
+
+    def test_pipeline_without_trace(self):
+        spec = parse_spec(example_spec_dict())
+        report = run_pipeline(spec, rng=make_rng(0), verify_slices=20_000)
+        assert report.optimization.feasible
+        assert report.markov_simulation is not None
+        assert report.trace_simulation is None
+        assert report.markov_simulation.averages["power"] == pytest.approx(
+            report.optimization.average("power"), rel=0.15, abs=0.1
+        )
+
+    def test_pipeline_with_trace_extraction(self):
+        spec = parse_spec(example_spec_dict())
+        spec.requester = None  # force extraction
+        trace = mmpp2_trace(0.95, 0.85, 60_000, 1.0, make_rng(1))
+        report = run_pipeline(
+            spec, trace=trace, rng=make_rng(2), verify_slices=20_000
+        )
+        assert report.sr_model is not None
+        assert report.sr_model.matrix[0, 0] == pytest.approx(0.95, abs=0.02)
+        assert report.optimization.feasible
+        assert report.trace_simulation is not None
+        # Trace-driven power agrees with the model prediction (the
+        # workload really is Markovian here).
+        assert report.trace_simulation.mean_power == pytest.approx(
+            report.optimization.average("power"), rel=0.15, abs=0.1
+        )
+
+    def test_pipeline_infeasible_constraints(self):
+        spec = parse_spec(example_spec_dict())
+        spec.constraints = {"penalty": 0.01}
+        report = run_pipeline(spec, rng=make_rng(0))
+        assert not report.optimization.feasible
+        assert "INFEASIBLE" in report.summary()
+
+    def test_pipeline_no_verification(self):
+        spec = parse_spec(example_spec_dict())
+        report = run_pipeline(spec, rng=None)
+        assert report.markov_simulation is None
+        assert report.optimization.feasible
+
+    def test_summary_renders(self):
+        spec = parse_spec(example_spec_dict())
+        report = run_pipeline(spec, rng=make_rng(0), verify_slices=5000)
+        text = report.summary()
+        assert "power" in text
+        assert "analytic" in text
+
+
+class TestCLI:
+    @pytest.fixture()
+    def spec_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(example_spec_dict()))
+        return str(path)
+
+    def test_optimize(self, spec_file, capsys):
+        code = cli_main(["optimize", spec_file, "--no-verify"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "policy: randomized" in out
+
+    def test_optimize_print_policy(self, spec_file, capsys):
+        code = cli_main(["optimize", spec_file, "--no-verify", "--print-policy"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(on,0,0)" in out
+
+    def test_optimize_average_formulation(self, spec_file, capsys):
+        code = cli_main(["optimize", spec_file, "--no-verify", "--average"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "policy: randomized" in out
+
+    def test_optimize_infeasible_exit_code(self, spec_file, tmp_path, capsys):
+        raw = example_spec_dict()
+        raw["constraints"] = {"penalty": 0.001}
+        bad = tmp_path / "bad_spec.json"
+        bad.write_text(json.dumps(raw))
+        assert cli_main(["optimize", str(bad), "--no-verify"]) == 1
+
+    def test_pareto(self, spec_file, capsys):
+        code = cli_main(
+            ["pareto", spec_file, "--bounds", "0.3,0.5,0.7", "--constraint", "penalty"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trade-off curve" in out
+        assert out.count("yes") == 3
+
+    def test_experiment_list(self, capsys):
+        code = cli_main(["experiment", "list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig8" in out
+        assert "table1" in out
+
+    def test_experiment_run(self, capsys):
+        code = cli_main(["experiment", "table1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Travelstar" in out
+
+    def test_experiment_unknown_id(self, capsys):
+        code = cli_main(["experiment", "fig99"])
+        assert code == 2
+
+    def test_extract(self, tmp_path, capsys):
+        trace = Trace([2, 5, 6, 7, 12], duration=13)
+        path = tmp_path / "trace.txt"
+        trace.save(path)
+        code = cli_main(["extract", str(path), "--resolution", "1.0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 states" in out
+
+    def test_missing_file_error(self, capsys):
+        code = cli_main(["optimize", "/nonexistent/spec.json"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,104 @@
+"""Tests for the trace container and discretization (paper Example 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.traces import Trace, binarize, discretize_timestamps
+from repro.util.validation import ValidationError
+
+#: Paper Example 5.1: arrival times in ms, tau = 1 ms.
+EXAMPLE_51_TIMES = [2, 5, 6, 7, 12]
+EXAMPLE_51_STREAM = [0, 0, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1]
+
+
+class TestDiscretize:
+    def test_paper_example_51(self):
+        counts = discretize_timestamps(EXAMPLE_51_TIMES, 1.0, duration=13)
+        assert counts.tolist() == EXAMPLE_51_STREAM
+
+    def test_multiple_requests_per_slice(self):
+        counts = discretize_timestamps([0.1, 0.2, 0.9, 1.5], 1.0, duration=2)
+        assert counts.tolist() == [3, 1]
+
+    def test_empty_trace(self):
+        assert discretize_timestamps([], 1.0, duration=0).size == 0
+        assert discretize_timestamps([], 1.0, duration=3).tolist() == [0, 0, 0]
+
+    def test_boundary_timestamp_gets_a_slice(self):
+        counts = discretize_timestamps([2.0], 1.0)
+        assert counts.tolist() == [0, 0, 1]
+
+    def test_rejects_negative_resolution(self):
+        with pytest.raises(ValidationError):
+            discretize_timestamps([1.0], -1.0)
+
+    def test_rejects_negative_timestamps(self):
+        with pytest.raises(ValidationError):
+            discretize_timestamps([-1.0], 1.0)
+
+    def test_binarize(self):
+        assert binarize([0, 2, 1, 0]).tolist() == [0, 1, 1, 0]
+
+    def test_binarize_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            binarize([-1])
+
+
+class TestTrace:
+    def test_paper_example_via_trace(self):
+        trace = Trace(EXAMPLE_51_TIMES, duration=13)
+        assert trace.n_requests == 5
+        assert trace.discretize(1.0).tolist() == EXAMPLE_51_STREAM
+
+    def test_sorting(self):
+        trace = Trace([5.0, 1.0, 3.0])
+        assert trace.timestamps.tolist() == [1.0, 3.0, 5.0]
+
+    def test_duration_default(self):
+        assert Trace([1.0, 4.0]).duration == 4.0
+
+    def test_duration_check(self):
+        with pytest.raises(ValidationError, match="duration"):
+            Trace([5.0], duration=3.0)
+
+    def test_mean_rate(self):
+        trace = Trace([1, 2, 3, 4], duration=8)
+        assert trace.mean_rate() == pytest.approx(0.5)
+
+    def test_interarrival_and_burstiness(self):
+        poissonish = Trace(np.cumsum(np.ones(100)), duration=101)
+        assert poissonish.burstiness() == pytest.approx(0.0, abs=1e-12)
+        bursty = Trace([1, 1.1, 1.2, 50, 50.1, 50.2], duration=60)
+        assert bursty.burstiness() > 1.0
+
+    def test_shifted(self):
+        trace = Trace([1.0, 2.0], duration=3.0)
+        moved = trace.shifted(2.0)
+        assert moved.timestamps.tolist() == [3.0, 4.0]
+        assert moved.duration == 5.0
+
+    def test_shift_negative_guard(self):
+        with pytest.raises(ValidationError):
+            Trace([0.5]).shifted(-1.0)
+
+    def test_concatenated(self):
+        first = Trace([1.0], duration=2.0)
+        second = Trace([0.5], duration=1.0)
+        merged = first.concatenated(second)
+        assert merged.timestamps.tolist() == [1.0, 2.5]
+        assert merged.duration == 3.0
+
+    def test_concatenate_type_check(self):
+        with pytest.raises(ValidationError):
+            Trace([1.0]).concatenated([2.0])
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = Trace([0.5, 1.25, 7.75], duration=10.0)
+        path = tmp_path / "trace.txt"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.timestamps.tolist() == trace.timestamps.tolist()
+        assert loaded.duration == trace.duration
+
+    def test_len(self):
+        assert len(Trace([1, 2, 3])) == 3

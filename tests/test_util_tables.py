@@ -1,0 +1,55 @@
+"""Unit tests for :mod:`repro.util.tables`."""
+
+import pytest
+
+from repro.util.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [(1, 2.0), (30, 4.5)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        # All lines share the same total width (right-justified columns).
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [(1.23456,)], float_format=".2f")
+        assert "1.23" in text
+        assert "1.2346" not in text
+
+    def test_integers_not_float_formatted(self):
+        text = format_table(["x"], [(7,)])
+        assert " 7" in text or text.endswith("7")
+
+    def test_title(self):
+        text = format_table(["x"], [(1,)], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [(1,)])
+
+    def test_string_cells(self):
+        text = format_table(["name"], [("hello",)])
+        assert "hello" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        text = format_series("curve", [1.0, 2.0], [10.0, 20.0])
+        assert "curve" in text
+        assert "10.0000" in text
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="x values"):
+            format_series("s", [1.0], [1.0, 2.0])
+
+    def test_custom_labels(self):
+        text = format_series("s", [1.0], [2.0], x_label="bound", y_label="power")
+        assert "bound" in text
+        assert "power" in text

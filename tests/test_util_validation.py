@@ -1,0 +1,135 @@
+"""Unit tests for :mod:`repro.util.validation`."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    ValidationError,
+    check_distribution,
+    check_nonnegative,
+    check_probability,
+    check_square,
+    check_stochastic_matrix,
+)
+
+
+class TestCheckProbability:
+    def test_accepts_interior_value(self):
+        assert check_probability(0.5) == 0.5
+
+    def test_accepts_boundaries(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+
+    def test_clips_tolerance_dust(self):
+        assert check_probability(1.0 + 1e-12) == 1.0
+        assert check_probability(-1e-12) == 0.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValidationError, match="in \\[0, 1\\]"):
+            check_probability(1.1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_probability(-0.2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_probability(float("nan"))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_probability(float("inf"))
+
+    def test_error_message_names_quantity(self):
+        with pytest.raises(ValidationError, match="my_prob"):
+            check_probability(2.0, "my_prob")
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero_and_positive(self):
+        assert check_nonnegative(0.0) == 0.0
+        assert check_nonnegative(3.5) == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_nonnegative(-1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_nonnegative(float("nan"))
+
+
+class TestCheckDistribution:
+    def test_accepts_valid(self):
+        out = check_distribution([0.25, 0.75])
+        assert out.tolist() == [0.25, 0.75]
+
+    def test_accepts_point_mass(self):
+        out = check_distribution([0.0, 1.0, 0.0])
+        assert out.tolist() == [0.0, 1.0, 0.0]
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ValidationError, match="sum to 1"):
+            check_distribution([0.5, 0.6])
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValidationError, match="negative"):
+            check_distribution([1.2, -0.2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            check_distribution([])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValidationError, match="one-dimensional"):
+            check_distribution([[0.5, 0.5]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            check_distribution([0.5, float("nan")])
+
+
+class TestCheckSquare:
+    def test_accepts_square(self):
+        out = check_square([[1.0, 2.0], [3.0, 4.0]])
+        assert out.shape == (2, 2)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValidationError, match="square"):
+            check_square([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValidationError):
+            check_square([1.0, 2.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            check_square([[1.0, float("nan")], [0.0, 1.0]])
+
+
+class TestCheckStochasticMatrix:
+    def test_accepts_valid(self):
+        matrix = [[0.9, 0.1], [0.4, 0.6]]
+        out = check_stochastic_matrix(matrix)
+        assert np.allclose(out, matrix)
+
+    def test_accepts_identity(self):
+        out = check_stochastic_matrix(np.eye(4))
+        assert np.allclose(out, np.eye(4))
+
+    def test_rejects_substochastic_row(self):
+        with pytest.raises(ValidationError, match="row 1 sums"):
+            check_stochastic_matrix([[1.0, 0.0], [0.3, 0.3]])
+
+    def test_rejects_superstochastic_row(self):
+        with pytest.raises(ValidationError, match="sums"):
+            check_stochastic_matrix([[0.9, 0.3], [0.5, 0.5]])
+
+    def test_rejects_negative_entry(self):
+        with pytest.raises(ValidationError, match="negative"):
+            check_stochastic_matrix([[1.2, -0.2], [0.5, 0.5]])
+
+    def test_reports_bad_row_count(self):
+        with pytest.raises(ValidationError, match="bad row"):
+            check_stochastic_matrix([[0.5, 0.2], [0.1, 0.1]])
