@@ -12,8 +12,9 @@ Run:  python examples/disk_drive_pareto.py
 import numpy as np
 
 from repro import PolicyOptimizer, evaluate_policy, trade_off_curve
-from repro.policies import StationaryPolicyAgent, TimeoutAgent, eager_markov_policy
-from repro.sim import make_rng, simulate
+from repro.core.pareto import simulate_curve
+from repro.policies import TimeoutAgent, eager_markov_policy
+from repro.sim import simulate_many
 from repro.systems import disk_drive
 from repro.util.tables import format_table
 
@@ -67,15 +68,22 @@ def main() -> None:
             (f"eager->{state}", ev.averages["penalty"], ev.averages["power"])
         )
 
-    rng = make_rng(0)
-    for timeout, state in [(50, "lpidle"), (500, "standby"), (3000, "sleep")]:
-        agent = TimeoutAgent(timeout, active, sleeps[state])
-        sim = simulate(
-            system, costs, agent, 150_000, rng, initial_state=("active", "0", 0)
-        )
+    timeout_settings = [(50, "lpidle"), (500, "standby"), (3000, "sleep")]
+    timeout_sims = simulate_many(
+        system,
+        costs,
+        [
+            TimeoutAgent(timeout, active, sleeps[state])
+            for timeout, state in timeout_settings
+        ],
+        150_000,
+        0,
+        initial_state=("active", "0", 0),
+    )
+    for (timeout, state), sims in zip(timeout_settings, timeout_sims):
         rows.append(
-            (f"timeout({timeout})->{state}", sim.averages["penalty"],
-             sim.averages["power"])
+            (f"timeout({timeout})->{state}", sims[0].averages["penalty"],
+             sims[0].averages["power"])
         )
     print()
     print(
@@ -86,18 +94,23 @@ def main() -> None:
         )
     )
 
-    # Verify one optimal policy by simulation (a 'circle on the curve').
-    point = curve.feasible_points[len(curve.feasible_points) // 2]
-    agent = StationaryPolicyAgent(system, point.policy)
-    sim = simulate(
-        system, costs, agent, 150_000, rng, initial_state=("active", "0", 0)
+    # Verify the optimal policies by simulation ('circles on the curve'):
+    # one vectorized batch simulates every feasible point at once.  Note
+    # that loosely-constrained randomized policies mix very slowly (deep
+    # sleep periods of thousands of slices), so a single finite
+    # trajectory carries real Monte-Carlo error at the loose end.
+    circle_sims = simulate_curve(
+        curve, system, costs, 150_000, 1, initial_state=("active", "0", 0)
     )
     print()
-    print(
-        f"verification: optimal policy at bound {point.bound:.4f} — "
-        f"analytic power {point.objective:.4f} W, "
-        f"simulated {sim.averages['power']:.4f} W"
-    )
+    for point, sims in zip(curve.points, circle_sims):
+        if sims is None:
+            continue
+        print(
+            f"verification: optimal policy at bound {point.bound:.4f} — "
+            f"analytic power {point.objective:.4f} W, "
+            f"simulated {sims[0].averages['power']:.4f} W"
+        )
 
 
 if __name__ == "__main__":

@@ -47,6 +47,7 @@ from repro.core import (
     evaluate_policy,
     min_achievable,
     policy_iteration,
+    simulate_curve,
     trade_off_curve,
     value_iteration,
 )
@@ -70,6 +71,7 @@ __all__ = [
     "InfeasibleProblemError",
     "ParetoCurve",
     "ParetoPoint",
+    "simulate_curve",
     "trade_off_curve",
     "min_achievable",
     "value_iteration",

@@ -44,6 +44,7 @@ from repro.core.pareto import (
     ParetoCurve,
     ParetoPoint,
     min_achievable,
+    simulate_curve,
     trade_off_curve,
 )
 from repro.core.policy import MarkovPolicy, PolicyEvaluation, evaluate_policy
@@ -70,6 +71,7 @@ __all__ = [
     "ParetoCurve",
     "ParetoPoint",
     "trade_off_curve",
+    "simulate_curve",
     "min_achievable",
     "DPResult",
     "value_iteration",

@@ -10,13 +10,18 @@ exposed as checkable predicates and exercised by the test suite.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.core.costs import PENALTY, POWER
 from repro.core.optimizer import OptimizationResult, PolicyOptimizer
 from repro.core.policy import MarkovPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - hints only, avoids a sim import cycle
+    from repro.core.costs import CostModel
+    from repro.core.system import PowerManagedSystem
+    from repro.sim.result import SimulationResult
 
 
 @dataclass
@@ -157,6 +162,54 @@ def trade_off_curve(
             point = ParetoPoint(bound=bound, feasible=False, objective=None)
         curve.points.append(point)
     return curve
+
+
+def simulate_curve(
+    curve: ParetoCurve,
+    system: "PowerManagedSystem",
+    costs: "CostModel",
+    n_slices: int,
+    rng=None,
+    *,
+    initial_state=None,
+    n_replications: int = 1,
+    backend: str = "auto",
+) -> list["list[SimulationResult] | None"]:
+    """Verify a swept curve by simulating every feasible point's policy.
+
+    This is the paper's "circles on the curve" check (Figs. 8b, 9a) as a
+    single batched run: all feasible optimal policies go through
+    :func:`repro.sim.engine.simulate_many`, which vectorizes them in one
+    compiled batch (they are stationary by construction).
+
+    Returns
+    -------
+    list
+        Aligned with ``curve.points``: ``None`` for infeasible points,
+        otherwise the list of ``n_replications`` simulation results for
+        that point's policy.
+    """
+    from repro.sim.engine import simulate_many
+
+    positions = [
+        i
+        for i, p in enumerate(curve.points)
+        if p.feasible and p.policy is not None
+    ]
+    batched = simulate_many(
+        system,
+        costs,
+        [curve.points[i].policy for i in positions],
+        n_slices,
+        rng,
+        n_replications=n_replications,
+        initial_state=initial_state,
+        backend=backend,
+    )
+    results: list = [None] * len(curve.points)
+    for position, replications in zip(positions, batched):
+        results[position] = replications
+    return results
 
 
 def min_achievable(optimizer: PolicyOptimizer, metric: str) -> float:

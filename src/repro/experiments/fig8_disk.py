@@ -25,16 +25,15 @@ import numpy as np
 
 from repro.core.costs import PENALTY, POWER
 from repro.core.optimizer import PolicyOptimizer
-from repro.core.pareto import min_achievable, trade_off_curve
+from repro.core.pareto import min_achievable, simulate_curve, trade_off_curve
 from repro.core.policy import evaluate_policy
 from repro.experiments import ExperimentResult
 from repro.policies import (
     RandomizedTimeoutAgent,
-    StationaryPolicyAgent,
     TimeoutAgent,
     eager_markov_policy,
 )
-from repro.sim import make_rng, simulate
+from repro.sim import simulate_many
 from repro.systems import disk_drive
 from repro.util.tables import format_table
 
@@ -61,7 +60,6 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
         initial_distribution=bundle.initial_distribution,
     )
     n_slices = 60_000 if quick else 400_000
-    rng = make_rng(seed)
 
     # ------------------------------------------------------------------
     # The optimal trade-off curve, with bounds calibrated to the system.
@@ -76,13 +74,20 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
     order = np.argsort(xs)
     xs, ys = xs[order], ys[order]
 
+    # One batched, vectorized run simulates every optimal policy at once.
+    circle_sims = simulate_curve(
+        curve,
+        system,
+        costs,
+        n_slices,
+        seed,
+        initial_state=("active", "0", 0),
+    )
+    circles = [sims[0] for sims in circle_sims if sims is not None]
+
     curve_rows = []
     sim_matches = []
-    for point in curve.feasible_points:
-        agent = StationaryPolicyAgent(system, point.policy)
-        sim = simulate(
-            system, costs, agent, n_slices, rng, initial_state=("active", "0", 0)
-        )
+    for point, sim in zip(curve.feasible_points, circles):
         # The circle (penalty_sim, power_sim) must land on the curve.
         expected = _interpolate_curve(xs, ys, sim.averages[PENALTY])
         sim_matches.append(_close(sim.averages[POWER], expected))
@@ -152,12 +157,18 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
         )
     )
 
+    heuristic_sims = simulate_many(
+        system,
+        costs,
+        [agent for _, agent in agents],
+        n_slices,
+        seed + 1,
+        initial_state=("active", "0", 0),
+    )
     simulated_rows = []
     simulated_above = []
-    for name, agent in agents:
-        sim = simulate(
-            system, costs, agent, n_slices, rng, initial_state=("active", "0", 0)
-        )
+    for (name, _), sims in zip(agents, heuristic_sims):
+        sim = sims[0]
         penalty = sim.averages[PENALTY]
         power = sim.averages[POWER]
         # Exact optimal power at an inflated penalty (lenient: both the

@@ -23,8 +23,8 @@ import numpy as np
 from repro.core.costs import PENALTY, POWER
 from repro.core.optimizer import PolicyOptimizer
 from repro.experiments import ExperimentResult
-from repro.policies import StationaryPolicyAgent, TimeoutAgent
-from repro.sim import make_rng, simulate
+from repro.policies import TimeoutAgent
+from repro.sim import simulate_many
 from repro.systems import cpu
 from repro.util.tables import format_table
 
@@ -47,7 +47,6 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
         action_mask=bundle.action_mask,
     )
     n_slices = 50_000 if quick else 300_000
-    rng = make_rng(seed)
 
     # --- optimal curve (solid line) -----------------------------------
     optimal_rows = []
@@ -70,14 +69,19 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
     # --- timeout heuristic (dashed line), simulated --------------------
     active = bundle.metadata["active_command"]
     sleep = bundle.metadata["sleep_command"]
+    # Stateful heuristics: one dispatch call, loop backend per agent.
+    timeout_sims = simulate_many(
+        system,
+        costs,
+        [TimeoutAgent(timeout, active, sleep) for timeout in TIMEOUTS],
+        n_slices,
+        seed,
+        initial_state=("active", "idle", 0),
+    )
     timeout_rows = []
     timeout_above = []
-    for timeout in TIMEOUTS:
-        agent = TimeoutAgent(timeout, active, sleep)
-        sim = simulate(
-            system, costs, agent, n_slices, rng,
-            initial_state=("active", "idle", 0),
-        )
+    for timeout, sims in zip(TIMEOUTS, timeout_sims):
+        sim = sims[0]
         penalty = sim.averages[PENALTY]
         power = sim.averages[POWER]
         # Exact optimal power at the (slightly inflated) same penalty.

@@ -27,7 +27,7 @@ protocol consumed by :mod:`repro.sim`.
 
 from repro.policies.adaptive import AdaptivePolicyAgent
 from repro.policies.always_on import ConstantAgent, always_on_agent
-from repro.policies.base import Observation, PolicyAgent
+from repro.policies.base import Observation, PolicyAgent, StationaryAgent
 from repro.policies.eager import EagerAgent
 from repro.policies.markov_conversion import (
     constant_markov_policy,
@@ -43,6 +43,7 @@ from repro.policies.timeout import TimeoutAgent
 
 __all__ = [
     "PolicyAgent",
+    "StationaryAgent",
     "Observation",
     "ConstantAgent",
     "always_on_agent",

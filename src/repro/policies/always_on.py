@@ -4,16 +4,21 @@ The always-on constant policy is the natural upper bound on power and
 lower bound on penalty — it anchors the top of every trade-off plot in
 the paper ("the trivial policy that never shuts down the SP",
 Example A.2).
+
+A constant command is trivially a stationary Markov policy, so
+:class:`ConstantAgent` carries the
+:class:`~repro.policies.base.StationaryAgent` marker and batch
+simulation can vectorize it.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.policies.base import Observation, PolicyAgent
+from repro.policies.base import Observation, StationaryAgent
 
 
-class ConstantAgent(PolicyAgent):
+class ConstantAgent(StationaryAgent):
     """Issue the same command in every slice.
 
     Parameters
@@ -32,6 +37,17 @@ class ConstantAgent(PolicyAgent):
         self, observation: Observation, rng: np.random.Generator
     ) -> int:
         return self._command
+
+    def stationary_policy(self, system):
+        """The constant Markov policy over ``system``'s joint states."""
+        from repro.core.policy import MarkovPolicy
+
+        return MarkovPolicy.constant(
+            self._command,
+            system.n_states,
+            system.n_commands,
+            system.command_names,
+        )
 
     def describe(self) -> str:
         if self._name:

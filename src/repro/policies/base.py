@@ -11,8 +11,13 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.core.policy import MarkovPolicy
+    from repro.core.system import PowerManagedSystem
 
 
 @dataclass(frozen=True)
@@ -67,3 +72,20 @@ class PolicyAgent(abc.ABC):
     def describe(self) -> str:
         """Human-readable one-line description (used in result tables)."""
         return type(self).__name__
+
+
+class StationaryAgent(PolicyAgent):
+    """Marker base for agents that execute a stationary Markov policy.
+
+    Backend dispatch (:mod:`repro.sim.backends`) can only vectorize an
+    agent when its behaviour is *provably* a function of the current
+    joint state alone — i.e. distributed as a
+    :class:`~repro.core.policy.MarkovPolicy` matrix row per slice, with
+    no internal state.  Subclasses assert exactly that by materializing
+    the matrix on demand; anything not carrying this marker is simulated
+    by the reference loop backend.
+    """
+
+    @abc.abstractmethod
+    def stationary_policy(self, system: "PowerManagedSystem") -> "MarkovPolicy":
+        """The equivalent Markov policy matrix over ``system``'s states."""

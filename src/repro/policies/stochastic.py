@@ -5,6 +5,14 @@ matrix over joint states — to the simulation engine's agent protocol.
 Each slice the agent looks up the joint state index and samples a
 command from the policy row, exactly the behaviour paper Definition 3.5
 prescribes for randomized decisions.
+
+The policy rows are compiled once into normalized cumulative rows and
+sampled through :func:`repro.sim.rng.sample_categorical`, which consumes
+one uniform per randomized decision with the same inverse-CDF semantics
+(and stream position) as ``Generator.choice``; deterministic rows
+short-circuit the draw entirely.  Carrying the
+:class:`~repro.policies.base.StationaryAgent` marker lets backend
+dispatch prove the agent vectorizable.
 """
 
 from __future__ import annotations
@@ -13,11 +21,12 @@ import numpy as np
 
 from repro.core.policy import MarkovPolicy
 from repro.core.system import PowerManagedSystem
-from repro.policies.base import Observation, PolicyAgent
+from repro.policies.base import Observation, StationaryAgent
+from repro.sim.rng import categorical_cumsum, sample_categorical
 from repro.util.validation import ValidationError
 
 
-class StationaryPolicyAgent(PolicyAgent):
+class StationaryPolicyAgent(StationaryAgent):
     """Simulate a Markov stationary policy matrix.
 
     Parameters
@@ -40,6 +49,7 @@ class StationaryPolicyAgent(PolicyAgent):
         self._system = system
         self._policy = policy
         self._matrix = policy.matrix
+        self._cumsum = categorical_cumsum(self._matrix, axis=1)
         self._n_requesters = system.requester.n_states
         self._n_queue = system.queue.n_states
         # Deterministic rows short-circuit the RNG draw.
@@ -51,6 +61,19 @@ class StationaryPolicyAgent(PolicyAgent):
         """The wrapped policy."""
         return self._policy
 
+    def stationary_policy(self, system: PowerManagedSystem) -> MarkovPolicy:
+        """The wrapped policy, validated against ``system``."""
+        if (
+            system.n_states != self._policy.n_states
+            or system.n_commands != self._policy.n_commands
+        ):
+            raise ValidationError(
+                f"policy shape ({self._policy.n_states}, "
+                f"{self._policy.n_commands}) does not match system "
+                f"({system.n_states}, {system.n_commands})"
+            )
+        return self._policy
+
     def select_command(
         self, observation: Observation, rng: np.random.Generator
     ) -> int:
@@ -60,7 +83,7 @@ class StationaryPolicyAgent(PolicyAgent):
         ) * self._n_queue + observation.queue_length
         if self._deterministic_row[state]:
             return int(self._greedy[state])
-        return int(rng.choice(self._matrix.shape[1], p=self._matrix[state]))
+        return sample_categorical(self._cumsum[state], rng)
 
     def describe(self) -> str:
         kind = "deterministic" if self._policy.is_deterministic else "randomized"

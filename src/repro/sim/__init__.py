@@ -4,23 +4,51 @@ The paper's tool verifies every optimized policy by simulation (Fig. 7):
 once against the Markov workload model ("to check consistency") and
 once driven by the actual request trace ("to check the quality of the
 Markov model of the service provider").  This package implements both
-modes:
+modes, behind pluggable backends (:mod:`repro.sim.backends`):
 
 * :func:`~repro.sim.engine.simulate` — Markov-driven simulation of the
   composed system under any :class:`~repro.policies.base.PolicyAgent`;
+* :func:`~repro.sim.engine.simulate_many` /
+  :func:`~repro.sim.engine.simulate_replications` — the batch API:
+  policy sweeps and replication studies, vectorized for stationary
+  Markov policies;
 * :func:`~repro.sim.engine.simulate_sessions` — geometric-session
   simulation estimating the *discounted* totals of Section IV directly;
 * :func:`~repro.sim.trace_sim.simulate_trace` — trace-driven simulation
   where arrivals are replayed from a discretized request trace.
 """
 
-from repro.sim.engine import SimulationResult, simulate, simulate_sessions
-from repro.sim.rng import make_rng, spawn_rngs
+from repro.sim.backends import (
+    BACKEND_CHOICES,
+    BACKENDS,
+    LoopBackend,
+    SimulationBackend,
+    VectorBackend,
+    get_backend,
+    resolve_backend,
+)
+from repro.sim.engine import (
+    SimulationResult,
+    simulate,
+    simulate_many,
+    simulate_replications,
+    simulate_sessions,
+)
+from repro.sim.rng import (
+    categorical_cumsum,
+    child_rngs,
+    make_rng,
+    sample_categorical,
+    sample_categorical_batch,
+    spawn_rngs,
+)
 from repro.sim.stats import SampleStats, confidence_interval
 from repro.sim.trace_sim import TraceSimulationResult, simulate_trace
 
 __all__ = [
     "simulate",
+    "simulate_many",
+    "simulate_replications",
     "simulate_sessions",
     "simulate_trace",
     "SimulationResult",
@@ -29,4 +57,15 @@ __all__ = [
     "confidence_interval",
     "make_rng",
     "spawn_rngs",
+    "child_rngs",
+    "categorical_cumsum",
+    "sample_categorical",
+    "sample_categorical_batch",
+    "BACKENDS",
+    "BACKEND_CHOICES",
+    "SimulationBackend",
+    "LoopBackend",
+    "VectorBackend",
+    "get_backend",
+    "resolve_backend",
 ]

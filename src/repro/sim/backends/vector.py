@@ -1,0 +1,535 @@
+"""Vectorized batch simulation of stationary Markov policies.
+
+For a :class:`~repro.policies.base.StationaryAgent` the per-slice
+decision is a pure function of the joint state, so the composed system
+and the policy can be *compiled* ahead of time into flat joint-state
+tables — policy cumulative rows, greedy commands, per-joint-state cost
+rows, and the arrival/service bookkeeping arrays — and many independent
+replications stepped at once:
+
+* one NumPy operation advances the whole batch one slice;
+* uniforms are drawn in chunked blocks (``(chunk, kinds, lanes)``) so
+  generator overhead is amortized over thousands of draws;
+* categorical draws use *offset cumsums*: every cumulative row is
+  shifted by its integer row id and the rows concatenated into one
+  globally non-decreasing array, so a whole batch of row-dependent
+  draws is a single :func:`numpy.searchsorted` call
+  (``index = searchsorted(flat, row_id + u) - row_id * width``);
+* per-slice bookkeeping is reduced to recording the joint-state /
+  command / service histories, which are folded into totals, command
+  counts, occupancies and loss counters once per chunk with fancy
+  gathers and ``bincount``.
+
+The joint transition row ``T_a[x, ·]`` is sampled in factorized form
+(SP row, then SR row, then the queue's service Bernoulli) rather than
+as one ``|X|``-wide categorical: the factor rows are exactly the product
+measure of paper Eq. 4, cost O(log(S) + log(R)) instead of O(S·R·Q) per
+draw, and — unlike a collapsed joint draw — keep the physical
+arrival/service/loss counters exact (a joint next-state alone cannot
+distinguish "serviced" from "lost" when the queue ends full).
+
+Within one slice the batch consumes uniforms in the same order as the
+reference loop (policy, SP, SR, service), which the seeded-equivalence
+suite exploits: with one lane, an always-issuing workload and a fully
+randomized policy, loop and vector trajectories coincide draw for draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.costs import CostModel
+from repro.core.policy import MarkovPolicy
+from repro.core.system import PowerManagedSystem
+from repro.policies.base import PolicyAgent, StationaryAgent
+from repro.sim.backends.base import (
+    SimulationBackend,
+    SimulationTables,
+    resolve_initial_state,
+)
+from repro.sim.result import SimulationResult
+from repro.sim.rng import categorical_cumsum
+from repro.sim.stats import SampleStats
+from repro.util.validation import ValidationError
+
+#: Deterministic-row threshold, matching StationaryPolicyAgent.
+_DETERMINISTIC_TOL = 1e-12
+
+#: Target uniform-block size (doubles) per chunk draw.
+_CHUNK_BUDGET = 16_384
+
+#: Slice cap per chunk (bounds history buffers for tiny batches).
+_MAX_CHUNK = 2_048
+
+
+def _offset_cumsum(cumsum_rows: np.ndarray) -> np.ndarray:
+    """Concatenate cumulative rows into one sorted offset array.
+
+    Row ``i`` (ending at exactly 1.0) is shifted to span ``(i, i + 1]``,
+    so ``searchsorted(flat, i + u, side="right") - i * width`` is the
+    row-local ``side="right"`` categorical index.  The shifted
+    comparison can differ from the unshifted one only when ``u`` lies
+    within one rounding ulp of a cumulative entry — a measure-~1e-13
+    event per draw that the equivalence suite bounds.
+    """
+    rows = cumsum_rows.reshape(-1, cumsum_rows.shape[-1])
+    return (rows + np.arange(rows.shape[0])[:, None]).ravel()
+
+
+@dataclass(frozen=True)
+class CompiledPolicyBatch:
+    """Policy matrices compiled for batched joint-state lookup.
+
+    All arrays are flattened policy-major (index ``p * n_states + x``)
+    so a single gather resolves any (policy, joint-state) pair.
+
+    Attributes
+    ----------
+    n_states / n_commands:
+        System dimensions the batch was compiled against.
+    offset_cumsum:
+        ``(n_policies * n_states * n_commands,)`` offset cumulative
+        rows for one-searchsorted command sampling.
+    greedy:
+        Argmax command per (policy, state).
+    deterministic_row:
+        Rows carrying all mass on one command (no uniform consumed by
+        the reference agent).
+    fully_deterministic:
+        True when *no* row anywhere in the batch needs a draw.
+    sp_row / sigma:
+        For the fully-deterministic fast path: the SP transition row id
+        ``a(x) * n_sp + s(x)`` and service probability of the greedy
+        command, per (policy, state).
+    """
+
+    n_states: int
+    n_commands: int
+    offset_cumsum: np.ndarray
+    greedy: np.ndarray
+    deterministic_row: np.ndarray
+    fully_deterministic: bool
+    sp_row: np.ndarray
+    sigma: np.ndarray
+
+    @classmethod
+    def compile(
+        cls,
+        system: PowerManagedSystem,
+        policies: list[MarkovPolicy],
+    ) -> "CompiledPolicyBatch":
+        """Stack and compile ``policies`` against ``system``."""
+        matrices = []
+        for policy in policies:
+            if (
+                policy.n_states != system.n_states
+                or policy.n_commands != system.n_commands
+            ):
+                raise ValidationError(
+                    f"policy shape ({policy.n_states}, {policy.n_commands}) "
+                    f"does not match system "
+                    f"({system.n_states}, {system.n_commands})"
+                )
+            matrices.append(policy.matrix)
+        stack = np.stack(matrices, axis=0)
+        deterministic = stack.max(axis=2) > 1.0 - _DETERMINISTIC_TOL
+        greedy = np.argmax(stack, axis=2)
+        n_sp = system.provider.n_states
+        s_of = np.arange(system.n_states) // (
+            system.requester.n_states * system.queue.n_states
+        )
+        rates = system.provider.service_rate_matrix
+        return cls(
+            n_states=system.n_states,
+            n_commands=system.n_commands,
+            offset_cumsum=_offset_cumsum(categorical_cumsum(stack, axis=2)),
+            greedy=greedy.reshape(-1),
+            deterministic_row=deterministic.reshape(-1),
+            fully_deterministic=bool(deterministic.all()),
+            sp_row=(greedy * n_sp + s_of[None, :]).reshape(-1),
+            sigma=rates[s_of[None, :], greedy].reshape(-1),
+        )
+
+
+@dataclass(frozen=True)
+class _CompiledSystem:
+    """System arrays flattened for the batched stepper."""
+
+    sp_offset: np.ndarray  # ((A * S) * S,) offset cumsum, row a * S + s
+    sr_offset: np.ndarray  # (R * R,) offset cumsum, row r
+    rates_flat: np.ndarray  # (A * S,), index a * S + s
+    s_of: np.ndarray  # (J,) joint -> SP state
+
+    @classmethod
+    def compile(cls, tables: SimulationTables) -> "_CompiledSystem":
+        joint = np.arange(tables.n_sp * tables.n_sr * tables.n_sq)
+        return cls(
+            sp_offset=_offset_cumsum(tables.sp_cum),
+            sr_offset=_offset_cumsum(tables.sr_cum),
+            rates_flat=tables.rates.T.ravel(),
+            s_of=joint // (tables.n_sr * tables.n_sq),
+        )
+
+
+class VectorBackend(SimulationBackend):
+    """Compiled batch stepper for stationary Markov policies."""
+
+    name = "vector"
+
+    def supports(self, agent: PolicyAgent) -> bool:
+        return isinstance(agent, StationaryAgent)
+
+    # ------------------------------------------------------------------
+    # public entry points
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        system: PowerManagedSystem,
+        costs: CostModel,
+        agent: PolicyAgent,
+        n_slices: int,
+        rng: np.random.Generator,
+        initial_state=None,
+        tables: SimulationTables | None = None,
+    ) -> SimulationResult:
+        policy = self._require_stationary(agent, system)
+        return self.simulate_batch(
+            system,
+            costs,
+            [policy],
+            n_slices,
+            rng,
+            initial_state=initial_state,
+            n_replications=1,
+            tables=tables,
+        )[0][0]
+
+    def simulate_batch(
+        self,
+        system: PowerManagedSystem,
+        costs: CostModel,
+        policies: list[MarkovPolicy],
+        n_slices: int,
+        rng: np.random.Generator,
+        initial_state=None,
+        n_replications: int = 1,
+        tables: SimulationTables | None = None,
+    ) -> list[list[SimulationResult]]:
+        """Simulate every policy ``n_replications`` times in one batch.
+
+        All ``len(policies) * n_replications`` lanes advance together;
+        the return value is one list of replication results per policy,
+        in input order.
+        """
+        n_slices = int(n_slices)
+        n_replications = int(n_replications)
+        if n_slices <= 0:
+            raise ValidationError(f"n_slices must be > 0, got {n_slices}")
+        if n_replications <= 0:
+            raise ValidationError(
+                f"n_replications must be > 0, got {n_replications}"
+            )
+        if not policies:
+            return []
+        if tables is None:
+            tables = SimulationTables.compile(system, costs)
+        compiled = CompiledPolicyBatch.compile(system, policies)
+        n_lanes = len(policies) * n_replications
+        policy_of_lane = np.repeat(np.arange(len(policies)), n_replications)
+        s0, r0, q0 = resolve_initial_state(system, initial_state)
+        lengths = np.full(n_lanes, n_slices, dtype=np.int64)
+        acc = _step_lanes(
+            tables, compiled, policy_of_lane, lengths, (s0, r0, q0), rng
+        )
+        results = [
+            _lane_result(tables, acc, lane, n_slices)
+            for lane in range(n_lanes)
+        ]
+        return [
+            results[p * n_replications : (p + 1) * n_replications]
+            for p in range(len(policies))
+        ]
+
+    def simulate_sessions(
+        self,
+        system: PowerManagedSystem,
+        costs: CostModel,
+        agent: PolicyAgent,
+        gamma: float,
+        n_sessions: int,
+        rng: np.random.Generator,
+        initial_state=None,
+        max_session_slices: int | None = None,
+    ) -> dict[str, SampleStats]:
+        """Geometric sessions, packed into the batch dimension.
+
+        All session lengths are drawn up front; every session then runs
+        as one lane of a single batch, with finished lanes compacted
+        away chunk by chunk, so the whole estimate costs one compiled
+        stepping pass instead of ``n_sessions`` separate runs.
+        """
+        policy = self._require_stationary(agent, system)
+        tables = SimulationTables.compile(system, costs)
+        compiled = CompiledPolicyBatch.compile(system, [policy])
+        n_sessions = int(n_sessions)
+        lengths = rng.geometric(1.0 - gamma, size=n_sessions).astype(np.int64)
+        if max_session_slices is not None:
+            np.minimum(lengths, int(max_session_slices), out=lengths)
+        np.maximum(lengths, 1, out=lengths)
+        s0, r0, q0 = resolve_initial_state(system, initial_state)
+        policy_of_lane = np.zeros(n_sessions, dtype=np.int64)
+        acc = _step_lanes(
+            tables, compiled, policy_of_lane, lengths, (s0, r0, q0), rng
+        )
+        return {
+            name: SampleStats.from_samples(acc.totals[i])
+            for i, name in enumerate(tables.metric_names)
+        }
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _require_stationary(
+        agent: PolicyAgent, system: PowerManagedSystem
+    ) -> MarkovPolicy:
+        if not isinstance(agent, StationaryAgent):
+            raise ValidationError(
+                f"the vector backend requires a stationary Markov policy; "
+                f"{agent.describe()} is not marked StationaryAgent — "
+                f"use the loop backend"
+            )
+        agent.reset()
+        return agent.stationary_policy(system)
+
+
+@dataclass
+class _LaneAccumulators:
+    """Per-lane counters collected by :func:`_step_lanes`."""
+
+    totals: np.ndarray  # (n_metrics, n_lanes)
+    command_counts: np.ndarray  # (n_lanes, n_commands)
+    provider_occupancy: np.ndarray  # (n_lanes, n_sp)
+    arrivals: np.ndarray  # (n_lanes,)
+    serviced: np.ndarray  # (n_lanes,)
+    lost: np.ndarray  # (n_lanes,)
+    loss_events: np.ndarray  # (n_lanes,)
+    final_state: np.ndarray  # (n_lanes, 3)
+
+
+def _lane_result(
+    tables: SimulationTables, acc: _LaneAccumulators, lane: int, n_slices: int
+) -> SimulationResult:
+    totals = acc.totals[:, lane]
+    names = tables.metric_names
+    return SimulationResult(
+        n_slices=n_slices,
+        averages={
+            name: float(totals[i]) / n_slices for i, name in enumerate(names)
+        },
+        totals={name: float(totals[i]) for i, name in enumerate(names)},
+        arrivals=int(acc.arrivals[lane]),
+        serviced=int(acc.serviced[lane]),
+        lost=int(acc.lost[lane]),
+        loss_event_slices=int(acc.loss_events[lane]),
+        command_counts=acc.command_counts[lane].copy(),
+        provider_occupancy=acc.provider_occupancy[lane].copy(),
+        final_state=tuple(int(v) for v in acc.final_state[lane]),
+    )
+
+
+def _step_lanes(
+    tables: SimulationTables,
+    compiled: CompiledPolicyBatch,
+    policy_of_lane: np.ndarray,
+    lengths: np.ndarray,
+    start: tuple[int, int, int],
+    rng: np.random.Generator,
+) -> _LaneAccumulators:
+    """Advance every lane through its own number of slices.
+
+    Equal lengths run with no masking; ragged lengths (session mode)
+    mask finished lanes within a chunk and compact them away between
+    chunks, so wasted work is bounded by one chunk per lane.
+    """
+    n_metrics = tables.metric_stack.shape[0]
+    n_commands = tables.n_commands
+    n_sp, n_sr, n_sq = tables.n_sp, tables.n_sr, tables.n_sq
+    n_states = n_sp * n_sr * n_sq
+    capacity = tables.capacity
+    n_total = int(policy_of_lane.shape[0])
+    system_flat = _CompiledSystem.compile(tables)
+
+    acc = _LaneAccumulators(
+        totals=np.zeros((n_metrics, n_total)),
+        command_counts=np.zeros((n_total, n_commands), dtype=np.int64),
+        provider_occupancy=np.zeros((n_total, n_sp), dtype=np.int64),
+        arrivals=np.zeros(n_total, dtype=np.int64),
+        serviced=np.zeros(n_total, dtype=np.int64),
+        lost=np.zeros(n_total, dtype=np.int64),
+        loss_events=np.zeros(n_total, dtype=np.int64),
+        final_state=np.zeros((n_total, 3), dtype=np.int64),
+    )
+
+    # Live lane state; lanes are compacted away as they finish.
+    lane_ids = np.arange(n_total)
+    remaining = lengths.astype(np.int64).copy()
+    pol_base = policy_of_lane.astype(np.int64) * n_states
+    x = np.full(
+        n_total, (start[0] * n_sr + start[1]) * n_sq + start[2], dtype=np.int64
+    )
+    r = np.full(n_total, start[1], dtype=np.int64)
+    q = np.full(n_total, start[2], dtype=np.int64)
+
+    deterministic = compiled.fully_deterministic
+    n_kinds = 3 if deterministic else 4
+    metric_flat = tables.metric_stack.reshape(n_metrics, -1)  # (M, X*A)
+    arrivals_of = tables.arrivals_of
+    issuing = tables.issuing
+    sp_offset = system_flat.sp_offset
+    sr_offset = system_flat.sr_offset
+    rates_flat = system_flat.rates_flat
+    s_of = system_flat.s_of
+    pol_offset = compiled.offset_cumsum
+    greedy = compiled.greedy
+    det_row = compiled.deterministic_row
+    sp_row_det = compiled.sp_row
+    sigma_det = compiled.sigma
+    any_det_rows = bool(det_row.any())
+
+    while lane_ids.size:
+        n_lanes = lane_ids.size
+        single_policy = bool(pol_base[0] == 0 and (pol_base == 0).all())
+        budget = max(1, _CHUNK_BUDGET // (n_kinds * n_lanes))
+        chunk = int(min(_MAX_CHUNK, budget, remaining.max()))
+        uniforms = rng.random((chunk, n_kinds, n_lanes))
+        # Joint-state/command/service histories, folded in after the
+        # chunk; x_hist has one extra row holding the post-chunk state.
+        x_hist = np.empty((chunk + 1, n_lanes), dtype=np.int64)
+        served_hist = np.empty((chunk, n_lanes), dtype=bool)
+        a_hist = (
+            None if deterministic else np.empty((chunk, n_lanes), dtype=np.int64)
+        )
+
+        for k in range(chunk):
+            x_hist[k] = x
+            rowx = x if single_policy else pol_base + x
+            if deterministic:
+                sp_row = sp_row_det[rowx]
+                sigma = sigma_det[rowx]
+            else:
+                a = (
+                    np.searchsorted(
+                        pol_offset, rowx + uniforms[k, 0], side="right"
+                    )
+                    - rowx * n_commands
+                )
+                # Row-local indices are provably >= 0; only the top end
+                # needs a rounding guard (np.clip is ~7x costlier).
+                np.minimum(a, n_commands - 1, out=a)
+                if any_det_rows:
+                    det = det_row[rowx]
+                    a = np.where(det, greedy[rowx], a)
+                a_hist[k] = a
+                sp_row = a * n_sp + s_of[x]
+                sigma = rates_flat[sp_row]
+            s_next = (
+                np.searchsorted(
+                    sp_offset, sp_row + uniforms[k, n_kinds - 3], side="right"
+                )
+                - sp_row * n_sp
+            )
+            np.minimum(s_next, n_sp - 1, out=s_next)
+            r_next = (
+                np.searchsorted(
+                    sr_offset, r + uniforms[k, n_kinds - 2], side="right"
+                )
+                - r * n_sr
+            )
+            np.minimum(r_next, n_sr - 1, out=r_next)
+            pending = q + arrivals_of[r_next]
+            served = (uniforms[k, n_kinds - 1] < sigma) & (pending > 0)
+            served_hist[k] = served
+            q = np.minimum(pending - served, capacity)
+            x = (s_next * n_sr + r_next) * n_sq + q
+            r = r_next
+        x_hist[chunk] = x
+
+        # --- fold the chunk histories into the per-lane accumulators ---
+        alive = remaining > np.arange(chunk, dtype=np.int64)[:, None]
+        full = bool(alive.all())
+        weights = None if full else alive.ravel().astype(np.float64)
+        x_cur = x_hist[:-1]
+        if deterministic:
+            a_hist = greedy[x_cur if single_policy else pol_base + x_cur]
+        q_cur = x_cur % n_sq
+        r_cur = (x_cur // n_sq) % n_sr
+        s_cur = x_cur // (n_sr * n_sq)
+        q_next = x_hist[1:] % n_sq
+        r_next_h = (x_hist[1:] // n_sq) % n_sr
+
+        cost_rows = metric_flat[:, x_cur * n_commands + a_hist]
+        if full:
+            acc.totals[:, lane_ids] += cost_rows.sum(axis=1)
+        else:
+            acc.totals[:, lane_ids] += np.einsum(
+                "mkl,kl->ml", cost_rows, alive.astype(np.float64)
+            )
+
+        lane_local = np.arange(n_lanes)
+        cmd_flat = np.bincount(
+            (lane_local[None, :] * n_commands + a_hist).ravel(),
+            weights=weights,
+            minlength=n_lanes * n_commands,
+        )
+        acc.command_counts[lane_ids] += np.rint(cmd_flat).astype(
+            np.int64
+        ).reshape(n_lanes, n_commands)
+        occ_flat = np.bincount(
+            (lane_local[None, :] * n_sp + s_cur).ravel(),
+            weights=weights,
+            minlength=n_lanes * n_sp,
+        )
+        acc.provider_occupancy[lane_ids] += np.rint(occ_flat).astype(
+            np.int64
+        ).reshape(n_lanes, n_sp)
+
+        z = arrivals_of[r_next_h]
+        pending_h = q_cur + z
+        lost_h = pending_h - served_hist - q_next
+        events = issuing[r_cur] & (q_cur == capacity)
+        if not full:
+            z = z * alive
+            served_w = served_hist * alive
+            lost_h = lost_h * alive
+            events = events & alive
+        else:
+            served_w = served_hist
+        acc.arrivals[lane_ids] += z.sum(axis=0)
+        acc.serviced[lane_ids] += served_w.sum(axis=0)
+        acc.lost[lane_ids] += lost_h.sum(axis=0)
+        acc.loss_events[lane_ids] += events.sum(axis=0)
+
+        # Record final states of lanes that finished inside this chunk
+        # (their state at remaining slices is x_hist[remaining]).
+        finished = remaining <= chunk
+        if finished.any():
+            idx = np.nonzero(finished)[0]
+            x_fin = x_hist[remaining[idx], idx]
+            fin_ids = lane_ids[idx]
+            acc.final_state[fin_ids, 0] = x_fin // (n_sr * n_sq)
+            acc.final_state[fin_ids, 1] = (x_fin // n_sq) % n_sr
+            acc.final_state[fin_ids, 2] = x_fin % n_sq
+
+        remaining -= chunk
+        if finished.any():
+            keep = ~finished
+            lane_ids = lane_ids[keep]
+            remaining = remaining[keep]
+            pol_base = pol_base[keep]
+            x = x[keep]
+            r = r[keep]
+            q = q[keep]
+    return acc

@@ -1,89 +1,80 @@
-"""Markov-driven simulation of a power-managed system under a policy.
+"""Simulation entry points: backend dispatch and the batch API.
 
-The engine reproduces the composed chain's semantics *component by
-component* so that heuristic agents with internal state (timeouts,
-predictors) can be simulated alongside stationary policies:
+The actual stepping lives in :mod:`repro.sim.backends`; this module is
+the single dispatch point every caller (experiments, Pareto sweeps, the
+CLI pipeline, benchmarks) routes through:
 
-at each slice ``t`` with joint state ``X_t = (s, r, q)``:
+* :func:`simulate` — one agent, one trajectory.  ``backend="auto"``
+  always resolves to the reference loop: a single lane gives the
+  vectorized stepper nothing to amortize over, and keeping the default
+  on the loop preserves seeded results bit for bit.
+* :func:`simulate_many` / :func:`simulate_replications` — the batch
+  API.  Stationary Markov policies are grouped into one vectorized
+  batch (many policies x many replications stepped together);
+  stateful heuristics fall back to per-run loops, each with its own
+  child generator.
+* :func:`simulate_sessions` — geometric-session estimates of the
+  discounted totals (paper Section IV).  For stationary policies the
+  sessions are packed into the batch dimension and stepped by the
+  vector backend.
 
-1. the agent observes ``X_t`` and issues command ``a``;
-2. every cost metric accrues its ``matrix[X_t, a]`` value;
-3. the SP moves ``s -> s'`` with ``P_SP^a``, the SR moves ``r -> r'``
-   with ``P_SR`` and ``z(r')`` requests arrive;
-4. the queue updates with service probability ``sigma(s, a)`` applied
-   to ``q + z(r')`` pending requests (paper Eq. 3); overflow is counted
-   as lost.
-
-For a stationary Markov policy this is distributed identically to the
-joint chain of :class:`~repro.core.system.PowerManagedSystem` — the
-equivalence is verified in the test suite against the closed-form
-evaluation.
+Every function accepts ``backend`` in ``{"auto", "loop", "vector"}``;
+requesting ``"vector"`` for an agent that is not provably stationary
+raises :class:`~repro.util.validation.ValidationError`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.costs import CostModel
+from repro.core.policy import MarkovPolicy
 from repro.core.system import PowerManagedSystem
-from repro.policies.base import Observation, PolicyAgent
+from repro.policies.base import PolicyAgent
+from repro.sim.backends import (
+    BACKENDS,
+    get_backend,
+    is_vectorizable,
+    resolve_backend,
+)
+from repro.sim.backends.base import resolve_initial_state
+from repro.sim.result import SimulationResult
+from repro.sim.rng import child_rngs
 from repro.sim.stats import SampleStats
 from repro.util.validation import ValidationError, check_probability
 
+__all__ = [
+    "SimulationResult",
+    "simulate",
+    "simulate_many",
+    "simulate_replications",
+    "simulate_sessions",
+]
 
-@dataclass
-class SimulationResult:
-    """Aggregate output of a Markov-driven simulation run.
-
-    Attributes
-    ----------
-    n_slices:
-        Simulated slices.
-    averages:
-        Metric name -> per-slice average of the accumulated metric
-        (directly comparable to the optimizer's per-slice averages).
-    totals:
-        Metric name -> undiscounted sum over the run.
-    arrivals / serviced / lost:
-        Physical request counters: requests that arrived, completed
-        service, and overflowed the queue.
-    loss_event_slices:
-        Slices in which the loss-risk condition held (SR issuing with a
-        full queue) — the paper's request-loss metric.
-    command_counts:
-        Times each command was issued.
-    provider_occupancy:
-        Slices spent in each SP state.
-    final_state:
-        Joint ``(provider, requester, queue)`` indices after the run.
-    """
-
-    n_slices: int
-    averages: dict[str, float]
-    totals: dict[str, float]
-    arrivals: int
-    serviced: int
-    lost: int
-    loss_event_slices: int
-    command_counts: np.ndarray = field(repr=False)
-    provider_occupancy: np.ndarray = field(repr=False)
-    final_state: tuple[int, int, int] = (0, 0, 0)
+# Backwards-compatible alias (pre-backend refactor name).
+_resolve_initial_state = resolve_initial_state
 
 
-def _resolve_initial_state(system: PowerManagedSystem, initial_state):
-    if initial_state is None:
-        return 0, 0, 0
-    provider, requester, queue = initial_state
-    s = system.provider.chain.state_index(provider)
-    r = system.requester.chain.state_index(requester)
-    q = int(queue)
-    if not 0 <= q <= system.queue.capacity:
-        raise ValidationError(
-            f"queue length {q} out of range [0, {system.queue.capacity}]"
-        )
-    return s, r, q
+def _check_n_slices(n_slices: int) -> int:
+    n_slices = int(n_slices)
+    if n_slices <= 0:
+        raise ValidationError(f"n_slices must be > 0, got {n_slices}")
+    return n_slices
+
+
+def _as_agent(candidate, system: PowerManagedSystem) -> PolicyAgent:
+    """Accept agents or bare policy matrices in batch entry points."""
+    if isinstance(candidate, PolicyAgent):
+        return candidate
+    if isinstance(candidate, MarkovPolicy):
+        from repro.policies.stochastic import StationaryPolicyAgent
+
+        return StationaryPolicyAgent(system, candidate)
+    raise ValidationError(
+        f"expected a PolicyAgent or MarkovPolicy, got {type(candidate).__name__}"
+    )
 
 
 def simulate(
@@ -93,6 +84,7 @@ def simulate(
     n_slices: int,
     rng: np.random.Generator,
     initial_state=None,
+    backend: str = "auto",
 ) -> SimulationResult:
     """Simulate ``agent`` on ``system`` for ``n_slices`` slices.
 
@@ -111,94 +103,150 @@ def simulate(
     initial_state:
         ``(provider, requester, queue)`` start (names or indices);
         defaults to all components in their first state, empty queue.
+    backend:
+        ``"auto"`` (the reference loop for single runs), ``"loop"``, or
+        ``"vector"`` (stationary policies only).
     """
-    n_slices = int(n_slices)
-    if n_slices <= 0:
-        raise ValidationError(f"n_slices must be > 0, got {n_slices}")
+    n_slices = _check_n_slices(n_slices)
+    chosen = resolve_backend(backend, agent, batch_size=1)
+    return chosen.simulate(system, costs, agent, n_slices, rng, initial_state)
 
-    s, r, q = _resolve_initial_state(system, initial_state)
-    agent.reset()
 
-    metric_names = list(costs.metric_names)
-    metric_stack = np.stack([costs.metric(name) for name in metric_names], axis=0)
+def simulate_many(
+    system: PowerManagedSystem,
+    costs: CostModel,
+    agents: Sequence[PolicyAgent | MarkovPolicy],
+    n_slices: int,
+    rng: np.random.Generator | int | None = None,
+    *,
+    n_replications: int = 1,
+    initial_state=None,
+    backend: str = "auto",
+) -> list[list[SimulationResult]]:
+    """Simulate many agents/policies, ``n_replications`` runs each.
 
-    sp_cum = np.cumsum(system.provider.chain.tensor, axis=2)  # (A, S, S)
-    sr_cum = np.cumsum(system.requester.chain.matrix, axis=1)  # (R, R)
-    rates = system.provider.service_rate_matrix  # (S, A)
-    arrivals_of = system.requester.arrival_counts  # (R,)
-    capacity = system.queue.capacity
-    n_sr = system.requester.n_states
-    n_sq = system.queue.n_states
-    n_sp_states = system.provider.n_states
-    issuing = arrivals_of > 0
+    The workhorse behind policy sweeps and replication studies: all
+    stationary Markov policies in ``agents`` are compiled into a single
+    vectorized batch (one lane per policy x replication), while
+    stateful heuristics run through the reference loop one trajectory
+    at a time.  Bare :class:`~repro.core.policy.MarkovPolicy` entries
+    are wrapped automatically.
 
-    totals = np.zeros(len(metric_names))
-    command_counts = np.zeros(system.n_commands, dtype=np.int64)
-    provider_occupancy = np.zeros(n_sp_states, dtype=np.int64)
-    total_arrivals = 0
-    total_serviced = 0
-    total_lost = 0
-    loss_event_slices = 0
-    prev_arrivals = 0
+    Parameters
+    ----------
+    rng:
+        A generator, a seed, or ``None`` (fresh entropy).  Each loop
+        run and the vector batch get independent child streams, so
+        results are reproducible from one seed.  Note that streams are
+        assigned by position: reordering the agent list, changing the
+        backend grouping, or moving an agent between groups changes the
+        uniforms each run consumes (the estimates stay exchangeable,
+        the trajectories do not).
+    backend:
+        ``"auto"`` (vectorize what can be proven stationary, when the
+        run is actually batched), ``"loop"`` (everything through the
+        reference loop), or ``"vector"`` (require every agent to be
+        stationary).
 
-    for t in range(n_slices):
-        observation = Observation(
-            provider_state=s,
-            requester_state=r,
-            queue_length=q,
-            arrivals=prev_arrivals,
-            slice_index=t,
+    Returns
+    -------
+    list[list[SimulationResult]]
+        One list of ``n_replications`` results per agent, input order.
+    """
+    n_slices = _check_n_slices(n_slices)
+    n_replications = int(n_replications)
+    if n_replications <= 0:
+        raise ValidationError(
+            f"n_replications must be > 0, got {n_replications}"
         )
-        a = int(agent.select_command(observation, rng))
-        if not 0 <= a < system.n_commands:
-            raise ValidationError(
-                f"agent returned command {a}, valid range is "
-                f"[0, {system.n_commands})"
-            )
+    resolved = [_as_agent(a, system) for a in agents]
+    if not resolved:
+        return []
 
-        joint = (s * n_sr + r) * n_sq + q
-        totals += metric_stack[:, joint, a]
-        command_counts[a] += 1
-        provider_occupancy[s] += 1
-        if issuing[r] and q == capacity:
-            loss_event_slices += 1
+    if backend == "vector":
+        vector = get_backend("vector")
+        for agent in resolved:
+            if not vector.supports(agent):
+                raise ValidationError(
+                    f"backend 'vector' does not support {agent.describe()}; "
+                    f"use backend='loop'"
+                )
+        vector_idx = list(range(len(resolved)))
+    elif backend == "loop":
+        vector_idx = []
+    elif backend == "auto":
+        vector_idx = [
+            i for i, agent in enumerate(resolved) if is_vectorizable(agent)
+        ]
+        # A single-lane "batch" has nothing to amortize; keep it on the
+        # loop, consistent with resolve_backend() and simulate().
+        if len(vector_idx) * n_replications <= 1:
+            vector_idx = []
+    else:
+        get_backend(backend)  # raises with the canonical message
+        vector_idx = []
 
-        # --- transition -------------------------------------------------
-        s_next = int(np.searchsorted(sp_cum[a, s], rng.random()))
-        if s_next >= n_sp_states:  # cumsum rounding guard
-            s_next = n_sp_states - 1
-        r_next = int(np.searchsorted(sr_cum[r], rng.random()))
-        if r_next >= n_sr:
-            r_next = n_sr - 1
-        z = int(arrivals_of[r_next])
-        pending = q + z
-        served = 0
-        if pending > 0 and rng.random() < rates[s, a]:
-            served = 1
-        q_next = min(pending - served, capacity)
-        lost = max(pending - served - capacity, 0)
+    vectorized = set(vector_idx)
+    loop_idx = [i for i in range(len(resolved)) if i not in vectorized]
+    # Child streams: one for the whole vector batch, then one per
+    # (loop agent, replication) pair in agent-major order.
+    streams = child_rngs(rng, 1 + len(loop_idx) * n_replications)
+    results: list[list[SimulationResult] | None] = [None] * len(resolved)
 
-        total_arrivals += z
-        total_serviced += served
-        total_lost += lost
-        prev_arrivals = z
-        s, r, q = s_next, r_next, q_next
+    if vector_idx:
+        vector = get_backend("vector")
+        policies = [
+            resolved[i].stationary_policy(system) for i in vector_idx
+        ]
+        batched = vector.simulate_batch(
+            system,
+            costs,
+            policies,
+            n_slices,
+            streams[0],
+            initial_state=initial_state,
+            n_replications=n_replications,
+        )
+        for slot, replications in zip(vector_idx, batched):
+            results[slot] = replications
+    if loop_idx:
+        loop = get_backend("loop")
+        loop_results = loop.simulate_many(
+            system,
+            costs,
+            [resolved[i] for i in loop_idx],
+            n_slices,
+            streams[1:],
+            initial_state=initial_state,
+            n_replications=n_replications,
+        )
+        for slot, replications in zip(loop_idx, loop_results):
+            results[slot] = replications
+    return results  # type: ignore[return-value]
 
-    averages = {
-        name: float(totals[i]) / n_slices for i, name in enumerate(metric_names)
-    }
-    return SimulationResult(
-        n_slices=n_slices,
-        averages=averages,
-        totals={name: float(totals[i]) for i, name in enumerate(metric_names)},
-        arrivals=total_arrivals,
-        serviced=total_serviced,
-        lost=total_lost,
-        loss_event_slices=loss_event_slices,
-        command_counts=command_counts,
-        provider_occupancy=provider_occupancy,
-        final_state=(s, r, q),
-    )
+
+def simulate_replications(
+    system: PowerManagedSystem,
+    costs: CostModel,
+    agent: PolicyAgent | MarkovPolicy,
+    n_slices: int,
+    n_replications: int,
+    rng: np.random.Generator | int | None = None,
+    *,
+    initial_state=None,
+    backend: str = "auto",
+) -> list[SimulationResult]:
+    """Independent replications of one agent (batched when possible)."""
+    return simulate_many(
+        system,
+        costs,
+        [agent],
+        n_slices,
+        rng,
+        n_replications=n_replications,
+        initial_state=initial_state,
+        backend=backend,
+    )[0]
 
 
 def simulate_sessions(
@@ -210,6 +258,7 @@ def simulate_sessions(
     rng: np.random.Generator,
     initial_state=None,
     max_session_slices: int | None = None,
+    backend: str = "auto",
 ) -> dict[str, SampleStats]:
     """Estimate *discounted* totals by simulating geometric sessions.
 
@@ -220,6 +269,11 @@ def simulate_sessions(
     sample of each metric's session total; the returned statistics
     estimate the LP's discounted objective values.
 
+    For stationary Markov policies ``backend="auto"`` packs all the
+    sessions into the batch dimension of the vector backend (lengths
+    drawn up front, finished sessions compacted away); heuristics run
+    session by session through the loop.
+
     Parameters
     ----------
     gamma:
@@ -229,6 +283,8 @@ def simulate_sessions(
     max_session_slices:
         Optional cap on a single session's length (guards runaway
         budgets when ``gamma`` is very close to one).
+    backend:
+        ``"auto"``, ``"loop"``, or ``"vector"``.
     """
     gamma = check_probability(gamma, "gamma")
     if not 0.0 < gamma < 1.0:
@@ -237,15 +293,14 @@ def simulate_sessions(
     if n_sessions <= 0:
         raise ValidationError(f"n_sessions must be > 0, got {n_sessions}")
 
-    samples: dict[str, list[float]] = {name: [] for name in costs.metric_names}
-    for _ in range(n_sessions):
-        length = int(rng.geometric(1.0 - gamma))
-        if max_session_slices is not None:
-            length = min(length, int(max_session_slices))
-        length = max(length, 1)
-        result = simulate(system, costs, agent, length, rng, initial_state)
-        for name in samples:
-            samples[name].append(result.totals[name])
-    return {
-        name: SampleStats.from_samples(values) for name, values in samples.items()
-    }
+    chosen = resolve_backend(backend, agent, batch_size=n_sessions)
+    return chosen.simulate_sessions(
+        system,
+        costs,
+        agent,
+        gamma,
+        n_sessions,
+        rng,
+        initial_state=initial_state,
+        max_session_slices=max_session_slices,
+    )

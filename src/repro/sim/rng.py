@@ -1,8 +1,22 @@
-"""Random-number-generator management for reproducible simulations.
+"""Random-number management and categorical sampling for simulations.
 
 All stochastic code in :mod:`repro` takes an explicit
-:class:`numpy.random.Generator`; these helpers centralize construction
-so experiments are reproducible end to end from a single seed.
+:class:`numpy.random.Generator`; the ``make_rng``/``spawn_rngs`` helpers
+centralize construction so experiments are reproducible end to end from
+a single seed.
+
+The module also owns the shared categorical-sampling semantics: a
+distribution is compiled once into a normalized cumulative row
+(:func:`categorical_cumsum`) and sampled with inverse-CDF lookups — one
+uniform per draw, ``side="right"`` (the first index whose cumulative
+mass strictly exceeds the uniform).  This is the same scheme
+:meth:`numpy.random.Generator.choice` uses internally, so a scalar draw
+consumes exactly one ``rng.random()`` and is stream- and
+value-compatible with ``choice``.  :func:`sample_categorical` is the
+loop backend's (and StationaryPolicyAgent's) sampler;
+:func:`sample_categorical_batch` is the *reference* batched form whose
+semantics the vector backend's fused offset-cumsum ``searchsorted``
+sampling must reproduce — the equivalence suite cross-checks the two.
 """
 
 from __future__ import annotations
@@ -25,3 +39,81 @@ def spawn_rngs(seed: int | None, count: int) -> list[np.random.Generator]:
         raise ValueError(f"count must be >= 0, got {count}")
     sequence = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in sequence.spawn(int(count))]
+
+
+def child_rngs(
+    rng: np.random.Generator | int | None, count: int
+) -> list[np.random.Generator]:
+    """``count`` independent generators derived from ``rng``.
+
+    Accepts either a seed (``int`` or ``None``, forwarded to
+    :func:`spawn_rngs`) or an existing generator, whose stream is used to
+    draw one child seed per generator.  Batch simulation helpers use
+    this so each agent/replication gets its own stream regardless of how
+    the caller specified randomness.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if rng is None or isinstance(rng, (int, np.integer)):
+        return spawn_rngs(None if rng is None else int(rng), count)
+    seeds = rng.integers(0, np.iinfo(np.int64).max, size=int(count))
+    return [np.random.default_rng(int(seed)) for seed in seeds]
+
+
+def categorical_cumsum(probabilities: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Compile distributions into normalized cumulative rows.
+
+    The cumulative sum along ``axis`` is divided by its final entry so
+    the last value is exactly 1.0 — without this, floating-point dust in
+    the row sum could make the final state unreachable (or reachable
+    with the wrong mass) at the very top of the unit interval.
+    """
+    arr = np.asarray(probabilities, dtype=float)
+    cum = np.cumsum(arr, axis=axis)
+    last = np.take(cum, [-1], axis=axis)
+    if not np.all(last > 0):
+        raise ValueError("each distribution must have positive total mass")
+    return cum / last
+
+
+def sample_categorical(cumsum: np.ndarray, rng: np.random.Generator) -> int:
+    """Draw one category index from a compiled cumulative row.
+
+    Consumes exactly one uniform; ``side="right"`` makes zero-probability
+    leading categories unreachable even for a draw of exactly 0.0.
+    """
+    index = int(np.searchsorted(cumsum, rng.random(), side="right"))
+    if index >= cumsum.shape[-1]:  # u landed beyond the last entry
+        index = cumsum.shape[-1] - 1
+    return index
+
+
+def sample_categorical_batch(
+    cumsum_rows: np.ndarray, uniforms: np.ndarray
+) -> np.ndarray:
+    """Vectorized inverse-CDF draw: one row and one uniform per lane.
+
+    This is the reference implementation of the batched ``side="right"``
+    semantics; the vector backend's hot loop samples equivalently (but
+    faster) via offset cumsums and a single ``searchsorted`` — see
+    :mod:`repro.sim.backends.vector`.
+
+    Parameters
+    ----------
+    cumsum_rows:
+        ``(n_lanes, n_categories)`` compiled cumulative rows.
+    uniforms:
+        ``(n_lanes,)`` uniforms in ``[0, 1)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_lanes,)`` int64 category indices with the same
+        ``side="right"`` semantics as :func:`sample_categorical`.
+    """
+    # Counting entries <= u is exactly searchsorted(..., side="right")
+    # applied row-wise; category counts here are small (system
+    # components), so the dense comparison beats per-row searchsorted.
+    indices = np.sum(cumsum_rows <= uniforms[:, None], axis=1, dtype=np.int64)
+    np.clip(indices, 0, cumsum_rows.shape[1] - 1, out=indices)
+    return indices

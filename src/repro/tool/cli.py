@@ -5,8 +5,11 @@ Subcommands:
 * ``optimize SPEC.json [--trace TRACE.txt]`` — run the Fig. 7 pipeline
   on a system spec (extracting the workload model from the trace when
   one is given) and print the optimal policy and verification summary;
+  ``--backend {auto,loop,vector}`` picks the simulation backend and
+  ``--lp-backend`` the LP solver;
 * ``pareto SPEC.json --constraint penalty --bounds 0.1,0.2,0.5`` —
-  sweep a constraint and print the trade-off curve;
+  sweep a constraint and print the trade-off curve; ``--simulate N``
+  verifies every feasible point with one batched simulation run;
 * ``experiment ID [--full]`` — regenerate a paper table/figure
   (``repro-dpm experiment list`` shows the registry);
 * ``extract TRACE.txt --resolution 0.001 --memory 2`` — run just the
@@ -21,8 +24,9 @@ import sys
 import numpy as np
 
 from repro.core.optimizer import PolicyOptimizer
-from repro.core.pareto import trade_off_curve
+from repro.core.pareto import simulate_curve, trade_off_curve
 from repro.experiments import available_experiments, run_experiment
+from repro.sim.backends import BACKEND_CHOICES
 from repro.sim.rng import make_rng
 from repro.tool.pipeline import run_pipeline
 from repro.tool.spec import load_spec
@@ -51,7 +55,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-verify", action="store_true", help="skip simulation verification"
     )
     p_opt.add_argument(
-        "--backend", default="scipy", help="LP backend (scipy/interior-point/simplex)"
+        "--lp-backend",
+        default="scipy",
+        help="LP backend (scipy/interior-point/simplex)",
+    )
+    p_opt.add_argument(
+        "--backend",
+        default="auto",
+        choices=BACKEND_CHOICES,
+        help="simulation backend for verification (default: auto)",
     )
     p_opt.add_argument(
         "--average",
@@ -76,6 +88,21 @@ def _build_parser() -> argparse.ArgumentParser:
     p_pareto.add_argument(
         "--objective", default="power", help="metric to minimize (default: power)"
     )
+    p_pareto.add_argument(
+        "--simulate",
+        type=int,
+        default=0,
+        metavar="SLICES",
+        help="verify each feasible point by simulating its policy for "
+        "SLICES slices (batched; 0 disables)",
+    )
+    p_pareto.add_argument(
+        "--backend",
+        default="auto",
+        choices=BACKEND_CHOICES,
+        help="simulation backend for --simulate (default: auto)",
+    )
+    p_pareto.add_argument("--seed", type=int, default=0)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument(
@@ -106,8 +133,9 @@ def _cmd_optimize(args) -> int:
         trace=trace,
         memory=args.memory,
         rng=rng,
-        backend=args.backend,
+        backend=args.lp_backend,
         formulation="average" if args.average else "discounted",
+        sim_backend=args.backend,
     )
     print(report.summary())
     if not report.optimization.feasible:
@@ -138,17 +166,33 @@ def _cmd_pareto(args) -> int:
     curve = trade_off_curve(
         optimizer, bounds, objective=args.objective, constraint=args.constraint
     )
-    rows = [
-        (
+    simulated: list = [None] * len(curve.points)
+    headers = [f"{args.constraint}_bound", f"min_{args.objective}", "feasible"]
+    if args.simulate > 0:
+        simulated = simulate_curve(
+            curve,
+            system,
+            costs,
+            args.simulate,
+            args.seed,
+            backend=args.backend,
+        )
+        headers.append(f"sim_{args.objective}")
+    rows = []
+    for point, sims in zip(curve.points, simulated):
+        row = [
             point.bound,
             point.objective if point.feasible else float("nan"),
             "yes" if point.feasible else "no",
-        )
-        for point in curve.points
-    ]
+        ]
+        if args.simulate > 0:
+            row.append(
+                sims[0].averages[args.objective] if sims else float("nan")
+            )
+        rows.append(tuple(row))
     print(
         format_table(
-            [f"{args.constraint}_bound", f"min_{args.objective}", "feasible"],
+            headers,
             rows,
             title=f"trade-off curve for {spec.name}",
         )

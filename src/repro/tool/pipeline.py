@@ -155,6 +155,7 @@ def run_pipeline(
     backend: str = "scipy",
     cross_check: bool = False,
     formulation: str = "discounted",
+    sim_backend: str = "auto",
 ) -> PipelineReport:
     """Run the full Fig. 7 flow.
 
@@ -177,6 +178,10 @@ def run_pipeline(
         LP backend options (see :func:`repro.lp.solve_lp`).
     formulation:
         ``"discounted"`` (paper Eq. 9) or ``"average"`` (paper Eq. 7).
+    sim_backend:
+        Simulation backend for the Markov verification run
+        (``"auto"``, ``"loop"`` or ``"vector"``, see
+        :mod:`repro.sim.backends`).
     """
     sr_model = None
     requester = spec.requester
@@ -226,7 +231,7 @@ def run_pipeline(
 
     agent = StationaryPolicyAgent(system, result.policy)
     report.markov_simulation = simulate(
-        system, costs, agent, int(verify_slices), rng
+        system, costs, agent, int(verify_slices), rng, backend=sim_backend
     )
     if trace is not None:
         report.trace_simulation = simulate_trace(

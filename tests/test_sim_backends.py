@@ -1,0 +1,559 @@
+"""Backend equivalence suite: loop vs vector vs the seed engine.
+
+Three layers of guarantees:
+
+1. **Golden byte-for-byte**: the loop path must reproduce the exact
+   pre-refactor engine output for fixed seeds (hex-encoded floats
+   captured from the seed revision) — heuristic agents, stationary
+   agents, randomized policies, and session mode.
+2. **Common random numbers**: on an always-issuing workload with a
+   fully randomized policy, the loop and vector backends consume
+   uniforms in the same order, so a single-lane vector run reproduces
+   the loop trajectory *exactly* (counters, commands, occupancy, final
+   state; averages to float-summation-order precision).
+3. **Statistical**: batched vector replications agree with the
+   closed-form policy evaluation and with loop replications within
+   Monte-Carlo tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.components import ServiceProvider, ServiceQueue, ServiceRequester
+from repro.core.costs import PENALTY, POWER, CostModel
+from repro.core.pareto import simulate_curve, trade_off_curve
+from repro.core.policy import MarkovPolicy, evaluate_policy
+from repro.core.system import PowerManagedSystem
+from repro.markov.chain import MarkovChain
+from repro.policies import (
+    ConstantAgent,
+    StationaryAgent,
+    StationaryPolicyAgent,
+    TimeoutAgent,
+)
+from repro.policies.markov_conversion import eager_markov_policy
+from repro.sim import (
+    LoopBackend,
+    VectorBackend,
+    get_backend,
+    make_rng,
+    resolve_backend,
+    simulate,
+    simulate_many,
+    simulate_replications,
+    simulate_sessions,
+)
+from repro.systems import disk_drive, example_system
+from repro.util.validation import ValidationError
+
+
+def _hex(values: dict) -> dict:
+    return {name: float.fromhex(h) for name, h in values.items()}
+
+
+class TestGoldenLoopPath:
+    """The default/loop path reproduces the seed engine bit for bit."""
+
+    def test_disk_eager_stationary(self):
+        bundle = disk_drive.build()
+        policy = eager_markov_policy(bundle.system, "go_active", "go_idle")
+        agent = StationaryPolicyAgent(bundle.system, policy)
+        result = simulate(
+            bundle.system,
+            bundle.costs,
+            agent,
+            20_000,
+            make_rng(0),
+            initial_state=("active", "0", 0),
+        )
+        assert result.averages == _hex(
+            {
+                "loss": "0x1.0cb295e9e1b09p-9",
+                "overflow": "0x1.82ee068351d96p-12",
+                "penalty": "0x1.30be0ded288cep-8",
+                "power": "0x1.00ff972474539p+0",
+            }
+        )
+        assert (
+            result.arrivals,
+            result.serviced,
+            result.lost,
+            result.loss_event_slices,
+        ) == (45, 35, 10, 41)
+        assert result.command_counts.tolist() == [51, 19949, 0, 0, 0]
+        assert result.final_state == (1, 0, 0)
+
+    def test_example_randomized_policy(self):
+        bundle = example_system.build()
+        rows = np.tile([[0.3, 0.7]], (8, 1))
+        rows[::2] = [0.6, 0.4]
+        policy = MarkovPolicy(rows, ("s_on", "s_off"))
+        agent = StationaryPolicyAgent(bundle.system, policy)
+        result = simulate(
+            bundle.system,
+            bundle.costs,
+            agent,
+            5_000,
+            make_rng(123),
+            initial_state=("on", "0", 0),
+        )
+        assert result.averages == _hex(
+            {
+                "loss": "0x1.d77318fc50481p-3",
+                "overflow": "0x1.c9c4da9003d79p-3",
+                "penalty": "0x1.bd3c36113404fp-1",
+                "power": "0x1.7e00d1b71758ep+0",
+            }
+        )
+        assert (
+            result.arrivals,
+            result.serviced,
+            result.lost,
+            result.loss_event_slices,
+        ) == (1159, 64, 1094, 1151)
+        assert result.command_counts.tolist() == [1717, 3283]
+        assert result.provider_occupancy.tolist() == [347, 4653]
+        assert result.final_state == (1, 0, 1)
+
+    def test_example_constant_agent(self):
+        bundle = example_system.build()
+        result = simulate(
+            bundle.system, bundle.costs, ConstantAgent(0), 2_000, make_rng(9)
+        )
+        assert result.averages == _hex(
+            {
+                "loss": "0x1.46a7ef9db22d1p-3",
+                "overflow": "0x1.bce8533b107aap-6",
+                "penalty": "0x1.4ed916872b021p-3",
+                "power": "0x1.8000000000000p+1",
+            }
+        )
+        assert result.final_state == (0, 1, 1)
+
+    def test_disk_timeout_heuristic(self):
+        bundle = disk_drive.build()
+        agent = TimeoutAgent(
+            50,
+            bundle.metadata["active_command"],
+            bundle.metadata["sleep_commands"]["standby"],
+        )
+        result = simulate(
+            bundle.system,
+            bundle.costs,
+            agent,
+            5_000,
+            make_rng(5),
+            initial_state=("active", "0", 0),
+        )
+        assert result.averages == _hex(
+            {
+                "loss": "0x1.0624dd2f1a9fcp-7",
+                "overflow": "0x1.de4a22b8e78b4p-8",
+                "penalty": "0x1.a305532617c1cp-2",
+                "power": "0x1.977d955714f12p-1",
+            }
+        )
+        assert result.command_counts.tolist() == [1124, 0, 0, 3876, 0]
+        assert result.final_state == (6, 0, 0)
+
+    def test_sessions_loop_golden(self):
+        bundle = example_system.build()
+        stats = simulate_sessions(
+            bundle.system,
+            bundle.costs,
+            ConstantAgent(0),
+            0.99,
+            50,
+            make_rng(11),
+            initial_state=("on", "0", 0),
+            backend="loop",
+        )
+        assert stats[POWER].count == 50
+        assert stats[POWER].mean == float.fromhex("0x1.edccccccccccdp+7")
+        assert stats[POWER].std == float.fromhex("0x1.360a446386265p+8")
+        assert stats[PENALTY].mean == float.fromhex("0x1.b851eb851eb85p+3")
+
+
+def _crn_system():
+    """Always-issuing workload: every slice has pending work, so the
+    loop draws its service uniform every slice and the vector backend's
+    fixed draw schedule (policy, SP, SR, service) aligns with it."""
+    provider = ServiceProvider.from_tables(
+        states=["on", "off"],
+        commands=["s_on", "s_off"],
+        transitions={
+            "s_on": [[1.0, 0.0], [0.4, 0.6]],
+            "s_off": [[0.3, 0.7], [0.0, 1.0]],
+        },
+        service_rates=[[0.7, 0.1], [0.05, 0.0]],
+        power=[[3.0, 4.0], [4.0, 0.5]],
+    )
+    requester = ServiceRequester(
+        MarkovChain([[0.8, 0.2], [0.3, 0.7]], ["lo", "hi"]), arrivals=[1, 2]
+    )
+    system = PowerManagedSystem(provider, requester, ServiceQueue(3))
+    return system, CostModel.standard(system)
+
+
+def _randomized_policy(system, seed=0):
+    rows = np.random.default_rng(seed).uniform(
+        0.1, 0.9, size=(system.n_states, system.n_commands)
+    )
+    rows /= rows.sum(axis=1, keepdims=True)
+    return MarkovPolicy(rows, ("s_on", "s_off"))
+
+
+class TestCommonRandomNumbers:
+    """Exact-distribution check: identical uniforms, identical paths."""
+
+    @pytest.mark.parametrize("seed", [21, 99, 1234])
+    def test_single_lane_trajectories_coincide(self, seed):
+        system, costs = _crn_system()
+        agent = StationaryPolicyAgent(system, _randomized_policy(system))
+        kwargs = dict(initial_state=("on", "lo", 0))
+        a = simulate(
+            system, costs, agent, 4_000, make_rng(seed), backend="loop", **kwargs
+        )
+        b = simulate(
+            system, costs, agent, 4_000, make_rng(seed), backend="vector", **kwargs
+        )
+        assert a.final_state == b.final_state
+        assert (a.arrivals, a.serviced, a.lost, a.loss_event_slices) == (
+            b.arrivals,
+            b.serviced,
+            b.lost,
+            b.loss_event_slices,
+        )
+        assert a.command_counts.tolist() == b.command_counts.tolist()
+        assert a.provider_occupancy.tolist() == b.provider_occupancy.tolist()
+        for metric in a.averages:
+            # Totals accumulate in different float orders (per-slice vs
+            # per-chunk); the trajectories themselves are identical.
+            assert a.averages[metric] == pytest.approx(
+                b.averages[metric], rel=1e-12, abs=1e-12
+            )
+
+    def test_deterministic_policy_trajectories_coincide(self):
+        # With a fully deterministic policy neither backend consumes a
+        # policy uniform, so alignment holds there too.
+        system, costs = _crn_system()
+        policy = MarkovPolicy.constant(0, system.n_states, 2, ("s_on", "s_off"))
+        agent = StationaryPolicyAgent(system, policy)
+        a = simulate(
+            system, costs, agent, 3_000, make_rng(8), backend="loop",
+            initial_state=("on", "lo", 0),
+        )
+        b = simulate(
+            system, costs, agent, 3_000, make_rng(8), backend="vector",
+            initial_state=("on", "lo", 0),
+        )
+        assert a.final_state == b.final_state
+        assert a.command_counts.tolist() == b.command_counts.tolist()
+        assert (a.arrivals, a.serviced, a.lost) == (
+            b.arrivals,
+            b.serviced,
+            b.lost,
+        )
+
+
+class TestStatisticalEquivalence:
+    """Batched vector runs agree with the closed-form evaluation."""
+
+    def test_vector_matches_analytic_disk(self):
+        bundle = disk_drive.build()
+        policy = eager_markov_policy(bundle.system, "go_active", "go_idle")
+        agent = StationaryPolicyAgent(bundle.system, policy)
+        results = simulate_replications(
+            bundle.system,
+            bundle.costs,
+            agent,
+            40_000,
+            16,
+            rng=3,
+            initial_state=("active", "0", 0),
+            backend="vector",
+        )
+        analytic = evaluate_policy(
+            bundle.system,
+            bundle.costs,
+            policy,
+            bundle.gamma,
+            bundle.initial_distribution,
+        )
+        assert len(results) == 16
+        mean_power = np.mean([r.averages[POWER] for r in results])
+        assert mean_power == pytest.approx(
+            analytic.averages[POWER], rel=0.02, abs=0.01
+        )
+
+    def test_loop_and_vector_replication_means_agree(self):
+        bundle = example_system.build()
+        policy = _randomized_policy(bundle.system, seed=5)
+        agent = StationaryPolicyAgent(bundle.system, policy)
+        common = dict(initial_state=("on", "0", 0))
+        loop_runs = simulate_replications(
+            bundle.system, bundle.costs, agent, 15_000, 8, rng=1,
+            backend="loop", **common,
+        )
+        vector_runs = simulate_replications(
+            bundle.system, bundle.costs, agent, 15_000, 8, rng=2,
+            backend="vector", **common,
+        )
+        for metric in (POWER, PENALTY):
+            loop_mean = np.mean([r.averages[metric] for r in loop_runs])
+            vec_mean = np.mean([r.averages[metric] for r in vector_runs])
+            assert loop_mean == pytest.approx(vec_mean, rel=0.08, abs=0.05)
+
+    def test_vector_loss_occupancy_consistency(self):
+        # Physical counters stay internally consistent lane by lane.
+        bundle = example_system.build()
+        policy = MarkovPolicy.constant(1, 8, 2, ("s_on", "s_off"))
+        results = simulate_replications(
+            bundle.system, bundle.costs, policy, 10_000, 12, rng=7,
+            initial_state=("on", "0", 0), backend="vector",
+        )
+        capacity = bundle.system.queue.capacity
+        for r in results:
+            assert r.command_counts.sum() == r.n_slices
+            assert r.provider_occupancy.sum() == r.n_slices
+            assert r.serviced + r.lost <= r.arrivals
+            assert r.arrivals - r.serviced - r.lost <= capacity
+            assert r.averages["loss"] == pytest.approx(
+                r.loss_event_slices / r.n_slices, abs=1e-9
+            )
+
+    def test_vector_sessions_estimate_discounted_totals(self):
+        bundle = example_system.build()
+        gamma = 0.99
+        policy = MarkovPolicy.constant(0, 8, 2, ("s_on", "s_off"))
+        analytic = evaluate_policy(
+            bundle.system,
+            bundle.costs,
+            policy,
+            gamma,
+            bundle.initial_distribution,
+        )
+        agent = StationaryPolicyAgent(bundle.system, policy)
+        stats = simulate_sessions(
+            bundle.system,
+            bundle.costs,
+            agent,
+            gamma,
+            600,
+            make_rng(11),
+            initial_state=("on", "0", 0),
+            backend="vector",
+        )
+        assert stats[POWER].count == 600
+        assert stats[POWER].agrees_with(analytic.totals[POWER], confidence=0.999)
+
+
+class TestDispatch:
+    def test_auto_single_run_is_loop(self):
+        system, _ = _crn_system()
+        agent = StationaryPolicyAgent(system, _randomized_policy(system))
+        assert resolve_backend("auto", agent, batch_size=1).name == "loop"
+
+    def test_auto_batched_stationary_is_vector(self):
+        system, _ = _crn_system()
+        agent = StationaryPolicyAgent(system, _randomized_policy(system))
+        assert resolve_backend("auto", agent, batch_size=32).name == "vector"
+        assert resolve_backend("auto", ConstantAgent(0), batch_size=8).name == (
+            "vector"
+        )
+
+    def test_auto_batched_heuristic_is_loop(self):
+        agent = TimeoutAgent(5, 0, 1)
+        assert resolve_backend("auto", agent, batch_size=32).name == "loop"
+        assert not isinstance(agent, StationaryAgent)
+
+    def test_vector_rejects_heuristic(self):
+        bundle = example_system.build()
+        with pytest.raises(ValidationError, match="vector"):
+            simulate(
+                bundle.system,
+                bundle.costs,
+                TimeoutAgent(5, 0, 1),
+                100,
+                make_rng(0),
+                backend="vector",
+            )
+
+    def test_unknown_backend_rejected(self):
+        bundle = example_system.build()
+        with pytest.raises(ValidationError, match="unknown simulation backend"):
+            simulate(
+                bundle.system,
+                bundle.costs,
+                ConstantAgent(0),
+                100,
+                make_rng(0),
+                backend="warp",
+            )
+
+    def test_registry(self):
+        assert isinstance(get_backend("loop"), LoopBackend)
+        assert isinstance(get_backend("vector"), VectorBackend)
+
+    def test_vector_backend_requires_matching_policy_shape(self):
+        bundle = example_system.build()
+        other = disk_drive.build()
+        agent = StationaryPolicyAgent(
+            other.system,
+            MarkovPolicy.constant(
+                0, other.system.n_states, other.system.n_commands
+            ),
+        )
+        with pytest.raises(ValidationError, match="does not match system"):
+            simulate(
+                bundle.system,
+                bundle.costs,
+                agent,
+                100,
+                make_rng(0),
+                backend="vector",
+            )
+
+
+class TestSimulateMany:
+    def test_shapes_and_order(self):
+        bundle = example_system.build()
+        policies = [
+            MarkovPolicy.constant(0, 8, 2, ("s_on", "s_off")),
+            MarkovPolicy.constant(1, 8, 2, ("s_on", "s_off")),
+        ]
+        results = simulate_many(
+            bundle.system,
+            bundle.costs,
+            policies,
+            2_000,
+            0,
+            n_replications=3,
+            initial_state=("on", "0", 0),
+        )
+        assert len(results) == 2
+        assert all(len(reps) == 3 for reps in results)
+        # Policy order is preserved: constant-on burns 3 W every slice.
+        assert results[0][0].averages[POWER] == pytest.approx(3.0)
+        assert results[1][0].averages[POWER] < 3.0
+
+    def test_mixed_agents_grouped_by_backend(self):
+        bundle = example_system.build()
+        agents = [
+            TimeoutAgent(3, 0, 1),
+            ConstantAgent(0),
+            MarkovPolicy.constant(1, 8, 2, ("s_on", "s_off")),
+        ]
+        results = simulate_many(
+            bundle.system, bundle.costs, agents, 1_500, 4,
+            initial_state=("on", "0", 0),
+        )
+        assert len(results) == 3
+        for reps in results:
+            assert len(reps) == 1
+            assert reps[0].n_slices == 1_500
+
+    def test_reproducible_from_seed(self):
+        bundle = example_system.build()
+        agents = [TimeoutAgent(3, 0, 1), ConstantAgent(0)]
+
+        def run():
+            return simulate_many(
+                bundle.system, bundle.costs, agents, 1_000, 42,
+                n_replications=2, initial_state=("on", "0", 0),
+            )
+
+        a, b = run(), run()
+        for reps_a, reps_b in zip(a, b):
+            for ra, rb in zip(reps_a, reps_b):
+                assert ra.averages == rb.averages
+                assert ra.final_state == rb.final_state
+
+    def test_empty_agent_list(self):
+        bundle = example_system.build()
+        assert simulate_many(bundle.system, bundle.costs, [], 100, 0) == []
+
+    def test_auto_single_lane_uses_loop(self):
+        # One stationary agent x one replication is not a batch: auto
+        # must fall back to the loop, consistent with simulate().
+        bundle = example_system.build()
+        policy = MarkovPolicy.constant(0, 8, 2, ("s_on", "s_off"))
+        auto = simulate_many(
+            bundle.system, bundle.costs, [policy], 2_000, 42,
+            initial_state=("on", "0", 0),
+        )
+        loop = simulate_many(
+            bundle.system, bundle.costs, [policy], 2_000, 42,
+            initial_state=("on", "0", 0), backend="loop",
+        )
+        assert auto[0][0].averages == loop[0][0].averages
+        assert auto[0][0].final_state == loop[0][0].final_state
+
+    def test_rejects_bad_replications(self):
+        bundle = example_system.build()
+        with pytest.raises(ValidationError, match="n_replications"):
+            simulate_many(
+                bundle.system, bundle.costs, [ConstantAgent(0)], 100, 0,
+                n_replications=0,
+            )
+
+    def test_rejects_non_agent(self):
+        bundle = example_system.build()
+        with pytest.raises(ValidationError, match="PolicyAgent or MarkovPolicy"):
+            simulate_many(bundle.system, bundle.costs, ["nope"], 100, 0)
+
+
+class TestSimulateCurve:
+    def test_alignment_and_agreement(self, example_optimizer, example_bundle):
+        curve = trade_off_curve(
+            example_optimizer, [0.05, 0.3, 0.8], objective=POWER,
+            constraint=PENALTY,
+        )
+        sims = simulate_curve(
+            curve,
+            example_bundle.system,
+            example_bundle.costs,
+            60_000,
+            0,
+            initial_state=("on", "0", 0),
+        )
+        assert len(sims) == len(curve.points)
+        for point, reps in zip(curve.points, sims):
+            if not point.feasible:
+                assert reps is None
+                continue
+            assert len(reps) == 1
+            assert reps[0].averages[POWER] == pytest.approx(
+                point.objective, rel=0.08, abs=0.04
+            )
+
+
+class TestSessionDispatch:
+    def test_session_length_cap_vector(self, example_bundle):
+        stats = simulate_sessions(
+            example_bundle.system,
+            example_bundle.costs,
+            ConstantAgent(0),
+            0.999,
+            20,
+            make_rng(3),
+            max_session_slices=50,
+        )
+        # Power per slice is at most 4 W; capped sessions bound totals.
+        assert stats[POWER].mean <= 4.0 * 50
+
+    def test_loop_and_vector_sessions_agree_statistically(self, example_bundle):
+        gamma = 0.97
+        agent = ConstantAgent(0)
+        kwargs = dict(initial_state=("on", "0", 0))
+        loop_stats = simulate_sessions(
+            example_bundle.system, example_bundle.costs, agent, gamma, 400,
+            make_rng(1), backend="loop", **kwargs,
+        )
+        vec_stats = simulate_sessions(
+            example_bundle.system, example_bundle.costs, agent, gamma, 400,
+            make_rng(2), backend="vector", **kwargs,
+        )
+        assert loop_stats[POWER].mean == pytest.approx(
+            vec_stats[POWER].mean, rel=0.15
+        )

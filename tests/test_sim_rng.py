@@ -1,0 +1,119 @@
+"""Tests for RNG management and the shared categorical sampler."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import (
+    categorical_cumsum,
+    child_rngs,
+    make_rng,
+    sample_categorical,
+    sample_categorical_batch,
+)
+
+
+class TestCategoricalCumsum:
+    def test_rows_end_exactly_at_one(self):
+        p = np.array([[0.1, 0.2, 0.7], [0.25, 0.25, 0.5]])
+        cum = categorical_cumsum(p, axis=1)
+        assert np.all(cum[:, -1] == 1.0)
+        assert np.all(np.diff(cum, axis=1) >= 0)
+
+    def test_normalizes_float_dust(self):
+        # A row summing to 1 - 1e-16 still compiles to a final entry of
+        # exactly 1.0, keeping the last category reachable.
+        p = np.array([0.1, 0.9 - 1e-16])
+        cum = categorical_cumsum(p)
+        assert cum[-1] == 1.0
+
+    def test_tensor_axis(self):
+        p = np.full((2, 3, 4), 0.25)
+        cum = categorical_cumsum(p, axis=2)
+        assert cum.shape == (2, 3, 4)
+        assert np.all(cum[..., -1] == 1.0)
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValueError, match="positive total mass"):
+            categorical_cumsum(np.zeros(3))
+
+
+class TestScalarSampler:
+    def test_matches_generator_choice_stream(self):
+        """One draw consumes one uniform with ``choice``'s semantics, so
+        the sequences coincide for the same seed."""
+        p = np.array([0.2, 0.5, 0.3])
+        cum = categorical_cumsum(p)
+        rng_a, rng_b = make_rng(7), make_rng(7)
+        ours = [sample_categorical(cum, rng_a) for _ in range(200)]
+        theirs = [int(rng_b.choice(3, p=p)) for _ in range(200)]
+        assert ours == theirs
+
+    def test_zero_probability_leading_category_unreachable(self):
+        # side="right": even u == 0.0 cannot select a zero-mass leading
+        # category.
+        cum = categorical_cumsum(np.array([0.0, 1.0]))
+
+        class ZeroRng:
+            @staticmethod
+            def random():
+                return 0.0
+
+        assert sample_categorical(cum, ZeroRng()) == 1
+
+    def test_distribution(self):
+        p = np.array([0.6, 0.1, 0.3])
+        cum = categorical_cumsum(p)
+        rng = make_rng(3)
+        draws = np.array([sample_categorical(cum, rng) for _ in range(20_000)])
+        freq = np.bincount(draws, minlength=3) / draws.size
+        assert np.allclose(freq, p, atol=0.02)
+
+
+class TestBatchSampler:
+    def test_matches_scalar_sampler(self):
+        rng = make_rng(11)
+        rows_p = rng.dirichlet(np.ones(5), size=64)
+        cum = categorical_cumsum(rows_p, axis=1)
+        u = rng.random(64)
+        batch = sample_categorical_batch(cum, u)
+        scalar = np.array(
+            [
+                int(np.searchsorted(cum[i], u[i], side="right"))
+                for i in range(64)
+            ]
+        )
+        assert np.array_equal(batch, scalar)
+
+    def test_boundary_uniform_clipped(self):
+        cum = np.array([[0.5, 1.0]])
+        assert sample_categorical_batch(cum, np.array([0.999999]))[0] == 1
+        # A degenerate u >= 1 (never produced by Generator.random) is
+        # clipped to the last category instead of overflowing.
+        assert sample_categorical_batch(cum, np.array([1.0]))[0] == 1
+
+    def test_deterministic_rows(self):
+        cum = categorical_cumsum(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        u = np.array([0.4, 0.4])
+        assert sample_categorical_batch(cum, u).tolist() == [0, 1]
+
+
+class TestChildRngs:
+    def test_from_seed_reproducible(self):
+        a = child_rngs(5, 3)
+        b = child_rngs(5, 3)
+        for x, y in zip(a, b):
+            assert x.random() == y.random()
+
+    def test_from_generator_reproducible(self):
+        a = child_rngs(make_rng(9), 4)
+        b = child_rngs(make_rng(9), 4)
+        for x, y in zip(a, b):
+            assert x.random() == y.random()
+
+    def test_children_independent(self):
+        a, b = child_rngs(0, 2)
+        assert a.random() != b.random()
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            child_rngs(0, -1)
