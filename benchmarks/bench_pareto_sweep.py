@@ -1,0 +1,246 @@
+"""Cold-loop vs incremental Pareto sweep throughput (solves/second).
+
+The sweep engine's acceptance benchmark: a 32-point disk-drive penalty
+sweep (with an infeasible prefix and a few duplicate bounds, the shape
+real figure sweeps have) must run **>= 3x** faster end-to-end through
+:class:`~repro.core.pareto_sweep.ParetoSweepSolver` — warm-started
+re-solves + bound dedupe + feasibility bracketing on the simplex
+backend — than the seed's cold per-bound loop, and the two curves must
+agree to 1e-8 on every feasible objective.
+
+Run under pytest-benchmark::
+
+    pytest benchmarks/bench_pareto_sweep.py -o python_files='bench_*.py' \
+        -o python_functions='bench_*' --benchmark-only
+
+or standalone (emits one JSON document on stdout)::
+
+    PYTHONPATH=src python benchmarks/bench_pareto_sweep.py [--quick]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.core.costs import PENALTY, POWER
+from repro.core.optimizer import PolicyOptimizer
+from repro.core.pareto import min_achievable
+from repro.core.pareto_sweep import ParetoSweepSolver
+from repro.systems import disk_drive, example_system
+
+#: Headline acceptance target: incremental >= 3x the cold loop.
+SPEEDUP_TARGET = 3.0
+#: Curve agreement tolerance between cold and incremental sweeps.
+OBJECTIVE_TOL = 1e-8
+#: Headline sweep size (disk-drive case study).
+N_POINTS = 32
+
+
+def _optimizer(bundle, backend: str = "simplex") -> PolicyOptimizer:
+    return PolicyOptimizer(
+        bundle.system,
+        bundle.costs,
+        gamma=bundle.gamma,
+        initial_distribution=bundle.initial_distribution,
+        backend=backend,
+    )
+
+
+def sweep_bounds(optimizer, n_points: int = N_POINTS) -> list[float]:
+    """A realistic figure-sweep bound grid for ``optimizer``'s system.
+
+    Roughly a quarter of the grid probes the infeasible region below
+    the penalty floor (the paper plots it explicitly in Fig. 6), a few
+    bounds repeat (grids assembled from multiple figure panels overlap)
+    and the rest spans the feasible range geometrically, starting at
+    ``floor * 1.3`` exactly as the Fig. 8 sweep does (LPs *at* the
+    floor are maximally degenerate and stall any vertex solver).
+    """
+    floor = min_achievable(optimizer, PENALTY)
+    cap = optimizer.minimize_unconstrained(POWER).require_feasible().average(PENALTY)
+    n_infeasible = max(1, n_points // 4)
+    n_duplicates = max(1, n_points // 8)
+    n_feasible = n_points - n_infeasible - n_duplicates
+    infeasible = np.linspace(0.2 * floor, 0.9 * floor, n_infeasible)
+    feasible = np.geomspace(floor * 1.3, cap * 0.98, n_feasible)
+    duplicates = feasible[:: max(1, n_feasible // n_duplicates)][:n_duplicates]
+    return [float(b) for b in np.concatenate([infeasible, feasible, duplicates])]
+
+
+def cold_sweep(optimizer, bounds) -> list[tuple[float, bool, float | None]]:
+    """The seed's per-bound cold loop: one full LP solve per bound."""
+    out = []
+    for bound in sorted(bounds):
+        result = optimizer.optimize(POWER, "min", upper_bounds={PENALTY: bound})
+        out.append(
+            (
+                bound,
+                result.feasible,
+                result.objective_average if result.feasible else None,
+            )
+        )
+    return out
+
+
+def incremental_sweep(optimizer, bounds):
+    """The engine sweep: warm starts + dedupe + bracketing."""
+    solver = ParetoSweepSolver(optimizer)
+    curve = solver.solve(bounds)
+    return curve, solver.stats
+
+
+def compare_curves(cold, curve) -> float:
+    """Max |objective| deviation between the cold loop and the curve.
+
+    The cold loop emits one entry per *requested* bound; the curve has
+    one point per unique bound — every cold entry is matched to the
+    nearest curve point.
+    """
+    worst = 0.0
+    points = {p.bound: p for p in curve.points}
+    bounds = sorted(points)
+    for bound, feasible, objective in cold:
+        nearest = min(bounds, key=lambda b: abs(b - bound))
+        point = points[nearest]
+        assert point.feasible == feasible, (
+            f"feasibility mismatch at bound {bound}: "
+            f"cold={feasible}, incremental={point.feasible}"
+        )
+        if feasible:
+            worst = max(worst, abs(point.objective - objective))
+    return worst
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    value = fn(*args)
+    return time.perf_counter() - start, value
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def bench_cold_sweep_example(benchmark):
+    """Cold per-bound loop on the 8-state running example."""
+    bundle = example_system.build()
+    optimizer = _optimizer(bundle)
+    bounds = sweep_bounds(optimizer, 12)
+    benchmark.pedantic(
+        lambda: cold_sweep(optimizer, bounds), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n_points"] = len(bounds)
+
+
+def bench_incremental_sweep_example(benchmark):
+    """Engine sweep on the 8-state running example."""
+    bundle = example_system.build()
+    optimizer = _optimizer(bundle)
+    bounds = sweep_bounds(optimizer, 12)
+    benchmark.pedantic(
+        lambda: incremental_sweep(optimizer, bounds), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n_points"] = len(bounds)
+
+
+def bench_sweep_speedup_disk_32pt(benchmark):
+    """Acceptance check: >= 3x on the 32-point disk-drive sweep."""
+    bundle = disk_drive.build()
+    optimizer = _optimizer(bundle)
+    bounds = sweep_bounds(optimizer, N_POINTS)
+    cold_seconds, cold = _timed(cold_sweep, optimizer, bounds)
+    warm_seconds, (curve, stats) = benchmark.pedantic(
+        lambda: _timed(incremental_sweep, optimizer, bounds),
+        rounds=1,
+        iterations=1,
+    )
+    deviation = compare_curves(cold, curve)
+    speedup = cold_seconds / warm_seconds
+    benchmark.extra_info.update(
+        cold_seconds=round(cold_seconds, 4),
+        incremental_seconds=round(warm_seconds, 4),
+        speedup=round(speedup, 2),
+        max_objective_deviation=deviation,
+        sweep_stats=stats.as_dict(),
+    )
+    assert deviation <= OBJECTIVE_TOL, (
+        f"incremental sweep deviates {deviation:.2e} from the cold loop "
+        f"(tolerance {OBJECTIVE_TOL:.0e})"
+    )
+    assert speedup >= SPEEDUP_TARGET, (
+        f"incremental sweep only {speedup:.2f}x faster than the cold loop "
+        f"({warm_seconds:.3f}s vs {cold_seconds:.3f}s); "
+        f"target {SPEEDUP_TARGET}x"
+    )
+
+
+# ----------------------------------------------------------------------
+# standalone JSON mode
+# ----------------------------------------------------------------------
+def collect(quick: bool = False) -> dict:
+    """Run the sweep matrix and return the benchmark JSON document."""
+    systems = [("example8", example_system.build, 12)]
+    if not quick:
+        systems.append(("disk66", disk_drive.build, N_POINTS))
+    records = []
+    speedups = {}
+    deviations = {}
+    for name, builder, n_points in systems:
+        bundle = builder()
+        optimizer = _optimizer(bundle)
+        bounds = sweep_bounds(optimizer, n_points)
+        cold_seconds, cold = _timed(cold_sweep, optimizer, bounds)
+        warm_seconds, (curve, stats) = _timed(
+            incremental_sweep, optimizer, bounds
+        )
+        deviation = compare_curves(cold, curve)
+        speedup = cold_seconds / warm_seconds
+        speedups[name] = round(speedup, 2)
+        deviations[name] = deviation
+        records.append(
+            {
+                "name": f"sweep_{name}_{n_points}pt",
+                "system": name,
+                "n_points": n_points,
+                "cold_seconds": round(cold_seconds, 4),
+                "incremental_seconds": round(warm_seconds, 4),
+                "cold_solves_per_sec": round(len(set(bounds)) / cold_seconds, 2),
+                "incremental_solves_per_sec": round(
+                    stats.n_solves / warm_seconds, 2
+                ),
+                "speedup": round(speedup, 2),
+                "max_objective_deviation": deviation,
+                "sweep_stats": stats.as_dict(),
+            }
+        )
+    return {
+        "benchmarks": records,
+        "speedup_vs_cold_loop": speedups,
+        "max_objective_deviation": deviations,
+        "speedup_target": SPEEDUP_TARGET,
+        "objective_tolerance": OBJECTIVE_TOL,
+    }
+
+
+def main(argv=None) -> int:
+    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    document = collect(quick=quick)
+    json.dump(document, sys.stdout, indent=2)
+    print()
+    if any(
+        dev > OBJECTIVE_TOL for dev in document["max_objective_deviation"].values()
+    ):
+        return 1
+    # The acceptance target is the 66-state disk case study (quick mode
+    # is a smoke run on the small example where per-solve constant
+    # overheads dominate).
+    if quick:
+        return 0
+    return 0 if document["speedup_vs_cold_loop"]["disk66"] >= SPEEDUP_TARGET else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

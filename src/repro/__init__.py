@@ -37,12 +37,14 @@ from repro.core import (
     OptimizationResult,
     ParetoCurve,
     ParetoPoint,
+    ParetoSweepSolver,
     PolicyEvaluation,
     PolicyOptimizer,
     PowerManagedSystem,
     ServiceProvider,
     ServiceQueue,
     ServiceRequester,
+    SweepStats,
     SystemState,
     evaluate_policy,
     min_achievable,
@@ -71,6 +73,8 @@ __all__ = [
     "InfeasibleProblemError",
     "ParetoCurve",
     "ParetoPoint",
+    "ParetoSweepSolver",
+    "SweepStats",
     "simulate_curve",
     "trade_off_curve",
     "min_achievable",

@@ -47,6 +47,7 @@ from repro.core.pareto import (
     simulate_curve,
     trade_off_curve,
 )
+from repro.core.pareto_sweep import ParetoSweepSolver, SweepStats
 from repro.core.policy import MarkovPolicy, PolicyEvaluation, evaluate_policy
 from repro.core.system import PowerManagedSystem, SystemState
 
@@ -70,6 +71,8 @@ __all__ = [
     "InfeasibleProblemError",
     "ParetoCurve",
     "ParetoPoint",
+    "ParetoSweepSolver",
+    "SweepStats",
     "trade_off_curve",
     "simulate_curve",
     "min_achievable",

@@ -116,17 +116,37 @@ class AverageCostOptimizer(_ActionMaskMixin):
         """The registered cost metrics."""
         return self._costs
 
+    @property
+    def backend(self) -> str:
+        """LP backend name this optimizer solves with."""
+        return self._backend
+
+    @property
+    def cross_check(self) -> bool:
+        """Whether every LP solve is cross-checked on a second backend."""
+        return self._cross_check
+
+    @property
+    def bound_scale(self) -> float:
+        """Per-slice bounds enter the average-cost LP unscaled."""
+        return 1.0
+
     # ------------------------------------------------------------------
     # the solve
     # ------------------------------------------------------------------
-    def optimize(
+    def build_lp(
         self,
         objective: str,
         sense: str = "min",
         upper_bounds: dict[str, float] | None = None,
         lower_bounds: dict[str, float] | None = None,
-    ) -> OptimizationResult:
-        """Optimize a long-run average metric under per-slice bounds."""
+    ) -> tuple[LinearProgram, dict[str, tuple[str, float]]]:
+        """Assemble the average-cost LP without solving it.
+
+        Same contract as :meth:`PolicyOptimizer.build_lp`: bound rows
+        append in iteration order (upper before lower) so the sweep
+        engine can mutate its last-added constraint row in place.
+        """
         if sense not in ("min", "max"):
             raise ValidationError(f"sense must be 'min' or 'max', got {sense!r}")
         c = self._costs.metric(objective).reshape(-1)
@@ -152,8 +172,15 @@ class AverageCostOptimizer(_ActionMaskMixin):
                 self._costs.metric(name).reshape(-1), float(bound)
             )
             recorded[name] = (">=", float(bound))
+        return lp, recorded
 
-        lp_result = solve_lp(lp, backend=self._backend, cross_check=self._cross_check)
+    def result_from_lp(
+        self,
+        lp_result,
+        objective: str,
+        constraints: dict[str, tuple[str, float]],
+    ) -> OptimizationResult:
+        """Turn a raw LP solve into an :class:`OptimizationResult`."""
         if not lp_result.is_optimal:
             return OptimizationResult(
                 feasible=False,
@@ -162,11 +189,12 @@ class AverageCostOptimizer(_ActionMaskMixin):
                 evaluation=None,
                 objective_metric=objective,
                 objective_average=None,
-                constraints=recorded,
+                constraints=constraints,
                 gamma=1.0,
                 lp_result=lp_result,
             )
 
+        n = self._system.n_states
         frequencies = np.clip(
             lp_result.x.reshape(n, self._system.n_commands), 0.0, None
         )
@@ -179,10 +207,22 @@ class AverageCostOptimizer(_ActionMaskMixin):
             evaluation=evaluation,
             objective_metric=objective,
             objective_average=evaluation.averages[objective],
-            constraints=recorded,
+            constraints=constraints,
             gamma=1.0,
             lp_result=lp_result,
         )
+
+    def optimize(
+        self,
+        objective: str,
+        sense: str = "min",
+        upper_bounds: dict[str, float] | None = None,
+        lower_bounds: dict[str, float] | None = None,
+    ) -> OptimizationResult:
+        """Optimize a long-run average metric under per-slice bounds."""
+        lp, recorded = self.build_lp(objective, sense, upper_bounds, lower_bounds)
+        lp_result = solve_lp(lp, backend=self._backend, cross_check=self._cross_check)
+        return self.result_from_lp(lp_result, objective, recorded)
 
     def _evaluate(self, frequencies: np.ndarray) -> PolicyEvaluation:
         """Package the stationary distribution as a PolicyEvaluation.

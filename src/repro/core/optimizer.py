@@ -68,12 +68,20 @@ class _ActionMaskMixin:
     ) -> np.ndarray:
         """Per-state deterministic completion for unvisited states."""
         if fallback == "greedy-service":
-            rates = system.provider.service_rate_matrix
-            power = system.provider.power_matrix
-            # argmax service rate, ties broken toward lower power.
-            score = rates - 1e-9 * power
-            scores = score[system.provider_index_of_state]
-        elif fallback == "lowest-power":
+            idx = system.provider_index_of_state
+            rates = system.provider.service_rate_matrix[idx]
+            power = system.provider.power_matrix[idx]
+            if mask is not None:
+                rates = np.where(mask, rates, -np.inf)
+                power = np.where(mask, power, np.inf)
+            # True lexicographic argmax: highest service rate, ties
+            # broken toward lower power, remaining ties toward the
+            # lowest command index (lexsort is stable).  A weighted
+            # score such as ``rates - 1e-9 * power`` mis-orders as soon
+            # as power spans ~9 orders of magnitude relative to the
+            # rate gaps, so the keys are compared exactly instead.
+            return np.lexsort((power, -rates), axis=1)[:, 0]
+        if fallback == "lowest-power":
             scores = -system.power_cost_matrix()
         else:
             # Otherwise interpret as an explicit command name.
@@ -268,31 +276,43 @@ class PolicyOptimizer(_ActionMaskMixin):
         """Initial joint-state distribution ``p0`` (copy)."""
         return self._p0.copy()
 
+    @property
+    def backend(self) -> str:
+        """LP backend name this optimizer solves with."""
+        return self._backend
+
+    @property
+    def cross_check(self) -> bool:
+        """Whether every LP solve is cross-checked on a second backend."""
+        return self._cross_check
+
+    @property
+    def bound_scale(self) -> float:
+        """Multiplier from a per-slice metric bound to its LP row RHS.
+
+        The discounted LP accounts in expected totals over the horizon,
+        so per-slice bounds are scaled by ``1/(1-gamma)`` (paper Example
+        A.2).  Used by the sweep engine to mutate the constraint row.
+        """
+        return self.expected_horizon
+
     # ------------------------------------------------------------------
     # the general solve
     # ------------------------------------------------------------------
-    def optimize(
+    def build_lp(
         self,
         objective: str,
         sense: str = "min",
         upper_bounds: dict[str, float] | None = None,
         lower_bounds: dict[str, float] | None = None,
-    ) -> OptimizationResult:
-        """Optimize ``objective`` subject to per-slice metric bounds.
+    ) -> tuple[LinearProgram, dict[str, tuple[str, float]]]:
+        """Assemble the LP3/LP4 instance without solving it.
 
-        Parameters
-        ----------
-        objective:
-            Name of a registered metric to optimize.
-        sense:
-            ``"min"`` or ``"max"``.
-        upper_bounds:
-            ``{metric: bound}`` — per-slice average of each metric must
-            not exceed its bound (scaled internally by the horizon,
-            matching paper Example A.2).
-        lower_bounds:
-            ``{metric: bound}`` — per-slice average must be at least the
-            bound (e.g. a minimum-throughput requirement).
+        Returns the :class:`LinearProgram` and the recorded constraint
+        dict ``{metric: (sense, per_slice_bound)}``.  Bound rows are
+        appended in iteration order, upper bounds before lower bounds —
+        the sweep engine relies on appending its swept constraint last
+        and mutating only that row's RHS between solves.
         """
         if sense not in ("min", "max"):
             raise ValidationError(f"sense must be 'min' or 'max', got {sense!r}")
@@ -322,8 +342,20 @@ class PolicyOptimizer(_ActionMaskMixin):
                 self._costs.metric(name).reshape(-1), float(bound) * horizon
             )
             recorded[name] = (">=", float(bound))
+        return lp, recorded
 
-        lp_result = solve_lp(lp, backend=self._backend, cross_check=self._cross_check)
+    def result_from_lp(
+        self,
+        lp_result: LPResult,
+        objective: str,
+        constraints: dict[str, tuple[str, float]],
+    ) -> OptimizationResult:
+        """Turn a raw LP solve into an :class:`OptimizationResult`.
+
+        Extracts the policy (Eq. 16), evaluates it in closed form and
+        packages everything; infeasible solves produce the standard
+        ``feasible=False`` result.
+        """
         if not lp_result.is_optimal:
             return OptimizationResult(
                 feasible=False,
@@ -332,7 +364,7 @@ class PolicyOptimizer(_ActionMaskMixin):
                 evaluation=None,
                 objective_metric=objective,
                 objective_average=None,
-                constraints=recorded,
+                constraints=constraints,
                 gamma=self._gamma,
                 lp_result=lp_result,
             )
@@ -353,10 +385,37 @@ class PolicyOptimizer(_ActionMaskMixin):
             evaluation=evaluation,
             objective_metric=objective,
             objective_average=evaluation.averages[objective],
-            constraints=recorded,
+            constraints=constraints,
             gamma=self._gamma,
             lp_result=lp_result,
         )
+
+    def optimize(
+        self,
+        objective: str,
+        sense: str = "min",
+        upper_bounds: dict[str, float] | None = None,
+        lower_bounds: dict[str, float] | None = None,
+    ) -> OptimizationResult:
+        """Optimize ``objective`` subject to per-slice metric bounds.
+
+        Parameters
+        ----------
+        objective:
+            Name of a registered metric to optimize.
+        sense:
+            ``"min"`` or ``"max"``.
+        upper_bounds:
+            ``{metric: bound}`` — per-slice average of each metric must
+            not exceed its bound (scaled internally by the horizon,
+            matching paper Example A.2).
+        lower_bounds:
+            ``{metric: bound}`` — per-slice average must be at least the
+            bound (e.g. a minimum-throughput requirement).
+        """
+        lp, recorded = self.build_lp(objective, sense, upper_bounds, lower_bounds)
+        lp_result = solve_lp(lp, backend=self._backend, cross_check=self._cross_check)
+        return self.result_from_lp(lp_result, objective, recorded)
 
     # ------------------------------------------------------------------
     # paper-named entry points

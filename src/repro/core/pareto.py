@@ -17,9 +17,11 @@ import numpy as np
 from repro.core.costs import PENALTY, POWER
 from repro.core.optimizer import OptimizationResult, PolicyOptimizer
 from repro.core.policy import MarkovPolicy
+from repro.util.validation import ValidationError
 
 if TYPE_CHECKING:  # pragma: no cover - hints only, avoids a sim import cycle
     from repro.core.costs import CostModel
+    from repro.core.pareto_sweep import SweepStats
     from repro.core.system import PowerManagedSystem
     from repro.sim.result import SimulationResult
 
@@ -41,6 +43,10 @@ class ParetoPoint:
         Per-slice averages of every registered metric at the optimum.
     policy:
         The optimal policy at this bound.
+    result:
+        The full :class:`OptimizationResult` behind this point, when the
+        point came from an actual solve (``None`` for points proved
+        infeasible by bracketing without a solve of their own).
     """
 
     bound: float
@@ -48,6 +54,9 @@ class ParetoPoint:
     objective: float | None
     averages: dict[str, float] = field(default_factory=dict)
     policy: MarkovPolicy | None = None
+    result: OptimizationResult | None = field(
+        default=None, repr=False, compare=False
+    )
 
 
 @dataclass
@@ -60,11 +69,15 @@ class ParetoCurve:
         Names of the metrics on the two axes.
     points:
         One :class:`ParetoPoint` per swept bound, in sweep order.
+    stats:
+        Solve accounting from the sweep engine (``None`` for hand-built
+        curves); see :class:`repro.core.pareto_sweep.SweepStats`.
     """
 
     objective_metric: str
     constraint_metric: str
     points: list[ParetoPoint] = field(default_factory=list)
+    stats: "SweepStats | None" = field(default=None, repr=False, compare=False)
 
     @property
     def feasible_points(self) -> list[ParetoPoint]:
@@ -86,22 +99,34 @@ class ParetoCurve:
         """Bounds at which the problem was infeasible."""
         return np.asarray([p.bound for p in self.points if not p.feasible])
 
+    def _sorted_feasible_xy(self) -> tuple[np.ndarray, np.ndarray]:
+        """Feasible (bound, objective) pairs sorted by bound.
+
+        The shape predicates sort internally so hand-built curves with
+        out-of-order appends are judged on the actual curve geometry
+        rather than passing (or failing) vacuously on append order.
+        """
+        points = sorted(self.feasible_points, key=lambda p: p.bound)
+        xs = np.asarray([p.bound for p in points])
+        ys = np.asarray([p.objective for p in points])
+        return xs, ys
+
     def is_non_increasing(self, tol: float = 1e-7) -> bool:
         """Objective never increases as the constraint is relaxed.
 
-        Assumes the sweep visited the bounds in increasing order (the
-        helper :func:`trade_off_curve` sorts them).
+        Feasible points are sorted by bound internally, so the verdict
+        does not depend on the order points were appended in.
         """
-        objectives = self.objectives
+        _, objectives = self._sorted_feasible_xy()
         return bool(np.all(np.diff(objectives) <= tol))
 
     def is_convex(self, tol: float = 1e-7) -> bool:
         """Convexity of the trade-off curve (paper Theorem 4.1).
 
         Checks that every feasible point lies on or below the chord of
-        its neighbours.
+        its neighbours, after sorting feasible points by bound.
         """
-        xs, ys = self.bounds, self.objectives
+        xs, ys = self._sorted_feasible_xy()
         if xs.size < 3:
             return True
         for i in range(1, xs.size - 1):
@@ -121,47 +146,68 @@ def trade_off_curve(
     objective: str = POWER,
     constraint: str = PENALTY,
     extra_upper_bounds: dict[str, float] | None = None,
+    *,
+    refine: int = 0,
+    n_jobs: int = 1,
+    warm_start: bool = True,
+    bracket: bool = True,
+    dedupe_rtol: float | None = None,
 ) -> ParetoCurve:
     """Sweep ``constraint`` over ``bounds`` minimizing ``objective``.
+
+    The sweep runs through :class:`~repro.core.pareto_sweep.ParetoSweepSolver`:
+    the balance-equation block is assembled once, duplicate bounds
+    (within tolerance) are solved once, the infeasible prefix is located
+    by bisection instead of solved point by point, and warm-capable LP
+    backends chain the previous bound's optimal basis into the next
+    solve.
 
     Parameters
     ----------
     optimizer:
-        A configured :class:`PolicyOptimizer`.
+        A configured :class:`PolicyOptimizer` (or any optimizer exposing
+        the same ``build_lp`` / ``result_from_lp`` surface, e.g.
+        :class:`~repro.core.average_cost.AverageCostOptimizer`).
     bounds:
-        Constraint bounds to sweep (sorted ascending internally).
+        Constraint bounds to sweep (sorted ascending and de-duplicated
+        internally; the curve holds one point per *unique* bound).
     objective / constraint:
         Metric names for the two axes (defaults: minimum power versus a
         performance-penalty budget, the paper's PO2).
     extra_upper_bounds:
         Additional fixed per-slice bounds applied at every point (e.g. a
         request-loss budget, giving the three curves of paper Fig. 6).
+    refine:
+        Additionally bisect the ``refine`` largest objective gaps
+        between adjacent feasible points, densifying the curve where it
+        bends.
+    n_jobs:
+        Process-parallel fan-out for the cold solves (1 = incremental
+        serial sweep with warm starts, the default).
+    warm_start / bracket / dedupe_rtol:
+        Engine toggles, mainly for benchmarking the cold path; see
+        :class:`~repro.core.pareto_sweep.ParetoSweepSolver`.
 
     Returns
     -------
     ParetoCurve
-        One point per bound; infeasible bounds are kept with
+        One point per unique bound; infeasible bounds are kept with
         ``feasible=False`` so the infeasible region is visible.
     """
-    curve = ParetoCurve(objective_metric=objective, constraint_metric=constraint)
-    for bound in sorted(float(b) for b in bounds):
-        upper = dict(extra_upper_bounds or {})
-        upper[constraint] = bound
-        result: OptimizationResult = optimizer.optimize(
-            objective, "min", upper_bounds=upper
-        )
-        if result.feasible:
-            point = ParetoPoint(
-                bound=bound,
-                feasible=True,
-                objective=result.objective_average,
-                averages=dict(result.evaluation.averages),
-                policy=result.policy,
-            )
-        else:
-            point = ParetoPoint(bound=bound, feasible=False, objective=None)
-        curve.points.append(point)
-    return curve
+    from repro.core.pareto_sweep import ParetoSweepSolver
+
+    kwargs = {} if dedupe_rtol is None else {"dedupe_rtol": dedupe_rtol}
+    solver = ParetoSweepSolver(
+        optimizer,
+        objective=objective,
+        constraint=constraint,
+        extra_upper_bounds=extra_upper_bounds,
+        warm_start=warm_start,
+        bracket=bracket,
+        n_jobs=n_jobs,
+        **kwargs,
+    )
+    return solver.solve(bounds, refine=refine)
 
 
 def simulate_curve(
@@ -188,14 +234,24 @@ def simulate_curve(
         Aligned with ``curve.points``: ``None`` for infeasible points,
         otherwise the list of ``n_replications`` simulation results for
         that point's policy.
+
+    Raises
+    ------
+    ValidationError
+        If a feasible point carries no policy.  Silently skipping such
+        a point would make it indistinguishable from an infeasible one
+        in the returned list.
     """
     from repro.sim.engine import simulate_many
 
-    positions = [
-        i
-        for i, p in enumerate(curve.points)
-        if p.feasible and p.policy is not None
-    ]
+    for i, p in enumerate(curve.points):
+        if p.feasible and p.policy is None:
+            raise ValidationError(
+                f"curve point {i} (bound {p.bound!r}) is feasible but "
+                f"carries no policy; simulate_curve cannot represent it "
+                f"(it would be conflated with an infeasible point)"
+            )
+    positions = [i for i, p in enumerate(curve.points) if p.feasible]
     batched = simulate_many(
         system,
         costs,

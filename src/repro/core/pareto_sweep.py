@@ -1,0 +1,499 @@
+"""Incremental, parallel Pareto sweep engine (the tool's curve factory).
+
+The paper's headline artifacts (Figs. 6, 8b, 9a) are trade-off curves:
+one constrained LP (LP3/LP4) per swept bound.  The naive loop re-solves
+everything from scratch at every bound; this engine exploits the sweep
+structure instead:
+
+* **Assemble once** — the balance-equation block never changes along a
+  sweep, so one :class:`~repro.lp.problem.LinearProgram` is built and
+  only the swept constraint row's right-hand side is mutated per bound
+  (:meth:`LinearProgram.set_inequality_rhs`).
+* **Dedupe** — bounds equal within tolerance are solved once and share
+  the solved point.
+* **Feasibility bracketing** — feasibility is monotone in the bound
+  (relaxing an upper bound can only grow the feasible set), so the
+  frontier of the infeasible region is located by bisection over the
+  sorted bounds; bounds on the infeasible side are marked without
+  burning a full phase-1 solve each.
+* **Warm starts** — on warm-capable LP backends (the from-scratch
+  simplex) each solve chains the previous bound's optimal basis: the
+  basis stays dual feasible under an RHS change, so a few dual-simplex
+  pivots replace a cold two-phase solve.
+* **Parallel fan-out** — ``n_jobs > 1`` solves the remaining cold
+  points across processes (the LPs are independent); warm chaining is
+  inherently serial, so the two modes are alternatives, not a stack.
+* **Adaptive refinement** — ``refine=N`` bisects the ``N`` largest
+  objective gaps between adjacent feasible points, densifying the curve
+  where it bends most.
+
+The engine is duck-typed over the optimizer: anything exposing
+``build_lp`` / ``result_from_lp`` / ``bound_scale`` / ``backend`` /
+``cross_check`` / ``costs`` works — both
+:class:`~repro.core.optimizer.PolicyOptimizer` (discounted, LP3/LP4)
+and :class:`~repro.core.average_cost.AverageCostOptimizer` qualify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.costs import PENALTY, POWER
+from repro.core.optimizer import OptimizationResult
+from repro.core.pareto import ParetoCurve, ParetoPoint
+from repro.lp.solve import solve_lp, supports_warm_start
+from repro.util.validation import ValidationError
+
+#: Default relative tolerance for treating two swept bounds as equal.
+DEDUPE_RTOL = 1e-9
+
+#: Refinement stops once the largest adjacent objective gap is below
+#: this (absolute) — bisecting a flat curve adds nothing.
+REFINE_GAP_TOL = 1e-12
+
+
+@dataclass
+class SweepStats:
+    """Solve accounting for one :meth:`ParetoSweepSolver.solve` call.
+
+    Attributes
+    ----------
+    n_requested / n_unique:
+        Bounds passed in, and bounds left after tolerance-dedupe.
+    n_solves:
+        LP solves actually performed (including refinement solves).
+    n_warm / n_cold:
+        Split of ``n_solves`` into warm-started and cold solves (warm
+        counts solves *attempted* with a warm basis; an unusable basis
+        silently falls back inside the backend).
+    n_deduped:
+        Requested bounds that reused another bound's solve.
+    n_bracket_skipped:
+        Bounds proved infeasible by bracketing without their own solve.
+    n_refined:
+        Points added by adaptive refinement.
+    """
+
+    n_requested: int = 0
+    n_unique: int = 0
+    n_solves: int = 0
+    n_warm: int = 0
+    n_cold: int = 0
+    n_deduped: int = 0
+    n_bracket_skipped: int = 0
+    n_refined: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view (for experiment/benchmark JSON payloads)."""
+        return {
+            "n_requested": self.n_requested,
+            "n_unique": self.n_unique,
+            "n_solves": self.n_solves,
+            "n_warm": self.n_warm,
+            "n_cold": self.n_cold,
+            "n_deduped": self.n_deduped,
+            "n_bracket_skipped": self.n_bracket_skipped,
+            "n_refined": self.n_refined,
+        }
+
+
+# ----------------------------------------------------------------------
+# process-parallel worker (state installed per process by the initializer)
+# ----------------------------------------------------------------------
+_WORKER: dict = {}
+
+
+def _init_worker(optimizer, objective, constraint, sense, extra_upper) -> None:
+    _WORKER["optimizer"] = optimizer
+    _WORKER["objective"] = objective
+    _WORKER["constraint"] = constraint
+    _WORKER["sense"] = sense
+    _WORKER["extra_upper"] = extra_upper
+
+
+def _solve_bound_in_worker(bound: float) -> OptimizationResult:
+    optimizer = _WORKER["optimizer"]
+    upper = dict(_WORKER["extra_upper"])
+    lower = None
+    if _WORKER["sense"] == "<=":
+        upper[_WORKER["constraint"]] = bound
+    else:
+        lower = {_WORKER["constraint"]: bound}
+    return optimizer.optimize(
+        _WORKER["objective"], "min", upper_bounds=upper or None, lower_bounds=lower
+    )
+
+
+class ParetoSweepSolver:
+    """Incremental constrained-LP sweep producing a :class:`ParetoCurve`.
+
+    Parameters
+    ----------
+    optimizer:
+        A :class:`~repro.core.optimizer.PolicyOptimizer` (or any object
+        with the same ``build_lp`` / ``result_from_lp`` surface).
+    objective / constraint:
+        Metric names for the two axes.
+    constraint_sense:
+        ``"<="`` sweeps an upper bound (paper PO2: penalty budget);
+        ``">="`` sweeps a lower bound (e.g. the web server's minimum
+        throughput, Fig. 9a).  Feasibility is monotone either way —
+        infeasible *prefix* for ``"<="``, infeasible *suffix* for
+        ``">="`` — and bracketing adapts.
+    extra_upper_bounds:
+        Fixed per-slice upper bounds applied at every point.
+    dedupe_rtol:
+        Bounds within ``dedupe_rtol * max(1, |bound|)`` of each other
+        collapse into one solved point.
+    warm_start:
+        Chain the previous bound's optimal basis into the next solve on
+        warm-capable backends (no-op on scipy/interior-point).
+    bracket:
+        Locate the feasibility frontier by bisection instead of solving
+        every infeasible bound.
+    n_jobs:
+        Number of worker processes for cold-point fan-out; 1 (default)
+        keeps the serial warm-chained sweep.
+
+    Examples
+    --------
+    >>> from repro.core.optimizer import PolicyOptimizer
+    >>> from repro.systems import example_system
+    >>> bundle = example_system.build()
+    >>> opt = PolicyOptimizer(bundle.system, bundle.costs, gamma=bundle.gamma,
+    ...                       initial_distribution=bundle.initial_distribution)
+    >>> solver = ParetoSweepSolver(opt)
+    >>> curve = solver.solve([0.3, 0.5, 0.5, 0.9])   # duplicate solved once
+    >>> len(curve.points)
+    3
+    """
+
+    def __init__(
+        self,
+        optimizer,
+        objective: str = POWER,
+        constraint: str = PENALTY,
+        *,
+        constraint_sense: str = "<=",
+        extra_upper_bounds: dict[str, float] | None = None,
+        dedupe_rtol: float = DEDUPE_RTOL,
+        warm_start: bool = True,
+        bracket: bool = True,
+        n_jobs: int = 1,
+    ):
+        for attr in ("build_lp", "result_from_lp", "optimize"):
+            if not callable(getattr(optimizer, attr, None)):
+                raise ValidationError(
+                    f"optimizer must expose {attr}(); got {type(optimizer).__name__}"
+                )
+        if constraint_sense not in ("<=", ">="):
+            raise ValidationError(
+                f"constraint_sense must be '<=' or '>=', got {constraint_sense!r}"
+            )
+        n_jobs = int(n_jobs)
+        if n_jobs < 1:
+            raise ValidationError(f"n_jobs must be >= 1, got {n_jobs}")
+        self._optimizer = optimizer
+        self._objective = str(objective)
+        self._constraint = str(constraint)
+        self._sense = constraint_sense
+        self._extra_upper = {
+            str(k): float(v) for k, v in (extra_upper_bounds or {}).items()
+        }
+        self._dedupe_rtol = float(dedupe_rtol)
+        self._warm_start = bool(warm_start)
+        self._bracket = bool(bracket)
+        self._n_jobs = n_jobs
+        self.stats = SweepStats()
+        # Lazily-built shared LP (balance block assembled exactly once).
+        self._lp = None
+        self._row_index: int | None = None
+        self._base_constraints: dict[str, tuple[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # shared-LP plumbing
+    # ------------------------------------------------------------------
+    def _ensure_lp(self) -> None:
+        if self._lp is not None:
+            return
+        lp, recorded = self._optimizer.build_lp(
+            self._objective, "min", upper_bounds=self._extra_upper or None
+        )
+        row = self._optimizer.costs.metric(self._constraint).reshape(-1)
+        if self._sense == "<=":
+            lp.add_inequality(row, 0.0)
+        else:
+            lp.add_lower_bound_inequality(row, 0.0)
+        self._lp = lp
+        self._row_index = lp.n_inequalities - 1
+        self._base_constraints = recorded
+
+    def _solve_bound(self, bound: float, warm=None):
+        """One LP solve at ``bound``; returns (result, warm_state)."""
+        self._ensure_lp()
+        rhs = float(bound) * float(self._optimizer.bound_scale)
+        if self._sense == ">=":
+            rhs = -rhs  # lower bounds are stored as -row.x <= -rhs
+        self._lp.set_inequality_rhs(self._row_index, rhs)
+        use_warm = (
+            warm
+            if self._warm_start and supports_warm_start(self._optimizer.backend)
+            else None
+        )
+        lp_result = solve_lp(
+            self._lp,
+            backend=self._optimizer.backend,
+            cross_check=self._optimizer.cross_check,
+            warm_start=use_warm,
+        )
+        constraints = dict(self._base_constraints)
+        constraints[self._constraint] = (self._sense, float(bound))
+        result = self._optimizer.result_from_lp(
+            lp_result, self._objective, constraints
+        )
+        self.stats.n_solves += 1
+        if use_warm is not None:
+            self.stats.n_warm += 1
+        else:
+            self.stats.n_cold += 1
+        return result, getattr(lp_result, "warm_start", None)
+
+    # ------------------------------------------------------------------
+    # the sweep
+    # ------------------------------------------------------------------
+    def solve(self, bounds: Sequence[float], *, refine: int = 0) -> ParetoCurve:
+        """Sweep ``bounds`` and return the resulting curve.
+
+        ``refine`` extra points are inserted by bisecting the largest
+        objective gaps between adjacent feasible points.
+        """
+        requested = [float(b) for b in bounds]
+        if not requested:
+            raise ValidationError("bounds must contain at least one value")
+        if any(not np.isfinite(b) for b in requested):
+            raise ValidationError("bounds must be finite")
+        refine = int(refine)
+        if refine < 0:
+            raise ValidationError(f"refine must be >= 0, got {refine}")
+
+        self.stats = SweepStats(n_requested=len(requested))
+        unique = self._dedupe(sorted(requested))
+        self.stats.n_unique = len(unique)
+        self.stats.n_deduped = len(requested) - len(unique)
+
+        solved: dict[int, tuple[OptimizationResult, object]] = {}
+        feasible_idx = self._bracket_frontier(unique, solved)
+        self._solve_remaining(unique, feasible_idx, solved)
+
+        curve = ParetoCurve(
+            objective_metric=self._objective, constraint_metric=self._constraint
+        )
+        warm_by_bound: dict[float, object] = {}
+        for i, bound in enumerate(unique):
+            if i in solved:
+                result, warm = solved[i]
+                curve.points.append(self._point(bound, result))
+                warm_by_bound[bound] = warm
+            else:
+                # Proved infeasible by bracketing, no solve of its own.
+                curve.points.append(
+                    ParetoPoint(bound=bound, feasible=False, objective=None)
+                )
+                self.stats.n_bracket_skipped += 1
+
+        self._refine(curve, warm_by_bound, refine)
+        curve.stats = replace(self.stats)
+        return curve
+
+    # ------------------------------------------------------------------
+    # stages
+    # ------------------------------------------------------------------
+    def _dedupe(self, sorted_bounds: list[float]) -> list[float]:
+        unique = [sorted_bounds[0]]
+        for bound in sorted_bounds[1:]:
+            scale = max(1.0, abs(unique[-1]))
+            if abs(bound - unique[-1]) > self._dedupe_rtol * scale:
+                unique.append(bound)
+        return unique
+
+    def _bracket_frontier(
+        self,
+        unique: list[float],
+        solved: dict[int, tuple[OptimizationResult, object]],
+    ) -> list[int]:
+        """Return the indices of possibly-feasible bounds.
+
+        Feasibility is monotone along the sorted bounds — loosening the
+        swept constraint only grows the feasible set — so a bisection
+        over the *loose-to-tight* ordering finds the frontier.  Bounds
+        solved along the way are recorded in ``solved``.
+
+        Monotonicity only holds for *true* (in)feasibility, so the
+        bisection trusts nothing but clean solver statuses: if any
+        probe ends in a numerical error or iteration limit, bracketing
+        aborts and every bound is solved individually, exactly like the
+        cold loop.
+        """
+        from repro.lp.result import LPStatus
+
+        k = len(unique)
+        if self._sense == "<=":
+            loose_to_tight = list(range(k - 1, -1, -1))
+        else:
+            loose_to_tight = list(range(k))
+        if not self._bracket or k == 1:
+            return sorted(loose_to_tight)
+
+        class _UnprovenStatus(Exception):
+            pass
+
+        # Probes chain the most recent *feasible* probe's basis: tightening
+        # the RHS keeps that basis dual feasible, so the dual simplex either
+        # re-optimizes in a few pivots or certifies infeasibility almost
+        # immediately — far cheaper than a cold phase-1 proof.
+        probe_warm: list[object] = [None]
+
+        def feasible_at(position: int) -> bool:
+            index = loose_to_tight[position]
+            if index not in solved:
+                solved[index] = self._solve_bound(
+                    unique[index], warm=probe_warm[0]
+                )
+            result, warm = solved[index]
+            status = getattr(result.lp_result, "status", None)
+            if status not in (LPStatus.OPTIMAL, LPStatus.INFEASIBLE):
+                raise _UnprovenStatus
+            if result.feasible and warm is not None:
+                probe_warm[0] = warm
+            return result.feasible
+
+        try:
+            if not feasible_at(0):
+                return []  # even the loosest bound is provably infeasible
+            if feasible_at(k - 1):
+                return sorted(loose_to_tight)  # no infeasible side at all
+            lo, hi = 0, k - 1  # feasible at lo, infeasible at hi
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                if feasible_at(mid):
+                    lo = mid
+                else:
+                    hi = mid
+            return sorted(loose_to_tight[: lo + 1])
+        except _UnprovenStatus:
+            return sorted(loose_to_tight)
+
+    def _solve_remaining(
+        self,
+        unique: list[float],
+        feasible_idx: list[int],
+        solved: dict[int, tuple[OptimizationResult, object]],
+    ) -> None:
+        """Solve every possibly-feasible bound not already solved."""
+        pending = [i for i in feasible_idx if i not in solved]
+        if not pending:
+            return
+        if self._n_jobs > 1 and len(pending) > 1:
+            self._fan_out(unique, pending, solved)
+            return
+        # Serial incremental pass: ascending bound order, chaining the
+        # warm basis from the nearest already-solved neighbour.
+        warm = None
+        for i in sorted(set(feasible_idx)):
+            if i in solved:
+                warm = solved[i][1]
+                continue
+            solved[i] = self._solve_bound(unique[i], warm=warm)
+            warm = solved[i][1]
+
+    def _fan_out(
+        self,
+        unique: list[float],
+        pending: list[int],
+        solved: dict[int, tuple[OptimizationResult, object]],
+    ) -> None:
+        """Cold-solve ``pending`` bounds across worker processes."""
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        initargs = (
+            self._optimizer,
+            self._objective,
+            self._constraint,
+            self._sense,
+            self._extra_upper,
+        )
+        n_workers = min(self._n_jobs, len(pending))
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=initargs,
+        ) as pool:
+            results = list(
+                pool.map(_solve_bound_in_worker, [unique[i] for i in pending])
+            )
+        for i, result in zip(pending, results):
+            solved[i] = (result, None)
+            self.stats.n_solves += 1
+            self.stats.n_cold += 1
+
+    def _refine(
+        self,
+        curve: ParetoCurve,
+        warm_by_bound: dict[float, object],
+        refine: int,
+    ) -> None:
+        """Bisect the largest objective gaps between feasible points."""
+        for _ in range(refine):
+            feasible = sorted(curve.feasible_points, key=lambda p: p.bound)
+            if len(feasible) < 2:
+                return
+            gaps = [
+                abs(feasible[i].objective - feasible[i + 1].objective)
+                for i in range(len(feasible) - 1)
+            ]
+            best = int(np.argmax(gaps))
+            if gaps[best] <= REFINE_GAP_TOL:
+                return
+            left, right = feasible[best], feasible[best + 1]
+            bound = 0.5 * (left.bound + right.bound)
+            scale = max(1.0, abs(bound))
+            if (
+                abs(bound - left.bound) <= self._dedupe_rtol * scale
+                or abs(right.bound - bound) <= self._dedupe_rtol * scale
+            ):
+                return  # the gap is too narrow to bisect meaningfully
+            result, warm = self._solve_bound(
+                bound, warm=warm_by_bound.get(left.bound)
+            )
+            warm_by_bound[bound] = warm
+            point = self._point(bound, result)
+            position = next(
+                (i for i, p in enumerate(curve.points) if p.bound > bound),
+                len(curve.points),
+            )
+            curve.points.insert(position, point)
+            self.stats.n_refined += 1
+
+    @staticmethod
+    def _point(bound: float, result: OptimizationResult) -> ParetoPoint:
+        if result.feasible:
+            return ParetoPoint(
+                bound=bound,
+                feasible=True,
+                objective=result.objective_average,
+                averages=dict(result.evaluation.averages),
+                policy=result.policy,
+                result=result,
+            )
+        return ParetoPoint(
+            bound=bound, feasible=False, objective=None, result=result
+        )

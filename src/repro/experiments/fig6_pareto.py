@@ -51,6 +51,10 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
     floor = min_achievable(optimizer, PENALTY)
     curves = {}
     for loss_bound in LOSS_BOUNDS:
+        # Each curve runs through the incremental sweep engine: the
+        # balance block is assembled once per curve and the infeasible
+        # region left of the floor is bracketed instead of solved
+        # point by point (curve.stats records the solve accounting).
         curves[loss_bound] = trade_off_curve(
             optimizer,
             PENALTY_BOUNDS,
@@ -122,6 +126,9 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
                     "powers": list(curves[b].objectives),
                 }
                 for b in LOSS_BOUNDS
+            },
+            "sweep_stats": {
+                str(b): curves[b].stats.as_dict() for b in LOSS_BOUNDS
             },
         },
         checks=checks,

@@ -67,7 +67,16 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
     floor = min_achievable(optimizer, PENALTY)
     cap = optimizer.minimize_unconstrained(POWER).require_feasible().average(PENALTY)
     bounds = list(np.geomspace(max(floor * 1.3, 1e-4), cap * 0.98, 8))
-    curve = trade_off_curve(optimizer, bounds, objective=POWER, constraint=PENALTY)
+    # Full mode densifies the curve where it bends most (the sweep
+    # engine bisects the largest objective gaps); quick mode keeps the
+    # base grid so the check tolerances stay calibrated.
+    curve = trade_off_curve(
+        optimizer,
+        bounds,
+        objective=POWER,
+        constraint=PENALTY,
+        refine=0 if quick else 4,
+    )
 
     xs = np.asarray([p.averages[PENALTY] for p in curve.feasible_points])
     ys = np.asarray([p.objective for p in curve.feasible_points])
@@ -220,6 +229,7 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
             "greedy": greedy_rows,
             "simulated_heuristics": simulated_rows,
             "penalty_floor": floor,
+            "sweep_stats": curve.stats.as_dict(),
         },
         checks=checks,
     )

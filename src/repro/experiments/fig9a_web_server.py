@@ -16,8 +16,9 @@ import numpy as np
 
 from repro.core.costs import POWER
 from repro.core.optimizer import PolicyOptimizer
+from repro.core.pareto import simulate_curve
+from repro.core.pareto_sweep import ParetoSweepSolver
 from repro.experiments import ExperimentResult
-from repro.sim import simulate_many
 from repro.systems import web_server
 from repro.util.tables import format_table
 
@@ -44,51 +45,53 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
     p2_index = system.provider.chain.state_index("p2")
     sp_of = system.provider_index_of_state
 
-    # Solve every bound first, then verify all optimal policies in one
-    # vectorized batch (they are stationary Markov policies).
-    solved = [
-        optimizer.optimize(
-            POWER, "min", lower_bounds={"throughput": float(bound)}
-        )
-        for bound in THROUGHPUT_BOUNDS
-    ]
-    feasible = [r for r in solved if r.feasible]
-    sims = simulate_many(
+    # The sweep engine handles the lower-bound sweep directly
+    # (``constraint_sense=">="``: tightening as the bound grows, so the
+    # infeasible side — if any — is the suffix); all optimal policies
+    # are then verified in one vectorized batch.
+    solver = ParetoSweepSolver(
+        optimizer,
+        objective=POWER,
+        constraint="throughput",
+        constraint_sense=">=",
+    )
+    curve = solver.solve(THROUGHPUT_BOUNDS)
+    sims = simulate_curve(
+        curve,
         system,
         costs,
-        [r.policy for r in feasible],
         n_slices,
         seed,
         initial_state=("both", "0", 0),
     )
-    sim_of = {id(r): s[0] for r, s in zip(feasible, sims)}
 
     rows = []
     powers = []
     sim_matches = []
     p2_alone_usage = []
     feasible_bounds = []
-    for bound, result in zip(THROUGHPUT_BOUNDS, solved):
-        if not result.feasible:
+    for point, point_sims in zip(curve.points, sims):
+        bound = point.bound
+        if not point.feasible:
             rows.append((bound, float("nan"), float("nan"), float("nan")))
             continue
         feasible_bounds.append(bound)
-        powers.append(result.objective_average)
+        powers.append(point.objective)
         # Discounted share of time spent in the P2-only configuration.
-        occupancy = result.evaluation.frequencies.sum(axis=1)
+        occupancy = point.result.evaluation.frequencies.sum(axis=1)
         share = float(occupancy[sp_of == p2_index].sum() * (1.0 - bundle.gamma))
         p2_alone_usage.append(share)
 
-        sim_power = sim_of[id(result)].averages[POWER]
+        sim_power = point_sims[0].averages[POWER]
         sim_matches.append(
-            abs(sim_power - result.objective_average)
-            <= SIM_RTOL * abs(result.objective_average) + SIM_ATOL
+            abs(sim_power - point.objective)
+            <= SIM_RTOL * abs(point.objective) + SIM_ATOL
         )
         rows.append(
             (
                 bound,
-                result.objective_average,
-                result.average("throughput"),
+                point.objective,
+                point.averages["throughput"],
                 sim_power,
             )
         )
@@ -118,6 +121,7 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
             "throughput_bounds": list(THROUGHPUT_BOUNDS),
             "powers": powers,
             "p2_alone_usage": p2_alone_usage,
+            "sweep_stats": curve.stats.as_dict(),
         },
         checks=checks,
     )

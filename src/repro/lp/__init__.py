@@ -23,13 +23,16 @@ suite.
 
 from repro.lp.problem import LinearProgram, StandardFormLP
 from repro.lp.result import LPResult, LPStatus
-from repro.lp.solve import available_backends, solve_lp
+from repro.lp.simplex import SimplexBasis
+from repro.lp.solve import available_backends, solve_lp, supports_warm_start
 
 __all__ = [
     "LinearProgram",
     "StandardFormLP",
     "LPResult",
     "LPStatus",
+    "SimplexBasis",
     "solve_lp",
     "available_backends",
+    "supports_warm_start",
 ]

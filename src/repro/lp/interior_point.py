@@ -301,6 +301,13 @@ def solve(
     problem: LinearProgram,
     tol: float = DEFAULT_TOL,
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    warm_start: object | None = None,
 ) -> LPResult:
-    """Solve a :class:`LinearProgram` with the interior-point method."""
+    """Solve a :class:`LinearProgram` with the interior-point method.
+
+    ``warm_start`` is accepted for interface uniformity and ignored —
+    warm-starting interior-point methods from a vertex is notoriously
+    counterproductive (the iterate starts on the boundary of the
+    central path's neighbourhood).
+    """
     return solve_standard_form(problem.to_standard_form(), tol, max_iterations)

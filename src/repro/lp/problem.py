@@ -56,6 +56,13 @@ class LinearProgram:
     budget and the request-loss budget (paper LP3 and the loss extension
     of Appendix A).
 
+    The container is sweep-friendly: the stacked constraint matrices are
+    cached between solves, existing inequality rows can be mutated in
+    place (:meth:`set_inequality_rhs`, :meth:`set_inequality`), and
+    :meth:`with_upper_bound_row` produces a cheap shallow copy that
+    shares the already-assembled equality block — so a Pareto sweep
+    assembles the balance equations exactly once.
+
     Parameters
     ----------
     objective:
@@ -68,6 +75,9 @@ class LinearProgram:
     >>> lp.add_inequality([1.0, 0.0], 0.75)
     >>> lp.n_variables
     2
+    >>> lp.set_inequality_rhs(0, 0.5)
+    >>> float(lp.b_ub[0])
+    0.5
     """
 
     def __init__(self, objective):
@@ -81,6 +91,8 @@ class LinearProgram:
         self._eq_rhs: list[float] = []
         self._ub_rows: list[np.ndarray] = []
         self._ub_rhs: list[float] = []
+        self._A_eq_cache: np.ndarray | None = None
+        self._A_ub_cache: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -95,25 +107,82 @@ class LinearProgram:
             raise ValidationError("constraint row contains non-finite entries")
         return arr
 
+    @staticmethod
+    def _check_rhs(rhs, kind: str) -> float:
+        rhs = float(rhs)
+        if not np.isfinite(rhs):
+            raise ValidationError(f"{kind} rhs must be finite, got {rhs!r}")
+        return rhs
+
     def add_equality(self, row, rhs: float) -> None:
         """Append the constraint ``row . x == rhs``."""
         self._eq_rows.append(self._check_row(row))
-        rhs = float(rhs)
-        if not np.isfinite(rhs):
-            raise ValidationError(f"equality rhs must be finite, got {rhs!r}")
-        self._eq_rhs.append(rhs)
+        self._eq_rhs.append(self._check_rhs(rhs, "equality"))
+        self._A_eq_cache = None
 
     def add_inequality(self, row, rhs: float) -> None:
         """Append the constraint ``row . x <= rhs``."""
         self._ub_rows.append(self._check_row(row))
-        rhs = float(rhs)
-        if not np.isfinite(rhs):
-            raise ValidationError(f"inequality rhs must be finite, got {rhs!r}")
-        self._ub_rhs.append(rhs)
+        self._ub_rhs.append(self._check_rhs(rhs, "inequality"))
+        self._A_ub_cache = None
 
     def add_lower_bound_inequality(self, row, rhs: float) -> None:
         """Append ``row . x >= rhs`` (stored as ``-row . x <= -rhs``)."""
         self.add_inequality(-self._check_row(row), -float(rhs))
+
+    # ------------------------------------------------------------------
+    # cheap mutation (the Pareto sweep hot path)
+    # ------------------------------------------------------------------
+    def _check_inequality_index(self, index: int) -> int:
+        index = int(index)
+        if not -len(self._ub_rows) <= index < len(self._ub_rows):
+            raise ValidationError(
+                f"inequality index {index} out of range "
+                f"(have {len(self._ub_rows)} rows)"
+            )
+        return index % len(self._ub_rows) if self._ub_rows else index
+
+    def set_inequality_rhs(self, index: int, rhs: float) -> None:
+        """Replace the right-hand side of inequality ``index`` in place.
+
+        The constraint matrix is untouched, so any cached assembly (and
+        any warm-start state keyed on the matrix structure) stays valid.
+        This is the sweep engine's per-bound mutation.
+        """
+        index = self._check_inequality_index(index)
+        self._ub_rhs[index] = self._check_rhs(rhs, "inequality")
+
+    def set_inequality(self, index: int, row, rhs: float) -> None:
+        """Replace inequality ``index`` (row and right-hand side)."""
+        index = self._check_inequality_index(index)
+        self._ub_rows[index] = self._check_row(row)
+        self._ub_rhs[index] = self._check_rhs(rhs, "inequality")
+        self._A_ub_cache = None
+
+    def copy(self) -> "LinearProgram":
+        """Cheap shallow copy: row arrays (never mutated in place) are
+        shared, the row lists and caches are independent."""
+        clone = LinearProgram.__new__(LinearProgram)
+        clone._c = self._c
+        clone._eq_rows = list(self._eq_rows)
+        clone._eq_rhs = list(self._eq_rhs)
+        clone._ub_rows = list(self._ub_rows)
+        clone._ub_rhs = list(self._ub_rhs)
+        clone._A_eq_cache = self._A_eq_cache
+        clone._A_ub_cache = self._A_ub_cache
+        return clone
+
+    def with_upper_bound_row(self, row, rhs: float) -> "LinearProgram":
+        """A cheap copy of this LP with one extra ``row . x <= rhs``.
+
+        The equality block (for the policy LPs: the balance equations,
+        by far the largest part) is shared with the original, including
+        its cached stacked matrix — only the inequality list is new.
+        The original is not modified.
+        """
+        clone = self.copy()
+        clone.add_inequality(row, rhs)
+        return clone
 
     # ------------------------------------------------------------------
     # accessors
@@ -140,10 +209,20 @@ class LinearProgram:
 
     @property
     def A_eq(self) -> np.ndarray:
-        """Equality matrix, shape ``(n_equalities, n_variables)``."""
-        if not self._eq_rows:
-            return np.zeros((0, self._c.size))
-        return np.vstack(self._eq_rows)
+        """Equality matrix, shape ``(n_equalities, n_variables)``.
+
+        The stacked array is cached (and marked read-only) so repeated
+        solves over the same constraint structure — a Pareto sweep —
+        assemble it once.
+        """
+        if self._A_eq_cache is None or self._A_eq_cache.shape[0] != len(self._eq_rows):
+            if not self._eq_rows:
+                stacked = np.zeros((0, self._c.size))
+            else:
+                stacked = np.vstack(self._eq_rows)
+            stacked.flags.writeable = False
+            self._A_eq_cache = stacked
+        return self._A_eq_cache
 
     @property
     def b_eq(self) -> np.ndarray:
@@ -152,10 +231,19 @@ class LinearProgram:
 
     @property
     def A_ub(self) -> np.ndarray:
-        """Inequality matrix, shape ``(n_inequalities, n_variables)``."""
-        if not self._ub_rows:
-            return np.zeros((0, self._c.size))
-        return np.vstack(self._ub_rows)
+        """Inequality matrix, shape ``(n_inequalities, n_variables)``.
+
+        Cached and read-only, like :attr:`A_eq`; RHS-only mutation via
+        :meth:`set_inequality_rhs` keeps the cache valid.
+        """
+        if self._A_ub_cache is None or self._A_ub_cache.shape[0] != len(self._ub_rows):
+            if not self._ub_rows:
+                stacked = np.zeros((0, self._c.size))
+            else:
+                stacked = np.vstack(self._ub_rows)
+            stacked.flags.writeable = False
+            self._A_ub_cache = stacked
+        return self._A_ub_cache
 
     @property
     def b_ub(self) -> np.ndarray:

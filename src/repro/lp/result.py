@@ -46,6 +46,14 @@ class LPResult:
         Dual multipliers of the inequality constraints, when available.
     message:
         Free-form diagnostic from the backend.
+    warm_start:
+        Opaque backend-specific restart state (e.g. the optimal simplex
+        basis).  Passing it back to :func:`repro.lp.solve_lp` as
+        ``warm_start=`` lets a supporting backend re-solve a
+        right-hand-side-perturbed instance of the same problem without
+        starting from scratch; backends without warm-start support
+        accept and ignore it.  ``None`` when the backend has nothing to
+        offer.
     """
 
     status: LPStatus
@@ -56,6 +64,7 @@ class LPResult:
     dual_eq: np.ndarray | None = field(default=None, repr=False)
     dual_ub: np.ndarray | None = field(default=None, repr=False)
     message: str = ""
+    warm_start: object | None = field(default=None, repr=False)
 
     @property
     def is_optimal(self) -> bool:

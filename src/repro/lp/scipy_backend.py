@@ -22,8 +22,14 @@ _STATUS_MAP = {
 }
 
 
-def solve(problem: LinearProgram) -> LPResult:
-    """Solve a :class:`LinearProgram` with scipy's HiGHS."""
+def solve(problem: LinearProgram, warm_start: object | None = None) -> LPResult:
+    """Solve a :class:`LinearProgram` with scipy's HiGHS.
+
+    ``warm_start`` is accepted for interface uniformity with the
+    simplex backend and ignored: scipy's ``linprog`` wrapper does not
+    expose HiGHS basis restarts, and HiGHS's own presolve + dual
+    simplex make cold solves cheap at this problem size.
+    """
     A_eq = problem.A_eq
     b_eq = problem.b_eq
     A_ub = problem.A_ub

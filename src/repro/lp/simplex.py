@@ -10,9 +10,23 @@ Entering variables are chosen by Dantzig's rule (most negative reduced
 cost) for speed, switching permanently to Bland's rule (lowest index)
 after an iteration budget proportional to the problem size, which
 guarantees termination even on degenerate instances.
+
+**Warm starts.**  Every optimal solve reports its final basis (and the
+set of non-redundant rows) as a :class:`SimplexBasis` in
+``LPResult.warm_start``.  When the same problem is re-solved with only
+the right-hand side changed — the Pareto sweep's per-bound mutation —
+passing that basis back skips phase 1 entirely: the old optimal basis
+stays *dual* feasible (``A`` and ``c`` are unchanged), so a handful of
+dual-simplex pivots restore primal feasibility, after which the primal
+loop certifies optimality.  If the dual pivot runs out of entering
+candidates the new instance is provably infeasible; if the warm basis
+is unusable (structure changed, singular) the solver silently falls
+back to a cold two-phase solve.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -25,6 +39,30 @@ PIVOT_TOL = 1e-10
 COST_TOL = 1e-9
 #: Phase-1 objective above this value means the LP is infeasible.
 FEASIBILITY_TOL = 1e-7
+#: Ceiling on stall-driven reduced-cost tolerance expansion, as a
+#: multiple of the scale-aware base tolerance (4 decades).  Bounding
+#: the expansion keeps a genuinely improving pivot from being silently
+#: suppressed forever.
+ESCALATION_CAP = 1e4
+
+
+@dataclass(frozen=True)
+class SimplexBasis:
+    """Restart state of an optimal simplex solve.
+
+    Attributes
+    ----------
+    basis:
+        Standard-form variable indices of the optimal basis, one per
+        kept row.
+    rows:
+        Indices of the standard-form rows the basis refers to (phase 1
+        drops rows proved linearly redundant; redundancy depends only
+        on ``A``, so the kept set survives RHS changes).
+    """
+
+    basis: tuple[int, ...]
+    rows: tuple[int, ...]
 
 
 class _SimplexState:
@@ -36,6 +74,10 @@ class _SimplexState:
         self.c = c
         self.basis = basis
         self.iterations = 0
+        #: True once the optimality tolerance had to be widened on a
+        #: stall — conclusions that depend on exact optimality (the
+        #: phase-1 infeasibility proof) must not be trusted then.
+        self.tolerance_escalated = False
 
     def solve_basis(self) -> np.ndarray:
         """Current basic solution ``x_B = B^{-1} b``."""
@@ -43,9 +85,25 @@ class _SimplexState:
         return np.linalg.solve(B, self.b)
 
     def run(self, max_iterations: int) -> str:
-        """Iterate to optimality; returns 'optimal' or 'unbounded'."""
+        """Iterate to optimality; returns 'optimal' or 'unbounded'.
+
+        The optimality test is scale-aware (relative to ``max |c|``)
+        and escalates when the objective stalls: on an ill-conditioned
+        basis the computed reduced costs carry noise that can sit just
+        below a fixed tolerance, producing endless zero-length pivots
+        at the optimum.  After a long window with no objective
+        improvement the tolerance is widened a decade at a time (up to
+        :data:`ESCALATION_CAP` times its base value, and flagged via
+        ``tolerance_escalated``) until the phantom candidates
+        disappear — a bounded, Harris-style tolerance expansion.
+        """
         m, n = self.A.shape
         bland_after = max_iterations // 2
+        base_tol = COST_TOL * (1.0 + float(np.max(np.abs(self.c))))
+        tol = base_tol
+        best_objective = np.inf
+        last_improvement = 0
+        stall_window = max(100, 2 * m)
         while True:
             if self.iterations >= max_iterations:
                 return "iteration_limit"
@@ -59,9 +117,21 @@ class _SimplexState:
             except np.linalg.LinAlgError:
                 return "numerical_error"
 
+            objective = float(self.c[self.basis] @ x_b)
+            if objective < best_objective - 1e-12 * (1.0 + abs(best_objective)):
+                best_objective = objective
+                last_improvement = self.iterations
+            elif (
+                self.iterations - last_improvement >= stall_window
+                and tol < base_tol * ESCALATION_CAP
+            ):
+                tol *= 10.0
+                self.tolerance_escalated = True
+                last_improvement = self.iterations
+
             reduced = self.c - self.A.T @ y
             reduced[self.basis] = 0.0
-            candidates = np.where(reduced < -COST_TOL)[0]
+            candidates = np.where(reduced < -tol)[0]
             if candidates.size == 0:
                 return "optimal"
             if use_bland:
@@ -84,6 +154,63 @@ class _SimplexState:
                 leaving_row = max(ties, key=lambda r: direction[r])
             self.basis[leaving_row] = entering
 
+    def dual_run(self, max_iterations: int) -> str:
+        """Dual-simplex pivots from a dual-feasible basis.
+
+        Drives negative basic variables out while preserving dual
+        feasibility; returns ``'feasible'`` once the basic solution is
+        primal feasible (and hence optimal, since reduced costs stay
+        non-negative) or ``'infeasible'`` when a leaving row admits no
+        entering column — the standard dual-unboundedness certificate
+        of primal infeasibility.
+        """
+        m, _ = self.A.shape
+        bland_after = max_iterations // 2
+        in_basis = np.zeros(self.A.shape[1], dtype=bool)
+        while True:
+            if self.iterations >= max_iterations:
+                return "iteration_limit"
+            self.iterations += 1
+            use_bland = self.iterations > bland_after
+
+            B = self.A[:, self.basis]
+            try:
+                x_b = np.linalg.solve(B, self.b)
+                y = np.linalg.solve(B.T, self.c[self.basis])
+            except np.linalg.LinAlgError:
+                return "numerical_error"
+            negative = np.where(x_b < -PIVOT_TOL)[0]
+            if negative.size == 0:
+                return "feasible"
+            if use_bland:
+                leaving_row = int(negative[0])
+            else:
+                leaving_row = int(negative[np.argmin(x_b[negative])])
+
+            unit = np.zeros(m)
+            unit[leaving_row] = 1.0
+            try:
+                rho = np.linalg.solve(B.T, unit)
+            except np.linalg.LinAlgError:
+                return "numerical_error"
+            alpha = rho @ self.A
+            reduced = self.c - self.A.T @ y
+            reduced[self.basis] = 0.0
+            in_basis[:] = False
+            in_basis[self.basis] = True
+            candidates = np.where((alpha < -PIVOT_TOL) & ~in_basis)[0]
+            if candidates.size == 0:
+                return "infeasible"
+            ratios = reduced[candidates] / -alpha[candidates]
+            best = ratios.min()
+            ties = candidates[np.where(ratios <= best + COST_TOL)[0]]
+            if use_bland:
+                entering = int(ties[0])
+            else:
+                # Largest pivot magnitude among ties for stability.
+                entering = int(ties[np.argmin(alpha[ties])])
+            self.basis[leaving_row] = entering
+
 
 def _prepare(A: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Flip rows so the right-hand side is non-negative."""
@@ -95,8 +222,128 @@ def _prepare(A: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return A, b
 
 
+def _finish_optimal(
+    state: _SimplexState,
+    std: StandardFormLP,
+    rows,
+    iterations: int,
+) -> LPResult:
+    """Package an optimal phase-2/warm state as an LPResult."""
+    n = std.c.size
+    x = np.zeros(n)
+    x[state.basis] = np.clip(state.solve_basis(), 0.0, None)
+    return LPResult(
+        status=LPStatus.OPTIMAL,
+        x=std.extract_original(x),
+        objective=float(std.c @ x),
+        iterations=iterations,
+        backend="simplex",
+        warm_start=SimplexBasis(basis=tuple(state.basis), rows=tuple(rows)),
+    )
+
+
+def _warm_solve(
+    std: StandardFormLP, warm: SimplexBasis, max_iterations: int
+) -> LPResult | None:
+    """Attempt a warm-started solve from a previous optimal basis.
+
+    Returns ``None`` when the basis cannot be reused (structure
+    mismatch, singular basis, lost dual feasibility, pivot budget) —
+    the caller then falls back to the cold two-phase path.  Row sign
+    flips are unnecessary here: scaling a row of ``[A | b]`` by -1
+    never changes the solution set, and only phase 1's artificial
+    basis needs ``b >= 0``.
+    """
+    m, n = std.A.shape
+    basis = [int(v) for v in warm.basis]
+    rows = [int(r) for r in warm.rows]
+    if len(basis) != len(rows) or not basis:
+        return None
+    if min(basis) < 0 or max(basis) >= n or min(rows) < 0 or max(rows) >= m:
+        return None
+    A2 = std.A[rows]
+    b2 = std.b[rows]
+    c = std.c.copy()
+    state = _SimplexState(A2, b2, c, basis)
+    try:
+        B = A2[:, basis]
+        x_b = np.linalg.solve(B, b2)
+        y = np.linalg.solve(B.T, c[basis])
+    except np.linalg.LinAlgError:
+        return None
+    reduced = c - A2.T @ y
+    reduced[basis] = 0.0
+    if reduced.min() < -COST_TOL:
+        # Not dual feasible (c or A changed?): warm start is invalid.
+        return None
+    if x_b.min() < -PIVOT_TOL:
+        status = state.dual_run(max_iterations)
+        if status == "infeasible":
+            return LPResult(
+                status=LPStatus.INFEASIBLE,
+                backend="simplex",
+                iterations=state.iterations,
+                message="dual simplex: no entering column for a negative basic",
+            )
+        if status != "feasible":
+            return None
+    status = state.run(max_iterations)
+    if status == "optimal":
+        return _finish_optimal(state, std, rows, state.iterations)
+    if status == "unbounded":
+        return LPResult(
+            status=LPStatus.UNBOUNDED, backend="simplex", iterations=state.iterations
+        )
+    return None
+
+
+def _perturbed_recovery(
+    std: StandardFormLP, max_iterations: int
+) -> LPResult | None:
+    """Degeneracy recovery: re-solve with a tiny generic RHS shift.
+
+    Cycling and singular-basis breakdowns on these LPs come from primal
+    degeneracy (many basic variables at exactly zero).  A tiny generic
+    perturbation of ``b`` makes the polytope simple, so the pivot path
+    avoids the degenerate trap; the perturbed optimal basis is then
+    re-verified against the *true* right-hand side through the
+    warm-start machinery — dual feasibility carries over exactly (``A``
+    and ``c`` are untouched), so the dual-simplex cleanup either
+    certifies a true optimum or proves true infeasibility.  Returns
+    ``None`` when no attempt produces a certified result.
+    """
+    m = std.b.size
+    if m == 0:
+        return None
+    # Deterministic generic jitter: golden-ratio fractional parts.
+    phi = (np.sqrt(5.0) - 1.0) / 2.0
+    jitter = np.modf(np.arange(1, m + 1) * phi)[0]
+    budget = min(max_iterations, 5 * (m + std.c.size) + 1000)
+    for scale in (1e-8, 1e-6):
+        eps = scale * (1.0 + np.abs(std.b)) * (0.25 + 0.75 * jitter)
+        perturbed = StandardFormLP(
+            c=std.c, A=std.A, b=std.b + eps, n_original=std.n_original
+        )
+        trial = _cold_solve(perturbed, budget)
+        if not trial.is_optimal or trial.warm_start is None:
+            continue
+        fixed = _warm_solve(std, trial.warm_start, budget)
+        if fixed is not None and fixed.status in (
+            LPStatus.OPTIMAL,
+            LPStatus.INFEASIBLE,
+        ):
+            fixed.message = (
+                f"recovered via perturbed restart (scale {scale:g}); "
+                + fixed.message
+            ).rstrip("; ")
+            return fixed
+    return None
+
+
 def solve_standard_form(
-    std: StandardFormLP, max_iterations: int | None = None
+    std: StandardFormLP,
+    max_iterations: int | None = None,
+    warm_start: SimplexBasis | None = None,
 ) -> LPResult:
     """Solve a standard-form LP with the two-phase revised simplex.
 
@@ -106,12 +353,37 @@ def solve_standard_form(
         Problem in ``min c.x, A x = b, x >= 0`` form.
     max_iterations:
         Per-phase iteration budget; defaults to ``50 * (m + n) + 1000``.
+    warm_start:
+        A :class:`SimplexBasis` from a previous optimal solve of the
+        same constraint structure (only RHS changes allowed).  Invalid
+        or unusable bases silently fall back to the cold path.
+
+    Degenerate instances that stall (iteration limit) or break the
+    basis factorization (numerical error) are retried once through
+    :func:`_perturbed_recovery` before the failure is reported.
     """
+    if max_iterations is None:
+        m0, n0 = std.A.shape
+        max_iterations = 50 * (m0 + n0) + 1000
+
+    if warm_start is not None and std.A.shape[0]:
+        warm_result = _warm_solve(std, warm_start, max_iterations)
+        if warm_result is not None:
+            return warm_result
+
+    result = _cold_solve(std, max_iterations)
+    if result.status in (LPStatus.NUMERICAL_ERROR, LPStatus.ITERATION_LIMIT):
+        recovered = _perturbed_recovery(std, max_iterations)
+        if recovered is not None:
+            return recovered
+    return result
+
+
+def _cold_solve(std: StandardFormLP, max_iterations: int) -> LPResult:
+    """The two-phase path on a standard-form problem."""
     A, b = _prepare(std.A, std.b)
     c = std.c.copy()
     m, n = A.shape
-    if max_iterations is None:
-        max_iterations = 50 * (m + n) + 1000
 
     if m == 0:
         # No constraints: optimum is x = 0 unless some cost is negative.
@@ -145,6 +417,22 @@ def solve_standard_form(
     x_b = phase1.solve_basis()
     phase1_objective = float(c1[phase1.basis] @ x_b)
     if phase1_objective > FEASIBILITY_TOL:
+        if phase1.tolerance_escalated:
+            # Phase 1 only "finished" because the stalled tolerance was
+            # widened; positive artificials are then not a trustworthy
+            # infeasibility proof.  Report a numerical failure so the
+            # perturbed-restart recovery runs and downstream consumers
+            # (the sweep's feasibility bisection) do not treat this as
+            # a clean certificate.
+            return LPResult(
+                status=LPStatus.NUMERICAL_ERROR,
+                backend="simplex",
+                iterations=phase1.iterations,
+                message=(
+                    f"phase 1 stalled at objective {phase1_objective:.3e} "
+                    f"under an escalated tolerance"
+                ),
+            )
         return LPResult(
             status=LPStatus.INFEASIBLE,
             backend="simplex",
@@ -204,17 +492,20 @@ def solve_standard_form(
             message=f"phase 2 terminated with {status}",
         )
 
-    x = np.zeros(n)
-    x[phase2.basis] = np.clip(phase2.solve_basis(), 0.0, None)
-    return LPResult(
-        status=LPStatus.OPTIMAL,
-        x=std.extract_original(x),
-        objective=float(c @ x),
-        iterations=total_iters,
-        backend="simplex",
+    return _finish_optimal(phase2, std, keep_rows, total_iters)
+
+
+def solve(
+    problem: LinearProgram,
+    max_iterations: int | None = None,
+    warm_start: SimplexBasis | None = None,
+) -> LPResult:
+    """Solve a :class:`LinearProgram` with the two-phase simplex.
+
+    ``warm_start`` accepts the :class:`SimplexBasis` reported by a
+    previous optimal solve of the same problem structure; see
+    :func:`solve_standard_form`.
+    """
+    return solve_standard_form(
+        problem.to_standard_form(), max_iterations, warm_start=warm_start
     )
-
-
-def solve(problem: LinearProgram, max_iterations: int | None = None) -> LPResult:
-    """Solve a :class:`LinearProgram` with the two-phase simplex."""
-    return solve_standard_form(problem.to_standard_form(), max_iterations)

@@ -15,12 +15,16 @@ from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult
 from repro.util.validation import ValidationError
 
-#: Backend name -> callable(problem) -> LPResult.
+#: Backend name -> callable(problem, warm_start=None) -> LPResult.
 _BACKENDS = {
     "scipy": scipy_backend.solve,
     "interior-point": interior_point.solve,
     "simplex": simplex.solve,
 }
+
+#: Backends whose ``warm_start`` argument actually changes the solve
+#: path (the others accept and ignore it — documented pass-through).
+_WARM_CAPABLE = frozenset({"simplex"})
 
 #: Default agreement tolerance between two backends' objectives.
 CROSS_CHECK_TOL = 1e-6
@@ -31,11 +35,18 @@ def available_backends() -> tuple[str, ...]:
     return tuple(_BACKENDS)
 
 
+def supports_warm_start(backend: str) -> bool:
+    """True when ``backend`` can exploit a ``warm_start`` restart state
+    (rather than merely accepting and ignoring it)."""
+    return backend in _WARM_CAPABLE
+
+
 def solve_lp(
     problem: LinearProgram,
     backend: str = "scipy",
     cross_check: bool = False,
     cross_check_backend: str | None = None,
+    warm_start: object | None = None,
 ) -> LPResult:
     """Solve ``problem`` with the selected backend.
 
@@ -52,12 +63,17 @@ def solve_lp(
     cross_check_backend:
         Backend used for the check; defaults to ``"interior-point"``
         unless that is the primary, in which case ``"scipy"``.
+    warm_start:
+        Restart state from a previous solve's ``LPResult.warm_start``
+        (same constraint structure, RHS changes only).  Exploited by
+        warm-capable backends (:func:`supports_warm_start`), accepted
+        and ignored by the rest.  The cross-check solve is always cold.
     """
     if backend not in _BACKENDS:
         raise ValidationError(
             f"unknown LP backend {backend!r}; available: {sorted(_BACKENDS)}"
         )
-    result = _BACKENDS[backend](problem)
+    result = _BACKENDS[backend](problem, warm_start=warm_start)
     if not cross_check:
         return result
 

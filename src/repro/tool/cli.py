@@ -8,8 +8,13 @@ Subcommands:
   ``--backend {auto,loop,vector}`` picks the simulation backend and
   ``--lp-backend`` the LP solver;
 * ``pareto SPEC.json --constraint penalty --bounds 0.1,0.2,0.5`` —
-  sweep a constraint and print the trade-off curve; ``--simulate N``
-  verifies every feasible point with one batched simulation run;
+  sweep a constraint through the incremental sweep engine (bound
+  dedupe, feasibility bracketing, warm-started re-solves) and print the
+  trade-off curve; ``--refine N`` densifies the curve where it bends,
+  ``--jobs N`` fans cold solves out across processes, ``--lp-backend``
+  picks the LP solver (warm starts need ``simplex``) and
+  ``--simulate N`` verifies every feasible point with one batched
+  simulation run;
 * ``experiment ID [--full]`` — regenerate a paper table/figure
   (``repro-dpm experiment list`` shows the registry);
 * ``extract TRACE.txt --resolution 0.001 --memory 2`` — run just the
@@ -23,12 +28,11 @@ import sys
 
 import numpy as np
 
-from repro.core.optimizer import PolicyOptimizer
-from repro.core.pareto import simulate_curve, trade_off_curve
+from repro.core.pareto import simulate_curve
 from repro.experiments import available_experiments, run_experiment
 from repro.sim.backends import BACKEND_CHOICES
 from repro.sim.rng import make_rng
-from repro.tool.pipeline import run_pipeline
+from repro.tool.pipeline import run_pipeline, sweep_tradeoff
 from repro.tool.spec import load_spec
 from repro.traces.extractor import SRExtractor
 from repro.traces.trace import Trace
@@ -87,6 +91,28 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_pareto.add_argument(
         "--objective", default="power", help="metric to minimize (default: power)"
+    )
+    p_pareto.add_argument(
+        "--refine",
+        type=int,
+        default=0,
+        metavar="N",
+        help="adaptively bisect the N largest objective gaps to densify "
+        "the curve where it bends (default: 0)",
+    )
+    p_pareto.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="solve cold sweep points across N processes (default: 1, "
+        "the incremental warm-started sweep)",
+    )
+    p_pareto.add_argument(
+        "--lp-backend",
+        default="scipy",
+        help="LP backend (scipy/interior-point/simplex; warm starts "
+        "require simplex)",
     )
     p_pareto.add_argument(
         "--simulate",
@@ -158,21 +184,24 @@ def _cmd_optimize(args) -> int:
 
 def _cmd_pareto(args) -> int:
     spec = load_spec(args.spec)
-    system, costs, p0 = spec.compose()
-    optimizer = PolicyOptimizer(
-        system, costs, gamma=spec.gamma, initial_distribution=p0
-    )
     bounds = [float(b) for b in args.bounds.split(",") if b.strip()]
-    curve = trade_off_curve(
-        optimizer, bounds, objective=args.objective, constraint=args.constraint
+    report = sweep_tradeoff(
+        spec,
+        bounds,
+        objective=args.objective,
+        constraint=args.constraint,
+        refine=args.refine,
+        n_jobs=args.jobs,
+        backend=args.lp_backend,
     )
+    curve = report.curve
     simulated: list = [None] * len(curve.points)
     headers = [f"{args.constraint}_bound", f"min_{args.objective}", "feasible"]
     if args.simulate > 0:
         simulated = simulate_curve(
             curve,
-            system,
-            costs,
+            report.system,
+            report.costs,
             args.simulate,
             args.seed,
             backend=args.backend,
@@ -197,6 +226,14 @@ def _cmd_pareto(args) -> int:
             title=f"trade-off curve for {spec.name}",
         )
     )
+    stats = curve.stats
+    if stats is not None:
+        print(
+            f"sweep: {stats.n_solves} LP solves for {stats.n_requested} "
+            f"requested bounds ({stats.n_warm} warm-started, "
+            f"{stats.n_deduped} deduped, {stats.n_bracket_skipped} "
+            f"skipped by bracketing, {stats.n_refined} refined)"
+        )
     return 0
 
 

@@ -24,6 +24,8 @@ import numpy as np
 
 from repro.core.costs import PENALTY, POWER
 from repro.core.optimizer import OptimizationResult, PolicyOptimizer
+from repro.core.pareto import ParetoCurve
+from repro.core.pareto_sweep import ParetoSweepSolver
 from repro.policies.stochastic import StationaryPolicyAgent
 from repro.sim.engine import SimulationResult, simulate
 from repro.sim.trace_sim import TraceSimulationResult, simulate_trace
@@ -144,6 +146,65 @@ def _make_optimizer(spec, system, costs, p0, backend, cross_check, formulation):
     raise ValidationError(
         f"unknown formulation {formulation!r}; use 'discounted' or 'average'"
     )
+
+
+@dataclass
+class SweepReport:
+    """A spec-level Pareto sweep plus the objects needed to verify it.
+
+    Attributes
+    ----------
+    curve:
+        The swept :class:`~repro.core.pareto.ParetoCurve` (``curve.stats``
+        carries the engine's solve accounting).
+    optimizer / system / costs:
+        The optimizer and composed system behind the sweep — kept so
+        callers can simulate the curve's policies or solve follow-up
+        points without recomposing the spec.
+    """
+
+    curve: ParetoCurve
+    optimizer: PolicyOptimizer
+    system: "object"
+    costs: "object"
+
+
+def sweep_tradeoff(
+    spec: SystemSpec,
+    bounds,
+    objective: str = POWER,
+    constraint: str = PENALTY,
+    *,
+    constraint_sense: str = "<=",
+    extra_upper_bounds: dict[str, float] | None = None,
+    refine: int = 0,
+    n_jobs: int = 1,
+    backend: str = "scipy",
+    cross_check: bool = False,
+    formulation: str = "discounted",
+) -> SweepReport:
+    """Sweep a spec's trade-off curve through the incremental engine.
+
+    Composes the spec, builds the optimizer for the requested
+    ``formulation`` and runs a :class:`ParetoSweepSolver` sweep (bound
+    dedupe, feasibility bracketing, warm-started incremental re-solves,
+    optional ``refine`` densification and ``n_jobs`` process fan-out).
+    This is the CLI's ``pareto`` engine.
+    """
+    system, costs, p0 = spec.compose()
+    optimizer = _make_optimizer(
+        spec, system, costs, p0, backend, cross_check, formulation
+    )
+    solver = ParetoSweepSolver(
+        optimizer,
+        objective=objective,
+        constraint=constraint,
+        constraint_sense=constraint_sense,
+        extra_upper_bounds=extra_upper_bounds,
+        n_jobs=n_jobs,
+    )
+    curve = solver.solve(bounds, refine=refine)
+    return SweepReport(curve=curve, optimizer=optimizer, system=system, costs=costs)
 
 
 def run_pipeline(

@@ -12,6 +12,7 @@ import pytest
 import repro.core.average_cost
 import repro.core.components
 import repro.core.costs
+import repro.core.pareto_sweep
 import repro.core.policy
 import repro.lp.problem
 import repro.markov.chain
@@ -27,6 +28,7 @@ MODULES = [
     repro.core.costs,
     repro.core.policy,
     repro.core.average_cost,
+    repro.core.pareto_sweep,
     repro.traces.trace,
     repro.traces.extractor,
 ]

@@ -216,3 +216,78 @@ class TestCrossBackendProperty:
                 reference.objective, rel=1e-5, abs=1e-6
             ), name
             assert lp.is_feasible(res.x, tol=1e-5), name
+
+
+class TestWarmStart:
+    """Simplex warm-start hooks (and pass-through on other backends)."""
+
+    @staticmethod
+    def _bounded_lp(rhs: float) -> LinearProgram:
+        """min -x - y s.t. x + y <= rhs, x <= 1 -> objective -rhs for rhs<=2."""
+        lp = LinearProgram([-1.0, -1.0])
+        lp.add_equality([1.0, 0.0], 1.0)
+        lp.add_inequality([1.0, 1.0], rhs)
+        return lp
+
+    def test_optimal_solve_reports_basis(self):
+        result = simplex.solve(self._bounded_lp(1.5))
+        assert result.is_optimal
+        assert result.warm_start is not None
+        assert isinstance(result.warm_start, simplex.SimplexBasis)
+
+    def test_warm_resolve_matches_cold_after_rhs_change(self):
+        lp = self._bounded_lp(1.5)
+        first = simplex.solve(lp)
+        lp.set_inequality_rhs(0, 1.8)
+        warm = simplex.solve(lp, warm_start=first.warm_start)
+        cold = simplex.solve(lp)
+        assert warm.is_optimal and cold.is_optimal
+        assert warm.objective == pytest.approx(cold.objective, abs=1e-10)
+        assert np.allclose(warm.x, cold.x, atol=1e-9)
+
+    def test_warm_start_detects_infeasibility(self):
+        lp = self._bounded_lp(1.5)
+        first = simplex.solve(lp)
+        lp.set_inequality_rhs(0, 0.5)  # x = 1 forces x + y >= 1 > 0.5
+        warm = simplex.solve(lp, warm_start=first.warm_start)
+        assert warm.status is LPStatus.INFEASIBLE
+
+    def test_invalid_basis_falls_back_to_cold(self):
+        lp = self._bounded_lp(1.5)
+        bogus = simplex.SimplexBasis(basis=(99, 98), rows=(0, 1))
+        result = simplex.solve(lp, warm_start=bogus)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(-1.5, abs=1e-9)
+
+    def test_solve_lp_passes_warm_start_through(self):
+        lp = self._bounded_lp(1.5)
+        first = solve_lp(lp, backend="simplex")
+        lp.set_inequality_rhs(0, 1.7)
+        warm = solve_lp(lp, backend="simplex", warm_start=first.warm_start)
+        assert warm.is_optimal
+        assert warm.objective == pytest.approx(-1.7, abs=1e-9)
+
+    @pytest.mark.parametrize("backend", ["scipy", "interior-point"])
+    def test_other_backends_accept_and_ignore(self, backend):
+        lp = self._bounded_lp(1.5)
+        first = solve_lp(lp, backend="simplex")
+        result = solve_lp(lp, backend=backend, warm_start=first.warm_start)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(-1.5, abs=1e-6)
+
+    def test_supports_warm_start_capability_map(self):
+        from repro.lp.solve import supports_warm_start
+
+        assert supports_warm_start("simplex")
+        assert not supports_warm_start("scipy")
+        assert not supports_warm_start("interior-point")
+
+    def test_warm_chain_along_a_sweep(self):
+        lp = self._bounded_lp(1.2)
+        result = simplex.solve(lp)
+        for rhs in (1.4, 1.6, 1.8, 2.0):
+            lp.set_inequality_rhs(0, rhs)
+            result = simplex.solve(lp, warm_start=result.warm_start)
+            assert result.is_optimal
+            assert result.objective == pytest.approx(-min(rhs, 2.0), abs=1e-9)
+            assert result.warm_start is not None

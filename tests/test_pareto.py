@@ -134,3 +134,40 @@ class TestCurvePredicates:
         curve.points.append(ParetoPoint(bound=1.0, feasible=True, objective=1.0))
         assert curve.is_convex()
         assert curve.is_non_increasing()
+
+    def test_predicates_sort_points_by_bound(self):
+        # A well-shaped curve appended out of order: judged on geometry,
+        # not append order, both predicates must hold.
+        from repro.core.pareto import ParetoCurve, ParetoPoint
+
+        curve = ParetoCurve("power", "penalty")
+        for bound, objective in [(3.0, 1.0), (1.0, 3.0), (2.0, 1.8)]:
+            curve.points.append(
+                ParetoPoint(bound=bound, feasible=True, objective=objective)
+            )
+        assert curve.is_non_increasing()
+        assert curve.is_convex()
+
+    def test_out_of_order_violation_still_detected(self):
+        # An objective that *increases* with the bound must fail the
+        # monotonicity predicate even when appended in an order whose
+        # raw sequence happens to be non-increasing.
+        from repro.core.pareto import ParetoCurve, ParetoPoint
+
+        curve = ParetoCurve("power", "penalty")
+        for bound, objective in [(2.0, 2.0), (1.0, 1.0)]:
+            curve.points.append(
+                ParetoPoint(bound=bound, feasible=True, objective=objective)
+            )
+        assert not curve.is_non_increasing()
+
+    def test_out_of_order_concavity_detected(self):
+        from repro.core.pareto import ParetoCurve, ParetoPoint
+
+        curve = ParetoCurve("power", "penalty")
+        # Concave (above the chord) at bound 2 — appended shuffled.
+        for bound, objective in [(2.0, 2.9), (3.0, 1.0), (1.0, 3.0)]:
+            curve.points.append(
+                ParetoPoint(bound=bound, feasible=True, objective=objective)
+            )
+        assert not curve.is_convex()
