@@ -1,0 +1,234 @@
+"""Fleet-controller throughput: grouped vector stepping vs device loops.
+
+The headline acceptance check for the :mod:`repro.runtime` subsystem:
+a fleet of **1024** stationary disk devices stepped by the controller's
+grouped vector path must sustain **>= 10x** the device-slices/second of
+the same fleet forced through the per-device reference loop.  The
+second contract — a checkpoint/resume campaign reproduces an
+uninterrupted run's telemetry *exactly* — is asserted alongside, on a
+mixed fleet (vector group + timeout heuristics + a stream-driven
+device) so every stepping path crosses the checkpoint.
+
+Run under pytest-benchmark::
+
+    pytest benchmarks/bench_fleet.py -o python_files='bench_*.py' \
+        -o python_functions='bench_*' --benchmark-only
+
+or standalone (emits one JSON document on stdout)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py [--quick]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.policies import (
+    StationaryPolicyAgent,
+    TimeoutAgent,
+    eager_markov_policy,
+)
+from repro.runtime import (
+    Fleet,
+    FleetController,
+    MemoryTelemetry,
+    MMPP2Stream,
+    device_rng,
+)
+from repro.systems import disk_drive, example_system
+
+#: Headline scenario: 1024 stationary devices.
+N_DEVICES = 1024
+SPEEDUP_TARGET = 10.0
+
+
+def _stationary_fleet(bundle, n_devices: int, seed: int = 0) -> Fleet:
+    policy = eager_markov_policy(bundle.system, "go_active", "go_idle")
+    fleet = Fleet()
+    for i in range(n_devices):
+        fleet.add_device(
+            f"disk-{i:04d}",
+            bundle.system,
+            bundle.costs,
+            StationaryPolicyAgent(bundle.system, policy),
+            rng=device_rng(seed, i),
+            initial_state=("active", "0", 0),
+        )
+    return fleet
+
+
+def _mixed_fleet(seed: int = 3) -> Fleet:
+    """Vector group + loop heuristics + a stream-driven device."""
+    bundle = example_system.build()
+    policy = eager_markov_policy(bundle.system, "s_on", "s_off")
+    fleet = Fleet()
+    for i in range(12):
+        fleet.add_device(
+            f"v-{i:02d}",
+            bundle.system,
+            bundle.costs,
+            StationaryPolicyAgent(bundle.system, policy),
+            rng=device_rng(seed, i),
+        )
+    for i in range(3):
+        fleet.add_device(
+            f"t-{i:02d}",
+            bundle.system,
+            bundle.costs,
+            TimeoutAgent(5, 0, 1),
+            rng=device_rng(seed + 1, i),
+        )
+    rng = device_rng(seed + 2, 0)
+    fleet.add_device(
+        "stream-00",
+        bundle.system,
+        bundle.costs,
+        TimeoutAgent(3, 0, 1),
+        rng=rng,
+        stream=MMPP2Stream(0.95, 0.85, rng),
+    )
+    return fleet
+
+
+def _run(fleet: Fleet, backend: str, ticks: int, slices_per_tick: int):
+    """One timed campaign; returns (seconds, device_slices_per_second)."""
+    controller = FleetController(
+        fleet, slices_per_tick=slices_per_tick, backend=backend
+    )
+    start = time.perf_counter()
+    controller.run(ticks)
+    seconds = time.perf_counter() - start
+    return seconds, len(fleet) * ticks * slices_per_tick / seconds
+
+
+def _checkpoint_roundtrip_exact(tmp_path, ticks: int = 6) -> bool:
+    """Does resume reproduce an uninterrupted run's telemetry exactly?"""
+    split = ticks // 2
+    full = MemoryTelemetry()
+    FleetController(
+        _mixed_fleet(), slices_per_tick=100, telemetry=full
+    ).run(ticks)
+
+    parts = MemoryTelemetry()
+    controller = FleetController(
+        _mixed_fleet(), slices_per_tick=100, telemetry=parts
+    )
+    controller.run(split)
+    path = str(tmp_path / "bench_fleet.ckpt")
+    controller.save_checkpoint(path)
+    resumed = FleetController.resume(path, telemetry=parts)
+    resumed.run(ticks - split)
+    return json.dumps(full.records, sort_keys=True) == json.dumps(
+        parts.records, sort_keys=True
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def bench_fleet_vector_1024dev(benchmark):
+    """Grouped vector stepping, 1024 stationary disks."""
+    bundle = disk_drive.build()
+    fleet = _stationary_fleet(bundle, N_DEVICES)
+    benchmark.pedantic(
+        lambda: _run(fleet, "vector", 1, 200), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n_devices"] = N_DEVICES
+
+
+def bench_fleet_speedup_1024dev(benchmark):
+    """Acceptance: grouped vector >= 10x the per-device loop path."""
+    bundle = disk_drive.build()
+    loop_seconds, loop_rate = _run(
+        _stationary_fleet(bundle, N_DEVICES), "loop", 1, 50
+    )
+    vector_seconds, vector_rate = benchmark.pedantic(
+        lambda: _run(_stationary_fleet(bundle, N_DEVICES), "vector", 1, 500),
+        rounds=1,
+        iterations=1,
+    )
+    speedup = vector_rate / loop_rate
+    benchmark.extra_info.update(
+        loop_device_slices_per_sec=round(loop_rate),
+        vector_device_slices_per_sec=round(vector_rate),
+        speedup=round(speedup, 2),
+    )
+    assert speedup >= SPEEDUP_TARGET, (
+        f"grouped vector stepping only {speedup:.1f}x faster than the "
+        f"per-device loop ({vector_rate:,.0f} vs {loop_rate:,.0f} "
+        f"device-slices/s); target {SPEEDUP_TARGET}x"
+    )
+
+
+def bench_fleet_checkpoint_roundtrip(benchmark, tmp_path):
+    """Acceptance: resumed telemetry == uninterrupted telemetry."""
+    exact = benchmark.pedantic(
+        lambda: _checkpoint_roundtrip_exact(tmp_path), rounds=1, iterations=1
+    )
+    assert exact, "checkpoint/resume telemetry diverged from the full run"
+
+
+# ----------------------------------------------------------------------
+# standalone JSON mode
+# ----------------------------------------------------------------------
+def collect(quick: bool = False) -> dict:
+    """Run the matrix and return the benchmark JSON document."""
+    import pathlib
+    import tempfile
+
+    bundle = disk_drive.build()
+    # Loop throughput is rate-stable, so it is sampled on a shorter
+    # campaign; the vector path gets a fleet-scale one.
+    scenarios = (
+        ("loop", 1, 10 if quick else 50),
+        ("vector", 1, 100 if quick else 500),
+    )
+    records = []
+    for backend, ticks, slices_per_tick in scenarios:
+        fleet = _stationary_fleet(bundle, N_DEVICES)
+        seconds, rate = _run(fleet, backend, ticks, slices_per_tick)
+        records.append(
+            {
+                "name": f"{backend}_disk66_{N_DEVICES}dev",
+                "backend": backend,
+                "n_devices": N_DEVICES,
+                "slices_per_device": ticks * slices_per_tick,
+                "seconds": round(seconds, 4),
+                "device_slices_per_sec": round(rate),
+            }
+        )
+    speedup = round(
+        records[1]["device_slices_per_sec"]
+        / records[0]["device_slices_per_sec"],
+        2,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        exact = _checkpoint_roundtrip_exact(
+            pathlib.Path(tmp), ticks=4 if quick else 6
+        )
+    return {
+        "benchmarks": records,
+        "speedup_vector_vs_loop": speedup,
+        "speedup_target": SPEEDUP_TARGET,
+        "checkpoint_resume_exact": exact,
+    }
+
+
+def main(argv=None) -> int:
+    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    document = collect(quick=quick)
+    json.dump(document, sys.stdout, indent=2)
+    print()
+    if not document["checkpoint_resume_exact"]:
+        return 1
+    # Quick mode is a smoke run; the throughput target is only binding
+    # on the full campaign.
+    if quick:
+        return 0
+    return 0 if document["speedup_vector_vs_loop"] >= SPEEDUP_TARGET else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

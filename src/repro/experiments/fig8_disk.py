@@ -49,8 +49,18 @@ SIM_ATOL = 0.10
 PENALTY_MARGIN = 2.0
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
-    """Regenerate Fig. 8(b): optimal curve, circles and heuristics."""
+def run(
+    quick: bool = False,
+    seed: int = 0,
+    backend: str = "auto",
+    lp_backend: str = "scipy",
+) -> ExperimentResult:
+    """Regenerate Fig. 8(b): optimal curve, circles and heuristics.
+
+    ``backend`` picks the simulation backend for the verification runs
+    and ``lp_backend`` the LP solver — both forwarded from the CLI's
+    ``experiment --backend/--lp-backend`` flags through the registry.
+    """
     bundle = disk_drive.build()
     system, costs = bundle.system, bundle.costs
     optimizer = PolicyOptimizer(
@@ -58,6 +68,7 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
         costs,
         gamma=bundle.gamma,
         initial_distribution=bundle.initial_distribution,
+        backend=lp_backend,
     )
     n_slices = 60_000 if quick else 400_000
 
@@ -91,6 +102,7 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
         n_slices,
         seed,
         initial_state=("active", "0", 0),
+        backend=backend,
     )
     circles = [sims[0] for sims in circle_sims if sims is not None]
 
@@ -173,6 +185,7 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
         n_slices,
         seed + 1,
         initial_state=("active", "0", 0),
+        backend=backend,
     )
     simulated_rows = []
     simulated_above = []

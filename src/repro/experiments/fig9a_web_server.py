@@ -30,8 +30,17 @@ SIM_RTOL = 0.12
 SIM_ATOL = 0.05
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
-    """Regenerate Fig. 9(a)."""
+def run(
+    quick: bool = False,
+    seed: int = 0,
+    backend: str = "auto",
+    lp_backend: str = "scipy",
+) -> ExperimentResult:
+    """Regenerate Fig. 9(a).
+
+    ``backend``/``lp_backend`` select the simulation and LP backends
+    (forwarded from the CLI through the experiment registry).
+    """
     bundle = web_server.build()
     system, costs = bundle.system, bundle.costs
     optimizer = PolicyOptimizer(
@@ -39,6 +48,7 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
         costs,
         gamma=bundle.gamma,
         initial_distribution=bundle.initial_distribution,
+        backend=lp_backend,
     )
     n_slices = 40_000 if quick else 200_000
 
@@ -63,6 +73,7 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
         n_slices,
         seed,
         initial_state=("both", "0", 0),
+        backend=backend,
     )
 
     rows = []

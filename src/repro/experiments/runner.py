@@ -8,6 +8,7 @@ Experiment ids follow the paper's artifact names (``table1``, ``fig6``,
 from __future__ import annotations
 
 import importlib
+import inspect
 from typing import Callable
 
 #: Experiment id -> module path (each module exposes ``run``).
@@ -45,14 +46,36 @@ def get_experiment(experiment_id: str) -> Callable:
     return module.run
 
 
-def run_experiment(experiment_id: str, quick: bool = False, seed: int = 0):
-    """Run one experiment and return its :class:`ExperimentResult`."""
-    return get_experiment(experiment_id)(quick=quick, seed=seed)
+def run_experiment(
+    experiment_id: str, quick: bool = False, seed: int = 0, **kwargs
+):
+    """Run one experiment and return its :class:`ExperimentResult`.
+
+    Extra keyword arguments (``backend=`` for the simulation backend,
+    ``lp_backend=`` for the LP solver, ...) are forwarded to drivers
+    whose ``run`` signature accepts them and silently dropped for the
+    rest — the CLI passes user flags through here without every driver
+    having to grow every knob.  ``None`` values are never forwarded
+    (they mean "driver default").
+    """
+    driver = get_experiment(experiment_id)
+    parameters = inspect.signature(driver).parameters
+    accepts_any = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+    forwarded = {
+        name: value
+        for name, value in kwargs.items()
+        if value is not None and (accepts_any or name in parameters)
+    }
+    return driver(quick=quick, seed=seed, **forwarded)
 
 
-def run_all(quick: bool = False, seed: int = 0) -> dict:
+def run_all(quick: bool = False, seed: int = 0, **kwargs) -> dict:
     """Run every registered experiment; returns ``{id: result}``."""
     return {
-        experiment_id: run_experiment(experiment_id, quick=quick, seed=seed)
+        experiment_id: run_experiment(
+            experiment_id, quick=quick, seed=seed, **kwargs
+        )
         for experiment_id in _REGISTRY
     }

@@ -68,6 +68,18 @@ class AdaptivePolicyAgent(PolicyAgent):
     smoothing:
         Laplace smoothing for the extractor (keeps rare transitions
         alive on short windows).
+    policy_cache:
+        Optional :class:`~repro.runtime.policy_cache.PolicyCache`.
+        When given, every refit solve routes through the cache: a
+        window whose refit LP is content-identical to a previous one
+        (common once a stationary workload's model converges, or across
+        a fleet of devices seeing the same regime) costs a lookup
+        instead of a solve, and near-identical refits ("the model
+        barely moved") warm-start the simplex backend from the last
+        optimal basis via ``LPResult.warm_start``.  Cache traffic from
+        this agent is reported by :attr:`cache_hits` /
+        :attr:`cache_warm_hints` next to :attr:`refits` /
+        :attr:`failed_refits`.
     """
 
     def __init__(
@@ -83,6 +95,7 @@ class AdaptivePolicyAgent(PolicyAgent):
         action_mask_builder=None,
         smoothing: float = 0.5,
         backend: str = "scipy",
+        policy_cache=None,
     ):
         if window < 10:
             raise ValidationError(f"window must be >= 10 slices, got {window}")
@@ -101,6 +114,7 @@ class AdaptivePolicyAgent(PolicyAgent):
         self._mask_builder = action_mask_builder
         self._smoothing = float(smoothing)
         self._backend = backend
+        self._policy_cache = policy_cache
 
         self._arrivals: deque[int] = deque(maxlen=self._window)
         self._policy: MarkovPolicy | None = None
@@ -110,6 +124,8 @@ class AdaptivePolicyAgent(PolicyAgent):
         self._since_refit = 0
         self._refits = 0
         self._failed_refits = 0
+        self._cache_hits = 0
+        self._cache_warm_hints = 0
 
     # ------------------------------------------------------------------
     # bookkeeping accessors (for experiments and tests)
@@ -125,6 +141,16 @@ class AdaptivePolicyAgent(PolicyAgent):
         return self._failed_refits
 
     @property
+    def cache_hits(self) -> int:
+        """Refit solves answered by the policy cache without an LP solve."""
+        return self._cache_hits
+
+    @property
+    def cache_warm_hints(self) -> int:
+        """Refit solves that carried a warm-start basis into the backend."""
+        return self._cache_warm_hints
+
+    @property
     def current_policy(self) -> MarkovPolicy | None:
         """The policy currently being executed (None before first fit)."""
         return self._policy
@@ -138,6 +164,8 @@ class AdaptivePolicyAgent(PolicyAgent):
         self._since_refit = 0
         self._refits = 0
         self._failed_refits = 0
+        self._cache_hits = 0
+        self._cache_warm_hints = 0
 
     # ------------------------------------------------------------------
     # the refit step
@@ -165,7 +193,16 @@ class AdaptivePolicyAgent(PolicyAgent):
                 action_mask=mask,
                 fallback="greedy-service",
             )
-            result = self._optimize(optimizer)
+            if self._policy_cache is not None:
+                # Cached refits: content-identical windows hit, barely
+                # moved ones warm-start the previous optimal basis.
+                stats = self._policy_cache.stats
+                hits, hints = stats.hits, stats.warm_hinted
+                result = self._optimize(self._policy_cache.wrap(optimizer))
+                self._cache_hits += stats.hits - hits
+                self._cache_warm_hints += stats.warm_hinted - hints
+            else:
+                result = self._optimize(optimizer)
         except Exception:
             self._failed_refits += 1
             return

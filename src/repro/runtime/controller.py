@@ -1,0 +1,461 @@
+"""The fleet controller: step thousands of devices through time.
+
+:class:`FleetController` advances a registered
+:class:`~repro.runtime.fleet.Fleet` tick by tick
+(``slices_per_tick`` slices each).  The hot path is *grouped vector
+stepping*: devices sharing a ``(system, costs, policy-determinism)``
+signature are packed into one batch of the
+:mod:`~repro.sim.backends.vector` joint-state kernel — their distinct
+policies stacked into a single
+:class:`~repro.sim.backends.vector.CompiledPolicyBatch` — so a
+thousand stationary devices advance in a handful of fused NumPy calls
+per chunk instead of a thousand Python loops.  Devices the kernel
+cannot express (stateful heuristics, adaptive agents, stream-driven
+workloads) fall back to a resumable per-device loop with the reference
+semantics of :class:`~repro.sim.backends.loop.LoopBackend`.
+
+Determinism is per-device, not per-run: each device owns its generator
+and the batch draws every lane's uniforms from its own stream through
+:class:`_FanInUniforms`, always at the pinned
+:data:`FLEET_CHUNK_SLICES` chunk length.  A device therefore consumes
+*exactly the same uniforms through the same reduction boundaries* no
+matter how it is grouped, what else is in the fleet, or whether the
+campaign was checkpoint/resumed — fleet results are bitwise
+reproducible from per-device seeds alone.  (One documented exception:
+adaptive devices sharing a *warm-starting* policy cache can pick
+different tied-optimal vertices depending on cache history — see the
+determinism note on :class:`~repro.runtime.policy_cache.PolicyCache`.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies.base import Observation
+from repro.runtime.fleet import Device, Fleet
+from repro.runtime.telemetry import snapshot
+from repro.sim.backends.base import SimulationTables
+from repro.sim.backends.vector import CompiledPolicyBatch, step_lanes
+from repro.sim.rng import sample_categorical
+from repro.util.validation import ValidationError
+
+__all__ = ["FLEET_CHUNK_SLICES", "FleetController"]
+
+#: Pinned chunk length for fleet batches.  A constant (rather than the
+#: kernel's lane-count-scaled uniform budget) keeps each lane's
+#: summation tree identical whether the device steps alone or among
+#: thousands — the bitwise half of the fleet determinism contract.
+#: 256 slices x 4 uniform kinds x 1024 lanes is an 8 MB draw buffer.
+FLEET_CHUNK_SLICES = 256
+
+#: Accepted ``backend`` values for the controller.
+CONTROLLER_BACKENDS = ("auto", "loop", "vector")
+
+
+class _FanInUniforms:
+    """Duck-typed generator drawing each lane from its own device stream.
+
+    The vector kernel asks one source for ``(chunk, kinds, lanes)``
+    uniform blocks; this shim fans the request out so lane ``l``'s
+    draws continue device ``l``'s private stream in ``(slice, kind)``
+    order — the same order a single-device batch would consume.
+    """
+
+    def __init__(self, generators):
+        self._generators = list(generators)
+
+    def random(self, shape):
+        chunk, n_kinds, n_lanes = shape
+        if n_lanes != len(self._generators):
+            raise ValidationError(
+                f"fan-in shim built for {len(self._generators)} lanes, "
+                f"kernel asked for {n_lanes}"
+            )
+        out = np.empty(shape)
+        for lane, generator in enumerate(self._generators):
+            out[:, :, lane] = generator.random((chunk, n_kinds))
+        return out
+
+
+class _VectorGroup:
+    """One compiled batch: devices sharing a group signature."""
+
+    def __init__(self, devices: list[Device]):
+        self.devices = devices
+        first = devices[0]
+        self.tables = first.compile_tables()
+        # Distinct policies within the group are stacked once; lanes
+        # index into the stack (1024 identical devices compile one row).
+        from repro.runtime.policy_cache import policy_signature
+
+        unique: dict[str, int] = {}
+        policies = []
+        policy_of_lane = []
+        for device in devices:
+            policy = device.agent.stationary_policy(device.system)
+            signature = policy_signature(policy)
+            if signature not in unique:
+                unique[signature] = len(policies)
+                policies.append(policy)
+            policy_of_lane.append(unique[signature])
+        self.compiled = CompiledPolicyBatch.compile(first.system, policies)
+        self.policy_of_lane = np.asarray(policy_of_lane, dtype=np.int64)
+        self.n_policies = len(policies)
+
+    def step(self, n_slices: int) -> None:
+        """Advance every device in the group by ``n_slices`` slices."""
+        devices = self.devices
+        starts = (
+            np.asarray([d.state[0] for d in devices], dtype=np.int64),
+            np.asarray([d.state[1] for d in devices], dtype=np.int64),
+            np.asarray([d.state[2] for d in devices], dtype=np.int64),
+        )
+        lengths = np.full(len(devices), int(n_slices), dtype=np.int64)
+        acc = step_lanes(
+            self.tables,
+            self.compiled,
+            self.policy_of_lane,
+            lengths,
+            starts,
+            _FanInUniforms(d.rng for d in devices),
+            chunk_slices=FLEET_CHUNK_SLICES,
+        )
+        for lane, device in enumerate(devices):
+            device.totals += acc.totals[:, lane]
+            device.command_counts += acc.command_counts[lane]
+            device.provider_occupancy += acc.provider_occupancy[lane]
+            device.arrivals += int(acc.arrivals[lane])
+            device.serviced += int(acc.serviced[lane])
+            device.lost += int(acc.lost[lane])
+            device.loss_event_slices += int(acc.loss_events[lane])
+            device.state = tuple(int(v) for v in acc.final_state[lane])
+            device.slices += int(n_slices)
+
+
+def _step_device_loop(
+    device: Device, tables: SimulationTables, n_slices: int
+) -> None:
+    """Resumable reference loop: one device, ``n_slices`` slices.
+
+    Model-driven devices reproduce
+    :class:`~repro.sim.backends.loop.LoopBackend` semantics slice for
+    slice (agent draw if any, SP draw, SR draw, service Bernoulli only
+    when work is pending) but continue from the device's persisted
+    state instead of resetting.  Stream-driven devices replace the SR
+    draw with the stream's arrival counts and track the observed SR
+    state (the fleet rendition of paper Section V's trace-driven mode).
+    """
+    s, r, q = device.state
+    agent, rng = device.agent, device.rng
+    metric_stack = tables.metric_stack
+    sp_cum, sr_cum = tables.sp_cum, tables.sr_cum
+    rates = tables.rates
+    arrivals_of, issuing = tables.arrivals_of, tables.issuing
+    capacity, n_sr, n_sq = tables.capacity, tables.n_sr, tables.n_sq
+    n_commands = tables.n_commands
+    counts = (
+        device.stream.next_counts(n_slices)
+        if device.stream is not None
+        else None
+    )
+    prev_arrivals = device.prev_arrivals
+    base_slice = device.slices
+
+    totals = np.zeros(len(device.metric_names))
+    for t in range(int(n_slices)):
+        observation = Observation(
+            provider_state=s,
+            requester_state=r,
+            queue_length=q,
+            arrivals=prev_arrivals,
+            slice_index=base_slice + t,
+        )
+        a = int(agent.select_command(observation, rng))
+        if not 0 <= a < n_commands:
+            raise ValidationError(
+                f"device {device.device_id!r}: agent returned command {a}, "
+                f"valid range is [0, {n_commands})"
+            )
+
+        joint = (s * n_sr + r) * n_sq + q
+        totals += metric_stack[:, joint, a]
+        device.command_counts[a] += 1
+        device.provider_occupancy[s] += 1
+        if counts is None:
+            at_risk = issuing[r] and q == capacity
+        else:
+            at_risk = prev_arrivals > 0 and q == capacity
+        if at_risk:
+            device.loss_event_slices += 1
+
+        s_next = sample_categorical(sp_cum[a, s], rng)
+        if counts is None:
+            r_next = sample_categorical(sr_cum[r], rng)
+            z = int(arrivals_of[r_next])
+        else:
+            z = int(counts[t])
+            r_next = device.tracker.update(z)
+        pending = q + z
+        served = 0
+        if pending > 0 and rng.random() < rates[s, a]:
+            served = 1
+        q_next = min(pending - served, capacity)
+
+        device.arrivals += z
+        device.serviced += served
+        device.lost += max(pending - served - capacity, 0)
+        prev_arrivals = z
+        s, r, q = s_next, r_next, q_next
+
+    device.totals += totals
+    device.state = (s, r, q)
+    device.prev_arrivals = prev_arrivals
+    device.slices += int(n_slices)
+
+
+class FleetController:
+    """Long-lived online controller over a device fleet.
+
+    Parameters
+    ----------
+    fleet:
+        The registered devices.  Membership may change between ticks
+        (``add_device``/``remove_device``); the controller regroups and
+        recompiles lazily.
+    slices_per_tick:
+        Slices every device advances per :meth:`step_tick`.
+    backend:
+        ``"auto"`` (group vector-eligible devices, loop the rest),
+        ``"loop"`` (everything through the per-device loop — the
+        benchmark baseline), or ``"vector"`` (require every device to
+        be vector-eligible).
+    telemetry:
+        Optional sink with a ``record(dict)`` method
+        (:class:`~repro.runtime.telemetry.MemoryTelemetry` /
+        :class:`~repro.runtime.telemetry.JsonLinesTelemetry`).
+    telemetry_every:
+        Ticks between snapshots.
+    telemetry_per_device:
+        Include per-device sub-records in each snapshot.
+
+    Examples
+    --------
+    >>> from repro.policies import StationaryPolicyAgent, eager_markov_policy
+    >>> from repro.runtime import Fleet, FleetController, device_rng
+    >>> from repro.systems import example_system
+    >>> bundle = example_system.build()
+    >>> policy = eager_markov_policy(bundle.system, "s_on", "s_off")
+    >>> fleet = Fleet()
+    >>> for i in range(4):
+    ...     _ = fleet.add_device(
+    ...         f"dev-{i}", bundle.system, bundle.costs,
+    ...         StationaryPolicyAgent(bundle.system, policy),
+    ...         rng=device_rng(0, i),
+    ...     )
+    >>> controller = FleetController(fleet, slices_per_tick=100)
+    >>> controller.run(3)
+    >>> controller.tick, fleet.total_slices
+    (3, 1200)
+    """
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        slices_per_tick: int = 1000,
+        backend: str = "auto",
+        telemetry=None,
+        telemetry_every: int = 1,
+        telemetry_per_device: bool = False,
+    ):
+        slices_per_tick = int(slices_per_tick)
+        if slices_per_tick <= 0:
+            raise ValidationError(
+                f"slices_per_tick must be > 0, got {slices_per_tick}"
+            )
+        if backend not in CONTROLLER_BACKENDS:
+            raise ValidationError(
+                f"unknown controller backend {backend!r}; "
+                f"choose from {CONTROLLER_BACKENDS}"
+            )
+        telemetry_every = int(telemetry_every)
+        if telemetry_every <= 0:
+            raise ValidationError(
+                f"telemetry_every must be > 0, got {telemetry_every}"
+            )
+        self._fleet = fleet
+        self._slices_per_tick = slices_per_tick
+        self._backend = backend
+        self._telemetry = telemetry
+        self._telemetry_every = telemetry_every
+        self._telemetry_per_device = bool(telemetry_per_device)
+        self._tick = 0
+        # Compiled-group caches, invalidated on fleet membership changes.
+        self._groups_version = -1
+        self._vector_groups: list[_VectorGroup] = []
+        self._loop_devices: list[Device] = []
+        self._loop_tables: dict[tuple, SimulationTables] = {}
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def fleet(self) -> Fleet:
+        """The managed fleet."""
+        return self._fleet
+
+    @property
+    def tick(self) -> int:
+        """Ticks completed so far."""
+        return self._tick
+
+    @property
+    def slices_per_tick(self) -> int:
+        """Slices every device advances per tick."""
+        return self._slices_per_tick
+
+    @property
+    def backend(self) -> str:
+        """The stepping mode (``auto``/``loop``/``vector``)."""
+        return self._backend
+
+    def grouping(self) -> dict:
+        """How the current fleet splits into batches (for reporting)."""
+        self._refresh_groups()
+        return {
+            "vector_groups": [
+                {
+                    "devices": len(group.devices),
+                    "distinct_policies": group.n_policies,
+                }
+                for group in self._vector_groups
+            ],
+            "loop_devices": len(self._loop_devices),
+        }
+
+    def snapshot(self, per_device: bool | None = None) -> dict:
+        """A telemetry snapshot of the current fleet state."""
+        if per_device is None:
+            per_device = self._telemetry_per_device
+        return snapshot(self._fleet, self._tick, per_device=per_device)
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def _refresh_groups(self) -> None:
+        if self._groups_version == self._fleet.version:
+            return
+        from repro.runtime.policy_cache import (
+            costs_signature,
+            system_signature,
+        )
+
+        grouped: dict[tuple, list[Device]] = {}
+        loop_devices: list[Device] = []
+        for device in self._fleet:
+            eligible = device.vector_eligible and self._backend != "loop"
+            if self._backend == "vector" and not device.vector_eligible:
+                raise ValidationError(
+                    f"backend 'vector' requires every device to be "
+                    f"vector-eligible; {device.device_id!r} "
+                    f"({device.agent.describe()}, "
+                    f"{'stream' if device.stream else 'model'}-driven) is not"
+                )
+            if eligible:
+                grouped.setdefault(device.group_key(), []).append(device)
+            else:
+                loop_devices.append(device)
+        self._vector_groups = [
+            _VectorGroup(devices) for devices in grouped.values()
+        ]
+        self._loop_devices = loop_devices
+        self._loop_tables = {
+            (system_signature(d.system), costs_signature(d.costs)): None
+            for d in loop_devices
+        }
+        for device in loop_devices:
+            key = (
+                system_signature(device.system),
+                costs_signature(device.costs),
+            )
+            if self._loop_tables[key] is None:
+                self._loop_tables[key] = device.compile_tables()
+            # Stash the key so the tick loop avoids re-hashing.
+            device._tables_key = key
+        self._groups_version = self._fleet.version
+
+    def step_tick(self) -> dict | None:
+        """Advance every device by one tick; maybe emit telemetry.
+
+        Returns the telemetry record when this tick emitted one (the
+        sink, if any, receives it too), else ``None``.
+        """
+        if len(self._fleet) == 0:
+            raise ValidationError("cannot step an empty fleet")
+        self._refresh_groups()
+        for group in self._vector_groups:
+            group.step(self._slices_per_tick)
+        for device in self._loop_devices:
+            tables = self._loop_tables[device._tables_key]
+            _step_device_loop(device, tables, self._slices_per_tick)
+        self._tick += 1
+        if self._tick % self._telemetry_every == 0:
+            record = self.snapshot()
+            if self._telemetry is not None:
+                self._telemetry.record(record)
+            return record
+        return None
+
+    def run(self, n_ticks: int) -> None:
+        """Run ``n_ticks`` ticks back to back."""
+        n_ticks = int(n_ticks)
+        if n_ticks < 0:
+            raise ValidationError(f"n_ticks must be >= 0, got {n_ticks}")
+        for _ in range(n_ticks):
+            self.step_tick()
+
+    # ------------------------------------------------------------------
+    # checkpointing (delegates to repro.runtime.checkpoint)
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, path) -> None:
+        """Persist the full fleet state (RNG streams included)."""
+        from repro.runtime.checkpoint import save_checkpoint
+
+        save_checkpoint(path, self)
+
+    @classmethod
+    def resume(
+        cls,
+        path,
+        telemetry=None,
+        telemetry_every: int | None = None,
+        telemetry_per_device: bool | None = None,
+        backend: str | None = None,
+    ) -> "FleetController":
+        """Rebuild a controller from a checkpoint and continue.
+
+        Telemetry sinks are not part of the checkpoint (they hold open
+        file handles); pass a fresh one.  ``backend`` overrides the
+        saved stepping mode when given — safe, because per-device
+        streams make results grouping-invariant.
+        """
+        from repro.runtime.checkpoint import load_checkpoint
+
+        payload = load_checkpoint(path)
+        controller = cls(
+            payload["fleet"],
+            slices_per_tick=payload["slices_per_tick"],
+            backend=backend or payload["backend"],
+            telemetry=telemetry,
+            telemetry_every=(
+                payload["telemetry_every"]
+                if telemetry_every is None
+                else telemetry_every
+            ),
+            telemetry_per_device=(
+                payload["telemetry_per_device"]
+                if telemetry_per_device is None
+                else telemetry_per_device
+            ),
+        )
+        controller._tick = payload["tick"]
+        return controller

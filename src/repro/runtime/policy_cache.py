@@ -1,0 +1,342 @@
+"""Content-addressed caching of policy-optimization solves.
+
+A fleet of a thousand identical devices does not need a thousand LP
+solves: the optimal policy is a pure function of the LP content
+(objective row, balance matrix, bound rows, backend).  The
+:class:`PolicyCache` addresses solves by a SHA-256 digest of exactly
+that content, so
+
+* devices with *identical* specs share one solve (exact hits), and
+* devices (or adaptive refits) with *near-identical* specs — same
+  shapes and constraint structure, slightly different coefficients —
+  reuse the previous optimal simplex basis through
+  :attr:`~repro.lp.result.LPResult.warm_start` (the PR-2 dual-simplex
+  restart path; backends without warm-start support accept and ignore
+  the hint).
+
+The module also owns the content-signature helpers
+(:func:`system_signature`, :func:`costs_signature`,
+:func:`policy_signature`) that the fleet runtime uses to group devices
+for batched stepping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.costs import LOSS, PENALTY, POWER
+from repro.lp.solve import solve_lp
+from repro.util.validation import ValidationError
+
+__all__ = [
+    "CacheStats",
+    "CachedOptimizer",
+    "PolicyCache",
+    "costs_signature",
+    "policy_signature",
+    "system_signature",
+]
+
+
+def _hash_arrays(parts) -> str:
+    """SHA-256 over a sequence of arrays/strings (shape-delimited)."""
+    digest = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, str):
+            digest.update(part.encode())
+        else:
+            arr = np.ascontiguousarray(part)
+            digest.update(str(arr.shape).encode())
+            digest.update(str(arr.dtype).encode())
+            digest.update(arr.tobytes())
+        digest.update(b"|")
+    return digest.hexdigest()
+
+
+def system_signature(system) -> str:
+    """Content digest of a composed system's stochastic tables.
+
+    Two systems with equal provider tensors, service rates, power
+    tables, requester chains, arrival counts and queue capacity hash
+    identically regardless of object identity — the grouping key the
+    fleet controller batches on.
+    """
+    return _hash_arrays(
+        [
+            system.provider.chain.tensor,
+            system.provider.service_rate_matrix,
+            system.provider.power_matrix,
+            system.requester.chain.matrix,
+            system.requester.arrival_counts,
+            str(system.queue.capacity),
+        ]
+    )
+
+
+def costs_signature(costs) -> str:
+    """Content digest of a cost model's metric matrices (name order)."""
+    parts: list = []
+    for name in costs.metric_names:
+        parts.append(name)
+        parts.append(costs.metric(name))
+    return _hash_arrays(parts)
+
+
+def policy_signature(policy) -> str:
+    """Content digest of a Markov policy matrix."""
+    return _hash_arrays([policy.matrix])
+
+
+def _lp_signature(lp, backend: str) -> str:
+    """Exact content address of one LP instance on one backend."""
+    return _hash_arrays(
+        [backend, lp.c, lp.A_eq, lp.b_eq, lp.A_ub, lp.b_ub]
+    )
+
+
+def _family_signature(lp, backend: str, objective: str, sense: str) -> str:
+    """Structural address: problems that can share a warm-start basis.
+
+    Warm starts only require matching dimensions and constraint
+    structure — coefficients may drift (an adaptive refit's requester
+    rows move a little every window), which is exactly the case the
+    dual-simplex restart path handles, falling back to a cold solve
+    when the old basis is unusable.
+    """
+    return _hash_arrays(
+        [
+            backend,
+            objective,
+            sense,
+            str(lp.c.shape),
+            str(lp.A_eq.shape),
+            str(lp.A_ub.shape),
+        ]
+    )
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how a :class:`PolicyCache` has been used.
+
+    Attributes
+    ----------
+    hits:
+        Solves answered from the cache without touching a backend.
+    misses:
+        Solves that went to the LP backend.
+    warm_hinted:
+        Misses that carried a warm-start basis from the same family.
+    evictions:
+        Entries dropped by the LRU bound.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    warm_hinted: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for telemetry/JSON reporting."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "warm_hinted": self.warm_hinted,
+            "evictions": self.evictions,
+        }
+
+
+class PolicyCache:
+    """LRU cache of :class:`~repro.core.optimizer.OptimizationResult`.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU bound on cached results (``None`` means unbounded).  The
+        per-family warm-start hints are tiny (one simplex basis each)
+        and are not counted.
+
+    Notes
+    -----
+    Cached results are returned *shared*, not copied — policies and
+    evaluations are treated as immutable, which every consumer in this
+    package honours.
+
+    *Determinism.*  Exact hits are order-independent: the same LP on
+    the same backend always yields the same result, so it does not
+    matter which device solved it first.  Warm-started *misses* are
+    weaker: on a vertex-degenerate LP, a dual-simplex restart from
+    another solve's basis may terminate at a different (equally
+    optimal) vertex than a cold solve would, so the extracted policy
+    can depend on what the cache saw earlier.  Every such policy is
+    optimal — but a fleet that needs adaptive devices to be bitwise
+    reproducible in isolation should give each its own cache or use a
+    backend that ignores warm starts (the default ``scipy`` does).
+
+    Examples
+    --------
+    >>> from repro.core.average_cost import AverageCostOptimizer
+    >>> from repro.runtime.policy_cache import PolicyCache
+    >>> from repro.systems import example_system
+    >>> bundle = example_system.build()
+    >>> cache = PolicyCache()
+    >>> opt = AverageCostOptimizer(bundle.system, bundle.costs)
+    >>> a = cache.optimize(opt, "power", upper_bounds={"penalty": 0.5})
+    >>> b = cache.optimize(opt, "power", upper_bounds={"penalty": 0.5})
+    >>> a is b, cache.stats.hits, cache.stats.misses
+    (True, 1, 1)
+    """
+
+    def __init__(self, max_entries: int | None = 256):
+        if max_entries is not None and int(max_entries) <= 0:
+            raise ValidationError(
+                f"max_entries must be positive or None, got {max_entries}"
+            )
+        self._max_entries = None if max_entries is None else int(max_entries)
+        self._results: OrderedDict[str, object] = OrderedDict()
+        self._warm: dict[str, object] = {}
+        self._stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        """Usage counters (live object, not a copy)."""
+        return self._stats
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def clear(self) -> None:
+        """Drop every cached result and warm-start hint."""
+        self._results.clear()
+        self._warm.clear()
+
+    # ------------------------------------------------------------------
+    # the cached solve
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        optimizer,
+        objective: str,
+        sense: str = "min",
+        upper_bounds: dict[str, float] | None = None,
+        lower_bounds: dict[str, float] | None = None,
+    ):
+        """Solve through ``optimizer``, deduped by LP content.
+
+        ``optimizer`` is either a
+        :class:`~repro.core.optimizer.PolicyOptimizer` or an
+        :class:`~repro.core.average_cost.AverageCostOptimizer` — both
+        expose the ``build_lp``/``result_from_lp`` split this cache
+        needs to address and warm-start the raw LP solve.
+        """
+        lp, recorded = optimizer.build_lp(
+            objective, sense, upper_bounds, lower_bounds
+        )
+        backend = optimizer.backend
+        key = _lp_signature(lp, backend)
+        cached = self._results.get(key)
+        if cached is not None:
+            self._results.move_to_end(key)
+            self._stats.hits += 1
+            return cached
+
+        family = _family_signature(lp, backend, objective, sense)
+        warm = self._warm.get(family)
+        if warm is not None:
+            self._stats.warm_hinted += 1
+        lp_result = solve_lp(
+            lp,
+            backend=backend,
+            cross_check=optimizer.cross_check,
+            warm_start=warm,
+        )
+        self._stats.misses += 1
+        if lp_result.warm_start is not None:
+            self._warm[family] = lp_result.warm_start
+        result = optimizer.result_from_lp(lp_result, objective, recorded)
+        self._results[key] = result
+        if (
+            self._max_entries is not None
+            and len(self._results) > self._max_entries
+        ):
+            self._results.popitem(last=False)
+            self._stats.evictions += 1
+        return result
+
+    def wrap(self, optimizer) -> "CachedOptimizer":
+        """An optimizer proxy whose solves all route through this cache."""
+        return CachedOptimizer(optimizer, self)
+
+
+class CachedOptimizer:
+    """Duck-typed optimizer facade backed by a :class:`PolicyCache`.
+
+    Exposes the solve entry points (``optimize`` plus the paper-named
+    ``minimize_*`` wrappers) routed through the cache and delegates
+    everything else to the wrapped optimizer.  The ``minimize_*``
+    helpers are re-implemented here rather than delegated: a bound
+    method fetched from the wrapped optimizer would call *its own*
+    ``optimize`` and silently bypass the cache.
+    """
+
+    def __init__(self, optimizer, cache: PolicyCache):
+        self._optimizer = optimizer
+        self._cache = cache
+
+    @property
+    def cache(self) -> PolicyCache:
+        """The backing cache."""
+        return self._cache
+
+    def optimize(
+        self,
+        objective: str,
+        sense: str = "min",
+        upper_bounds: dict[str, float] | None = None,
+        lower_bounds: dict[str, float] | None = None,
+    ):
+        return self._cache.optimize(
+            self._optimizer, objective, sense, upper_bounds, lower_bounds
+        )
+
+    def minimize_power(
+        self,
+        penalty_bound: float | None = None,
+        loss_bound: float | None = None,
+        extra_upper_bounds: dict[str, float] | None = None,
+    ):
+        upper = dict(extra_upper_bounds or {})
+        if penalty_bound is not None:
+            upper[PENALTY] = float(penalty_bound)
+        if loss_bound is not None:
+            upper[LOSS] = float(loss_bound)
+        return self.optimize(POWER, "min", upper_bounds=upper)
+
+    def minimize_penalty(
+        self,
+        power_bound: float | None = None,
+        loss_bound: float | None = None,
+        extra_upper_bounds: dict[str, float] | None = None,
+    ):
+        upper = dict(extra_upper_bounds or {})
+        if power_bound is not None:
+            upper[POWER] = float(power_bound)
+        if loss_bound is not None:
+            upper[LOSS] = float(loss_bound)
+        return self.optimize(PENALTY, "min", upper_bounds=upper)
+
+    def minimize_unconstrained(self, objective: str = PENALTY):
+        return self.optimize(objective, "min")
+
+    def __getattr__(self, name: str):
+        return getattr(self._optimizer, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CachedOptimizer({self._optimizer!r})"

@@ -1,0 +1,144 @@
+"""Fleet telemetry: periodic snapshots of device and fleet metrics.
+
+Every ``telemetry_every`` ticks the controller folds the fleet's
+per-device accumulators into one :func:`snapshot` record — fleet-level
+aggregates (mean/min/max of every per-slice metric average, summed
+request counters) plus, optionally, one sub-record per device — and
+hands it to a sink.
+
+Records are **pure functions of fleet state**: no wall-clock
+timestamps, no environment probes, insertion-ordered device traversal.
+That is what makes the checkpoint/resume contract testable — a resumed
+campaign's telemetry must be byte-identical to an uninterrupted run's
+(see ``tests/test_runtime_fleet.py``).
+
+Sinks:
+
+* :class:`MemoryTelemetry` — keeps records in a list (tests, notebooks);
+* :class:`JsonLinesTelemetry` — appends one compact JSON object per
+  line to a file (the ``repro-dpm fleet --telemetry`` artifact).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.runtime.fleet import Device, Fleet
+
+__all__ = [
+    "JsonLinesTelemetry",
+    "MemoryTelemetry",
+    "device_record",
+    "snapshot",
+]
+
+
+def device_record(device: Device) -> dict:
+    """One device's telemetry sub-record."""
+    return {
+        "id": device.device_id,
+        "slices": device.slices,
+        "state": list(device.state),
+        "averages": device.averages,
+        "arrivals": device.arrivals,
+        "serviced": device.serviced,
+        "lost": device.lost,
+        "loss_event_slices": device.loss_event_slices,
+        "agent": device.agent.describe(),
+        "workload": device.stream.describe() if device.stream else "model",
+    }
+
+
+def snapshot(fleet: Fleet, tick: int, per_device: bool = False) -> dict:
+    """Aggregate the fleet's accumulators into one snapshot record.
+
+    Per-metric aggregates are computed over the devices that register
+    the metric (heterogeneous fleets may not share cost models), in
+    insertion order; counters are fleet-wide sums.
+    """
+    values: dict[str, list[float]] = {}
+    counters = {"arrivals": 0, "serviced": 0, "lost": 0, "loss_event_slices": 0}
+    for device in fleet:
+        for name, value in device.averages.items():
+            values.setdefault(name, []).append(value)
+        counters["arrivals"] += device.arrivals
+        counters["serviced"] += device.serviced
+        counters["lost"] += device.lost
+        counters["loss_event_slices"] += device.loss_event_slices
+    metrics = {
+        name: {
+            "mean": sum(series) / len(series),
+            "min": min(series),
+            "max": max(series),
+        }
+        for name, series in values.items()
+    }
+    record = {
+        "tick": int(tick),
+        "n_devices": len(fleet),
+        "fleet_slices": fleet.total_slices,
+        "metrics": metrics,
+        "counters": counters,
+    }
+    if per_device:
+        record["devices"] = [device_record(device) for device in fleet]
+    return record
+
+
+class MemoryTelemetry:
+    """In-memory sink: appends every record to :attr:`records`."""
+
+    def __init__(self):
+        self.records: list[dict] = []
+
+    def record(self, record: dict) -> None:
+        """Store one snapshot record."""
+        self.records.append(record)
+
+    def close(self) -> None:
+        """No-op (symmetry with file-backed sinks)."""
+
+
+class JsonLinesTelemetry:
+    """JSON-lines sink: one ``json.dumps(record, sort_keys=True)`` per line.
+
+    Parameters
+    ----------
+    path:
+        Output file.  Opened lazily on the first record, so constructing
+        a sink for a run that fails before producing telemetry never
+        truncates an existing file.
+    append:
+        Open in append mode — what a resumed campaign uses so its
+        telemetry continues the original file.
+    """
+
+    def __init__(self, path, append: bool = False):
+        self._path = Path(path)
+        self._append = bool(append)
+        self._file = None
+
+    @property
+    def path(self) -> Path:
+        """The output path."""
+        return self._path
+
+    def record(self, record: dict) -> None:
+        """Serialize and flush one snapshot record."""
+        if self._file is None:
+            self._file = open(self._path, "a" if self._append else "w")
+        self._file.write(json.dumps(record, sort_keys=True))
+        self._file.write("\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        """Close the underlying file (no-op if nothing was recorded)."""
+        if self._file is not None and not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "JsonLinesTelemetry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -345,14 +345,26 @@ def _step_lanes(
     compiled: CompiledPolicyBatch,
     policy_of_lane: np.ndarray,
     lengths: np.ndarray,
-    start: tuple[int, int, int],
+    start: tuple,
     rng: np.random.Generator,
+    chunk_slices: int | None = None,
 ) -> _LaneAccumulators:
     """Advance every lane through its own number of slices.
 
     Equal lengths run with no masking; ragged lengths (session mode)
     mask finished lanes within a chunk and compact them away between
     chunks, so wasted work is bounded by one chunk per lane.
+
+    ``start`` may hold scalars (every lane begins in the same
+    ``(provider, requester, queue)`` state) or int arrays of one entry
+    per lane — the fleet runtime resumes each device from wherever it
+    stopped.  ``chunk_slices`` pins the chunk length instead of the
+    lane-count-dependent uniform budget; the fleet runtime uses this so
+    a device consumes its stream through identical reduction boundaries
+    no matter how many lanes it is grouped with (fleet determinism is
+    bitwise, not just statistical).  ``rng`` only needs a
+    ``.random(shape)`` method, which lets the fleet inject a fan-in
+    shim drawing each lane's uniforms from that device's own generator.
     """
     n_metrics = tables.metric_stack.shape[0]
     n_commands = tables.n_commands
@@ -377,11 +389,10 @@ def _step_lanes(
     lane_ids = np.arange(n_total)
     remaining = lengths.astype(np.int64).copy()
     pol_base = policy_of_lane.astype(np.int64) * n_states
-    x = np.full(
-        n_total, (start[0] * n_sr + start[1]) * n_sq + start[2], dtype=np.int64
-    )
-    r = np.full(n_total, start[1], dtype=np.int64)
-    q = np.full(n_total, start[2], dtype=np.int64)
+    s0 = np.broadcast_to(np.asarray(start[0], dtype=np.int64), (n_total,))
+    r = np.broadcast_to(np.asarray(start[1], dtype=np.int64), (n_total,))
+    q = np.broadcast_to(np.asarray(start[2], dtype=np.int64), (n_total,))
+    x = (s0 * n_sr + r) * n_sq + q
 
     deterministic = compiled.fully_deterministic
     n_kinds = 3 if deterministic else 4
@@ -402,8 +413,11 @@ def _step_lanes(
     while lane_ids.size:
         n_lanes = lane_ids.size
         single_policy = bool(pol_base[0] == 0 and (pol_base == 0).all())
-        budget = max(1, _CHUNK_BUDGET // (n_kinds * n_lanes))
-        chunk = int(min(_MAX_CHUNK, budget, remaining.max()))
+        if chunk_slices is not None:
+            chunk = int(min(int(chunk_slices), remaining.max()))
+        else:
+            budget = max(1, _CHUNK_BUDGET // (n_kinds * n_lanes))
+            chunk = int(min(_MAX_CHUNK, budget, remaining.max()))
         uniforms = rng.random((chunk, n_kinds, n_lanes))
         # Joint-state/command/service histories, folded in after the
         # chunk; x_hist has one extra row holding the post-chunk state.
@@ -533,3 +547,11 @@ def _step_lanes(
             r = r[keep]
             q = q[keep]
     return acc
+
+
+#: Public entry points for :mod:`repro.runtime`, which drives the
+#: joint-state kernel directly (per-lane resume states, pinned chunk
+#: length, per-device uniform fan-in) instead of going through the
+#: one-shot ``simulate_batch`` API.
+step_lanes = _step_lanes
+LaneAccumulators = _LaneAccumulators

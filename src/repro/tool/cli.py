@@ -16,7 +16,15 @@ Subcommands:
   ``--simulate N`` verifies every feasible point with one batched
   simulation run;
 * ``experiment ID [--full]`` — regenerate a paper table/figure
-  (``repro-dpm experiment list`` shows the registry);
+  (``repro-dpm experiment list`` shows the registry); ``--backend`` /
+  ``--lp-backend`` are forwarded through the registry to drivers that
+  accept them;
+* ``fleet SPEC.json --ticks 20`` — run an online fleet campaign
+  (:mod:`repro.runtime`): a JSON spec describes device groups x
+  workloads x agents; ``--telemetry`` streams JSON-lines snapshots,
+  ``--checkpoint`` saves resumable state each run and ``--resume``
+  continues a saved campaign; ``--backend`` picks grouped vector
+  stepping vs the per-device loop;
 * ``extract TRACE.txt --resolution 0.001 --memory 2`` — run just the
   SR extractor and print the fitted model.
 """
@@ -25,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -141,6 +150,77 @@ def _build_parser() -> argparse.ArgumentParser:
         help="full-length simulations (default: quick mode)",
     )
     p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument(
+        "--backend",
+        default=None,
+        choices=BACKEND_CHOICES,
+        help="simulation backend, forwarded to drivers that accept it",
+    )
+    p_exp.add_argument(
+        "--lp-backend",
+        default=None,
+        help="LP backend (scipy/interior-point/simplex), forwarded to "
+        "drivers that accept it",
+    )
+
+    p_fleet = sub.add_parser(
+        "fleet", help="run an online fleet campaign (repro.runtime)"
+    )
+    p_fleet.add_argument(
+        "spec",
+        nargs="?",
+        help="path to a JSON fleet spec (omit with --resume)",
+    )
+    p_fleet.add_argument(
+        "--ticks", type=int, default=10, help="ticks to run (default: 10)"
+    )
+    p_fleet.add_argument(
+        "--slices-per-tick",
+        type=int,
+        default=None,
+        metavar="N",
+        help="slices per tick (default: the spec's slices_per_tick, or 1000)",
+    )
+    p_fleet.add_argument(
+        "--backend",
+        default="auto",
+        choices=("auto", "loop", "vector"),
+        help="fleet stepping mode: grouped vector batches (auto/vector) "
+        "or the per-device reference loop",
+    )
+    p_fleet.add_argument(
+        "--lp-backend",
+        default="scipy",
+        help="LP backend for optimal/adaptive agents",
+    )
+    p_fleet.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="write JSON-lines fleet snapshots to PATH",
+    )
+    p_fleet.add_argument(
+        "--telemetry-every",
+        type=int,
+        default=1,
+        metavar="K",
+        help="ticks between telemetry snapshots (default: 1)",
+    )
+    p_fleet.add_argument(
+        "--per-device",
+        action="store_true",
+        help="include per-device sub-records in telemetry snapshots",
+    )
+    p_fleet.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="save full fleet state to PATH after the run",
+    )
+    p_fleet.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="resume a checkpointed campaign instead of building from a spec",
+    )
+    p_fleet.add_argument("--seed", type=int, default=0)
 
     p_ext = sub.add_parser("extract", help="fit an SR model from a trace")
     p_ext.add_argument("trace", help="path to a request trace file")
@@ -249,12 +329,123 @@ def _cmd_experiment(args) -> int:
     )
     exit_code = 0
     for experiment_id in ids:
-        result = run_experiment(experiment_id, quick=not args.full, seed=args.seed)
+        result = run_experiment(
+            experiment_id,
+            quick=not args.full,
+            seed=args.seed,
+            backend=args.backend,
+            lp_backend=args.lp_backend,
+        )
         print(result.render())
         print()
         if not result.all_checks_pass:
             exit_code = 1
     return exit_code
+
+
+def _cmd_fleet(args) -> int:
+    import json as _json
+
+    from repro.runtime import (
+        FleetController,
+        JsonLinesTelemetry,
+        build_fleet,
+    )
+
+    telemetry = None
+    if args.telemetry:
+        telemetry = JsonLinesTelemetry(
+            args.telemetry, append=args.resume is not None
+        )
+    try:
+        if args.resume:
+            controller = FleetController.resume(
+                args.resume,
+                telemetry=telemetry,
+                telemetry_every=args.telemetry_every,
+                telemetry_per_device=args.per_device or None,
+                backend=args.backend if args.backend != "auto" else None,
+            )
+            cache = None
+            print(
+                f"resumed fleet of {len(controller.fleet)} devices at "
+                f"tick {controller.tick}"
+            )
+        else:
+            if not args.spec:
+                raise ValidationError(
+                    "a fleet spec is required unless --resume is given"
+                )
+            raw = _json.loads(Path(args.spec).read_text())
+            fleet, cache = build_fleet(
+                raw, base_seed=args.seed, lp_backend=args.lp_backend
+            )
+            slices_per_tick = args.slices_per_tick or int(
+                raw.get("slices_per_tick", 1000)
+            )
+            controller = FleetController(
+                fleet,
+                slices_per_tick=slices_per_tick,
+                backend=args.backend,
+                telemetry=telemetry,
+                telemetry_every=args.telemetry_every,
+                telemetry_per_device=args.per_device,
+            )
+            print(
+                f"built fleet {raw.get('name', 'unnamed')!r}: "
+                f"{len(fleet)} devices"
+            )
+        if args.slices_per_tick and args.resume:
+            print(
+                "note: --slices-per-tick is ignored on --resume (the "
+                "checkpoint's tick length is kept for determinism)"
+            )
+
+        grouping = controller.grouping()
+        vector_devices = sum(
+            g["devices"] for g in grouping["vector_groups"]
+        )
+        print(
+            f"grouping: {len(grouping['vector_groups'])} vector group(s) "
+            f"covering {vector_devices} device(s), "
+            f"{grouping['loop_devices']} on the per-device loop"
+        )
+        if cache is not None and (cache.stats.hits or cache.stats.misses):
+            print(
+                f"policy cache: {cache.stats.misses} solve(s), "
+                f"{cache.stats.hits} hit(s), "
+                f"{cache.stats.warm_hinted} warm-started"
+            )
+
+        controller.run(args.ticks)
+
+        record = controller.snapshot(per_device=False)
+        rows = [
+            (name, stats["mean"], stats["min"], stats["max"])
+            for name, stats in sorted(record["metrics"].items())
+        ]
+        print(
+            format_table(
+                ["metric", "fleet_mean", "min", "max"],
+                rows,
+                title=(
+                    f"fleet after tick {record['tick']} "
+                    f"({record['fleet_slices']} device-slices)"
+                ),
+            )
+        )
+        counters = record["counters"]
+        print(
+            f"requests: {counters['arrivals']} arrived, "
+            f"{counters['serviced']} serviced, {counters['lost']} lost"
+        )
+        if args.checkpoint:
+            controller.save_checkpoint(args.checkpoint)
+            print(f"checkpoint saved to {args.checkpoint}")
+        return 0
+    finally:
+        if telemetry is not None:
+            telemetry.close()
 
 
 def _cmd_extract(args) -> int:
@@ -283,6 +474,7 @@ def main(argv=None) -> int:
         "optimize": _cmd_optimize,
         "pareto": _cmd_pareto,
         "experiment": _cmd_experiment,
+        "fleet": _cmd_fleet,
         "extract": _cmd_extract,
     }
     try:

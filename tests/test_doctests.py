@@ -17,6 +17,8 @@ import repro.core.policy
 import repro.lp.problem
 import repro.markov.chain
 import repro.markov.controlled
+import repro.runtime.controller
+import repro.runtime.policy_cache
 import repro.traces.extractor
 import repro.traces.trace
 
@@ -31,6 +33,8 @@ MODULES = [
     repro.core.pareto_sweep,
     repro.traces.trace,
     repro.traces.extractor,
+    repro.runtime.policy_cache,
+    repro.runtime.controller,
 ]
 
 

@@ -1,0 +1,143 @@
+"""Arrival streams: cursors, persistence semantics, spec construction."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.runtime.streams import (
+    CallableStream,
+    MMPP2Stream,
+    PeriodicBurstStream,
+    PoissonStream,
+    TraceStream,
+    stream_from_spec,
+)
+from repro.sim.rng import make_rng
+from repro.traces.synthetic import mmpp2_trace
+from repro.traces.trace import Trace
+from repro.util.validation import ValidationError
+
+
+class TestTraceStream:
+    def test_cycles_through_counts(self):
+        stream = TraceStream([0, 1, 0, 2], cycle=True)
+        assert stream.next_counts(6).tolist() == [0, 1, 0, 2, 0, 1]
+        assert stream.next_counts(3).tolist() == [0, 2, 0]
+        assert stream.position == 9
+
+    def test_zero_pads_when_not_cycling(self):
+        stream = TraceStream([3, 1], cycle=False)
+        assert stream.next_counts(5).tolist() == [3, 1, 0, 0, 0]
+        assert stream.next_counts(2).tolist() == [0, 0]
+
+    def test_load_from_trace_file(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        Trace([2, 5, 6, 7, 12], duration=13).save(path)
+        stream = TraceStream.load(path, resolution=1.0)
+        expected = Trace([2, 5, 6, 7, 12], duration=13).discretize(1.0)
+        assert stream.next_counts(13).tolist() == expected.tolist()
+
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            TraceStream([])
+        with pytest.raises(ValidationError, match="non-negative"):
+            TraceStream([1, -1])
+        with pytest.raises(ValidationError, match="n_slices"):
+            TraceStream([1]).next_counts(0)
+
+
+class TestSyntheticStreams:
+    def test_mmpp2_chunk_invariant(self):
+        """Output is independent of call chunking (hidden state + RNG
+        consumption persist per slice) — what tick-size neutrality and
+        checkpoint/resume rely on."""
+        a = MMPP2Stream(0.95, 0.85, make_rng(7))
+        b = MMPP2Stream(0.95, 0.85, make_rng(7))
+        one_shot = a.next_counts(400)
+        chunked = np.concatenate(
+            [b.next_counts(37), b.next_counts(163), b.next_counts(200)]
+        )
+        assert one_shot.tolist() == chunked.tolist()
+
+    def test_mmpp2_matches_modulating_chain_statistics(self):
+        """Same process family as traces.synthetic.mmpp2_trace: the
+        busy fraction approaches the modulating chain's stationary
+        probability (0.05 / (0.05 + 0.15) = 0.25 here)."""
+        stream = MMPP2Stream(0.95, 0.85, make_rng(7))
+        counts = stream.next_counts(40_000)
+        assert counts.max() <= 1
+        assert 0.21 < counts.mean() < 0.29
+        trace = mmpp2_trace(0.95, 0.85, 40_000, 1.0, make_rng(8))
+        assert abs(counts.mean() - trace.discretize(1.0).mean()) < 0.04
+
+    def test_poisson_counts(self):
+        stream = PoissonStream(0.5, make_rng(0))
+        counts = stream.next_counts(1000)
+        assert counts.min() >= 0
+        assert 0.3 < counts.mean() < 0.7
+
+    def test_periodic_pattern_and_cursor(self):
+        stream = PeriodicBurstStream(2, 3)
+        assert stream.next_counts(7).tolist() == [1, 1, 0, 0, 0, 1, 1]
+        assert stream.next_counts(3).tolist() == [0, 0, 0]
+
+    def test_streams_pickle_with_cursor(self):
+        stream = MMPP2Stream(0.9, 0.8, make_rng(11))
+        stream.next_counts(50)
+        clone = pickle.loads(pickle.dumps(stream))
+        assert stream.next_counts(100).tolist() == (
+            clone.next_counts(100).tolist()
+        )
+
+
+class TestCallableStream:
+    def test_wraps_callable(self):
+        stream = CallableStream(lambda start, n: np.full(n, start % 3))
+        assert stream.next_counts(2).tolist() == [0, 0]
+        assert stream.next_counts(2).tolist() == [2, 2]
+        assert not stream.checkpointable
+
+    def test_validates_output(self):
+        bad_size = CallableStream(lambda start, n: np.zeros(n + 1, dtype=int))
+        with pytest.raises(ValidationError, match="counts"):
+            bad_size.next_counts(3)
+        negative = CallableStream(lambda start, n: np.full(n, -1))
+        with pytest.raises(ValidationError, match="non-negative"):
+            negative.next_counts(3)
+        with pytest.raises(ValidationError, match="callable"):
+            CallableStream("not-a-function")
+
+
+class TestStreamFromSpec:
+    def test_builds_every_kind(self, tmp_path):
+        rng = make_rng(0)
+        path = tmp_path / "trace.txt"
+        Trace([1.0, 2.0], duration=3).save(path)
+        assert isinstance(
+            stream_from_spec(
+                {"type": "trace", "path": str(path), "resolution": 1.0}, rng
+            ),
+            TraceStream,
+        )
+        assert isinstance(
+            stream_from_spec({"type": "poisson", "rate_per_slice": 0.2}, rng),
+            PoissonStream,
+        )
+        assert isinstance(
+            stream_from_spec({"type": "mmpp2"}, rng), MMPP2Stream
+        )
+        assert isinstance(
+            stream_from_spec({"type": "periodic"}, rng), PeriodicBurstStream
+        )
+
+    def test_rejects_unknown_and_malformed(self):
+        rng = make_rng(0)
+        with pytest.raises(ValidationError, match="unknown workload"):
+            stream_from_spec({"type": "tarot"}, rng)
+        with pytest.raises(ValidationError, match="type"):
+            stream_from_spec({}, rng)
+        with pytest.raises(ValidationError, match="path"):
+            stream_from_spec({"type": "trace"}, rng)

@@ -245,6 +245,77 @@ class TestCLI:
         code = cli_main(["experiment", "fig99"])
         assert code == 2
 
+    def test_experiment_backend_flags_forwarded(self, capsys):
+        # fig9a accepts both flags; table1 accepts neither — both must
+        # run (the registry forwards only what a driver's signature
+        # takes).
+        code = cli_main(
+            ["experiment", "fig9a", "--backend", "vector", "--lp-backend", "scipy"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "web server" in out
+        assert cli_main(["experiment", "table1", "--backend", "loop"]) == 0
+
+    def test_fleet_run(self, capsys, tmp_path):
+        spec = {
+            "name": "cli-test",
+            "slices_per_tick": 50,
+            "groups": [
+                {
+                    "id": "ex",
+                    "count": 3,
+                    "system": "example",
+                    "agent": {"type": "optimal", "penalty_bound": 0.5},
+                    "seed": 1,
+                }
+            ],
+        }
+        spec_path = tmp_path / "fleet.json"
+        spec_path.write_text(json.dumps(spec))
+        telemetry = tmp_path / "telemetry.jsonl"
+        checkpoint = tmp_path / "fleet.ckpt"
+        code = cli_main(
+            [
+                "fleet",
+                str(spec_path),
+                "--ticks",
+                "2",
+                "--telemetry",
+                str(telemetry),
+                "--checkpoint",
+                str(checkpoint),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 devices" in out
+        assert "1 vector group(s)" in out
+        assert len(telemetry.read_text().splitlines()) == 2
+        assert checkpoint.exists()
+
+        # Resume continues from the checkpoint and appends telemetry.
+        code = cli_main(
+            [
+                "fleet",
+                "--resume",
+                str(checkpoint),
+                "--ticks",
+                "1",
+                "--telemetry",
+                str(telemetry),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resumed fleet" in out
+        assert "after tick 3" in out
+        assert len(telemetry.read_text().splitlines()) == 3
+
+    def test_fleet_requires_spec_or_resume(self, capsys):
+        assert cli_main(["fleet", "--ticks", "1"]) == 2
+        assert "fleet spec is required" in capsys.readouterr().err
+
     def test_extract(self, tmp_path, capsys):
         trace = Trace([2, 5, 6, 7, 12], duration=13)
         path = tmp_path / "trace.txt"
