@@ -9,7 +9,7 @@ raw simulation throughput.
 
 import numpy as np
 
-from repro.core.costs import PENALTY, POWER
+from repro.core.costs import POWER
 from repro.core.dynamic_programming import value_iteration
 from repro.core.optimizer import PolicyOptimizer
 from repro.core.policy import evaluate_policy

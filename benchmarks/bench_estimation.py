@@ -1,0 +1,290 @@
+"""Estimation-layer benchmarks: fitting throughput + recovery accuracy.
+
+Two contracts:
+
+* **throughput** — the vectorized transition counter behind
+  :class:`~repro.traces.extractor.SRExtractor` (which the estimation
+  layer fits million-slice streams through) must sustain **>= 5x** the
+  per-slice reference loop on a 1M-slice stream;
+* **recovery** — fitting traces sampled from known generators recovers
+  the parameters: arrival-chain MLE within 0.02 of the true transition
+  probabilities at 100k slices, and MMPP(2) EM within 0.05 of the true
+  (p_stay_idle, p_stay_busy, emit) at 20k slices.
+
+Run under pytest-benchmark::
+
+    pytest benchmarks/bench_estimation.py -o python_files='bench_*.py' \
+        -o python_functions='bench_*' --benchmark-only
+
+or standalone (emits one JSON document on stdout)::
+
+    PYTHONPATH=src python benchmarks/bench_estimation.py [--quick]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.estimation import fit_mmpp2, fit_workload, select_arrival_chain
+from repro.sim import make_rng
+from repro.traces.extractor import SRExtractor
+from repro.traces.synthetic import mmpp2_trace
+
+SPEEDUP_TARGET = 5.0
+CHAIN_TOLERANCE = 0.02
+EM_TOLERANCE = 0.05
+
+#: Ground truth for the recovery gates.
+TRUE_P_II, TRUE_P_BB, TRUE_EMIT = 0.95, 0.85, 0.9
+
+
+def _reference_fit_counts(levels: np.ndarray, memory: int, base: int):
+    """The pre-vectorization per-slice counting loop (timing baseline)."""
+    n = base**memory
+    counts = np.zeros((n, n))
+    shift = base ** (memory - 1)
+
+    def index_of(window) -> int:
+        idx = 0
+        for level in window:
+            idx = idx * base + int(level)
+        return idx
+
+    src = index_of(levels[:memory])
+    for t in range(memory, levels.size):
+        dst = (src % shift) * base + int(levels[t])
+        counts[src, dst] += 1.0
+        src = dst
+    return counts
+
+
+def _chain_stream(n_slices: int) -> np.ndarray:
+    trace = mmpp2_trace(TRUE_P_II, TRUE_P_BB, n_slices, 1.0, make_rng(0))
+    return trace.discretize(1.0)
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    """Minimum wall-clock over ``rounds`` runs (noise-robust timing)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_chain_fit(counts: np.ndarray, memory: int = 2, rounds: int = 3):
+    seconds = _best_of(
+        lambda: SRExtractor(memory=memory).fit(counts), rounds
+    )
+    return seconds, counts.size / seconds
+
+
+def _time_reference(counts: np.ndarray, memory: int = 2, rounds: int = 2):
+    seconds = _best_of(
+        lambda: _reference_fit_counts(counts, memory, 2), rounds
+    )
+    return seconds, counts.size / seconds
+
+
+def _chain_recovery_error(n_slices: int) -> float:
+    counts = _chain_stream(n_slices)
+    selection = select_arrival_chain(
+        counts, memories=(1, 2), smoothing=0.0
+    )
+    matrix = selection.best.model.matrix
+    true = np.array(
+        [[TRUE_P_II, 1 - TRUE_P_II], [1 - TRUE_P_BB, TRUE_P_BB]]
+    )
+    if selection.best.memory != 1:
+        return 1.0
+    return float(np.abs(matrix - true).max())
+
+
+def _em_recovery(n_slices: int):
+    trace = mmpp2_trace(
+        TRUE_P_II, TRUE_P_BB, n_slices, 1.0, make_rng(1),
+        busy_arrival_probability=TRUE_EMIT,
+    )
+    counts = trace.discretize(1.0)
+    fit = fit_mmpp2(counts, max_slices=n_slices)
+    seconds = _best_of(lambda: fit_mmpp2(counts, max_slices=n_slices), 2)
+    error = max(
+        abs(fit.p_stay_idle - TRUE_P_II),
+        abs(fit.p_stay_busy - TRUE_P_BB),
+        abs(fit.busy_arrival_probability - TRUE_EMIT),
+    )
+    return fit, seconds, error
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def bench_chain_fit_1m_slices(benchmark):
+    """Vectorized memory-2 chain fit over a 1M-slice stream."""
+    counts = _chain_stream(1_000_000)
+    benchmark.pedantic(
+        lambda: SRExtractor(memory=2).fit(counts), rounds=3, iterations=1
+    )
+    benchmark.extra_info["n_slices"] = counts.size
+
+
+def bench_chain_fit_speedup(benchmark):
+    """Acceptance: vectorized counting >= 5x the per-slice loop."""
+    counts = _chain_stream(300_000)
+    loop_seconds, loop_rate = _time_reference(counts)
+    vector_seconds, vector_rate = benchmark.pedantic(
+        lambda: _time_chain_fit(counts), rounds=1, iterations=1
+    )
+    speedup = vector_rate / loop_rate
+    benchmark.extra_info.update(
+        loop_slices_per_sec=round(loop_rate),
+        vector_slices_per_sec=round(vector_rate),
+        speedup=round(speedup, 2),
+    )
+    assert speedup >= SPEEDUP_TARGET, (
+        f"vectorized chain fit only {speedup:.1f}x the reference loop "
+        f"({vector_rate:,.0f} vs {loop_rate:,.0f} slices/s); "
+        f"target {SPEEDUP_TARGET}x"
+    )
+
+
+def bench_mmpp2_em_20k(benchmark):
+    """Baum-Welch EM over a 20k-slice stream."""
+    trace = mmpp2_trace(
+        TRUE_P_II, TRUE_P_BB, 20_000, 1.0, make_rng(1),
+        busy_arrival_probability=TRUE_EMIT,
+    )
+    counts = trace.discretize(1.0)
+    fit = benchmark.pedantic(
+        lambda: fit_mmpp2(counts), rounds=1, iterations=1
+    )
+    benchmark.extra_info["n_iterations"] = fit.n_iterations
+    assert fit.converged
+
+
+def bench_recovery_gates(benchmark):
+    """Acceptance: chain and EM round-trip recovery within tolerance."""
+
+    def run():
+        chain_error = _chain_recovery_error(100_000)
+        _, _, em_error = _em_recovery(20_000)
+        return chain_error, em_error
+
+    chain_error, em_error = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        chain_error=round(chain_error, 5), em_error=round(em_error, 5)
+    )
+    assert chain_error <= CHAIN_TOLERANCE
+    assert em_error <= EM_TOLERANCE
+
+
+def bench_fit_workload_end_to_end(benchmark):
+    """The full fit_workload battery on a 20k-slice stream."""
+    counts = _chain_stream(20_000)
+    fit = benchmark.pedantic(
+        lambda: fit_workload(counts), rounds=1, iterations=1
+    )
+    assert fit.report.valid
+
+
+# ----------------------------------------------------------------------
+# standalone JSON mode
+# ----------------------------------------------------------------------
+def collect(quick: bool = False) -> dict:
+    """Run the matrix and return the benchmark JSON document."""
+    fit_slices = 200_000 if quick else 1_000_000
+    loop_slices = 50_000 if quick else 200_000
+    recovery_slices = 50_000 if quick else 100_000
+    em_slices = 10_000 if quick else 20_000
+
+    records = []
+    counts = _chain_stream(fit_slices)
+    fit_seconds, fit_rate = _time_chain_fit(counts)
+    records.append(
+        {
+            "name": f"chain_fit_m2_{fit_slices // 1000}k",
+            "n_slices": fit_slices,
+            "seconds": round(fit_seconds, 4),
+            "fit_slices_per_sec": round(fit_rate),
+        }
+    )
+    loop_counts = counts[:loop_slices]
+    loop_seconds, loop_rate = _time_reference(loop_counts)
+    vec_seconds, vec_rate = _time_chain_fit(loop_counts)
+    speedup = round(vec_rate / loop_rate, 2)
+    records.append(
+        {
+            "name": f"chain_fit_reference_loop_{loop_slices // 1000}k",
+            "n_slices": loop_slices,
+            "seconds": round(loop_seconds, 4),
+            # Deliberately NOT named *_per_sec: the reference loop only
+            # exists as the speedup denominator, so the baseline gate
+            # must not score it as a throughput metric of its own.
+            "reference_slices_per_second": round(loop_rate),
+        }
+    )
+
+    em_fit, em_seconds, em_error = _em_recovery(em_slices)
+    records.append(
+        {
+            "name": f"mmpp2_em_{em_slices // 1000}k",
+            "n_slices": em_slices,
+            "n_iterations": em_fit.n_iterations,
+            "seconds": round(em_seconds, 4),
+            "em_slice_iterations_per_sec": round(
+                em_slices * em_fit.n_iterations / em_seconds
+            ),
+        }
+    )
+
+    start = time.perf_counter()
+    workload = fit_workload(_chain_stream(em_slices))
+    workload_seconds = time.perf_counter() - start
+    records.append(
+        {
+            "name": f"fit_workload_{em_slices // 1000}k",
+            "n_slices": em_slices,
+            "seconds": round(workload_seconds, 4),
+            "valid": workload.report.valid,
+        }
+    )
+
+    chain_error = _chain_recovery_error(recovery_slices)
+    recovery_ok = (
+        chain_error <= CHAIN_TOLERANCE and em_error <= EM_TOLERANCE
+    )
+    return {
+        "benchmarks": records,
+        "speedup_vectorized_vs_loop": speedup,
+        "speedup_target": SPEEDUP_TARGET,
+        "recovery": {
+            "chain_max_abs_error": round(chain_error, 5),
+            "chain_tolerance": CHAIN_TOLERANCE,
+            "em_max_abs_error": round(em_error, 5),
+            "em_tolerance": EM_TOLERANCE,
+            "ok": recovery_ok,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    document = collect(quick=quick)
+    json.dump(document, sys.stdout, indent=2)
+    print()
+    if not document["recovery"]["ok"]:
+        return 1
+    return (
+        0
+        if document["speedup_vectorized_vs_loop"] >= SPEEDUP_TARGET
+        else 1
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""Benchmark regression gate: fresh JSON vs committed baselines.
+
+Every standalone benchmark (``bench_sim_backends``, ``bench_pareto_sweep``,
+``bench_fleet``, ``bench_estimation``) emits one JSON document.  This
+script compares a fresh run against the baseline committed under
+``benchmarks/baselines/`` and **fails on a >30% throughput regression**
+(any numeric metric whose key ends in ``_per_sec``, plus the
+machine-independent ``speedup*`` ratios).  Metrics are matched by their
+JSON path; entries of a ``benchmarks`` array are matched by their
+``name`` field, so reordering or adding scenarios never misfires.
+
+CI usage (the ``benchmark-smoke`` job)::
+
+    python benchmarks/compare_baselines.py benchmarks/baselines \
+        bench_sim_backends.json bench_pareto_sweep.json \
+        bench_fleet.json bench_estimation.json --tolerance 0.30
+
+Refreshing baselines after an intentional change (or new hardware)::
+
+    python benchmarks/compare_baselines.py benchmarks/baselines \
+        bench_*.json --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+#: Keys treated as higher-is-better throughput metrics.
+_THROUGHPUT_SUFFIX = "_per_sec"
+_SPEEDUP_PREFIX = "speedup"
+
+
+def collect_metrics(document, path: str = "") -> dict[str, float]:
+    """Flatten throughput/speedup metrics into ``{json-path: value}``."""
+    metrics: dict[str, float] = {}
+    if isinstance(document, dict):
+        for key, value in document.items():
+            here = f"{path}.{key}" if path else str(key)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                if str(key).endswith(_THROUGHPUT_SUFFIX) or str(
+                    key
+                ).startswith(_SPEEDUP_PREFIX):
+                    # *_target thresholds are config, not measurements.
+                    if not str(key).endswith("_target"):
+                        metrics[here] = float(value)
+            else:
+                metrics.update(collect_metrics(value, here))
+    elif isinstance(document, list):
+        for index, item in enumerate(document):
+            label = (
+                item.get("name", str(index))
+                if isinstance(item, dict)
+                else str(index)
+            )
+            metrics.update(collect_metrics(item, f"{path}[{label}]"))
+    return metrics
+
+
+def compare_documents(
+    baseline: dict, fresh: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Return (regressions, notes) comparing fresh metrics to baseline.
+
+    A metric regresses when ``fresh < baseline * (1 - tolerance)``.
+    Metrics present on only one side are reported as notes (new
+    scenarios appear, retired ones disappear; neither is a failure).
+    """
+    baseline_metrics = collect_metrics(baseline)
+    fresh_metrics = collect_metrics(fresh)
+    regressions: list[str] = []
+    notes: list[str] = []
+    for path, base_value in sorted(baseline_metrics.items()):
+        if path not in fresh_metrics:
+            notes.append(f"baseline metric {path} missing from fresh run")
+            continue
+        fresh_value = fresh_metrics[path]
+        if base_value <= 0:
+            continue
+        floor = base_value * (1.0 - tolerance)
+        change = fresh_value / base_value - 1.0
+        if fresh_value < floor:
+            regressions.append(
+                f"{path}: {fresh_value:g} vs baseline {base_value:g} "
+                f"({change:+.1%}, tolerance -{tolerance:.0%})"
+            )
+        else:
+            notes.append(f"{path}: {change:+.1%}")
+    for path in sorted(set(fresh_metrics) - set(baseline_metrics)):
+        notes.append(f"new metric {path} (no baseline yet)")
+    return regressions, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare fresh benchmark JSON against committed baselines"
+    )
+    parser.add_argument(
+        "baseline_dir", help="directory of committed baseline JSONs"
+    )
+    parser.add_argument(
+        "fresh", nargs="+", help="fresh benchmark JSON files (matched by name)"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional throughput drop (default: 0.30)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy the fresh JSONs over the baselines instead of comparing",
+    )
+    args = parser.parse_args(argv)
+    baseline_dir = Path(args.baseline_dir)
+
+    if args.update:
+        baseline_dir.mkdir(parents=True, exist_ok=True)
+        for fresh_path in args.fresh:
+            target = baseline_dir / Path(fresh_path).name
+            shutil.copyfile(fresh_path, target)
+            print(f"baseline updated: {target}")
+        return 0
+
+    failures = 0
+    for fresh_path in args.fresh:
+        name = Path(fresh_path).name
+        baseline_path = baseline_dir / name
+        if not baseline_path.exists():
+            print(f"{name}: SKIP (no baseline committed)")
+            continue
+        try:
+            baseline = json.loads(baseline_path.read_text())
+            fresh = json.loads(Path(fresh_path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{name}: ERROR reading documents ({exc})")
+            failures += 1
+            continue
+        regressions, notes = compare_documents(
+            baseline, fresh, args.tolerance
+        )
+        if regressions:
+            failures += 1
+            print(f"{name}: FAIL ({len(regressions)} regression(s))")
+            for line in regressions:
+                print(f"  REGRESSION {line}")
+        else:
+            print(f"{name}: ok ({len(notes)} metric(s) within tolerance)")
+        for line in notes:
+            print(f"  {line}")
+    if failures:
+        print(
+            f"{failures} benchmark document(s) regressed beyond "
+            f"{args.tolerance:.0%}; if intentional, refresh with --update",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

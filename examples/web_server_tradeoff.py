@@ -10,8 +10,6 @@ power-hungry processor is never worth running alone.
 Run:  python examples/web_server_tradeoff.py
 """
 
-import numpy as np
-
 from repro import PolicyOptimizer
 from repro.systems import web_server
 from repro.util.tables import format_table

@@ -36,7 +36,7 @@ and :class:`~repro.core.average_cost.AverageCostOptimizer` qualify.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np

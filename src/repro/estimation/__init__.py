@@ -1,0 +1,93 @@
+"""Trace-driven model identification and scenario generation.
+
+The paper's case studies rest on Markov models Paleologo et al. *fitted
+from measured traces*; this package reproduces that step as a library
+so any trace becomes a new optimizable system:
+
+* :mod:`~repro.estimation.chain_fit` — MLE arrival chains with
+  Dirichlet smoothing and BIC/AIC structure selection;
+* :mod:`~repro.estimation.mmpp_fit` — EM fitting of MMPP(2)/Poisson
+  stream generators for the fleet runtime;
+* :mod:`~repro.estimation.provider_fit` — SP estimation from
+  state-residency/transition logs (expected transition times, labeled
+  power and service samples);
+* :mod:`~repro.estimation.report` — chi-square goodness-of-fit,
+  split-half stationarity, Wilson confidence intervals, bundled as a
+  :class:`FitReport`;
+* :mod:`~repro.estimation.workload` — :func:`fit_workload`, the
+  one-call front door;
+* :mod:`~repro.estimation.scenario` — fitted SR x SP assembled into
+  ready-to-optimize systems, system specs and fleet device groups.
+
+End to end: ``repro-dpm fit trace.txt --resolution 1e-3 --out sys.json``
+then ``repro-dpm optimize sys.json`` — raw data to optimal policy.
+"""
+
+from repro.estimation.chain_fit import (
+    ArrivalChainEstimator,
+    ChainFit,
+    ChainSelection,
+    fit_arrival_chain,
+    select_arrival_chain,
+)
+from repro.estimation.mmpp_fit import (
+    MMPP2Fit,
+    PoissonFit,
+    fit_mmpp2,
+    fit_poisson,
+)
+from repro.estimation.provider_fit import (
+    ProviderFit,
+    ProviderLog,
+    TransitionRecord,
+    fit_provider,
+    sample_provider_log,
+)
+from repro.estimation.report import (
+    ChiSquareResult,
+    FitReport,
+    StationarityResult,
+    chi_square_transitions,
+    split_half_stationarity,
+    transition_confidence_intervals,
+)
+from repro.estimation.scenario import (
+    assemble_system,
+    fleet_group_from_fit,
+    fleet_spec_from_fit,
+    provider_spec,
+    requester_spec_from_model,
+    system_spec_from_fit,
+)
+from repro.estimation.workload import WorkloadFit, fit_workload
+
+__all__ = [
+    "ArrivalChainEstimator",
+    "ChainFit",
+    "ChainSelection",
+    "ChiSquareResult",
+    "FitReport",
+    "MMPP2Fit",
+    "PoissonFit",
+    "ProviderFit",
+    "ProviderLog",
+    "StationarityResult",
+    "TransitionRecord",
+    "WorkloadFit",
+    "assemble_system",
+    "chi_square_transitions",
+    "fit_arrival_chain",
+    "fit_mmpp2",
+    "fit_poisson",
+    "fit_provider",
+    "fit_workload",
+    "fleet_group_from_fit",
+    "fleet_spec_from_fit",
+    "provider_spec",
+    "requester_spec_from_model",
+    "sample_provider_log",
+    "select_arrival_chain",
+    "split_half_stationarity",
+    "system_spec_from_fit",
+    "transition_confidence_intervals",
+]

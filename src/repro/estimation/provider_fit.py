@@ -1,0 +1,426 @@
+"""Service-provider estimation from state-residency/transition logs.
+
+The paper hand-translates vendor datasheets into SP matrices (Table 1).
+This module goes the other way: given a measured log of
+``(state, command, next_state)`` transitions — optionally labeled with
+the power drawn during the slice and whether a request completed — it
+MLE-fits the controlled Markov chain, the power table and the
+service-rate table, producing a ready-to-compose
+:class:`~repro.core.components.ServiceProvider`.  Expected transition
+times follow from the fitted geometric probabilities exactly as in
+paper Eq. 2 (``E[T] = 1/p``).
+
+* :class:`TransitionRecord` / :class:`ProviderLog` — the log format,
+  with JSON-lines persistence for the ``fit`` CLI;
+* :func:`fit_provider` — counts → :class:`ProviderFit`;
+* :func:`sample_provider_log` — synthesize a log from a known provider
+  (round-trip testing and examples).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.components import ServiceProvider
+from repro.markov.controlled import ControlledMarkovChain
+from repro.util.tables import format_table
+from repro.util.validation import ValidationError
+
+__all__ = [
+    "ProviderFit",
+    "ProviderLog",
+    "TransitionRecord",
+    "fit_provider",
+    "sample_provider_log",
+]
+
+
+@dataclass(frozen=True)
+class TransitionRecord:
+    """One logged slice of SP behaviour.
+
+    Attributes
+    ----------
+    state / command / next_state:
+        The SP state at the slice start, the PM command issued, and the
+        state observed at the next slice start.
+    power:
+        Measured power draw during the slice in watts (``None`` when
+        the logger had no power meter).
+    serviced:
+        Whether a request completed during the slice (``None`` when
+        unknown — e.g. an idle slice with nothing to serve).
+    """
+
+    state: str
+    command: str
+    next_state: str
+    power: float | None = None
+    serviced: bool | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-able record (``None`` fields omitted)."""
+        record = {
+            "state": self.state,
+            "command": self.command,
+            "next_state": self.next_state,
+        }
+        if self.power is not None:
+            record["power"] = self.power
+        if self.serviced is not None:
+            record["serviced"] = self.serviced
+        return record
+
+
+class ProviderLog:
+    """An append-only sequence of :class:`TransitionRecord`.
+
+    Examples
+    --------
+    >>> log = ProviderLog()
+    >>> log.append("on", "s_off", "off", power=4.0)
+    >>> len(log)
+    1
+    """
+
+    def __init__(self, records=()):
+        self._records: list[TransitionRecord] = []
+        for record in records:
+            if isinstance(record, TransitionRecord):
+                self._records.append(record)
+            elif isinstance(record, dict):
+                self._records.append(self._from_dict(record))
+            else:
+                raise ValidationError(
+                    "ProviderLog records must be TransitionRecord or "
+                    f"mapping, got {type(record).__name__}"
+                )
+
+    @staticmethod
+    def _from_dict(raw: dict) -> TransitionRecord:
+        for key in ("state", "command", "next_state"):
+            if key not in raw:
+                raise ValidationError(
+                    f"provider-log record is missing {key!r}: {raw!r}"
+                )
+        power = raw.get("power")
+        serviced = raw.get("serviced")
+        return TransitionRecord(
+            state=str(raw["state"]),
+            command=str(raw["command"]),
+            next_state=str(raw["next_state"]),
+            power=None if power is None else float(power),
+            serviced=None if serviced is None else bool(serviced),
+        )
+
+    def append(
+        self,
+        state,
+        command,
+        next_state,
+        power: float | None = None,
+        serviced: bool | None = None,
+    ) -> None:
+        """Record one observed slice."""
+        self._records.append(
+            TransitionRecord(
+                state=str(state),
+                command=str(command),
+                next_state=str(next_state),
+                power=None if power is None else float(power),
+                serviced=None if serviced is None else bool(serviced),
+            )
+        )
+
+    @property
+    def records(self) -> tuple[TransitionRecord, ...]:
+        """The logged records, in order."""
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    # ------------------------------------------------------------------
+    # persistence (JSON lines, one record per line)
+    # ------------------------------------------------------------------
+    def save_jsonl(self, path) -> None:
+        """Write one JSON object per line."""
+        lines = [json.dumps(record.to_dict()) for record in self._records]
+        Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+    @classmethod
+    def load_jsonl(cls, path) -> "ProviderLog":
+        """Read a log written by :meth:`save_jsonl`."""
+        records = []
+        for line_no, line in enumerate(Path(path).read_text().splitlines(), 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValidationError(
+                    f"provider log {path}, line {line_no}: invalid JSON "
+                    f"({exc})"
+                ) from exc
+            records.append(cls._from_dict(raw))
+        return cls(records)
+
+
+@dataclass(frozen=True)
+class ProviderFit:
+    """A fitted SP model with its estimation bookkeeping.
+
+    Attributes
+    ----------
+    provider:
+        The composable :class:`ServiceProvider`.
+    transition_counts:
+        ``(n_commands, n_states, n_states)`` observed transition counts.
+    power_counts / service_counts:
+        ``(n_states, n_commands)`` numbers of labeled power / service
+        samples behind each table cell (0 means the default was used).
+    n_observations:
+        Total logged transitions.
+    """
+
+    provider: ServiceProvider
+    transition_counts: np.ndarray
+    power_counts: np.ndarray
+    service_counts: np.ndarray
+    n_observations: int
+
+    def expected_transition_time(self, src, dst, command) -> float:
+        """Fitted expected slices for ``src -> dst`` (paper Eq. 2)."""
+        return self.provider.expected_transition_time(src, dst, command)
+
+    def transition_time_table(self) -> str:
+        """Render fitted expected transition times per command."""
+        states = self.provider.state_names
+        rows = []
+        for command in self.provider.command_names:
+            for src in states:
+                for dst in states:
+                    expected = self.expected_transition_time(src, dst, command)
+                    if np.isfinite(expected) and src != dst:
+                        rows.append((command, src, dst, round(expected, 3)))
+        return format_table(
+            ["command", "from", "to", "expected_slices"],
+            rows,
+            title="fitted expected transition times (Eq. 2)",
+        )
+
+    def summary(self) -> str:
+        """Human-readable fit summary."""
+        unlabeled_power = int((self.power_counts == 0).sum())
+        unlabeled_service = int((self.service_counts == 0).sum())
+        return (
+            f"provider fit: {len(self.provider.state_names)} states x "
+            f"{len(self.provider.command_names)} commands from "
+            f"{self.n_observations} transitions "
+            f"({unlabeled_power} power cells and {unlabeled_service} "
+            f"service cells defaulted)"
+        )
+
+
+def _first_seen_order(values) -> list[str]:
+    seen: dict[str, None] = {}
+    for value in values:
+        seen.setdefault(str(value), None)
+    return list(seen)
+
+
+def fit_provider(
+    log: ProviderLog,
+    states=None,
+    commands=None,
+    smoothing: float = 0.0,
+    default_power: float = 0.0,
+    default_service_rate: float = 0.0,
+) -> ProviderFit:
+    """MLE-fit a :class:`ServiceProvider` from a transition log.
+
+    Parameters
+    ----------
+    log:
+        The observed transitions (with optional power/service labels).
+    states / commands:
+        Explicit orderings; default to first-seen order in the log.
+    smoothing:
+        Dirichlet pseudo-count added to every ``(s, a, s')`` cell.
+        With 0, a ``(state, command)`` row that was never observed
+        becomes a self-loop — "no information: the state holds", the
+        conservative completion for a valid controlled chain.
+    default_power / default_service_rate:
+        Values for table cells with no labeled samples.
+
+    Examples
+    --------
+    >>> log = ProviderLog()
+    >>> for _ in range(10):
+    ...     log.append("on", "s_on", "on", power=3.0, serviced=True)
+    >>> fit = fit_provider(log, states=["on"], commands=["s_on"])
+    >>> fit.provider.power("on", "s_on")
+    3.0
+    """
+    if len(log) == 0:
+        raise ValidationError("fit_provider needs a non-empty log")
+    smoothing = float(smoothing)
+    if smoothing < 0:
+        raise ValidationError(f"smoothing must be >= 0, got {smoothing}")
+
+    if states is None:
+        states = _first_seen_order(
+            value
+            for record in log
+            for value in (record.state, record.next_state)
+        )
+    else:
+        states = [str(s) for s in states]
+    if commands is None:
+        commands = _first_seen_order(record.command for record in log)
+    else:
+        commands = [str(c) for c in commands]
+    state_index = {name: i for i, name in enumerate(states)}
+    command_index = {name: i for i, name in enumerate(commands)}
+
+    n_s, n_c = len(states), len(commands)
+    counts = np.zeros((n_c, n_s, n_s))
+    power_sums = np.zeros((n_s, n_c))
+    power_counts = np.zeros((n_s, n_c), dtype=np.int64)
+    service_sums = np.zeros((n_s, n_c))
+    service_counts = np.zeros((n_s, n_c), dtype=np.int64)
+    for record in log:
+        try:
+            s = state_index[record.state]
+            d = state_index[record.next_state]
+            a = command_index[record.command]
+        except KeyError as exc:
+            raise ValidationError(
+                f"log record {record!r} references unknown state/command "
+                f"{exc.args[0]!r}"
+            ) from None
+        counts[a, s, d] += 1.0
+        if record.power is not None:
+            power_sums[s, a] += record.power
+            power_counts[s, a] += 1
+        if record.serviced is not None:
+            service_sums[s, a] += float(record.serviced)
+            service_counts[s, a] += 1
+
+    matrices = counts + smoothing
+    for a in range(n_c):
+        for s in range(n_s):
+            total = matrices[a, s].sum()
+            if total <= 0.0:
+                # Never observed under this command: hold the state.
+                matrices[a, s, s] = 1.0
+            else:
+                matrices[a, s] /= total
+
+    # Measurement noise can drag a (near-)zero cell's sample mean below
+    # zero; power is physically non-negative, so clamp.
+    power = np.maximum(
+        np.where(
+            power_counts > 0,
+            power_sums / np.maximum(power_counts, 1),
+            float(default_power),
+        ),
+        0.0,
+    )
+    rates = np.where(
+        service_counts > 0,
+        service_sums / np.maximum(service_counts, 1),
+        float(default_service_rate),
+    )
+    chain = ControlledMarkovChain(
+        {command: matrices[a] for a, command in enumerate(commands)},
+        state_names=states,
+        command_names=commands,
+    )
+    provider = ServiceProvider(chain, np.clip(rates, 0.0, 1.0), power)
+    return ProviderFit(
+        provider=provider,
+        transition_counts=counts,
+        power_counts=power_counts,
+        service_counts=service_counts,
+        n_observations=len(log),
+    )
+
+
+def sample_provider_log(
+    provider: ServiceProvider,
+    n_slices: int,
+    rng: np.random.Generator,
+    command_sampler=None,
+    power_noise: float = 0.0,
+    initial_state=0,
+) -> ProviderLog:
+    """Walk a known provider and log what a measurement harness would see.
+
+    Parameters
+    ----------
+    provider:
+        The ground-truth SP model.
+    n_slices:
+        Transitions to log.
+    rng:
+        Drives command choice, transitions, labels and noise.
+    command_sampler:
+        Optional ``(state_index, rng) -> command_index``; defaults to a
+        uniform draw over commands (full exploration).
+    power_noise:
+        Standard deviation of Gaussian measurement noise added to the
+        logged power samples.
+    initial_state:
+        Starting SP state (index or name).
+
+    Examples
+    --------
+    >>> from repro.systems.example_system import build_provider
+    >>> log = sample_provider_log(
+    ...     build_provider(), 50, np.random.default_rng(0))
+    >>> len(log)
+    50
+    """
+    n_slices = int(n_slices)
+    if n_slices <= 0:
+        raise ValidationError(f"n_slices must be > 0, got {n_slices}")
+    chain = provider.chain
+    state = (
+        int(initial_state)
+        if isinstance(initial_state, (int, np.integer))
+        else chain.state_index(initial_state)
+    )
+    log = ProviderLog()
+    states = chain.state_names
+    commands = chain.command_names
+    rate_matrix = provider.service_rate_matrix
+    power_matrix = provider.power_matrix
+    for _ in range(n_slices):
+        if command_sampler is None:
+            command = int(rng.integers(0, len(commands)))
+        else:
+            command = int(command_sampler(state, rng))
+        row = chain.matrix(commands[command])[state]
+        next_state = int(rng.choice(row.size, p=row))
+        power = float(power_matrix[state, command])
+        if power_noise > 0.0:
+            power += float(rng.normal(0.0, power_noise))
+        serviced = bool(rng.random() < rate_matrix[state, command])
+        log.append(
+            states[state],
+            commands[command],
+            states[next_state],
+            power=power,
+            serviced=serviced,
+        )
+        state = next_state
+    return log

@@ -1,0 +1,424 @@
+"""Model validation: goodness-of-fit, stationarity, confidence bounds.
+
+The paper validates extracted SR models by simulating them and eyeing
+the metrics ("to check the quality of the Markov model").  The
+estimation layer makes that check numeric:
+
+* :func:`chi_square_transitions` — Pearson chi-square of a fitted
+  chain's transition rows against an observed stream (held-out data
+  makes this a proper goodness-of-fit test);
+* :func:`split_half_stationarity` — fit the first and second halves of
+  the stream independently and z-test every shared transition
+  probability; a regime switch (paper Example 7.1) shows up as a large
+  maximum z-score;
+* :func:`transition_confidence_intervals` — Wilson-score half-widths
+  for every fitted transition probability;
+* :class:`FitReport` — the bundle of all checks for one fitted
+  workload, JSON-able for the ``fit`` CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.stats import chi2 as chi2_distribution
+
+from repro.estimation.chain_fit import ChainFit, ChainSelection
+from repro.estimation.mmpp_fit import MMPP2Fit, PoissonFit
+from repro.traces.extractor import KMemoryModel, SRExtractor, _window_indices
+from repro.util.tables import format_table
+from repro.util.validation import ValidationError
+
+__all__ = [
+    "ChiSquareResult",
+    "FitReport",
+    "StationarityResult",
+    "chi_square_transitions",
+    "split_half_stationarity",
+    "transition_confidence_intervals",
+]
+
+
+def _count_transitions(model: KMemoryModel, counts) -> np.ndarray:
+    """Transition counts of a stream under ``model``'s state encoding."""
+    levels = np.clip(
+        np.asarray(counts, dtype=int).reshape(-1), 0, model.max_level
+    )
+    n = model.n_states
+    if levels.size <= model.memory:
+        return np.zeros((n, n))
+    indices = _window_indices(levels, model.memory, model.max_level + 1)
+    pairs = indices[:-1] * n + indices[1:]
+    return np.bincount(pairs, minlength=n * n).reshape(n, n).astype(float)
+
+
+@dataclass(frozen=True)
+class ChiSquareResult:
+    """Pearson chi-square of fitted rows against observed transitions.
+
+    Attributes
+    ----------
+    statistic / dof / p_value:
+        The pooled chi-square statistic, its degrees of freedom and the
+        upper-tail p-value (1.0 when no cell had enough data).
+    n_cells:
+        Transition cells that met the expected-count threshold.
+    passed:
+        ``p_value >= alpha`` — the observed stream is consistent with
+        the fitted chain.
+    alpha:
+        Significance level the verdict used.
+    """
+
+    statistic: float
+    dof: int
+    p_value: float
+    n_cells: int
+    passed: bool
+    alpha: float
+
+    def describe(self) -> str:
+        """One-line verdict."""
+        verdict = "consistent" if self.passed else "REJECTED"
+        return (
+            f"chi-square {self.statistic:.2f} on {self.dof} dof "
+            f"(p={self.p_value:.3g}) -> {verdict} at alpha={self.alpha}"
+        )
+
+
+def chi_square_transitions(
+    model: KMemoryModel,
+    counts,
+    alpha: float = 0.01,
+    min_expected: float = 5.0,
+) -> ChiSquareResult:
+    """Chi-square test of ``model`` against an observed count stream.
+
+    Expected cell counts are ``row_total * p`` under the fitted
+    probabilities; cells below ``min_expected`` are excluded (the
+    classical validity rule).  Degrees of freedom are
+    ``sum_rows (used_cells - 1)``.  Testing the *training* stream is a
+    smoothing sanity check; pass held-out data for a real test — the
+    :class:`FitReport` builder fits the first half and tests the
+    second.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.traces.extractor import SRExtractor
+    >>> rng = np.random.default_rng(0)
+    >>> stream = (rng.random(5000) < 0.3).astype(int)
+    >>> model = SRExtractor(memory=1).fit(stream[:2500])
+    >>> chi_square_transitions(model, stream[2500:]).passed
+    True
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValidationError(f"alpha must be in (0, 1), got {alpha!r}")
+    observed = _count_transitions(model, counts)
+    row_totals = observed.sum(axis=1, keepdims=True)
+    expected = row_totals * model.matrix
+    usable = expected >= float(min_expected)
+
+    statistic = 0.0
+    dof = 0
+    n_cells = 0
+    for row in range(observed.shape[0]):
+        cells = usable[row]
+        used = int(cells.sum())
+        if used < 2:
+            continue  # a single usable cell carries no test
+        diff = observed[row, cells] - expected[row, cells]
+        statistic += float((diff * diff / expected[row, cells]).sum())
+        dof += used - 1
+        n_cells += used
+    if dof == 0:
+        return ChiSquareResult(
+            statistic=0.0, dof=0, p_value=1.0, n_cells=0,
+            passed=True, alpha=float(alpha),
+        )
+    p_value = float(chi2_distribution.sf(statistic, dof))
+    return ChiSquareResult(
+        statistic=statistic,
+        dof=dof,
+        p_value=p_value,
+        n_cells=n_cells,
+        passed=p_value >= alpha,
+        alpha=float(alpha),
+    )
+
+
+@dataclass(frozen=True)
+class StationarityResult:
+    """Split-half comparison of the fitted transition structure.
+
+    Attributes
+    ----------
+    max_z_score:
+        Largest two-proportion z-statistic over transitions observed in
+        both halves.
+    max_abs_difference:
+        Largest absolute probability difference over those transitions.
+    n_compared:
+        Transitions compared.
+    stationary:
+        ``max_z_score <= z_threshold`` — no evidence of a regime change
+        between the halves.
+    z_threshold:
+        The verdict threshold.
+    """
+
+    max_z_score: float
+    max_abs_difference: float
+    n_compared: int
+    stationary: bool
+    z_threshold: float
+
+    def describe(self) -> str:
+        """One-line verdict."""
+        verdict = "stationary" if self.stationary else "NONSTATIONARY"
+        return (
+            f"split-half max |z| = {self.max_z_score:.2f} "
+            f"(max |dp| = {self.max_abs_difference:.3f} over "
+            f"{self.n_compared} transitions) -> {verdict}"
+        )
+
+
+def split_half_stationarity(
+    counts,
+    memory: int = 1,
+    max_level: int = 1,
+    z_threshold: float = 5.0,
+    min_row_count: int = 10,
+) -> StationarityResult:
+    """Fit both halves of the stream and z-test every shared transition.
+
+    For each transition observed at least ``min_row_count`` times from
+    its source state in *both* halves, the two empirical probabilities
+    are compared with a pooled two-proportion z-test.  A nonstationary
+    stream — e.g. the paper's merged editing+compilation workload —
+    produces z-scores far above any reasonable threshold.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(1)
+    >>> calm = (rng.random(3000) < 0.1).astype(int)
+    >>> split_half_stationarity(np.concatenate([calm, calm])).stationary
+    True
+    """
+    arr = np.asarray(counts, dtype=int).reshape(-1)
+    if arr.size < 4 * (memory + 1):
+        raise ValidationError(
+            f"need at least {4 * (memory + 1)} slices for a split-half "
+            f"check, got {arr.size}"
+        )
+    half = arr.size // 2
+    extractor = SRExtractor(memory=memory, max_level=max_level, smoothing=0.0)
+    first = extractor.fit(arr[:half])
+    second = extractor.fit(arr[half:])
+
+    first_counts = _count_transitions(first, arr[:half])
+    second_counts = _count_transitions(second, arr[half:])
+    n1 = first_counts.sum(axis=1)
+    n2 = second_counts.sum(axis=1)
+
+    max_z = 0.0
+    max_diff = 0.0
+    compared = 0
+    for row in range(first.n_states):
+        if n1[row] < min_row_count or n2[row] < min_row_count:
+            continue
+        for col in range(first.n_states):
+            if first_counts[row, col] == 0 and second_counts[row, col] == 0:
+                continue
+            p1 = first_counts[row, col] / n1[row]
+            p2 = second_counts[row, col] / n2[row]
+            pooled = (first_counts[row, col] + second_counts[row, col]) / (
+                n1[row] + n2[row]
+            )
+            variance = pooled * (1.0 - pooled) * (1.0 / n1[row] + 1.0 / n2[row])
+            if variance <= 0.0:
+                continue
+            z = abs(p1 - p2) / float(np.sqrt(variance))
+            compared += 1
+            max_z = max(max_z, z)
+            max_diff = max(max_diff, abs(p1 - p2))
+    return StationarityResult(
+        max_z_score=float(max_z),
+        max_abs_difference=float(max_diff),
+        n_compared=compared,
+        stationary=bool(max_z <= float(z_threshold)),
+        z_threshold=float(z_threshold),
+    )
+
+
+def transition_confidence_intervals(
+    model: KMemoryModel, confidence: float = 0.95
+) -> np.ndarray:
+    """Wilson-score half-widths for every fitted transition probability.
+
+    Returns an ``(n_states, n_states)`` array; rows never observed get
+    half-width 1 (no information).  The Wilson interval stays honest at
+    the probability boundaries where the naive normal interval
+    collapses to zero width.
+
+    Examples
+    --------
+    >>> from repro.traces.extractor import SRExtractor
+    >>> model = SRExtractor(memory=1).fit([0, 1] * 200)
+    >>> float(transition_confidence_intervals(model)[0, 1]) < 0.1
+    True
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValidationError(
+            f"confidence must be in (0, 1), got {confidence!r}"
+        )
+    # Two-sided normal quantile via the chi-square inverse CDF:
+    # z^2 = chi2.ppf(confidence, df=1).
+    z = float(np.sqrt(chi2_distribution.ppf(confidence, 1)))
+    n = model.state_counts.astype(float)[:, None]
+    p = model.matrix
+    with np.errstate(divide="ignore", invalid="ignore"):
+        denom = 1.0 + z * z / n
+        center = (p + z * z / (2.0 * n)) / denom
+        spread = (
+            z
+            * np.sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n))
+            / denom
+        )
+        lower = np.maximum(center - spread, 0.0)
+        upper = np.minimum(center + spread, 1.0)
+        half_widths = (upper - lower) / 2.0
+    half_widths = np.where(n > 0, half_widths, 1.0)
+    return half_widths
+
+
+@dataclass
+class FitReport:
+    """Everything the estimation layer learned about one workload.
+
+    Attributes
+    ----------
+    n_slices / mean_rate:
+        Stream length and mean requests per slice.
+    selection:
+        The chain structure search (BIC table included).
+    chi_square:
+        Held-out goodness-of-fit of the selected structure (fitted on
+        the first half, tested on the second).
+    stationarity:
+        Split-half regime check.
+    max_ci_half_width:
+        Largest Wilson half-width over fitted transitions.
+    confidence:
+        Confidence level of the intervals.
+    mmpp2 / poisson:
+        Generator fits (``None`` when not requested or not fittable).
+    """
+
+    n_slices: int
+    mean_rate: float
+    selection: ChainSelection
+    chi_square: ChiSquareResult
+    stationarity: StationarityResult
+    max_ci_half_width: float
+    confidence: float
+    mmpp2: MMPP2Fit | None = None
+    poisson: PoissonFit | None = None
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def chain(self) -> ChainFit:
+        """The selected chain fit."""
+        return self.selection.best
+
+    @property
+    def model(self) -> KMemoryModel:
+        """The selected arrival-chain model."""
+        return self.selection.best.model
+
+    @property
+    def valid(self) -> bool:
+        """True when both statistical checks passed."""
+        return self.chi_square.passed and self.stationarity.stationary
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"fitted workload over {self.n_slices} slices "
+            f"(mean rate {self.mean_rate:.4g} requests/slice)",
+            self.selection.table(),
+            f"  {self.chi_square.describe()}",
+            f"  {self.stationarity.describe()}",
+            f"  max transition CI half-width: "
+            f"{self.max_ci_half_width:.4f} at {self.confidence:.0%}",
+        ]
+        generators = []
+        if self.mmpp2 is not None:
+            converged = "" if self.mmpp2.converged else " (NOT converged)"
+            generators.append(
+                (
+                    "mmpp2",
+                    self.mmpp2.describe() + converged,
+                    round(self.mmpp2.bic, 2),
+                )
+            )
+        if self.poisson is not None:
+            generators.append(
+                ("poisson", self.poisson.describe(), round(self.poisson.bic, 2))
+            )
+        if generators:
+            lines.append(
+                format_table(
+                    ["generator", "parameters", "bic"],
+                    generators,
+                    title="generator fits",
+                )
+            )
+        for warning in self.warnings:
+            lines.append(f"  warning: {warning}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-able report (for the ``fit`` CLI's ``--report``)."""
+        document = {
+            "n_slices": self.n_slices,
+            "mean_rate": self.mean_rate,
+            "valid": self.valid,
+            "selection": self.selection.to_dict(),
+            "chi_square": {
+                "statistic": self.chi_square.statistic,
+                "dof": self.chi_square.dof,
+                "p_value": self.chi_square.p_value,
+                "passed": self.chi_square.passed,
+                "alpha": self.chi_square.alpha,
+            },
+            "stationarity": {
+                "max_z_score": self.stationarity.max_z_score,
+                "max_abs_difference": self.stationarity.max_abs_difference,
+                "n_compared": self.stationarity.n_compared,
+                "stationary": self.stationarity.stationary,
+                "z_threshold": self.stationarity.z_threshold,
+            },
+            "confidence_intervals": {
+                "confidence": self.confidence,
+                "max_half_width": self.max_ci_half_width,
+            },
+            "warnings": list(self.warnings),
+        }
+        if self.mmpp2 is not None:
+            document["mmpp2"] = {
+                **self.mmpp2.to_stream_spec(),
+                "log_likelihood": self.mmpp2.log_likelihood,
+                "bic": self.mmpp2.bic,
+                "converged": self.mmpp2.converged,
+                "n_iterations": self.mmpp2.n_iterations,
+            }
+        if self.poisson is not None:
+            document["poisson"] = {
+                **self.poisson.to_stream_spec(),
+                "log_likelihood": self.poisson.log_likelihood,
+                "bic": self.poisson.bic,
+            }
+        return document

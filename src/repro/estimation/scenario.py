@@ -1,0 +1,260 @@
+"""Scenario generation: fitted SR x SP -> ready-to-optimize systems.
+
+The last stage of the estimation pipeline turns fitted components into
+the artifacts the rest of the repo consumes:
+
+* :func:`assemble_system` — compose a fitted workload with a provider
+  into a :class:`~repro.core.system.PowerManagedSystem` + costs;
+* :func:`requester_spec_from_model` / :func:`provider_spec` — fitted
+  models as the JSON tables of :mod:`repro.tool.spec`;
+* :func:`system_spec_from_fit` — a complete, ``parse_spec``-valid
+  system description (the ``fit`` CLI's ``--out``), which feeds the
+  existing ``optimize`` / ``pareto`` subcommands unchanged;
+* :func:`fleet_group_from_fit` / :func:`fleet_spec_from_fit` — fleet
+  device-group specs whose workload is the fitted stream generator,
+  consumable by :func:`repro.runtime.fleet.build_fleet`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.components import ServiceProvider, ServiceQueue
+from repro.core.costs import CostModel
+from repro.core.system import PowerManagedSystem
+from repro.estimation.workload import WorkloadFit
+from repro.traces.extractor import KMemoryModel
+from repro.util.validation import ValidationError
+
+__all__ = [
+    "assemble_system",
+    "fleet_group_from_fit",
+    "fleet_spec_from_fit",
+    "provider_spec",
+    "requester_spec_from_model",
+    "system_spec_from_fit",
+]
+
+
+def assemble_system(
+    provider: ServiceProvider,
+    workload,
+    queue_capacity: int = 1,
+) -> tuple[PowerManagedSystem, CostModel]:
+    """Compose a fitted workload with a provider into a managed system.
+
+    ``workload`` may be a :class:`WorkloadFit`, a fitted
+    :class:`~repro.traces.extractor.KMemoryModel`, or any object with a
+    ``to_requester()`` method (e.g. an
+    :class:`~repro.estimation.mmpp_fit.MMPP2Fit`).
+
+    Examples
+    --------
+    >>> from repro.systems.example_system import build_provider
+    >>> from repro.traces.extractor import SRExtractor
+    >>> model = SRExtractor(memory=1).fit([0, 1, 1, 0, 0, 1, 0, 0])
+    >>> system, costs = assemble_system(build_provider(), model)
+    >>> system.n_states
+    8
+    """
+    if isinstance(workload, WorkloadFit):
+        requester = workload.to_requester()
+    elif hasattr(workload, "to_requester"):
+        requester = workload.to_requester()
+    else:
+        raise ValidationError(
+            "workload must be a WorkloadFit or expose to_requester(), "
+            f"got {type(workload).__name__}"
+        )
+    system = PowerManagedSystem(
+        provider, requester, ServiceQueue(int(queue_capacity))
+    )
+    return system, CostModel.standard(system)
+
+
+def requester_spec_from_model(model: KMemoryModel) -> dict:
+    """The ``requester`` block of a system spec for a fitted chain."""
+    names = ["".join(str(level) for level in state) for state in model.states]
+    return {
+        "states": names,
+        "transitions": [
+            [float(p) for p in row] for row in np.asarray(model.matrix)
+        ],
+        "arrivals": [int(state[-1]) for state in model.states],
+    }
+
+
+def provider_spec(provider: ServiceProvider) -> dict:
+    """The ``provider`` block of a system spec for an SP model.
+
+    Round-trips through :func:`repro.tool.spec.parse_spec` exactly —
+    floats are serialized at full precision by ``json.dump``.
+    """
+    chain = provider.chain
+    return {
+        "states": list(chain.state_names),
+        "commands": list(chain.command_names),
+        "transitions": {
+            command: [
+                [float(p) for p in row] for row in chain.matrix(command)
+            ]
+            for command in chain.command_names
+        },
+        "service_rates": [
+            [float(v) for v in row] for row in provider.service_rate_matrix
+        ],
+        "power": [[float(v) for v in row] for row in provider.power_matrix],
+    }
+
+
+def system_spec_from_fit(
+    name: str,
+    provider: ServiceProvider,
+    workload,
+    *,
+    queue_capacity: int = 1,
+    gamma: float = 0.99999,
+    time_resolution: float | None = None,
+    objective: str = "power",
+    constraints: dict | None = None,
+    lower_constraints: dict | None = None,
+    initial_state=None,
+    description: str | None = None,
+) -> dict:
+    """A complete ``parse_spec``-valid system description.
+
+    ``workload`` is a :class:`WorkloadFit` or
+    :class:`~repro.traces.extractor.KMemoryModel`; the fitted chain
+    becomes the spec's ``requester`` block, so ``repro-dpm optimize`` /
+    ``pareto`` / ``experiment`` pipelines consume the output unchanged.
+
+    Examples
+    --------
+    >>> from repro.systems.example_system import build_provider
+    >>> from repro.tool.spec import parse_spec
+    >>> from repro.traces.extractor import SRExtractor
+    >>> model = SRExtractor(memory=1).fit([0, 1, 1, 0, 0, 1, 0, 0])
+    >>> raw = system_spec_from_fit("fitted", build_provider(), model)
+    >>> parse_spec(raw).name
+    'fitted'
+    """
+    if isinstance(workload, WorkloadFit):
+        model = workload.model
+        if time_resolution is None:
+            time_resolution = workload.resolution
+    elif isinstance(workload, KMemoryModel):
+        model = workload
+    else:
+        raise ValidationError(
+            "workload must be a WorkloadFit or KMemoryModel, got "
+            f"{type(workload).__name__}"
+        )
+    spec = {
+        "name": str(name),
+        "description": description
+        or (
+            f"estimated from a trace: memory-{model.memory} arrival chain "
+            f"over {model.n_states} states "
+            f"({model.n_observations} transitions observed)"
+        ),
+        "gamma": float(gamma),
+        "queue_capacity": int(queue_capacity),
+        "time_resolution": float(
+            1.0 if time_resolution is None else time_resolution
+        ),
+        "provider": provider_spec(provider),
+        "requester": requester_spec_from_model(model),
+        "objective": str(objective),
+        "constraints": dict(constraints or {}),
+        "lower_constraints": dict(lower_constraints or {}),
+    }
+    if initial_state is not None:
+        spec["initial_state"] = list(initial_state)
+    return spec
+
+
+def fleet_group_from_fit(
+    fit: WorkloadFit,
+    system,
+    *,
+    group_id: str = "fitted",
+    count: int = 1,
+    agent: dict | None = None,
+    generator: str = "auto",
+    seed: int | None = None,
+    initial_state=None,
+) -> dict:
+    """One fleet device-group spec driven by the fitted workload.
+
+    Parameters
+    ----------
+    fit:
+        The fitted workload; its ``stream_spec(generator)`` becomes the
+        group's ``workload``.
+    system:
+        A named case-study system (``"disk_drive"``) or an inline spec
+        mapping — passed through to
+        :func:`repro.runtime.fleet.build_fleet`.
+    agent:
+        The group's agent spec; defaults to an average-cost optimal
+        agent.
+    """
+    count = int(count)
+    if count <= 0:
+        raise ValidationError(f"count must be > 0, got {count}")
+    group = {
+        "id": str(group_id),
+        "count": count,
+        "system": system,
+        "agent": dict(
+            agent
+            if agent is not None
+            else {"type": "optimal", "formulation": "average"}
+        ),
+        "workload": fit.stream_spec(generator),
+    }
+    if seed is not None:
+        group["seed"] = int(seed)
+    if initial_state is not None:
+        group["initial_state"] = list(initial_state)
+    return group
+
+
+def fleet_spec_from_fit(
+    fit: WorkloadFit,
+    system,
+    *,
+    name: str = "fitted-campaign",
+    count: int = 16,
+    slices_per_tick: int = 500,
+    agent: dict | None = None,
+    generator: str = "auto",
+    seed: int | None = None,
+    initial_state=None,
+) -> dict:
+    """A complete one-group fleet spec for the fitted workload.
+
+    The result is directly consumable by ``repro-dpm fleet`` /
+    :func:`repro.runtime.fleet.build_fleet` — the ``fit`` CLI writes it
+    with ``--fleet-out``.
+    """
+    return {
+        "name": str(name),
+        "description": (
+            "fleet campaign over a trace-estimated workload "
+            f"(mean rate {fit.report.mean_rate:.4g} requests/slice)"
+        ),
+        "slices_per_tick": int(slices_per_tick),
+        "groups": [
+            fleet_group_from_fit(
+                fit,
+                system,
+                group_id="fitted",
+                count=count,
+                agent=agent,
+                generator=generator,
+                seed=seed,
+                initial_state=initial_state,
+            )
+        ],
+    }

@@ -1,0 +1,255 @@
+"""One-call workload identification: trace in, validated models out.
+
+:func:`fit_workload` is the front door of the estimation layer — it
+discretizes (when handed a :class:`~repro.traces.trace.Trace`), runs
+the BIC chain-structure search, fits the MMPP(2)/Poisson generators,
+and executes the validation battery, returning a :class:`WorkloadFit`
+whose pieces plug directly into composition (``to_requester``), the
+fleet runtime (``stream_spec``) and the scenario generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.components import ServiceRequester
+from repro.estimation.chain_fit import ChainSelection, select_arrival_chain
+from repro.estimation.mmpp_fit import (
+    MMPP2Fit,
+    PoissonFit,
+    fit_mmpp2,
+    fit_poisson,
+)
+from repro.estimation.report import (
+    FitReport,
+    chi_square_transitions,
+    split_half_stationarity,
+    transition_confidence_intervals,
+)
+from repro.traces.extractor import KMemoryModel, SRExtractor
+from repro.traces.trace import Trace
+from repro.util.validation import ValidationError
+
+__all__ = ["WorkloadFit", "fit_workload"]
+
+
+@dataclass
+class WorkloadFit:
+    """A fitted, validated workload ready for scenario assembly.
+
+    Attributes
+    ----------
+    counts:
+        The discretized stream the fit used.
+    report:
+        The full :class:`~repro.estimation.report.FitReport`.
+    resolution:
+        Seconds per slice (``None`` when raw counts were supplied).
+    """
+
+    counts: np.ndarray
+    report: FitReport
+    resolution: float | None = None
+
+    @property
+    def model(self) -> KMemoryModel:
+        """The selected arrival-chain model."""
+        return self.report.model
+
+    @property
+    def selection(self) -> ChainSelection:
+        """The chain structure search behind the fit."""
+        return self.report.selection
+
+    @property
+    def mmpp2(self) -> MMPP2Fit | None:
+        """The MMPP(2) generator fit, when one was made."""
+        return self.report.mmpp2
+
+    @property
+    def poisson(self) -> PoissonFit | None:
+        """The Poisson generator fit, when one was made."""
+        return self.report.poisson
+
+    def to_requester(self) -> ServiceRequester:
+        """The fitted chain as a composable SR model."""
+        return self.model.to_requester()
+
+    def stream_spec(self, generator: str = "auto") -> dict:
+        """A fleet-spec ``workload`` mapping for the fitted stream.
+
+        ``generator`` picks ``"mmpp2"``, ``"poisson"``, or ``"auto"``
+        (the lower-BIC generator fit).
+        """
+        if generator == "auto":
+            candidates = [
+                fit
+                for fit in (self.report.mmpp2, self.report.poisson)
+                if fit is not None
+            ]
+            if not candidates:
+                raise ValidationError(
+                    "no generator fits available; rerun fit_workload with "
+                    "generators=True"
+                )
+            return min(candidates, key=lambda fit: fit.bic).to_stream_spec()
+        if generator == "mmpp2":
+            if self.report.mmpp2 is None:
+                raise ValidationError("no MMPP(2) fit available")
+            return self.report.mmpp2.to_stream_spec()
+        if generator == "poisson":
+            if self.report.poisson is None:
+                raise ValidationError("no Poisson fit available")
+            return self.report.poisson.to_stream_spec()
+        raise ValidationError(
+            f"unknown generator {generator!r}; use auto/mmpp2/poisson"
+        )
+
+    def summary(self) -> str:
+        """The report's human-readable summary."""
+        return self.report.summary()
+
+
+def fit_workload(
+    source,
+    resolution: float | None = None,
+    memories=(1, 2, 3),
+    max_levels=None,
+    smoothing: float = 0.5,
+    criterion: str = "bic",
+    max_states: int = 64,
+    generators: bool = True,
+    alpha: float = 0.01,
+    z_threshold: float = 5.0,
+    confidence: float = 0.95,
+    em_max_slices: int = 20_000,
+) -> WorkloadFit:
+    """Identify a workload model from a trace or count stream.
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.traces.trace.Trace` (requires ``resolution``)
+        or a per-slice arrival-count array.
+    resolution:
+        Seconds per slice for trace discretization.
+    memories / max_levels / smoothing / criterion / max_states:
+        Chain-structure search options
+        (:func:`~repro.estimation.chain_fit.select_arrival_chain`).
+    generators:
+        Also fit the MMPP(2) and Poisson stream generators.
+    alpha / z_threshold / confidence:
+        Validation thresholds (chi-square significance, stationarity
+        z-cutoff, CI level).
+    em_max_slices:
+        Truncation length for the EM pass.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.traces.synthetic import mmpp2_trace
+    >>> trace = mmpp2_trace(0.95, 0.85, 6000, 1.0, np.random.default_rng(2))
+    >>> fit = fit_workload(trace, resolution=1.0, memories=(1, 2))
+    >>> fit.report.valid
+    True
+    >>> fit.model.memory
+    1
+    """
+    if isinstance(source, Trace):
+        if resolution is None:
+            raise ValidationError(
+                "fit_workload needs a resolution to discretize a Trace"
+            )
+        counts = source.discretize(resolution)
+    else:
+        counts = np.asarray(source, dtype=int).reshape(-1)
+        if np.any(counts < 0):
+            raise ValidationError("arrival counts must be non-negative")
+    if counts.size < 8:
+        raise ValidationError(
+            f"fit_workload needs at least 8 slices, got {counts.size}"
+        )
+
+    selection = select_arrival_chain(
+        counts,
+        memories=memories,
+        max_levels=max_levels,
+        smoothing=smoothing,
+        criterion=criterion,
+        max_states=max_states,
+    )
+    best = selection.best
+
+    warnings: list[str] = []
+    # Held-out goodness of fit: the first half trains a model of the
+    # selected structure, the second half is the test sample.
+    half = counts.size // 2
+    try:
+        held_out_model = SRExtractor(
+            memory=best.memory, max_level=best.max_level, smoothing=smoothing
+        ).fit(counts[:half])
+        chi_square = chi_square_transitions(
+            held_out_model, counts[half:], alpha=alpha
+        )
+    except ValidationError:
+        chi_square = chi_square_transitions(best.model, counts, alpha=alpha)
+        warnings.append(
+            "stream too short for a held-out chi-square; tested in-sample"
+        )
+    try:
+        stationarity = split_half_stationarity(
+            counts,
+            memory=best.memory,
+            max_level=best.max_level,
+            z_threshold=z_threshold,
+        )
+    except ValidationError:
+        # The selected memory can demand more slices than a short
+        # stream's halves provide; a memory-1 split always fits the
+        # >= 8 slices guaranteed above.
+        stationarity = split_half_stationarity(
+            counts, memory=1, max_level=best.max_level,
+            z_threshold=z_threshold,
+        )
+        warnings.append(
+            "stream too short for a split-half check at the selected "
+            "memory; checked at memory 1"
+        )
+    half_widths = transition_confidence_intervals(
+        best.model, confidence=confidence
+    )
+    observed = best.model.state_counts > 0
+    max_half_width = (
+        float(half_widths[observed].max()) if observed.any() else 1.0
+    )
+
+    mmpp2 = None
+    poisson = None
+    if generators:
+        poisson = fit_poisson(counts)
+        if counts.max() > 0:
+            mmpp2 = fit_mmpp2(counts, max_slices=em_max_slices)
+            if not mmpp2.converged:
+                warnings.append("MMPP(2) EM hit the iteration cap")
+        else:
+            warnings.append("all-silent stream: MMPP(2) fit skipped")
+
+    report = FitReport(
+        n_slices=int(counts.size),
+        mean_rate=float(counts.mean()),
+        selection=selection,
+        chi_square=chi_square,
+        stationarity=stationarity,
+        max_ci_half_width=max_half_width,
+        confidence=float(confidence),
+        mmpp2=mmpp2,
+        poisson=poisson,
+        warnings=warnings,
+    )
+    return WorkloadFit(
+        counts=counts,
+        report=report,
+        resolution=None if resolution is None else float(resolution),
+    )

@@ -68,6 +68,14 @@ class AdaptivePolicyAgent(PolicyAgent):
     smoothing:
         Laplace smoothing for the extractor (keeps rare transitions
         alive on short windows).
+    estimator:
+        Optional workload estimator replacing the fixed-memory window
+        heuristic: any object with ``fit(counts) -> KMemoryModel``
+        (e.g. :class:`~repro.estimation.chain_fit.ArrivalChainEstimator`,
+        which re-runs a BIC structure search per refit so the model
+        order tracks the data).  Pass the string ``"bic"`` for a
+        default BIC estimator.  When given, ``memory`` / ``smoothing``
+        only bound the refit trigger — the estimator owns the fit.
     policy_cache:
         Optional :class:`~repro.runtime.policy_cache.PolicyCache`.
         When given, every refit solve routes through the cache: a
@@ -96,6 +104,7 @@ class AdaptivePolicyAgent(PolicyAgent):
         smoothing: float = 0.5,
         backend: str = "scipy",
         policy_cache=None,
+        estimator=None,
     ):
         if window < 10:
             raise ValidationError(f"window must be >= 10 slices, got {window}")
@@ -115,9 +124,22 @@ class AdaptivePolicyAgent(PolicyAgent):
         self._smoothing = float(smoothing)
         self._backend = backend
         self._policy_cache = policy_cache
+        if estimator == "bic":
+            from repro.estimation.chain_fit import ArrivalChainEstimator
+
+            estimator = ArrivalChainEstimator(smoothing=self._smoothing)
+        if estimator is not None and not callable(
+            getattr(estimator, "fit", None)
+        ):
+            raise ValidationError(
+                "estimator must expose fit(counts) -> KMemoryModel "
+                f"(or be the string 'bic'), got {type(estimator).__name__}"
+            )
+        self._estimator = estimator
 
         self._arrivals: deque[int] = deque(maxlen=self._window)
         self._policy: MarkovPolicy | None = None
+        self._fitted_memory: int | None = None
         self._policy_system: PowerManagedSystem | None = None
         self._tracker = None
         self._tracked_state = 0
@@ -155,9 +177,19 @@ class AdaptivePolicyAgent(PolicyAgent):
         """The policy currently being executed (None before first fit)."""
         return self._policy
 
+    @property
+    def fitted_memory(self) -> int | None:
+        """Memory of the last fitted model (None before the first fit).
+
+        Under an estimator this is the BIC-selected order, which may
+        differ from the constructor's ``memory`` argument.
+        """
+        return self._fitted_memory
+
     def reset(self) -> None:
         self._arrivals.clear()
         self._policy = None
+        self._fitted_memory = None
         self._policy_system = None
         self._tracker = None
         self._tracked_state = 0
@@ -177,9 +209,12 @@ class AdaptivePolicyAgent(PolicyAgent):
 
         counts = np.asarray(self._arrivals, dtype=int)
         try:
-            model = SRExtractor(
-                memory=self._memory, smoothing=self._smoothing
-            ).fit(counts)
+            if self._estimator is not None:
+                model = self._estimator.fit(counts)
+            else:
+                model = SRExtractor(
+                    memory=self._memory, smoothing=self._smoothing
+                ).fit(counts)
             requester = model.to_requester()
             system = PowerManagedSystem(
                 self._provider, requester, ServiceQueue(self._queue_capacity)
@@ -211,10 +246,11 @@ class AdaptivePolicyAgent(PolicyAgent):
             return
         self._policy = result.policy
         self._policy_system = system
+        self._fitted_memory = int(model.memory)
         tracker = model.tracker()
         self._tracked_state = tracker.reset()
         # Warm the tracker with the recent window so the state is current.
-        for z in list(self._arrivals)[-self._memory :]:
+        for z in list(self._arrivals)[-model.memory :]:
             self._tracked_state = tracker.update(int(z))
         self._tracker = tracker
         self._refits += 1
@@ -256,6 +292,13 @@ class AdaptivePolicyAgent(PolicyAgent):
         return int(rng.choice(row.size, p=row))
 
     def describe(self) -> str:
+        if self._estimator is not None:
+            estimator = getattr(self._estimator, "describe", None)
+            label = estimator() if callable(estimator) else "custom"
+            return (
+                f"adaptive(window={self._window}, "
+                f"refit_every={self._refit_every}, estimator={label})"
+            )
         return (
             f"adaptive(window={self._window}, refit_every={self._refit_every}, "
             f"memory={self._memory})"

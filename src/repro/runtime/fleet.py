@@ -33,7 +33,6 @@ from repro.policies.base import PolicyAgent, StationaryAgent
 from repro.runtime.policy_cache import (
     PolicyCache,
     costs_signature,
-    policy_signature,
     system_signature,
 )
 from repro.runtime.streams import ArrivalStream, stream_from_spec
@@ -332,7 +331,11 @@ def parse_fleet_spec(raw: dict) -> dict:
     (keys ``active``/``sleep`` command names, ``timeout`` slices),
     ``constant`` (key ``command``), and ``adaptive``
     (:class:`~repro.policies.adaptive.AdaptivePolicyAgent` keys
-    ``window``, ``refit_every``, ``memory``, ``penalty_bound``, ...).
+    ``window``, ``refit_every``, ``memory``, ``penalty_bound``, ...;
+    ``"auto_memory": true`` or an explicit ``"memories": [1, 2, 3]``
+    refit through the BIC structure search of
+    :class:`~repro.estimation.chain_fit.ArrivalChainEstimator` instead
+    of the fixed-memory window heuristic).
     """
     if not isinstance(raw, dict):
         raise ValidationError(
@@ -502,6 +505,16 @@ def _build_agent(
         )
     if kind == "adaptive":
         upper, lower = _optimal_bounds(agent_spec)
+        estimator = None
+        if agent_spec.get("auto_memory") or agent_spec.get("memories"):
+            from repro.estimation.chain_fit import ArrivalChainEstimator
+
+            estimator = ArrivalChainEstimator(
+                memories=tuple(
+                    int(m) for m in agent_spec.get("memories", (1, 2, 3))
+                ),
+                smoothing=float(agent_spec.get("smoothing", 0.5)),
+            )
         return AdaptivePolicyAgent(
             system.provider,
             system.queue.capacity,
@@ -518,6 +531,7 @@ def _build_agent(
             ),
             backend=lp_backend,
             policy_cache=cache,
+            estimator=estimator,
         )
     raise ValidationError(
         f"unknown agent type {kind!r}; use "

@@ -34,7 +34,6 @@ from repro.core.policy import MarkovPolicy
 from repro.core.system import PowerManagedSystem
 from repro.policies.base import PolicyAgent
 from repro.sim.backends import (
-    BACKENDS,
     get_backend,
     is_vectorizable,
     resolve_backend,

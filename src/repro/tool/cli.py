@@ -25,6 +25,13 @@ Subcommands:
   ``--checkpoint`` saves resumable state each run and ``--resume``
   continues a saved campaign; ``--backend`` picks grouped vector
   stepping vs the per-device loop;
+* ``fit TRACE.txt --resolution 0.001 --out FITTED.json`` — the full
+  estimation pipeline (:mod:`repro.estimation`): BIC-selected arrival
+  chain + MMPP(2)/Poisson generator fits + validation report; with
+  ``--provider-spec`` or ``--provider-log`` it emits a complete,
+  ready-to-optimize system spec (feed it back to ``optimize`` /
+  ``pareto``) and ``--fleet-out`` writes a fleet campaign spec driven
+  by the fitted generator;
 * ``extract TRACE.txt --resolution 0.001 --memory 2`` — run just the
   SR extractor and print the fitted model.
 """
@@ -226,6 +233,99 @@ def _build_parser() -> argparse.ArgumentParser:
     p_ext.add_argument("trace", help="path to a request trace file")
     p_ext.add_argument("--resolution", type=float, required=True, help="tau, seconds")
     p_ext.add_argument("--memory", type=int, default=1)
+
+    p_fit = sub.add_parser(
+        "fit", help="identify workload/provider models from measured data"
+    )
+    p_fit.add_argument("trace", help="path to a request trace file")
+    p_fit.add_argument(
+        "--resolution", type=float, required=True, help="tau, seconds"
+    )
+    p_fit.add_argument(
+        "--memory",
+        type=int,
+        default=None,
+        help="fix the chain memory (skips the BIC structure search)",
+    )
+    p_fit.add_argument(
+        "--memories",
+        default="1,2,3",
+        help="candidate memories for the structure search (default: 1,2,3)",
+    )
+    p_fit.add_argument(
+        "--max-level",
+        type=int,
+        default=None,
+        help="fix the arrival-level cap (default: searched up to 3)",
+    )
+    p_fit.add_argument(
+        "--smoothing",
+        type=float,
+        default=0.5,
+        help="Dirichlet pseudo-count for chain fitting (default: 0.5)",
+    )
+    p_fit.add_argument(
+        "--criterion",
+        choices=("bic", "aic"),
+        default="bic",
+        help="structure-selection criterion (default: bic)",
+    )
+    p_fit.add_argument(
+        "--provider-spec",
+        metavar="SPEC.json",
+        help="take the SP model and optimization setup from a system spec",
+    )
+    p_fit.add_argument(
+        "--provider-log",
+        metavar="LOG.jsonl",
+        help="fit the SP model from a JSON-lines transition log",
+    )
+    p_fit.add_argument(
+        "--out",
+        metavar="SYSTEM.json",
+        help="write the fitted, ready-to-optimize system spec",
+    )
+    p_fit.add_argument(
+        "--fleet-out",
+        metavar="FLEET.json",
+        help="write a one-group fleet spec driven by the fitted generator",
+    )
+    p_fit.add_argument(
+        "--count",
+        type=int,
+        default=16,
+        help="device count for --fleet-out (default: 16)",
+    )
+    p_fit.add_argument(
+        "--generator",
+        choices=("auto", "mmpp2", "poisson"),
+        default="auto",
+        help="fleet workload generator (default: lower-BIC fit)",
+    )
+    p_fit.add_argument(
+        "--report", metavar="REPORT.json", help="write the fit report JSON"
+    )
+    p_fit.add_argument(
+        "--name", default=None, help="name for the emitted system spec"
+    )
+    p_fit.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=None,
+        help="queue capacity for the emitted spec (default: provider "
+        "spec's, or 1)",
+    )
+    p_fit.add_argument(
+        "--gamma",
+        type=float,
+        default=None,
+        help="discount factor for the emitted spec",
+    )
+    p_fit.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when a validation check fails",
+    )
 
     return parser
 
@@ -448,6 +548,116 @@ def _cmd_fleet(args) -> int:
             telemetry.close()
 
 
+def _cmd_fit(args) -> int:
+    import json as _json
+
+    from repro.estimation import (
+        ProviderLog,
+        fit_provider,
+        fit_workload,
+        fleet_spec_from_fit,
+        system_spec_from_fit,
+    )
+    from repro.tool.spec import parse_spec
+
+    trace = Trace.load(args.trace)
+    memories = (
+        (args.memory,)
+        if args.memory is not None
+        else tuple(
+            int(m) for m in str(args.memories).split(",") if m.strip()
+        )
+    )
+    fit = fit_workload(
+        trace,
+        resolution=args.resolution,
+        memories=memories,
+        max_levels=None if args.max_level is None else (args.max_level,),
+        smoothing=args.smoothing,
+        criterion=args.criterion,
+    )
+    print(fit.summary())
+
+    # Resolve the service-provider side: a hand-written spec, a fitted
+    # transition log, or none (workload-only fit).
+    provider = None
+    queue_capacity = 1
+    gamma = 0.99999
+    objective = "power"
+    constraints: dict = {}
+    lower_constraints: dict = {}
+    initial_state = None
+    if args.provider_spec and args.provider_log:
+        raise ValidationError(
+            "pass --provider-spec or --provider-log, not both"
+        )
+    if args.provider_spec:
+        base = load_spec(args.provider_spec)
+        provider = base.provider
+        queue_capacity = base.queue_capacity
+        gamma = base.gamma
+        objective = base.objective
+        constraints = dict(base.constraints)
+        lower_constraints = dict(base.lower_constraints)
+        # base.initial_state is intentionally not carried over: the
+        # fitted chain renames the SR states, so the emitted spec
+        # starts from the uniform distribution instead.
+    elif args.provider_log:
+        provider_fit = fit_provider(ProviderLog.load_jsonl(args.provider_log))
+        provider = provider_fit.provider
+        print(provider_fit.summary())
+        print(provider_fit.transition_time_table())
+    if args.queue_capacity is not None:
+        queue_capacity = args.queue_capacity
+    if args.gamma is not None:
+        gamma = args.gamma
+
+    name = args.name or f"{Path(args.trace).stem}-fitted"
+    if args.out or args.fleet_out:
+        if provider is None:
+            raise ValidationError(
+                "--out/--fleet-out need an SP model; pass --provider-spec "
+                "or --provider-log"
+            )
+        raw = system_spec_from_fit(
+            name,
+            provider,
+            fit,
+            queue_capacity=queue_capacity,
+            gamma=gamma,
+            objective=objective,
+            constraints=constraints,
+            lower_constraints=lower_constraints,
+            initial_state=initial_state,
+        )
+        parse_spec(raw)  # fail before writing anything malformed
+        if args.out:
+            Path(args.out).write_text(_json.dumps(raw, indent=2) + "\n")
+            print(f"fitted system spec written to {args.out}")
+        if args.fleet_out:
+            fleet_raw = fleet_spec_from_fit(
+                fit,
+                raw,
+                name=f"{name}-fleet",
+                count=args.count,
+                generator=args.generator,
+            )
+            Path(args.fleet_out).write_text(
+                _json.dumps(fleet_raw, indent=2) + "\n"
+            )
+            print(f"fleet spec written to {args.fleet_out}")
+    if args.report:
+        Path(args.report).write_text(
+            _json.dumps(fit.report.to_dict(), indent=2) + "\n"
+        )
+        print(f"fit report written to {args.report}")
+    if not fit.report.valid:
+        print("validation: FAILED (see report above)")
+        if args.strict:
+            return 1
+    return 0
+
+
 def _cmd_extract(args) -> int:
     trace = Trace.load(args.trace)
     model = SRExtractor(memory=args.memory).fit_trace(trace, args.resolution)
@@ -475,6 +685,7 @@ def main(argv=None) -> int:
         "pareto": _cmd_pareto,
         "experiment": _cmd_experiment,
         "fleet": _cmd_fleet,
+        "fit": _cmd_fit,
         "extract": _cmd_extract,
     }
     try:

@@ -96,18 +96,11 @@ class KMemoryModel:
         levels = _clip_levels(counts, self.max_level)
         if levels.size <= self.memory:
             return 0.0
-        base = self.max_level + 1
-        shift = base ** (self.memory - 1)
-        total = 0.0
-        src = self.state_index(levels[: self.memory])
-        for t in range(self.memory, levels.size):
-            dst = (src % shift) * base + int(levels[t])
-            p = self.matrix[src, dst]
-            if p <= 0.0:
-                return float("-inf")
-            total += float(np.log(p))
-            src = dst
-        return total
+        indices = _window_indices(levels, self.memory, self.max_level + 1)
+        probabilities = self.matrix[indices[:-1], indices[1:]]
+        if np.any(probabilities <= 0.0):
+            return float("-inf")
+        return float(np.log(probabilities).sum())
 
 
 class KMemoryTracker(ArrivalTracker):
@@ -137,6 +130,20 @@ def _clip_levels(counts, max_level: int) -> np.ndarray:
     if np.any(arr < 0):
         raise ValidationError("arrival counts must be non-negative")
     return np.clip(arr, 0, int(max_level))
+
+
+def _window_indices(levels: np.ndarray, memory: int, base: int) -> np.ndarray:
+    """State index of every length-``memory`` window, vectorized.
+
+    ``out[t]`` is the base-``base`` encoding of
+    ``levels[t : t + memory]`` — the same value
+    :meth:`KMemoryModel.state_index` computes one window at a time.
+    """
+    n_windows = levels.size - memory + 1
+    indices = np.zeros(n_windows, dtype=np.int64)
+    for offset in range(memory):
+        indices = indices * base + levels[offset : offset + n_windows]
+    return indices
 
 
 class SRExtractor:
@@ -193,20 +200,17 @@ class SRExtractor:
 
         states = tuple(itertools.product(range(base), repeat=k))
         n = len(states)
-        transition_counts = np.zeros((n, n))
         shift = base ** (k - 1)
 
-        def index_of(window) -> int:
-            idx = 0
-            for level in window:
-                idx = idx * base + int(level)
-            return idx
-
-        src = index_of(levels[:k])
-        for t in range(k, levels.size):
-            dst = (src % shift) * base + int(levels[t])
-            transition_counts[src, dst] += 1.0
-            src = dst
+        # Vectorized transition counting: encode every length-k window
+        # as its state index, then histogram consecutive (src, dst)
+        # pairs in one bincount (the estimation layer fits million-slice
+        # streams, where the per-slice python loop dominated).
+        indices = _window_indices(levels, k, base)
+        pairs = indices[:-1] * n + indices[1:]
+        transition_counts = (
+            np.bincount(pairs, minlength=n * n).reshape(n, n).astype(float)
+        )
 
         # Legal successors of state u are the base states shifting one
         # level in; add smoothing mass only there.

@@ -1,6 +1,5 @@
 """Tests for the adaptive policy manager (the paper's future-work item)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.fig10_nonstationary import build_nonstationary_trace
@@ -59,6 +58,94 @@ class TestLifecycle:
         )
         assert agent.refits >= 5
         assert agent.current_policy is not None
+
+
+class TestEstimatorMode:
+    """Refitting through the estimation layer instead of fixed memory."""
+
+    def make_agent(self, estimator):
+        return AdaptivePolicyAgent(
+            provider=example_system.build_provider(),
+            queue_capacity=1,
+            optimize=lambda o: o.minimize_power(
+                penalty_bound=0.5, loss_bound=0.25
+            ),
+            window=600,
+            refit_every=300,
+            fallback_command=0,
+            estimator=estimator,
+        )
+
+    def test_bic_string_builds_default_estimator(self, example_bundle, rng):
+        agent = self.make_agent("bic")
+        assert "chain-estimator" in agent.describe()
+        simulate(
+            example_bundle.system,
+            example_bundle.costs,
+            agent,
+            1500,
+            rng,
+            initial_state=("on", "0", 0),
+        )
+        assert agent.refits >= 1
+        assert agent.fitted_memory in (1, 2, 3)
+
+    def test_custom_estimator_is_used(self, example_bundle, rng):
+        from repro.estimation import ArrivalChainEstimator
+
+        estimator = ArrivalChainEstimator(memories=(2,))
+        agent = self.make_agent(estimator)
+        simulate(
+            example_bundle.system,
+            example_bundle.costs,
+            agent,
+            1500,
+            rng,
+            initial_state=("on", "0", 0),
+        )
+        assert agent.refits >= 1
+        assert agent.fitted_memory == 2
+        assert estimator.last_selection is not None
+
+    def test_estimator_refits_route_through_cache(
+        self, example_bundle, rng
+    ):
+        from repro.runtime.policy_cache import PolicyCache
+
+        cache = PolicyCache()
+        agent = AdaptivePolicyAgent(
+            provider=example_system.build_provider(),
+            queue_capacity=1,
+            optimize=lambda o: o.minimize_power(
+                penalty_bound=0.5, loss_bound=0.25
+            ),
+            window=400,
+            refit_every=200,
+            fallback_command=0,
+            estimator="bic",
+            policy_cache=cache,
+        )
+        simulate(
+            example_bundle.system,
+            example_bundle.costs,
+            agent,
+            1600,
+            rng,
+            initial_state=("on", "0", 0),
+        )
+        assert agent.refits >= 2
+        assert cache.stats.hits + cache.stats.misses >= agent.refits
+
+    def test_invalid_estimator_rejected(self):
+        with pytest.raises(ValidationError):
+            self.make_agent(estimator=42)
+
+    def test_fitted_memory_none_before_first_fit(self):
+        agent = self.make_agent("bic")
+        assert agent.fitted_memory is None
+        agent.reset()
+        assert agent.fitted_memory is None
+        assert agent.current_policy is None
 
     def test_reset_clears_state(self, rng):
         agent = cpu_adaptive_agent(window=100, refit_every=50)

@@ -6,9 +6,8 @@ import pytest
 from repro.core.average_cost import AverageCostOptimizer
 from repro.core.costs import LOSS, PENALTY, POWER
 from repro.core.optimizer import PolicyOptimizer
-from repro.core.policy import evaluate_policy
 from repro.markov.analysis import stationary_distribution
-from repro.systems import cpu, example_system
+from repro.systems import example_system
 from repro.util.validation import ValidationError
 
 

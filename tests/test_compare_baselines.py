@@ -1,0 +1,153 @@
+"""Tests for the benchmark baseline-compare regression gate."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_baselines",
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "compare_baselines.py",
+)
+compare_baselines = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_baselines)
+
+
+DOCUMENT = {
+    "benchmarks": [
+        {"name": "a", "slices_per_sec": 1000, "seconds": 1.0},
+        {"name": "b", "fit_slices_per_sec": 500, "n_slices": 10},
+    ],
+    "speedup_vector_vs_loop": 10.0,
+    "speedup_target": 5.0,
+    "checkpoint_resume_exact": True,
+}
+
+
+class TestCollectMetrics:
+    def test_picks_throughput_and_speedups(self):
+        metrics = compare_baselines.collect_metrics(DOCUMENT)
+        assert metrics == {
+            "benchmarks[a].slices_per_sec": 1000.0,
+            "benchmarks[b].fit_slices_per_sec": 500.0,
+            "speedup_vector_vs_loop": 10.0,
+        }
+
+    def test_targets_and_booleans_ignored(self):
+        metrics = compare_baselines.collect_metrics(DOCUMENT)
+        assert "speedup_target" not in metrics
+        assert "checkpoint_resume_exact" not in metrics
+
+    def test_array_entries_matched_by_name(self):
+        reordered = dict(DOCUMENT)
+        reordered["benchmarks"] = list(reversed(DOCUMENT["benchmarks"]))
+        assert compare_baselines.collect_metrics(
+            reordered
+        ) == compare_baselines.collect_metrics(DOCUMENT)
+
+
+class TestCompareDocuments:
+    def fresh(self, factor: float) -> dict:
+        return {
+            "benchmarks": [
+                {"name": "a", "slices_per_sec": 1000 * factor},
+                {"name": "b", "fit_slices_per_sec": 500 * factor},
+            ],
+            "speedup_vector_vs_loop": 10.0 * factor,
+        }
+
+    def test_within_tolerance_passes(self):
+        regressions, notes = compare_baselines.compare_documents(
+            DOCUMENT, self.fresh(0.75), tolerance=0.30
+        )
+        assert regressions == []
+        assert len(notes) == 3
+
+    def test_regression_flagged(self):
+        regressions, _ = compare_baselines.compare_documents(
+            DOCUMENT, self.fresh(0.5), tolerance=0.30
+        )
+        assert len(regressions) == 3
+        assert any("slices_per_sec" in line for line in regressions)
+
+    def test_improvement_passes(self):
+        regressions, _ = compare_baselines.compare_documents(
+            DOCUMENT, self.fresh(2.0), tolerance=0.30
+        )
+        assert regressions == []
+
+    def test_missing_and_new_metrics_are_notes_not_failures(self):
+        fresh = {
+            "benchmarks": [{"name": "a", "slices_per_sec": 990}],
+            "brand_new_per_sec": 7.0,
+        }
+        regressions, notes = compare_baselines.compare_documents(
+            DOCUMENT, fresh, tolerance=0.30
+        )
+        assert regressions == []
+        assert any("missing from fresh run" in note for note in notes)
+        assert any("no baseline yet" in note for note in notes)
+
+
+class TestMain:
+    @pytest.fixture()
+    def layout(self, tmp_path):
+        baseline_dir = tmp_path / "baselines"
+        baseline_dir.mkdir()
+        (baseline_dir / "bench_x.json").write_text(json.dumps(DOCUMENT))
+        fresh = tmp_path / "bench_x.json"
+        return baseline_dir, fresh
+
+    def test_green_run(self, layout, capsys):
+        baseline_dir, fresh = layout
+        fresh.write_text(json.dumps(DOCUMENT))
+        code = compare_baselines.main([str(baseline_dir), str(fresh)])
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_fails(self, layout, capsys):
+        baseline_dir, fresh = layout
+        bad = json.loads(json.dumps(DOCUMENT))
+        bad["benchmarks"][0]["slices_per_sec"] = 100
+        fresh.write_text(json.dumps(bad))
+        code = compare_baselines.main([str(baseline_dir), str(fresh)])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_baseline_skips(self, tmp_path, capsys):
+        baseline_dir = tmp_path / "empty"
+        baseline_dir.mkdir()
+        fresh = tmp_path / "bench_y.json"
+        fresh.write_text(json.dumps(DOCUMENT))
+        code = compare_baselines.main([str(baseline_dir), str(fresh)])
+        assert code == 0
+        assert "SKIP" in capsys.readouterr().out
+
+    def test_update_writes_baseline(self, tmp_path):
+        baseline_dir = tmp_path / "baselines"
+        fresh = tmp_path / "bench_z.json"
+        fresh.write_text(json.dumps(DOCUMENT))
+        code = compare_baselines.main(
+            [str(baseline_dir), str(fresh), "--update"]
+        )
+        assert code == 0
+        stored = json.loads((baseline_dir / "bench_z.json").read_text())
+        assert stored == DOCUMENT
+
+    def test_custom_tolerance(self, layout):
+        baseline_dir, fresh = layout
+        softer = json.loads(json.dumps(DOCUMENT))
+        softer["benchmarks"][0]["slices_per_sec"] = 650  # -35%
+        fresh.write_text(json.dumps(softer))
+        assert (
+            compare_baselines.main(
+                [str(baseline_dir), str(fresh), "--tolerance", "0.5"]
+            )
+            == 0
+        )
+        assert (
+            compare_baselines.main([str(baseline_dir), str(fresh)]) == 1
+        )

@@ -14,6 +14,12 @@ import repro.core.components
 import repro.core.costs
 import repro.core.pareto_sweep
 import repro.core.policy
+import repro.estimation.chain_fit
+import repro.estimation.mmpp_fit
+import repro.estimation.provider_fit
+import repro.estimation.report
+import repro.estimation.scenario
+import repro.estimation.workload
 import repro.lp.problem
 import repro.markov.chain
 import repro.markov.controlled
@@ -35,6 +41,12 @@ MODULES = [
     repro.traces.extractor,
     repro.runtime.policy_cache,
     repro.runtime.controller,
+    repro.estimation.chain_fit,
+    repro.estimation.mmpp_fit,
+    repro.estimation.provider_fit,
+    repro.estimation.report,
+    repro.estimation.scenario,
+    repro.estimation.workload,
 ]
 
 

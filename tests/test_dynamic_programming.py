@@ -6,7 +6,7 @@ import pytest
 from repro.core.costs import PENALTY, POWER
 from repro.core.dynamic_programming import policy_iteration, q_values, value_iteration
 from repro.core.policy import evaluate_policy
-from repro.systems import cpu, example_system
+from repro.systems import example_system
 from repro.util.validation import ValidationError
 
 GAMMA = 0.95

@@ -1,0 +1,137 @@
+"""Tests for MLE arrival-chain fitting and BIC structure selection."""
+
+import numpy as np
+import pytest
+
+from repro.estimation.chain_fit import (
+    ArrivalChainEstimator,
+    fit_arrival_chain,
+    select_arrival_chain,
+)
+from repro.sim import make_rng
+from repro.traces.synthetic import mmpp2_trace, periodic_burst_trace
+from repro.util.validation import ValidationError
+
+
+class TestChainFit:
+    def test_matches_extractor_probabilities(self):
+        stream = [0, 0, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1]
+        fit = fit_arrival_chain(stream, memory=1, smoothing=0.0)
+        assert fit.model.matrix[0, 1] == pytest.approx(3.0 / 8.0)
+        assert fit.n_observations == len(stream) - 1
+
+    def test_parameter_count_charges_observed_sources_only(self):
+        # A stream that never leaves level 0 observes one source state.
+        fit = fit_arrival_chain([0] * 50, memory=2, smoothing=0.0)
+        assert fit.n_parameters == 1
+
+    def test_bic_penalizes_parameters(self):
+        rng = make_rng(3)
+        stream = (rng.random(2000) < 0.25).astype(int)
+        small = fit_arrival_chain(stream, memory=1)
+        large = fit_arrival_chain(stream, memory=3)
+        # On memoryless data the bigger model cannot buy back its
+        # parameter penalty.
+        assert small.bic < large.bic
+
+    def test_aic_and_bic_finite(self):
+        fit = fit_arrival_chain([0, 1, 0, 1, 1, 0, 0, 1], memory=1)
+        assert np.isfinite(fit.bic) and np.isfinite(fit.aic)
+        assert fit.describe().startswith("chain(memory=1")
+
+
+class TestSelection:
+    def test_selects_memory_one_for_markov_stream(self):
+        trace = mmpp2_trace(0.95, 0.85, 8000, 1.0, make_rng(0))
+        selection = select_arrival_chain(
+            trace.discretize(1.0), memories=(1, 2, 3)
+        )
+        assert selection.best.memory == 1
+
+    def test_selects_higher_memory_for_periodic_stream(self):
+        # A strict burst-3 / gap-3 pattern is not 1-memory Markov: the
+        # successor of "1" depends on how deep into the burst we are.
+        trace = periodic_burst_trace(3, 3, 3000, 1.0)
+        selection = select_arrival_chain(
+            trace.discretize(1.0), memories=(1, 2, 3)
+        )
+        assert selection.best.memory > 1
+
+    def test_skips_oversized_candidates(self):
+        stream = [0, 1] * 50
+        selection = select_arrival_chain(
+            stream, memories=(1, 6), max_states=16
+        )
+        assert all(fit.model.n_states <= 16 for fit in selection.candidates)
+
+    def test_skips_too_short_candidates(self):
+        selection = select_arrival_chain([0, 1, 0, 1], memories=(1, 40))
+        assert {fit.memory for fit in selection.candidates} == {1}
+
+    def test_no_candidates_raises(self):
+        with pytest.raises(ValidationError):
+            select_arrival_chain([0, 1], memories=(30,))
+
+    def test_invalid_criterion_rejected(self):
+        with pytest.raises(ValidationError):
+            select_arrival_chain([0, 1] * 20, criterion="hic")
+
+    def test_table_and_dict(self):
+        selection = select_arrival_chain([0, 1] * 100, memories=(1, 2))
+        assert "arrival-chain selection" in selection.table()
+        document = selection.to_dict()
+        assert document["selected"]["memory"] == selection.best.memory
+        assert len(document["candidates"]) == len(selection.candidates)
+
+
+class TestRoundTripRecovery:
+    """Acceptance: fitting a sampled trace recovers the SR parameters."""
+
+    def test_recovers_sr_chain_parameters(self):
+        p_stay_idle, p_stay_busy = 0.95, 0.85
+        trace = mmpp2_trace(p_stay_idle, p_stay_busy, 30_000, 1.0, make_rng(7))
+        selection = select_arrival_chain(
+            trace.discretize(1.0), memories=(1, 2, 3), smoothing=0.0
+        )
+        assert selection.best.memory == 1
+        matrix = selection.best.model.matrix
+        assert matrix[0, 0] == pytest.approx(p_stay_idle, abs=0.02)
+        assert matrix[1, 1] == pytest.approx(p_stay_busy, abs=0.02)
+
+    def test_requester_round_trip_through_fit(self):
+        """Simulating a requester, then fitting, recovers its matrix."""
+        rng = make_rng(11)
+        true = np.array([[0.9, 0.1], [0.3, 0.7]])
+        state = 0
+        counts = []
+        for _ in range(40_000):
+            state = int(rng.choice(2, p=true[state]))
+            counts.append(state)
+        fitted = fit_arrival_chain(counts, memory=1, smoothing=0.0)
+        assert np.abs(fitted.model.matrix - true).max() < 0.02
+
+
+class TestArrivalChainEstimator:
+    def test_fit_returns_best_model(self):
+        estimator = ArrivalChainEstimator(memories=(1, 2))
+        model = estimator.fit([0, 1] * 200)
+        assert estimator.last_selection is not None
+        assert estimator.last_selection.best.model is model
+
+    def test_is_picklable(self):
+        import pickle
+
+        estimator = ArrivalChainEstimator(memories=(1, 2))
+        estimator.fit([0, 1] * 50)
+        clone = pickle.loads(pickle.dumps(estimator))
+        assert clone.memories == (1, 2)
+        assert clone.last_selection.best.memory == (
+            estimator.last_selection.best.memory
+        )
+
+    def test_invalid_criterion_rejected(self):
+        with pytest.raises(ValidationError):
+            ArrivalChainEstimator(criterion="nope")
+
+    def test_describe(self):
+        assert "chain-estimator" in ArrivalChainEstimator().describe()

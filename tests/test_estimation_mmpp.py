@@ -1,0 +1,111 @@
+"""Tests for the MMPP(2)/Poisson generator fits (EM round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.estimation.mmpp_fit import fit_mmpp2, fit_poisson
+from repro.runtime.streams import stream_from_spec
+from repro.sim import make_rng
+from repro.traces.synthetic import mmpp2_trace, poisson_trace
+from repro.util.validation import ValidationError
+
+
+class TestPoissonFit:
+    def test_rate_is_sample_mean(self):
+        fit = fit_poisson([0, 1, 2, 1, 0, 2])
+        assert fit.rate_per_slice == pytest.approx(1.0)
+
+    def test_recovers_synthetic_rate(self):
+        trace = poisson_trace(250.0, 40.0, make_rng(0))
+        counts = trace.discretize(0.01)
+        fit = fit_poisson(counts)
+        assert fit.rate_per_slice == pytest.approx(2.5, rel=0.05)
+        assert np.isfinite(fit.log_likelihood)
+
+    def test_all_silent_stream(self):
+        fit = fit_poisson([0, 0, 0, 0])
+        assert fit.rate_per_slice == 0.0
+        assert fit.log_likelihood == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            fit_poisson([])
+
+    def test_stream_spec_round_trip(self):
+        fit = fit_poisson([0, 1, 0, 1])
+        stream = stream_from_spec(fit.to_stream_spec(), make_rng(0))
+        assert stream.describe().startswith("poisson")
+
+
+class TestMMPP2Fit:
+    """Acceptance round trip: EM recovers the generating parameters."""
+
+    def test_recovers_parameters(self):
+        p_ii, p_bb, emit = 0.95, 0.85, 0.9
+        trace = mmpp2_trace(
+            p_ii, p_bb, 20_000, 1.0, make_rng(7),
+            busy_arrival_probability=emit,
+        )
+        fit = fit_mmpp2(trace.discretize(1.0))
+        assert fit.converged
+        assert fit.p_stay_idle == pytest.approx(p_ii, abs=0.03)
+        assert fit.p_stay_busy == pytest.approx(p_bb, abs=0.05)
+        assert fit.busy_arrival_probability == pytest.approx(emit, abs=0.05)
+
+    def test_recovers_certain_emission(self):
+        trace = mmpp2_trace(0.9, 0.8, 12_000, 1.0, make_rng(3))
+        fit = fit_mmpp2(trace.discretize(1.0))
+        assert fit.busy_arrival_probability > 0.95
+        assert fit.p_stay_idle == pytest.approx(0.9, abs=0.04)
+        assert fit.p_stay_busy == pytest.approx(0.8, abs=0.06)
+
+    def test_em_never_decreases_likelihood(self):
+        trace = mmpp2_trace(0.95, 0.85, 4000, 1.0, make_rng(5))
+        counts = trace.discretize(1.0)
+        previous = fit_mmpp2(counts, max_iterations=1)
+        for iterations in (2, 4, 8, 16):
+            current = fit_mmpp2(counts, max_iterations=iterations)
+            assert current.log_likelihood >= previous.log_likelihood - 1e-9
+            previous = current
+
+    def test_truncates_to_max_slices(self):
+        trace = mmpp2_trace(0.95, 0.85, 5000, 1.0, make_rng(1))
+        fit = fit_mmpp2(trace.discretize(1.0), max_slices=1000)
+        assert fit.n_observations == 1000
+
+    def test_all_silent_stream_is_degenerate_idle(self):
+        fit = fit_mmpp2([0] * 100)
+        assert fit.converged
+        assert fit.p_stay_idle > 0.999
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValidationError):
+            fit_mmpp2([1])
+
+    def test_explicit_init_validated(self):
+        with pytest.raises(ValidationError):
+            fit_mmpp2([0, 1, 0, 1], init=(1.5, 0.5, 0.5))
+
+    def test_stream_spec_round_trip(self):
+        trace = mmpp2_trace(0.95, 0.85, 3000, 1.0, make_rng(2))
+        fit = fit_mmpp2(trace.discretize(1.0))
+        stream = stream_from_spec(fit.to_stream_spec(), make_rng(0))
+        counts = stream.next_counts(2000)
+        # The regenerated stream has roughly the fitted arrival rate.
+        stationary_busy = (1.0 - fit.p_stay_idle) / (
+            (1.0 - fit.p_stay_idle) + (1.0 - fit.p_stay_busy)
+        )
+        expected = stationary_busy * fit.busy_arrival_probability
+        assert counts.mean() == pytest.approx(expected, abs=0.05)
+
+    def test_to_requester(self):
+        trace = mmpp2_trace(0.95, 0.85, 3000, 1.0, make_rng(4))
+        fit = fit_mmpp2(trace.discretize(1.0))
+        requester = fit.to_requester()
+        assert requester.n_states == 2
+        assert requester.chain.matrix[0, 0] == pytest.approx(fit.p_stay_idle)
+
+    def test_bic_prefers_mmpp_on_bursty_data(self):
+        trace = mmpp2_trace(0.97, 0.9, 10_000, 1.0, make_rng(9))
+        counts = trace.discretize(1.0)
+        assert fit_mmpp2(counts).bic < fit_poisson(counts).bic

@@ -1,0 +1,160 @@
+"""Tests for service-provider estimation from transition logs."""
+
+import numpy as np
+import pytest
+
+from repro.estimation.provider_fit import (
+    ProviderLog,
+    TransitionRecord,
+    fit_provider,
+    sample_provider_log,
+)
+from repro.sim import make_rng
+from repro.systems.example_system import build_provider
+from repro.util.validation import ValidationError
+
+
+class TestProviderLog:
+    def test_append_and_iterate(self):
+        log = ProviderLog()
+        log.append("on", "s_off", "off", power=4.0, serviced=False)
+        assert len(log) == 1
+        record = next(iter(log))
+        assert record.next_state == "off"
+        assert record.power == 4.0
+
+    def test_accepts_dict_records(self):
+        log = ProviderLog(
+            [{"state": "on", "command": "s_on", "next_state": "on"}]
+        )
+        assert log.records[0].power is None
+
+    def test_rejects_malformed_records(self):
+        with pytest.raises(ValidationError):
+            ProviderLog([{"state": "on"}])
+        with pytest.raises(ValidationError):
+            ProviderLog([42])
+
+    def test_jsonl_round_trip(self, tmp_path):
+        log = sample_provider_log(build_provider(), 100, make_rng(0))
+        path = tmp_path / "provider.jsonl"
+        log.save_jsonl(path)
+        loaded = ProviderLog.load_jsonl(path)
+        assert len(loaded) == len(log)
+        assert loaded.records[0] == log.records[0]
+
+    def test_jsonl_rejects_bad_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValidationError):
+            ProviderLog.load_jsonl(path)
+
+    def test_record_to_dict_omits_missing_labels(self):
+        record = TransitionRecord("on", "s_on", "on")
+        assert "power" not in record.to_dict()
+
+
+class TestFitProvider:
+    def test_round_trip_recovery(self):
+        """Fitting a sampled log recovers the generating provider."""
+        true = build_provider()
+        log = sample_provider_log(true, 40_000, make_rng(1), power_noise=0.05)
+        fit = fit_provider(
+            log, states=true.state_names, commands=true.command_names
+        )
+        for command in true.command_names:
+            fitted = fit.provider.chain.matrix(command)
+            truth = true.chain.matrix(command)
+            assert np.abs(fitted - truth).max() < 0.02
+        assert fit.provider.power("on", "s_on") == pytest.approx(3.0, abs=0.02)
+        assert fit.provider.service_rate("on", "s_on") == pytest.approx(
+            0.8, abs=0.02
+        )
+
+    def test_expected_transition_times(self):
+        true = build_provider()
+        log = sample_provider_log(true, 30_000, make_rng(2))
+        fit = fit_provider(
+            log, states=true.state_names, commands=true.command_names
+        )
+        # True P(off -> on | s_on) = 0.1 -> E[T] = 10 slices (Eq. 2).
+        assert fit.expected_transition_time("off", "on", "s_on") == (
+            pytest.approx(10.0, rel=0.15)
+        )
+        assert "expected_slices" in fit.transition_time_table()
+
+    def test_first_seen_ordering(self):
+        log = ProviderLog()
+        log.append("sleep", "wake", "active")
+        log.append("active", "rest", "sleep")
+        fit = fit_provider(log)
+        assert fit.provider.state_names == ("sleep", "active")
+        assert fit.provider.command_names == ("wake", "rest")
+
+    def test_unobserved_rows_hold_state(self):
+        log = ProviderLog()
+        for _ in range(5):
+            log.append("a", "go", "b")
+            log.append("b", "go", "a")
+        fit = fit_provider(log, states=["a", "b"], commands=["go", "stay"])
+        # The "stay" command was never observed: identity completion.
+        assert fit.provider.chain.matrix("stay")[0, 0] == 1.0
+
+    def test_defaults_fill_unlabeled_cells(self):
+        log = ProviderLog()
+        log.append("a", "go", "a")  # no power/service labels
+        fit = fit_provider(
+            log, default_power=2.5, default_service_rate=0.25
+        )
+        assert fit.provider.power("a", "go") == 2.5
+        assert fit.provider.service_rate("a", "go") == 0.25
+        assert int(fit.power_counts.sum()) == 0
+
+    def test_noisy_zero_power_is_clamped(self):
+        log = ProviderLog()
+        log.append("a", "go", "a", power=-0.01)
+        fit = fit_provider(log)
+        assert fit.provider.power("a", "go") == 0.0
+
+    def test_smoothing_spreads_mass(self):
+        log = ProviderLog()
+        for _ in range(10):
+            log.append("a", "go", "a")
+        fit = fit_provider(log, states=["a", "b"], commands=["go"],
+                           smoothing=1.0)
+        assert fit.provider.chain.matrix("go")[0, 1] > 0.0
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValidationError):
+            fit_provider(ProviderLog())
+
+    def test_unknown_state_rejected(self):
+        log = ProviderLog()
+        log.append("mystery", "go", "a")
+        with pytest.raises(ValidationError):
+            fit_provider(log, states=["a"], commands=["go"])
+
+    def test_summary_mentions_counts(self):
+        log = sample_provider_log(build_provider(), 50, make_rng(3))
+        assert "50 transitions" in fit_provider(log).summary()
+
+
+class TestSampleProviderLog:
+    def test_respects_command_sampler(self):
+        log = sample_provider_log(
+            build_provider(),
+            20,
+            make_rng(0),
+            command_sampler=lambda state, rng: 0,
+        )
+        assert {record.command for record in log} == {"s_on"}
+
+    def test_initial_state_by_name(self):
+        log = sample_provider_log(
+            build_provider(), 5, make_rng(0), initial_state="off"
+        )
+        assert log.records[0].state == "off"
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValidationError):
+            sample_provider_log(build_provider(), 0, make_rng(0))

@@ -1,0 +1,159 @@
+"""Tests for model validation: chi-square, stationarity, CIs, reports."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.estimation.report import (
+    chi_square_transitions,
+    split_half_stationarity,
+    transition_confidence_intervals,
+)
+from repro.estimation.workload import fit_workload
+from repro.sim import make_rng
+from repro.traces.extractor import SRExtractor
+from repro.traces.synthetic import merge_traces, mmpp2_trace
+from repro.traces.trace import Trace
+from repro.util.validation import ValidationError
+
+
+def _mmpp_counts(seed: int, n: int = 8000, p_ii=0.95, p_bb=0.85):
+    trace = mmpp2_trace(p_ii, p_bb, n, 1.0, make_rng(seed))
+    return trace.discretize(1.0)
+
+
+class TestChiSquare:
+    def test_held_out_consistency_passes(self):
+        counts = _mmpp_counts(0)
+        model = SRExtractor(memory=1).fit(counts[:4000])
+        result = chi_square_transitions(model, counts[4000:])
+        assert result.passed
+        assert result.dof >= 1
+        assert "consistent" in result.describe()
+
+    def test_wrong_model_rejected(self):
+        counts = _mmpp_counts(1)
+        # A deliberately wrong chain: near-independent arrivals.
+        wrong = SRExtractor(memory=1).fit(
+            (make_rng(2).random(8000) < 0.25).astype(int)
+        )
+        result = chi_square_transitions(wrong, counts)
+        assert not result.passed
+        assert "REJECTED" in result.describe()
+
+    def test_tiny_sample_degenerates_to_pass(self):
+        model = SRExtractor(memory=1).fit([0, 1, 0, 1, 0])
+        result = chi_square_transitions(model, [0, 1, 0])
+        assert result.dof == 0 and result.passed
+
+    def test_invalid_alpha_rejected(self):
+        model = SRExtractor(memory=1).fit([0, 1] * 10)
+        with pytest.raises(ValidationError):
+            chi_square_transitions(model, [0, 1] * 10, alpha=2.0)
+
+
+class TestStationarity:
+    def test_stationary_stream_passes(self):
+        result = split_half_stationarity(_mmpp_counts(3, n=10_000))
+        assert result.stationary
+        assert result.n_compared > 0
+
+    def test_regime_switch_detected(self):
+        # The paper's Example 7.1 construction: two merged traces with
+        # completely different statistics.
+        calm = mmpp2_trace(0.995, 0.4, 6000, 1.0, make_rng(4))
+        storm = mmpp2_trace(0.5, 0.97, 6000, 1.0, make_rng(5))
+        counts = merge_traces([calm, storm]).discretize(1.0)
+        result = split_half_stationarity(counts)
+        assert not result.stationary
+        assert "NONSTATIONARY" in result.describe()
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValidationError):
+            split_half_stationarity([0, 1, 0])
+
+
+class TestConfidenceIntervals:
+    def test_half_widths_shrink_with_data(self):
+        small = SRExtractor(memory=1).fit(_mmpp_counts(6, n=500))
+        large = SRExtractor(memory=1).fit(_mmpp_counts(6, n=20_000))
+        small_w = transition_confidence_intervals(small)
+        large_w = transition_confidence_intervals(large)
+        assert large_w.max() < small_w.max()
+
+    def test_unobserved_rows_have_unit_width(self):
+        model = SRExtractor(memory=2).fit([0] * 30)
+        widths = transition_confidence_intervals(model)
+        unobserved = model.state_counts == 0
+        assert np.all(widths[unobserved] == 1.0)
+
+    def test_invalid_confidence_rejected(self):
+        model = SRExtractor(memory=1).fit([0, 1] * 10)
+        with pytest.raises(ValidationError):
+            transition_confidence_intervals(model, confidence=1.5)
+
+
+class TestFitWorkload:
+    def test_full_report_on_clean_stream(self):
+        fit = fit_workload(_mmpp_counts(7, n=9000), memories=(1, 2))
+        report = fit.report
+        assert report.valid
+        assert report.model.memory == 1
+        assert report.mmpp2 is not None and report.poisson is not None
+        assert 0 < report.max_ci_half_width < 0.2
+        assert "arrival-chain selection" in fit.summary()
+
+    def test_report_round_trips_through_json(self):
+        fit = fit_workload(_mmpp_counts(8, n=4000))
+        document = json.loads(json.dumps(fit.report.to_dict()))
+        assert document["valid"] is True
+        assert document["mmpp2"]["type"] == "mmpp2"
+        assert document["selection"]["selected"]["memory"] == fit.model.memory
+
+    def test_accepts_trace_with_resolution(self):
+        trace = mmpp2_trace(0.9, 0.8, 2000, 0.5, make_rng(9))
+        fit = fit_workload(trace, resolution=0.5)
+        assert fit.resolution == 0.5
+        assert fit.counts.size == 2000
+
+    def test_trace_without_resolution_rejected(self):
+        with pytest.raises(ValidationError):
+            fit_workload(Trace([1.0, 2.0]))
+
+    def test_nonstationary_stream_flagged(self):
+        calm = mmpp2_trace(0.995, 0.4, 6000, 1.0, make_rng(10))
+        storm = mmpp2_trace(0.5, 0.97, 6000, 1.0, make_rng(11))
+        fit = fit_workload(merge_traces([calm, storm]).discretize(1.0))
+        assert not fit.report.stationarity.stationary
+        assert not fit.report.valid
+
+    def test_silent_stream_skips_mmpp(self):
+        fit = fit_workload([0] * 200)
+        assert fit.report.mmpp2 is None
+        assert fit.report.poisson.rate_per_slice == 0.0
+        assert any("silent" in w for w in fit.report.warnings)
+
+    def test_generator_selection(self):
+        fit = fit_workload(_mmpp_counts(12, n=6000))
+        assert fit.stream_spec("mmpp2")["type"] == "mmpp2"
+        assert fit.stream_spec("poisson")["type"] == "poisson"
+        assert fit.stream_spec("auto")["type"] == "mmpp2"  # lower BIC
+        with pytest.raises(ValidationError):
+            fit.stream_spec("fourier")
+
+    def test_too_short_stream_rejected(self):
+        with pytest.raises(ValidationError):
+            fit_workload([0, 1, 0])
+
+    def test_minimum_length_stream_with_high_selected_memory(self):
+        # 8 slices passes the front-door guard even when BIC picks a
+        # memory whose split-half check needs more data; the check
+        # falls back to memory 1 instead of crashing.
+        fit = fit_workload([0, 1, 1, 0, 0, 1, 1, 0])
+        assert fit.report.stationarity is not None
+        assert any("split-half" in w for w in fit.report.warnings)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            fit_workload([0, -1] * 10)

@@ -1,0 +1,175 @@
+"""Tests for scenario generation: fitted models -> systems/specs/fleets."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import PolicyOptimizer
+from repro.estimation.scenario import (
+    assemble_system,
+    fleet_group_from_fit,
+    fleet_spec_from_fit,
+    provider_spec,
+    requester_spec_from_model,
+    system_spec_from_fit,
+)
+from repro.estimation.workload import fit_workload
+from repro.runtime.fleet import build_fleet, parse_fleet_spec
+from repro.sim import make_rng
+from repro.systems.example_system import build_provider
+from repro.tool.spec import parse_spec
+from repro.traces.extractor import SRExtractor
+from repro.traces.synthetic import mmpp2_trace
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def workload_fit():
+    trace = mmpp2_trace(0.95, 0.85, 6000, 1.0, make_rng(0))
+    return fit_workload(trace, resolution=1.0, memories=(1, 2))
+
+
+class TestAssembleSystem:
+    def test_composes_fit(self, workload_fit):
+        system, costs = assemble_system(build_provider(), workload_fit)
+        assert system.n_states == 2 * workload_fit.model.n_states * 2
+        assert "power" in costs.metric_names
+
+    def test_composes_raw_model(self):
+        model = SRExtractor(memory=1).fit([0, 1, 1, 0, 0, 1, 0])
+        system, _ = assemble_system(build_provider(), model, queue_capacity=2)
+        assert system.queue.capacity == 2
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(ValidationError):
+            assemble_system(build_provider(), object())
+
+
+class TestSpecBlocks:
+    def test_requester_block_round_trips(self, workload_fit):
+        block = requester_spec_from_model(workload_fit.model)
+        assert block["arrivals"] == [0, 1]
+        assert len(block["transitions"]) == workload_fit.model.n_states
+
+    def test_provider_block_round_trips(self):
+        true = build_provider()
+        block = provider_spec(true)
+        raw = {
+            "name": "round-trip",
+            "provider": block,
+            "requester": {
+                "transitions": [[0.9, 0.1], [0.2, 0.8]],
+                "arrivals": [0, 1],
+            },
+        }
+        spec = parse_spec(raw)
+        assert spec.provider.state_names == true.state_names
+        assert np.array_equal(
+            spec.provider.power_matrix, true.power_matrix
+        )
+
+
+class TestSystemSpecFromFit:
+    def test_parses_and_composes(self, workload_fit):
+        raw = system_spec_from_fit(
+            "fitted",
+            build_provider(),
+            workload_fit,
+            queue_capacity=1,
+            constraints={"penalty": 0.5, "loss": 0.2},
+        )
+        spec = parse_spec(raw)
+        system, costs, p0 = spec.compose()
+        assert spec.name == "fitted"
+        assert spec.time_resolution == 1.0  # inherited from the fit
+        assert system.n_states == 8
+
+    def test_optimizes_identically_to_direct_construction(self, workload_fit):
+        """The emitted spec reproduces the direct system's optimum."""
+        raw = system_spec_from_fit(
+            "fitted",
+            build_provider(),
+            workload_fit,
+            queue_capacity=1,
+            gamma=0.999,
+            constraints={"penalty": 0.5, "loss": 0.2},
+        )
+        spec = parse_spec(raw)
+        system, costs, p0 = spec.compose()
+        via_spec = PolicyOptimizer(
+            system, costs, gamma=spec.gamma, initial_distribution=p0
+        ).optimize("power", "min", upper_bounds=spec.constraints)
+
+        direct_system, direct_costs = assemble_system(
+            build_provider(), workload_fit, queue_capacity=1
+        )
+        direct = PolicyOptimizer(
+            direct_system,
+            direct_costs,
+            gamma=0.999,
+            initial_distribution=direct_system.uniform_distribution(),
+        ).optimize(
+            "power", "min", upper_bounds={"penalty": 0.5, "loss": 0.2}
+        )
+        assert via_spec.feasible and direct.feasible
+        assert via_spec.evaluation.averages["power"] == pytest.approx(
+            direct.evaluation.averages["power"], abs=1e-6
+        )
+
+    def test_accepts_raw_model(self):
+        model = SRExtractor(memory=1).fit([0, 1, 0, 0, 1, 1, 0])
+        raw = system_spec_from_fit("m", build_provider(), model)
+        assert parse_spec(raw).requester is not None
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(ValidationError):
+            system_spec_from_fit("x", build_provider(), 3.14)
+
+
+class TestFleetSpecs:
+    def test_group_spec_shape(self, workload_fit):
+        group = fleet_group_from_fit(
+            workload_fit,
+            "example",
+            group_id="edge",
+            count=4,
+            agent={"type": "eager", "active": "s_on", "sleep": "s_off"},
+            seed=7,
+        )
+        assert group["workload"]["type"] in ("mmpp2", "poisson")
+        assert group["count"] == 4 and group["seed"] == 7
+
+    def test_rejects_nonpositive_count(self, workload_fit):
+        with pytest.raises(ValidationError):
+            fleet_group_from_fit(workload_fit, "example", count=0)
+
+    def test_full_fleet_spec_builds(self, workload_fit):
+        spec = fleet_spec_from_fit(
+            workload_fit,
+            "example",
+            count=3,
+            agent={"type": "eager", "active": "s_on", "sleep": "s_off"},
+            seed=1,
+        )
+        parse_fleet_spec(spec)
+        fleet, _ = build_fleet(spec)
+        assert len(fleet) == 3
+        device = fleet.device("fitted-0000")
+        assert device.stream is not None
+
+    def test_fleet_spec_with_inline_fitted_system(self, workload_fit):
+        inline = system_spec_from_fit(
+            "fitted",
+            build_provider(),
+            workload_fit,
+            constraints={"penalty": 0.5, "loss": 0.2},
+        )
+        spec = fleet_spec_from_fit(
+            workload_fit,
+            inline,
+            count=2,
+            agent={"type": "optimal", "formulation": "average",
+                   "penalty_bound": 0.5},
+        )
+        fleet, cache = build_fleet(spec)
+        assert len(fleet) == 2
+        assert cache.stats.misses == 1  # one LP solve for the group

@@ -95,6 +95,82 @@ class TestModelStructure:
             SRExtractor(smoothing=-1.0)
 
 
+class TestExtractorEdgeCases:
+    """Degenerate inputs the estimation layer must survive."""
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValidationError, match="at least"):
+            SRExtractor(memory=1).fit([])
+
+    def test_minimum_length_stream(self):
+        # Exactly memory + 1 slices: one transition, a valid chain.
+        model = SRExtractor(memory=1, smoothing=0.0).fit([0, 1])
+        assert model.n_observations == 1
+        assert model.matrix[0, 1] == 1.0
+
+    def test_single_state_stream_is_absorbing(self):
+        # A trace that never leaves level 0: the observed state is a
+        # self-loop and the unseen states get valid uniform rows.
+        model = SRExtractor(memory=1, smoothing=0.0).fit([0] * 20)
+        assert model.matrix[0, 0] == 1.0
+        assert model.state_counts.tolist() == [19, 0]
+        assert_stochastic(model.matrix)
+
+    def test_single_state_all_busy_stream(self):
+        model = SRExtractor(memory=2, smoothing=0.0).fit([1] * 10)
+        busy = model.state_index((1, 1))
+        assert model.matrix[busy, busy] == 1.0
+        assert model.n_observations == 8
+
+    def test_log_likelihood_of_single_state_stream(self):
+        model = SRExtractor(memory=1, smoothing=0.0).fit([0] * 20)
+        assert model.log_likelihood([0] * 10) == 0.0
+        assert model.log_likelihood([0, 0, 1]) == float("-inf")
+
+    def test_log_likelihood_short_stream_is_zero(self):
+        model = SRExtractor(memory=2).fit([0, 1, 0, 1, 0])
+        assert model.log_likelihood([0, 1]) == 0.0
+
+    def test_transition_count_off_by_one(self):
+        # n slices and memory k give exactly n - k transitions.
+        for k in (1, 2, 3):
+            model = SRExtractor(memory=k).fit([0, 1] * 8)
+            assert model.n_observations == 16 - k
+
+    def test_counting_matches_slow_reference(self):
+        """The vectorized bincount equals the per-slice reference loop."""
+        rng = make_rng(13)
+        levels = rng.integers(0, 3, size=500)
+        for memory, max_level in ((1, 1), (2, 2), (3, 1)):
+            model = SRExtractor(
+                memory=memory, max_level=max_level, smoothing=0.0
+            ).fit(levels)
+            clipped = np.clip(levels, 0, max_level)
+            base = max_level + 1
+            n = base**memory
+            reference = np.zeros((n, n))
+            shift = base ** (memory - 1)
+
+            def index_of(window):
+                idx = 0
+                for level in window:
+                    idx = idx * base + int(level)
+                return idx
+
+            src = index_of(clipped[:memory])
+            for t in range(memory, clipped.size):
+                dst = (src % shift) * base + int(clipped[t])
+                reference[src, dst] += 1.0
+                src = dst
+            totals = reference.sum(axis=1)
+            assert np.array_equal(model.state_counts, totals)
+            for u in range(n):
+                if totals[u] > 0:
+                    assert np.allclose(
+                        model.matrix[u], reference[u] / totals[u]
+                    )
+
+
 class TestRecovery:
     def test_recovers_mmpp_parameters(self):
         trace = mmpp2_trace(0.97, 0.88, 300_000, 1.0, make_rng(42))

@@ -8,8 +8,7 @@ from repro.core.optimizer import (
     InfeasibleProblemError,
     PolicyOptimizer,
 )
-from repro.core.policy import evaluate_policy
-from repro.systems import cpu, example_system
+from repro.systems import example_system
 from repro.util.validation import ValidationError
 
 

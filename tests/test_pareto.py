@@ -1,6 +1,5 @@
 """Tests for trade-off curve exploration (paper Section IV-A, Thm 4.1)."""
 
-import numpy as np
 import pytest
 
 from repro.core.costs import LOSS, PENALTY, POWER

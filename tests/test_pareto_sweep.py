@@ -20,7 +20,6 @@ from repro.core.costs import PENALTY, POWER
 from repro.core.optimizer import PolicyOptimizer
 from repro.core.pareto import min_achievable, simulate_curve, trade_off_curve
 from repro.core.pareto_sweep import ParetoSweepSolver, SweepStats
-from repro.systems import example_system, web_server
 from repro.util.validation import ValidationError
 
 #: Sweep with duplicates and an infeasible prefix (the example system's

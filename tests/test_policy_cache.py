@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.average_cost import AverageCostOptimizer
-from repro.core.optimizer import PolicyOptimizer
 from repro.policies import AdaptivePolicyAgent
 from repro.runtime.policy_cache import (
     PolicyCache,
@@ -174,8 +172,6 @@ class TestCachedOptimizerProxy:
 
 class TestAdaptiveAgentCaching:
     def _run_agent(self, example_bundle, cache, n_slices=2400):
-        from repro.core.costs import PENALTY
-
         agent = AdaptivePolicyAgent(
             example_bundle.system.provider,
             queue_capacity=1,

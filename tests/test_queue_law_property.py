@@ -10,7 +10,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.components import ServiceQueue
-from tests.conftest import assert_distribution, assert_stochastic
+from tests.conftest import assert_stochastic
 
 capacities = st.integers(min_value=0, max_value=8)
 rates = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)

@@ -559,6 +559,32 @@ class TestBuildFleet:
         assert len(fleet) == 2
         FleetController(fleet, slices_per_tick=50).run(1)
 
+    def test_adaptive_auto_memory_agent(self):
+        raw = {
+            "groups": [
+                {
+                    "id": "auto",
+                    "count": 1,
+                    "system": "example",
+                    "agent": {
+                        "type": "adaptive",
+                        "window": 50,
+                        "refit_every": 30,
+                        "auto_memory": True,
+                        "memories": [1, 2],
+                        "penalty_bound": 0.5,
+                        "loss_bound": 0.25,
+                    },
+                }
+            ]
+        }
+        fleet, _ = build_fleet(raw, base_seed=5)
+        FleetController(fleet, slices_per_tick=60).run(2)
+        agent = fleet.device("auto-0000").agent
+        assert agent.refits >= 1
+        assert agent.fitted_memory in (1, 2)
+        assert "chain-estimator" in agent.describe()
+
     def test_spec_validation_errors(self):
         with pytest.raises(ValidationError, match="groups"):
             build_fleet({"groups": []})

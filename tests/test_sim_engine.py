@@ -1,6 +1,5 @@
 """Tests for the Markov-driven simulation engine."""
 
-import numpy as np
 import pytest
 
 from repro.core.costs import PENALTY, POWER

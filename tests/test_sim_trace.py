@@ -8,7 +8,7 @@ from repro.policies import ConstantAgent, EagerAgent, StationaryPolicyAgent
 from repro.policies.markov_conversion import eager_markov_policy
 from repro.sim import make_rng, simulate, simulate_trace
 from repro.sim.trace_sim import NearestArrivalTracker
-from repro.traces import SRExtractor, mmpp2_trace
+from repro.traces import mmpp2_trace
 from repro.util.validation import ValidationError
 
 

@@ -1,6 +1,5 @@
 """Tests for the synthetic workload generators."""
 
-import numpy as np
 import pytest
 
 from repro.sim import make_rng

@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.core.components import ServiceProvider, ServiceQueue, ServiceRequester
 from repro.core.system import PowerManagedSystem
 from repro.markov.chain import MarkovChain
-from repro.systems import example_system
 from repro.util.validation import ValidationError
 from tests.conftest import assert_stochastic
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.costs import PENALTY, POWER
+from repro.core.costs import POWER
 from repro.core.optimizer import PolicyOptimizer
 from repro.markov.analysis import hitting_time
 from repro.sim import make_rng

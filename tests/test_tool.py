@@ -2,7 +2,6 @@
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.sim import make_rng
@@ -329,3 +328,149 @@ class TestCLI:
         code = cli_main(["optimize", "/nonexistent/spec.json"])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestFitCLI:
+    """The estimation pipeline behind ``repro-dpm fit``."""
+
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        trace = mmpp2_trace(0.95, 0.85, 6000, 1.0, make_rng(0))
+        path = tmp_path / "trace.txt"
+        trace.save(path)
+        return str(path)
+
+    @pytest.fixture()
+    def spec_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(example_spec_dict()))
+        return str(path)
+
+    def test_report_only(self, trace_file, capsys):
+        code = cli_main(["fit", trace_file, "--resolution", "1.0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "arrival-chain selection" in out
+        assert "chi-square" in out
+
+    def test_out_requires_provider(self, trace_file, tmp_path, capsys):
+        code = cli_main(
+            ["fit", trace_file, "--resolution", "1.0",
+             "--out", str(tmp_path / "sys.json")]
+        )
+        assert code == 2
+        assert "provider" in capsys.readouterr().err
+
+    def test_provider_sources_are_exclusive(
+        self, trace_file, spec_file, capsys
+    ):
+        code = cli_main(
+            ["fit", trace_file, "--resolution", "1.0",
+             "--provider-spec", spec_file, "--provider-log", spec_file]
+        )
+        assert code == 2
+
+    def test_report_json_written(self, trace_file, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = cli_main(
+            ["fit", trace_file, "--resolution", "1.0",
+             "--report", str(report_path)]
+        )
+        assert code == 0
+        document = json.loads(report_path.read_text())
+        assert document["valid"] is True
+        assert document["selection"]["selected"]["memory"] >= 1
+
+    def test_provider_log_fit(self, trace_file, tmp_path, capsys):
+        from repro.estimation import sample_provider_log
+        from repro.systems.example_system import build_provider
+
+        log_path = tmp_path / "provider.jsonl"
+        sample_provider_log(
+            build_provider(), 5000, make_rng(1)
+        ).save_jsonl(log_path)
+        out_path = tmp_path / "sys.json"
+        code = cli_main(
+            ["fit", trace_file, "--resolution", "1.0",
+             "--provider-log", str(log_path), "--out", str(out_path),
+             "--queue-capacity", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "provider fit" in out
+        spec = load_spec(out_path)
+        assert spec.provider.n_states == 2
+
+    def test_fit_output_feeds_optimize_exactly(
+        self, trace_file, spec_file, tmp_path, capsys
+    ):
+        """Acceptance: the fit CLI's spec reproduces the directly-built
+        system's optimal power within 1e-6."""
+        out_path = tmp_path / "fitted.json"
+        code = cli_main(
+            ["fit", trace_file, "--resolution", "1.0", "--memory", "1",
+             "--smoothing", "0.0",
+             "--provider-spec", spec_file, "--out", str(out_path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+        # The CLI-emitted spec, solved through the optimize pipeline.
+        fitted_spec = load_spec(out_path)
+        _, via_cli = optimize_spec(fitted_spec)
+
+        # The same fit constructed directly in memory.
+        from repro.core.optimizer import PolicyOptimizer
+        from repro.estimation import assemble_system
+        from repro.traces import SRExtractor
+
+        trace = Trace.load(trace_file)
+        model = SRExtractor(memory=1, smoothing=0.0).fit_trace(trace, 1.0)
+        system, costs = assemble_system(
+            parse_spec(example_spec_dict()).provider, model,
+            queue_capacity=1,
+        )
+        direct = PolicyOptimizer(
+            system,
+            costs,
+            gamma=fitted_spec.gamma,
+            initial_distribution=system.uniform_distribution(),
+        ).optimize(
+            "power", "min", upper_bounds={"penalty": 0.5, "loss": 0.2}
+        )
+        assert via_cli.feasible and direct.feasible
+        assert via_cli.evaluation.averages["power"] == pytest.approx(
+            direct.evaluation.averages["power"], abs=1e-6
+        )
+
+    def test_fleet_out_builds(self, trace_file, spec_file, tmp_path, capsys):
+        fleet_path = tmp_path / "fleet.json"
+        code = cli_main(
+            ["fit", trace_file, "--resolution", "1.0",
+             "--provider-spec", spec_file,
+             "--fleet-out", str(fleet_path), "--count", "3"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert (
+            cli_main(
+                ["fleet", str(fleet_path), "--ticks", "1",
+                 "--slices-per-tick", "50"]
+            )
+            == 0
+        )
+        assert "3 devices" in capsys.readouterr().out
+
+    def test_strict_flags_nonstationary(self, tmp_path, capsys):
+        from repro.traces import merge_traces
+
+        calm = mmpp2_trace(0.995, 0.4, 5000, 1.0, make_rng(2))
+        storm = mmpp2_trace(0.5, 0.97, 5000, 1.0, make_rng(3))
+        path = tmp_path / "mixed.txt"
+        merge_traces([calm, storm]).save(path)
+        code = cli_main(
+            ["fit", str(path), "--resolution", "1.0", "--strict"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "validation: FAILED" in out

@@ -102,3 +102,69 @@ class TestTrace:
 
     def test_len(self):
         assert len(Trace([1, 2, 3])) == 3
+
+
+class TestDiscretizeEdgeCases:
+    """Boundary behaviour the estimation layer now leans on."""
+
+    def test_empty_trace_object(self):
+        trace = Trace([])
+        assert trace.n_requests == 0
+        assert trace.duration == 0.0
+        assert trace.mean_rate() == 0.0
+        assert trace.burstiness() == 0.0
+        assert trace.discretize(0.5).size == 0
+
+    def test_empty_trace_with_duration(self):
+        assert Trace([], duration=2.0).discretize(0.5).tolist() == [0] * 4
+
+    def test_empty_trace_save_load(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        Trace([], duration=3.0).save(path)
+        loaded = Trace.load(path)
+        assert loaded.n_requests == 0
+        assert loaded.duration == 3.0
+
+    def test_timestamp_exactly_on_slice_boundary(self):
+        # A request at exactly i * tau lands in slice i, not i - 1.
+        counts = discretize_timestamps([0.0, 1.0, 2.0], 1.0, duration=3)
+        assert counts.tolist() == [1, 1, 1]
+
+    def test_timestamp_at_window_end_gets_extra_slice(self):
+        # duration = 2.0 gives ceil(2/1) = 2 slices, but a request at
+        # t = 2.0 belongs to slice 2 — the window must grow, not drop it.
+        counts = discretize_timestamps([2.0], 1.0, duration=2.0)
+        assert counts.tolist() == [0, 0, 1]
+        assert int(counts.sum()) == 1
+
+    def test_duration_not_a_slice_multiple(self):
+        # 2.5 s at tau = 1 s -> ceil = 3 slices; nothing is truncated.
+        counts = discretize_timestamps([0.4, 2.4], 1.0, duration=2.5)
+        assert counts.tolist() == [1, 0, 1]
+
+    def test_just_below_boundary_stays_in_lower_slice(self):
+        counts = discretize_timestamps([0.999999, 1.0], 1.0, duration=2)
+        assert counts.tolist() == [1, 1]
+
+    def test_total_requests_conserved(self):
+        stamps = np.linspace(0.0, 9.99, 173)
+        counts = discretize_timestamps(stamps, 0.37, duration=10.0)
+        assert int(counts.sum()) == stamps.size
+
+    def test_zero_duration_with_request_at_zero(self):
+        counts = discretize_timestamps([0.0], 1.0, duration=0.0)
+        assert counts.tolist() == [1]
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValidationError):
+            discretize_timestamps([], 1.0, duration=-1.0)
+
+    def test_rejects_non_finite_timestamps(self):
+        with pytest.raises(ValidationError):
+            discretize_timestamps([float("nan")], 1.0)
+        with pytest.raises(ValidationError):
+            discretize_timestamps([float("inf")], 1.0)
+
+    def test_binarize_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            binarize([[1, 0], [0, 1]])
