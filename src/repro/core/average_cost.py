@@ -34,8 +34,9 @@ import numpy as np
 from repro.core.costs import LOSS, PENALTY, POWER, CostModel
 from repro.core.optimizer import (
     OptimizationResult,
-    VISIT_TOL,
+    SPARSE_AUTO_MIN_VARIABLES,
     _ActionMaskMixin,
+    balance_matrix,
 )
 from repro.core.policy import MarkovPolicy, PolicyEvaluation
 from repro.core.system import PowerManagedSystem
@@ -63,6 +64,10 @@ class AverageCostOptimizer(_ActionMaskMixin):
         (see :class:`PolicyOptimizer`).
     action_mask:
         Optional boolean availability mask over (state, command).
+    sparse:
+        Balance-block representation: ``True`` CSR end to end,
+        ``False`` dense, ``None`` (default) auto by problem size (see
+        :class:`PolicyOptimizer`).
 
     Examples
     --------
@@ -83,6 +88,7 @@ class AverageCostOptimizer(_ActionMaskMixin):
         cross_check: bool = False,
         fallback: str = "greedy-service",
         action_mask=None,
+        sparse: bool | None = None,
     ):
         if not isinstance(system, PowerManagedSystem):
             raise ValidationError("system must be a PowerManagedSystem")
@@ -98,10 +104,11 @@ class AverageCostOptimizer(_ActionMaskMixin):
         self._mask = self._check_action_mask(system, action_mask)
 
         n, n_a = system.n_states, system.n_commands
-        tensor = system.chain.tensor
-        outflow = np.kron(np.eye(n), np.ones((1, n_a)))
-        inflow = np.transpose(tensor, (2, 1, 0)).reshape(n, n * n_a)
-        self._balance = outflow - inflow
+        if sparse is None:
+            sparse = n * n_a >= SPARSE_AUTO_MIN_VARIABLES
+        self._sparse = bool(sparse)
+        # The average-cost balance equations are the gamma = 1 case.
+        self._balance = balance_matrix(system, 1.0, self._sparse)
 
     # ------------------------------------------------------------------
     # accessors
@@ -125,6 +132,11 @@ class AverageCostOptimizer(_ActionMaskMixin):
     def cross_check(self) -> bool:
         """Whether every LP solve is cross-checked on a second backend."""
         return self._cross_check
+
+    @property
+    def sparse(self) -> bool:
+        """Whether the balance block is assembled (and solved) sparse."""
+        return self._sparse
 
     @property
     def bound_scale(self) -> float:
@@ -157,8 +169,11 @@ class AverageCostOptimizer(_ActionMaskMixin):
         n = self._system.n_states
         # One balance row per state is redundant with normalization
         # (rows sum to zero); keep all — the backends drop dependencies.
-        for j in range(n):
-            lp.add_equality(self._balance[j], 0.0)
+        if self._sparse:
+            lp.add_equality_block(self._balance, np.zeros(n))
+        else:
+            for j in range(n):
+                lp.add_equality(self._balance[j], 0.0)
         lp.add_equality(np.ones(n * self._system.n_commands), 1.0)
         if self._mask is not None and not self._mask.all():
             lp.add_equality((~self._mask).astype(float).reshape(-1), 0.0)
@@ -285,22 +300,7 @@ class AverageCostOptimizer(_ActionMaskMixin):
     # ------------------------------------------------------------------
     def policy_from_frequencies(self, frequencies: np.ndarray) -> MarkovPolicy:
         """Extract the stationary policy from the LP distribution."""
-        freq = np.asarray(frequencies, dtype=float)
-        expected = (self._system.n_states, self._system.n_commands)
-        if freq.shape != expected:
-            raise ValidationError(
-                f"frequencies must have shape {expected}, got {freq.shape}"
-            )
-        freq = np.clip(freq, 0.0, None)
-        if self._mask is not None:
-            freq = np.where(self._mask, freq, 0.0)
-        row_sums = freq.sum(axis=1)
-        matrix = np.zeros_like(freq)
-        visited = row_sums > VISIT_TOL
-        matrix[visited] = freq[visited] / row_sums[visited, None]
-        fallback_commands = self._fallback_commands(
-            self._system, self._fallback, self._mask
+        return MarkovPolicy(
+            self._policy_matrix_from_frequencies(frequencies),
+            self._system.command_names,
         )
-        for state in np.where(~visited)[0]:
-            matrix[state, fallback_commands[state]] = 1.0
-        return MarkovPolicy(matrix, self._system.command_names)

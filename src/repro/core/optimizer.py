@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.core.costs import LOSS, PENALTY, POWER, CostModel
 from repro.core.policy import MarkovPolicy, PolicyEvaluation, evaluate_policy
@@ -34,8 +35,46 @@ from repro.lp.result import LPResult
 from repro.lp.solve import solve_lp
 from repro.util.validation import ValidationError, check_probability
 
-#: Row sums below this are treated as "state never visited" in Eq. 16.
+#: Relative row-sum threshold for "state never visited" in Eq. 16.
+#: Scaled by the total flow (``sum(x)``, the horizon for the discounted
+#: LP, 1 for the average-cost LP): a state carrying below this fraction
+#: of the flow is indistinguishable from solver round-off, and
+#: normalizing such dust into a policy row would let the optimal vertex
+#: choice — which legitimately varies across equally-optimal bases —
+#: leak noise into the policy.  Those states get the deterministic
+#: fallback completion instead.
 VISIT_TOL = 1e-12
+
+#: Auto mode (``sparse=None``) assembles the balance equations sparsely
+#: once the LP has at least this many variables; below it the dense
+#: fallback's lower constant factors win.
+SPARSE_AUTO_MIN_VARIABLES = 256
+
+
+def balance_matrix(system: PowerManagedSystem, gamma: float, sparse: bool):
+    """The balance-equation matrix ``A_bal`` (paper LP2, Fig. 11).
+
+    Row ``j``, column ``(s, a)`` (state-major, command-minor) holds
+    ``1{j == s} - gamma * P^a[s, j]``; the average-cost formulation is
+    the ``gamma = 1`` special case.  With ``sparse=True`` the matrix is
+    assembled straight from the per-command transition structure as CSR
+    — column ``(s, a)`` only touches the states reachable from ``s`` in
+    one slice, so the ``(n, n * n_a)`` matrix is never densified.  The
+    two representations hold bit-identical values.
+    """
+    n, n_a = system.n_states, system.n_commands
+    tensor = system.chain.tensor  # (A, N, N)
+    if not sparse:
+        outflow = np.kron(np.eye(n), np.ones((1, n_a)))
+        inflow = np.transpose(tensor, (2, 1, 0)).reshape(n, n * n_a)
+        return outflow - gamma * inflow
+    eye = sp.identity(n, format="csr")
+    blocks = [eye - gamma * sp.csr_matrix(tensor[a]).T for a in range(n_a)]
+    # Blocks stack command-major; permute columns to the state-major
+    # order the metric matrices flatten to: (s, a) -> a * n + s.
+    stacked = sp.hstack(blocks, format="csc")
+    order = (np.arange(n)[:, None] + n * np.arange(n_a)[None, :]).ravel()
+    return stacked[:, order].tocsr()
 
 
 class _ActionMaskMixin:
@@ -98,6 +137,38 @@ class _ActionMaskMixin:
         if mask is not None:
             scores = np.where(mask, scores, -np.inf)
         return np.argmax(scores, axis=1)
+
+    def _policy_matrix_from_frequencies(self, frequencies) -> np.ndarray:
+        """Eq. 16 normalization with fallback completion (shared).
+
+        Validates/clips the frequencies, zeroes masked pairs, normalizes
+        rows carrying more than :data:`VISIT_TOL` of the total flow and
+        completes the rest with the deterministic fallback rule.  Used
+        by both the discounted and the average-cost optimizer, which
+        only differ in what the frequencies *mean*, not in how the
+        policy is read off them.
+        """
+        freq = np.asarray(frequencies, dtype=float)
+        expected = (self._system.n_states, self._system.n_commands)
+        if freq.shape != expected:
+            raise ValidationError(
+                f"frequencies must have shape {expected}, got {freq.shape}"
+            )
+        freq = np.clip(freq, 0.0, None)
+        if self._mask is not None:
+            # Solver-tolerance dust on forbidden pairs must not leak
+            # into the policy.
+            freq = np.where(self._mask, freq, 0.0)
+        row_sums = freq.sum(axis=1)
+        matrix = np.zeros_like(freq)
+        visited = row_sums > VISIT_TOL * max(1.0, float(row_sums.sum()))
+        matrix[visited] = freq[visited] / row_sums[visited, None]
+        fallback_commands = self._fallback_commands(
+            self._system, self._fallback, self._mask
+        )
+        for state in np.where(~visited)[0]:
+            matrix[state, fallback_commands[state]] = 1.0
+        return matrix
 
 
 @dataclass
@@ -195,6 +266,14 @@ class PolicyOptimizer(_ActionMaskMixin):
         to zero in every LP, and the extracted policy never issues a
         masked command.  Every state must keep at least one allowed
         command.
+    sparse:
+        Representation of the balance-equation block: ``True`` keeps it
+        as a CSR matrix end to end (sparse simplex basis, CSR
+        pass-through to HiGHS), ``False`` forces the dense fallback and
+        ``None`` (default) picks sparse once the LP has at least
+        :data:`SPARSE_AUTO_MIN_VARIABLES` variables.  Both
+        representations produce the same LP values; only solve speed
+        and memory differ.
 
     Examples
     --------
@@ -217,6 +296,7 @@ class PolicyOptimizer(_ActionMaskMixin):
         cross_check: bool = False,
         fallback: str = "greedy-service",
         action_mask=None,
+        sparse: bool | None = None,
     ):
         if not isinstance(system, PowerManagedSystem):
             raise ValidationError("system must be a PowerManagedSystem")
@@ -243,10 +323,10 @@ class PolicyOptimizer(_ActionMaskMixin):
         # in (state-major, command-minor) order matching flattened
         # (n_states, n_commands) metric matrices.
         n, n_a = system.n_states, system.n_commands
-        tensor = system.chain.tensor  # (A, N, N)
-        outflow = np.kron(np.eye(n), np.ones((1, n_a)))
-        inflow = np.transpose(tensor, (2, 1, 0)).reshape(n, n * n_a)
-        self._balance = outflow - gamma * inflow
+        if sparse is None:
+            sparse = n * n_a >= SPARSE_AUTO_MIN_VARIABLES
+        self._sparse = bool(sparse)
+        self._balance = balance_matrix(system, gamma, self._sparse)
 
     # ------------------------------------------------------------------
     # accessors
@@ -287,6 +367,11 @@ class PolicyOptimizer(_ActionMaskMixin):
         return self._cross_check
 
     @property
+    def sparse(self) -> bool:
+        """Whether the balance block is assembled (and solved) sparse."""
+        return self._sparse
+
+    @property
     def bound_scale(self) -> float:
         """Multiplier from a per-slice metric bound to its LP row RHS.
 
@@ -322,8 +407,11 @@ class PolicyOptimizer(_ActionMaskMixin):
             c = -c
 
         lp = LinearProgram(c)
-        for j in range(self._system.n_states):
-            lp.add_equality(self._balance[j], self._p0[j])
+        if self._sparse:
+            lp.add_equality_block(self._balance, self._p0)
+        else:
+            for j in range(self._system.n_states):
+                lp.add_equality(self._balance[j], self._p0[j])
         if self._mask is not None and not self._mask.all():
             # One row pins every masked frequency to zero (x >= 0 makes
             # the sum-to-zero equality equivalent to per-entry zeros).
@@ -462,25 +550,7 @@ class PolicyOptimizer(_ActionMaskMixin):
     # ------------------------------------------------------------------
     def policy_from_frequencies(self, frequencies: np.ndarray) -> MarkovPolicy:
         """Extract the randomized policy from state-action frequencies."""
-        freq = np.asarray(frequencies, dtype=float)
-        expected = (self._system.n_states, self._system.n_commands)
-        if freq.shape != expected:
-            raise ValidationError(
-                f"frequencies must have shape {expected}, got {freq.shape}"
-            )
-        freq = np.clip(freq, 0.0, None)
-        if self._mask is not None:
-            # Solver-tolerance dust on forbidden pairs must not leak
-            # into the policy.
-            freq = np.where(self._mask, freq, 0.0)
-        row_sums = freq.sum(axis=1)
-        matrix = np.zeros_like(freq)
-        visited = row_sums > VISIT_TOL
-        matrix[visited] = freq[visited] / row_sums[visited, None]
-
-        fallback_commands = self._fallback_commands(
-            self._system, self._fallback, self._mask
+        return MarkovPolicy(
+            self._policy_matrix_from_frequencies(frequencies),
+            self._system.command_names,
         )
-        for state in np.where(~visited)[0]:
-            matrix[state, fallback_commands[state]] = 1.0
-        return MarkovPolicy(matrix, self._system.command_names)

@@ -75,6 +75,10 @@ class SweepStats:
         Bounds proved infeasible by bracketing without their own solve.
     n_refined:
         Points added by adaptive refinement.
+    lp_iterations / lp_refactorizations:
+        Summed simplex pivots and basis refactorizations across every
+        LP solve of the sweep, from ``LPResult.stats`` (0 on backends
+        that report no stats).  This is the CLI's ``--profile`` data.
     """
 
     n_requested: int = 0
@@ -85,6 +89,8 @@ class SweepStats:
     n_deduped: int = 0
     n_bracket_skipped: int = 0
     n_refined: int = 0
+    lp_iterations: int = 0
+    lp_refactorizations: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict view (for experiment/benchmark JSON payloads)."""
@@ -97,6 +103,8 @@ class SweepStats:
             "n_deduped": self.n_deduped,
             "n_bracket_skipped": self.n_bracket_skipped,
             "n_refined": self.n_refined,
+            "lp_iterations": self.lp_iterations,
+            "lp_refactorizations": self.lp_refactorizations,
         }
 
 
@@ -259,6 +267,12 @@ class ParetoSweepSolver:
             self.stats.n_warm += 1
         else:
             self.stats.n_cold += 1
+        lp_stats = getattr(lp_result, "stats", None)
+        if lp_stats:
+            self.stats.lp_iterations += int(lp_stats.get("iterations", 0))
+            self.stats.lp_refactorizations += int(
+                lp_stats.get("refactorizations", 0)
+            )
         return result, getattr(lp_result, "warm_start", None)
 
     # ------------------------------------------------------------------

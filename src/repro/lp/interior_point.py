@@ -310,4 +310,8 @@ def solve(
     counterproductive (the iterate starts on the boundary of the
     central path's neighbourhood).
     """
-    return solve_standard_form(problem.to_standard_form(), tol, max_iterations)
+    # The Mehrotra implementation is dense (Cholesky on the normal
+    # equations); sparse problems are densified at the boundary.
+    return solve_standard_form(
+        problem.to_standard_form(sparse=False), tol, max_iterations
+    )

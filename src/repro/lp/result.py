@@ -54,6 +54,17 @@ class LPResult:
         starting from scratch; backends without warm-start support
         accept and ignore it.  ``None`` when the backend has nothing to
         offer.
+    stats:
+        Solve-statistics dict (JSON-able) from backends that keep
+        accounting.  The revised simplex reports ``iterations``,
+        ``refactorizations``, ``eta_updates``, ``fill_ratio``,
+        ``basis_nnz``, ``pricing`` (``"full"``/``"partial"``),
+        ``sparse``, problem dimensions/``nnz``, ``warm_start_used``
+        and — on solves that went through the perturbed degeneracy
+        restart — ``recovered`` with counters accumulated over the
+        whole chain; scipy reports dimensions and its iteration count.  ``None`` when the backend offers nothing — consumers
+        (the CLI's ``--profile``, the sweep engine's accounting) must
+        treat it as optional.
     """
 
     status: LPStatus
@@ -65,6 +76,7 @@ class LPResult:
     dual_ub: np.ndarray | None = field(default=None, repr=False)
     message: str = ""
     warm_start: object | None = field(default=None, repr=False)
+    stats: dict | None = field(default=None, repr=False)
 
     @property
     def is_optimal(self) -> bool:

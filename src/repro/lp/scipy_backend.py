@@ -3,6 +3,9 @@
 The default production backend: HiGHS is an exact, mature dual-simplex /
 interior-point code, used here both as the everyday solver and as the
 reference the from-scratch backends are cross-checked against in tests.
+Sparse problems (:attr:`LinearProgram.is_sparse`) are handed to
+``linprog`` as CSR matrices without densifying — HiGHS consumes them
+natively, which is what keeps the deep-queue policy LPs tractable.
 """
 
 from __future__ import annotations
@@ -30,15 +33,20 @@ def solve(problem: LinearProgram, warm_start: object | None = None) -> LPResult:
     expose HiGHS basis restarts, and HiGHS's own presolve + dual
     simplex make cold solves cheap at this problem size.
     """
-    A_eq = problem.A_eq
+    sparse = problem.is_sparse
+    if sparse:
+        A_eq = problem.A_eq_sparse
+        A_ub = problem.A_ub  # bound rows are few and dense by nature
+    else:
+        A_eq = problem.A_eq
+        A_ub = problem.A_ub
     b_eq = problem.b_eq
-    A_ub = problem.A_ub
     b_ub = problem.b_ub
     res = linprog(
         c=problem.c,
-        A_eq=A_eq if A_eq.size else None,
+        A_eq=A_eq if b_eq.size else None,
         b_eq=b_eq if b_eq.size else None,
-        A_ub=A_ub if A_ub.size else None,
+        A_ub=A_ub if b_ub.size else None,
         b_ub=b_ub if b_ub.size else None,
         bounds=(0, None),
         method="highs",
@@ -55,13 +63,23 @@ def solve(problem: LinearProgram, warm_start: object | None = None) -> LPResult:
             dual_eq = np.asarray(eqlin.marginals, dtype=float)
         if ineqlin is not None and getattr(ineqlin, "marginals", None) is not None:
             dual_ub = np.asarray(ineqlin.marginals, dtype=float)
+    iterations = int(getattr(res, "nit", 0) or 0)
     return LPResult(
         status=status,
         x=np.clip(x, 0.0, None) if (x is not None and status.is_optimal) else None,
         objective=float(res.fun) if status.is_optimal else None,
-        iterations=int(getattr(res, "nit", 0) or 0),
+        iterations=iterations,
         backend="scipy-highs",
         dual_eq=dual_eq,
         dual_ub=dual_ub,
         message=str(res.message),
+        stats={
+            "sparse": bool(sparse),
+            "n_rows": int(b_eq.size + b_ub.size),
+            "n_cols": int(problem.n_variables),
+            "iterations": iterations,
+            # nnz is O(1) off the CSR header; on the dense path counting
+            # it would rescan the full matrix every solve of a sweep.
+            **({"nnz": int(A_eq.nnz)} if sparse else {}),
+        },
     )

@@ -68,6 +68,10 @@ def solve_lp(
         (same constraint structure, RHS changes only).  Exploited by
         warm-capable backends (:func:`supports_warm_start`), accepted
         and ignored by the rest.  The cross-check solve is always cold.
+
+    Sparse problems (:attr:`LinearProgram.is_sparse`) stay sparse on
+    the simplex and scipy backends; solve accounting, when the backend
+    keeps any, is returned in ``LPResult.stats``.
     """
     if backend not in _BACKENDS:
         raise ValidationError(

@@ -92,7 +92,31 @@ def policy_signature(policy) -> str:
 
 
 def _lp_signature(lp, backend: str) -> str:
-    """Exact content address of one LP instance on one backend."""
+    """Exact content address of one LP instance on one backend.
+
+    Sparse problems are hashed through their CSR triplet
+    (``data``/``indices``/``indptr``) — the (n_states*n_commands x
+    n_states) balance block is never densified just to fingerprint it.
+    Dense and sparse assemblies of the same system therefore hash to
+    *different* keys, which is correct: they run different solve paths
+    and may return different (equally optimal) vertex policies.
+    """
+    if lp.is_sparse:
+        eq = lp.A_eq_sparse
+        return _hash_arrays(
+            [
+                backend,
+                "csr",
+                lp.c,
+                str(eq.shape),
+                eq.data,
+                eq.indices,
+                eq.indptr,
+                lp.b_eq,
+                lp.A_ub,
+                lp.b_ub,
+            ]
+        )
     return _hash_arrays(
         [backend, lp.c, lp.A_eq, lp.b_eq, lp.A_ub, lp.b_ub]
     )
@@ -112,9 +136,10 @@ def _family_signature(lp, backend: str, objective: str, sense: str) -> str:
             backend,
             objective,
             sense,
-            str(lp.c.shape),
-            str(lp.A_eq.shape),
-            str(lp.A_ub.shape),
+            "sparse" if lp.is_sparse else "dense",
+            str((lp.n_variables,)),
+            str((lp.n_equalities, lp.n_variables)),
+            str((lp.n_inequalities, lp.n_variables)),
         ]
     )
 

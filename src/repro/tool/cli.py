@@ -94,6 +94,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument(
         "--print-policy", action="store_true", help="print the full policy matrix"
     )
+    p_opt.add_argument(
+        "--profile",
+        action="store_true",
+        help="print LP solve statistics (iterations, refactorizations, "
+        "fill-in) from the backend",
+    )
 
     p_pareto = sub.add_parser("pareto", help="sweep a constraint bound")
     p_pareto.add_argument("spec", help="path to a JSON system spec")
@@ -143,6 +149,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default="auto",
         choices=BACKEND_CHOICES,
         help="simulation backend for --simulate (default: auto)",
+    )
+    p_pareto.add_argument(
+        "--profile",
+        action="store_true",
+        help="print aggregated LP solve statistics (iterations, "
+        "refactorizations, warm starts, dedupe/bracket savings)",
     )
     p_pareto.add_argument("--seed", type=int, default=0)
 
@@ -330,6 +342,31 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_lp_profile(lp_result, header: str = "lp solve profile") -> None:
+    """Render one LP solve's ``LPResult.stats`` as a profile block."""
+    stats = getattr(lp_result, "stats", None)
+    if not stats:
+        print(
+            f"{header}: backend {lp_result.backend!r} reported no solve "
+            f"statistics"
+        )
+        return
+    shape = f"{stats.get('n_rows', '?')} rows x {stats.get('n_cols', '?')} cols"
+    rep = "sparse" if stats.get("sparse") else "dense"
+    print(
+        f"{header}: {rep} {shape}, nnz {stats.get('nnz', '?')}, "
+        f"backend {lp_result.backend}"
+    )
+    print(
+        f"  iterations {stats.get('iterations', 0)}, "
+        f"refactorizations {stats.get('refactorizations', 0)}, "
+        f"eta updates {stats.get('eta_updates', 0)}, "
+        f"fill-in {stats.get('fill_ratio', 0.0)}x, "
+        f"pricing {stats.get('pricing', 'n/a')}, "
+        f"warm start {'yes' if stats.get('warm_start_used') else 'no'}"
+    )
+
+
 def _cmd_optimize(args) -> int:
     spec = load_spec(args.spec)
     trace = Trace.load(args.trace) if args.trace else None
@@ -344,6 +381,8 @@ def _cmd_optimize(args) -> int:
         sim_backend=args.backend,
     )
     print(report.summary())
+    if args.profile:
+        _print_lp_profile(report.optimization.lp_result)
     if not report.optimization.feasible:
         return 1
     if args.print_policy:
@@ -414,6 +453,24 @@ def _cmd_pareto(args) -> int:
             f"{stats.n_deduped} deduped, {stats.n_bracket_skipped} "
             f"skipped by bracketing, {stats.n_refined} refined)"
         )
+        if args.profile:
+            saved = stats.n_deduped + stats.n_bracket_skipped
+            print(
+                f"profile: {stats.lp_iterations} simplex iterations, "
+                f"{stats.lp_refactorizations} refactorizations across "
+                f"{stats.n_solves} solves; {saved} solve(s) answered "
+                f"without touching the backend (dedupe/bracket cache hits)"
+            )
+            solved = next(
+                (
+                    p.result.lp_result
+                    for p in curve.points
+                    if p.result is not None and p.result.lp_result is not None
+                ),
+                None,
+            )
+            if solved is not None:
+                _print_lp_profile(solved, header="representative solve")
     return 0
 
 

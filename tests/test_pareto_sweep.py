@@ -274,6 +274,8 @@ class TestSweepStats:
             "n_deduped",
             "n_bracket_skipped",
             "n_refined",
+            "lp_iterations",
+            "lp_refactorizations",
         }
 
     def test_warm_solves_counted_on_simplex(self, example_bundle):

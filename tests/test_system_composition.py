@@ -105,6 +105,23 @@ class TestCostBuildingBlocks:
         with pytest.raises(ValidationError, match="shape"):
             example_bundle.system.expand_provider_table(np.zeros((3, 2)))
 
+    def test_expected_loss_matrix_byte_identical_to_loop(self, example_bundle):
+        """The einsum path is pinned byte-for-byte to the reference
+        quadruple loop — not merely approximately equal."""
+        from repro.systems import disk_drive, web_server
+
+        systems = [
+            example_bundle.system,
+            disk_drive.build().system,
+            disk_drive.build(queue_capacity=6).system,
+            web_server.build().system,
+        ]
+        for system in systems:
+            fast = system.expected_loss_matrix()
+            reference = system._expected_loss_matrix_reference()
+            assert fast.shape == reference.shape
+            assert fast.tobytes() == reference.tobytes()
+
 
 class TestDistributions:
     def test_point_distribution(self, example_bundle):

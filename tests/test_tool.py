@@ -211,6 +211,38 @@ class TestCLI:
         assert code == 0
         assert "policy: randomized" in out
 
+    def test_optimize_profile(self, spec_file, capsys):
+        code = cli_main(
+            [
+                "optimize",
+                spec_file,
+                "--no-verify",
+                "--lp-backend",
+                "simplex",
+                "--profile",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lp solve profile" in out
+        assert "iterations" in out and "refactorizations" in out
+        assert "fill-in" in out and "pricing" in out
+
+    def test_optimize_profile_backend_without_stats(self, spec_file, capsys):
+        code = cli_main(
+            [
+                "optimize",
+                spec_file,
+                "--no-verify",
+                "--lp-backend",
+                "interior-point",
+                "--profile",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reported no solve statistics" in out
+
     def test_optimize_infeasible_exit_code(self, spec_file, tmp_path, capsys):
         raw = example_spec_dict()
         raw["constraints"] = {"penalty": 0.001}
@@ -226,6 +258,26 @@ class TestCLI:
         assert code == 0
         assert "trade-off curve" in out
         assert out.count("yes") == 3
+
+    def test_pareto_profile(self, spec_file, capsys):
+        code = cli_main(
+            [
+                "pareto",
+                spec_file,
+                "--bounds",
+                "0.3,0.5,0.7",
+                "--constraint",
+                "penalty",
+                "--lp-backend",
+                "simplex",
+                "--profile",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "simplex iterations" in out
+        assert "refactorizations across" in out
+        assert "representative solve" in out
 
     def test_experiment_list(self, capsys):
         code = cli_main(["experiment", "list"])
