@@ -70,7 +70,11 @@ from repro.runtime.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
-from repro.runtime.controller import FLEET_CHUNK_SLICES, FleetController
+from repro.runtime.controller import (
+    FLEET_CHUNK_SLICES,
+    FLEET_LANE_BLOCK,
+    FleetController,
+)
 from repro.runtime.fleet import (
     Device,
     Fleet,
@@ -111,6 +115,7 @@ __all__ = [
     "CallableStream",
     "Device",
     "FLEET_CHUNK_SLICES",
+    "FLEET_LANE_BLOCK",
     "Fleet",
     "FleetController",
     "JsonLinesTelemetry",

@@ -60,6 +60,7 @@ def save_checkpoint(path, controller) -> None:
         "tick": controller.tick,
         "slices_per_tick": controller.slices_per_tick,
         "backend": controller.backend,
+        "chunk_slices": controller.chunk_slices,
         "telemetry_every": controller._telemetry_every,
         "telemetry_per_device": controller._telemetry_per_device,
         "fleet": controller.fleet,

@@ -2,22 +2,27 @@
 
 :class:`FleetController` advances a registered
 :class:`~repro.runtime.fleet.Fleet` tick by tick
-(``slices_per_tick`` slices each).  The hot path is *grouped vector
+(``slices_per_tick`` slices each).  The hot path is *grouped batch
 stepping*: devices sharing a ``(system, costs, policy-determinism)``
-signature are packed into one batch of the
-:mod:`~repro.sim.backends.vector` joint-state kernel — their distinct
-policies stacked into a single
+signature are packed into one batch of the joint-state chunk kernel —
+their distinct policies stacked into a single
 :class:`~repro.sim.backends.vector.CompiledPolicyBatch` — so a
-thousand stationary devices advance in a handful of fused NumPy calls
-per chunk instead of a thousand Python loops.  Devices the kernel
-cannot express (stateful heuristics, adaptive agents, stream-driven
-workloads) fall back to a resumable per-device loop with the reference
-semantics of :class:`~repro.sim.backends.loop.LoopBackend`.
+thousand stationary devices advance in a handful of fused calls per
+chunk instead of a thousand Python loops.  The kernel itself is the
+resolved batch tier: :mod:`~repro.sim.backends.vector` or, when numba
+is installed, the byte-identical compiled stepper of
+:mod:`~repro.sim.backends.jit` (what lifts the grouped path to
+100k+-device ticks; groups that large are sharded into
+:data:`FLEET_LANE_BLOCK`-lane blocks to bound buffer sizes).  Devices
+the kernel cannot express (stateful heuristics, adaptive agents,
+stream-driven workloads) fall back to a resumable per-device loop with
+the reference semantics of :class:`~repro.sim.backends.loop.LoopBackend`.
 
 Determinism is per-device, not per-run: each device owns its generator
 and the batch draws every lane's uniforms from its own stream through
-:class:`_FanInUniforms`, always at the pinned
-:data:`FLEET_CHUNK_SLICES` chunk length.  A device therefore consumes
+:class:`_FanInUniforms`, always at a pinned chunk length
+(:data:`FLEET_CHUNK_SLICES` unless overridden — the pin is part of the
+reproducibility contract and is checkpointed).  A device therefore consumes
 *exactly the same uniforms through the same reduction boundaries* no
 matter how it is grouped, what else is in the fleet, or whether the
 campaign was checkpoint/resumed — fleet results are bitwise
@@ -29,27 +34,44 @@ determinism note on :class:`~repro.runtime.policy_cache.PolicyCache`.)
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.policies.base import Observation
 from repro.runtime.fleet import Device, Fleet
 from repro.runtime.telemetry import snapshot
+from repro.sim.backends import get_backend, preferred_batch_backend
 from repro.sim.backends.base import SimulationTables
-from repro.sim.backends.vector import CompiledPolicyBatch, step_lanes
+from repro.sim.backends.vector import CompiledPolicyBatch
 from repro.sim.rng import sample_categorical
 from repro.util.validation import ValidationError
 
-__all__ = ["FLEET_CHUNK_SLICES", "FleetController"]
+__all__ = [
+    "FLEET_CHUNK_SLICES",
+    "FLEET_LANE_BLOCK",
+    "FleetController",
+]
 
-#: Pinned chunk length for fleet batches.  A constant (rather than the
-#: kernel's lane-count-scaled uniform budget) keeps each lane's
-#: summation tree identical whether the device steps alone or among
-#: thousands — the bitwise half of the fleet determinism contract.
-#: 256 slices x 4 uniform kinds x 1024 lanes is an 8 MB draw buffer.
+#: Default pinned chunk length for fleet batches.  A constant (rather
+#: than the kernel's lane-count-scaled uniform budget) keeps each
+#: lane's summation tree identical whether the device steps alone or
+#: among thousands — the bitwise half of the fleet determinism
+#: contract.  256 slices x 4 uniform kinds x 1024 lanes is an 8 MB
+#: draw buffer.
 FLEET_CHUNK_SLICES = 256
 
+#: Lanes stepped per kernel call.  Groups larger than this are sharded
+#: into consecutive lane blocks so a 100k-device group draws bounded
+#: uniform buffers (256 x 4 x 16384 is ~134 MB) instead of one
+#: fleet-sized allocation.  Bitwise neutral: every lane draws from its
+#: own device stream through the fan-in shim and chunk boundaries are
+#: per-lane, so block boundaries change *which call* steps a lane,
+#: never what it consumes or how its sums associate.
+FLEET_LANE_BLOCK = 16_384
+
 #: Accepted ``backend`` values for the controller.
-CONTROLLER_BACKENDS = ("auto", "loop", "vector")
+CONTROLLER_BACKENDS = ("auto", "loop", "vector", "jit")
 
 
 class _FanInUniforms:
@@ -78,10 +100,17 @@ class _FanInUniforms:
 
 
 class _VectorGroup:
-    """One compiled batch: devices sharing a group signature."""
+    """One compiled batch: devices sharing a group signature.
 
-    def __init__(self, devices: list[Device]):
+    ``step_lanes`` is the resolved batch tier's bound stepper
+    (``VectorBackend.step_lanes`` or ``JitBackend.step_lanes``) — the
+    two are byte-identical, so the choice affects speed only.
+    """
+
+    def __init__(self, devices: list[Device], step_lanes, chunk_slices: int):
         self.devices = devices
+        self._step_lanes = step_lanes
+        self._chunk_slices = int(chunk_slices)
         first = devices[0]
         self.tables = first.compile_tables()
         # Distinct policies within the group are stacked once; lanes
@@ -104,32 +133,33 @@ class _VectorGroup:
 
     def step(self, n_slices: int) -> None:
         """Advance every device in the group by ``n_slices`` slices."""
-        devices = self.devices
-        starts = (
-            np.asarray([d.state[0] for d in devices], dtype=np.int64),
-            np.asarray([d.state[1] for d in devices], dtype=np.int64),
-            np.asarray([d.state[2] for d in devices], dtype=np.int64),
-        )
-        lengths = np.full(len(devices), int(n_slices), dtype=np.int64)
-        acc = step_lanes(
-            self.tables,
-            self.compiled,
-            self.policy_of_lane,
-            lengths,
-            starts,
-            _FanInUniforms(d.rng for d in devices),
-            chunk_slices=FLEET_CHUNK_SLICES,
-        )
-        for lane, device in enumerate(devices):
-            device.totals += acc.totals[:, lane]
-            device.command_counts += acc.command_counts[lane]
-            device.provider_occupancy += acc.provider_occupancy[lane]
-            device.arrivals += int(acc.arrivals[lane])
-            device.serviced += int(acc.serviced[lane])
-            device.lost += int(acc.lost[lane])
-            device.loss_event_slices += int(acc.loss_events[lane])
-            device.state = tuple(int(v) for v in acc.final_state[lane])
-            device.slices += int(n_slices)
+        for base in range(0, len(self.devices), FLEET_LANE_BLOCK):
+            block = self.devices[base : base + FLEET_LANE_BLOCK]
+            starts = (
+                np.asarray([d.state[0] for d in block], dtype=np.int64),
+                np.asarray([d.state[1] for d in block], dtype=np.int64),
+                np.asarray([d.state[2] for d in block], dtype=np.int64),
+            )
+            lengths = np.full(len(block), int(n_slices), dtype=np.int64)
+            acc = self._step_lanes(
+                self.tables,
+                self.compiled,
+                self.policy_of_lane[base : base + len(block)],
+                lengths,
+                starts,
+                _FanInUniforms(d.rng for d in block),
+                chunk_slices=self._chunk_slices,
+            )
+            for lane, device in enumerate(block):
+                device.totals += acc.totals[:, lane]
+                device.command_counts += acc.command_counts[lane]
+                device.provider_occupancy += acc.provider_occupancy[lane]
+                device.arrivals += int(acc.arrivals[lane])
+                device.serviced += int(acc.serviced[lane])
+                device.lost += int(acc.lost[lane])
+                device.loss_event_slices += int(acc.loss_events[lane])
+                device.state = tuple(int(v) for v in acc.final_state[lane])
+                device.slices += int(n_slices)
 
 
 def _step_device_loop(
@@ -225,10 +255,30 @@ class FleetController:
     slices_per_tick:
         Slices every device advances per :meth:`step_tick`.
     backend:
-        ``"auto"`` (group vector-eligible devices, loop the rest),
-        ``"loop"`` (everything through the per-device loop — the
-        benchmark baseline), or ``"vector"`` (require every device to
-        be vector-eligible).
+        ``"auto"`` (group vector-eligible devices through the
+        preferred batch tier — jit when numba imports, else vector —
+        and loop the rest), ``"loop"`` (everything through the
+        per-device loop — the benchmark baseline), ``"vector"``, or
+        ``"jit"`` (require every device to be vector-eligible;
+        ``"jit"`` additionally requires numba and fails with an
+        actionable message without it).  Vector and jit results are
+        byte-identical.
+    chunk_slices:
+        Pinned chunk length for the grouped batches (default
+        :data:`FLEET_CHUNK_SLICES`).  Devices stepped under *the same
+        pin* are bitwise reproducible regardless of grouping; changing
+        the pin regroups each lane's float partial sums, so totals are
+        only guaranteed to match across runs that share the value.
+    record_timing:
+        Stamp each emitted telemetry record with per-tick wall-clock
+        (``timing``: tick/step/solve seconds).  Opt-in because wall
+        times are *not* a pure function of fleet state — enabling it
+        forfeits byte-identical telemetry across machines and resumed
+        runs (the determinism suite's contract).
+    policy_cache:
+        The :class:`~repro.runtime.policy_cache.PolicyCache` adaptive
+        devices solve through, if any — lets ``record_timing``
+        attribute a tick's wall-clock to stepping vs LP solving.
     telemetry:
         Optional sink with a ``record(dict)`` method
         (:class:`~repro.runtime.telemetry.MemoryTelemetry` /
@@ -266,6 +316,9 @@ class FleetController:
         telemetry=None,
         telemetry_every: int = 1,
         telemetry_per_device: bool = False,
+        chunk_slices: int | None = None,
+        record_timing: bool = False,
+        policy_cache=None,
     ):
         slices_per_tick = int(slices_per_tick)
         if slices_per_tick <= 0:
@@ -282,9 +335,29 @@ class FleetController:
             raise ValidationError(
                 f"telemetry_every must be > 0, got {telemetry_every}"
             )
+        if chunk_slices is None:
+            chunk_slices = FLEET_CHUNK_SLICES
+        chunk_slices = int(chunk_slices)
+        if chunk_slices <= 0:
+            raise ValidationError(
+                f"chunk_slices must be > 0, got {chunk_slices}"
+            )
         self._fleet = fleet
         self._slices_per_tick = slices_per_tick
         self._backend = backend
+        # Resolve the batch tier up front: a "jit" request on a machine
+        # without numba should fail at construction with the actionable
+        # registry message, not on the first tick.
+        if backend == "loop":
+            self._batch_backend = None
+        elif backend == "auto":
+            self._batch_backend = preferred_batch_backend()
+        else:
+            self._batch_backend = get_backend(backend)
+        self._chunk_slices = chunk_slices
+        self._record_timing = bool(record_timing)
+        self._policy_cache = policy_cache
+        self._last_timing: dict | None = None
         self._telemetry = telemetry
         self._telemetry_every = telemetry_every
         self._telemetry_per_device = bool(telemetry_per_device)
@@ -315,8 +388,34 @@ class FleetController:
 
     @property
     def backend(self) -> str:
-        """The stepping mode (``auto``/``loop``/``vector``)."""
+        """The requested stepping mode (``auto``/``loop``/``vector``/``jit``)."""
         return self._backend
+
+    @property
+    def resolved_backend(self) -> str:
+        """The batch tier the grouped hot path actually runs on.
+
+        ``"loop"`` when the controller loops everything, else the
+        resolved batch backend's registry name (``"vector"`` or
+        ``"jit"`` — what ``"auto"`` picked).  Stamped on every
+        telemetry snapshot so regressions can be attributed.
+        """
+        if self._batch_backend is None:
+            return "loop"
+        return self._batch_backend.name
+
+    @property
+    def chunk_slices(self) -> int:
+        """The pinned chunk length grouped batches step with."""
+        return self._chunk_slices
+
+    @property
+    def last_timing(self) -> dict | None:
+        """Wall-clock of the most recent tick (None before any tick or
+        when ``record_timing`` is off): ``tick_seconds`` total,
+        ``step_seconds`` stepping, ``solve_seconds`` LP time the policy
+        cache attributed during the tick."""
+        return self._last_timing
 
     def grouping(self) -> dict:
         """How the current fleet splits into batches (for reporting)."""
@@ -333,10 +432,17 @@ class FleetController:
         }
 
     def snapshot(self, per_device: bool | None = None) -> dict:
-        """A telemetry snapshot of the current fleet state."""
+        """A telemetry snapshot of the current fleet state.
+
+        Stamped with :attr:`resolved_backend` — a pure function of the
+        controller's configuration and environment, so the snapshot
+        stays byte-identical across checkpoint/resume on one machine.
+        """
         if per_device is None:
             per_device = self._telemetry_per_device
-        return snapshot(self._fleet, self._tick, per_device=per_device)
+        record = snapshot(self._fleet, self._tick, per_device=per_device)
+        record["backend"] = self.resolved_backend
+        return record
 
     # ------------------------------------------------------------------
     # stepping
@@ -365,7 +471,10 @@ class FleetController:
             else:
                 loop_devices.append(device)
         self._vector_groups = [
-            _VectorGroup(devices) for devices in grouped.values()
+            _VectorGroup(
+                devices, self._batch_backend.step_lanes, self._chunk_slices
+            )
+            for devices in grouped.values()
         ]
         self._loop_devices = loop_devices
         self._loop_tables = {
@@ -392,14 +501,38 @@ class FleetController:
         if len(self._fleet) == 0:
             raise ValidationError("cannot step an empty fleet")
         self._refresh_groups()
+        timing = self._record_timing
+        if timing:
+            solve_before = (
+                self._policy_cache.stats.solve_seconds
+                if self._policy_cache is not None
+                else 0.0
+            )
+            tick_start = time.perf_counter()
         for group in self._vector_groups:
             group.step(self._slices_per_tick)
         for device in self._loop_devices:
             tables = self._loop_tables[device._tables_key]
             _step_device_loop(device, tables, self._slices_per_tick)
+        if timing:
+            tick_seconds = time.perf_counter() - tick_start
+            solve_seconds = (
+                self._policy_cache.stats.solve_seconds - solve_before
+                if self._policy_cache is not None
+                else 0.0
+            )
+            # Adaptive-device solves run *inside* the stepping loop, so
+            # the split subtracts them back out of the step share.
+            self._last_timing = {
+                "tick_seconds": tick_seconds,
+                "step_seconds": max(tick_seconds - solve_seconds, 0.0),
+                "solve_seconds": solve_seconds,
+            }
         self._tick += 1
         if self._tick % self._telemetry_every == 0:
             record = self.snapshot()
+            if timing:
+                record["timing"] = dict(self._last_timing)
             if self._telemetry is not None:
                 self._telemetry.record(record)
             return record
@@ -430,13 +563,18 @@ class FleetController:
         telemetry_every: int | None = None,
         telemetry_per_device: bool | None = None,
         backend: str | None = None,
+        record_timing: bool = False,
+        policy_cache=None,
     ) -> "FleetController":
         """Rebuild a controller from a checkpoint and continue.
 
         Telemetry sinks are not part of the checkpoint (they hold open
         file handles); pass a fresh one.  ``backend`` overrides the
         saved stepping mode when given — safe, because per-device
-        streams make results grouping-invariant.
+        streams make results grouping-invariant.  The saved
+        ``chunk_slices`` pin is always restored (overriding it would
+        silently regroup the resumed run's float partial sums and break
+        the byte-identity contract with the uninterrupted run).
         """
         from repro.runtime.checkpoint import load_checkpoint
 
@@ -456,6 +594,9 @@ class FleetController:
                 if telemetry_per_device is None
                 else telemetry_per_device
             ),
+            chunk_slices=payload.get("chunk_slices"),
+            record_timing=record_timing,
+            policy_cache=policy_cache,
         )
         controller._tick = payload["tick"]
         return controller

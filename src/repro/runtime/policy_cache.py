@@ -23,6 +23,7 @@ for batched stepping.
 from __future__ import annotations
 
 import hashlib
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -158,12 +159,17 @@ class CacheStats:
         Misses that carried a warm-start basis from the same family.
     evictions:
         Entries dropped by the LRU bound.
+    solve_seconds:
+        Wall-clock spent inside the LP backend (misses only; hits are
+        free).  The fleet controller reads deltas of this to attribute
+        a tick's time to stepping vs solving.
     """
 
     hits: int = 0
     misses: int = 0
     warm_hinted: int = 0
     evictions: int = 0
+    solve_seconds: float = 0.0
 
     def as_dict(self) -> dict:
         """Plain-dict view for telemetry/JSON reporting."""
@@ -172,6 +178,7 @@ class CacheStats:
             "misses": self.misses,
             "warm_hinted": self.warm_hinted,
             "evictions": self.evictions,
+            "solve_seconds": self.solve_seconds,
         }
 
 
@@ -276,12 +283,14 @@ class PolicyCache:
         warm = self._warm.get(family)
         if warm is not None:
             self._stats.warm_hinted += 1
+        solve_start = time.perf_counter()
         lp_result = solve_lp(
             lp,
             backend=backend,
             cross_check=optimizer.cross_check,
             warm_start=warm,
         )
+        self._stats.solve_seconds += time.perf_counter() - solve_start
         self._stats.misses += 1
         if lp_result.warm_start is not None:
             self._warm[family] = lp_result.warm_start

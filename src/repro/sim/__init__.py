@@ -21,10 +21,14 @@ modes, behind pluggable backends (:mod:`repro.sim.backends`):
 from repro.sim.backends import (
     BACKEND_CHOICES,
     BACKENDS,
+    OPTIONAL_BACKEND_NAMES,
     LoopBackend,
     SimulationBackend,
     VectorBackend,
+    available_backends,
     get_backend,
+    jit_available,
+    preferred_batch_backend,
     resolve_backend,
 )
 from repro.sim.engine import (
@@ -63,9 +67,13 @@ __all__ = [
     "sample_categorical_batch",
     "BACKENDS",
     "BACKEND_CHOICES",
+    "OPTIONAL_BACKEND_NAMES",
     "SimulationBackend",
     "LoopBackend",
     "VectorBackend",
+    "available_backends",
     "get_backend",
+    "jit_available",
+    "preferred_batch_backend",
     "resolve_backend",
 ]

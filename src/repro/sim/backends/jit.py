@@ -1,0 +1,424 @@
+"""Compiled (numba) tier of the joint-state batch stepper.
+
+:class:`JitBackend` is the third simulation backend: the same
+joint-state chunk stepper as :class:`~repro.sim.backends.vector.
+VectorBackend`, with the per-chunk stepping *and* the history folds
+fused into one ``@njit``-compiled kernel.  The vector backend pays
+O(slices) NumPy dispatches per lane batch (a dozen fused array ops per
+slice, then gather/bincount/einsum folds per chunk); the kernel pays
+none, which is worth another order of magnitude on the fleet hot path
+and on replication studies whose batches are tens of lanes wide.
+
+**The contract is byte-identity with the vector backend**, not just
+statistical agreement:
+
+* uniforms are drawn *by the host* from the caller's generator in the
+  exact same ``(chunk, kinds, lanes)`` blocks (so the RNG stream
+  contract — and the fleet's per-device fan-in — carries over
+  verbatim; the kernel never owns a bit generator);
+* chunk boundaries come from the shared
+  :func:`~repro.sim.backends.vector.resolve_chunk` rule, including the
+  pinned ``chunk_slices`` fleet mode;
+* categorical draws replicate ``np.searchsorted(side="right")`` over
+  the same offset cumsums — a binary search with the identical
+  ``flat[mid] <= value`` comparison, hence identical integer results;
+* float metric totals accumulate per lane in ascending slice order
+  into a chunk-local buffer that is then added to the running
+  accumulator — the same summation tree NumPy's ``sum(axis=1)`` /
+  masked ``einsum`` folds produce (dead session lanes contribute
+  exact zeros there, so skipping them is bitwise equivalent);
+* lane masking, compaction and final-state capture mirror the host
+  loop of ``vector._step_lanes`` line for line.
+
+``tests/test_sim_jit.py`` pins all of this: the kernel also runs as
+plain Python when numba is absent (the ``@njit`` decorator degrades to
+identity), so the equivalence suite exercises the *algorithm* on every
+environment and the compiled artifact wherever numba installs.
+
+numba is an optional dependency (``pip install repro-dpm[jit]``).
+Without it, :func:`repro.sim.backends.get_backend` refuses ``"jit"``
+with an actionable message and ``backend="auto"`` quietly keeps
+resolving to the vector tier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.backends.base import SimulationTables
+from repro.sim.backends.vector import (
+    CompiledPolicyBatch,
+    VectorBackend,
+    _CompiledSystem,
+    _LaneAccumulators,
+    resolve_chunk,
+)
+from repro.util.validation import ValidationError
+
+try:  # pragma: no cover - exercised via the CI numba/no-numba legs
+    from numba import njit as _numba_njit
+
+    NUMBA_AVAILABLE = True
+    UNAVAILABLE_REASON = None
+except ImportError:  # pragma: no cover
+    NUMBA_AVAILABLE = False
+    UNAVAILABLE_REASON = (
+        "the optional numba dependency is not installed "
+        "(pip install repro-dpm[jit])"
+    )
+
+    def _numba_njit(*args, **kwargs):
+        """Degrade ``@njit`` to identity so kernels stay importable.
+
+        The interpreted kernels keep the exact compiled semantics
+        (same Python source), which is what lets the equivalence suite
+        validate the algorithm on numba-less environments.
+        """
+        if args and callable(args[0]):
+            return args[0]
+
+        def decorate(function):
+            return function
+
+        return decorate
+
+
+@_numba_njit(cache=True, nogil=True)
+def _searchsorted_right(flat: np.ndarray, value: float) -> int:
+    """``np.searchsorted(flat, value, side="right")`` for one scalar.
+
+    The comparison is ``flat[mid] <= value`` — the count of entries
+    ``<= value`` — which is precisely NumPy's ``side="right"``
+    semantics, so the offset-cumsum categorical draws land on the same
+    integer index bit for bit.
+    """
+    lo = 0
+    hi = flat.shape[0]
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        if flat[mid] <= value:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+@_numba_njit(cache=True, nogil=True)
+def _step_fold_chunk(
+    uniforms,  # (chunk, n_kinds, n_lanes) host-drawn uniform block
+    x,  # (n_lanes,) int64 joint state, updated in place
+    r,  # (n_lanes,) int64 SR state, updated in place
+    q,  # (n_lanes,) int64 queue length, updated in place
+    pol_base,  # (n_lanes,) int64 policy row offset (policy * n_states)
+    remaining,  # (n_lanes,) int64 slices still counted per lane
+    pol_offset,  # policy offset cumsum (flattened)
+    greedy,  # argmax command per (policy, state)
+    det_row,  # rows with all mass on one command
+    sp_row_det,  # deterministic fast path: SP row per (policy, state)
+    sigma_det,  # deterministic fast path: service prob per (policy, state)
+    sp_offset,  # SP offset cumsum
+    sr_offset,  # SR offset cumsum
+    rates_flat,  # (A * S,) service probabilities
+    s_of,  # (J,) joint -> SP state
+    metric_flat,  # (n_metrics, n_states * n_commands) cost rows
+    arrivals_of,  # (n_sr,) arrival counts
+    issuing,  # (n_sr,) bool issuing mask
+    n_commands,
+    n_sp,
+    n_sr,
+    n_sq,
+    capacity,
+    deterministic,  # bool: 3-uniform-kind batch (no policy draws)
+    single_policy,  # bool: pol_base identically zero
+    any_det,  # bool: some (not all) rows deterministic
+    totals,  # (n_metrics, n_lanes) float64 chunk-local, zeroed by host
+    cmd,  # (n_lanes, n_commands) int64 chunk-local
+    occ,  # (n_lanes, n_sp) int64 chunk-local
+    arr,  # (n_lanes,) int64 chunk-local
+    srv,  # (n_lanes,) int64 chunk-local
+    lost,  # (n_lanes,) int64 chunk-local
+    evt,  # (n_lanes,) int64 chunk-local
+    fin_x,  # (n_lanes,) int64: joint state when a lane finishes mid-chunk
+) -> None:
+    """Step one uniform block and fold it into the chunk-local counters.
+
+    One fused pass replaces the vector backend's history buffers and
+    post-chunk gather/bincount/einsum reductions.  Dead lanes (session
+    mode: ``remaining <= k``) still advance state and consume uniforms
+    — exactly like the masked vector fold — they just stop counting.
+    """
+    chunk = uniforms.shape[0]
+    n_kinds = uniforms.shape[1]
+    n_lanes = uniforms.shape[2]
+    n_metrics = metric_flat.shape[0]
+    sr_sq = n_sr * n_sq
+    for k in range(chunk):
+        for lane in range(n_lanes):
+            xl = x[lane]
+            rl = r[lane]
+            ql = q[lane]
+            rowx = xl if single_policy else pol_base[lane] + xl
+            if deterministic:
+                a = greedy[rowx]
+                sp_row = sp_row_det[rowx]
+                sigma = sigma_det[rowx]
+            else:
+                a = (
+                    _searchsorted_right(pol_offset, rowx + uniforms[k, 0, lane])
+                    - rowx * n_commands
+                )
+                if a > n_commands - 1:
+                    a = n_commands - 1
+                if any_det and det_row[rowx]:
+                    a = greedy[rowx]
+                sp_row = a * n_sp + s_of[xl]
+                sigma = rates_flat[sp_row]
+            s_next = (
+                _searchsorted_right(
+                    sp_offset, sp_row + uniforms[k, n_kinds - 3, lane]
+                )
+                - sp_row * n_sp
+            )
+            if s_next > n_sp - 1:
+                s_next = n_sp - 1
+            r_next = (
+                _searchsorted_right(
+                    sr_offset, rl + uniforms[k, n_kinds - 2, lane]
+                )
+                - rl * n_sr
+            )
+            if r_next > n_sr - 1:
+                r_next = n_sr - 1
+            z = arrivals_of[r_next]
+            pending = ql + z
+            served = (
+                1
+                if (pending > 0 and uniforms[k, n_kinds - 1, lane] < sigma)
+                else 0
+            )
+            q_next = pending - served
+            if q_next > capacity:
+                q_next = capacity
+
+            if remaining[lane] > k:
+                base = xl * n_commands + a
+                for m in range(n_metrics):
+                    totals[m, lane] += metric_flat[m, base]
+                cmd[lane, a] += 1
+                occ[lane, xl // sr_sq] += 1
+                arr[lane] += z
+                srv[lane] += served
+                lost[lane] += pending - served - q_next
+                if issuing[rl] and ql == capacity:
+                    evt[lane] += 1
+
+            xn = (s_next * n_sr + r_next) * n_sq + q_next
+            x[lane] = xn
+            r[lane] = r_next
+            q[lane] = q_next
+            if remaining[lane] == k + 1:
+                fin_x[lane] = xn
+
+
+def _step_lanes_jit(
+    tables: SimulationTables,
+    compiled: CompiledPolicyBatch,
+    policy_of_lane: np.ndarray,
+    lengths: np.ndarray,
+    start: tuple,
+    rng,
+    chunk_slices: int | None = None,
+) -> _LaneAccumulators:
+    """The jit rendition of ``vector._step_lanes`` — same contract.
+
+    The host side (chunk sizing, uniform block draws, lane compaction,
+    final-state capture) mirrors the vector backend exactly; only the
+    per-chunk stepping-and-folding is delegated to the compiled kernel.
+    Keeping the host loop in Python costs one kernel call per chunk —
+    negligible — and guarantees the RNG stream, masking and compaction
+    semantics cannot drift between the two tiers.
+    """
+    n_metrics = tables.metric_stack.shape[0]
+    n_commands = tables.n_commands
+    n_sp, n_sr, n_sq = tables.n_sp, tables.n_sr, tables.n_sq
+    n_states = n_sp * n_sr * n_sq
+    capacity = tables.capacity
+    n_total = int(policy_of_lane.shape[0])
+    system_flat = _CompiledSystem.compile(tables)
+
+    acc = _LaneAccumulators(
+        totals=np.zeros((n_metrics, n_total)),
+        command_counts=np.zeros((n_total, n_commands), dtype=np.int64),
+        provider_occupancy=np.zeros((n_total, n_sp), dtype=np.int64),
+        arrivals=np.zeros(n_total, dtype=np.int64),
+        serviced=np.zeros(n_total, dtype=np.int64),
+        lost=np.zeros(n_total, dtype=np.int64),
+        loss_events=np.zeros(n_total, dtype=np.int64),
+        final_state=np.zeros((n_total, 3), dtype=np.int64),
+    )
+
+    lane_ids = np.arange(n_total)
+    remaining = lengths.astype(np.int64).copy()
+    pol_base = policy_of_lane.astype(np.int64) * n_states
+    s0 = np.broadcast_to(np.asarray(start[0], dtype=np.int64), (n_total,))
+    # .copy(): broadcast_to yields read-only views (aliasing the caller's
+    # start arrays when they are already full-size) and the kernel
+    # advances r/q in place.
+    r = np.broadcast_to(np.asarray(start[1], dtype=np.int64), (n_total,)).copy()
+    q = np.broadcast_to(np.asarray(start[2], dtype=np.int64), (n_total,)).copy()
+    x = (s0 * n_sr + r) * n_sq + q
+
+    deterministic = compiled.fully_deterministic
+    n_kinds = 3 if deterministic else 4
+    metric_flat = np.ascontiguousarray(
+        tables.metric_stack.reshape(n_metrics, -1), dtype=np.float64
+    )
+    arrivals_of = np.ascontiguousarray(tables.arrivals_of, dtype=np.int64)
+    issuing = np.ascontiguousarray(tables.issuing, dtype=np.bool_)
+    sp_offset = np.ascontiguousarray(system_flat.sp_offset, dtype=np.float64)
+    sr_offset = np.ascontiguousarray(system_flat.sr_offset, dtype=np.float64)
+    rates_flat = np.ascontiguousarray(system_flat.rates_flat, dtype=np.float64)
+    s_of = np.ascontiguousarray(system_flat.s_of, dtype=np.int64)
+    pol_offset = np.ascontiguousarray(compiled.offset_cumsum, dtype=np.float64)
+    greedy = np.ascontiguousarray(compiled.greedy, dtype=np.int64)
+    det_row = np.ascontiguousarray(compiled.deterministic_row, dtype=np.bool_)
+    sp_row_det = np.ascontiguousarray(compiled.sp_row, dtype=np.int64)
+    sigma_det = np.ascontiguousarray(compiled.sigma, dtype=np.float64)
+    any_det = bool(det_row.any()) and not deterministic
+
+    while lane_ids.size:
+        n_lanes = lane_ids.size
+        single_policy = bool(pol_base[0] == 0 and (pol_base == 0).all())
+        chunk = resolve_chunk(
+            n_lanes, n_kinds, int(remaining.max()), chunk_slices
+        )
+        uniforms = np.ascontiguousarray(rng.random((chunk, n_kinds, n_lanes)))
+
+        totals_local = np.zeros((n_metrics, n_lanes))
+        cmd_local = np.zeros((n_lanes, n_commands), dtype=np.int64)
+        occ_local = np.zeros((n_lanes, n_sp), dtype=np.int64)
+        arr_local = np.zeros(n_lanes, dtype=np.int64)
+        srv_local = np.zeros(n_lanes, dtype=np.int64)
+        lost_local = np.zeros(n_lanes, dtype=np.int64)
+        evt_local = np.zeros(n_lanes, dtype=np.int64)
+        fin_x = np.zeros(n_lanes, dtype=np.int64)
+
+        _step_fold_chunk(
+            uniforms,
+            x,
+            r,
+            q,
+            pol_base,
+            remaining,
+            pol_offset,
+            greedy,
+            det_row,
+            sp_row_det,
+            sigma_det,
+            sp_offset,
+            sr_offset,
+            rates_flat,
+            s_of,
+            metric_flat,
+            arrivals_of,
+            issuing,
+            n_commands,
+            n_sp,
+            n_sr,
+            n_sq,
+            capacity,
+            deterministic,
+            single_policy,
+            any_det,
+            totals_local,
+            cmd_local,
+            occ_local,
+            arr_local,
+            srv_local,
+            lost_local,
+            evt_local,
+            fin_x,
+        )
+
+        acc.totals[:, lane_ids] += totals_local
+        acc.command_counts[lane_ids] += cmd_local
+        acc.provider_occupancy[lane_ids] += occ_local
+        acc.arrivals[lane_ids] += arr_local
+        acc.serviced[lane_ids] += srv_local
+        acc.lost[lane_ids] += lost_local
+        acc.loss_events[lane_ids] += evt_local
+
+        finished = remaining <= chunk
+        if finished.any():
+            idx = np.nonzero(finished)[0]
+            x_fin = fin_x[idx]
+            fin_ids = lane_ids[idx]
+            acc.final_state[fin_ids, 0] = x_fin // (n_sr * n_sq)
+            acc.final_state[fin_ids, 1] = (x_fin // n_sq) % n_sr
+            acc.final_state[fin_ids, 2] = x_fin % n_sq
+
+        remaining -= chunk
+        if finished.any():
+            keep = ~finished
+            lane_ids = lane_ids[keep]
+            remaining = remaining[keep]
+            pol_base = np.ascontiguousarray(pol_base[keep])
+            x = np.ascontiguousarray(x[keep])
+            r = np.ascontiguousarray(r[keep])
+            q = np.ascontiguousarray(q[keep])
+    return acc
+
+
+class JitBackend(VectorBackend):
+    """numba-compiled joint-state batch stepper (byte-identical tier).
+
+    Inherits every batch entry point from
+    :class:`~repro.sim.backends.vector.VectorBackend` and swaps in the
+    compiled chunk kernel via :meth:`step_lanes`.
+
+    Parameters
+    ----------
+    interpreted_ok:
+        Permit running the kernels as plain Python when numba is not
+        installed.  The default (``False``) refuses instead — an
+        interpreted "jit" backend is orders of magnitude *slower* than
+        the vector tier, so silently degrading would be a performance
+        trap.  The equivalence test suite opts in to validate the
+        kernel algorithm without numba.
+    """
+
+    name = "jit"
+
+    def __init__(self, interpreted_ok: bool = False):
+        self._interpreted_ok = bool(interpreted_ok)
+
+    @property
+    def compiled(self) -> bool:
+        """True when the numba-compiled kernels are in use."""
+        return NUMBA_AVAILABLE
+
+    def step_lanes(
+        self,
+        tables: SimulationTables,
+        compiled: CompiledPolicyBatch,
+        policy_of_lane: np.ndarray,
+        lengths: np.ndarray,
+        start: tuple,
+        rng,
+        chunk_slices: int | None = None,
+    ) -> _LaneAccumulators:
+        if not NUMBA_AVAILABLE and not self._interpreted_ok:
+            raise ValidationError(
+                f"the jit simulation backend is unavailable: "
+                f"{UNAVAILABLE_REASON}; use backend='vector' (identical "
+                f"results) or backend='auto'"
+            )
+        return _step_lanes_jit(
+            tables,
+            compiled,
+            policy_of_lane,
+            lengths,
+            start,
+            rng,
+            chunk_slices=chunk_slices,
+        )

@@ -64,6 +64,40 @@ _CHUNK_BUDGET = 16_384
 _MAX_CHUNK = 2_048
 
 
+def resolve_chunk(
+    n_lanes: int,
+    n_kinds: int,
+    remaining_max: int,
+    chunk_slices: int | None,
+) -> int:
+    """Slices the next chunk should step.
+
+    The shared chunk-sizing rule for every batch backend (vector and
+    jit step identical chunks so their uniform blocks — and therefore
+    their RNG streams and float-summation trees — coincide):
+
+    * ``chunk_slices`` pinned: exactly that many slices, capped by the
+      longest remaining lane.  This is the power-user/fleet mode —
+      results are bitwise reproducible *for a fixed pin*, but changing
+      the pin regroups the chunk-local partial sums of the float
+      metric totals (integer counters and trajectories are
+      chunk-invariant because uniforms are consumed in ``(slice, kind,
+      lane)`` order regardless of chunking).
+    * otherwise: the lane-count-scaled uniform budget
+      (``_CHUNK_BUDGET`` doubles per draw), capped at ``_MAX_CHUNK``
+      slices so history buffers stay small for tiny batches.
+    """
+    if chunk_slices is not None:
+        chunk_slices = int(chunk_slices)
+        if chunk_slices <= 0:
+            raise ValidationError(
+                f"chunk_slices must be > 0, got {chunk_slices}"
+            )
+        return int(min(chunk_slices, remaining_max))
+    budget = max(1, _CHUNK_BUDGET // (n_kinds * n_lanes))
+    return int(min(_MAX_CHUNK, budget, remaining_max))
+
+
 def _offset_cumsum(cumsum_rows: np.ndarray) -> np.ndarray:
     """Concatenate cumulative rows into one sorted offset array.
 
@@ -193,6 +227,7 @@ class VectorBackend(SimulationBackend):
         rng: np.random.Generator,
         initial_state=None,
         tables: SimulationTables | None = None,
+        chunk_slices: int | None = None,
     ) -> SimulationResult:
         policy = self._require_stationary(agent, system)
         return self.simulate_batch(
@@ -204,6 +239,7 @@ class VectorBackend(SimulationBackend):
             initial_state=initial_state,
             n_replications=1,
             tables=tables,
+            chunk_slices=chunk_slices,
         )[0][0]
 
     def simulate_batch(
@@ -216,6 +252,7 @@ class VectorBackend(SimulationBackend):
         initial_state=None,
         n_replications: int = 1,
         tables: SimulationTables | None = None,
+        chunk_slices: int | None = None,
     ) -> list[list[SimulationResult]]:
         """Simulate every policy ``n_replications`` times in one batch.
 
@@ -240,8 +277,14 @@ class VectorBackend(SimulationBackend):
         policy_of_lane = np.repeat(np.arange(len(policies)), n_replications)
         s0, r0, q0 = resolve_initial_state(system, initial_state)
         lengths = np.full(n_lanes, n_slices, dtype=np.int64)
-        acc = _step_lanes(
-            tables, compiled, policy_of_lane, lengths, (s0, r0, q0), rng
+        acc = self.step_lanes(
+            tables,
+            compiled,
+            policy_of_lane,
+            lengths,
+            (s0, r0, q0),
+            rng,
+            chunk_slices=chunk_slices,
         )
         results = [
             _lane_result(tables, acc, lane, n_slices)
@@ -262,6 +305,7 @@ class VectorBackend(SimulationBackend):
         rng: np.random.Generator,
         initial_state=None,
         max_session_slices: int | None = None,
+        chunk_slices: int | None = None,
     ) -> dict[str, SampleStats]:
         """Geometric sessions, packed into the batch dimension.
 
@@ -280,13 +324,48 @@ class VectorBackend(SimulationBackend):
         np.maximum(lengths, 1, out=lengths)
         s0, r0, q0 = resolve_initial_state(system, initial_state)
         policy_of_lane = np.zeros(n_sessions, dtype=np.int64)
-        acc = _step_lanes(
-            tables, compiled, policy_of_lane, lengths, (s0, r0, q0), rng
+        acc = self.step_lanes(
+            tables,
+            compiled,
+            policy_of_lane,
+            lengths,
+            (s0, r0, q0),
+            rng,
+            chunk_slices=chunk_slices,
         )
         return {
             name: SampleStats.from_samples(acc.totals[i])
             for i, name in enumerate(tables.metric_names)
         }
+
+    # ------------------------------------------------------------------
+    # the stepping entry point (overridden by the jit tier)
+    # ------------------------------------------------------------------
+    def step_lanes(
+        self,
+        tables: SimulationTables,
+        compiled: CompiledPolicyBatch,
+        policy_of_lane: np.ndarray,
+        lengths: np.ndarray,
+        start: tuple,
+        rng,
+        chunk_slices: int | None = None,
+    ) -> "_LaneAccumulators":
+        """Advance every lane; see :func:`_step_lanes` for the contract.
+
+        Routing the batch APIs through this method is what lets
+        :class:`~repro.sim.backends.jit.JitBackend` reuse them wholesale
+        — it overrides only this hook with the compiled kernel.
+        """
+        return _step_lanes(
+            tables,
+            compiled,
+            policy_of_lane,
+            lengths,
+            start,
+            rng,
+            chunk_slices=chunk_slices,
+        )
 
     # ------------------------------------------------------------------
     # helpers
@@ -413,11 +492,9 @@ def _step_lanes(
     while lane_ids.size:
         n_lanes = lane_ids.size
         single_policy = bool(pol_base[0] == 0 and (pol_base == 0).all())
-        if chunk_slices is not None:
-            chunk = int(min(int(chunk_slices), remaining.max()))
-        else:
-            budget = max(1, _CHUNK_BUDGET // (n_kinds * n_lanes))
-            chunk = int(min(_MAX_CHUNK, budget, remaining.max()))
+        chunk = resolve_chunk(
+            n_lanes, n_kinds, int(remaining.max()), chunk_slices
+        )
         uniforms = rng.random((chunk, n_kinds, n_lanes))
         # Joint-state/command/service histories, folded in after the
         # chunk; x_hist has one extra row holding the post-chunk state.

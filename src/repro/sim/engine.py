@@ -16,11 +16,25 @@ CLI pipeline, benchmarks) routes through:
 * :func:`simulate_sessions` — geometric-session estimates of the
   discounted totals (paper Section IV).  For stationary policies the
   sessions are packed into the batch dimension and stepped by the
-  vector backend.
+  batch tier.
 
-Every function accepts ``backend`` in ``{"auto", "loop", "vector"}``;
-requesting ``"vector"`` for an agent that is not provably stationary
-raises :class:`~repro.util.validation.ValidationError`.
+Every function accepts ``backend`` in ``{"auto", "loop", "vector",
+"jit"}``; requesting ``"vector"``/``"jit"`` for an agent that is not
+provably stationary raises
+:class:`~repro.util.validation.ValidationError`, and requesting
+``"jit"`` without numba installed fails with a message listing the
+importable backends.  ``"auto"`` prefers the jit tier for batched
+stationary runs when numba imports and falls back to ``"vector"``
+(byte-identical results) when it does not.
+
+The batch entry points also expose ``chunk_slices``: the number of
+slices stepped per uniform-block draw.  ``None`` (default) keeps the
+lane-count-scaled heuristic.  Pinning it is what the fleet runtime
+does for bitwise grouping-invariance; note that *changing* the pin
+regroups the chunk-local partial sums of the float metric totals, so
+results are chunk-invariant only at the integer-trajectory level
+(uniform consumption, counters, final states) — the documented
+reproducibility caveat.
 """
 
 from __future__ import annotations
@@ -36,6 +50,7 @@ from repro.policies.base import PolicyAgent
 from repro.sim.backends import (
     get_backend,
     is_vectorizable,
+    preferred_batch_backend,
     resolve_backend,
 )
 from repro.sim.backends.base import resolve_initial_state
@@ -84,6 +99,7 @@ def simulate(
     rng: np.random.Generator,
     initial_state=None,
     backend: str = "auto",
+    chunk_slices: int | None = None,
 ) -> SimulationResult:
     """Simulate ``agent`` on ``system`` for ``n_slices`` slices.
 
@@ -103,12 +119,18 @@ def simulate(
         ``(provider, requester, queue)`` start (names or indices);
         defaults to all components in their first state, empty queue.
     backend:
-        ``"auto"`` (the reference loop for single runs), ``"loop"``, or
-        ``"vector"`` (stationary policies only).
+        ``"auto"`` (the reference loop for single runs), ``"loop"``,
+        ``"vector"``, or ``"jit"`` (stationary policies only).
+    chunk_slices:
+        Pin the batch tier's chunk length (see :func:`simulate_many`);
+        ignored by the loop backend.
     """
     n_slices = _check_n_slices(n_slices)
     chosen = resolve_backend(backend, agent, batch_size=1)
-    return chosen.simulate(system, costs, agent, n_slices, rng, initial_state)
+    return chosen.simulate(
+        system, costs, agent, n_slices, rng, initial_state,
+        chunk_slices=chunk_slices,
+    )
 
 
 def simulate_many(
@@ -121,6 +143,7 @@ def simulate_many(
     n_replications: int = 1,
     initial_state=None,
     backend: str = "auto",
+    chunk_slices: int | None = None,
 ) -> list[list[SimulationResult]]:
     """Simulate many agents/policies, ``n_replications`` runs each.
 
@@ -142,10 +165,17 @@ def simulate_many(
         uniforms each run consumes (the estimates stay exchangeable,
         the trajectories do not).
     backend:
-        ``"auto"`` (vectorize what can be proven stationary, when the
-        run is actually batched), ``"loop"`` (everything through the
-        reference loop), or ``"vector"`` (require every agent to be
-        stationary).
+        ``"auto"`` (batch what can be proven stationary, when the run
+        is actually batched, through the preferred batch tier — jit if
+        numba imports, else vector), ``"loop"`` (everything through
+        the reference loop), or ``"vector"``/``"jit"`` (require every
+        agent to be stationary).
+    chunk_slices:
+        Pin the batch tier's chunk length (slices per uniform-block
+        draw) instead of the lane-count-scaled heuristic.  Integer
+        trajectories and counters are chunk-invariant; float metric
+        totals are bitwise-reproducible only for a *fixed* pin (see
+        the module docstring).  Ignored by the loop backend.
 
     Returns
     -------
@@ -162,13 +192,14 @@ def simulate_many(
     if not resolved:
         return []
 
-    if backend == "vector":
-        vector = get_backend("vector")
+    batch_backend = None
+    if backend in ("vector", "jit"):
+        batch_backend = get_backend(backend)
         for agent in resolved:
-            if not vector.supports(agent):
+            if not batch_backend.supports(agent):
                 raise ValidationError(
-                    f"backend 'vector' does not support {agent.describe()}; "
-                    f"use backend='loop'"
+                    f"backend {backend!r} does not support "
+                    f"{agent.describe()}; use backend='loop'"
                 )
         vector_idx = list(range(len(resolved)))
     elif backend == "loop":
@@ -181,23 +212,24 @@ def simulate_many(
         # loop, consistent with resolve_backend() and simulate().
         if len(vector_idx) * n_replications <= 1:
             vector_idx = []
+        if vector_idx:
+            batch_backend = preferred_batch_backend()
     else:
         get_backend(backend)  # raises with the canonical message
         vector_idx = []
 
     vectorized = set(vector_idx)
     loop_idx = [i for i in range(len(resolved)) if i not in vectorized]
-    # Child streams: one for the whole vector batch, then one per
+    # Child streams: one for the whole batched run, then one per
     # (loop agent, replication) pair in agent-major order.
     streams = child_rngs(rng, 1 + len(loop_idx) * n_replications)
     results: list[list[SimulationResult] | None] = [None] * len(resolved)
 
     if vector_idx:
-        vector = get_backend("vector")
         policies = [
             resolved[i].stationary_policy(system) for i in vector_idx
         ]
-        batched = vector.simulate_batch(
+        batched = batch_backend.simulate_batch(
             system,
             costs,
             policies,
@@ -205,6 +237,7 @@ def simulate_many(
             streams[0],
             initial_state=initial_state,
             n_replications=n_replications,
+            chunk_slices=chunk_slices,
         )
         for slot, replications in zip(vector_idx, batched):
             results[slot] = replications
@@ -234,6 +267,7 @@ def simulate_replications(
     *,
     initial_state=None,
     backend: str = "auto",
+    chunk_slices: int | None = None,
 ) -> list[SimulationResult]:
     """Independent replications of one agent (batched when possible)."""
     return simulate_many(
@@ -245,6 +279,7 @@ def simulate_replications(
         n_replications=n_replications,
         initial_state=initial_state,
         backend=backend,
+        chunk_slices=chunk_slices,
     )[0]
 
 
@@ -258,6 +293,7 @@ def simulate_sessions(
     initial_state=None,
     max_session_slices: int | None = None,
     backend: str = "auto",
+    chunk_slices: int | None = None,
 ) -> dict[str, SampleStats]:
     """Estimate *discounted* totals by simulating geometric sessions.
 
@@ -283,7 +319,10 @@ def simulate_sessions(
         Optional cap on a single session's length (guards runaway
         budgets when ``gamma`` is very close to one).
     backend:
-        ``"auto"``, ``"loop"``, or ``"vector"``.
+        ``"auto"``, ``"loop"``, ``"vector"``, or ``"jit"``.
+    chunk_slices:
+        Pin the batch tier's chunk length (see :func:`simulate_many`);
+        ignored by the loop backend.
     """
     gamma = check_probability(gamma, "gamma")
     if not 0.0 < gamma < 1.0:
@@ -302,4 +341,5 @@ def simulate_sessions(
         rng,
         initial_state=initial_state,
         max_session_slices=max_session_slices,
+        chunk_slices=chunk_slices,
     )

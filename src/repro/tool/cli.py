@@ -5,8 +5,10 @@ Subcommands:
 * ``optimize SPEC.json [--trace TRACE.txt]`` — run the Fig. 7 pipeline
   on a system spec (extracting the workload model from the trace when
   one is given) and print the optimal policy and verification summary;
-  ``--backend {auto,loop,vector}`` picks the simulation backend and
-  ``--lp-backend`` the LP solver;
+  ``--backend {auto,loop,vector,jit}`` picks the simulation backend
+  (``jit`` needs the optional numba extra; ``repro-dpm backends``
+  shows what is importable), ``--chunk-slices`` pins the batch tier's
+  chunk length, and ``--lp-backend`` the LP solver;
 * ``pareto SPEC.json --constraint penalty --bounds 0.1,0.2,0.5`` —
   sweep a constraint through the incremental sweep engine (bound
   dedupe, feasibility bracketing, warm-started re-solves) and print the
@@ -23,8 +25,9 @@ Subcommands:
   (:mod:`repro.runtime`): a JSON spec describes device groups x
   workloads x agents; ``--telemetry`` streams JSON-lines snapshots,
   ``--checkpoint`` saves resumable state each run and ``--resume``
-  continues a saved campaign; ``--backend`` picks grouped vector
-  stepping vs the per-device loop;
+  continues a saved campaign; ``--backend`` picks grouped batch
+  stepping (``auto``/``vector``/``jit``) vs the per-device loop and
+  ``--timing`` stamps telemetry with per-tick wall-clock;
 * ``fit TRACE.txt --resolution 0.001 --out FITTED.json`` — the full
   estimation pipeline (:mod:`repro.estimation`): BIC-selected arrival
   chain + MMPP(2)/Poisson generator fits + validation report; with
@@ -46,7 +49,8 @@ import numpy as np
 
 from repro.core.pareto import simulate_curve
 from repro.experiments import available_experiments, run_experiment
-from repro.sim.backends import BACKEND_CHOICES
+from repro.runtime.controller import CONTROLLER_BACKENDS
+from repro.sim.backends import BACKEND_CHOICES, available_backends
 from repro.sim.rng import make_rng
 from repro.tool.pipeline import run_pipeline, sweep_tradeoff
 from repro.tool.spec import load_spec
@@ -84,6 +88,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default="auto",
         choices=BACKEND_CHOICES,
         help="simulation backend for verification (default: auto)",
+    )
+    p_opt.add_argument(
+        "--chunk-slices",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pin the batch tier's chunk length (slices per uniform "
+        "draw); float totals are bitwise-reproducible only for a fixed "
+        "pin (default: lane-count-scaled heuristic)",
     )
     p_opt.add_argument(
         "--average",
@@ -151,6 +164,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="simulation backend for --simulate (default: auto)",
     )
     p_pareto.add_argument(
+        "--chunk-slices",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pin the batch tier's chunk length for --simulate "
+        "(default: lane-count-scaled heuristic)",
+    )
+    p_pareto.add_argument(
         "--profile",
         action="store_true",
         help="print aggregated LP solve statistics (iterations, "
@@ -203,9 +224,24 @@ def _build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument(
         "--backend",
         default="auto",
-        choices=("auto", "loop", "vector"),
-        help="fleet stepping mode: grouped vector batches (auto/vector) "
-        "or the per-device reference loop",
+        choices=CONTROLLER_BACKENDS,
+        help="fleet stepping mode: grouped batches (auto/vector/jit; "
+        "jit needs the numba extra) or the per-device reference loop",
+    )
+    p_fleet.add_argument(
+        "--chunk-slices",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pinned chunk length for grouped batches (default: 256); "
+        "results are bitwise-reproducible only across runs sharing "
+        "the pin",
+    )
+    p_fleet.add_argument(
+        "--timing",
+        action="store_true",
+        help="stamp telemetry with per-tick wall-clock (step/solve "
+        "split); forfeits byte-identical telemetry across machines",
     )
     p_fleet.add_argument(
         "--lp-backend",
@@ -240,6 +276,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="resume a checkpointed campaign instead of building from a spec",
     )
     p_fleet.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser(
+        "backends",
+        help="list simulation backends and whether each is importable",
+    )
 
     p_ext = sub.add_parser("extract", help="fit an SR model from a trace")
     p_ext.add_argument("trace", help="path to a request trace file")
@@ -379,6 +420,7 @@ def _cmd_optimize(args) -> int:
         backend=args.lp_backend,
         formulation="average" if args.average else "discounted",
         sim_backend=args.backend,
+        chunk_slices=args.chunk_slices,
     )
     print(report.summary())
     if args.profile:
@@ -424,6 +466,7 @@ def _cmd_pareto(args) -> int:
             args.simulate,
             args.seed,
             backend=args.backend,
+            chunk_slices=args.chunk_slices,
         )
         headers.append(f"sim_{args.objective}")
     rows = []
@@ -500,6 +543,15 @@ def _cmd_experiment(args) -> int:
     return exit_code
 
 
+def _cmd_backends(args) -> int:
+    """Print every known simulation backend and its importability."""
+    rows = []
+    for name, reason in available_backends().items():
+        rows.append((name, "available" if reason is None else f"unavailable: {reason}"))
+    print(format_table(["backend", "status"], rows, title="simulation backends"))
+    return 0
+
+
 def _cmd_fleet(args) -> int:
     import json as _json
 
@@ -522,8 +574,14 @@ def _cmd_fleet(args) -> int:
                 telemetry_every=args.telemetry_every,
                 telemetry_per_device=args.per_device or None,
                 backend=args.backend if args.backend != "auto" else None,
+                record_timing=args.timing,
             )
             cache = None
+            if args.chunk_slices is not None:
+                print(
+                    "note: --chunk-slices is ignored on --resume (the "
+                    "checkpoint's pin is kept for bitwise determinism)"
+                )
             print(
                 f"resumed fleet of {len(controller.fleet)} devices at "
                 f"tick {controller.tick}"
@@ -547,6 +605,9 @@ def _cmd_fleet(args) -> int:
                 telemetry=telemetry,
                 telemetry_every=args.telemetry_every,
                 telemetry_per_device=args.per_device,
+                chunk_slices=args.chunk_slices,
+                record_timing=args.timing,
+                policy_cache=cache,
             )
             print(
                 f"built fleet {raw.get('name', 'unnamed')!r}: "
@@ -563,8 +624,9 @@ def _cmd_fleet(args) -> int:
             g["devices"] for g in grouping["vector_groups"]
         )
         print(
-            f"grouping: {len(grouping['vector_groups'])} vector group(s) "
-            f"covering {vector_devices} device(s), "
+            f"grouping: {len(grouping['vector_groups'])} batch group(s) "
+            f"covering {vector_devices} device(s) on the "
+            f"{controller.resolved_backend!r} backend, "
             f"{grouping['loop_devices']} on the per-device loop"
         )
         if cache is not None and (cache.stats.hits or cache.stats.misses):
@@ -596,6 +658,13 @@ def _cmd_fleet(args) -> int:
             f"requests: {counters['arrivals']} arrived, "
             f"{counters['serviced']} serviced, {counters['lost']} lost"
         )
+        if args.timing and controller.last_timing is not None:
+            timing = controller.last_timing
+            print(
+                f"last tick: {timing['tick_seconds']:.3f}s "
+                f"({timing['step_seconds']:.3f}s stepping, "
+                f"{timing['solve_seconds']:.3f}s solving)"
+            )
         if args.checkpoint:
             controller.save_checkpoint(args.checkpoint)
             print(f"checkpoint saved to {args.checkpoint}")
@@ -744,6 +813,7 @@ def main(argv=None) -> int:
         "fleet": _cmd_fleet,
         "fit": _cmd_fit,
         "extract": _cmd_extract,
+        "backends": _cmd_backends,
     }
     try:
         return handlers[args.command](args)

@@ -217,6 +217,7 @@ def run_pipeline(
     cross_check: bool = False,
     formulation: str = "discounted",
     sim_backend: str = "auto",
+    chunk_slices: int | None = None,
 ) -> PipelineReport:
     """Run the full Fig. 7 flow.
 
@@ -241,8 +242,12 @@ def run_pipeline(
         ``"discounted"`` (paper Eq. 9) or ``"average"`` (paper Eq. 7).
     sim_backend:
         Simulation backend for the Markov verification run
-        (``"auto"``, ``"loop"`` or ``"vector"``, see
+        (``"auto"``, ``"loop"``, ``"vector"`` or ``"jit"``, see
         :mod:`repro.sim.backends`).
+    chunk_slices:
+        Pin the batch tier's chunk length for the verification run
+        (see :func:`repro.sim.engine.simulate_many`); ignored by the
+        loop backend.
     """
     sr_model = None
     requester = spec.requester
@@ -292,7 +297,13 @@ def run_pipeline(
 
     agent = StationaryPolicyAgent(system, result.policy)
     report.markov_simulation = simulate(
-        system, costs, agent, int(verify_slices), rng, backend=sim_backend
+        system,
+        costs,
+        agent,
+        int(verify_slices),
+        rng,
+        backend=sim_backend,
+        chunk_slices=chunk_slices,
     )
     if trace is not None:
         report.trace_simulation = simulate_trace(

@@ -354,12 +354,17 @@ class TestDispatch:
         agent = StationaryPolicyAgent(system, _randomized_policy(system))
         assert resolve_backend("auto", agent, batch_size=1).name == "loop"
 
-    def test_auto_batched_stationary_is_vector(self):
+    def test_auto_batched_stationary_is_batch_tier(self):
+        # "auto" resolves batched stationary runs to the preferred batch
+        # tier: jit when numba imports, vector otherwise.
+        from repro.sim import jit_available
+
+        expected = "jit" if jit_available() else "vector"
         system, _ = _crn_system()
         agent = StationaryPolicyAgent(system, _randomized_policy(system))
-        assert resolve_backend("auto", agent, batch_size=32).name == "vector"
+        assert resolve_backend("auto", agent, batch_size=32).name == expected
         assert resolve_backend("auto", ConstantAgent(0), batch_size=8).name == (
-            "vector"
+            expected
         )
 
     def test_auto_batched_heuristic_is_loop(self):

@@ -341,7 +341,7 @@ class TestCLI:
         out = capsys.readouterr().out
         assert code == 0
         assert "3 devices" in out
-        assert "1 vector group(s)" in out
+        assert "1 batch group(s)" in out
         assert len(telemetry.read_text().splitlines()) == 2
         assert checkpoint.exists()
 
