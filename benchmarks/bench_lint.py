@@ -1,0 +1,138 @@
+"""Whole-repo static-analysis wall-clock: ``repro.lint`` over the tree.
+
+The analyzer gates the tier-1 suite (``tests/test_lint_self.py``) and
+CI, so its cost is part of every developer loop.  The acceptance gate:
+one full lint of ``src/`` + ``tests/`` + ``benchmarks/`` must finish
+in under **10 seconds** — far above today's cost on purpose, so only a
+pathological regression (an accidentally quadratic rule, an unbounded
+call-graph walk) trips it, not machine noise.
+
+Run under pytest-benchmark::
+
+    pytest benchmarks/bench_lint.py -o python_files='bench_*.py' \
+        -o python_functions='bench_*' --benchmark-only
+
+or standalone (emits one JSON document on stdout)::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py [--quick]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.lint import lint_paths, registered_rules
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The full surface CI lints (src is the contract; the others must
+#: at minimum parse cleanly through the analyzer).
+FULL_TREE = ["src", "tests", "benchmarks"]
+#: The gated surface: the package whose contracts the rules defend.
+SRC_ONLY = ["src"]
+
+#: Whole-tree lint wall-clock ceiling, seconds.
+WALL_CLOCK_LIMIT = 10.0
+
+
+def _lint_once(relative_paths: list[str]):
+    """One timed lint pass; returns (seconds, report)."""
+    paths = [REPO_ROOT / rel for rel in relative_paths]
+    start = time.perf_counter()
+    report = lint_paths(paths)
+    seconds = time.perf_counter() - start
+    return seconds, report
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def bench_lint_src(benchmark):
+    """Lint the gated surface (src/); must come back clean."""
+    seconds, report = benchmark.pedantic(
+        lambda: _lint_once(SRC_ONLY), rounds=3, iterations=1
+    )
+    benchmark.extra_info.update(
+        files_checked=report.files_checked,
+        files_per_sec=round(report.files_checked / seconds, 1),
+    )
+    assert report.clean, "\n".join(f.render() for f in report.findings)
+
+
+def bench_lint_full_tree(benchmark):
+    """Acceptance: whole-tree lint under the 10 s wall-clock ceiling."""
+    seconds, report = benchmark.pedantic(
+        lambda: _lint_once(FULL_TREE), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        files_checked=report.files_checked,
+        seconds=round(seconds, 3),
+    )
+    assert seconds < WALL_CLOCK_LIMIT, (
+        f"whole-tree lint took {seconds:.2f}s "
+        f"(ceiling {WALL_CLOCK_LIMIT:.0f}s) over "
+        f"{report.files_checked} files — a rule has gone super-linear"
+    )
+
+
+# ----------------------------------------------------------------------
+# standalone JSON mode
+# ----------------------------------------------------------------------
+def collect(quick: bool = False) -> dict:
+    """Run the lint benchmark matrix and return the JSON document."""
+    records = []
+    scenarios = [("src", SRC_ONLY)]
+    if not quick:
+        scenarios.append(("full_tree", FULL_TREE))
+    src_clean = True
+    full_seconds = None
+    for name, rel_paths in scenarios:
+        # Best of three: lint cost is parse-bound and steady, but the
+        # first pass pays filesystem cache warm-up.
+        rounds = 1 if quick else 3
+        best = None
+        report = None
+        for _ in range(rounds):
+            seconds, report = _lint_once(rel_paths)
+            best = seconds if best is None else min(best, seconds)
+        if name == "src":
+            src_clean = report.clean
+        else:
+            full_seconds = best
+        records.append(
+            {
+                "name": f"lint_{name}",
+                "files_checked": report.files_checked,
+                "seconds": round(best, 4),
+                "files_per_sec": round(report.files_checked / best, 1),
+                "findings": len(report.findings),
+            }
+        )
+    document = {
+        "benchmarks": records,
+        "n_rules": len(registered_rules()),
+        "src_clean": src_clean,
+        "wall_clock_limit_sec": WALL_CLOCK_LIMIT,
+    }
+    if full_seconds is not None:
+        document["full_tree_within_limit"] = full_seconds < WALL_CLOCK_LIMIT
+    return document
+
+
+def main(argv=None) -> int:
+    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    document = collect(quick=quick)
+    json.dump(document, sys.stdout, indent=2)
+    print()
+    if not document["src_clean"]:
+        return 1
+    if not document.get("full_tree_within_limit", True):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

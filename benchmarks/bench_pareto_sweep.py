@@ -104,7 +104,7 @@ def compare_curves(cold, curve) -> float:
     points = {p.bound: p for p in curve.points}
     bounds = sorted(points)
     for bound, feasible, objective in cold:
-        nearest = min(bounds, key=lambda b: abs(b - bound))
+        nearest = min(bounds, key=lambda b, bound=bound: abs(b - bound))
         point = points[nearest]
         assert point.feasible == feasible, (
             f"feasibility mismatch at bound {bound}: "

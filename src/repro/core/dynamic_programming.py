@@ -107,14 +107,14 @@ def value_iteration(
     threshold = tol * (1.0 - gamma) / max(gamma, 1e-16)
     converged = False
     iterations = 0
-    for iterations in range(1, int(max_iterations) + 1):
+    while not converged and iterations < int(max_iterations):
+        iterations += 1
         q = costs + gamma * np.einsum("aij,j->ia", tensor, v)
         v_new = q.min(axis=1)
         delta = float(np.max(np.abs(v_new - v)))
         v = v_new
         if delta <= threshold:
             converged = True
-            break
     greedy = np.argmin(
         costs + gamma * np.einsum("aij,j->ia", tensor, v), axis=1
     )
@@ -145,7 +145,8 @@ def policy_iteration(
     converged = False
     iterations = 0
     values = np.zeros(n)
-    for iterations in range(1, int(max_iterations) + 1):
+    while not converged and iterations < int(max_iterations):
+        iterations += 1
         P_pi = tensor[commands, np.arange(n), :]
         c_pi = costs[np.arange(n), commands]
         values = np.linalg.solve(identity - gamma * P_pi, c_pi)
@@ -158,8 +159,8 @@ def policy_iteration(
         greedy[keep] = commands[keep]
         if np.array_equal(greedy, commands):
             converged = True
-            break
-        commands = greedy
+        else:
+            commands = greedy
     policy = MarkovPolicy.deterministic(
         commands, system.n_commands, system.command_names
     )

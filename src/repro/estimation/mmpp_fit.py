@@ -270,7 +270,8 @@ def fit_mmpp2(
     log_likelihood = float("-inf")
     converged = False
     iterations = 0
-    for iterations in range(1, max_iterations + 1):
+    while not converged and iterations < max_iterations:
+        iterations += 1
         # --- forward pass (scaled).  State 0 = idle (emits nothing),
         # state 1 = busy (emits with probability `emit`).  The chain
         # transitions before emitting; the pre-trace state is idle.

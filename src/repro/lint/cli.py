@@ -1,0 +1,85 @@
+"""CLI front end for the linter (``repro-dpm lint`` / ``python -m repro.lint``).
+
+Exit codes follow the usual analyzer convention:
+
+* ``0`` — every linted file is clean;
+* ``1`` — findings were reported;
+* ``2`` — the run itself failed (missing path, unknown rule id).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.lint.driver import lint_paths
+from repro.lint.registry import registered_rules
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the ``lint`` arguments on ``parser`` (shared with repro-dpm)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files/directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the machine-readable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run for parsed CLI arguments."""
+    if args.list_rules:
+        for rule_id, cls in registered_rules().items():
+            print(f"{rule_id}  {cls.name}: {cls.description}")
+            print(f"        contract: {cls.contract}")
+        return 0
+    select = None
+    if args.select:
+        select = [
+            rule_id.strip()
+            for rule_id in str(args.select).split(",")
+            if rule_id.strip()
+        ]
+    try:
+        report = lint_paths(args.paths, select=select)
+    except (FileNotFoundError, KeyError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return 0 if report.clean else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Determinism & backend-parity static analyzer for the "
+            "repro package"
+        ),
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))

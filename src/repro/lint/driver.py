@@ -1,0 +1,148 @@
+"""Per-file and whole-package lint drivers.
+
+:func:`lint_file` runs the rule battery over one source file;
+:func:`lint_paths` walks files and directories (in sorted order — the
+linter practices the determinism it preaches) and folds everything
+into a :class:`LintReport` with text and JSON renderings.
+
+Unparseable files produce a single :data:`PARSE_ERROR_ID` finding
+instead of crashing the run: a syntax error in one file must not hide
+findings in the other hundred.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.context import FileContext
+from repro.lint.finding import ERROR, Finding
+from repro.lint.registry import Rule, get_rules
+from repro.lint.suppress import apply_suppressions
+
+#: Synthetic rule id for files the parser rejects.
+PARSE_ERROR_ID = "LNT000"
+
+#: JSON output schema version (bump on incompatible changes; pinned by
+#: ``tests/test_lint_cli.py``).
+JSON_SCHEMA_VERSION = 1
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".mypy_cache"}
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when no error-severity findings survived."""
+        return not any(f.severity == ERROR for f in self.findings)
+
+    def counts_by_rule(self) -> dict[str, int]:
+        """``{rule_id: finding count}``, id-sorted."""
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def render_text(self) -> str:
+        """Human-readable report (one line per finding + summary)."""
+        lines = [finding.render() for finding in self.findings]
+        if self.findings:
+            summary = ", ".join(
+                f"{rule_id} x{count}"
+                for rule_id, count in self.counts_by_rule().items()
+            )
+            lines.append(
+                f"{len(self.findings)} finding(s) in "
+                f"{self.files_checked} file(s): {summary}"
+            )
+        else:
+            lines.append(f"{self.files_checked} file(s) lint clean")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON document (schema pinned by ``tests/test_lint_cli.py``)."""
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "files_checked": self.files_checked,
+            "clean": self.clean,
+            "counts": self.counts_by_rule(),
+            "findings": [finding.as_dict() for finding in self.findings],
+        }
+
+
+def lint_source(
+    path: str, source: str, rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    """Lint one in-memory source blob (the fixture-test entry point)."""
+    if rules is None:
+        rules = get_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule_id=PARSE_ERROR_ID,
+                severity=ERROR,
+                message=f"file does not parse: {exc.msg}",
+                fix_hint="fix the syntax error so the file can be analyzed",
+            )
+        ]
+    context = FileContext(path, source, tree)
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(context))
+    return apply_suppressions(context, findings)
+
+
+def lint_file(path: str | Path, rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """Lint one file on disk."""
+    file_path = Path(path)
+    source = file_path.read_text(encoding="utf-8")
+    return lint_source(str(path), source, rules)
+
+
+def _iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    files: set[Path] = set()
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    files.add(candidate)
+        elif path.suffix == ".py" or path.is_file():
+            files.add(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    missing = [str(path) for path in sorted(files) if not path.is_file()]
+    if missing:
+        raise FileNotFoundError(f"no such file: {', '.join(missing)}")
+    return sorted(files)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule] | None = None,
+    select: Iterable[str] | None = None,
+) -> LintReport:
+    """Lint files and directory trees into one :class:`LintReport`."""
+    if rules is None:
+        rules = get_rules(None if select is None else list(select))
+    report = LintReport()
+    for file_path in _iter_python_files(paths):
+        report.findings.extend(lint_file(file_path, rules))
+        report.files_checked += 1
+    report.findings.sort(key=Finding.sort_key)
+    return report

@@ -1,0 +1,105 @@
+"""The plugin-style rule registry.
+
+A rule is a class deriving from :class:`Rule` with a stable
+``rule_id``, a one-line ``description``, the repo ``contract`` it
+protects, and a ``check(context)`` generator yielding
+:class:`~repro.lint.finding.Finding` objects.  Registering is one
+decorator::
+
+    @register
+    class MyRule(Rule):
+        rule_id = "XYZ001"
+        ...
+
+The driver instantiates every registered rule (or a ``--select``
+subset) per run; rules are stateless between files.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, TypeVar
+
+from repro.lint.context import FileContext
+from repro.lint.finding import ERROR, Finding
+
+RuleType = TypeVar("RuleType", bound="type[Rule]")
+
+_REGISTRY: dict[str, type["Rule"]] = {}
+
+
+class Rule(ABC):
+    """Base class for one static-analysis rule."""
+
+    #: Stable machine id (``RNG001``); suppression comments match on it.
+    rule_id: str = ""
+    #: Short kebab-case name for listings.
+    name: str = ""
+    #: One-line description of what the rule flags.
+    description: str = ""
+    #: Which repo reproducibility contract the rule protects.
+    contract: str = ""
+    #: Findings default to this severity.
+    severity: str = ERROR
+
+    @abstractmethod
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
+
+    def finding(
+        self,
+        context: FileContext,
+        line: int,
+        col: int,
+        message: str,
+        fix_hint: str = "",
+    ) -> Finding:
+        """Construct a finding stamped with this rule's id/severity."""
+        return Finding(
+            path=context.path,
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+            fix_hint=fix_hint,
+        )
+
+
+def register(cls: RuleType) -> RuleType:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    existing = _REGISTRY.get(cls.rule_id)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"duplicate rule id {cls.rule_id!r}: "
+            f"{existing.__name__} vs {cls.__name__}"
+        )
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def registered_rules() -> dict[str, type[Rule]]:
+    """The registry as an id-sorted mapping (a copy)."""
+    return dict(sorted(_REGISTRY.items()))
+
+
+def get_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate registered rules, optionally a ``select`` id subset.
+
+    Raises ``KeyError`` naming the unknown id when ``select`` contains
+    one, so CLI typos fail loudly instead of silently linting nothing.
+    """
+    if select is None:
+        return [cls() for _, cls in sorted(_REGISTRY.items())]
+    rules: list[Rule] = []
+    for rule_id in select:
+        cls = _REGISTRY.get(rule_id)
+        if cls is None:
+            known = ", ".join(sorted(_REGISTRY))
+            raise KeyError(
+                f"unknown rule id {rule_id!r} (known rules: {known})"
+            )
+        rules.append(cls())
+    return rules

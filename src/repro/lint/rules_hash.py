@@ -1,0 +1,181 @@
+"""Hash-stability rules: content digests must not see unordered data.
+
+:class:`~repro.runtime.policy_cache.PolicyCache` addresses LP solves —
+and the fleet controller groups devices — by SHA-256 content digests;
+checkpoints promise byte-exact resume.  Feeding a digest from an
+unordered iterable (a ``set``, an unsorted directory listing) or from
+``json.dumps`` without ``sort_keys=True`` makes the "same" content
+hash differently across runs, silently defeating the cache and the
+byte-exact contracts.
+
+A function is a **hash context** when it calls into :mod:`hashlib` or
+calls a function whose name says it digests (``*_hash*`` /
+``*signature*``); the rules apply only there, so ordinary set algebra
+elsewhere stays untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule, register
+
+#: Callee name fragments that mark a function as digest-feeding.
+_HASH_NAME_FRAGMENTS = ("hash", "signature", "digest", "fingerprint")
+
+#: Calls returning filesystem listings in OS-dependent order.
+_UNORDERED_LISTING_CALLS = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+_UNORDERED_LISTING_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+
+def _callee_is_hashy(context: FileContext, node: ast.Call) -> bool:
+    resolved = context.call_name(node)
+    if resolved is not None and resolved.startswith("hashlib."):
+        return True
+    raw = context.dotted(node.func)
+    if raw is None:
+        return False
+    tail = raw.rsplit(".", 1)[-1].lower()
+    return any(fragment in tail for fragment in _HASH_NAME_FRAGMENTS)
+
+
+def hash_context_functions(
+    context: FileContext,
+) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Functions that (transitively spelled) feed a content digest."""
+    return [
+        func
+        for func in context.function_defs()
+        if any(
+            isinstance(node, ast.Call) and _callee_is_hashy(context, node)
+            for node in ast.walk(func)
+        )
+    ]
+
+
+def _unordered_reason(context: FileContext, node: ast.AST) -> str | None:
+    """Why ``node`` is statically known to iterate in unstable order."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in (
+            "set",
+            "frozenset",
+        ):
+            return f"a {node.func.id}() call"
+        resolved = context.call_name(node)
+        if resolved in _UNORDERED_LISTING_CALLS:
+            return f"{resolved}() (filesystem order)"
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _UNORDERED_LISTING_METHODS
+        ):
+            return f".{node.func.attr}() (filesystem order)"
+    return None
+
+
+def _set_assigned_names(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, context: FileContext
+) -> set[str]:
+    """Local names assigned from a statically-unordered expression."""
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and _unordered_reason(
+            context, node.value
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+@register
+class UnorderedHashIterationRule(Rule):
+    """HSH001: never iterate unordered collections into a digest."""
+
+    rule_id = "HSH001"
+    name = "unordered-hash-iteration"
+    description = (
+        "hash-feeding function iterates a set or a filesystem listing "
+        "without sorting"
+    )
+    contract = (
+        "content-addressed caching / byte-exact checkpoints: equal "
+        "content must produce equal digests on every run"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for func in hash_context_functions(context):
+            set_names = _set_assigned_names(func, context)
+            iter_exprs: list[ast.AST] = []
+            for node in ast.walk(func):
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iter_exprs.append(node.iter)
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+                ):
+                    iter_exprs.extend(gen.iter for gen in node.generators)
+            for expr in iter_exprs:
+                reason = _unordered_reason(context, expr)
+                if reason is None and isinstance(expr, ast.Name):
+                    if expr.id in set_names:
+                        reason = f"{expr.id!r}, assigned from a set"
+                if reason is None:
+                    continue
+                yield self.finding(
+                    context,
+                    expr.lineno,
+                    expr.col_offset,
+                    f"hash-feeding function {func.name}() iterates "
+                    f"{reason} — element order is not stable",
+                    "wrap the iterable in sorted(...) so the digest "
+                    "sees a pinned order",
+                )
+
+
+@register
+class UnsortedJsonHashRule(Rule):
+    """HSH002: ``json.dumps`` feeding a digest needs ``sort_keys=True``."""
+
+    rule_id = "HSH002"
+    name = "unsorted-json-hash"
+    description = (
+        "hash-feeding function serializes JSON without sort_keys=True"
+    )
+    contract = (
+        "content-addressed caching: dict construction order must not "
+        "leak into content digests"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for func in hash_context_functions(context):
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                if context.call_name(node) != "json.dumps":
+                    continue
+                sorted_keys = any(
+                    keyword.arg == "sort_keys"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                    for keyword in node.keywords
+                )
+                if sorted_keys:
+                    continue
+                yield self.finding(
+                    context,
+                    node.lineno,
+                    node.col_offset,
+                    f"json.dumps in hash-feeding function {func.name}() "
+                    f"without sort_keys=True — key order leaks into the "
+                    f"digest",
+                    "pass sort_keys=True (and a pinned separators=) so "
+                    "equal mappings serialize identically",
+                )

@@ -1,0 +1,334 @@
+"""Kernel-purity rules for ``@njit``-compiled simulation kernels.
+
+The jit tier's whole contract (:mod:`repro.sim.backends.jit`) is that
+a kernel is a *pure function of its arrays*: the host draws every
+uniform, owns every generator, and the same Python source runs both
+compiled (numba) and interpreted (the ``@njit`` fallback decorator
+degrades to identity), byte-identically.  Three things break that
+structurally, before any test runs:
+
+* :class:`KernelRngRule` (KRN001) — a generator constructed or
+  consumed *inside* the kernel forks the RNG stream contract between
+  host and kernel (and numba's own RNG state is thread-local and
+  unseedable from the host);
+* :class:`KernelGlobalMutationRule` (KRN002) — ``global``/``nonlocal``
+  mutation makes kernel output depend on call order;
+* :class:`KernelUnsupportedOpRule` (KRN003) — numpy ops off the
+  support whitelist and Python-object constructs (dict/set literals,
+  f-strings, try/with, ...) either fail to compile or — worse —
+  compile to semantics that diverge from the interpreted fallback.
+
+Rules walk the intra-module call graph: a helper reachable from a
+kernel body is held to kernel discipline too (this is how the rules
+follow ``_step_fold_chunk`` into ``_searchsorted_right``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.rules_rng import DRAW_METHODS, GENERATOR_CONSTRUCTOR_TAILS
+
+#: numpy attributes a kernel may call (numba-supported, and with
+#: NumPy-identical semantics in the interpreted fallback).
+KERNEL_NP_WHITELIST = frozenset(
+    {
+        "abs",
+        "arange",
+        "bool_",
+        "ceil",
+        "clip",
+        "dot",
+        "empty",
+        "empty_like",
+        "exp",
+        "fabs",
+        "float32",
+        "float64",
+        "floor",
+        "full",
+        "int8",
+        "int16",
+        "int32",
+        "int64",
+        "intp",
+        "isfinite",
+        "isinf",
+        "isnan",
+        "log",
+        "log2",
+        "log10",
+        "maximum",
+        "minimum",
+        "ones",
+        "ones_like",
+        "searchsorted",
+        "sign",
+        "sqrt",
+        "uint8",
+        "uint16",
+        "uint32",
+        "uint64",
+        "zeros",
+        "zeros_like",
+        # constants, not calls, but harmless either way
+        "e",
+        "inf",
+        "nan",
+        "pi",
+    }
+)
+
+#: Builtin calls that force object mode or depend on process state.
+_FORBIDDEN_BUILTINS = frozenset(
+    {"print", "open", "input", "vars", "locals", "globals", "eval", "exec"}
+)
+
+#: Python-object constructs whose compiled semantics can diverge from
+#: the interpreted fallback (or fail to compile at all).
+_OBJECT_CONSTRUCTS: tuple[tuple[type[ast.AST], str], ...] = (
+    (ast.Dict, "dict literal"),
+    (ast.DictComp, "dict comprehension"),
+    (ast.Set, "set literal"),
+    (ast.SetComp, "set comprehension"),
+    (ast.Lambda, "lambda"),
+    (ast.Try, "try/except"),
+    (ast.With, "with block"),
+    (ast.Yield, "yield"),
+    (ast.YieldFrom, "yield from"),
+    (ast.Await, "await"),
+    (ast.JoinedStr, "f-string"),
+    (ast.ClassDef, "class definition"),
+)
+
+
+def _is_njit_decorator(context: FileContext, node: ast.AST) -> bool:
+    """True when a decorator expression applies numba's njit/jit."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    resolved = context.resolve(node)
+    if resolved in ("numba.njit", "numba.jit"):
+        return True
+    raw = context.dotted(node)
+    if raw is None:
+        return False
+    tail = raw.rsplit(".", 1)[-1].lstrip("_")
+    # Covers the local ``_numba_njit`` interpreted-fallback shim.
+    return tail.endswith("njit")
+
+
+def kernel_functions(
+    context: FileContext,
+) -> dict[str, tuple[ast.FunctionDef | ast.AsyncFunctionDef, str]]:
+    """Kernels plus module helpers reachable from them, by name.
+
+    Returns ``{name: (node, root_kernel_name)}`` — the call graph is
+    walked from every ``@njit`` function through module-level callees.
+    """
+    module_funcs = context.module_functions()
+    kernels = {
+        name: node
+        for name, node in module_funcs.items()
+        if any(_is_njit_decorator(context, dec) for dec in node.decorator_list)
+    }
+    reached: dict[str, tuple[ast.FunctionDef | ast.AsyncFunctionDef, str]] = {}
+    for root, node in sorted(kernels.items()):
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.name in reached:
+                continue
+            reached[current.name] = (current, root)
+            for sub in ast.walk(current):
+                if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name):
+                    callee = module_funcs.get(sub.func.id)
+                    if callee is not None and callee.name not in reached:
+                        stack.append(callee)
+    return reached
+
+
+class _KernelRule(Rule):
+    """Shared driver: apply :meth:`check_kernel` to each reached kernel."""
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for name, (node, root) in sorted(kernel_functions(context).items()):
+            origin = (
+                f"@njit kernel {name}()"
+                if name == root
+                else f"{name}(), reached from @njit kernel {root}()"
+            )
+            yield from self.check_kernel(context, node, origin)
+
+    def check_kernel(
+        self,
+        context: FileContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        origin: str,
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+@register
+class KernelRngRule(_KernelRule):
+    """KRN001: kernels never construct or consume generators."""
+
+    rule_id = "KRN001"
+    name = "kernel-rng"
+    description = (
+        "@njit kernel constructs a Generator or draws randomness "
+        "(uniforms must be host-drawn)"
+    )
+    contract = (
+        "loop/vector/jit byte-parity: the host draws all uniforms from "
+        "the caller's generator; kernels are pure functions of arrays"
+    )
+
+    def check_kernel(
+        self,
+        context: FileContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        origin: str,
+    ) -> Iterator[Finding]:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Attribute):
+                resolved = context.resolve(sub)
+                if resolved is not None and resolved.startswith("numpy.random."):
+                    yield self.finding(
+                        context,
+                        sub.lineno,
+                        sub.col_offset,
+                        f"{origin} touches {resolved} — kernels must not "
+                        f"own random state",
+                        "draw the uniform block on the host and pass it "
+                        "in as an array argument",
+                    )
+            elif isinstance(sub, ast.Call):
+                raw = context.dotted(sub.func)
+                if raw is not None and raw in GENERATOR_CONSTRUCTOR_TAILS:
+                    yield self.finding(
+                        context,
+                        sub.lineno,
+                        sub.col_offset,
+                        f"{origin} constructs a generator via {raw}()",
+                        "generators belong to the host/caller; pass "
+                        "host-drawn uniforms instead",
+                    )
+                elif (
+                    isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in DRAW_METHODS
+                    and isinstance(sub.func.value, ast.Name)
+                    and context.resolve(sub.func.value) is None
+                ):
+                    yield self.finding(
+                        context,
+                        sub.lineno,
+                        sub.col_offset,
+                        f"{origin} draws randomness via "
+                        f"{sub.func.value.id}.{sub.func.attr}()",
+                        "draw on the host; the kernel consumes a "
+                        "pre-drawn uniform array",
+                    )
+
+
+@register
+class KernelGlobalMutationRule(_KernelRule):
+    """KRN002: kernels must not mutate enclosing scopes."""
+
+    rule_id = "KRN002"
+    name = "kernel-global-mutation"
+    description = "@njit kernel declares global/nonlocal state"
+    contract = (
+        "loop/vector/jit byte-parity: kernel output depends only on "
+        "kernel arguments, never on call order or module state"
+    )
+
+    def check_kernel(
+        self,
+        context: FileContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        origin: str,
+    ) -> Iterator[Finding]:
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Global, ast.Nonlocal)):
+                kind = "global" if isinstance(sub, ast.Global) else "nonlocal"
+                names = ", ".join(sub.names)
+                yield self.finding(
+                    context,
+                    sub.lineno,
+                    sub.col_offset,
+                    f"{origin} declares `{kind} {names}` — kernel output "
+                    f"would depend on call order",
+                    "pass the state in as an argument and return (or "
+                    "write into) an output array",
+                )
+
+
+@register
+class KernelUnsupportedOpRule(_KernelRule):
+    """KRN003: whitelisted numpy ops and scalar Python only."""
+
+    rule_id = "KRN003"
+    name = "kernel-unsupported-op"
+    description = (
+        "@njit kernel calls a non-whitelisted numpy op or uses a "
+        "Python-object construct"
+    )
+    contract = (
+        "loop/vector/jit byte-parity: kernels use only constructs whose "
+        "compiled and interpreted semantics are identical"
+    )
+
+    def check_kernel(
+        self,
+        context: FileContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        origin: str,
+    ) -> Iterator[Finding]:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                resolved = context.call_name(sub)
+                if (
+                    resolved is not None
+                    and resolved.startswith("numpy.")
+                    and resolved.split(".")[1] not in KERNEL_NP_WHITELIST
+                ):
+                    member = resolved.split(".", 1)[1]
+                    yield self.finding(
+                        context,
+                        sub.lineno,
+                        sub.col_offset,
+                        f"{origin} calls np.{member}, which is not on the "
+                        f"kernel whitelist",
+                        "hoist it to the host, or extend "
+                        "repro.lint.rules_kernel.KERNEL_NP_WHITELIST "
+                        "after proving compiled==interpreted equivalence",
+                    )
+                elif (
+                    isinstance(sub.func, ast.Name)
+                    and sub.func.id in _FORBIDDEN_BUILTINS
+                ):
+                    yield self.finding(
+                        context,
+                        sub.lineno,
+                        sub.col_offset,
+                        f"{origin} calls {sub.func.id}() — object mode / "
+                        f"process state inside a kernel",
+                        "keep I/O and reflection on the host side",
+                    )
+                continue
+            for node_type, label in _OBJECT_CONSTRUCTS:
+                if isinstance(sub, node_type):
+                    yield self.finding(
+                        context,
+                        sub.lineno,
+                        sub.col_offset,
+                        f"{origin} contains a {label} — compiled and "
+                        f"interpreted semantics can diverge",
+                        "restructure with arrays/scalars, or split the "
+                        "object-mode part onto the host",
+                    )
+                    break

@@ -1,0 +1,238 @@
+"""Schema-drift rules: snapshot writers checked against declarations.
+
+Telemetry snapshots and checkpoint payloads are consumed far from
+where they are written (dashboards, ``compare_baselines``, resume
+paths), so a writer silently growing or renaming a field is a
+cross-layer bug.  The convention: the field set is declared **once**
+as a module-level ``frozenset`` constant, and every writer carries a
+marker comment on its ``def`` line::
+
+    SNAPSHOT_FIELDS = frozenset({"tick", "metrics", ...})
+
+    def snapshot(...):  # repro-lint: schema=SNAPSHOT_FIELDS
+        ...
+
+Cross-module writers reference the declaring module explicitly
+(``# repro-lint: schema=repro.runtime.telemetry:SNAPSHOT_FIELDS``).
+The rule statically collects every top-level key the function writes
+into its record — dict-literal keys of the returned value and
+``record["key"] = ...`` subscript stores — and fails on keys missing
+from the declaration.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule, register
+
+
+def _constant_strings(node: ast.AST) -> tuple[set[str], bool]:
+    """String elements of a set/frozenset/tuple/list literal.
+
+    Returns ``(strings, fully_static)`` — ``fully_static`` is False
+    when any element is not a string constant.
+    """
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("frozenset", "set", "tuple", "list") and node.args:
+            return _constant_strings(node.args[0])
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        strings: set[str] = set()
+        static = True
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                strings.add(element.value)
+            else:
+                static = False
+        return strings, static
+    return set(), False
+
+
+def _find_declaration(
+    tree: ast.Module, name: str
+) -> tuple[set[str], bool] | None:
+    """Locate ``name = frozenset({...})`` at module level."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        if value is None:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                return _constant_strings(value)
+    return None
+
+
+def _written_keys(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[tuple[str, int, int]]:
+    """Top-level string keys the function writes into its record.
+
+    The record is what the function returns (a dict literal, or a name
+    whose dict-literal assignment and subscript stores are collected).
+    Functions that never return their record (checkpoint writers that
+    serialize it instead) fall back to every dict-literal assignment.
+    """
+    returned_names: set[str] = set()
+    returned_dicts: list[ast.Dict] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and node.value is not None:
+            if isinstance(node.value, ast.Name):
+                returned_names.add(node.value.id)
+            elif isinstance(node.value, ast.Dict):
+                returned_dicts.append(node.value)
+
+    keys: list[tuple[str, int, int]] = []
+
+    def _dict_keys(literal: ast.Dict) -> None:
+        for key in literal.keys:
+            if (
+                key is not None
+                and isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+            ):
+                keys.append((key.value, key.lineno, key.col_offset))
+
+    record_names = set(returned_names)
+    if not returned_names and not returned_dicts:
+        # Serialized-not-returned records: every dict-literal local.
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Dict
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        record_names.add(target.id)
+
+    for literal in returned_dicts:
+        _dict_keys(literal)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Dict):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id in record_names:
+                    _dict_keys(node.value)
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in record_names
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    keys.append(
+                        (target.slice.value, target.lineno, target.col_offset)
+                    )
+    return keys
+
+
+@register
+class SchemaDriftRule(Rule):
+    """SCH001/SCH002 driver: writers vs declared snapshot field sets."""
+
+    rule_id = "SCH001"
+    name = "schema-field-drift"
+    description = (
+        "snapshot/checkpoint writer emits a field missing from its "
+        "declared schema constant"
+    )
+    contract = (
+        "telemetry/checkpoint schema: field sets are declared once; "
+        "writers cannot silently grow or rename them"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        if not context.schema_markers:
+            return
+        functions_by_line = {
+            func.lineno: func for func in context.function_defs()
+        }
+        for line, target in sorted(context.schema_markers.items()):
+            func = functions_by_line.get(line)
+            if func is None:
+                yield self.finding(
+                    context,
+                    line,
+                    0,
+                    f"schema marker {target!r} is not attached to a "
+                    f"function definition line",
+                    "put `# repro-lint: schema=NAME` on the def line of "
+                    "the writer it checks",
+                )
+                continue
+            declaration = self._resolve_declaration(context, target)
+            if declaration is None:
+                yield self.finding(
+                    context,
+                    line,
+                    0,
+                    f"schema declaration {target!r} could not be "
+                    f"resolved to a module-level frozenset of field "
+                    f"names",
+                    "declare `NAME = frozenset({...})` at module level "
+                    "(cross-module: schema=pkg.mod:NAME)",
+                )
+                continue
+            declared, fully_static = declaration
+            if not fully_static:
+                yield self.finding(
+                    context,
+                    line,
+                    0,
+                    f"schema declaration {target!r} contains non-string "
+                    f"elements — the field set must be fully static",
+                    "declare every field as a string literal",
+                )
+                continue
+            for key, key_line, key_col in _written_keys(func):
+                if key in declared:
+                    continue
+                yield self.finding(
+                    context,
+                    key_line,
+                    key_col,
+                    f"{func.name}() writes field {key!r}, which is not "
+                    f"in {target}",
+                    "add the field to the declaration (and to every "
+                    "consumer) or fix the key",
+                )
+
+    def _resolve_declaration(
+        self, context: FileContext, target: str
+    ) -> tuple[set[str], bool] | None:
+        if ":" not in target:
+            return _find_declaration(context.tree, target)
+        module_path, _, name = target.partition(":")
+        root = context.package_root()
+        if root is None:
+            return None
+        candidate = root.joinpath(*module_path.split("."))
+        for path in (candidate.with_suffix(".py"), candidate / "__init__.py"):
+            if path.exists():
+                try:
+                    tree = ast.parse(
+                        path.read_text(encoding="utf-8"), filename=str(path)
+                    )
+                except SyntaxError:  # pragma: no cover - broken dependency
+                    return None
+                return _find_declaration(tree, name)
+        return None
+
+
+def declaration_for_test(path: Path, name: str) -> set[str] | None:
+    """Test helper: read a declared field set from a module file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    found = _find_declaration(tree, name)
+    return None if found is None else found[0]

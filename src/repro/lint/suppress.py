@@ -1,0 +1,61 @@
+"""Inline suppressions: ``# repro-lint: disable=RULE`` with usage audit.
+
+A finding is suppressed when its line carries a disable directive
+naming its rule id.  Suppressions are deliberately line-scoped and
+id-explicit — no file-wide or bare ``disable`` — so every accepted
+exception is visible exactly where it applies and says exactly what it
+excuses.  A directive that silences nothing is itself a finding
+(:data:`UNUSED_SUPPRESSION_ID`): stale suppressions rot into blind
+spots, which is how "checked" code quietly stops being checked.
+"""
+
+from __future__ import annotations
+
+from repro.lint.context import FileContext
+from repro.lint.finding import ERROR, Finding
+
+#: Rule id of the unused-suppression audit findings.
+UNUSED_SUPPRESSION_ID = "SUP001"
+
+
+def apply_suppressions(
+    context: FileContext, findings: list[Finding]
+) -> list[Finding]:
+    """Filter suppressed findings; append unused-suppression findings.
+
+    Returns the surviving findings (sorted by location).  Each disable
+    directive must suppress at least one finding per rule id it names;
+    ids that match nothing produce one SUP001 finding each.  SUP001
+    itself cannot be suppressed — deleting the stale directive *is*
+    the fix.
+    """
+    kept: list[Finding] = []
+    for finding in findings:
+        suppression = context.suppressions.get(finding.line)
+        if suppression is not None and finding.rule_id in suppression.rule_ids:
+            suppression.used.add(finding.rule_id)
+            continue
+        kept.append(finding)
+    for line in sorted(context.suppressions):
+        suppression = context.suppressions[line]
+        for rule_id in suppression.rule_ids:
+            if rule_id in suppression.used:
+                continue
+            kept.append(
+                Finding(
+                    path=context.path,
+                    line=line,
+                    col=0,
+                    rule_id=UNUSED_SUPPRESSION_ID,
+                    severity=ERROR,
+                    message=(
+                        f"suppression of {rule_id} matches no finding "
+                        f"on this line"
+                    ),
+                    fix_hint=(
+                        "delete the stale `# repro-lint: disable` "
+                        "directive (or fix its rule id)"
+                    ),
+                )
+            )
+    return sorted(kept, key=Finding.sort_key)

@@ -27,7 +27,32 @@ from pathlib import Path
 
 from repro.util.validation import ValidationError
 
-__all__ = ["CHECKPOINT_VERSION", "load_checkpoint", "save_checkpoint"]
+__all__ = [
+    "CHECKPOINT_FIELDS",
+    "CHECKPOINT_VERSION",
+    "load_checkpoint",
+    "save_checkpoint",
+]
+
+#: The complete field set of a checkpoint payload.  Declared once;
+#: ``repro.lint`` rule SCH001 statically checks :func:`save_checkpoint`
+#: against it, so the writer and :func:`load_checkpoint`'s readers
+#: cannot drift apart silently.  Adding a field here is an explicit
+#: schema decision — remember to bump :data:`CHECKPOINT_VERSION` when
+#: the change is incompatible.
+CHECKPOINT_FIELDS = frozenset(
+    {
+        "format",
+        "version",
+        "tick",
+        "slices_per_tick",
+        "backend",
+        "chunk_slices",
+        "telemetry_every",
+        "telemetry_per_device",
+        "fleet",
+    }
+)
 
 #: Bump on incompatible payload changes; loaders reject mismatches.
 CHECKPOINT_VERSION = 1
@@ -39,7 +64,7 @@ _FORMAT = "repro-fleet-checkpoint"
 _PROTOCOL = 4
 
 
-def save_checkpoint(path, controller) -> None:
+def save_checkpoint(path, controller) -> None:  # repro-lint: schema=CHECKPOINT_FIELDS
     """Write ``controller``'s full fleet state to ``path``.
 
     Raises :class:`~repro.util.validation.ValidationError` when any

@@ -431,7 +431,9 @@ class FleetController:
             "loop_devices": len(self._loop_devices),
         }
 
-    def snapshot(self, per_device: bool | None = None) -> dict:
+    def snapshot(  # repro-lint: schema=repro.runtime.telemetry:SNAPSHOT_FIELDS
+        self, per_device: bool | None = None
+    ) -> dict:
         """A telemetry snapshot of the current fleet state.
 
         Stamped with :attr:`resolved_backend` — a pure function of the
@@ -492,7 +494,9 @@ class FleetController:
             device._tables_key = key
         self._groups_version = self._fleet.version
 
-    def step_tick(self) -> dict | None:
+    def step_tick(  # repro-lint: schema=repro.runtime.telemetry:SNAPSHOT_FIELDS
+        self,
+    ) -> dict | None:
         """Advance every device by one tick; maybe emit telemetry.
 
         Returns the telemetry record when this tick emitted one (the

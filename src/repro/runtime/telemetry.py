@@ -27,14 +27,54 @@ from pathlib import Path
 from repro.runtime.fleet import Device, Fleet
 
 __all__ = [
+    "DEVICE_RECORD_FIELDS",
     "JsonLinesTelemetry",
     "MemoryTelemetry",
+    "SNAPSHOT_FIELDS",
     "device_record",
     "snapshot",
 ]
 
+#: The complete field set of a device sub-record.  Declared once here;
+#: ``repro.lint`` rule SCH001 statically checks every marked writer
+#: against it, so a writer cannot silently grow or rename a field.
+DEVICE_RECORD_FIELDS = frozenset(
+    {
+        "id",
+        "slices",
+        "state",
+        "averages",
+        "arrivals",
+        "serviced",
+        "lost",
+        "loss_event_slices",
+        "agent",
+        "workload",
+    }
+)
 
-def device_record(device: Device) -> dict:
+#: The complete field set of a fleet snapshot record, including the
+#: optional fields stamped by the controller (``devices`` under
+#: ``per_device=True``, ``backend`` always, ``timing`` under
+#: ``record_timing=True``).  Machine-checked like
+#: :data:`DEVICE_RECORD_FIELDS` — the controller's writers carry
+#: cross-module ``schema=repro.runtime.telemetry:SNAPSHOT_FIELDS``
+#: markers.
+SNAPSHOT_FIELDS = frozenset(
+    {
+        "tick",
+        "n_devices",
+        "fleet_slices",
+        "metrics",
+        "counters",
+        "devices",
+        "backend",
+        "timing",
+    }
+)
+
+
+def device_record(device: Device) -> dict:  # repro-lint: schema=DEVICE_RECORD_FIELDS
     """One device's telemetry sub-record."""
     return {
         "id": device.device_id,
@@ -50,7 +90,9 @@ def device_record(device: Device) -> dict:
     }
 
 
-def snapshot(fleet: Fleet, tick: int, per_device: bool = False) -> dict:
+def snapshot(  # repro-lint: schema=SNAPSHOT_FIELDS
+    fleet: Fleet, tick: int, per_device: bool = False
+) -> dict:
     """Aggregate the fleet's accumulators into one snapshot record.
 
     Per-metric aggregates are computed over the devices that register

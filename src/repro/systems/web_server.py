@@ -93,7 +93,7 @@ def build_provider() -> ServiceProvider:
 
     # Power: per processor, depends on its bit and the command target.
     power = np.zeros((n, len(COMMANDS)))
-    for s, name in enumerate(SP_STATES):
+    for s in range(len(SP_STATES)):
         bits = bits_of[s]
         for a, command in enumerate(COMMANDS):
             target = COMMAND_TARGET[command]

@@ -36,7 +36,14 @@ Subcommands:
   ``pareto``) and ``--fleet-out`` writes a fleet campaign spec driven
   by the fitted generator;
 * ``extract TRACE.txt --resolution 0.001 --memory 2`` — run just the
-  SR extractor and print the fitted model.
+  SR extractor and print the fitted model;
+* ``lint [PATHS...]`` — run the :mod:`repro.lint` determinism &
+  backend-parity static analyzer (RNG threading, ``@njit`` kernel
+  purity, hash stability, float determinism, telemetry/checkpoint
+  schema drift); ``--json`` emits the machine-readable report,
+  ``--select`` runs a rule subset and ``--list-rules`` documents the
+  battery.  Exit code 0 means clean, 1 means findings, 2 means the
+  run itself failed.
 """
 
 from __future__ import annotations
@@ -49,6 +56,7 @@ import numpy as np
 
 from repro.core.pareto import simulate_curve
 from repro.experiments import available_experiments, run_experiment
+from repro.lint.cli import add_lint_arguments, run_lint
 from repro.runtime.controller import CONTROLLER_BACKENDS
 from repro.sim.backends import BACKEND_CHOICES, available_backends
 from repro.sim.rng import make_rng
@@ -281,6 +289,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "backends",
         help="list simulation backends and whether each is importable",
     )
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically check the repo's reproducibility contracts",
+    )
+    add_lint_arguments(p_lint)
 
     p_ext = sub.add_parser("extract", help="fit an SR model from a trace")
     p_ext.add_argument("trace", help="path to a request trace file")
@@ -814,6 +828,7 @@ def main(argv=None) -> int:
         "fit": _cmd_fit,
         "extract": _cmd_extract,
         "backends": _cmd_backends,
+        "lint": run_lint,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,38 @@
+"""Type-check the ``repro.lint`` package and the core/lp public
+surfaces with mypy, when mypy is available.
+
+CI installs mypy (pinned in the ``dev`` extra) so the check always
+runs there; locally the test skips rather than demanding the tool.
+Configuration lives in ``pyproject.toml`` — ``repro.lint`` is held to
+basic strictness (untyped defs are errors), the rest to default
+leniency with third-party imports ignored.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CHECKED = [
+    "src/repro/lint",
+    "src/repro/core/__init__.py",
+    "src/repro/lp/__init__.py",
+]
+
+
+def test_mypy_clean():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", *CHECKED],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

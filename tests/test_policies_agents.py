@@ -133,7 +133,7 @@ class TestRandomizedTimeoutAgent:
         rng = make_rng(1)
         agent.reset()
         sleeps = set()
-        for period in range(40):
+        for _ in range(40):
             agent.select_command(obs(arrivals=1), rng)  # busy resets
             for t in range(150):
                 command = agent.select_command(obs(t=t), rng)

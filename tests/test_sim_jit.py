@@ -18,6 +18,8 @@ compiled artifact on the CI numba legs.  Three layers:
    backend stamp / checkpoint round-trip under the jit tier.
 """
 
+from typing import ClassVar
+
 import numpy as np
 import pytest
 
@@ -203,7 +205,7 @@ class TestGoldenHex:
     """Seeded CRN values pinned from the vector backend, asserted on
     both tiers — the jit==vector==seed chain in one place."""
 
-    GOLDEN = [
+    GOLDEN: ClassVar[list[dict]] = [
         {
             "totals": {
                 "power": "0x1.67a8000000000p+13",
