@@ -40,6 +40,11 @@ Module index
     internals, stream cursors — so campaigns survive restarts with
     byte-identical telemetry.
 
+The sharded fleet daemon in :mod:`repro.service` builds on this layer:
+it partitions a fleet across worker processes (each running its own
+:class:`FleetController` over a sub-fleet) and reaggregates telemetry
+and checkpoints byte-identically to a single-process run.
+
 Quickstart::
 
     from repro.policies import StationaryPolicyAgent, eager_markov_policy
@@ -67,19 +72,24 @@ or, from the command line::
 
 from repro.runtime.checkpoint import (
     CHECKPOINT_VERSION,
+    checkpoint_payload,
     load_checkpoint,
     save_checkpoint,
+    write_checkpoint,
 )
 from repro.runtime.controller import (
     FLEET_CHUNK_SLICES,
     FLEET_LANE_BLOCK,
     FleetController,
+    resolve_backend_name,
 )
 from repro.runtime.fleet import (
     Device,
     Fleet,
     OptimizeDirective,
+    build_agent_from_spec,
     build_fleet,
+    build_group_devices,
     device_rng,
     parse_fleet_spec,
 )
@@ -105,6 +115,7 @@ from repro.runtime.telemetry import (
     MemoryTelemetry,
     device_record,
     snapshot,
+    snapshot_from_records,
 )
 
 __all__ = [
@@ -126,15 +137,21 @@ __all__ = [
     "PoissonStream",
     "PolicyCache",
     "TraceStream",
+    "build_agent_from_spec",
     "build_fleet",
+    "build_group_devices",
+    "checkpoint_payload",
     "costs_signature",
     "device_record",
     "device_rng",
     "load_checkpoint",
     "parse_fleet_spec",
     "policy_signature",
+    "resolve_backend_name",
     "save_checkpoint",
     "snapshot",
+    "snapshot_from_records",
     "stream_from_spec",
     "system_signature",
+    "write_checkpoint",
 ]

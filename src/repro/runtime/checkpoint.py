@@ -30,8 +30,10 @@ from repro.util.validation import ValidationError
 __all__ = [
     "CHECKPOINT_FIELDS",
     "CHECKPOINT_VERSION",
+    "checkpoint_payload",
     "load_checkpoint",
     "save_checkpoint",
+    "write_checkpoint",
 ]
 
 #: The complete field set of a checkpoint payload.  Declared once;
@@ -64,14 +66,26 @@ _FORMAT = "repro-fleet-checkpoint"
 _PROTOCOL = 4
 
 
-def save_checkpoint(path, controller) -> None:  # repro-lint: schema=CHECKPOINT_FIELDS
-    """Write ``controller``'s full fleet state to ``path``.
+def checkpoint_payload(  # repro-lint: schema=CHECKPOINT_FIELDS
+    fleet,
+    tick: int,
+    slices_per_tick: int,
+    backend: str,
+    chunk_slices: int,
+    telemetry_every: int,
+    telemetry_per_device: bool,
+) -> dict:
+    """Build a checkpoint payload from explicit run state.
 
-    Raises :class:`~repro.util.validation.ValidationError` when any
-    device cannot be serialized (live callable streams, lambda-closure
-    agents), naming the offending device.
+    The shared producer behind :func:`save_checkpoint` (single-process
+    controller) and the service daemon's gathered-fleet checkpoints —
+    one payload literal, so the two paths cannot drift and a sharded
+    daemon checkpoint is byte-identical to a single-process one for
+    equal fleet state.  Raises
+    :class:`~repro.util.validation.ValidationError` when any device
+    cannot be serialized (live callable streams), naming the device.
     """
-    for device in controller.fleet:
+    for device in fleet:
         if device.stream is not None and not device.stream.checkpointable:
             raise ValidationError(
                 f"device {device.device_id!r} is fed by a "
@@ -79,17 +93,21 @@ def save_checkpoint(path, controller) -> None:  # repro-lint: schema=CHECKPOINT_
                 f"({device.stream.describe()}); replace it with a "
                 f"trace/synthetic stream to checkpoint this fleet"
             )
-    payload = {
+    return {
         "format": _FORMAT,
         "version": CHECKPOINT_VERSION,
-        "tick": controller.tick,
-        "slices_per_tick": controller.slices_per_tick,
-        "backend": controller.backend,
-        "chunk_slices": controller.chunk_slices,
-        "telemetry_every": controller._telemetry_every,
-        "telemetry_per_device": controller._telemetry_per_device,
-        "fleet": controller.fleet,
+        "tick": int(tick),
+        "slices_per_tick": int(slices_per_tick),
+        "backend": str(backend),
+        "chunk_slices": int(chunk_slices),
+        "telemetry_every": int(telemetry_every),
+        "telemetry_per_device": bool(telemetry_per_device),
+        "fleet": fleet,
     }
+
+
+def write_checkpoint(path, payload: dict) -> None:
+    """Serialize a :func:`checkpoint_payload` mapping to ``path``."""
     try:
         blob = pickle.dumps(payload, protocol=_PROTOCOL)
     except Exception as exc:
@@ -98,6 +116,27 @@ def save_checkpoint(path, controller) -> None:  # repro-lint: schema=CHECKPOINT_
             f"must avoid lambdas and open handles to be checkpointable"
         ) from exc
     Path(path).write_bytes(blob)
+
+
+def save_checkpoint(path, controller) -> None:
+    """Write ``controller``'s full fleet state to ``path``.
+
+    Raises :class:`~repro.util.validation.ValidationError` when any
+    device cannot be serialized (live callable streams, lambda-closure
+    agents), naming the offending device.
+    """
+    write_checkpoint(
+        path,
+        checkpoint_payload(
+            controller.fleet,
+            controller.tick,
+            controller.slices_per_tick,
+            controller.backend,
+            controller.chunk_slices,
+            controller._telemetry_every,
+            controller._telemetry_per_device,
+        ),
+    )
 
 
 def load_checkpoint(path) -> dict:

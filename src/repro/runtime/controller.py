@@ -51,6 +51,7 @@ __all__ = [
     "FLEET_CHUNK_SLICES",
     "FLEET_LANE_BLOCK",
     "FleetController",
+    "resolve_backend_name",
 ]
 
 #: Default pinned chunk length for fleet batches.  A constant (rather
@@ -72,6 +73,26 @@ FLEET_LANE_BLOCK = 16_384
 
 #: Accepted ``backend`` values for the controller.
 CONTROLLER_BACKENDS = ("auto", "loop", "vector", "jit")
+
+
+def resolve_backend_name(backend: str) -> str:
+    """What :attr:`FleetController.resolved_backend` would report for
+    ``backend`` on this machine, without building a controller.
+
+    The service daemon stamps telemetry records it aggregates from
+    shard workers; resolving centrally (instead of asking a worker)
+    keeps the stamp available even while shards are restarting.
+    """
+    if backend not in CONTROLLER_BACKENDS:
+        raise ValidationError(
+            f"unknown controller backend {backend!r}; "
+            f"choose from {CONTROLLER_BACKENDS}"
+        )
+    if backend == "loop":
+        return "loop"
+    if backend == "auto":
+        return preferred_batch_backend().name
+    return get_backend(backend).name
 
 
 class _FanInUniforms:
@@ -287,6 +308,10 @@ class FleetController:
         Ticks between snapshots.
     telemetry_per_device:
         Include per-device sub-records in each snapshot.
+    initial_tick:
+        Tick counter to start from (default 0).  :meth:`resume` and the
+        service shard workers use it so a rebuilt controller's tick —
+        and therefore its telemetry cadence — continues seamlessly.
 
     Examples
     --------
@@ -319,6 +344,7 @@ class FleetController:
         chunk_slices: int | None = None,
         record_timing: bool = False,
         policy_cache=None,
+        initial_tick: int = 0,
     ):
         slices_per_tick = int(slices_per_tick)
         if slices_per_tick <= 0:
@@ -342,6 +368,11 @@ class FleetController:
             raise ValidationError(
                 f"chunk_slices must be > 0, got {chunk_slices}"
             )
+        initial_tick = int(initial_tick)
+        if initial_tick < 0:
+            raise ValidationError(
+                f"initial_tick must be >= 0, got {initial_tick}"
+            )
         self._fleet = fleet
         self._slices_per_tick = slices_per_tick
         self._backend = backend
@@ -361,12 +392,12 @@ class FleetController:
         self._telemetry = telemetry
         self._telemetry_every = telemetry_every
         self._telemetry_per_device = bool(telemetry_per_device)
-        self._tick = 0
+        self._tick = initial_tick
         # Compiled-group caches, invalidated on fleet membership changes.
         self._groups_version = -1
         self._vector_groups: list[_VectorGroup] = []
         self._loop_devices: list[Device] = []
-        self._loop_tables: dict[tuple, SimulationTables] = {}
+        self._loop_tables: dict[str, SimulationTables] = {}
 
     # ------------------------------------------------------------------
     # accessors
@@ -479,19 +510,20 @@ class FleetController:
             for devices in grouped.values()
         ]
         self._loop_devices = loop_devices
-        self._loop_tables = {
-            (system_signature(d.system), costs_signature(d.costs)): None
-            for d in loop_devices
-        }
+        # Tables are cached per (system, costs) content and mapped by
+        # device id — never stashed on the Device record, which must
+        # stay free of incidental attributes so checkpoints pickle the
+        # same bytes however the fleet was stepped (or sharded).
+        compiled: dict[tuple, SimulationTables] = {}
+        self._loop_tables = {}
         for device in loop_devices:
             key = (
                 system_signature(device.system),
                 costs_signature(device.costs),
             )
-            if self._loop_tables[key] is None:
-                self._loop_tables[key] = device.compile_tables()
-            # Stash the key so the tick loop avoids re-hashing.
-            device._tables_key = key
+            if key not in compiled:
+                compiled[key] = device.compile_tables()
+            self._loop_tables[device.device_id] = compiled[key]
         self._groups_version = self._fleet.version
 
     def step_tick(  # repro-lint: schema=repro.runtime.telemetry:SNAPSHOT_FIELDS
@@ -516,7 +548,7 @@ class FleetController:
         for group in self._vector_groups:
             group.step(self._slices_per_tick)
         for device in self._loop_devices:
-            tables = self._loop_tables[device._tables_key]
+            tables = self._loop_tables[device.device_id]
             _step_device_loop(device, tables, self._slices_per_tick)
         if timing:
             tick_seconds = time.perf_counter() - tick_start
@@ -601,6 +633,6 @@ class FleetController:
             chunk_slices=payload.get("chunk_slices"),
             record_timing=record_timing,
             policy_cache=policy_cache,
+            initial_tick=payload["tick"],
         )
-        controller._tick = payload["tick"]
         return controller

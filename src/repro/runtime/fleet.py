@@ -44,7 +44,9 @@ __all__ = [
     "Device",
     "Fleet",
     "OptimizeDirective",
+    "build_agent_from_spec",
     "build_fleet",
+    "build_group_devices",
     "device_rng",
     "parse_fleet_spec",
 ]
@@ -251,12 +253,49 @@ class Fleet:
         self.version += 1
         return device
 
+    def adopt_device(self, device: Device) -> Device:
+        """Insert an already-constructed :class:`Device` record as-is.
+
+        Unlike :meth:`add_device` this neither rebuilds the record nor
+        resets its agent — the device keeps its accumulated state,
+        stream cursor and RNG stream exactly.  It is how fleet state
+        moves between processes: shard workers adopt their partition,
+        and gathered daemon fleets are reassembled device by device.
+        """
+        if not isinstance(device, Device):
+            raise ValidationError(
+                f"adopt_device takes a Device, got {type(device).__name__}"
+            )
+        if device.device_id in self._devices:
+            raise ValidationError(f"duplicate device id {device.device_id!r}")
+        self._devices[device.device_id] = device
+        self.version += 1
+        return device
+
     def remove_device(self, device_id: str) -> Device:
         """Deregister and return a device (e.g. decommissioned hardware)."""
         try:
             device = self._devices.pop(str(device_id))
         except KeyError:
             raise ValidationError(f"unknown device id {device_id!r}") from None
+        self.version += 1
+        return device
+
+    def replace_agent(self, device_id: str, agent: PolicyAgent) -> Device:
+        """Swap one device's policy agent in place (live policy push).
+
+        The new agent is reset and the fleet version bumped so
+        controllers regroup and recompile on the next tick.  Works
+        identically through the single-process controller and the
+        sharded daemon — both route policy updates here.
+        """
+        device = self.device(device_id)
+        if not isinstance(agent, PolicyAgent):
+            raise ValidationError(
+                f"agent must be a PolicyAgent, got {type(agent).__name__}"
+            )
+        device.agent = agent
+        agent.reset()
         self.version += 1
         return device
 
@@ -539,6 +578,140 @@ def _build_agent(
     )
 
 
+def build_agent_from_spec(
+    agent_spec: dict,
+    system: PowerManagedSystem,
+    costs: CostModel,
+    *,
+    gamma: float = 0.99999,
+    initial_distribution=None,
+    cache: PolicyCache | None = None,
+    lp_backend: str = "scipy",
+) -> PolicyAgent:
+    """Build one agent from a group-style agent spec mapping.
+
+    The standalone entry the service layer uses for live policy pushes
+    (``fleet-ctl update-policy``): the same spec vocabulary as
+    :func:`build_fleet` groups, solved through the same
+    :class:`PolicyCache` machinery, for a system/costs pair that
+    already exists.
+    """
+    agent_spec = dict(agent_spec)
+    if not isinstance(agent_spec.get("type", "optimal"), str):
+        raise ValidationError("agent spec 'type' must be a string")
+    cache = cache or PolicyCache()
+    group_policy = None
+    if str(agent_spec.get("type", "optimal")) == "optimal":
+        group_policy = _group_policy(
+            agent_spec, system, costs, gamma, initial_distribution, cache,
+            lp_backend,
+        )
+    return _build_agent(
+        agent_spec, system, costs, gamma, initial_distribution, cache,
+        lp_backend, group_policy,
+    )
+
+
+def _build_group(
+    fleet: Fleet,
+    group: dict,
+    gi: int,
+    base_seed: int,
+    cache: PolicyCache,
+    lp_backend: str,
+) -> None:
+    """Register one spec group's devices into ``fleet``."""
+    prefix = str(group.get("id", f"g{gi}"))
+    count = int(group.get("count", 1))
+    seed = int(group.get("seed", base_seed * 7919 + gi))
+    system, costs, gamma, p0 = _compose_group_system(
+        group["system"], lp_backend
+    )
+    agent_spec = dict(group["agent"])
+    group_policy = None
+    if str(agent_spec.get("type", "optimal")) == "optimal":
+        group_policy = _group_policy(
+            agent_spec, system, costs, gamma, p0, cache, lp_backend
+        )
+    initial_state = group.get("initial_state")
+    if initial_state is not None:
+        initial_state = (
+            str(initial_state[0]),
+            str(initial_state[1]),
+            int(initial_state[2]),
+        )
+    workload = (
+        dict(group["workload"])
+        if group.get("workload") is not None
+        else None
+    )
+    # Trace workloads are read and discretized once per group; each
+    # device gets its own cursor over the shared count array.
+    trace_counts = None
+    if workload is not None and workload.get("type") == "trace":
+        from repro.runtime.streams import TraceStream
+
+        trace_counts = stream_from_spec(workload, device_rng(seed, 0))
+    for i in range(count):
+        rng = device_rng(seed, i)
+        stream = None
+        if trace_counts is not None:
+            stream = TraceStream(
+                trace_counts.counts,
+                cycle=bool(workload.get("cycle", True)),
+            )
+        elif workload is not None:
+            stream = stream_from_spec(workload, rng)
+        agent = _build_agent(
+            agent_spec, system, costs, gamma, p0, cache, lp_backend,
+            group_policy,
+        )
+        fleet.add_device(
+            f"{prefix}-{i:04d}",
+            system,
+            costs,
+            agent,
+            rng=rng,
+            stream=stream,
+            initial_state=initial_state,
+        )
+
+
+def build_group_devices(
+    group: dict,
+    *,
+    group_index: int = 0,
+    base_seed: int = 0,
+    lp_backend: str = "scipy",
+    cache: PolicyCache | None = None,
+) -> list[Device]:
+    """Build one spec group's devices without a surrounding fleet.
+
+    The live-registration entry: the service daemon turns a
+    ``register_group`` request into devices with exactly the same
+    construction path (seeding, shared trace counts, shared policy
+    solves) as :func:`build_fleet`, then distributes them to shards.
+    """
+    if not isinstance(group, dict):
+        raise ValidationError(
+            f"group spec must be a mapping, got {type(group).__name__}"
+        )
+    if "system" not in group:
+        raise ValidationError("group spec: missing 'system'")
+    if "agent" not in group or not isinstance(group["agent"], dict):
+        raise ValidationError("group spec: missing 'agent' mapping")
+    if int(group.get("count", 1)) <= 0:
+        raise ValidationError(
+            f"group spec: count must be > 0, got {group.get('count')}"
+        )
+    cache = cache or PolicyCache()
+    staging = Fleet()
+    _build_group(
+        staging, group, int(group_index), int(base_seed), cache, lp_backend
+    )
+    return list(staging)
+
+
 def build_fleet(
     raw: dict,
     *,
@@ -556,58 +729,5 @@ def build_fleet(
     cache = cache or PolicyCache()
     fleet = Fleet()
     for gi, group in enumerate(raw["groups"]):
-        prefix = str(group.get("id", f"g{gi}"))
-        count = int(group.get("count", 1))
-        seed = int(group.get("seed", base_seed * 7919 + gi))
-        system, costs, gamma, p0 = _compose_group_system(
-            group["system"], lp_backend
-        )
-        agent_spec = dict(group["agent"])
-        group_policy = None
-        if str(agent_spec.get("type", "optimal")) == "optimal":
-            group_policy = _group_policy(
-                agent_spec, system, costs, gamma, p0, cache, lp_backend
-            )
-        initial_state = group.get("initial_state")
-        if initial_state is not None:
-            initial_state = (
-                str(initial_state[0]),
-                str(initial_state[1]),
-                int(initial_state[2]),
-            )
-        workload = (
-            dict(group["workload"])
-            if group.get("workload") is not None
-            else None
-        )
-        # Trace workloads are read and discretized once per group; each
-        # device gets its own cursor over the shared count array.
-        trace_counts = None
-        if workload is not None and workload.get("type") == "trace":
-            from repro.runtime.streams import TraceStream
-
-            trace_counts = stream_from_spec(workload, device_rng(seed, 0))
-        for i in range(count):
-            rng = device_rng(seed, i)
-            stream = None
-            if trace_counts is not None:
-                stream = TraceStream(
-                    trace_counts.counts,
-                    cycle=bool(workload.get("cycle", True)),
-                )
-            elif workload is not None:
-                stream = stream_from_spec(workload, rng)
-            agent = _build_agent(
-                agent_spec, system, costs, gamma, p0, cache, lp_backend,
-                group_policy,
-            )
-            fleet.add_device(
-                f"{prefix}-{i:04d}",
-                system,
-                costs,
-                agent,
-                rng=rng,
-                stream=stream,
-                initial_state=initial_state,
-            )
+        _build_group(fleet, group, gi, base_seed, cache, lp_backend)
     return fleet, cache

@@ -120,6 +120,25 @@ class TraceStream(ArrivalStream):
         """
         return self._counts
 
+    def rebind_counts(self, counts: np.ndarray) -> None:
+        """Swap the backing array for an equal one (cursor unchanged).
+
+        Pickling a fleet across process boundaries forks the shared
+        count array into per-shard copies; the daemon rebinds gathered
+        streams onto the canonical build-time array so a gathered
+        fleet's checkpoint pickles with the same object sharing — and
+        therefore the same bytes — as a single-process fleet's.  The
+        replacement must be value-equal; this never changes replay.
+        """
+        arr = np.asarray(counts, dtype=np.int64).reshape(-1)
+        if arr.shape != self._counts.shape or not np.array_equal(
+            arr, self._counts
+        ):
+            raise ValidationError(
+                "rebind_counts requires a value-equal count array"
+            )
+        self._counts = arr
+
     def next_counts(self, n_slices: int) -> np.ndarray:
         n_slices = self._check_n(n_slices)
         size = self._counts.size

@@ -22,9 +22,11 @@ Sinks:
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from repro.runtime.fleet import Device, Fleet
+from repro.util.validation import ValidationError
 
 __all__ = [
     "DEVICE_RECORD_FIELDS",
@@ -33,6 +35,7 @@ __all__ = [
     "SNAPSHOT_FIELDS",
     "device_record",
     "snapshot",
+    "snapshot_from_records",
 ]
 
 #: The complete field set of a device sub-record.  Declared once here;
@@ -90,6 +93,37 @@ def device_record(device: Device) -> dict:  # repro-lint: schema=DEVICE_RECORD_F
     }
 
 
+#: Counter fields summed fleet-wide in every snapshot.
+_COUNTER_FIELDS = ("arrivals", "serviced", "lost", "loss_event_slices")
+
+
+def _aggregate(stats) -> tuple[dict, dict]:
+    """Fold per-device ``(averages, counter-tuple)`` pairs into fleet
+    aggregates.
+
+    One shared reduction for both snapshot producers — the in-process
+    :func:`snapshot` and the daemon-side :func:`snapshot_from_records`
+    — so a sharded run's fleet-level floats associate *exactly* like a
+    single-process run's (part of the service byte-identity contract).
+    """
+    values: dict[str, list[float]] = {}
+    counters = {name: 0 for name in _COUNTER_FIELDS}
+    for averages, device_counters in stats:
+        for name, value in averages.items():
+            values.setdefault(name, []).append(value)
+        for name, value in zip(_COUNTER_FIELDS, device_counters):
+            counters[name] += value
+    metrics = {
+        name: {
+            "mean": sum(series) / len(series),
+            "min": min(series),
+            "max": max(series),
+        }
+        for name, series in values.items()
+    }
+    return metrics, counters
+
+
 def snapshot(  # repro-lint: schema=SNAPSHOT_FIELDS
     fleet: Fleet, tick: int, per_device: bool = False
 ) -> dict:
@@ -99,23 +133,18 @@ def snapshot(  # repro-lint: schema=SNAPSHOT_FIELDS
     the metric (heterogeneous fleets may not share cost models), in
     insertion order; counters are fleet-wide sums.
     """
-    values: dict[str, list[float]] = {}
-    counters = {"arrivals": 0, "serviced": 0, "lost": 0, "loss_event_slices": 0}
-    for device in fleet:
-        for name, value in device.averages.items():
-            values.setdefault(name, []).append(value)
-        counters["arrivals"] += device.arrivals
-        counters["serviced"] += device.serviced
-        counters["lost"] += device.lost
-        counters["loss_event_slices"] += device.loss_event_slices
-    metrics = {
-        name: {
-            "mean": sum(series) / len(series),
-            "min": min(series),
-            "max": max(series),
-        }
-        for name, series in values.items()
-    }
+    metrics, counters = _aggregate(
+        (
+            device.averages,
+            (
+                device.arrivals,
+                device.serviced,
+                device.lost,
+                device.loss_event_slices,
+            ),
+        )
+        for device in fleet
+    )
     record = {
         "tick": int(tick),
         "n_devices": len(fleet),
@@ -125,6 +154,36 @@ def snapshot(  # repro-lint: schema=SNAPSHOT_FIELDS
     }
     if per_device:
         record["devices"] = [device_record(device) for device in fleet]
+    return record
+
+
+def snapshot_from_records(  # repro-lint: schema=SNAPSHOT_FIELDS
+    tick: int, records: list, per_device: bool = False
+) -> dict:
+    """Assemble a fleet snapshot from per-device :func:`device_record`\\ s.
+
+    The service daemon's aggregation path: shard workers report their
+    devices' records, the daemon orders them canonically (global
+    registration order) and folds them here through the *same*
+    reduction as :func:`snapshot` — so for equal device states the two
+    producers emit byte-identical records.
+    """
+    metrics, counters = _aggregate(
+        (
+            record["averages"],
+            tuple(record[name] for name in _COUNTER_FIELDS),
+        )
+        for record in records
+    )
+    record = {
+        "tick": int(tick),
+        "n_devices": len(records),
+        "fleet_slices": sum(int(r["slices"]) for r in records),
+        "metrics": metrics,
+        "counters": counters,
+    }
+    if per_device:
+        record["devices"] = list(records)
     return record
 
 
@@ -154,11 +213,34 @@ class JsonLinesTelemetry:
     append:
         Open in append mode — what a resumed campaign uses so its
         telemetry continues the original file.
+    flush_every:
+        Records between flushes (default 1: every record reaches the
+        OS before the next tick starts).  Raising it trades crash
+        durability for throughput on very large fleets.
+    fsync:
+        When True, every flush is followed by ``os.fsync`` so the
+        record survives not just a process crash but a machine one —
+        the fleet daemon's telemetry mode, where a killed worker or a
+        crashed daemon must never lose an emitted tick.
     """
 
-    def __init__(self, path, append: bool = False):
+    def __init__(
+        self,
+        path,
+        append: bool = False,
+        flush_every: int = 1,
+        fsync: bool = False,
+    ):
+        flush_every = int(flush_every)
+        if flush_every <= 0:
+            raise ValidationError(
+                f"flush_every must be > 0, got {flush_every}"
+            )
         self._path = Path(path)
         self._append = bool(append)
+        self._flush_every = flush_every
+        self._fsync = bool(fsync)
+        self._pending = 0
         self._file = None
 
     @property
@@ -166,17 +248,28 @@ class JsonLinesTelemetry:
         """The output path."""
         return self._path
 
+    def _flush(self) -> None:
+        self._file.flush()
+        if self._fsync:
+            os.fsync(self._file.fileno())
+        self._pending = 0
+
     def record(self, record: dict) -> None:
-        """Serialize and flush one snapshot record."""
+        """Serialize one snapshot record; flush per ``flush_every``."""
         if self._file is None:
             self._file = open(self._path, "a" if self._append else "w")
         self._file.write(json.dumps(record, sort_keys=True))
         self._file.write("\n")
-        self._file.flush()
+        self._pending += 1
+        if self._pending >= self._flush_every:
+            self._flush()
 
     def close(self) -> None:
-        """Close the underlying file (no-op if nothing was recorded)."""
+        """Flush and close the underlying file (no-op when nothing was
+        recorded)."""
         if self._file is not None and not self._file.closed:
+            if self._pending:
+                self._flush()
             self._file.close()
 
     def __enter__(self) -> "JsonLinesTelemetry":

@@ -1,0 +1,219 @@
+"""Blocking client for the fleet daemon protocol.
+
+:class:`ServiceClient` wraps the connect-and-handshake dance and one
+method per request type.  It is deliberately synchronous: one request
+in flight, events (streamed telemetry) dispatched to a callback as
+they arrive, the matching response returned.  This is the layer the
+``repro-dpm fleet-ctl`` CLI and the test suite drive; anything it can
+do — register devices, push policies, step, checkpoint — happens
+against a *live* fleet, no daemon restart required.
+
+Example::
+
+    with ServiceClient("/tmp/fleet.sock") as client:
+        client.register_group({"count": 64, "system": "disk_drive",
+                               "agent": {"type": "optimal",
+                                         "penalty_bound": 0.05}})
+        client.step(10, on_telemetry=print)
+        client.checkpoint("campaign.ckpt")
+        client.shutdown()
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    FrameChannel,
+    ProtocolError,
+    make_request,
+)
+from repro.util.validation import ValidationError
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ValidationError):
+    """A request the daemon refused, or a broken connection."""
+
+
+class ServiceClient:
+    """One connection to a running fleet daemon.
+
+    Construct with the daemon's socket path, then either use as a
+    context manager or call :meth:`connect` / :meth:`close` yourself.
+    The daemon's hello greeting is available as :attr:`server_hello`
+    after connecting (protocol version, server pid, tick, fleet size,
+    shard count).
+    """
+
+    def __init__(self, socket_path, timeout: float | None = None):
+        self._socket_path = str(socket_path)
+        self._timeout = timeout
+        self._channel: FrameChannel | None = None
+        self._next_id = 0
+        self.server_hello: dict | None = None
+
+    # ------------------------------------------------------------------
+    # connection lifecycle
+    # ------------------------------------------------------------------
+    def connect(self) -> "ServiceClient":
+        """Connect and complete the versioned handshake."""
+        if self._channel is not None:
+            raise ServiceError("client is already connected")
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self._timeout is not None:
+            sock.settimeout(self._timeout)
+        try:
+            sock.connect(self._socket_path)
+        except OSError as exc:
+            sock.close()
+            raise ServiceError(
+                f"cannot connect to daemon socket {self._socket_path}: {exc}"
+            ) from exc
+        self._channel = FrameChannel(sock)
+        greeting = self._channel.receive()
+        if greeting is None or greeting.get("event") != "hello":
+            self.close()
+            raise ServiceError(
+                f"daemon did not send a hello greeting, got {greeting!r}"
+            )
+        self.server_hello = greeting.get("data") or {}
+        server_protocol = self.server_hello.get("protocol")
+        if server_protocol != PROTOCOL_VERSION:
+            self.close()
+            raise ServiceError(
+                f"protocol version mismatch: this client speaks "
+                f"{PROTOCOL_VERSION}, server announced {server_protocol!r}"
+            )
+        self._call("hello", {"protocol": PROTOCOL_VERSION})
+        return self
+
+    def close(self) -> None:
+        """Drop the connection (daemon keeps serving other clients)."""
+        if self._channel is not None:
+            self._channel.close()
+            self._channel = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # request plumbing
+    # ------------------------------------------------------------------
+    def _call(self, request_type: str, params: dict, on_event=None):
+        if self._channel is None:
+            raise ServiceError("client is not connected; call connect()")
+        request_id = self._next_id
+        self._next_id += 1
+        try:
+            self._channel.send(
+                make_request(request_id, request_type, params)
+            )
+            while True:
+                frame = self._channel.receive()
+                if frame is None:
+                    raise ServiceError(
+                        f"daemon closed the connection during "
+                        f"{request_type!r}"
+                    )
+                if frame.get("event") is not None:
+                    if on_event is not None:
+                        on_event(frame["event"], frame.get("data"))
+                    continue
+                if frame.get("id") != request_id:
+                    raise ServiceError(
+                        f"response id {frame.get('id')!r} does not match "
+                        f"request id {request_id}"
+                    )
+                if not frame.get("ok"):
+                    raise ServiceError(
+                        f"{request_type} failed: {frame.get('error')}"
+                    )
+                return frame.get("result")
+        except (ProtocolError, OSError) as exc:
+            self.close()
+            raise ServiceError(
+                f"connection to daemon failed during {request_type!r}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # protocol methods
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        """Liveness probe; returns the daemon's current tick."""
+        return self._call("ping", {})
+
+    def info(self) -> dict:
+        """Operational summary: shards, device counts, restarts, pids."""
+        return self._call("info", {})
+
+    def register_group(
+        self,
+        group: dict,
+        base_seed: int = 0,
+        group_index: int | None = None,
+    ) -> dict:
+        """Register one fleet-spec group's devices into the live fleet.
+
+        ``group`` uses the :func:`~repro.runtime.fleet.parse_fleet_spec`
+        group vocabulary (``count``/``system``/``agent``/``workload``/
+        ``seed``).  Seeding matches ``build_fleet`` exactly: the same
+        group registered at the same index with the same base seed
+        yields byte-identical devices.
+        """
+        params: dict = {"group": dict(group), "base_seed": int(base_seed)}
+        if group_index is not None:
+            params["group_index"] = int(group_index)
+        return self._call("register_group", params)
+
+    def remove_device(self, device_id: str) -> dict:
+        """Deregister one device fleet-wide."""
+        return self._call("remove_device", {"device_id": str(device_id)})
+
+    def update_policy(self, device_id: str, agent_spec: dict) -> dict:
+        """Push a new agent (same spec vocabulary) onto a live device."""
+        return self._call(
+            "update_policy",
+            {"device_id": str(device_id), "agent": dict(agent_spec)},
+        )
+
+    def step(self, n_ticks: int = 1, on_telemetry=None) -> dict:
+        """Advance the fleet; stream telemetry records to a callback.
+
+        ``on_telemetry`` (if given) receives each emitted snapshot
+        record as the daemon produces it, before the final response.
+        """
+        def _route(event_type, data):
+            if event_type == "telemetry" and on_telemetry is not None:
+                on_telemetry(data)
+
+        return self._call("step", {"ticks": int(n_ticks)}, on_event=_route)
+
+    def snapshot(self, per_device: bool = False) -> dict:
+        """A telemetry snapshot of the current fleet state."""
+        return self._call("snapshot", {"per_device": bool(per_device)})
+
+    def checkpoint(
+        self,
+        path,
+        telemetry_every: int | None = None,
+        telemetry_per_device: bool | None = None,
+    ) -> dict:
+        """Write a full-fleet checkpoint on the daemon's filesystem."""
+        params: dict = {"path": str(path)}
+        if telemetry_every is not None:
+            params["telemetry_every"] = int(telemetry_every)
+        if telemetry_per_device is not None:
+            params["telemetry_per_device"] = bool(telemetry_per_device)
+        return self._call("checkpoint", params)
+
+    def shutdown(self) -> dict:
+        """Stop the daemon (workers stopped, socket unlinked)."""
+        result = self._call("shutdown", {})
+        self.close()
+        return result

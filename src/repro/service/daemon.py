@@ -1,0 +1,909 @@
+"""The fleet daemon: shard supervision plus the socket accept loop.
+
+:class:`ShardSupervisor` owns the worker processes.  It deals devices
+to shards content-addressed (see :mod:`repro.service.shard`), mirrors
+the fleet-level bookkeeping a single-process
+:class:`~repro.runtime.controller.FleetController` would keep (global
+device order, fleet version), steps all shards concurrently each tick
+and restarts any worker that dies from its spool checkpoint — then
+replays the dead shard's missed ticks, which is byte-exact because
+stepping from a checkpoint is deterministic.
+
+:class:`FleetDaemon` is the serving layer: an ``AF_UNIX`` accept loop
+speaking the :mod:`repro.service.protocol` frame format, one client
+at a time.  Telemetry is aggregated daemon-side: workers report raw
+per-device records, the supervisor reorders them into global
+registration order and
+:func:`~repro.runtime.telemetry.snapshot_from_records` folds them
+through the *same* reduction as the single-process snapshot path.
+
+**The byte-identity contract.**  For the same fleet spec and seed, a
+sharded run's telemetry records and checkpoints are byte-identical to
+the single-process controller's, for any shard count, after any
+re-partitioning, and across mid-run worker restarts:
+
+* device trajectories — per-device RNG streams and the pinned chunk
+  length make stepping bitwise grouping-invariant;
+* fleet aggregates — one shared reduction, fed in one global order;
+* checkpoint pickles — devices are gathered back in registration
+  order and re-attached to the *canonical* shared objects captured at
+  registration (group-shared systems, costs, stationary agents, trace
+  count arrays), so the gathered fleet pickles the same object graph
+  a single-process fleet would.  Stateless stationary agents come
+  from the registry; stateful agents (timeout, adaptive) keep the
+  worker-evolved copy, whose state is itself deterministic.
+
+Documented exception: adaptive devices sharing a *warm-starting*
+policy cache keep their existing caveat (see
+:class:`~repro.runtime.policy_cache.PolicyCache`) — a sharded run
+splits the shared cache per worker, so tied-optimal vertex selection
+may differ exactly as it already may between two single-process runs
+with different cache histories.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.policies.base import PolicyAgent, StationaryAgent
+from repro.runtime.checkpoint import (
+    checkpoint_payload,
+    load_checkpoint,
+    write_checkpoint,
+)
+from repro.runtime.controller import (
+    FLEET_CHUNK_SLICES,
+    FleetController,
+    resolve_backend_name,
+)
+from repro.runtime.fleet import (
+    Device,
+    Fleet,
+    build_agent_from_spec,
+    build_group_devices,
+)
+from repro.runtime.policy_cache import PolicyCache
+from repro.runtime.streams import TraceStream
+from repro.runtime.telemetry import snapshot_from_records
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    FrameChannel,
+    ProtocolError,
+    hello_data,
+    make_error,
+    make_event,
+    make_response,
+    validate_request,
+)
+from repro.service.shard import (
+    Partitioner,
+    ShardConfig,
+    shard_worker_main,
+    spool_path,
+)
+from repro.util.validation import ValidationError
+
+__all__ = ["FleetDaemon", "ShardSupervisor"]
+
+
+def _normalize_dtypes(obj, seen: set) -> None:
+    """Point every reachable ndarray at the cached builtin dtype object.
+
+    Unpickling (numpy's dtype reduce passes ``copy=True``) gives each
+    shard's arrays their own dtype *object*; a single-process fleet's
+    arrays all share one.  Pickle memoizes by identity, so without
+    this pass a gathered fleet would serialize one dtype per shard
+    where the reference run serializes one total — different bytes
+    for equal content.  Mutating ``arr.dtype`` in place is value-
+    preserving (same itemsize, same byte order) and touches nothing
+    else in the graph.
+    """
+    if id(obj) in seen:
+        return
+    seen.add(id(obj))
+    if isinstance(obj, np.ndarray):
+        obj.dtype = np.dtype(obj.dtype.str)
+        return
+    if isinstance(obj, np.random.Generator):
+        seed_seq = obj.bit_generator.seed_seq
+        pool = getattr(seed_seq, "pool", None)
+        if isinstance(pool, np.ndarray):
+            pool.dtype = np.dtype(pool.dtype.str)
+        return
+    if isinstance(obj, dict):
+        for value in obj.values():
+            _normalize_dtypes(value, seen)
+        return
+    if isinstance(obj, (list, tuple)):
+        for value in obj:
+            _normalize_dtypes(value, seen)
+        return
+    attributes = getattr(obj, "__dict__", None)
+    if attributes:
+        _normalize_dtypes(attributes, seen)
+
+
+@dataclass
+class _CanonicalEntry:
+    """The shared objects a device referenced at registration time.
+
+    Pickling a partition into a worker forks every shared object into
+    a per-shard copy; this registry is how :meth:`gather_fleet`
+    restores the original sharing so a gathered fleet's checkpoint
+    pickles byte-identically to a single-process fleet's.
+    """
+
+    system: object
+    costs: object
+    agent: PolicyAgent | None
+    trace_counts: object
+
+
+@dataclass
+class _WorkerHandle:
+    """One live shard worker: process, pipe, and its completed tick."""
+
+    index: int
+    process: object
+    conn: object
+    tick: int
+
+
+class ShardSupervisor:
+    """Deal a fleet across worker processes and keep them in lockstep.
+
+    Parameters
+    ----------
+    n_shards:
+        Worker process count.  ``1`` is a valid (and byte-identical)
+        degenerate case — useful for soak-testing the service path.
+    slices_per_tick / backend / chunk_slices:
+        Forwarded to every shard's controller, exactly as a
+        single-process :class:`FleetController` would receive them.
+    lp_backend:
+        LP backend for centrally-built agents (live registrations and
+        policy pushes).
+    spool_dir:
+        Directory for per-shard restart checkpoints; defaults to a
+        private temporary directory cleaned up on :meth:`stop`.
+    checkpoint_every:
+        Ticks between spool refreshes (``1``: every tick — a dead
+        worker replays at most the tick it died in).  ``0`` disables
+        spooling entirely; a worker death then fails the run with a
+        clear error instead of restarting.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (free initial device distribution) with a ``spawn``
+        fallback.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        slices_per_tick: int = 1000,
+        backend: str = "auto",
+        chunk_slices: int | None = None,
+        lp_backend: str = "scipy",
+        spool_dir=None,
+        checkpoint_every: int = 1,
+        start_method: str | None = None,
+    ):
+        checkpoint_every = int(checkpoint_every)
+        if checkpoint_every < 0:
+            raise ValidationError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        self._partitioner = Partitioner(n_shards)
+        self._n_shards = self._partitioner.n_shards
+        self._slices_per_tick = int(slices_per_tick)
+        self._backend = str(backend)
+        self._chunk_slices = (
+            FLEET_CHUNK_SLICES if chunk_slices is None else int(chunk_slices)
+        )
+        self._lp_backend = str(lp_backend)
+        self._checkpoint_every = checkpoint_every
+        self._resolved_backend = resolve_backend_name(self._backend)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._tempdir = None
+        if checkpoint_every == 0:
+            self._spool_dir = None
+        elif spool_dir is not None:
+            self._spool_dir = Path(spool_dir)
+            self._spool_dir.mkdir(parents=True, exist_ok=True)
+        else:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-spool-")
+            self._spool_dir = Path(self._tempdir.name)
+        self._workers: list[_WorkerHandle] = []
+        self._order: list[str] = []
+        self._owner: dict[str, int] = {}
+        self._canonical: dict[str, _CanonicalEntry] = {}
+        self._version = 0
+        self._tick = 0
+        self._restarts = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def tick(self) -> int:
+        """Ticks completed fleet-wide."""
+        return self._tick
+
+    @property
+    def n_devices(self) -> int:
+        """Devices currently registered."""
+        return len(self._order)
+
+    @property
+    def n_shards(self) -> int:
+        """Worker process count."""
+        return self._n_shards
+
+    @property
+    def backend(self) -> str:
+        """The requested stepping mode (as a controller would report)."""
+        return self._backend
+
+    @property
+    def resolved_backend(self) -> str:
+        """The batch tier shards actually step on (telemetry stamp)."""
+        return self._resolved_backend
+
+    @property
+    def lp_backend(self) -> str:
+        """LP backend for centrally-built agents."""
+        return self._lp_backend
+
+    @property
+    def restarts(self) -> int:
+        """Worker restarts performed so far."""
+        return self._restarts
+
+    @property
+    def started(self) -> bool:
+        """Whether worker processes are running."""
+        return self._started
+
+    def canonical_model(self, device_id: str):
+        """The registration-time ``(system, costs)`` of one device."""
+        entry = self._canonical.get(str(device_id))
+        if entry is None:
+            raise ValidationError(f"unknown device id {device_id!r}")
+        return entry.system, entry.costs
+
+    def info(self) -> dict:
+        """Operational summary (the ``info`` protocol result)."""
+        per_shard = [0] * self._n_shards
+        for shard in self._owner.values():
+            per_shard[shard] += 1
+        return {
+            "tick": self._tick,
+            "n_devices": len(self._order),
+            "shards": self._n_shards,
+            "devices_per_shard": per_shard,
+            "backend": self._backend,
+            "resolved_backend": self._resolved_backend,
+            "slices_per_tick": self._slices_per_tick,
+            "chunk_slices": self._chunk_slices,
+            "checkpoint_every": self._checkpoint_every,
+            "restarts": self._restarts,
+            "worker_pids": [handle.process.pid for handle in self._workers],
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _require_started(self) -> None:
+        if not self._started:
+            raise ValidationError(
+                "supervisor is not running; call start(fleet) first"
+            )
+
+    @staticmethod
+    def _check_distributable(device: Device) -> None:
+        if device.stream is not None and not device.stream.checkpointable:
+            raise ValidationError(
+                f"device {device.device_id!r} is fed by a "
+                f"non-checkpointable stream ({device.stream.describe()}); "
+                f"live streams cannot cross process boundaries — use a "
+                f"trace/synthetic stream to serve this fleet"
+            )
+
+    def _register_canonical(self, device: Device) -> None:
+        agent = (
+            device.agent
+            if isinstance(device.agent, StationaryAgent)
+            else None
+        )
+        trace_counts = (
+            device.stream.counts
+            if isinstance(device.stream, TraceStream)
+            else None
+        )
+        self._canonical[device.device_id] = _CanonicalEntry(
+            system=device.system,
+            costs=device.costs,
+            agent=agent,
+            trace_counts=trace_counts,
+        )
+
+    def _spawn(self, index: int, devices: list, tick: int) -> _WorkerHandle:
+        spool = (
+            str(spool_path(self._spool_dir, index))
+            if self._spool_dir is not None
+            else None
+        )
+        config = ShardConfig(
+            index=index,
+            slices_per_tick=self._slices_per_tick,
+            backend=self._backend,
+            chunk_slices=self._chunk_slices,
+            spool=spool,
+        )
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=shard_worker_main,
+            args=(child_conn, config, devices, int(tick)),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(
+            index=index, process=process, conn=parent_conn, tick=int(tick)
+        )
+
+    def start(self, fleet: Fleet, tick: int = 0) -> None:
+        """Deal ``fleet`` to shards and launch the worker processes.
+
+        ``tick`` continues a resumed campaign (pass the checkpoint's
+        tick); the fleet's version counter is captured so gathered
+        checkpoints mirror the single-process value.
+        """
+        if self._started:
+            raise ValidationError("supervisor is already running")
+        partitions: list[list[Device]] = [[] for _ in range(self._n_shards)]
+        for device in fleet:
+            self._check_distributable(device)
+            self._register_canonical(device)
+            shard = self._partitioner.assign(device)
+            self._order.append(device.device_id)
+            self._owner[device.device_id] = shard
+            partitions[shard].append(device)
+        self._version = fleet.version
+        self._tick = int(tick)
+        self._workers = [
+            self._spawn(index, partitions[index], self._tick)
+            for index in range(self._n_shards)
+        ]
+        self._started = True
+
+    def stop(self) -> None:
+        """Stop every worker and clean up spool state."""
+        for handle in self._workers:
+            try:
+                handle.conn.send(("stop", None))
+                handle.conn.recv()
+            except (EOFError, OSError):
+                pass
+            handle.conn.close()
+            handle.process.join(timeout=10)
+            if handle.process.is_alive():  # pragma: no cover - safety net
+                handle.process.terminate()
+                handle.process.join()
+        self._workers = []
+        self._started = False
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    # ------------------------------------------------------------------
+    # worker RPC with restart-from-spool
+    # ------------------------------------------------------------------
+    def _spool_due(self, tick: int) -> bool:
+        return (
+            self._checkpoint_every > 0
+            and tick % self._checkpoint_every == 0
+        )
+
+    def _restart(self, handle: _WorkerHandle, target_tick: int) -> _WorkerHandle:
+        """Respawn a dead worker from its spool and replay to the target."""
+        if self._spool_dir is None:
+            raise ValidationError(
+                f"shard {handle.index} died and spooling is disabled "
+                f"(checkpoint_every=0); the run cannot recover"
+            )
+        if handle.process.is_alive():  # pragma: no cover - defensive
+            handle.process.terminate()
+        handle.process.join()
+        handle.conn.close()
+        payload = load_checkpoint(spool_path(self._spool_dir, handle.index))
+        fresh = self._spawn(
+            handle.index, list(payload["fleet"]), payload["tick"]
+        )
+        self._workers[handle.index] = fresh
+        self._restarts += 1
+        # Deterministic replay: stepping from the spooled state redoes
+        # the missed ticks byte-for-byte.
+        while fresh.tick < target_tick:
+            next_tick = fresh.tick + 1
+            spool = self._spool_due(next_tick) or next_tick == target_tick
+            self._pipe_call(fresh, "step", {"spool": spool})
+            fresh.tick = next_tick
+        return fresh
+
+    def _pipe_call(self, handle: _WorkerHandle, command: str, payload):
+        """One send/recv round with a specific worker (no recovery)."""
+        handle.conn.send((command, payload))
+        status, result = handle.conn.recv()
+        if status == "error":
+            raise ValidationError(f"shard {handle.index}: {result}")
+        return result
+
+    def _call(self, handle: _WorkerHandle, command: str, payload):
+        """A worker round trip, restarting from spool on worker death."""
+        try:
+            return self._pipe_call(handle, command, payload)
+        except (EOFError, OSError):
+            fresh = self._restart(handle, self._tick)
+            return self._pipe_call(fresh, command, payload)
+
+    # ------------------------------------------------------------------
+    # fleet operations
+    # ------------------------------------------------------------------
+    def step_tick(self) -> None:
+        """Advance every shard one tick, concurrently.
+
+        The step command fans out to all workers before any reply is
+        awaited, so shards overlap their serial per-device RNG fan-in
+        — the throughput the service exists for.  Workers found dead
+        at either phase are restarted from spool and replayed.
+        """
+        self._require_started()
+        target = self._tick + 1
+        spool = self._spool_due(target)
+        dead: list[_WorkerHandle] = []
+        for handle in self._workers:
+            try:
+                handle.conn.send(("step", {"spool": spool}))
+            except OSError:
+                dead.append(handle)
+        for handle in self._workers:
+            if handle in dead:
+                continue
+            try:
+                status, result = handle.conn.recv()
+            except (EOFError, OSError):
+                dead.append(handle)
+                continue
+            if status == "error":
+                raise ValidationError(
+                    f"shard {handle.index} failed to step: {result}"
+                )
+            handle.tick = target
+        for handle in dead:
+            self._restart(handle, target)
+        self._tick = target
+
+    def run(self, n_ticks: int) -> None:
+        """Step ``n_ticks`` ticks back to back."""
+        n_ticks = int(n_ticks)
+        if n_ticks < 0:
+            raise ValidationError(f"n_ticks must be >= 0, got {n_ticks}")
+        for _ in range(n_ticks):
+            self.step_tick()
+
+    def register_devices(self, devices) -> list[str]:
+        """Adopt already-built devices into the running fleet.
+
+        Mirrors a single-process fleet performing the same adoptions:
+        global order extends in argument order, the version counter
+        advances once per device, and the partitioner deals each
+        device exactly where a longer initial fleet would have.
+        """
+        self._require_started()
+        devices = list(devices)
+        seen: set[str] = set()
+        for device in devices:
+            if device.device_id in self._owner or device.device_id in seen:
+                raise ValidationError(
+                    f"duplicate device id {device.device_id!r}"
+                )
+            seen.add(device.device_id)
+            self._check_distributable(device)
+        per_shard: dict[int, list[Device]] = {}
+        for device in devices:
+            shard = self._partitioner.assign(device)
+            self._register_canonical(device)
+            self._order.append(device.device_id)
+            self._owner[device.device_id] = shard
+            per_shard.setdefault(shard, []).append(device)
+        for shard in sorted(per_shard):
+            self._call(self._workers[shard], "add_devices", per_shard[shard])
+        self._version += len(devices)
+        return [device.device_id for device in devices]
+
+    def remove_device(self, device_id: str) -> None:
+        """Deregister one device fleet-wide."""
+        self._require_started()
+        device_id = str(device_id)
+        shard = self._owner.get(device_id)
+        if shard is None:
+            raise ValidationError(f"unknown device id {device_id!r}")
+        self._call(self._workers[shard], "remove_device", device_id)
+        del self._owner[device_id]
+        del self._canonical[device_id]
+        self._order.remove(device_id)
+        self._version += 1
+
+    def replace_agents(self, pairs) -> None:
+        """Push new agents onto live devices (no restart)."""
+        self._require_started()
+        pairs = [(str(device_id), agent) for device_id, agent in pairs]
+        for device_id, agent in pairs:
+            if device_id not in self._owner:
+                raise ValidationError(f"unknown device id {device_id!r}")
+            if not isinstance(agent, PolicyAgent):
+                raise ValidationError(
+                    f"agent for {device_id!r} must be a PolicyAgent, "
+                    f"got {type(agent).__name__}"
+                )
+        per_shard: dict[int, list[tuple]] = {}
+        for device_id, agent in pairs:
+            entry = self._canonical[device_id]
+            entry.agent = agent if isinstance(agent, StationaryAgent) else None
+            per_shard.setdefault(self._owner[device_id], []).append(
+                (device_id, agent)
+            )
+        for shard in sorted(per_shard):
+            self._call(
+                self._workers[shard], "replace_agents", per_shard[shard]
+            )
+        self._version += len(pairs)
+
+    def collect_records(self) -> list[dict]:
+        """Every device's telemetry record, in global registration order."""
+        self._require_started()
+        by_id: dict[str, dict] = {}
+        for handle in list(self._workers):
+            for record in self._call(handle, "records", None):
+                by_id[record["id"]] = record
+        return [by_id[device_id] for device_id in self._order]
+
+    def gather_fleet(self) -> Fleet:
+        """Reassemble the full fleet in-process, canonicalized.
+
+        Devices come back in global registration order with their
+        registration-time shared objects re-attached (see the module
+        docstring), and the fleet's version counter set to the
+        mirrored single-process value — so pickling the result is
+        byte-identical to pickling the uninterrupted fleet.
+        """
+        self._require_started()
+        by_id: dict[str, Device] = {}
+        for handle in list(self._workers):
+            for device in self._call(handle, "gather", None):
+                by_id[device.device_id] = device
+        fleet = Fleet()
+        seen: set = set()
+        for device_id in self._order:
+            device = by_id[device_id]
+            entry = self._canonical[device_id]
+            device.system = entry.system
+            device.costs = entry.costs
+            # The metric-name tuple is rebuilt per device at
+            # construction from the (shared) costs strings; rebuild it
+            # the same way so the strings memoize identically.
+            device.metric_names = tuple(entry.costs.metric_names)
+            if entry.agent is not None:
+                device.agent = entry.agent
+            if entry.trace_counts is not None and isinstance(
+                device.stream, TraceStream
+            ):
+                device.stream.rebind_counts(entry.trace_counts)
+            _normalize_dtypes(device, seen)
+            fleet.adopt_device(device)
+        fleet.version = self._version
+        return fleet
+
+    def save_checkpoint(
+        self,
+        path,
+        telemetry_every: int = 1,
+        telemetry_per_device: bool = False,
+    ) -> None:
+        """Write a gathered-fleet checkpoint.
+
+        The payload goes through the same
+        :func:`~repro.runtime.checkpoint.checkpoint_payload` producer
+        as :meth:`FleetController.save_checkpoint`, with the gathered
+        canonical fleet — resumable by either the single-process
+        controller or a daemon with any shard count.
+        """
+        fleet = self.gather_fleet()
+        write_checkpoint(
+            path,
+            checkpoint_payload(
+                fleet,
+                self._tick,
+                self._slices_per_tick,
+                self._backend,
+                self._chunk_slices,
+                telemetry_every,
+                telemetry_per_device,
+            ),
+        )
+
+    def as_controller(self, **kwargs) -> FleetController:
+        """A single-process controller over the gathered fleet.
+
+        Mostly a testing aid: proves the gathered state is exactly
+        what the single-process path would hold.
+        """
+        return FleetController(
+            self.gather_fleet(),
+            slices_per_tick=self._slices_per_tick,
+            backend=self._backend,
+            chunk_slices=self._chunk_slices,
+            initial_tick=self._tick,
+            **kwargs,
+        )
+
+
+class FleetDaemon:
+    """``AF_UNIX`` accept loop serving the fleet protocol.
+
+    One client at a time, requests served in order — the determinism
+    contract leaves no room for concurrent mutation anyway, so the
+    serving layer stays trivially correct.  Telemetry emitted during
+    ``step`` requests goes to the daemon's own sink (if any) *and* is
+    streamed to the requesting client as ``telemetry`` events.
+
+    Note the classic ``AF_UNIX`` constraint: socket paths are limited
+    to ~100 bytes — keep them short (``/tmp/...``).
+    """
+
+    def __init__(
+        self,
+        socket_path,
+        supervisor: ShardSupervisor,
+        telemetry=None,
+        telemetry_every: int = 1,
+        telemetry_per_device: bool = False,
+        policy_cache: PolicyCache | None = None,
+        next_group_index: int = 0,
+    ):
+        telemetry_every = int(telemetry_every)
+        if telemetry_every <= 0:
+            raise ValidationError(
+                f"telemetry_every must be > 0, got {telemetry_every}"
+            )
+        self._socket_path = Path(socket_path)
+        self._supervisor = supervisor
+        self._telemetry = telemetry
+        self._telemetry_every = telemetry_every
+        self._telemetry_per_device = bool(telemetry_per_device)
+        self._cache = policy_cache or PolicyCache()
+        self._next_group_index = int(next_group_index)
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Bind, accept and serve until a ``shutdown`` request.
+
+        Owns cleanup: the socket file is unlinked, the telemetry sink
+        closed and the supervisor stopped on the way out, whatever
+        path led there.
+        """
+        if self._socket_path.exists():
+            raise ValidationError(
+                f"socket path {self._socket_path} already exists; is "
+                f"another daemon running? (remove the stale file if not)"
+            )
+        if not self._supervisor.started:
+            self._supervisor.start(Fleet())
+        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            server.bind(str(self._socket_path))
+            server.listen(1)
+            self._running = True
+            while self._running:
+                client, _ = server.accept()
+                channel = FrameChannel(client)
+                try:
+                    self._serve_client(channel)
+                except (ProtocolError, OSError):
+                    # A misbehaving or vanished client never takes the
+                    # fleet down; drop it and accept the next one.
+                    pass
+                finally:
+                    channel.close()
+        finally:
+            server.close()
+            if self._socket_path.exists():
+                self._socket_path.unlink()
+            if self._telemetry is not None:
+                self._telemetry.close()
+            self._supervisor.stop()
+
+    def _hello(self) -> dict:
+        supervisor = self._supervisor
+        return hello_data(
+            os.getpid(),
+            supervisor.tick,
+            supervisor.n_devices,
+            supervisor.n_shards,
+        )
+
+    def _serve_client(self, channel: FrameChannel) -> None:
+        channel.send(make_event("hello", self._hello()))
+        frame = channel.receive()
+        if frame is None:
+            return
+        request_type, request_id, params = validate_request(frame)
+        if request_type != "hello":
+            channel.send(
+                make_error(request_id, "first request must be 'hello'")
+            )
+            return
+        client_protocol = params.get("protocol")
+        if client_protocol != PROTOCOL_VERSION:
+            channel.send(
+                make_error(
+                    request_id,
+                    f"protocol version mismatch: server speaks "
+                    f"{PROTOCOL_VERSION}, client sent {client_protocol!r}",
+                )
+            )
+            return
+        channel.send(make_response(request_id, self._hello()))
+        while self._running:
+            frame = channel.receive()
+            if frame is None:
+                return
+            request_type, request_id, params = validate_request(frame)
+            if request_type == "shutdown":
+                channel.send(make_response(request_id, {"stopped": True}))
+                self._running = False
+                return
+            try:
+                result = self._dispatch(request_type, request_id, params, channel)
+            except (ProtocolError, OSError):
+                raise
+            except Exception as exc:
+                channel.send(make_error(request_id, str(exc)))
+            else:
+                channel.send(make_response(request_id, result))
+
+    # ------------------------------------------------------------------
+    # request handlers
+    # ------------------------------------------------------------------
+    def _fleet_snapshot(  # repro-lint: schema=repro.runtime.telemetry:SNAPSHOT_FIELDS
+        self, per_device: bool
+    ) -> dict:
+        """The daemon-side snapshot: reordered records, shared fold.
+
+        Stamped with the supervisor's resolved backend exactly like
+        :meth:`FleetController.snapshot` — byte-identical output for
+        equal fleet state.
+        """
+        supervisor = self._supervisor
+        record = snapshot_from_records(
+            supervisor.tick,
+            supervisor.collect_records(),
+            per_device=per_device,
+        )
+        record["backend"] = supervisor.resolved_backend
+        return record
+
+    def _emit_telemetry(self, channel: FrameChannel, request_id: int) -> None:
+        record = self._fleet_snapshot(self._telemetry_per_device)
+        if self._telemetry is not None:
+            self._telemetry.record(record)
+        channel.send(make_event("telemetry", record, request_id))
+
+    def _dispatch(
+        self,
+        request_type: str,
+        request_id: int,
+        params: dict,
+        channel: FrameChannel,
+    ):
+        supervisor = self._supervisor
+        if request_type == "hello":
+            return self._hello()
+        if request_type == "ping":
+            return {"pong": True, "tick": supervisor.tick}
+        if request_type == "info":
+            return supervisor.info()
+        if request_type == "register_group":
+            group = params.get("group")
+            if not isinstance(group, dict):
+                raise ProtocolError(
+                    "register_group needs a 'group' mapping parameter"
+                )
+            group_index = params.get("group_index")
+            if group_index is None:
+                group_index = self._next_group_index
+            devices = build_group_devices(
+                group,
+                group_index=int(group_index),
+                base_seed=int(params.get("base_seed", 0)),
+                lp_backend=supervisor.lp_backend,
+                cache=self._cache,
+            )
+            device_ids = supervisor.register_devices(devices)
+            self._next_group_index = max(
+                self._next_group_index, int(group_index) + 1
+            )
+            return {
+                "device_ids": device_ids,
+                "n_devices": supervisor.n_devices,
+                "group_index": int(group_index),
+            }
+        if request_type == "remove_device":
+            device_id = str(params.get("device_id", ""))
+            supervisor.remove_device(device_id)
+            return {
+                "device_id": device_id,
+                "n_devices": supervisor.n_devices,
+            }
+        if request_type == "update_policy":
+            device_id = str(params.get("device_id", ""))
+            agent_spec = params.get("agent")
+            if not isinstance(agent_spec, dict):
+                raise ProtocolError(
+                    "update_policy needs an 'agent' mapping parameter"
+                )
+            system, costs = supervisor.canonical_model(device_id)
+            agent = build_agent_from_spec(
+                agent_spec,
+                system,
+                costs,
+                cache=self._cache,
+                lp_backend=supervisor.lp_backend,
+            )
+            supervisor.replace_agents([(device_id, agent)])
+            return {"device_id": device_id, "agent": agent.describe()}
+        if request_type == "step":
+            n_ticks = int(params.get("ticks", 1))
+            if n_ticks < 0:
+                raise ProtocolError(f"ticks must be >= 0, got {n_ticks}")
+            for _ in range(n_ticks):
+                supervisor.step_tick()
+                if supervisor.tick % self._telemetry_every == 0:
+                    self._emit_telemetry(channel, request_id)
+            return {"tick": supervisor.tick, "ticks_run": n_ticks}
+        if request_type == "snapshot":
+            return self._fleet_snapshot(bool(params.get("per_device", False)))
+        if request_type == "checkpoint":
+            path = params.get("path")
+            if not path:
+                raise ProtocolError("checkpoint needs a 'path' parameter")
+            supervisor.save_checkpoint(
+                path,
+                telemetry_every=int(
+                    params.get("telemetry_every", self._telemetry_every)
+                ),
+                telemetry_per_device=bool(
+                    params.get(
+                        "telemetry_per_device", self._telemetry_per_device
+                    )
+                ),
+            )
+            return {"path": str(path), "tick": supervisor.tick}
+        raise ProtocolError(  # pragma: no cover - validate_request gates
+            f"unhandled request type {request_type!r}"
+        )

@@ -1,0 +1,293 @@
+"""The fleet daemon's wire protocol: versioned JSON-lines frames.
+
+One frame is one newline-terminated JSON object, always serialized
+with ``sort_keys=True`` and compact separators so equal messages are
+equal bytes.  Three frame shapes flow over a connection:
+
+* **request** (client → daemon): ``{"type", "id", "params"}`` — the
+  ``id`` is a client-chosen correlation integer echoed on the reply;
+* **response** (daemon → client): ``{"id", "ok", "result", "error"}``
+  — exactly one per request, ``error`` is ``None`` on success and the
+  failure text otherwise;
+* **event** (daemon → client): ``{"event", "id", "data"}`` — pushed
+  between a request and its response (telemetry records streamed
+  during ``step``) or unsolicited (the ``hello`` greeting); ``id`` is
+  the in-flight request id, or ``None`` when unsolicited.
+
+Every field set is declared once as a module-level frozenset and each
+constructor carries a ``# repro-lint: schema=...`` marker, so the
+``repro.lint`` SCH001 machinery checks the wire format exactly like
+telemetry and checkpoint schemas — a writer cannot silently grow or
+rename a protocol field.
+
+Handshake: on connect the daemon pushes a ``hello`` event carrying
+:func:`hello_data` (protocol version, server name, pid, current tick,
+fleet size, shard count); the client must answer with a ``hello``
+request declaring the protocol version it speaks before anything
+else.  Version mismatches fail the connection immediately — no silent
+best-effort parsing of frames from a different protocol generation.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.util.validation import ValidationError
+
+__all__ = [
+    "EVENT_FIELDS",
+    "EVENT_TYPES",
+    "FrameChannel",
+    "HELLO_FIELDS",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "REQUEST_FIELDS",
+    "REQUEST_TYPES",
+    "RESPONSE_FIELDS",
+    "SERVER_NAME",
+    "decode_frame",
+    "encode_frame",
+    "hello_data",
+    "make_error",
+    "make_event",
+    "make_request",
+    "make_response",
+    "validate_request",
+]
+
+#: Bump on incompatible wire-format changes; both ends reject
+#: mismatches during the handshake.
+PROTOCOL_VERSION = 1
+
+#: Server identity pushed in the hello greeting.
+SERVER_NAME = "repro-dpm-fleetd"
+
+#: Hard cap on one frame's encoded size (a 100k-device per-device
+#: snapshot stays well under this; anything bigger is a protocol bug,
+#: not a payload).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: The complete field set of a request frame (SCH001-checked).
+REQUEST_FIELDS = frozenset({"type", "id", "params"})
+
+#: The complete field set of a response frame (SCH001-checked).
+RESPONSE_FIELDS = frozenset({"id", "ok", "result", "error"})
+
+#: The complete field set of an event frame (SCH001-checked).
+EVENT_FIELDS = frozenset({"event", "id", "data"})
+
+#: The complete field set of the hello greeting's ``data`` payload.
+HELLO_FIELDS = frozenset(
+    {"protocol", "server", "pid", "tick", "n_devices", "shards"}
+)
+
+#: Request types the daemon dispatches.
+REQUEST_TYPES = (
+    "hello",
+    "ping",
+    "info",
+    "register_group",
+    "remove_device",
+    "update_policy",
+    "step",
+    "snapshot",
+    "checkpoint",
+    "shutdown",
+)
+
+#: Event types the daemon pushes.
+EVENT_TYPES = ("hello", "telemetry", "log")
+
+
+class ProtocolError(ValidationError):
+    """A malformed, oversized or version-mismatched frame."""
+
+
+# ----------------------------------------------------------------------
+# message constructors (the only writers of the wire field sets)
+# ----------------------------------------------------------------------
+def make_request(  # repro-lint: schema=REQUEST_FIELDS
+    request_id: int, request_type: str, params: dict | None = None
+) -> dict:
+    """Build one request frame."""
+    if request_type not in REQUEST_TYPES:
+        raise ProtocolError(
+            f"unknown request type {request_type!r}; "
+            f"valid types: {REQUEST_TYPES}"
+        )
+    return {
+        "type": str(request_type),
+        "id": int(request_id),
+        "params": dict(params or {}),
+    }
+
+
+def make_response(  # repro-lint: schema=RESPONSE_FIELDS
+    request_id: int, result
+) -> dict:
+    """Build one success response frame."""
+    return {
+        "id": int(request_id),
+        "ok": True,
+        "result": result,
+        "error": None,
+    }
+
+
+def make_error(  # repro-lint: schema=RESPONSE_FIELDS
+    request_id: int, message: str
+) -> dict:
+    """Build one failure response frame."""
+    return {
+        "id": int(request_id),
+        "ok": False,
+        "result": None,
+        "error": str(message),
+    }
+
+
+def make_event(  # repro-lint: schema=EVENT_FIELDS
+    event_type: str, data, request_id: int | None = None
+) -> dict:
+    """Build one pushed event frame.
+
+    ``request_id`` ties the event to an in-flight request (telemetry
+    streamed during ``step``); ``None`` marks it unsolicited (hello).
+    """
+    if event_type not in EVENT_TYPES:
+        raise ProtocolError(
+            f"unknown event type {event_type!r}; valid types: {EVENT_TYPES}"
+        )
+    return {
+        "event": str(event_type),
+        "id": None if request_id is None else int(request_id),
+        "data": data,
+    }
+
+
+def hello_data(  # repro-lint: schema=HELLO_FIELDS
+    pid: int, tick: int, n_devices: int, shards: int
+) -> dict:
+    """The hello greeting's payload: who is serving, and fleet shape."""
+    return {
+        "protocol": PROTOCOL_VERSION,
+        "server": SERVER_NAME,
+        "pid": int(pid),
+        "tick": int(tick),
+        "n_devices": int(n_devices),
+        "shards": int(shards),
+    }
+
+
+def validate_request(message: dict) -> tuple[str, int, dict]:
+    """Check a decoded frame against the request schema.
+
+    Returns ``(type, id, params)``; raises :class:`ProtocolError` on
+    any drift from :data:`REQUEST_FIELDS` — extra fields are as fatal
+    as missing ones, so protocol generations cannot blur together.
+    """
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"request frame must be an object, got {type(message).__name__}"
+        )
+    fields = frozenset(message)
+    if fields != REQUEST_FIELDS:
+        missing = sorted(REQUEST_FIELDS - fields)
+        extra = sorted(fields - REQUEST_FIELDS)
+        raise ProtocolError(
+            f"request frame fields drifted: missing {missing}, extra {extra}"
+        )
+    request_type = message["type"]
+    if request_type not in REQUEST_TYPES:
+        raise ProtocolError(
+            f"unknown request type {request_type!r}; "
+            f"valid types: {REQUEST_TYPES}"
+        )
+    request_id = message["id"]
+    if not isinstance(request_id, int) or isinstance(request_id, bool):
+        raise ProtocolError(
+            f"request id must be an integer, got {request_id!r}"
+        )
+    params = message["params"]
+    if not isinstance(params, dict):
+        raise ProtocolError(
+            f"request params must be an object, got {type(params).__name__}"
+        )
+    return str(request_type), request_id, params
+
+
+# ----------------------------------------------------------------------
+# frame codec
+# ----------------------------------------------------------------------
+def encode_frame(message: dict) -> bytes:
+    """Serialize one message to its canonical newline-terminated bytes.
+
+    ``sort_keys`` plus compact separators make the encoding a pure
+    function of the message content — the property the CI smoke test
+    leans on when it diffs daemon telemetry files byte for byte.
+    """
+    try:
+        text = json.dumps(message, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"message is not JSON-serializable: {exc}") from exc
+    data = (text + "\n").encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(data)} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    return data
+
+
+def decode_frame(line: bytes) -> dict:
+    """Parse one newline-delimited frame back to its message."""
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame must decode to an object, got {type(message).__name__}"
+        )
+    return message
+
+
+class FrameChannel:
+    """Newline-delimited JSON framing over a connected stream socket.
+
+    Blocking and single-threaded by design — the daemon serves one
+    client at a time and the client issues one request at a time, so
+    plain ``sendall``/buffered ``recv`` is the whole transport.
+    """
+
+    def __init__(self, sock):
+        self._sock = sock
+        self._buffer = b""
+
+    def send(self, message: dict) -> None:
+        """Encode and transmit one frame."""
+        self._sock.sendall(encode_frame(message))
+
+    def receive(self) -> dict | None:
+        """Read one frame; ``None`` on clean EOF between frames."""
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"peer sent more than MAX_FRAME_BYTES "
+                    f"({MAX_FRAME_BYTES}) without a frame terminator"
+                )
+            chunk = self._sock.recv(1 << 16)
+            if not chunk:
+                if self._buffer:
+                    raise ProtocolError(
+                        "connection closed mid-frame (truncated message)"
+                    )
+                return None
+            self._buffer += chunk
+        line, _, self._buffer = self._buffer.partition(b"\n")
+        return decode_frame(line)
+
+    def close(self) -> None:
+        """Close the underlying socket."""
+        self._sock.close()

@@ -1,0 +1,280 @@
+"""Shard workers: one process, one fleet partition, full determinism.
+
+A shard worker owns a slice of the fleet — the devices, their RNG
+streams, their agents — and steps it with a private
+:class:`~repro.runtime.controller.FleetController`.  Because device
+randomness is per-device (``device_rng`` spawn keys) and the
+controller's grouped stepping is bitwise grouping-invariant, a device
+produces *exactly* the same state trajectory inside any shard as it
+would in the single-process controller: sharding buys wall-clock
+parallelism for the serial per-device uniform fan-in without touching
+a single byte of the results.
+
+Partitioning is content-addressed: :func:`shard_signature` reduces a
+device to its batching signature (system content, costs content,
+policy determinism — or the loop marker for devices the batch kernel
+cannot express) and :class:`Partitioner` deals equal-signature devices
+round-robin across shards.  Equal-signature devices are the ones that
+batch together, so the deal keeps every shard's batches big while the
+ordinal counters make assignment a pure function of registration
+order — live registrations continue the sequence deterministically.
+
+Workers talk to the supervisor over a ``multiprocessing`` pipe with
+pickled ``(command, payload)`` tuples — the JSON protocol is for
+clients; fleet state (Device records, agents, generators) moves
+between daemon and workers in its native object form.  After every
+membership change and on the supervisor's checkpoint cadence the
+worker spools its partition to a per-shard checkpoint file, which is
+what the supervisor replays from when a worker dies mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.runtime.checkpoint import checkpoint_payload, write_checkpoint
+from repro.runtime.controller import FLEET_CHUNK_SLICES, FleetController
+from repro.runtime.fleet import Device, Fleet
+from repro.runtime.policy_cache import costs_signature, system_signature
+from repro.runtime.telemetry import device_record
+from repro.util.validation import ValidationError
+
+__all__ = [
+    "Partitioner",
+    "ShardConfig",
+    "shard_signature",
+    "shard_worker_main",
+    "spool_path",
+]
+
+#: Telemetry cadence no run reaches: shard controllers never emit —
+#: the daemon aggregates device records itself, in global order.
+_NEVER_EMIT = 2**62
+
+
+def shard_signature(device: Device) -> str:
+    """A device's content-addressed partitioning key.
+
+    Vector-eligible devices use their batching ``group_key`` (system
+    content, costs content, policy-determinism flag); loop-path
+    devices use the model content plus a ``loop`` marker so trace- or
+    heuristic-driven devices of one kind also spread evenly.
+    """
+    if device.vector_eligible:
+        system_sig, costs_sig, deterministic = device.group_key()
+        flavor = "det" if deterministic else "stoch"
+    else:
+        system_sig = system_signature(device.system)
+        costs_sig = costs_signature(device.costs)
+        flavor = "loop"
+    return "|".join((system_sig, costs_sig, flavor))
+
+
+class Partitioner:
+    """Stateful round-robin dealer of equal-signature devices.
+
+    Assignment is ``ordinal(signature) % n_shards`` where the ordinal
+    counts devices of that signature ever assigned — a pure function
+    of registration order, so re-running the same registrations always
+    produces the same partition, and a later live registration slots
+    in exactly where a longer initial fleet would have put it.
+    """
+
+    def __init__(self, n_shards: int):
+        n_shards = int(n_shards)
+        if n_shards <= 0:
+            raise ValidationError(f"n_shards must be > 0, got {n_shards}")
+        self._n_shards = n_shards
+        self._ordinals: dict[str, int] = {}
+        self._memo: dict[tuple, tuple] = {}
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards devices are dealt across."""
+        return self._n_shards
+
+    def _signature(self, device: Device) -> str:
+        """Memoized :func:`shard_signature`.
+
+        Devices of one group share their model objects, so the content
+        hashes behind the signature are computed once per group rather
+        than once per device — at 100k devices that is the difference
+        between a sub-second and a ten-second fleet deal.  The memo
+        entry pins the keyed objects, so the ``id()`` keys stay valid
+        for the partitioner's lifetime.
+        """
+        if device.vector_eligible:
+            policy = device.agent.stationary_policy(device.system)
+            key = (
+                True,
+                id(device.system),
+                id(device.costs),
+                id(policy),
+            )
+            pins: tuple = (device.system, device.costs, policy)
+        else:
+            key = (False, id(device.system), id(device.costs))
+            pins = (device.system, device.costs)
+        entry = self._memo.get(key)
+        if entry is None:
+            entry = (pins, shard_signature(device))
+            self._memo[key] = entry
+        return entry[1]
+
+    def assign(self, device: Device) -> int:
+        """Deal one device; returns its shard index."""
+        signature = self._signature(device)
+        ordinal = self._ordinals.get(signature, 0)
+        self._ordinals[signature] = ordinal + 1
+        return ordinal % self._n_shards
+
+
+def spool_path(spool_dir, index: int) -> Path:
+    """The per-shard restart checkpoint file."""
+    return Path(spool_dir) / f"shard-{int(index)}.ckpt"
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything a worker needs to rebuild its controller.
+
+    ``spool`` is the worker's restart-checkpoint path, or ``None``
+    when spooling is disabled (``checkpoint_every=0`` — worker death
+    then loses the run).
+    """
+
+    index: int
+    slices_per_tick: int
+    backend: str = "auto"
+    chunk_slices: int | None = None
+    spool: str | None = None
+
+
+class _ShardWorker:
+    """The in-process side of one shard: a sub-fleet plus dispatch.
+
+    The controller is built lazily (a shard may start — or become —
+    empty) with ``initial_tick`` set to the worker's own tick counter,
+    so telemetry cadence and slice accounting continue seamlessly
+    across membership changes and restarts.
+    """
+
+    def __init__(self, config: ShardConfig, devices, tick: int):
+        self._config = config
+        self._fleet = Fleet()
+        for device in devices:
+            self._fleet.adopt_device(device)
+        self._tick = int(tick)
+        self._controller: FleetController | None = None
+
+    # ------------------------------------------------------------------
+    # controller lifecycle
+    # ------------------------------------------------------------------
+    def _controller_for_step(self) -> FleetController | None:
+        if len(self._fleet) == 0:
+            self._controller = None
+            return None
+        if self._controller is None:
+            self._controller = FleetController(
+                self._fleet,
+                slices_per_tick=self._config.slices_per_tick,
+                backend=self._config.backend,
+                telemetry_every=_NEVER_EMIT,
+                chunk_slices=self._config.chunk_slices,
+                initial_tick=self._tick,
+            )
+        return self._controller
+
+    def _write_spool(self) -> None:
+        if self._config.spool is None:
+            return
+        chunk = self._config.chunk_slices
+        write_checkpoint(
+            self._config.spool,
+            checkpoint_payload(
+                self._fleet,
+                self._tick,
+                self._config.slices_per_tick,
+                self._config.backend,
+                FLEET_CHUNK_SLICES if chunk is None else chunk,
+                1,
+                False,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # command handlers
+    # ------------------------------------------------------------------
+    def _handle_step(self, payload: dict):
+        controller = self._controller_for_step()
+        if controller is not None:
+            controller.step_tick()
+            self._tick = controller.tick
+        else:
+            self._tick += 1
+        if payload.get("spool"):
+            self._write_spool()
+        return self._tick
+
+    def _handle_records(self, payload):
+        return [device_record(device) for device in self._fleet]
+
+    def _handle_gather(self, payload):
+        return list(self._fleet)
+
+    def _handle_add_devices(self, payload):
+        for device in payload:
+            self._fleet.adopt_device(device)
+        self._write_spool()
+        return len(self._fleet)
+
+    def _handle_remove_device(self, payload):
+        self._fleet.remove_device(payload)
+        self._write_spool()
+        return len(self._fleet)
+
+    def _handle_replace_agents(self, payload):
+        for device_id, agent in payload:
+            self._fleet.replace_agent(device_id, agent)
+        self._write_spool()
+        return len(payload)
+
+    def _handle_ping(self, payload):
+        return {"tick": self._tick, "n_devices": len(self._fleet)}
+
+    def dispatch(self, command: str, payload):
+        """Route one pipe command to its handler."""
+        handler = getattr(self, f"_handle_{command}", None)
+        if handler is None:
+            raise ValidationError(f"unknown shard command {command!r}")
+        return handler(payload)
+
+    def serve(self, conn) -> None:
+        """Blocking command loop over the supervisor pipe.
+
+        Every command gets exactly one ``("ok", result)`` or
+        ``("error", text)`` reply; handler failures are reported, not
+        fatal, so one bad request cannot kill a shard.
+        """
+        self._write_spool()
+        while True:
+            try:
+                command, payload = conn.recv()
+            except (EOFError, OSError):
+                break
+            if command == "stop":
+                conn.send(("ok", None))
+                break
+            try:
+                result = self.dispatch(command, payload)
+            except Exception as exc:
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            else:
+                conn.send(("ok", result))
+        conn.close()
+
+
+def shard_worker_main(conn, config: ShardConfig, devices, tick: int) -> None:
+    """Process entry point: adopt the partition, serve the pipe."""
+    _ShardWorker(config, devices, tick).serve(conn)

@@ -28,6 +28,20 @@ Subcommands:
   continues a saved campaign; ``--backend`` picks grouped batch
   stepping (``auto``/``vector``/``jit``) vs the per-device loop and
   ``--timing`` stamps telemetry with per-tick wall-clock;
+* ``serve SPEC.json --socket /tmp/fleet.sock --shards 4`` — run the
+  sharded fleet daemon (:mod:`repro.service`): the fleet is dealt
+  across worker processes by device-group content signature and
+  stepped in lockstep, with device-level telemetry and checkpoints
+  byte-identical to the single-process ``fleet`` path; ``--resume``
+  continues a checkpointed campaign under any shard count,
+  ``--checkpoint-every`` sets the per-shard restart-spool cadence and
+  ``--flush-every``/``--fsync`` tune telemetry durability;
+* ``fleet-ctl --socket /tmp/fleet.sock ACTION`` — control a running
+  daemon: ``info``/``ping``, ``step N [--follow]`` (streamed
+  telemetry on stdout), ``register GROUP.json``, ``remove ID``,
+  ``update-policy ID AGENT.json``, ``snapshot [--per-device]``,
+  ``checkpoint PATH`` and ``shutdown`` — all against the live fleet,
+  no restart;
 * ``fit TRACE.txt --resolution 0.001 --out FITTED.json`` — the full
   estimation pipeline (:mod:`repro.estimation`): BIC-selected arrival
   chain + MMPP(2)/Poisson generator fits + validation report; with
@@ -284,6 +298,179 @@ def _build_parser() -> argparse.ArgumentParser:
         help="resume a checkpointed campaign instead of building from a spec",
     )
     p_fleet.add_argument("--seed", type=int, default=0)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the sharded fleet daemon (repro.service)"
+    )
+    p_serve.add_argument(
+        "spec",
+        nargs="?",
+        help="path to a JSON fleet spec (omit with --resume, or to "
+        "start an empty fleet and register groups live)",
+    )
+    p_serve.add_argument(
+        "--socket",
+        required=True,
+        metavar="PATH",
+        help="AF_UNIX socket path to serve on (keep it short: the "
+        "kernel caps socket paths at ~100 bytes)",
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker process count (default: 2); results are "
+        "byte-identical for every value",
+    )
+    p_serve.add_argument(
+        "--slices-per-tick",
+        type=int,
+        default=None,
+        metavar="N",
+        help="slices per tick (default: the spec's slices_per_tick, or 1000)",
+    )
+    p_serve.add_argument(
+        "--backend",
+        default="auto",
+        choices=CONTROLLER_BACKENDS,
+        help="per-shard fleet stepping mode (as for the fleet command)",
+    )
+    p_serve.add_argument(
+        "--chunk-slices",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pinned chunk length for grouped batches (default: 256)",
+    )
+    p_serve.add_argument(
+        "--lp-backend",
+        default="scipy",
+        help="LP backend for optimal/adaptive agents",
+    )
+    p_serve.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="write JSON-lines fleet snapshots to PATH",
+    )
+    p_serve.add_argument(
+        "--telemetry-every",
+        type=int,
+        default=1,
+        metavar="K",
+        help="ticks between telemetry snapshots (default: 1)",
+    )
+    p_serve.add_argument(
+        "--per-device",
+        action="store_true",
+        help="include per-device sub-records in telemetry snapshots",
+    )
+    p_serve.add_argument(
+        "--flush-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="telemetry records between flushes (default: 1; raise to "
+        "trade crash durability for throughput)",
+    )
+    p_serve.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync the telemetry file on every flush",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="K",
+        help="per-shard restart-spool cadence in ticks (default: 1; "
+        "0 disables spooling — a dead worker then kills the run)",
+    )
+    p_serve.add_argument(
+        "--spool-dir",
+        metavar="DIR",
+        help="directory for per-shard restart spools (default: a "
+        "private temporary directory)",
+    )
+    p_serve.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="resume a checkpointed campaign (any shard count) instead "
+        "of building from a spec",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+
+    p_ctl = sub.add_parser(
+        "fleet-ctl", help="control a running fleet daemon"
+    )
+    p_ctl.add_argument(
+        "--socket",
+        required=True,
+        metavar="PATH",
+        help="the daemon's AF_UNIX socket path",
+    )
+    p_ctl.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="socket timeout (default: block forever)",
+    )
+    ctl_sub = p_ctl.add_subparsers(dest="action", required=True)
+    ctl_sub.add_parser("info", help="operational summary as JSON")
+    ctl_sub.add_parser("ping", help="liveness probe")
+    p_ctl_step = ctl_sub.add_parser("step", help="advance the fleet")
+    p_ctl_step.add_argument(
+        "ticks", type=int, nargs="?", default=1, help="ticks to run"
+    )
+    p_ctl_step.add_argument(
+        "--follow",
+        action="store_true",
+        help="print each streamed telemetry record to stdout (one "
+        "JSON line per snapshot, byte-identical to the daemon's "
+        "--telemetry file)",
+    )
+    p_ctl_reg = ctl_sub.add_parser(
+        "register", help="register a device group into the live fleet"
+    )
+    p_ctl_reg.add_argument(
+        "group", help="path to a JSON group spec (fleet-spec group vocabulary)"
+    )
+    p_ctl_reg.add_argument(
+        "--seed", type=int, default=0, help="base seed (as build_fleet)"
+    )
+    p_ctl_reg.add_argument(
+        "--group-index",
+        type=int,
+        default=None,
+        metavar="I",
+        help="explicit group index for seeding/ids (default: the "
+        "daemon's running counter)",
+    )
+    p_ctl_rm = ctl_sub.add_parser("remove", help="deregister one device")
+    p_ctl_rm.add_argument("device_id")
+    p_ctl_up = ctl_sub.add_parser(
+        "update-policy", help="push a new agent onto a live device"
+    )
+    p_ctl_up.add_argument("device_id")
+    p_ctl_up.add_argument(
+        "agent", help="path to a JSON agent spec (fleet-spec vocabulary)"
+    )
+    p_ctl_snap = ctl_sub.add_parser(
+        "snapshot", help="current fleet telemetry snapshot as JSON"
+    )
+    p_ctl_snap.add_argument(
+        "--per-device",
+        action="store_true",
+        help="include per-device sub-records",
+    )
+    p_ctl_ck = ctl_sub.add_parser(
+        "checkpoint", help="write a full-fleet checkpoint"
+    )
+    p_ctl_ck.add_argument(
+        "path", help="checkpoint path (on the daemon's filesystem)"
+    )
+    ctl_sub.add_parser("shutdown", help="stop the daemon")
 
     sub.add_parser(
         "backends",
@@ -688,6 +875,171 @@ def _cmd_fleet(args) -> int:
             telemetry.close()
 
 
+def _cmd_serve(args) -> int:
+    import json as _json
+
+    from repro.runtime import (
+        JsonLinesTelemetry,
+        build_fleet,
+        load_checkpoint,
+    )
+    from repro.service import FleetDaemon, ShardSupervisor
+
+    if args.resume and args.spec:
+        raise ValidationError("pass a fleet spec or --resume, not both")
+    telemetry = None
+    if args.telemetry:
+        telemetry = JsonLinesTelemetry(
+            args.telemetry,
+            append=args.resume is not None,
+            flush_every=args.flush_every,
+            fsync=args.fsync,
+        )
+    cache = None
+    fleet = None
+    tick = 0
+    next_group_index = 0
+    slices_per_tick = args.slices_per_tick or 1000
+    backend = args.backend
+    chunk_slices = args.chunk_slices
+    per_device = args.per_device
+    if args.resume:
+        payload = load_checkpoint(args.resume)
+        fleet = payload["fleet"]
+        tick = payload["tick"]
+        slices_per_tick = payload["slices_per_tick"]
+        backend = payload["backend"]
+        chunk_slices = payload["chunk_slices"]
+        # Like `fleet --resume`: the flag can force per-device snapshots
+        # on, but when absent the checkpoint's setting carries over so a
+        # resumed daemon keeps emitting the same telemetry shape.
+        per_device = per_device or bool(payload["telemetry_per_device"])
+        for option, flag in (
+            (args.slices_per_tick, "--slices-per-tick"),
+            (args.chunk_slices, "--chunk-slices"),
+        ):
+            if option is not None:
+                print(
+                    f"note: {flag} is ignored on --resume (the "
+                    f"checkpoint's value is kept for determinism)"
+                )
+        print(
+            f"resumed fleet of {len(fleet)} devices at tick {tick} "
+            f"across {args.shards} shard(s)"
+        )
+    elif args.spec:
+        raw = _json.loads(Path(args.spec).read_text())
+        fleet, cache = build_fleet(
+            raw, base_seed=args.seed, lp_backend=args.lp_backend
+        )
+        slices_per_tick = args.slices_per_tick or int(
+            raw.get("slices_per_tick", 1000)
+        )
+        next_group_index = len(raw.get("groups", []))
+        print(
+            f"built fleet {raw.get('name', 'unnamed')!r}: "
+            f"{len(fleet)} devices across {args.shards} shard(s)"
+        )
+    else:
+        print(
+            f"starting an empty fleet across {args.shards} shard(s); "
+            f"register groups with fleet-ctl"
+        )
+    supervisor = ShardSupervisor(
+        args.shards,
+        slices_per_tick=slices_per_tick,
+        backend=backend,
+        chunk_slices=chunk_slices,
+        lp_backend=args.lp_backend,
+        spool_dir=args.spool_dir,
+        checkpoint_every=args.checkpoint_every,
+    )
+    if fleet is not None:
+        supervisor.start(fleet, tick=tick)
+    daemon = FleetDaemon(
+        args.socket,
+        supervisor,
+        telemetry=telemetry,
+        telemetry_every=args.telemetry_every,
+        telemetry_per_device=per_device,
+        policy_cache=cache,
+        next_group_index=next_group_index,
+    )
+    print(f"serving on {args.socket} (stop with fleet-ctl shutdown)")
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        print("interrupted; workers stopped")
+    return 0
+
+
+def _cmd_fleet_ctl(args) -> int:
+    import json as _json
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(args.socket, timeout=args.timeout) as client:
+        if args.action == "info":
+            print(_json.dumps(client.info(), indent=2, sort_keys=True))
+        elif args.action == "ping":
+            print(_json.dumps(client.ping(), sort_keys=True))
+        elif args.action == "step":
+            on_telemetry = None
+            if args.follow:
+                def on_telemetry(record):
+                    # Matches JsonLinesTelemetry's serialization, so
+                    # redirected stdout diffs cleanly against a
+                    # --telemetry file.
+                    print(_json.dumps(record, sort_keys=True))
+            result = client.step(args.ticks, on_telemetry=on_telemetry)
+            summary = (
+                f"stepped {result['ticks_run']} tick(s) to "
+                f"tick {result['tick']}"
+            )
+            if args.follow:
+                print(summary, file=sys.stderr)
+            else:
+                print(summary)
+        elif args.action == "register":
+            group = _json.loads(Path(args.group).read_text())
+            result = client.register_group(
+                group, base_seed=args.seed, group_index=args.group_index
+            )
+            ids = result["device_ids"]
+            print(
+                f"registered {len(ids)} device(s) "
+                f"({ids[0]} .. {ids[-1]}) as group "
+                f"{result['group_index']}; fleet is now "
+                f"{result['n_devices']} device(s)"
+            )
+        elif args.action == "remove":
+            result = client.remove_device(args.device_id)
+            print(
+                f"removed {result['device_id']}; fleet is now "
+                f"{result['n_devices']} device(s)"
+            )
+        elif args.action == "update-policy":
+            agent = _json.loads(Path(args.agent).read_text())
+            result = client.update_policy(args.device_id, agent)
+            print(f"device {result['device_id']} now runs {result['agent']}")
+        elif args.action == "snapshot":
+            print(
+                _json.dumps(client.snapshot(args.per_device), sort_keys=True)
+            )
+        elif args.action == "checkpoint":
+            result = client.checkpoint(args.path)
+            print(
+                f"checkpoint at tick {result['tick']} written to "
+                f"{result['path']}"
+            )
+        elif args.action == "shutdown":
+            client.shutdown()
+            print("daemon stopped")
+        else:  # pragma: no cover - argparse rejects unknown actions
+            raise ValidationError(f"unknown action {args.action!r}")
+    return 0
+
+
 def _cmd_fit(args) -> int:
     import json as _json
 
@@ -825,6 +1177,8 @@ def main(argv=None) -> int:
         "pareto": _cmd_pareto,
         "experiment": _cmd_experiment,
         "fleet": _cmd_fleet,
+        "serve": _cmd_serve,
+        "fleet-ctl": _cmd_fleet_ctl,
         "fit": _cmd_fit,
         "extract": _cmd_extract,
         "backends": _cmd_backends,

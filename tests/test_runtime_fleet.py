@@ -104,6 +104,44 @@ class TestFleetRegistry:
         assert len(fleet) == 0
         assert fleet.version > version
 
+    def test_adopt_device_keeps_state_and_bumps_version(
+        self, example_bundle, eager_policy
+    ):
+        staging = Fleet()
+        device = _stationary_device(
+            example_bundle, eager_policy, staging, "d-0", 0, 0
+        )
+        device.slices = 123  # accumulated state an adopt must not touch
+        fleet = Fleet()
+        version = fleet.version
+        assert fleet.adopt_device(device) is device
+        assert fleet.device("d-0") is device
+        assert device.slices == 123
+        assert fleet.version > version
+        with pytest.raises(ValidationError, match="duplicate"):
+            fleet.adopt_device(device)
+        with pytest.raises(ValidationError, match="takes a Device"):
+            fleet.adopt_device("d-1")
+
+    def test_replace_agent_resets_and_bumps_version(
+        self, example_bundle, eager_policy
+    ):
+        fleet = Fleet()
+        device = _stationary_device(
+            example_bundle, eager_policy, fleet, "d-0", 0, 0
+        )
+        agent = TimeoutAgent(5, 0, 1)
+        agent._idle_slices = 3  # dirty state the reset must clear
+        version = fleet.version
+        assert fleet.replace_agent("d-0", agent) is device
+        assert device.agent is agent
+        assert agent._idle_slices == 0
+        assert fleet.version > version
+        with pytest.raises(ValidationError, match="unknown device"):
+            fleet.replace_agent("ghost", agent)
+        with pytest.raises(ValidationError, match="must be a PolicyAgent"):
+            fleet.replace_agent("d-0", "always_on")
+
     def test_foreign_costs_rejected(self, example_bundle, disk_bundle):
         fleet = Fleet()
         with pytest.raises(ValidationError, match="different system"):
@@ -406,6 +444,40 @@ class TestTelemetry:
         with JsonLinesTelemetry(path) as live:
             live.record({"tick": 1})
         assert json.loads(path.read_text())["tick"] == 1
+
+    def test_jsonl_flush_every_batches_writes(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        sink = JsonLinesTelemetry(path, flush_every=3)
+        try:
+            sink.record({"tick": 1})
+            sink.record({"tick": 2})
+            # below the batch threshold: nothing has reached the OS yet
+            assert path.read_text() == ""
+            sink.record({"tick": 3})
+            assert len(path.read_text().splitlines()) == 3
+            sink.record({"tick": 4})  # pending again...
+        finally:
+            sink.close()  # ...but close never drops records
+        assert len(path.read_text().splitlines()) == 4
+
+    def test_jsonl_flush_every_validated(self, tmp_path):
+        with pytest.raises(ValidationError, match="flush_every"):
+            JsonLinesTelemetry(tmp_path / "t.jsonl", flush_every=0)
+
+    def test_jsonl_fsync_follows_every_flush(self, tmp_path, monkeypatch):
+        import repro.runtime.telemetry as telemetry_module
+
+        synced = []
+        monkeypatch.setattr(
+            telemetry_module.os, "fsync", lambda fd: synced.append(fd)
+        )
+        with JsonLinesTelemetry(
+            tmp_path / "t.jsonl", flush_every=2, fsync=True
+        ) as sink:
+            for tick in range(5):
+                sink.record({"tick": tick})
+        # two full batches plus the close-time flush of the remainder
+        assert len(synced) == 3
 
 
 def _mixed_fleet(example_bundle, eager_policy):

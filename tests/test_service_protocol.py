@@ -1,0 +1,220 @@
+"""The fleet daemon's wire protocol: framing, validation, SCH001.
+
+The protocol is a reproducibility surface like telemetry and
+checkpoints: equal messages must be equal bytes (the CI smoke test
+diffs daemon telemetry files byte for byte), and the field sets are
+SCH001-declared so they cannot drift silently.  The planted-violation
+test at the bottom proves the lint gate extends to the wire format.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.lint import lint_source
+from repro.service.protocol import (
+    EVENT_FIELDS,
+    EVENT_TYPES,
+    HELLO_FIELDS,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    REQUEST_FIELDS,
+    REQUEST_TYPES,
+    RESPONSE_FIELDS,
+    FrameChannel,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    hello_data,
+    make_error,
+    make_event,
+    make_request,
+    make_response,
+    validate_request,
+)
+
+
+# ----------------------------------------------------------------------
+# frame codec
+# ----------------------------------------------------------------------
+def test_encode_is_canonical_bytes():
+    message = {"b": 1, "a": {"z": None, "y": [1, 2]}}
+    data = encode_frame(message)
+    assert data == b'{"a":{"y":[1,2],"z":null},"b":1}\n'
+    # pure function of content: key order on input is irrelevant
+    assert data == encode_frame({"a": {"y": [1, 2], "z": None}, "b": 1})
+
+
+def test_codec_round_trip():
+    for message in (
+        make_request(3, "step", {"ticks": 10}),
+        make_response(3, {"tick": 10}),
+        make_error(4, "boom"),
+        make_event("telemetry", {"tick": 1}, request_id=7),
+        make_event("hello", hello_data(1, 0, 0, 2)),
+    ):
+        assert decode_frame(encode_frame(message).rstrip(b"\n")) == message
+
+
+def test_encode_rejects_unserializable():
+    with pytest.raises(ProtocolError, match="JSON-serializable"):
+        encode_frame({"x": object()})
+
+
+def test_decode_rejects_garbage_and_non_objects():
+    with pytest.raises(ProtocolError, match="not valid JSON"):
+        decode_frame(b"{nope")
+    with pytest.raises(ProtocolError, match="must decode to an object"):
+        decode_frame(b"[1,2]")
+
+
+def test_encode_enforces_frame_cap(monkeypatch):
+    import repro.service.protocol as protocol
+
+    monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 16)
+    with pytest.raises(ProtocolError, match="exceeds MAX_FRAME_BYTES"):
+        protocol.encode_frame({"k": "x" * 64})
+
+
+# ----------------------------------------------------------------------
+# constructors and field sets
+# ----------------------------------------------------------------------
+def test_constructors_match_declared_field_sets():
+    assert frozenset(make_request(0, "ping")) == REQUEST_FIELDS
+    assert frozenset(make_response(0, None)) == RESPONSE_FIELDS
+    assert frozenset(make_error(0, "x")) == RESPONSE_FIELDS
+    assert frozenset(make_event("log", "x")) == EVENT_FIELDS
+    assert frozenset(hello_data(1, 2, 3, 4)) == HELLO_FIELDS
+
+
+def test_make_request_rejects_unknown_type():
+    with pytest.raises(ProtocolError, match="unknown request type"):
+        make_request(0, "reboot")
+
+
+def test_make_event_rejects_unknown_type():
+    with pytest.raises(ProtocolError, match="unknown event type"):
+        make_event("gossip", {})
+
+
+def test_hello_event_carries_version_and_identity():
+    data = hello_data(42, 7, 100, 4)
+    assert data["protocol"] == PROTOCOL_VERSION
+    assert data["server"] == "repro-dpm-fleetd"
+    assert (data["pid"], data["tick"]) == (42, 7)
+    assert (data["n_devices"], data["shards"]) == (100, 4)
+
+
+def test_validate_request_round_trip():
+    frame = make_request(9, "snapshot", {"per_device": True})
+    assert validate_request(frame) == (
+        "snapshot",
+        9,
+        {"per_device": True},
+    )
+
+
+@pytest.mark.parametrize(
+    "frame, match",
+    [
+        ([1], "must be an object"),
+        ({"type": "ping", "id": 0}, "missing \\['params'\\]"),
+        (
+            {"type": "ping", "id": 0, "params": {}, "x": 1},
+            "extra \\['x'\\]",
+        ),
+        ({"type": "reboot", "id": 0, "params": {}}, "unknown request type"),
+        ({"type": "ping", "id": True, "params": {}}, "must be an integer"),
+        ({"type": "ping", "id": "0", "params": {}}, "must be an integer"),
+        ({"type": "ping", "id": 0, "params": []}, "must be an object"),
+    ],
+)
+def test_validate_request_rejects_drift(frame, match):
+    with pytest.raises(ProtocolError, match=match):
+        validate_request(frame)
+
+
+def test_every_request_type_constructs():
+    for i, request_type in enumerate(REQUEST_TYPES):
+        validate_request(make_request(i, request_type))
+    assert "hello" in EVENT_TYPES and "telemetry" in EVENT_TYPES
+
+
+# ----------------------------------------------------------------------
+# FrameChannel over a real socketpair
+# ----------------------------------------------------------------------
+def test_frame_channel_round_trip_and_eof():
+    left_sock, right_sock = socket.socketpair()
+    left, right = FrameChannel(left_sock), FrameChannel(right_sock)
+    messages = [make_request(i, "ping") for i in range(3)]
+    for message in messages:
+        left.send(message)
+    assert [right.receive() for _ in range(3)] == messages
+    left.close()
+    assert right.receive() is None
+    right.close()
+
+
+def test_frame_channel_reassembles_split_frames():
+    left_sock, right_sock = socket.socketpair()
+    frame = encode_frame(make_request(1, "info"))
+    # dribble the frame one byte at a time from a thread
+    def _dribble():
+        for i in range(len(frame)):
+            left_sock.sendall(frame[i : i + 1])
+        left_sock.close()
+
+    thread = threading.Thread(target=_dribble)
+    thread.start()
+    channel = FrameChannel(right_sock)
+    assert channel.receive() == make_request(1, "info")
+    assert channel.receive() is None
+    thread.join()
+    channel.close()
+
+
+def test_frame_channel_rejects_truncation():
+    left_sock, right_sock = socket.socketpair()
+    left_sock.sendall(b'{"type":"ping"')  # no terminator
+    left_sock.close()
+    channel = FrameChannel(right_sock)
+    with pytest.raises(ProtocolError, match="truncated"):
+        channel.receive()
+    channel.close()
+
+
+def test_frame_cap_sanity():
+    # large enough for a 100k-device per-device snapshot, small enough
+    # to bound a runaway peer
+    assert 10**8 < MAX_FRAME_BYTES < 10**9
+
+
+# ----------------------------------------------------------------------
+# SCH001 coverage of the wire format
+# ----------------------------------------------------------------------
+PROTOCOL_SOURCE = __import__("pathlib").Path(
+    __file__
+).resolve().parent.parent / "src" / "repro" / "service" / "protocol.py"
+
+
+def test_planted_protocol_field_drift_is_caught():
+    source = PROTOCOL_SOURCE.read_text()
+    planted = source + (
+        "\n\ndef make_bogus(  # repro-lint: schema=RESPONSE_FIELDS\n"
+        "    request_id: int,\n"
+        ") -> dict:\n"
+        '    return {"id": request_id, "ok": True, "result": None,\n'
+        '            "error": None, "retries": 0}\n'
+    )
+    findings = lint_source("protocol.py", planted)
+    sch = [f for f in findings if f.rule_id == "SCH001"]
+    assert len(sch) == 1
+    assert "retries" in sch[0].message
+
+
+def test_shipped_protocol_module_is_schema_clean():
+    findings = lint_source("protocol.py", PROTOCOL_SOURCE.read_text())
+    assert findings == []
