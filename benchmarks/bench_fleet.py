@@ -9,7 +9,13 @@ which must at least match the vector tier (the per-device RNG fan-in
 is backend-independent and bounds the ceiling well below the raw
 kernel speedup).  A **100,000-device** fleet-scale smoke runs on the
 preferred batch tier (jit when available, vector otherwise) to keep
-the controller honest at the paper-fleet scale.  The final contract —
+the controller honest at the paper-fleet scale; the same scale doubles
+as the RNG fan-in comparison — the serial per-device
+:class:`~repro.sim.rng.FanInSource` against the vectorized
+:class:`~repro.sim.rng_batched.BatchedPCG64Source` — whose blocks must
+be byte-identical everywhere and whose **>= 5x** throughput gate binds
+only on multi-core runners, where the batched source fans
+``LANE_BAND``-lane bands across a process pool.  The final contract —
 a checkpoint/resume campaign reproduces an uninterrupted run's
 telemetry *exactly* — is asserted alongside, on a mixed fleet (batch
 group + timeout heuristics + a stream-driven device) so every stepping
@@ -28,6 +34,7 @@ or standalone (emits one JSON document on stdout)::
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 
@@ -44,6 +51,8 @@ from repro.runtime import (
     device_rng,
 )
 from repro.sim import jit_available
+from repro.sim.rng import FanInSource
+from repro.sim.rng_batched import BatchedPCG64Source, batched_available
 from repro.systems import disk_drive, example_system
 
 #: Headline scenario: 1024 stationary devices.
@@ -53,6 +62,14 @@ SPEEDUP_TARGET = 10.0
 N_DEVICES_SMOKE = 100_000
 #: jit acceptance on the fleet path: no worse than the vector tier.
 JIT_SPEEDUP_TARGET = 1.0
+#: RNG fan-in comparison: one 10^5-lane block spans ~7 LANE_BAND bands,
+#: so the batched source's process pool engages.
+N_LANES_RNG = N_DEVICES_SMOKE
+BATCHED_SPEEDUP_TARGET = 5.0
+#: The >=5x gate needs real cores: the batched source beats the serial
+#: fan-in by drawing LANE_BAND-lane bands in a process pool, so on
+#: narrow runners the ratio sits near 1x and only byte-identity binds.
+BATCHED_GATE_MIN_CORES = 8
 
 
 def _stationary_fleet(bundle, n_devices: int, seed: int = 0) -> Fleet:
@@ -103,16 +120,58 @@ def _mixed_fleet(seed: int = 3) -> Fleet:
     return fleet
 
 
-def _run(fleet: Fleet, backend: str, ticks: int, slices_per_tick: int):
+def _run(
+    fleet: Fleet,
+    backend: str,
+    ticks: int,
+    slices_per_tick: int,
+    uniform_source: str = "auto",
+):
     """One timed campaign; returns (seconds, rate, resolved backend)."""
     controller = FleetController(
-        fleet, slices_per_tick=slices_per_tick, backend=backend
+        fleet,
+        slices_per_tick=slices_per_tick,
+        backend=backend,
+        uniform_source=uniform_source,
     )
     start = time.perf_counter()
     controller.run(ticks)
     seconds = time.perf_counter() - start
     rate = len(fleet) * ticks * slices_per_tick / seconds
     return seconds, rate, controller.resolved_backend
+
+
+def _rng_fan_in_rates(n_lanes: int, chunk: int, seed: int = 7):
+    """Source-level fan-in: serial FanInSource vs the batched source.
+
+    Returns ``(fanin_rate, batched_rate, identical)`` in
+    device-slices/second.  The batched source snapshots the lane states
+    at construction, so both sources serve the *same* draws from one
+    generator set and the blocks compare byte-for-byte.  ``sync()`` —
+    the write-back that keeps the device generators canonical — is
+    charged to the batched clock.  ``batched_rate`` is ``None`` on
+    numpy builds where the vectorized path is unavailable.
+    """
+    generators = [device_rng(seed, i) for i in range(n_lanes)]
+    batched = (
+        BatchedPCG64Source(
+            generators, n_kinds=4, processes=os.cpu_count() or 1
+        )
+        if batched_available()
+        else None
+    )
+    fan = FanInSource(generators, n_kinds=4)
+    start = time.perf_counter()
+    reference = fan.random((chunk, 4, n_lanes))
+    fanin_rate = n_lanes * chunk / (time.perf_counter() - start)
+    if batched is None:
+        return fanin_rate, None, True
+    with batched:
+        start = time.perf_counter()
+        block = batched.random((chunk, 4, n_lanes))
+        batched.sync()
+        batched_rate = n_lanes * chunk / (time.perf_counter() - start)
+    return fanin_rate, batched_rate, bool((block == reference).all())
 
 
 def _warm_jit(bundle):
@@ -207,6 +266,35 @@ def bench_fleet_jit_1024dev(benchmark):
     )
 
 
+def bench_fleet_batched_vs_fanin_100000lane(benchmark):
+    """Vectorized batched fan-in vs the serial per-device fan-in.
+
+    Byte-identity of the two blocks is asserted unconditionally; the
+    >=5x throughput gate binds only where the pool has cores to fan
+    bands across (and the numpy build supports the batched path).
+    """
+    fanin_rate, batched_rate, identical = benchmark.pedantic(
+        lambda: _rng_fan_in_rates(N_LANES_RNG, 8), rounds=1, iterations=1
+    )
+    assert identical, "batched fan-in block diverged from serial fan-in"
+    benchmark.extra_info["fanin_device_slices_per_sec"] = round(fanin_rate)
+    if batched_rate is None:
+        benchmark.extra_info["batched"] = "unavailable on this numpy build"
+        return
+    speedup = batched_rate / fanin_rate
+    benchmark.extra_info.update(
+        batched_device_slices_per_sec=round(batched_rate),
+        speedup=round(speedup, 2),
+    )
+    if (os.cpu_count() or 1) >= BATCHED_GATE_MIN_CORES:
+        assert speedup >= BATCHED_SPEEDUP_TARGET, (
+            f"batched fan-in only {speedup:.1f}x the serial fan-in "
+            f"({batched_rate:,.0f} vs {fanin_rate:,.0f} device-slices/s) "
+            f"on a {os.cpu_count()}-core runner; "
+            f"target {BATCHED_SPEEDUP_TARGET}x"
+        )
+
+
 def bench_fleet_checkpoint_roundtrip(benchmark, tmp_path):
     """Acceptance: resumed telemetry == uninterrupted telemetry."""
     exact = benchmark.pedantic(
@@ -255,20 +343,45 @@ def collect(quick: bool = False) -> dict:
     # one controller tick (the scale ISSUE headline).  Named without a
     # backend prefix so the no-numba and numba CI legs compare against
     # the same baseline metric.
+    smoke_slices = 8 if quick else 16
     smoke_fleet = _stationary_fleet(bundle, N_DEVICES_SMOKE, seed=1)
-    seconds, rate, resolved = _run(
-        smoke_fleet, "auto", 1, 8 if quick else 16
+    seconds, rate, resolved = _run(smoke_fleet, "auto", 1, smoke_slices)
+    # Same scale forced through the serial fan-in: together with the
+    # auto run (batched when the build supports it) this is the
+    # fleet-level half of the fanin-vs-batched comparison.
+    fanin_fleet = _stationary_fleet(bundle, N_DEVICES_SMOKE, seed=1)
+    _, fanin_fleet_rate, _ = _run(
+        fanin_fleet, "auto", 1, smoke_slices, uniform_source="fanin"
     )
     records.append(
         {
             "name": f"batch_disk66_{N_DEVICES_SMOKE}dev",
             "backend": resolved,
+            "uniform_source": "auto",
             "n_devices": N_DEVICES_SMOKE,
-            "slices_per_device": 8 if quick else 16,
+            "slices_per_device": smoke_slices,
             "seconds": round(seconds, 4),
             "device_slices_per_sec": round(rate),
+            "fanin_device_slices_per_sec": round(fanin_fleet_rate),
         }
     )
+    # Source-level half: raw uniform-block production at 10^5 lanes,
+    # where the batched source's band pool actually engages.
+    rng_chunk = 8 if quick else 16
+    fanin_rate, batched_rate, rng_identical = _rng_fan_in_rates(
+        N_LANES_RNG, rng_chunk
+    )
+    rng_record = {
+        "name": f"rng_fanin_vs_batched_{N_LANES_RNG}lane",
+        "n_lanes": N_LANES_RNG,
+        "chunk": rng_chunk,
+        "n_kinds": 4,
+        "processes": os.cpu_count() or 1,
+        "fanin_device_slices_per_sec": round(fanin_rate),
+    }
+    if batched_rate is not None:
+        rng_record["batched_device_slices_per_sec"] = round(batched_rate)
+    records.append(rng_record)
     speedup = round(by_backend["vector"] / by_backend["loop"], 2)
     with tempfile.TemporaryDirectory() as tmp:
         exact = _checkpoint_roundtrip_exact(
@@ -280,11 +393,23 @@ def collect(quick: bool = False) -> dict:
         "speedup_target": SPEEDUP_TARGET,
         "jit_available": with_jit,
         "jit_speedup_target": JIT_SPEEDUP_TARGET,
+        "batched_available": batched_available(),
+        "batched_speedup_target": BATCHED_SPEEDUP_TARGET,
+        "batched_gate_active": (
+            not quick
+            and batched_available()
+            and (os.cpu_count() or 1) >= BATCHED_GATE_MIN_CORES
+        ),
+        "rng_blocks_identical": rng_identical,
         "checkpoint_resume_exact": exact,
     }
     if with_jit:
         document["speedup_jit_vs_vector"] = round(
             by_backend["jit"] / by_backend["vector"], 2
+        )
+    if batched_rate is not None:
+        document["speedup_batched_vs_fanin"] = round(
+            batched_rate / fanin_rate, 2
         )
     return document
 
@@ -296,6 +421,10 @@ def main(argv=None) -> int:
     print()
     if not document["checkpoint_resume_exact"]:
         return 1
+    # Byte-identity of the fan-in producers is a correctness contract,
+    # so it binds even on the quick smoke.
+    if not document["rng_blocks_identical"]:
+        return 1
     # Quick mode is a smoke run; the throughput targets are only
     # binding on the full campaign.
     if quick:
@@ -305,6 +434,12 @@ def main(argv=None) -> int:
     if (
         "speedup_jit_vs_vector" in document
         and document["speedup_jit_vs_vector"] < JIT_SPEEDUP_TARGET
+    ):
+        return 1
+    if (
+        document["batched_gate_active"]
+        and document.get("speedup_batched_vs_fanin", 0.0)
+        < BATCHED_SPEEDUP_TARGET
     ):
         return 1
     return 0

@@ -16,6 +16,17 @@ contract machine-checked:
 * :class:`UnthreadedGeneratorRule` (RNG004) — a function that draws
   from a generator it neither received nor created locally is drawing
   from ambient state the caller cannot control.
+
+:class:`~repro.sim.rng.UniformSource` implementations
+(:class:`~repro.sim.rng.GeneratorSource`,
+:class:`~repro.sim.rng.FanInSource`,
+:class:`~repro.sim.rng_batched.BatchedPCG64Source`) are sanctioned
+generator carriers: they hold caller-supplied generators and re-expose
+the draw surface, so the same threading discipline applies to them —
+``random``/``random_raw``/``uniform_block`` on a source count as draws
+(policed by RNG004 like any generator method), and a source must reach
+its draw site as a parameter, local, or instance attribute, never as
+module state.
 """
 
 from __future__ import annotations
@@ -72,10 +83,18 @@ ENTROPY_SOURCES = frozenset(
     }
 )
 
-#: Generator methods that consume the stream.
+#: Generator (and :class:`~repro.sim.rng.UniformSource`) methods that
+#: consume a stream.  ``random`` doubles as the UniformSource protocol
+#: method; ``random_raw`` consumes the underlying bit generator;
+#: ``uniform_block`` is the stacked draw of
+#: :class:`~repro.sim.rng_batched.BatchedDeviceStreams` — all three
+#: advance caller-owned stream state, so drawing them through an
+#: ambient name is exactly the leak RNG004 exists to catch.
 DRAW_METHODS = frozenset(
     {
         "random",
+        "random_raw",
+        "uniform_block",
         "integers",
         "choice",
         "shuffle",
@@ -263,7 +282,10 @@ class UnthreadedGeneratorRule(Rule):
     (``self._rng`` — instance state captured at construction), or a
     subscript (per-device generator arrays).  Drawing from a bare name
     that is none of these means the randomness comes from module/global
-    state the caller cannot control or checkpoint.
+    state the caller cannot control or checkpoint.  The same applies to
+    :class:`~repro.sim.rng.UniformSource` objects — a fan-in or batched
+    source *is* a bundle of caller-owned generators, and its ``random``
+    / ``uniform_block`` draws advance their streams just as directly.
     """
 
     rule_id = "RNG004"

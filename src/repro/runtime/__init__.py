@@ -20,7 +20,9 @@ Module index
     :class:`FleetController` — tick-based stepping.  Hot path: devices
     sharing a (system, costs, policy-determinism) signature advance as
     one batch of the vector backend's joint-state kernel, each lane
-    drawing from its own device's generator; stateful/adaptive/
+    drawing from its own device's generator through a
+    :class:`~repro.sim.rng.UniformSource` (vectorized batched PCG64
+    fan-in by default, serial fan-in otherwise); stateful/adaptive/
     stream-driven devices fall back to a resumable per-device loop.
     Results are bitwise identical however devices are grouped.
 :mod:`~repro.runtime.policy_cache`

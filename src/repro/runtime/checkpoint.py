@@ -50,6 +50,7 @@ CHECKPOINT_FIELDS = frozenset(
         "slices_per_tick",
         "backend",
         "chunk_slices",
+        "uniform_source",
         "telemetry_every",
         "telemetry_per_device",
         "fleet",
@@ -74,6 +75,7 @@ def checkpoint_payload(  # repro-lint: schema=CHECKPOINT_FIELDS
     chunk_slices: int,
     telemetry_every: int,
     telemetry_per_device: bool,
+    uniform_source: str = "auto",
 ) -> dict:
     """Build a checkpoint payload from explicit run state.
 
@@ -100,6 +102,7 @@ def checkpoint_payload(  # repro-lint: schema=CHECKPOINT_FIELDS
         "slices_per_tick": int(slices_per_tick),
         "backend": str(backend),
         "chunk_slices": int(chunk_slices),
+        "uniform_source": str(uniform_source),
         "telemetry_every": int(telemetry_every),
         "telemetry_per_device": bool(telemetry_per_device),
         "fleet": fleet,
@@ -135,6 +138,7 @@ def save_checkpoint(path, controller) -> None:
             controller.chunk_slices,
             controller._telemetry_every,
             controller._telemetry_per_device,
+            uniform_source=controller.uniform_source,
         ),
     )
 

@@ -20,9 +20,13 @@ the reference semantics of :class:`~repro.sim.backends.loop.LoopBackend`.
 
 Determinism is per-device, not per-run: each device owns its generator
 and the batch draws every lane's uniforms from its own stream through
-:class:`_FanInUniforms`, always at a pinned chunk length
-(:data:`FLEET_CHUNK_SLICES` unless overridden — the pin is part of the
-reproducibility contract and is checkpointed).  A device therefore consumes
+a :class:`~repro.sim.rng.UniformSource` — the serial
+:class:`~repro.sim.rng.FanInSource`, or (``uniform_source="auto"``,
+the default) the byte-identical vectorized
+:class:`~repro.sim.rng_batched.BatchedPCG64Source` whenever every
+stream in a lane block is a clean PCG64 — always at a pinned chunk
+length (:data:`FLEET_CHUNK_SLICES` unless overridden — the pin is part
+of the reproducibility contract and is checkpointed).  A device therefore consumes
 *exactly the same uniforms through the same reduction boundaries* no
 matter how it is grouped, what else is in the fleet, or whether the
 campaign was checkpoint/resumed — fleet results are bitwise
@@ -35,6 +39,7 @@ determinism note on :class:`~repro.runtime.policy_cache.PolicyCache`.)
 from __future__ import annotations
 
 import time
+import warnings
 
 import numpy as np
 
@@ -44,12 +49,13 @@ from repro.runtime.telemetry import snapshot
 from repro.sim.backends import get_backend, preferred_batch_backend
 from repro.sim.backends.base import SimulationTables
 from repro.sim.backends.vector import CompiledPolicyBatch
-from repro.sim.rng import sample_categorical
+from repro.sim.rng import FanInSource, sample_categorical
 from repro.util.validation import ValidationError
 
 __all__ = [
     "FLEET_CHUNK_SLICES",
     "FLEET_LANE_BLOCK",
+    "UNIFORM_SOURCES",
     "FleetController",
     "resolve_backend_name",
 ]
@@ -74,6 +80,13 @@ FLEET_LANE_BLOCK = 16_384
 #: Accepted ``backend`` values for the controller.
 CONTROLLER_BACKENDS = ("auto", "loop", "vector", "jit")
 
+#: Accepted ``uniform_source`` values for the controller.  ``"auto"``
+#: picks the vectorized batched producer for any lane block whose
+#: streams it can carry byte-identically and falls back to the serial
+#: fan-in otherwise; ``"fanin"``/``"batched"`` force one producer
+#: (``"batched"`` fails loudly rather than fall back).
+UNIFORM_SOURCES = ("auto", "fanin", "batched")
+
 
 def resolve_backend_name(backend: str) -> str:
     """What :attr:`FleetController.resolved_backend` would report for
@@ -95,29 +108,58 @@ def resolve_backend_name(backend: str) -> str:
     return get_backend(backend).name
 
 
-class _FanInUniforms:
-    """Duck-typed generator drawing each lane from its own device stream.
+class _FanInUniforms(FanInSource):
+    """Deprecated alias of :class:`~repro.sim.rng.FanInSource`.
 
-    The vector kernel asks one source for ``(chunk, kinds, lanes)``
-    uniform blocks; this shim fans the request out so lane ``l``'s
-    draws continue device ``l``'s private stream in ``(slice, kind)``
-    order — the same order a single-device batch would consume.
+    The fan-in shim graduated into the first-class
+    :class:`~repro.sim.rng.UniformSource` API; this name survives one
+    release for code that constructed the private shim directly.
     """
 
     def __init__(self, generators):
-        self._generators = list(generators)
+        warnings.warn(
+            "_FanInUniforms is deprecated; use repro.sim.rng.FanInSource",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(generators)
 
-    def random(self, shape):
-        chunk, n_kinds, n_lanes = shape
-        if n_lanes != len(self._generators):
+
+def _block_uniform_source(
+    generators, uniform_source: str, n_kinds: int, max_chunk: int
+):
+    """Build one lane block's :class:`~repro.sim.rng.UniformSource`.
+
+    ``"fanin"`` always gets the serial :class:`FanInSource`.
+    ``"batched"`` requires the vectorized path: it raises (naming the
+    offending lane) when this numpy build failed the byte-identity
+    self-check or a stream is not a clean PCG64.  ``"auto"`` prefers
+    batched exactly when it is guaranteed byte-identical for every
+    stream in the block, else silently falls back to the serial fan-in
+    — either way the block consumes identical uniforms, so the knob
+    never changes results, only speed.
+    """
+    from repro.sim import rng_batched
+
+    generators = list(generators)
+    if uniform_source == "fanin":
+        return FanInSource(generators, n_kinds=n_kinds, max_chunk=max_chunk)
+    if uniform_source == "batched":
+        if not rng_batched.batched_available():
             raise ValidationError(
-                f"fan-in shim built for {len(self._generators)} lanes, "
-                f"kernel asked for {n_lanes}"
+                f"uniform_source 'batched' unavailable: "
+                f"{rng_batched.batched_unavailable_reason()}"
             )
-        out = np.empty(shape)
-        for lane, generator in enumerate(self._generators):
-            out[:, :, lane] = generator.random((chunk, n_kinds))
-        return out
+        return rng_batched.BatchedPCG64Source(
+            generators, n_kinds=n_kinds, max_chunk=max_chunk
+        )
+    if rng_batched.batched_available() and all(
+        rng_batched.supports_generator(generator) for generator in generators
+    ):
+        return rng_batched.BatchedPCG64Source(
+            generators, n_kinds=n_kinds, max_chunk=max_chunk
+        )
+    return FanInSource(generators, n_kinds=n_kinds, max_chunk=max_chunk)
 
 
 class _VectorGroup:
@@ -128,10 +170,27 @@ class _VectorGroup:
     two are byte-identical, so the choice affects speed only.
     """
 
-    def __init__(self, devices: list[Device], step_lanes, chunk_slices: int):
+    def __init__(
+        self,
+        devices: list[Device],
+        step_lanes,
+        chunk_slices: int,
+        uniform_source: str = "auto",
+    ):
         self.devices = devices
         self._step_lanes = step_lanes
         self._chunk_slices = int(chunk_slices)
+        self._uniform_source = uniform_source
+        # One UniformSource per lane block, built lazily on the first
+        # step and reused while the group cache lives (the controller
+        # rebuilds groups — and therefore sources — whenever fleet
+        # membership changes).  Caching is what makes the batched
+        # producer pay: its stacked state imports once, then advances
+        # as array math with the backing generators re-synced after
+        # every step.  Device streams are runtime-owned between ticks
+        # (nothing else draws from a grouped device's generator), so a
+        # cached source never goes stale.
+        self._sources: dict[int, object] = {}
         first = devices[0]
         self.tables = first.compile_tables()
         # Distinct policies within the group are stacked once; lanes
@@ -154,23 +213,45 @@ class _VectorGroup:
 
     def step(self, n_slices: int) -> None:
         """Advance every device in the group by ``n_slices`` slices."""
+        # The kernel draws (chunk, kinds, lanes) blocks with kinds
+        # fixed by policy determinism; declaring the geometry lets the
+        # source reject a desynchronizing request instead of serving it.
+        n_kinds = 3 if self.compiled.fully_deterministic else 4
         for base in range(0, len(self.devices), FLEET_LANE_BLOCK):
             block = self.devices[base : base + FLEET_LANE_BLOCK]
+            source = self._sources.get(base)
+            if source is None:
+                source = _block_uniform_source(
+                    (d.rng for d in block),
+                    self._uniform_source,
+                    n_kinds,
+                    self._chunk_slices,
+                )
+                self._sources[base] = source
             starts = (
                 np.asarray([d.state[0] for d in block], dtype=np.int64),
                 np.asarray([d.state[1] for d in block], dtype=np.int64),
                 np.asarray([d.state[2] for d in block], dtype=np.int64),
             )
             lengths = np.full(len(block), int(n_slices), dtype=np.int64)
-            acc = self._step_lanes(
-                self.tables,
-                self.compiled,
-                self.policy_of_lane[base : base + len(block)],
-                lengths,
-                starts,
-                _FanInUniforms(d.rng for d in block),
-                chunk_slices=self._chunk_slices,
-            )
+            try:
+                acc = self._step_lanes(
+                    self.tables,
+                    self.compiled,
+                    self.policy_of_lane[base : base + len(block)],
+                    lengths,
+                    starts,
+                    source,
+                    chunk_slices=self._chunk_slices,
+                )
+            finally:
+                # Batched sources serve draws from stacked state; the
+                # sync advances the backing generators to match so the
+                # devices' streams stay canonical even if the kernel
+                # raised mid-chunk.
+                sync = getattr(source, "sync", None)
+                if sync is not None:
+                    sync()
             for lane, device in enumerate(block):
                 device.totals += acc.totals[:, lane]
                 device.command_counts += acc.command_counts[lane]
@@ -290,6 +371,17 @@ class FleetController:
         pin* are bitwise reproducible regardless of grouping; changing
         the pin regroups each lane's float partial sums, so totals are
         only guaranteed to match across runs that share the value.
+    uniform_source:
+        How grouped batches produce their per-lane uniform blocks:
+        ``"auto"`` (default — the vectorized
+        :class:`~repro.sim.rng_batched.BatchedPCG64Source` for lane
+        blocks whose streams are all clean PCG64, serial
+        :class:`~repro.sim.rng.FanInSource` otherwise), ``"fanin"``
+        (always serial), or ``"batched"`` (require the vectorized
+        producer; fails with an actionable message when a stream or
+        this numpy build cannot support it).  Byte-identical by
+        construction — the knob affects speed only — and recorded in
+        telemetry snapshots and checkpoints.
     record_timing:
         Stamp each emitted telemetry record with per-tick wall-clock
         (``timing``: tick/step/solve seconds).  Opt-in because wall
@@ -342,6 +434,7 @@ class FleetController:
         telemetry_every: int = 1,
         telemetry_per_device: bool = False,
         chunk_slices: int | None = None,
+        uniform_source: str = "auto",
         record_timing: bool = False,
         policy_cache=None,
         initial_tick: int = 0,
@@ -368,6 +461,21 @@ class FleetController:
             raise ValidationError(
                 f"chunk_slices must be > 0, got {chunk_slices}"
             )
+        if uniform_source not in UNIFORM_SOURCES:
+            raise ValidationError(
+                f"unknown uniform_source {uniform_source!r}; "
+                f"choose from {UNIFORM_SOURCES}"
+            )
+        if uniform_source == "batched":
+            # Fail at construction, not on the first tick: an explicit
+            # "batched" on an unsupported numpy build is a config error.
+            from repro.sim import rng_batched
+
+            if not rng_batched.batched_available():
+                raise ValidationError(
+                    f"uniform_source 'batched' unavailable: "
+                    f"{rng_batched.batched_unavailable_reason()}"
+                )
         initial_tick = int(initial_tick)
         if initial_tick < 0:
             raise ValidationError(
@@ -386,6 +494,7 @@ class FleetController:
         else:
             self._batch_backend = get_backend(backend)
         self._chunk_slices = chunk_slices
+        self._uniform_source = uniform_source
         self._record_timing = bool(record_timing)
         self._policy_cache = policy_cache
         self._last_timing: dict | None = None
@@ -441,6 +550,18 @@ class FleetController:
         return self._chunk_slices
 
     @property
+    def uniform_source(self) -> str:
+        """The requested uniform producer (``auto``/``fanin``/``batched``).
+
+        The *requested* knob, not a per-block resolution — ``"auto"``
+        can pick differently per lane block (a mixed fleet may batch
+        one group and fan in another), so the stamp records the
+        configuration, which is a pure function of the run's inputs
+        and therefore safe for byte-identical telemetry.
+        """
+        return self._uniform_source
+
+    @property
     def last_timing(self) -> dict | None:
         """Wall-clock of the most recent tick (None before any tick or
         when ``record_timing`` is off): ``tick_seconds`` total,
@@ -475,6 +596,7 @@ class FleetController:
             per_device = self._telemetry_per_device
         record = snapshot(self._fleet, self._tick, per_device=per_device)
         record["backend"] = self.resolved_backend
+        record["uniform_source"] = self._uniform_source
         return record
 
     # ------------------------------------------------------------------
@@ -505,7 +627,10 @@ class FleetController:
                 loop_devices.append(device)
         self._vector_groups = [
             _VectorGroup(
-                devices, self._batch_backend.step_lanes, self._chunk_slices
+                devices,
+                self._batch_backend.step_lanes,
+                self._chunk_slices,
+                self._uniform_source,
             )
             for devices in grouped.values()
         ]
@@ -599,18 +724,22 @@ class FleetController:
         telemetry_every: int | None = None,
         telemetry_per_device: bool | None = None,
         backend: str | None = None,
+        uniform_source: str | None = None,
         record_timing: bool = False,
         policy_cache=None,
     ) -> "FleetController":
         """Rebuild a controller from a checkpoint and continue.
 
         Telemetry sinks are not part of the checkpoint (they hold open
-        file handles); pass a fresh one.  ``backend`` overrides the
-        saved stepping mode when given — safe, because per-device
-        streams make results grouping-invariant.  The saved
-        ``chunk_slices`` pin is always restored (overriding it would
-        silently regroup the resumed run's float partial sums and break
-        the byte-identity contract with the uninterrupted run).
+        file handles); pass a fresh one.  ``backend`` and
+        ``uniform_source`` override the saved stepping mode / uniform
+        producer when given — safe, because per-device streams make
+        results grouping-invariant and the uniform producers are
+        byte-identical.  The saved ``chunk_slices`` pin is always
+        restored (overriding it would silently regroup the resumed
+        run's float partial sums and break the byte-identity contract
+        with the uninterrupted run).  Checkpoints written before the
+        ``uniform_source`` field resume as ``"auto"``.
         """
         from repro.runtime.checkpoint import load_checkpoint
 
@@ -631,6 +760,9 @@ class FleetController:
                 else telemetry_per_device
             ),
             chunk_slices=payload.get("chunk_slices"),
+            uniform_source=(
+                uniform_source or payload.get("uniform_source", "auto")
+            ),
             record_timing=record_timing,
             policy_cache=policy_cache,
             initial_tick=payload["tick"],

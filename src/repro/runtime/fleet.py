@@ -12,7 +12,11 @@ derives statistically independent PCG64 streams from a base seed with
 :class:`numpy.random.SeedSequence` spawn keys, so device ``i`` of a
 group consumes exactly the same uniforms whether it is stepped alone,
 inside a 1000-lane batch, or after a checkpoint/resume — the property
-the fleet determinism suite pins down.
+the fleet determinism suite pins down.  Being PCG64, these streams are
+exactly what the vectorized fan-in
+(:class:`~repro.sim.rng_batched.BatchedPCG64Source`) can stack and
+advance as array math; a device carrying any other clean generator
+still works through the serial :class:`~repro.sim.rng.FanInSource`.
 
 ``build_fleet`` turns a JSON fleet spec (device groups x workloads x
 agents, see :func:`parse_fleet_spec`) into a registered fleet, solving

@@ -58,8 +58,8 @@ DEVICE_RECORD_FIELDS = frozenset(
 
 #: The complete field set of a fleet snapshot record, including the
 #: optional fields stamped by the controller (``devices`` under
-#: ``per_device=True``, ``backend`` always, ``timing`` under
-#: ``record_timing=True``).  Machine-checked like
+#: ``per_device=True``, ``backend`` and ``uniform_source`` always,
+#: ``timing`` under ``record_timing=True``).  Machine-checked like
 #: :data:`DEVICE_RECORD_FIELDS` — the controller's writers carry
 #: cross-module ``schema=repro.runtime.telemetry:SNAPSHOT_FIELDS``
 #: markers.
@@ -72,6 +72,7 @@ SNAPSHOT_FIELDS = frozenset(
         "counters",
         "devices",
         "backend",
+        "uniform_source",
         "timing",
     }
 )

@@ -232,7 +232,8 @@ def _step_lanes_jit(
     """The jit rendition of ``vector._step_lanes`` — same contract.
 
     The host side (chunk sizing, uniform block draws, lane compaction,
-    final-state capture) mirrors the vector backend exactly; only the
+    final-state capture) mirrors the vector backend exactly — ``rng``
+    is any :class:`~repro.sim.rng.UniformSource`, as there; only the
     per-chunk stepping-and-folding is delegated to the compiled kernel.
     Keeping the host loop in Python costs one kernel call per chunk —
     negligible — and guarantees the RNG stream, masking and compaction

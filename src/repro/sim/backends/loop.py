@@ -60,6 +60,11 @@ class LoopBackend(SimulationBackend):
         chunk_slices: int | None = None,
     ) -> SimulationResult:
         del chunk_slices  # batch-tier knob; the per-slice loop has none
+        # Interface parity with the batch tiers' UniformSource support:
+        # a GeneratorSource unwraps to its single generator (the loop
+        # draws scalars and hands the rng to agents, so it needs the
+        # real Generator, not just the block protocol).
+        rng = getattr(rng, "generator", rng)
         if tables is None:
             tables = SimulationTables.compile(system, costs)
         s, r, q = resolve_initial_state(system, initial_state)
@@ -159,6 +164,7 @@ class LoopBackend(SimulationBackend):
         # chunk_slices is a batch-tier knob; the per-slice loop has no
         # chunking to pin, so it is accepted for interface parity only.
         del chunk_slices
+        rng = getattr(rng, "generator", rng)
         # Compile once for all sessions: the metric stack and transition
         # cumsums used to be rebuilt inside every geometric session.
         tables = SimulationTables.compile(system, costs)

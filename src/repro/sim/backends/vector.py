@@ -441,9 +441,11 @@ def _step_lanes(
     lane-count-dependent uniform budget; the fleet runtime uses this so
     a device consumes its stream through identical reduction boundaries
     no matter how many lanes it is grouped with (fleet determinism is
-    bitwise, not just statistical).  ``rng`` only needs a
-    ``.random(shape)`` method, which lets the fleet inject a fan-in
-    shim drawing each lane's uniforms from that device's own generator.
+    bitwise, not just statistical).  ``rng`` is anything satisfying the
+    :class:`~repro.sim.rng.UniformSource` protocol — a plain generator,
+    or a per-lane producer like :class:`~repro.sim.rng.FanInSource` /
+    :class:`~repro.sim.rng_batched.BatchedPCG64Source` drawing each
+    lane's uniforms from that device's own stream.
     """
     n_metrics = tables.metric_stack.shape[0]
     n_commands = tables.n_commands

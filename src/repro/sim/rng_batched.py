@@ -1,0 +1,589 @@
+"""Vectorized PCG64: advance thousands of device streams as array ops.
+
+The fleet's determinism contract gives every device a private
+:class:`numpy.random.PCG64` stream, and the batch kernels consume those
+streams through a ``(chunk, kinds, lanes)`` uniform block.  The
+reference producer (:class:`~repro.sim.rng.FanInSource`) loops the
+lanes serially — one ``Generator.random`` call per device per chunk —
+which at 100k devices turns randomness plumbing into the tick's
+dominant cost.  This module replaces the loop with the *same math in
+stacked form*:
+
+* Per-lane state lives in one ``(n_lanes, 4)`` uint64 array holding
+  ``[state_hi, state_lo, inc_hi, inc_lo]`` — the 128-bit LCG state and
+  increment of each device's PCG64, imported from and exported to the
+  exact ``bit_generator.state`` dicts numpy uses for pickling,
+  checkpointing and shard transport.
+* One draw advances every lane at once: the 128-bit multiply-add
+  ``state = state * MULT + inc (mod 2**128)`` is computed with 32-bit
+  limb products in uint64 arrays, then the XSL-RR output function
+  ``rotr64(hi ^ lo, hi >> 58)`` and the ``Generator.random`` double
+  conversion ``(next64 >> 11) * 2**-53`` are applied row by row, so the
+  working set stays cache-resident at any chunk length.
+* The ``(draws, lanes)`` output grid *is* the ``(chunk, kinds, lanes)``
+  block in row-major order — lane ``l``'s draws appear in ``(slice,
+  kind)`` order, exactly the order the serial fan-in produces — so the
+  final reshape is zero-copy and there is no per-lane scatter at all.
+
+The result is **byte-identical per lane** to each device's private
+stream: the same doubles the device's own ``Generator.random`` would
+return, and the same final ``bit_generator.state`` afterwards.  The
+equivalence is self-checked at import of the first source
+(:func:`batched_available`): the PCG64 multiplier is derived from
+observed state transitions rather than hard-coded, so a numpy build
+with a different PCG variant degrades to ``available() == False`` (and
+the fleet falls back to the serial fan-in) instead of corrupting
+streams.
+
+Generators stay canonical through *advance-based writeback*:
+:class:`BatchedPCG64Source` counts the draws it has served and
+:meth:`~BatchedPCG64Source.sync` jumps every backing generator forward
+with ``PCG64.advance`` — a C-level ``O(log n)`` state jump that lands
+on exactly the state ``n`` serial draws would reach.  The fleet calls
+``sync`` after every block step, so checkpoint/resume, shard
+adopt/gather and the per-device reference loop observe the same
+generator objects, in the same states, as a serial run would leave.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import ValidationError
+
+__all__ = [
+    "BatchedDeviceStreams",
+    "BatchedPCG64Source",
+    "batched_available",
+    "batched_unavailable_reason",
+    "derive_pcg64_multiplier",
+    "supports_generator",
+]
+
+#: Lanes per pool band (and per internal slab): mirrors the fleet's
+#: lane-block size so one band's draw buffer stays bounded, and gives
+#: the process pool its unit of parallelism.
+LANE_BAND = 16_384
+
+_M32 = np.uint64(0xFFFFFFFF)
+_S32 = np.uint64(32)
+_S11 = np.uint64(11)
+_S58 = np.uint64(58)
+_S63 = np.uint64(63)
+_U64 = np.uint64(64)
+_MOD128 = 1 << 128
+_MASK64 = (1 << 64) - 1
+#: ``Generator.random`` double conversion: ``(next64 >> 11) * 2**-53``.
+_DOUBLE_SCALE = 1.0 / 9007199254740992.0
+
+
+def derive_pcg64_multiplier() -> int | None:
+    """Solve this numpy build's PCG64 LCG multiplier from observed state.
+
+    PCG64 advances ``state' = state * m + inc (mod 2**128)`` with a
+    build-dependent constant ``m`` (upstream numpy has shipped more
+    than one).  Two observed transitions give
+    ``m = (s2 - s1) / (s1 - s0) (mod 2**128)``; the divisor is odd
+    (hence invertible) whenever the two raw outputs differ in parity of
+    the step, so a handful of seeds always yields a solution.  The
+    candidate is verified against a third transition and an
+    independently seeded stream before being trusted; ``None`` means no
+    consistent multiplier exists and the vectorized path must stay off.
+    """
+    for seed in range(8):
+        bit_generator = np.random.PCG64(seed)
+        inc = bit_generator.state["state"]["inc"]
+        s0 = bit_generator.state["state"]["state"]
+        bit_generator.random_raw(1)
+        s1 = bit_generator.state["state"]["state"]
+        bit_generator.random_raw(1)
+        s2 = bit_generator.state["state"]["state"]
+        step = (s1 - s0) % _MOD128
+        if step % 2 == 0:
+            continue
+        mult = ((s2 - s1) * pow(step, -1, _MOD128)) % _MOD128
+        if (s1 * mult + inc) % _MOD128 != s2:
+            continue
+        # Cross-check on a third transition and a different stream.
+        bit_generator.random_raw(1)
+        s3 = bit_generator.state["state"]["state"]
+        if (s2 * mult + inc) % _MOD128 != s3:
+            return None
+        other = np.random.PCG64(seed + 101)
+        o_inc = other.state["state"]["inc"]
+        o0 = other.state["state"]["state"]
+        other.random_raw(1)
+        if (o0 * mult + o_inc) % _MOD128 != other.state["state"]["state"]:
+            return None
+        return mult
+    return None
+
+
+#: Lazily derived multiplier and availability verdict (module cache).
+_DERIVED: dict | None = None
+
+
+def _derived() -> dict:
+    global _DERIVED
+    if _DERIVED is not None:
+        return _DERIVED
+    mult = derive_pcg64_multiplier()
+    if mult is None:
+        _DERIVED = {
+            "mult": None,
+            "reason": (
+                "could not derive a consistent PCG64 LCG multiplier from "
+                "observed state transitions (unsupported numpy build)"
+            ),
+        }
+        return _DERIVED
+    # End-to-end self-check: a stacked draw must be byte-identical to
+    # the serial per-generator draws *and* land on the same final
+    # bit-generator states.
+    reference = [np.random.default_rng(20_000 + i) for i in range(3)]
+    stacked = BatchedDeviceStreams.from_generators(reference, _mult=mult)
+    block = stacked.uniform_block(5, 4)
+    expected = np.empty_like(block)
+    for lane, generator in enumerate(reference):
+        expected[:, :, lane] = generator.random((5, 4))
+    states_match = all(
+        stacked.export_state(lane)
+        == reference[lane].bit_generator.state["state"]
+        for lane in range(3)
+    )
+    if not (block == expected).all() or not states_match:
+        _DERIVED = {
+            "mult": None,
+            "reason": (
+                "vectorized PCG64 self-check diverged from "
+                "Generator.random on this numpy build"
+            ),
+        }
+    else:
+        _DERIVED = {"mult": mult, "reason": None}
+    return _DERIVED
+
+
+def batched_available() -> bool:
+    """Can the vectorized PCG64 path run on this numpy build?
+
+    True only after the derived multiplier passes the byte-identity
+    self-check against ``Generator.random``.  The verdict is cached;
+    a False here makes ``uniform_source="auto"`` fall back to the
+    serial fan-in and ``uniform_source="batched"`` fail loudly.
+    """
+    return _derived()["mult"] is not None
+
+
+def batched_unavailable_reason() -> str | None:
+    """Why :func:`batched_available` is False (None when available)."""
+    return _derived()["reason"]
+
+
+def supports_generator(generator) -> bool:
+    """Is ``generator`` a stream the vectorized path can carry?
+
+    Requires a PCG64 bit generator with no buffered half-draw
+    (``has_uint32 == 0`` — the fleet only ever draws doubles, but a
+    user-injected generator could arrive mid-``integers`` call, and
+    the batched path must not discard its buffered word).
+    """
+    try:
+        state = generator.bit_generator.state
+    except AttributeError:
+        return False
+    return (
+        state.get("bit_generator") == "PCG64"
+        and not state.get("has_uint32", 0)
+    )
+
+
+def _split_mult(mult: int) -> tuple:
+    """The multiplier's uint64 scalar limbs for the stacked kernel."""
+    return (
+        np.uint64(mult >> 64),
+        np.uint64(mult & _MASK64),
+        np.uint64((mult >> 32) & 0xFFFFFFFF),
+        np.uint64(mult & 0xFFFFFFFF),
+    )
+
+
+def _draw_block(state: np.ndarray, chunk: int, n_kinds: int, mult: int):
+    """Advance every lane ``chunk * n_kinds`` steps, collecting outputs.
+
+    ``state`` is the ``(n_lanes, 4)`` uint64 stack (mutated in place to
+    the post-draw states).  Returns the ``(chunk, n_kinds, n_lanes)``
+    float64 block.  All arithmetic runs on contiguous per-column
+    copies; each draw is ~35 ufunc passes over ``n_lanes``-sized
+    arrays, and the XSL-RR output + double conversion happen row by row
+    so the working set never leaves cache.
+    """
+    n_lanes = state.shape[0]
+    total = chunk * n_kinds
+    m_hi, m_lo, m_lo_hi, m_lo_lo = _split_mult(mult)
+    s_hi = np.ascontiguousarray(state[:, 0])
+    s_lo = np.ascontiguousarray(state[:, 1])
+    inc_hi = np.ascontiguousarray(state[:, 2])
+    inc_lo = np.ascontiguousarray(state[:, 3])
+    a_lo = np.empty(n_lanes, dtype=np.uint64)
+    a_hi = np.empty(n_lanes, dtype=np.uint64)
+    ll = np.empty(n_lanes, dtype=np.uint64)
+    lh = np.empty(n_lanes, dtype=np.uint64)
+    hl = np.empty(n_lanes, dtype=np.uint64)
+    t = np.empty(n_lanes, dtype=np.uint64)
+    hh = np.empty(n_lanes, dtype=np.uint64)
+    lo = np.empty(n_lanes, dtype=np.uint64)
+    out = np.empty((total, n_lanes))
+    for row in range(total):
+        # --- state * MULT (128-bit schoolbook, 32-bit limbs) ---
+        np.bitwise_and(s_lo, _M32, out=a_lo)
+        np.right_shift(s_lo, _S32, out=a_hi)
+        np.multiply(a_lo, m_lo_lo, out=ll)
+        np.multiply(a_lo, m_lo_hi, out=lh)
+        np.multiply(a_hi, m_lo_lo, out=hl)
+        np.multiply(a_hi, m_lo_hi, out=hh)
+        np.right_shift(ll, _S32, out=t)
+        np.bitwise_and(lh, _M32, out=a_lo)
+        t += a_lo
+        np.bitwise_and(hl, _M32, out=a_lo)
+        t += a_lo
+        np.bitwise_and(ll, _M32, out=lo)
+        np.left_shift(t, _S32, out=a_lo)  # (t & M32) << 32 == t << 32
+        lo |= a_lo
+        lh >>= _S32
+        hh += lh
+        hl >>= _S32
+        hh += hl
+        t >>= _S32
+        hh += t
+        np.multiply(s_lo, m_hi, out=a_lo)  # cross terms into the hi limb
+        hh += a_lo
+        np.multiply(s_hi, m_lo, out=a_lo)
+        hh += a_lo
+        # --- + inc (with carry) ---
+        lo += inc_lo
+        carry = lo < inc_lo
+        hh += inc_hi
+        hh += carry
+        # --- XSL-RR output + double conversion, this row only ---
+        np.bitwise_xor(hh, lo, out=a_lo)  # xored halves
+        np.right_shift(hh, _S58, out=a_hi)  # rotation counts
+        np.right_shift(a_lo, a_hi, out=ll)
+        np.subtract(_U64, a_hi, out=t)
+        t &= _S63
+        a_lo <<= t
+        ll |= a_lo
+        ll >>= _S11
+        np.multiply(ll, _DOUBLE_SCALE, out=out[row])
+        # The freshly advanced (hh, lo) become the state; the old state
+        # buffers are recycled as next iteration's scratch.
+        s_hi, s_lo, hh, lo = hh, lo, s_hi, s_lo
+    state[:, 0] = s_hi
+    state[:, 1] = s_lo
+    # Lane l's rows are its draws in (slice, kind) order, so the
+    # (total, lanes) grid *is* the (chunk, kinds, lanes) block.
+    return out.reshape(chunk, n_kinds, n_lanes)
+
+
+class BatchedDeviceStreams:
+    """A stacked ``(n_lanes, 4)`` uint64 array of PCG64 device streams.
+
+    The import/export boundary of the vectorized path: states come in
+    from (and go back out as) the exact ``bit_generator.state["state"]``
+    dicts numpy pickles, so ``device_rng`` spawn keys, checkpoint
+    payloads and shard gather/adopt transport interoperate without
+    knowing the stack exists.
+    """
+
+    def __init__(self, state: np.ndarray, _mult: int | None = None):
+        state = np.asarray(state, dtype=np.uint64)
+        if state.ndim != 2 or state.shape[1] != 4:
+            raise ValidationError(
+                f"stream stack must be (n_lanes, 4) uint64, "
+                f"got shape {tuple(state.shape)}"
+            )
+        self._state = state
+        if _mult is None:
+            if not batched_available():
+                raise ValidationError(
+                    f"vectorized PCG64 unavailable: "
+                    f"{batched_unavailable_reason()}"
+                )
+            _mult = _derived()["mult"]
+        self._mult = _mult
+
+    @classmethod
+    def from_generators(
+        cls, generators, _mult: int | None = None
+    ) -> "BatchedDeviceStreams":
+        """Stack the PCG64 states of ``generators`` (lane order).
+
+        Raises :class:`~repro.util.validation.ValidationError` naming
+        the first lane whose generator the vectorized path cannot
+        carry (non-PCG64 bit generator, or a buffered half-draw).
+        """
+        generators = list(generators)
+        state = np.empty((len(generators), 4), dtype=np.uint64)
+        for lane, generator in enumerate(generators):
+            if not supports_generator(generator):
+                raise ValidationError(
+                    f"lane {lane}: generator is not a clean PCG64 stream "
+                    f"(batched fan-in carries PCG64 with no buffered "
+                    f"uint32); use the serial fan-in for this group"
+                )
+            raw = generator.bit_generator.state["state"]
+            state[lane, 0] = (raw["state"] >> 64) & _MASK64
+            state[lane, 1] = raw["state"] & _MASK64
+            state[lane, 2] = (raw["inc"] >> 64) & _MASK64
+            state[lane, 3] = raw["inc"] & _MASK64
+        return cls(state, _mult=_mult)
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of stacked streams."""
+        return self._state.shape[0]
+
+    @property
+    def state(self) -> np.ndarray:
+        """The live ``(n_lanes, 4)`` uint64 state stack."""
+        return self._state
+
+    def export_state(self, lane: int) -> dict:
+        """Lane ``lane``'s state as a PCG64 ``state["state"]`` dict."""
+        row = self._state[int(lane)]
+        return {
+            "state": (int(row[0]) << 64) | int(row[1]),
+            "inc": (int(row[2]) << 64) | int(row[3]),
+        }
+
+    def uniform_block(self, chunk: int, n_kinds: int) -> np.ndarray:
+        """Draw the next ``(chunk, n_kinds, n_lanes)`` uniform block.
+
+        Advances every stacked stream by ``chunk * n_kinds`` steps;
+        byte-identical to each lane's own ``Generator.random((chunk,
+        n_kinds))``.
+        """
+        chunk = int(chunk)
+        n_kinds = int(n_kinds)
+        if chunk <= 0 or n_kinds <= 0:
+            raise ValidationError(
+                f"uniform_block needs chunk > 0 and n_kinds > 0, "
+                f"got ({chunk}, {n_kinds})"
+            )
+        return _draw_block(self._state, chunk, n_kinds, self._mult)
+
+
+def _batched_band(state, chunk, n_kinds, mult, shm_name, offset):
+    """Pool-worker task: draw one lane band into shared memory.
+
+    The band's block is written straight into the parent's shared
+    segment (no pickled payload on the return path); only the small
+    advanced ``(band, 4)`` state array rides back over the pipe.
+    """
+    from multiprocessing import shared_memory
+
+    block = _draw_block(state, chunk, n_kinds, mult)
+    segment = shared_memory.SharedMemory(name=shm_name)
+    try:
+        flat = np.ndarray(
+            block.size, dtype=np.float64, buffer=segment.buf, offset=offset
+        )
+        flat[:] = block.reshape(-1)
+    finally:
+        segment.close()
+    return state
+
+
+class BatchedPCG64Source:
+    """The vectorized :class:`~repro.sim.rng.UniformSource`.
+
+    Wraps a list of per-device PCG64 generators: draws are produced by
+    :class:`BatchedDeviceStreams` array math (byte-identical to each
+    device's private stream), and the backing generator objects are
+    kept canonical by :meth:`sync`, which jumps them forward with
+    ``PCG64.advance`` — so everything downstream (checkpointing, shard
+    transport, direct draws) sees exactly the states a serial fan-in
+    would have left.
+
+    Call :meth:`sync` after consuming a batch of blocks; the fleet's
+    grouped stepper does this at the end of every block step.  Between
+    ``random`` and ``sync`` the stacked state is authoritative and the
+    generator objects lag by :attr:`pending_draws` draws.
+
+    Parameters
+    ----------
+    generators:
+        One clean PCG64 generator per lane (lane order).
+    n_kinds / max_chunk:
+        Declared request geometry, enforced like
+        :class:`~repro.sim.rng.FanInSource` — a mismatched kernel
+        request raises instead of desynchronizing streams.
+    processes:
+        Draw :data:`LANE_BAND`-lane bands in a process pool, assembling
+        blocks through shared memory.  Lanes are banded, not
+        interleaved, so pool output is byte-identical to the
+        in-process path.  Pays off for fleets spanning multiple bands
+        on multi-core machines.
+    """
+
+    def __init__(
+        self,
+        generators,
+        n_kinds: int | None = None,
+        max_chunk: int | None = None,
+        processes: int | None = None,
+    ):
+        if not batched_available():
+            raise ValidationError(
+                f"vectorized PCG64 unavailable: "
+                f"{batched_unavailable_reason()}"
+            )
+        self._generators = list(generators)
+        self._streams = BatchedDeviceStreams.from_generators(self._generators)
+        self._n_kinds = None if n_kinds is None else int(n_kinds)
+        self._max_chunk = None if max_chunk is None else int(max_chunk)
+        if processes is not None:
+            processes = int(processes)
+            if processes <= 0:
+                raise ValidationError(
+                    f"processes must be > 0, got {processes}"
+                )
+        self._processes = processes
+        self._executor = None
+        self._pending = 0
+
+    @property
+    def generators(self) -> list:
+        """The backing generators (canonical after :meth:`sync`)."""
+        return self._generators
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of lanes served."""
+        return len(self._generators)
+
+    @property
+    def pending_draws(self) -> int:
+        """Draws served since the last :meth:`sync` (per lane)."""
+        return self._pending
+
+    @property
+    def streams(self) -> BatchedDeviceStreams:
+        """The stacked stream state (authoritative between syncs)."""
+        return self._streams
+
+    def _pool(self):
+        if self._executor is None:
+            import concurrent.futures
+            import multiprocessing
+
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self._processes, mp_context=context
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "BatchedPCG64Source":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def random(self, shape) -> np.ndarray:
+        """Fill a ``(chunk, kinds, lanes)`` block from the stacked streams."""
+        chunk, n_kinds, n_lanes = _validate_shape(
+            shape, len(self._generators), self._n_kinds, self._max_chunk
+        )
+        if (
+            self._processes is not None
+            and self._processes > 1
+            and n_lanes > LANE_BAND
+        ):
+            block = self._random_pooled(chunk, n_kinds, n_lanes)
+        else:
+            block = self._streams.uniform_block(chunk, n_kinds)
+        self._pending += chunk * n_kinds
+        return block
+
+    def _random_pooled(
+        self, chunk: int, n_kinds: int, n_lanes: int
+    ) -> np.ndarray:
+        """Band-parallel draw through shared memory.
+
+        Each band is an independent sub-stack (streams never interact),
+        so banding is bitwise neutral; the bands' blocks land in one
+        shared segment in lane order and are copied out as the
+        ``(chunk, kinds, lanes)`` result.
+        """
+        from multiprocessing import shared_memory
+
+        mult = self._streams._mult
+        state = self._streams.state
+        bounds = [
+            (lo, min(lo + LANE_BAND, n_lanes))
+            for lo in range(0, n_lanes, LANE_BAND)
+        ]
+        block_floats = chunk * n_kinds
+        segment = shared_memory.SharedMemory(
+            create=True, size=block_floats * n_lanes * 8
+        )
+        try:
+            offsets = [lo * block_floats * 8 for lo, _ in bounds]
+            futures = [
+                self._pool().submit(
+                    _batched_band,
+                    state[lo:hi].copy(),
+                    chunk,
+                    n_kinds,
+                    mult,
+                    segment.name,
+                    offset,
+                )
+                for (lo, hi), offset in zip(bounds, offsets)
+            ]
+            out = np.empty((chunk, n_kinds, n_lanes))
+            for (lo, hi), offset, future in zip(bounds, offsets, futures):
+                state[lo:hi] = future.result()
+                band_block = np.ndarray(
+                    (chunk, n_kinds, hi - lo),
+                    dtype=np.float64,
+                    buffer=segment.buf,
+                    offset=offset,
+                )
+                out[:, :, lo:hi] = band_block
+        finally:
+            segment.close()
+            segment.unlink()
+        return out
+
+    def sync(self) -> None:
+        """Advance the backing generators to the stacked state.
+
+        ``PCG64.advance(n)`` computes the same state ``n`` serial draws
+        reach (in ``O(log n)`` C), so after a sync the generator
+        objects are byte-for-byte what the serial fan-in would have
+        left — checkpoints, pickles and direct draws all agree.
+        """
+        if not self._pending:
+            return
+        pending = self._pending
+        for generator in self._generators:
+            generator.bit_generator.advance(pending)
+        self._pending = 0
+
+
+def _validate_shape(shape, n_lanes, n_kinds, max_chunk):
+    from repro.sim.rng import _validate_block_shape
+
+    return _validate_block_shape(
+        shape, n_lanes, n_kinds, max_chunk, "BatchedPCG64Source"
+    )

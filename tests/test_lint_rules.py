@@ -273,6 +273,68 @@ class TestUnthreadedGenerator:
             line=7,
         )
 
+    def test_module_global_uniform_source_fires(self):
+        # UniformSource objects carry caller-owned generators; drawing
+        # blocks from an ambient source leaks stream state exactly like
+        # drawing from an ambient generator.
+        assert_fires(
+            """\
+            from repro.sim.rng import FanInSource
+
+            _SOURCE = FanInSource([])
+
+            def draw(shape):
+                return _SOURCE.random(shape)
+            """,
+            "RNG004",
+            line=6,
+        )
+
+    def test_module_global_random_raw_fires(self):
+        assert_fires(
+            """\
+            import numpy as np
+
+            _BG = np.random.PCG64(0)
+
+            def raw(n):
+                return _BG.random_raw(n)
+            """,
+            "RNG004",
+            line=6,
+        )
+
+    def test_module_global_uniform_block_fires(self):
+        assert_fires(
+            """\
+            from repro.sim.rng_batched import BatchedDeviceStreams
+
+            _STREAMS = BatchedDeviceStreams.from_generators([])
+
+            def block(chunk, kinds):
+                return _STREAMS.uniform_block(chunk, kinds)
+            """,
+            "RNG004",
+            line=6,
+        )
+
+    def test_parameter_uniform_source_is_clean(self):
+        assert_clean(
+            """\
+            def step(source, chunk, kinds, lanes):
+                return source.random((chunk, kinds, lanes))
+            """
+        )
+
+    def test_attribute_uniform_block_is_clean(self):
+        assert_clean(
+            """\
+            class Source:
+                def random(self, shape):
+                    return self._streams.uniform_block(shape[0], shape[1])
+            """
+        )
+
 
 # ----------------------------------------------------------------------
 # KRN001/KRN002/KRN003 — @njit kernel purity

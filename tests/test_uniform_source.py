@@ -1,0 +1,511 @@
+"""The UniformSource API: byte-identical uniform producers.
+
+The contract under test is the tentpole of the vectorized fan-in: a
+:class:`~repro.sim.rng_batched.BatchedPCG64Source` serves every lane
+the *same bytes* its device's private ``Generator.random`` would — for
+any chunk size, across consecutive variable-shape requests, across
+lane-block boundaries, through the process pool, and through
+checkpoint/resume and shard re-partitioning — with the backing
+generator objects landing in the exact states a serial fan-in leaves.
+When the guarantee cannot be given (non-PCG64 streams, a buffered
+half-draw, a numpy build that fails the self-check), ``"auto"`` falls
+back to the serial :class:`~repro.sim.rng.FanInSource` and
+``"batched"`` fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    Fleet,
+    FleetController,
+    MemoryTelemetry,
+    device_rng,
+)
+from repro.runtime.controller import (
+    UNIFORM_SOURCES,
+    _FanInUniforms,
+)
+from repro.sim import rng_batched
+from repro.sim.rng import (
+    FanInSource,
+    GeneratorSource,
+    UniformSource,
+)
+from repro.sim.rng_batched import (
+    BatchedDeviceStreams,
+    BatchedPCG64Source,
+    batched_available,
+    derive_pcg64_multiplier,
+    supports_generator,
+)
+from repro.util.validation import ValidationError
+
+
+def _generators(n, seed=7):
+    return [
+        np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(i,)))
+        for i in range(n)
+    ]
+
+
+def _reference_block(generators, chunk, n_kinds):
+    out = np.empty((chunk, n_kinds, len(generators)))
+    for lane, generator in enumerate(generators):
+        out[:, :, lane] = generator.random((chunk, n_kinds))
+    return out
+
+
+# ----------------------------------------------------------------------
+# the protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_sources_satisfy_protocol(self):
+        generators = _generators(3)
+        assert isinstance(GeneratorSource(generators[0]), UniformSource)
+        assert isinstance(FanInSource(generators), UniformSource)
+        assert isinstance(BatchedPCG64Source(generators), UniformSource)
+
+    def test_plain_generator_satisfies_protocol(self):
+        # Structural typing: the single-run simulate() path keeps
+        # passing bare generators with no adapter.
+        assert isinstance(np.random.default_rng(0), UniformSource)
+
+    def test_generator_source_is_passthrough(self):
+        a = np.random.default_rng(3)
+        b = np.random.default_rng(3)
+        source = GeneratorSource(a)
+        assert source.generator is a
+        assert (source.random((4, 2, 5)) == b.random((4, 2, 5))).all()
+
+
+# ----------------------------------------------------------------------
+# FanInSource: the serial reference producer + request validation
+# ----------------------------------------------------------------------
+class TestFanInSource:
+    def test_per_lane_byte_identity(self):
+        generators = _generators(9)
+        reference = _generators(9)
+        source = FanInSource(generators)
+        block = source.random((13, 4, 9))
+        assert (block == _reference_block(reference, 13, 4)).all()
+
+    def test_lane_count_mismatch_raises(self):
+        source = FanInSource(_generators(4))
+        with pytest.raises(ValidationError, match="4 lanes"):
+            source.random((8, 4, 5))
+
+    def test_declared_kinds_mismatch_raises(self):
+        # Satellite contract: a mismatched (chunk, kinds) request must
+        # raise instead of silently desynchronizing every lane's stream.
+        source = FanInSource(_generators(4), n_kinds=4)
+        with pytest.raises(ValidationError, match="desynchronize"):
+            source.random((8, 3, 4))
+
+    def test_chunk_cap_exceeded_raises(self):
+        source = FanInSource(_generators(4), n_kinds=4, max_chunk=16)
+        with pytest.raises(ValidationError, match="chunk cap"):
+            source.random((17, 4, 4))
+
+    def test_non_block_request_raises(self):
+        source = FanInSource(_generators(4))
+        with pytest.raises(ValidationError, match="chunk, kinds, lanes"):
+            source.random((8, 4))
+        with pytest.raises(ValidationError, match="> 0"):
+            source.random((0, 4, 4))
+
+    def test_pooled_matches_serial_and_advances_parents(self):
+        generators = _generators(10, seed=3)
+        reference = _generators(10, seed=3)
+        with FanInSource(generators, n_kinds=4, processes=2) as source:
+            block = source.random((7, 4, 10))
+        assert (block == _reference_block(reference, 7, 4)).all()
+        # Worker-side draws must advance the parent's generator objects.
+        for mine, theirs in zip(generators, reference):
+            assert mine.bit_generator.state == theirs.bit_generator.state
+
+
+# ----------------------------------------------------------------------
+# the vectorized kernel
+# ----------------------------------------------------------------------
+class TestBatchedKernel:
+    def test_multiplier_derivation_is_consistent(self):
+        mult = derive_pcg64_multiplier()
+        assert mult is not None
+        # It must actually reproduce an observed transition.
+        bit_generator = np.random.PCG64(99)
+        inc = bit_generator.state["state"]["inc"]
+        before = bit_generator.state["state"]["state"]
+        bit_generator.random_raw(1)
+        after = bit_generator.state["state"]["state"]
+        assert (before * mult + inc) % (1 << 128) == after
+
+    def test_available_on_this_build(self):
+        assert batched_available()
+
+    def test_supports_generator(self):
+        assert supports_generator(np.random.default_rng(0))
+        mt = np.random.Generator(np.random.MT19937(0))
+        assert not supports_generator(mt)
+        assert not supports_generator(object())
+
+    def test_buffered_half_draw_is_unsupported(self):
+        generator = np.random.default_rng(0)
+        generator.integers(0, 10, dtype=np.uint32)  # buffers a uint32
+        assert generator.bit_generator.state["has_uint32"]
+        assert not supports_generator(generator)
+
+    def test_streams_roundtrip_state_dicts(self):
+        generators = _generators(5)
+        streams = BatchedDeviceStreams.from_generators(generators)
+        assert streams.n_lanes == 5
+        for lane, generator in enumerate(generators):
+            assert (
+                streams.export_state(lane)
+                == generator.bit_generator.state["state"]
+            )
+
+    def test_streams_reject_bad_stack_shape(self):
+        with pytest.raises(ValidationError, match=r"\(n_lanes, 4\)"):
+            BatchedDeviceStreams(np.zeros((3, 3), dtype=np.uint64))
+
+    def test_streams_reject_non_pcg64_naming_lane(self):
+        generators = _generators(3)
+        generators[2] = np.random.Generator(np.random.MT19937(0))
+        with pytest.raises(ValidationError, match="lane 2"):
+            BatchedDeviceStreams.from_generators(generators)
+
+    def test_uniform_block_rejects_empty_request(self):
+        streams = BatchedDeviceStreams.from_generators(_generators(3))
+        with pytest.raises(ValidationError, match="chunk > 0"):
+            streams.uniform_block(0, 4)
+
+    @pytest.mark.parametrize("chunk", [1, 2, 17, 64, 256])
+    def test_byte_identity_across_chunk_sizes(self, chunk):
+        generators = _generators(33)
+        reference = _generators(33)
+        streams = BatchedDeviceStreams.from_generators(generators)
+        block = streams.uniform_block(chunk, 4)
+        assert block.shape == (chunk, 4, 33)
+        assert (block == _reference_block(reference, chunk, 4)).all()
+
+    def test_consecutive_variable_shape_calls(self):
+        generators = _generators(21)
+        reference = _generators(21)
+        streams = BatchedDeviceStreams.from_generators(generators)
+        for chunk, kinds in ((17, 4), (5, 3), (1, 1), (30, 4)):
+            block = streams.uniform_block(chunk, kinds)
+            assert (
+                block == _reference_block(reference, chunk, kinds)
+            ).all()
+        # After all draws the stacked state equals the generators'.
+        for lane, generator in enumerate(reference):
+            assert (
+                streams.export_state(lane)
+                == generator.bit_generator.state["state"]
+            )
+
+
+# ----------------------------------------------------------------------
+# BatchedPCG64Source: the fleet-facing source
+# ----------------------------------------------------------------------
+class TestBatchedSource:
+    def test_sync_advances_generators_exactly(self):
+        generators = _generators(8)
+        reference = _generators(8)
+        source = BatchedPCG64Source(generators, n_kinds=4)
+        source.random((11, 4, 8))
+        assert source.pending_draws == 44
+        source.random((5, 4, 8))
+        assert source.pending_draws == 64
+        source.sync()
+        assert source.pending_draws == 0
+        for generator in reference:
+            generator.random((16, 4))
+        for mine, theirs in zip(generators, reference):
+            assert mine.bit_generator.state == theirs.bit_generator.state
+        # Post-sync, the generators continue their streams directly.
+        for mine, theirs in zip(generators, reference):
+            assert (mine.random(3) == theirs.random(3)).all()
+
+    def test_sync_without_draws_is_noop(self):
+        generators = _generators(2)
+        before = [g.bit_generator.state for g in generators]
+        source = BatchedPCG64Source(generators)
+        source.sync()
+        for generator, state in zip(generators, before):
+            assert generator.bit_generator.state == state
+
+    def test_validates_declared_geometry(self):
+        source = BatchedPCG64Source(_generators(6), n_kinds=4, max_chunk=32)
+        with pytest.raises(ValidationError, match="desynchronize"):
+            source.random((8, 3, 6))
+        with pytest.raises(ValidationError, match="chunk cap"):
+            source.random((33, 4, 6))
+        with pytest.raises(ValidationError, match="6 lanes"):
+            source.random((8, 4, 5))
+
+    def test_rejects_ineligible_generator(self):
+        generators = _generators(3)
+        generators[1] = np.random.Generator(np.random.MT19937(0))
+        with pytest.raises(ValidationError, match="lane 1"):
+            BatchedPCG64Source(generators)
+
+    def test_pooled_blocks_are_byte_identical(self, monkeypatch):
+        monkeypatch.setattr(rng_batched, "LANE_BAND", 8)
+        generators = _generators(21, seed=9)
+        reference = _generators(21, seed=9)
+        with BatchedPCG64Source(generators, processes=2) as source:
+            block = source.random((11, 3, 21))
+            source.sync()
+        assert (block == _reference_block(reference, 11, 3)).all()
+        for mine, theirs in zip(generators, reference):
+            assert mine.bit_generator.state == theirs.bit_generator.state
+
+    def test_unavailable_build_raises_with_reason(self, monkeypatch):
+        monkeypatch.setattr(
+            rng_batched,
+            "_DERIVED",
+            {"mult": None, "reason": "simulated unsupported build"},
+        )
+        assert not batched_available()
+        with pytest.raises(ValidationError, match="simulated unsupported"):
+            BatchedPCG64Source(_generators(2))
+
+
+# ----------------------------------------------------------------------
+# the controller knob
+# ----------------------------------------------------------------------
+def _stationary_fleet(n, seed=0):
+    from repro.policies import StationaryPolicyAgent, eager_markov_policy
+    from repro.systems import disk_drive
+
+    bundle = disk_drive.build()
+    policy = eager_markov_policy(bundle.system, "go_active", "go_sleep")
+    fleet = Fleet()
+    for i in range(n):
+        fleet.add_device(
+            f"disk-{i:04d}",
+            bundle.system,
+            bundle.costs,
+            StationaryPolicyAgent(bundle.system, policy),
+            rng=device_rng(seed, i),
+        )
+    return fleet
+
+
+def _run_records(fleet, uniform_source, ticks=3, slices=700, **kwargs):
+    sink = MemoryTelemetry()
+    controller = FleetController(
+        fleet,
+        slices_per_tick=slices,
+        uniform_source=uniform_source,
+        telemetry=sink,
+        telemetry_per_device=True,
+        **kwargs,
+    )
+    controller.run(ticks)
+    return controller, sink.records
+
+
+def _strip_stamp(records):
+    return [
+        json.dumps(
+            {k: v for k, v in record.items() if k != "uniform_source"},
+            sort_keys=True,
+        )
+        for record in records
+    ]
+
+
+class TestControllerKnob:
+    def test_knob_is_validated(self):
+        with pytest.raises(ValidationError, match="uniform_source"):
+            FleetController(_stationary_fleet(2), uniform_source="turbo")
+        assert UNIFORM_SOURCES == ("auto", "fanin", "batched")
+
+    def test_snapshot_stamps_requested_knob(self):
+        for knob in UNIFORM_SOURCES:
+            controller, records = _run_records(
+                _stationary_fleet(4), knob, ticks=1, slices=50
+            )
+            assert controller.uniform_source == knob
+            assert records[0]["uniform_source"] == knob
+
+    def test_fanin_batched_auto_byte_identical(self):
+        reference = None
+        states = None
+        for knob in UNIFORM_SOURCES:
+            fleet = _stationary_fleet(40)
+            _, records = _run_records(fleet, knob)
+            stripped = _strip_stamp(records)
+            final = [
+                device.rng.bit_generator.state for device in fleet
+            ]
+            if reference is None:
+                reference, states = stripped, final
+            else:
+                assert stripped == reference
+                assert final == states
+
+    def test_block_boundaries_are_bitwise_neutral(self, monkeypatch):
+        # Shrink the lane block so 11 devices split 4|4|3: per-lane
+        # streams must not notice which block (or source) serves them.
+        from repro.runtime import controller as controller_module
+
+        fleet_small = _stationary_fleet(11)
+        monkeypatch.setattr(controller_module, "FLEET_LANE_BLOCK", 4)
+        _, split = _run_records(fleet_small, "batched", ticks=2)
+        monkeypatch.undo()
+        fleet_whole = _stationary_fleet(11)
+        _, whole = _run_records(fleet_whole, "batched", ticks=2)
+        assert _strip_stamp(split) == _strip_stamp(whole)
+
+    def test_mixed_generator_fleet_auto_falls_back(self):
+        fleet = _stationary_fleet(6)
+        devices = list(fleet)
+        devices[3].rng = np.random.Generator(np.random.MT19937(5))
+        reference = _stationary_fleet(6)
+        list(reference)[3].rng = np.random.Generator(np.random.MT19937(5))
+        _, auto_records = _run_records(fleet, "auto", ticks=2)
+        _, fanin_records = _run_records(reference, "fanin", ticks=2)
+        assert _strip_stamp(auto_records) == _strip_stamp(fanin_records)
+
+    def test_mixed_generator_fleet_batched_raises(self):
+        fleet = _stationary_fleet(6)
+        list(fleet)[3].rng = np.random.Generator(np.random.MT19937(5))
+        controller = FleetController(
+            fleet, slices_per_tick=50, uniform_source="batched"
+        )
+        with pytest.raises(ValidationError, match="lane 3"):
+            controller.step_tick()
+
+    def test_batched_unavailable_build_fails_at_construction(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(
+            rng_batched,
+            "_DERIVED",
+            {"mult": None, "reason": "simulated unsupported build"},
+        )
+        with pytest.raises(ValidationError, match="simulated unsupported"):
+            FleetController(
+                _stationary_fleet(2), uniform_source="batched"
+            )
+        # auto degrades to the serial fan-in instead of failing.
+        controller, records = _run_records(
+            _stationary_fleet(4), "auto", ticks=1, slices=50
+        )
+        assert records[0]["uniform_source"] == "auto"
+
+    def test_fanin_uniforms_alias_warns_and_works(self):
+        generators = _generators(3)
+        reference = _generators(3)
+        with pytest.deprecated_call():
+            shim = _FanInUniforms(generators)
+        block = shim.random((5, 4, 3))
+        assert (block == _reference_block(reference, 5, 4)).all()
+
+
+# ----------------------------------------------------------------------
+# checkpoint/resume and shard transport with batched active
+# ----------------------------------------------------------------------
+class TestPersistence:
+    def test_checkpoint_resume_byte_identity(self, tmp_path):
+        # Uninterrupted batched run vs checkpoint-at-2 + resumed run.
+        _, straight = _run_records(
+            _stationary_fleet(24), "batched", ticks=4
+        )
+        fleet = _stationary_fleet(24)
+        controller, records = _run_records(fleet, "batched", ticks=2)
+        path = tmp_path / "fleet.ckpt"
+        controller.save_checkpoint(path)
+        resumed = FleetController.resume(path, telemetry=None)
+        assert resumed.uniform_source == "batched"
+        sink = MemoryTelemetry()
+        resumed._telemetry = sink
+        resumed._telemetry_per_device = True
+        resumed.run(2)
+        assert _strip_stamp(records + sink.records) == _strip_stamp(
+            straight
+        )
+
+    def test_resume_override_is_byte_identical(self, tmp_path):
+        fleet = _stationary_fleet(12)
+        controller, _ = _run_records(fleet, "fanin", ticks=1)
+        path = tmp_path / "fleet.ckpt"
+        controller.save_checkpoint(path)
+        a = FleetController.resume(path)
+        b = FleetController.resume(path, uniform_source="batched")
+        assert a.uniform_source == "fanin"
+        assert b.uniform_source == "batched"
+        a.run(1)
+        b.run(1)
+        assert _strip_stamp([a.snapshot(per_device=True)]) == _strip_stamp(
+            [b.snapshot(per_device=True)]
+        )
+
+    def test_pre_knob_checkpoint_resumes_as_auto(self, tmp_path):
+        from repro.runtime.checkpoint import (
+            load_checkpoint,
+            write_checkpoint,
+        )
+
+        fleet = _stationary_fleet(4)
+        controller, _ = _run_records(fleet, "auto", ticks=1, slices=50)
+        path = tmp_path / "fleet.ckpt"
+        controller.save_checkpoint(path)
+        payload = load_checkpoint(path)
+        assert payload["uniform_source"] == "auto"
+        del payload["uniform_source"]
+        legacy = tmp_path / "legacy.ckpt"
+        write_checkpoint(legacy, payload)
+        resumed = FleetController.resume(legacy)
+        assert resumed.uniform_source == "auto"
+
+    def test_shard_repartition_identity_with_batched(self, tmp_path):
+        # A 2-shard batched daemon's telemetry continues a 1-process
+        # fanin run byte-for-byte after resuming its checkpoint with a
+        # different partitioning.
+        from repro.runtime.telemetry import snapshot_from_records
+        from repro.service import ShardSupervisor
+
+        _, straight = _run_records(
+            _stationary_fleet(10), "fanin", ticks=4, slices=200
+        )
+        fleet = _stationary_fleet(10)
+        controller, prefix = _run_records(
+            fleet, "batched", ticks=2, slices=200
+        )
+        path = tmp_path / "fleet.ckpt"
+        controller.save_checkpoint(path)
+        payload_fleet = FleetController.resume(path).fleet
+        supervisor = ShardSupervisor(
+            2,
+            slices_per_tick=200,
+            uniform_source="batched",
+            checkpoint_every=0,
+        )
+        supervisor.start(payload_fleet, tick=2)
+        try:
+            tail = []
+            for _ in range(2):
+                supervisor.step_tick()
+                record = snapshot_from_records(
+                    supervisor.tick,
+                    supervisor.collect_records(),
+                    per_device=True,
+                )
+                record["backend"] = supervisor.resolved_backend
+                record["uniform_source"] = supervisor.uniform_source
+                tail.append(record)
+            info = supervisor.info()
+            assert info["uniform_source"] == "batched"
+        finally:
+            supervisor.stop()
+        assert _strip_stamp(prefix + tail) == _strip_stamp(straight)
