@@ -1,0 +1,56 @@
+"""Deterministic fault injection for the fleet service stack.
+
+``repro.faults`` turns failure into an input: a :class:`FaultPlan`
+scripts *which* faults fire *where* and *when* (JSON-specifiable,
+seedable via :meth:`FaultPlan.randomized`), and the injection runtime
+(:mod:`repro.faults.injection`) fires each scripted fault exactly once
+across every process of a run — supervisor, shard workers, client —
+via a crash-safe one-shot ledger.  The hardened service contract is
+that any plan which doesn't exhaust retries leaves final telemetry
+and checkpoint bytes identical to the fault-free run.
+"""
+
+from repro.faults.injection import (
+    CHANNEL_SEND,
+    CHECKPOINT_FSYNC,
+    CLIENT_RECV,
+    CLIENT_SEND,
+    SPOOL_FSYNC,
+    SPOOL_WRITTEN,
+    TELEMETRY_FSYNC,
+    WORKER_COMMAND,
+    FaultAction,
+    FaultInjector,
+    FaultPoint,
+    InjectedDisconnect,
+    InjectedFault,
+    fire,
+    install,
+    installed_plan,
+    uninstall,
+)
+from repro.faults.plan import FAULT_KINDS, FAULT_SITES, Fault, FaultPlan
+
+__all__ = [
+    "CHANNEL_SEND",
+    "CHECKPOINT_FSYNC",
+    "CLIENT_RECV",
+    "CLIENT_SEND",
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "SPOOL_FSYNC",
+    "SPOOL_WRITTEN",
+    "TELEMETRY_FSYNC",
+    "WORKER_COMMAND",
+    "Fault",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPoint",
+    "InjectedDisconnect",
+    "InjectedFault",
+    "fire",
+    "install",
+    "installed_plan",
+    "uninstall",
+]

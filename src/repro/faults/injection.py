@@ -1,0 +1,280 @@
+"""Fault injection runtime: fire scripted faults exactly once.
+
+The injector is deliberately dumb at the fire site and smart in the
+bookkeeping.  Code under test calls ``faults.fire(SITE, **context)``
+— a no-op costing one attribute load and one ``is None`` test when no
+plan is installed — and the runtime decides which scripted faults are
+eligible, claims each one in a crash-safe ledger, and performs it.
+
+The **one-shot ledger** is the piece that makes chaos runs converge:
+a fault like "SIGKILL shard 2 at tick 4" must fire once and only
+once, even though the supervisor respawns the worker and deterministically
+*replays* tick 4 — without the ledger the replayed tick would re-kill
+the fresh worker forever.  The ledger is a directory of
+``O_CREAT | O_EXCL`` claim files, so a claim survives the claiming
+process being SIGKILLed a microsecond later and is visible to every
+process of the run (supervisor, workers, client) without any locks.
+
+Fault kinds and how they are performed:
+
+``kill``
+    ``os.kill(os.getpid(), SIGKILL)`` — the process vanishes without
+    cleanup, exactly like an OOM kill.
+``hang`` / ``delay``
+    ``time.sleep(seconds)``.  A *hang* is scripted to exceed the
+    supervisor's worker deadline; a *delay* stays under it (slow but
+    alive — must NOT be killed).
+``error``
+    raises :class:`InjectedFault` (an ``OSError``) at the fire site —
+    used for fsync failures.
+``drop``
+    raises :class:`InjectedDisconnect` (a ``ConnectionResetError``) —
+    used for severed sockets.
+``truncate`` / ``bitflip``
+    mutate the file named by the firing context's ``path`` in place —
+    used to corrupt spool generations after they are written.
+``partial``
+    performed *by the caller*: :func:`fire` returns the matched
+    :class:`FaultAction` and the fire site (a frame send) dribbles the
+    payload out in ``nbytes``-sized chunks with ``seconds`` pauses.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "CHANNEL_SEND",
+    "CHECKPOINT_FSYNC",
+    "CLIENT_RECV",
+    "CLIENT_SEND",
+    "SPOOL_FSYNC",
+    "SPOOL_WRITTEN",
+    "TELEMETRY_FSYNC",
+    "WORKER_COMMAND",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPoint",
+    "InjectedDisconnect",
+    "InjectedFault",
+    "fire",
+    "install",
+    "installed_plan",
+    "uninstall",
+]
+
+
+class InjectedFault(OSError):
+    """An injected I/O failure (fsync refused, write error, ...)."""
+
+
+class InjectedDisconnect(ConnectionResetError):
+    """An injected connection reset (peer vanished mid-frame)."""
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """A named site code can fire; the stable hook vocabulary.
+
+    Fire sites hold a module-level ``FaultPoint`` constant and call
+    ``point.fire(**context)`` (or the module-level :func:`fire`); the
+    constant documents the contract — which context keys the site
+    provides — right where the hook lives.
+    """
+
+    site: str
+    #: Context keys this site provides, for documentation/validation.
+    context: tuple[str, ...] = ()
+
+    def fire(self, **ctx) -> tuple["FaultAction", ...]:
+        """Fire this site against the installed injector (if any)."""
+        return fire(self.site, **ctx)
+
+
+WORKER_COMMAND = FaultPoint("worker.command", ("shard", "command", "tick"))
+SPOOL_WRITTEN = FaultPoint("spool.written", ("shard", "tick", "path"))
+SPOOL_FSYNC = FaultPoint("spool.fsync", ("path",))
+CHECKPOINT_FSYNC = FaultPoint("checkpoint.fsync", ("path",))
+TELEMETRY_FSYNC = FaultPoint("telemetry.fsync", ("path",))
+CHANNEL_SEND = FaultPoint("channel.send", ("role",))
+CLIENT_SEND = FaultPoint("client.send", ("type",))
+CLIENT_RECV = FaultPoint("client.recv", ("type", "frames"))
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One fault that matched and was claimed at a fire site.
+
+    Most kinds are performed by the injector before :func:`fire`
+    returns; advisory kinds (``partial``) are returned for the call
+    site to perform, carrying the fault's tuning knobs.
+    """
+
+    kind: str
+    seconds: float = 0.0
+    nbytes: int | None = None
+    message: str = "injected fault"
+
+
+class FaultInjector:
+    """Matches an installed :class:`FaultPlan` against fire sites.
+
+    One injector is installed per process (via :func:`install`); the
+    supervisor threads the plan + ledger directory into worker
+    processes through :class:`~repro.service.shard.ShardConfig` so
+    every process of a run shares one ledger.
+    """
+
+    def __init__(self, plan: FaultPlan, ledger_dir) -> None:
+        self._plan = plan
+        self._ledger = Path(ledger_dir)
+        self._ledger.mkdir(parents=True, exist_ok=True)
+        # Eligible-firing counters for `after`, per fault, per process.
+        self._seen = [0] * len(plan.faults)
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self._plan
+
+    @property
+    def ledger_dir(self) -> Path:
+        return self._ledger
+
+    def _claim(self, index: int) -> bool:
+        """Claim fault ``index`` in the one-shot ledger.
+
+        Returns True exactly once per fault across *all* processes of
+        the run; the O_EXCL create is the atomic claim and survives
+        the claimer being killed immediately after.
+        """
+        path = self._ledger / self._plan.ledger_id(index)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def fired(self, index: int) -> bool:
+        """Whether fault ``index`` has been claimed by any process."""
+        return (self._ledger / self._plan.ledger_id(index)).exists()
+
+    def fire(self, site: str, **ctx) -> tuple[FaultAction, ...]:
+        """Fire ``site``: claim and perform every eligible fault.
+
+        Performs process-level kinds in place (kill/hang/delay raise or
+        never return); returns advisory actions (``partial``) for the
+        caller.  ``error``/``drop`` raise after claiming, so at most
+        one raising fault performs per call.
+        """
+        actions: list[FaultAction] = []
+        for index, fault in enumerate(self._plan.faults):
+            if fault.site != site:
+                continue
+            if not self._matches(fault, ctx):
+                continue
+            self._seen[index] += 1
+            if self._seen[index] <= fault.after:
+                continue
+            if not self._claim(index):
+                continue
+            action = self._perform(fault, ctx)
+            if action is not None:
+                actions.append(action)
+        return tuple(actions)
+
+    @staticmethod
+    def _matches(fault, ctx) -> bool:
+        for key in ("tick", "shard", "command", "role"):
+            want = getattr(fault, key)
+            if want is not None and ctx.get(key) != want:
+                return False
+        return True
+
+    def _perform(self, fault, ctx) -> FaultAction | None:
+        kind = fault.kind
+        if kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+            time.sleep(60.0)  # pragma: no cover - SIGKILL is not survivable
+            return None  # pragma: no cover
+        if kind in ("hang", "delay"):
+            time.sleep(fault.seconds)
+            return None
+        if kind == "error":
+            raise InjectedFault(fault.message)
+        if kind == "drop":
+            raise InjectedDisconnect(fault.message)
+        if kind in ("truncate", "bitflip"):
+            path = ctx.get("path")
+            if path is not None:
+                _corrupt_file(path, kind, fault.offset, fault.nbytes)
+            return None
+        # Advisory kinds (partial) are performed by the call site.
+        return FaultAction(
+            kind=kind,
+            seconds=fault.seconds,
+            nbytes=fault.nbytes,
+            message=fault.message,
+        )
+
+
+def _corrupt_file(path, kind: str, offset: int | None, nbytes: int | None):
+    """Truncate or bit-flip ``path`` in place (no-op if missing/empty)."""
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return
+    if size == 0:
+        return
+    if kind == "truncate":
+        drop = nbytes if nbytes is not None else max(1, size // 2)
+        with open(path, "r+b") as fh:
+            fh.truncate(max(0, size - drop))
+            fh.flush()
+            os.fsync(fh.fileno())
+        return
+    at = offset if offset is not None else size // 2
+    at = min(max(at, 0), size - 1)
+    with open(path, "r+b") as fh:
+        fh.seek(at)
+        byte = fh.read(1)
+        fh.seek(at)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+#: The per-process injector; ``None`` keeps :func:`fire` a no-op.
+_ACTIVE: FaultInjector | None = None
+
+
+def install(plan: FaultPlan, ledger_dir) -> FaultInjector:
+    """Install ``plan`` as this process's active injector."""
+    global _ACTIVE
+    _ACTIVE = FaultInjector(plan, ledger_dir)
+    return _ACTIVE
+
+
+def uninstall() -> None:
+    """Remove the active injector; :func:`fire` becomes a no-op."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def installed_plan() -> FaultPlan | None:
+    """The active plan, or ``None`` when injection is off."""
+    return _ACTIVE.plan if _ACTIVE is not None else None
+
+
+def fire(site: str, **ctx) -> tuple[FaultAction, ...]:
+    """Fire ``site`` against the process's injector (no-op when off)."""
+    if _ACTIVE is None:
+        return ()
+    return _ACTIVE.fire(site, **ctx)

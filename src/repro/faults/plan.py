@@ -1,0 +1,413 @@
+"""Fault plans: seeded, tick-indexed, JSON-specifiable failure scripts.
+
+A :class:`FaultPlan` is the deterministic half of chaos engineering:
+instead of hoping a worker dies at an interesting moment, the plan
+*names* the moment — a site (where in the code), a matching context
+(which tick, which shard, which command) and a kind (what goes wrong).
+The :mod:`repro.faults.injection` runtime carries the plan into every
+process of a service run and fires each fault **exactly once**, so a
+chaos campaign is as replayable as the fault-free run it must converge
+back to.
+
+Sites are the stable vocabulary between plans and code.  The hardened
+service stack fires these:
+
+``worker.command``
+    A shard worker received a supervisor pipe command (context:
+    ``shard``, ``command``, ``tick``).  Kinds: ``kill`` (SIGKILL the
+    worker), ``hang`` (sleep past the supervisor deadline), ``delay``
+    (a slow-but-alive worker).
+``spool.written``
+    A worker finished writing one spool generation (context: ``shard``,
+    ``tick``, ``path``).  Kinds: ``truncate`` / ``bitflip`` corrupt the
+    file in place — detected by the CRC stamp at restore time.
+``spool.fsync`` / ``checkpoint.fsync`` / ``telemetry.fsync``
+    About to fsync the named artifact.  Kind: ``error`` raises
+    ``OSError`` as if the kernel refused.
+``channel.send``
+    A protocol frame is about to go out (context: ``role`` —
+    ``"client"`` or ``"server"``).  Kinds: ``partial`` (dribble the
+    frame in tiny chunks), ``drop`` (reset the connection).
+``client.send`` / ``client.recv``
+    The :class:`~repro.service.client.ServiceClient` request path
+    (context: ``type`` — the request type; ``client.recv`` adds
+    ``frames`` — frames received so far for this request).  Kind:
+    ``drop`` severs the connection, exercising reconnect + idempotent
+    retry.
+
+Every fault fires **at most once per plan run** (a crash-safe ledger
+claims it across process restarts); ``after`` skips the first N
+eligible firings, so "drop the connection on the second telemetry
+event" is expressible.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.util.validation import ValidationError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "Fault",
+    "FaultPlan",
+]
+
+#: Every site the service stack fires (see the module docstring).
+FAULT_SITES = frozenset(
+    {
+        "worker.command",
+        "spool.written",
+        "spool.fsync",
+        "checkpoint.fsync",
+        "telemetry.fsync",
+        "channel.send",
+        "client.send",
+        "client.recv",
+    }
+)
+
+#: Every injectable failure kind.
+FAULT_KINDS = frozenset(
+    {
+        "kill",
+        "hang",
+        "delay",
+        "error",
+        "truncate",
+        "bitflip",
+        "drop",
+        "partial",
+    }
+)
+
+#: Kinds that need a file ``path`` in the firing context.
+_FILE_KINDS = frozenset({"truncate", "bitflip"})
+
+#: Site → kinds that make sense there.  Process-level kinds (kill,
+#: hang, delay, error, drop) are meaningful anywhere; file corruption
+#: only where a path is in context; partial only on frame sends.
+_SITE_KINDS = {
+    "worker.command": frozenset({"kill", "hang", "delay", "error"}),
+    "spool.written": frozenset({"truncate", "bitflip", "kill", "delay"}),
+    "spool.fsync": frozenset({"error", "delay"}),
+    "checkpoint.fsync": frozenset({"error", "delay"}),
+    "telemetry.fsync": frozenset({"error", "delay"}),
+    "channel.send": frozenset({"partial", "drop", "delay"}),
+    "client.send": frozenset({"drop", "delay", "error"}),
+    "client.recv": frozenset({"drop", "delay", "error"}),
+}
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted failure: where, when, and what goes wrong.
+
+    Matching is conjunctive: a fault is eligible when its ``site``
+    fires and every set selector (``tick``, ``shard``, ``command``,
+    ``role``) equals the firing context; unset selectors match
+    anything.  ``after`` skips the first N eligible firings (counted
+    per process).  ``fault_id`` names the fault in the one-shot
+    ledger; it defaults to the fault's index in its plan.
+    """
+
+    site: str
+    kind: str
+    tick: int | None = None
+    shard: int | None = None
+    command: str | None = None
+    role: str | None = None
+    after: int = 0
+    #: hang/delay duration; partial: inter-chunk sleep.
+    seconds: float = 0.0
+    #: bitflip: byte offset from the file start (default: the middle).
+    offset: int | None = None
+    #: truncate: bytes dropped from the end (default: half the file);
+    #: partial: chunk size in bytes (default: 7).
+    nbytes: int | None = None
+    message: str = "injected fault"
+    fault_id: str | None = None
+
+    def validate(self) -> None:
+        """Raise :class:`ValidationError` on an inexpressible fault."""
+        if self.site not in FAULT_SITES:
+            raise ValidationError(
+                f"unknown fault site {self.site!r}; "
+                f"valid sites: {sorted(FAULT_SITES)}"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise ValidationError(
+                f"unknown fault kind {self.kind!r}; "
+                f"valid kinds: {sorted(FAULT_KINDS)}"
+            )
+        allowed = _SITE_KINDS[self.site]
+        if self.kind not in allowed:
+            raise ValidationError(
+                f"fault kind {self.kind!r} cannot fire at site "
+                f"{self.site!r}; kinds there: {sorted(allowed)}"
+            )
+        if self.after < 0:
+            raise ValidationError(
+                f"fault 'after' must be >= 0, got {self.after}"
+            )
+        if self.seconds < 0:
+            raise ValidationError(
+                f"fault 'seconds' must be >= 0, got {self.seconds}"
+            )
+
+    def to_dict(self) -> dict:
+        """A JSON-able mapping (``None``/default fields omitted)."""
+        record = {}
+        for key, value in asdict(self).items():
+            if value is None:
+                continue
+            if key == "after" and value == 0:
+                continue
+            if key == "seconds" and value == 0.0:
+                continue
+            if key == "message" and value == "injected fault":
+                continue
+            record[key] = value
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Fault":
+        """Parse one fault mapping; unknown keys are rejected."""
+        if not isinstance(record, dict):
+            raise ValidationError(
+                f"a fault must be a mapping, got {type(record).__name__}"
+            )
+        known = {f.name for f in cls.__dataclass_fields__.values()}
+        unknown = sorted(set(record) - known)
+        if unknown:
+            raise ValidationError(
+                f"unknown fault field(s) {unknown}; valid fields: "
+                f"{sorted(known)}"
+            )
+        missing = sorted({"site", "kind"} - set(record))
+        if missing:
+            raise ValidationError(f"fault is missing field(s) {missing}")
+        fault = cls(**record)
+        fault.validate()
+        return fault
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered script of :class:`Fault`\\ s for one chaos run.
+
+    Plans are JSON round-trippable (:meth:`to_json` / :meth:`from_json`
+    / :meth:`load` / :meth:`save`) and seeded-randomizable
+    (:meth:`randomized`), so CI can soak the service with a fresh but
+    perfectly replayable failure script every run.
+    """
+
+    faults: tuple[Fault, ...] = field(default_factory=tuple)
+    seed: int | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            fault.validate()
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def ledger_id(self, index: int) -> str:
+        """The one-shot ledger name of fault ``index``."""
+        fault = self.faults[index]
+        return fault.fault_id if fault.fault_id is not None else f"f{index}"
+
+    def to_dict(self) -> dict:
+        """The plan as a JSON-able mapping."""
+        record: dict = {"faults": [fault.to_dict() for fault in self.faults]}
+        if self.seed is not None:
+            record["seed"] = self.seed
+        return record
+
+    def to_json(self) -> str:
+        """Canonical JSON text (sorted keys, stable across runs)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "FaultPlan":
+        """Parse a plan mapping as produced by :meth:`to_dict`."""
+        if not isinstance(record, dict):
+            raise ValidationError(
+                f"a fault plan must be a mapping, got "
+                f"{type(record).__name__}"
+            )
+        unknown = sorted(set(record) - {"faults", "seed"})
+        if unknown:
+            raise ValidationError(
+                f"unknown fault-plan field(s) {unknown}; valid fields: "
+                f"['faults', 'seed']"
+            )
+        raw_faults = record.get("faults", [])
+        if not isinstance(raw_faults, list):
+            raise ValidationError(
+                f"'faults' must be a list, got {type(raw_faults).__name__}"
+            )
+        return cls(
+            faults=tuple(Fault.from_dict(item) for item in raw_faults),
+            seed=record.get("seed"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse JSON text into a plan."""
+        try:
+            record = json.loads(text)
+        except ValueError as exc:
+            raise ValidationError(
+                f"fault plan is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(record)
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        """Read a plan from a JSON file."""
+        path = Path(path)
+        if not path.exists():
+            raise ValidationError(f"fault plan file {path} does not exist")
+        return cls.from_json(path.read_text())
+
+    def save(self, path) -> None:
+        """Write the plan as canonical JSON."""
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def randomized(
+        cls,
+        seed: int,
+        *,
+        ticks: int,
+        shards: int,
+        classes: tuple[str, ...] = (
+            "kill",
+            "hang",
+            "spool_corruption",
+            "client_drop",
+            "fsync_error",
+        ),
+        hang_seconds: float = 30.0,
+    ) -> "FaultPlan":
+        """A seeded plan injecting one fault of each requested class.
+
+        The script is a pure function of ``seed`` (drawn from a
+        dedicated ``default_rng(seed)``), places every fault strictly
+        *mid-run* (ticks ``2 .. ticks-1``, so there is always state to
+        recover and ticks left to prove recovery), and keeps classes
+        composable: ``spool_corruption`` pairs a corruption with a
+        later kill on the same shard — corruption is only *observable*
+        through a restore.
+        """
+        if ticks < 4:
+            raise ValidationError(
+                f"randomized plans need ticks >= 4, got {ticks}"
+            )
+        if shards < 1:
+            raise ValidationError(f"shards must be >= 1, got {shards}")
+        known = {
+            "kill",
+            "hang",
+            "delay",
+            "spool_corruption",
+            "client_drop",
+            "fsync_error",
+        }
+        unknown = sorted(set(classes) - known)
+        if unknown:
+            raise ValidationError(
+                f"unknown fault class(es) {unknown}; valid classes: "
+                f"{sorted(known)}"
+            )
+        rng = np.random.default_rng(seed)
+
+        def _tick(low: int = 2, high: int | None = None) -> int:
+            return int(rng.integers(low, (high or ticks - 1) + 1))
+
+        def _shard() -> int:
+            return int(rng.integers(0, shards))
+
+        faults: list[Fault] = []
+        for kind in classes:
+            if kind == "kill":
+                faults.append(
+                    Fault(
+                        site="worker.command",
+                        kind="kill",
+                        command="step",
+                        tick=_tick(),
+                        shard=_shard(),
+                    )
+                )
+            elif kind == "hang":
+                faults.append(
+                    Fault(
+                        site="worker.command",
+                        kind="hang",
+                        command="step",
+                        tick=_tick(),
+                        shard=_shard(),
+                        seconds=float(hang_seconds),
+                    )
+                )
+            elif kind == "delay":
+                faults.append(
+                    Fault(
+                        site="worker.command",
+                        kind="delay",
+                        command="step",
+                        tick=_tick(),
+                        shard=_shard(),
+                        seconds=0.05,
+                    )
+                )
+            elif kind == "spool_corruption":
+                # Corrupt a spool generation, then kill the same shard
+                # one tick later so the restore actually reads spools —
+                # the CRC check must reject the bad generation and fall
+                # back to the previous one.
+                shard = _shard()
+                tick = _tick(2, ticks - 2)
+                corrupt = "truncate" if rng.integers(0, 2) == 0 else "bitflip"
+                faults.append(
+                    Fault(
+                        site="spool.written",
+                        kind=corrupt,
+                        tick=tick,
+                        shard=shard,
+                    )
+                )
+                faults.append(
+                    Fault(
+                        site="worker.command",
+                        kind="kill",
+                        command="step",
+                        tick=tick + 1,
+                        shard=shard,
+                    )
+                )
+            elif kind == "client_drop":
+                faults.append(
+                    Fault(
+                        site="client.recv",
+                        kind="drop",
+                        after=int(rng.integers(1, 3)),
+                    )
+                )
+            elif kind == "fsync_error":
+                # fsync sites carry no tick context (they fire wherever
+                # the artifact is synced), so the fault is untargeted:
+                # it claims at the first eligible sync of the run.
+                site = ("spool.fsync", "telemetry.fsync")[
+                    int(rng.integers(0, 2))
+                ]
+                faults.append(Fault(site=site, kind="error"))
+        return cls(faults=tuple(faults), seed=int(seed))

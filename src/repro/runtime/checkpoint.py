@@ -22,9 +22,12 @@ time instead of a corrupt file at 3 a.m.
 
 from __future__ import annotations
 
+import os
 import pickle
+import time
 from pathlib import Path
 
+from repro import faults
 from repro.util.validation import ValidationError
 
 __all__ = [
@@ -109,8 +112,36 @@ def checkpoint_payload(  # repro-lint: schema=CHECKPOINT_FIELDS
     }
 
 
-def write_checkpoint(path, payload: dict) -> None:
-    """Serialize a :func:`checkpoint_payload` mapping to ``path``."""
+#: fsync attempts before giving up (transient EIO on networked
+#: filesystems is real; a checkpoint is worth three tries).
+_FSYNC_ATTEMPTS = 3
+
+
+def _fsync_with_retry(fh, path) -> None:
+    """fsync ``fh``, retrying transient failures a bounded number of
+    times.  The fault point lets chaos plans script the failure."""
+    for attempt in range(1, _FSYNC_ATTEMPTS + 1):
+        try:
+            faults.CHECKPOINT_FSYNC.fire(path=str(path))
+            os.fsync(fh.fileno())
+            return
+        except OSError:
+            if attempt == _FSYNC_ATTEMPTS:
+                raise
+            time.sleep(0.01 * attempt)
+
+
+def write_checkpoint(path, payload: dict, *, fsync: bool = False) -> None:
+    """Serialize a :func:`checkpoint_payload` mapping to ``path``.
+
+    The write is atomic — a temp file in the same directory is
+    ``os.replace``\\ d over ``path`` — so a writer killed mid-save can
+    never leave a torn checkpoint: ``path`` holds either the previous
+    complete checkpoint or the new one.  The file bytes themselves are
+    unchanged (a plain protocol-4 pickle).  ``fsync=True`` additionally
+    syncs the temp file before the rename so the checkpoint survives
+    machine crashes, not just process ones.
+    """
     try:
         blob = pickle.dumps(payload, protocol=_PROTOCOL)
     except Exception as exc:
@@ -118,10 +149,24 @@ def write_checkpoint(path, payload: dict) -> None:
             f"fleet state is not serializable ({exc}); agents and streams "
             f"must avoid lambdas and open handles to be checkpointable"
         ) from exc
-    Path(path).write_bytes(blob)
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            if fsync:
+                _fsync_with_retry(fh, path)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
-def save_checkpoint(path, controller) -> None:
+def save_checkpoint(path, controller, *, fsync: bool = False) -> None:
     """Write ``controller``'s full fleet state to ``path``.
 
     Raises :class:`~repro.util.validation.ValidationError` when any
@@ -140,6 +185,7 @@ def save_checkpoint(path, controller) -> None:
             controller._telemetry_per_device,
             uniform_source=controller.uniform_source,
         ),
+        fsync=fsync,
     )
 
 

@@ -25,6 +25,7 @@ import json
 import os
 from pathlib import Path
 
+from repro import faults
 from repro.runtime.fleet import Device, Fleet
 from repro.util.validation import ValidationError
 
@@ -59,10 +60,13 @@ DEVICE_RECORD_FIELDS = frozenset(
 #: The complete field set of a fleet snapshot record, including the
 #: optional fields stamped by the controller (``devices`` under
 #: ``per_device=True``, ``backend`` and ``uniform_source`` always,
-#: ``timing`` under ``record_timing=True``).  Machine-checked like
-#: :data:`DEVICE_RECORD_FIELDS` — the controller's writers carry
-#: cross-module ``schema=repro.runtime.telemetry:SNAPSHOT_FIELDS``
-#: markers.
+#: ``timing`` under ``record_timing=True``) and by the fleet daemon
+#: (``quarantined`` — shard indices parked by the supervisor's
+#: crash-loop breaker, only present when non-empty so fault-free
+#: snapshots stay byte-identical to single-process ones).
+#: Machine-checked like :data:`DEVICE_RECORD_FIELDS` — the
+#: controller's writers carry cross-module
+#: ``schema=repro.runtime.telemetry:SNAPSHOT_FIELDS`` markers.
 SNAPSHOT_FIELDS = frozenset(
     {
         "tick",
@@ -74,6 +78,7 @@ SNAPSHOT_FIELDS = frozenset(
         "backend",
         "uniform_source",
         "timing",
+        "quarantined",
     }
 )
 
@@ -223,6 +228,18 @@ class JsonLinesTelemetry:
         record survives not just a process crash but a machine one —
         the fleet daemon's telemetry mode, where a killed worker or a
         crashed daemon must never lose an emitted tick.
+
+    Crash-safety semantics: each record is emitted as a *single*
+    ``write()`` of the full line (json + newline), so a concurrent
+    reader never sees an interleaved record, and a crash can only tear
+    the final line.  Opening in append mode repairs such a torn tail —
+    the file is truncated back to its last complete (newline-ended)
+    line before new records continue it, so a resumed campaign's file
+    stays valid JSON-lines end to end.  A failing ``os.fsync`` is
+    tolerated rather than fatal: the sync is retried on the next flush
+    (and once more at :meth:`close`) and counted in
+    :attr:`fsync_failures` — telemetry durability degrades before the
+    fleet does.
     """
 
     def __init__(
@@ -242,25 +259,57 @@ class JsonLinesTelemetry:
         self._flush_every = flush_every
         self._fsync = bool(fsync)
         self._pending = 0
+        self._fsync_pending = False
         self._file = None
+        #: fsync failures tolerated so far (degraded durability).
+        self.fsync_failures = 0
 
     @property
     def path(self) -> Path:
         """The output path."""
         return self._path
 
+    def _repair_tail(self) -> None:
+        """Truncate a torn final line before appending to the file.
+
+        A writer killed mid-``write`` can leave a last line without a
+        terminating newline; everything up to the previous newline is
+        complete records.  Dropping the torn tail keeps the file valid
+        JSON-lines and lets the resumed run re-emit the lost record.
+        """
+        try:
+            raw = self._path.read_bytes()
+        except OSError:
+            return
+        if not raw or raw.endswith(b"\n"):
+            return
+        keep = raw.rfind(b"\n") + 1
+        with open(self._path, "r+b") as fh:
+            fh.truncate(keep)
+
     def _flush(self) -> None:
         self._file.flush()
         if self._fsync:
-            os.fsync(self._file.fileno())
+            try:
+                faults.TELEMETRY_FSYNC.fire(path=str(self._path))
+                os.fsync(self._file.fileno())
+                self._fsync_pending = False
+            except OSError:
+                # Data reached the OS (flush succeeded); durability is
+                # degraded, not lost.  Retry on the next flush.
+                self.fsync_failures += 1
+                self._fsync_pending = True
         self._pending = 0
 
     def record(self, record: dict) -> None:
         """Serialize one snapshot record; flush per ``flush_every``."""
         if self._file is None:
+            if self._append:
+                self._repair_tail()
             self._file = open(self._path, "a" if self._append else "w")
-        self._file.write(json.dumps(record, sort_keys=True))
-        self._file.write("\n")
+        # One write per record: a crash tears at most the final line
+        # and concurrent readers never see a partial interleave.
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
         self._pending += 1
         if self._pending >= self._flush_every:
             self._flush()
@@ -269,7 +318,7 @@ class JsonLinesTelemetry:
         """Flush and close the underlying file (no-op when nothing was
         recorded)."""
         if self._file is not None and not self._file.closed:
-            if self._pending:
+            if self._pending or self._fsync_pending:
                 self._flush()
             self._file.close()
 

@@ -8,6 +8,17 @@ they arrive, the matching response returned.  This is the layer the
 do — register devices, push policies, step, checkpoint — happens
 against a *live* fleet, no daemon restart required.
 
+**Connection failures are retried, and retries are safe.**  Every
+request carries a client-generated idempotent ``request_key``; when
+the socket dies mid-request the client reconnects (with capped
+exponential backoff, up to ``retries`` attempts) and re-sends the same
+key.  The daemon's replay cache recognizes a key whose request already
+executed and returns the recorded result instead of re-running it — so
+a ``step`` whose *response* was lost to a dropped socket is never
+double-applied.  Requests the daemon actually *refused* (a
+:class:`ServiceError` in the response) are not retried; only transport
+failures are.
+
 Example::
 
     with ServiceClient("/tmp/fleet.sock") as client:
@@ -21,8 +32,11 @@ Example::
 
 from __future__ import annotations
 
+import os
 import socket
+import time
 
+from repro import faults
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     FrameChannel,
@@ -46,34 +60,62 @@ class ServiceClient:
     The daemon's hello greeting is available as :attr:`server_hello`
     after connecting (protocol version, server pid, tick, fleet size,
     shard count).
+
+    ``retries`` bounds reconnect-and-retry attempts per request after
+    a transport failure (0 disables retrying); ``retry_backoff`` /
+    ``retry_backoff_cap`` shape the exponential pause between
+    attempts.
     """
 
-    def __init__(self, socket_path, timeout: float | None = None):
+    def __init__(
+        self,
+        socket_path,
+        timeout: float | None = None,
+        retries: int = 3,
+        retry_backoff: float = 0.05,
+        retry_backoff_cap: float = 2.0,
+    ):
+        retries = int(retries)
+        if retries < 0:
+            raise ServiceError(f"retries must be >= 0, got {retries}")
         self._socket_path = str(socket_path)
         self._timeout = timeout
+        self._retries = retries
+        self._retry_backoff = float(retry_backoff)
+        self._retry_backoff_cap = float(retry_backoff_cap)
         self._channel: FrameChannel | None = None
         self._next_id = 0
+        self._key_serial = 0
+        # Process- and instance-unique request-key prefix: two clients
+        # (or two lives of one client) can never collide in the
+        # daemon's replay cache.
+        self._key_prefix = f"{os.getpid():x}.{id(self):x}"
         self.server_hello: dict | None = None
 
     # ------------------------------------------------------------------
     # connection lifecycle
     # ------------------------------------------------------------------
-    def connect(self) -> "ServiceClient":
-        """Connect and complete the versioned handshake."""
-        if self._channel is not None:
-            raise ServiceError("client is already connected")
+    def _connect_once(self) -> None:
+        """One connect + handshake attempt.
+
+        Raises ``OSError`` when the socket cannot be reached (the
+        retryable case) and :class:`ServiceError` when the daemon
+        answered but refused the handshake (never retried).
+        """
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         if self._timeout is not None:
             sock.settimeout(self._timeout)
         try:
             sock.connect(self._socket_path)
-        except OSError as exc:
+        except OSError:
             sock.close()
-            raise ServiceError(
-                f"cannot connect to daemon socket {self._socket_path}: {exc}"
-            ) from exc
-        self._channel = FrameChannel(sock)
-        greeting = self._channel.receive()
+            raise
+        self._channel = FrameChannel(sock, role="client")
+        try:
+            greeting = self._channel.receive()
+        except (ProtocolError, OSError):
+            self.close()
+            raise OSError("connection lost during hello greeting") from None
         if greeting is None or greeting.get("event") != "hello":
             self.close()
             raise ServiceError(
@@ -87,7 +129,21 @@ class ServiceClient:
                 f"protocol version mismatch: this client speaks "
                 f"{PROTOCOL_VERSION}, server announced {server_protocol!r}"
             )
-        self._call("hello", {"protocol": PROTOCOL_VERSION})
+        self._exchange(
+            "hello", {"protocol": PROTOCOL_VERSION}, self._new_key(), None
+        )
+
+    def connect(self) -> "ServiceClient":
+        """Connect and complete the versioned handshake."""
+        if self._channel is not None:
+            raise ServiceError("client is already connected")
+        try:
+            self._connect_once()
+        except OSError as exc:
+            self.close()
+            raise ServiceError(
+                f"cannot connect to daemon socket {self._socket_path}: {exc}"
+            ) from exc
         return self
 
     def close(self) -> None:
@@ -105,41 +161,77 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # request plumbing
     # ------------------------------------------------------------------
-    def _call(self, request_type: str, params: dict, on_event=None):
-        if self._channel is None:
-            raise ServiceError("client is not connected; call connect()")
+    def _new_key(self) -> str:
+        self._key_serial += 1
+        return f"{self._key_prefix}.{self._key_serial}"
+
+    def _exchange(
+        self, request_type: str, params: dict, request_key: str, on_event
+    ):
+        """One send/receive round (no recovery).
+
+        Transport failures surface as raw ``ProtocolError``/``OSError``
+        for :meth:`_call`'s retry loop; daemon refusals raise
+        :class:`ServiceError` directly (retrying cannot fix those).
+        """
         request_id = self._next_id
         self._next_id += 1
-        try:
-            self._channel.send(
-                make_request(request_id, request_type, params)
-            )
-            while True:
-                frame = self._channel.receive()
-                if frame is None:
+        params = dict(params)
+        params["request_key"] = request_key
+        faults.CLIENT_SEND.fire(type=request_type)
+        self._channel.send(make_request(request_id, request_type, params))
+        frames = 0
+        while True:
+            faults.CLIENT_RECV.fire(type=request_type, frames=frames)
+            frame = self._channel.receive()
+            if frame is None:
+                raise OSError(
+                    f"daemon closed the connection during {request_type!r}"
+                )
+            frames += 1
+            if frame.get("event") is not None:
+                if on_event is not None:
+                    on_event(frame["event"], frame.get("data"))
+                continue
+            if frame.get("id") != request_id:
+                raise ServiceError(
+                    f"response id {frame.get('id')!r} does not match "
+                    f"request id {request_id}"
+                )
+            if not frame.get("ok"):
+                raise ServiceError(
+                    f"{request_type} failed: {frame.get('error')}"
+                )
+            return frame.get("result")
+
+    def _call(
+        self, request_type: str, params: dict, on_event=None, retry=True
+    ):
+        if self._channel is None:
+            raise ServiceError("client is not connected; call connect()")
+        request_key = self._new_key()
+        attempt = 0
+        while True:
+            try:
+                if self._channel is None:
+                    self._connect_once()
+                return self._exchange(
+                    request_type, params, request_key, on_event
+                )
+            except (ProtocolError, OSError) as exc:
+                self.close()
+                attempt += 1
+                if not retry or attempt > self._retries:
                     raise ServiceError(
-                        f"daemon closed the connection during "
-                        f"{request_type!r}"
+                        f"connection to daemon failed during "
+                        f"{request_type!r}: {exc}"
+                    ) from exc
+                time.sleep(
+                    min(
+                        self._retry_backoff * 2 ** (attempt - 1),
+                        self._retry_backoff_cap,
                     )
-                if frame.get("event") is not None:
-                    if on_event is not None:
-                        on_event(frame["event"], frame.get("data"))
-                    continue
-                if frame.get("id") != request_id:
-                    raise ServiceError(
-                        f"response id {frame.get('id')!r} does not match "
-                        f"request id {request_id}"
-                    )
-                if not frame.get("ok"):
-                    raise ServiceError(
-                        f"{request_type} failed: {frame.get('error')}"
-                    )
-                return frame.get("result")
-        except (ProtocolError, OSError) as exc:
-            self.close()
-            raise ServiceError(
-                f"connection to daemon failed during {request_type!r}: {exc}"
-            ) from exc
+                )
 
     # ------------------------------------------------------------------
     # protocol methods
@@ -187,6 +279,10 @@ class ServiceClient:
 
         ``on_telemetry`` (if given) receives each emitted snapshot
         record as the daemon produces it, before the final response.
+        Streamed events are best-effort on a flaky connection: a retry
+        that lands on the daemon's replay cache returns the step's
+        result without re-streaming records already emitted — the
+        daemon's telemetry sink is the authoritative record.
         """
         def _route(event_type, data):
             if event_type == "telemetry" and on_telemetry is not None:
@@ -213,7 +309,11 @@ class ServiceClient:
         return self._call("checkpoint", params)
 
     def shutdown(self) -> dict:
-        """Stop the daemon (workers stopped, socket unlinked)."""
-        result = self._call("shutdown", {})
+        """Stop the daemon (workers stopped, socket unlinked).
+
+        Never retried: after the daemon acknowledges it is already
+        exiting, so a lost response would reconnect into nothing.
+        """
+        result = self._call("shutdown", {}, retry=False)
         self.close()
         return result

@@ -45,17 +45,21 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import socket
 import tempfile
+import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from repro import faults
+from repro.faults.plan import FaultPlan
 from repro.policies.base import PolicyAgent, StationaryAgent
 from repro.runtime.checkpoint import (
     checkpoint_payload,
-    load_checkpoint,
     write_checkpoint,
 )
 from repro.runtime.controller import (
@@ -72,7 +76,7 @@ from repro.runtime.fleet import (
 )
 from repro.runtime.policy_cache import PolicyCache
 from repro.runtime.streams import TraceStream
-from repro.runtime.telemetry import snapshot_from_records
+from repro.runtime.telemetry import device_record, snapshot_from_records
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     FrameChannel,
@@ -87,11 +91,43 @@ from repro.service.shard import (
     Partitioner,
     ShardConfig,
     shard_worker_main,
-    spool_path,
 )
+from repro.service.spool import load_spool
 from repro.util.validation import ValidationError
 
-__all__ = ["FleetDaemon", "ShardSupervisor"]
+__all__ = ["FleetDaemon", "ShardSupervisor", "reap_process"]
+
+
+def reap_process(
+    process, *, join_timeout: float = 10.0, term_timeout: float = 5.0
+) -> None:
+    """Make sure ``process`` is gone: join → terminate → kill → join.
+
+    The shutdown safety net: a worker that ignores its stop command
+    (wedged, or blocked in a syscall) is escalated through SIGTERM and
+    finally SIGKILL, so supervisor shutdown never strands a process.
+    """
+    process.join(timeout=join_timeout)
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout=term_timeout)
+    if process.is_alive():
+        process.kill()
+        process.join()
+
+
+class _WorkerGone(Exception):
+    """Internal: a worker failed a round trip (dead, hung, or cut off).
+
+    Never escapes the supervisor — every raiser is paired with a
+    recovery (restart-from-spool, or quarantine) or converted to a
+    :class:`ValidationError`.
+    """
+
+    def __init__(self, index: int, why: str):
+        super().__init__(f"shard {index} {why}")
+        self.index = index
+        self.why = why
 
 
 def _normalize_dtypes(obj, seen: set) -> None:
@@ -185,6 +221,26 @@ class ShardSupervisor:
         ``multiprocessing`` start method; defaults to ``fork`` where
         available (free initial device distribution) with a ``spawn``
         fallback.
+    worker_deadline:
+        Seconds the supervisor waits on any worker round trip before
+        declaring the worker *hung*, SIGKILLing it and restarting from
+        spool — the defense a merely-dead worker (EOF on the pipe)
+        never needed.  ``None`` disables deadlines (wait forever).
+    restart_backoff / restart_backoff_cap:
+        Crash-loop damping: consecutive failed recoveries of one shard
+        sleep ``restart_backoff * 2**(n-1)`` seconds (capped) before
+        the next attempt.  A successful recovery or step resets the
+        shard's failure count.
+    quarantine_after:
+        Consecutive failed recovery attempts before a shard is
+        *quarantined*: its last spooled state is parked, it is
+        excluded from stepping, and the daemon keeps serving the rest
+        of the fleet (reported under ``info()["quarantined"]`` and in
+        telemetry) instead of crash-looping forever.
+    fault_plan / fault_ledger:
+        Optional :class:`~repro.faults.FaultPlan` installed across the
+        supervisor and every worker process (see :mod:`repro.faults`);
+        the ledger directory defaults to ``<spool_dir>/fired``.
     """
 
     def __init__(
@@ -198,11 +254,26 @@ class ShardSupervisor:
         spool_dir=None,
         checkpoint_every: int = 1,
         start_method: str | None = None,
+        worker_deadline: float | None = 300.0,
+        restart_backoff: float = 0.5,
+        restart_backoff_cap: float = 30.0,
+        quarantine_after: int = 5,
+        fault_plan: FaultPlan | None = None,
+        fault_ledger=None,
     ):
         checkpoint_every = int(checkpoint_every)
         if checkpoint_every < 0:
             raise ValidationError(
                 f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if worker_deadline is not None and worker_deadline <= 0:
+            raise ValidationError(
+                f"worker_deadline must be > 0 (or None), got {worker_deadline}"
+            )
+        quarantine_after = int(quarantine_after)
+        if quarantine_after < 1:
+            raise ValidationError(
+                f"quarantine_after must be >= 1, got {quarantine_after}"
             )
         self._partitioner = Partitioner(n_shards)
         self._n_shards = self._partitioner.n_shards
@@ -233,7 +304,29 @@ class ShardSupervisor:
         else:
             self._tempdir = tempfile.TemporaryDirectory(prefix="repro-spool-")
             self._spool_dir = Path(self._tempdir.name)
-        self._workers: list[_WorkerHandle] = []
+        self._worker_deadline = (
+            None if worker_deadline is None else float(worker_deadline)
+        )
+        self._restart_backoff = float(restart_backoff)
+        self._restart_backoff_cap = float(restart_backoff_cap)
+        self._quarantine_after = quarantine_after
+        self._fault_plan = fault_plan
+        self._fault_tempdir = None
+        self._fault_ledger = None
+        self._injector = None
+        if fault_plan is not None:
+            if fault_ledger is not None:
+                self._fault_ledger = Path(fault_ledger)
+            elif self._spool_dir is not None:
+                self._fault_ledger = self._spool_dir / "fired"
+            else:
+                self._fault_tempdir = tempfile.TemporaryDirectory(
+                    prefix="repro-fault-ledger-"
+                )
+                self._fault_ledger = Path(self._fault_tempdir.name)
+        self._workers: list[_WorkerHandle | None] = []
+        self._failures: list[int] = []
+        self._parked: dict[int, dict] = {}
         self._order: list[str] = []
         self._owner: dict[str, int] = {}
         self._canonical: dict[str, _CanonicalEntry] = {}
@@ -286,6 +379,11 @@ class ShardSupervisor:
         return self._restarts
 
     @property
+    def quarantined(self) -> list[int]:
+        """Shard indices parked by the crash-loop breaker (sorted)."""
+        return sorted(self._parked)
+
+    @property
     def started(self) -> bool:
         """Whether worker processes are running."""
         return self._started
@@ -314,7 +412,13 @@ class ShardSupervisor:
             "uniform_source": self._uniform_source,
             "checkpoint_every": self._checkpoint_every,
             "restarts": self._restarts,
-            "worker_pids": [handle.process.pid for handle in self._workers],
+            "worker_pids": [
+                handle.process.pid if handle is not None else None
+                for handle in self._workers
+            ],
+            "quarantined": self.quarantined,
+            "failures": list(self._failures),
+            "worker_deadline": self._worker_deadline,
         }
 
     # ------------------------------------------------------------------
@@ -355,18 +459,21 @@ class ShardSupervisor:
         )
 
     def _spawn(self, index: int, devices: list, tick: int) -> _WorkerHandle:
-        spool = (
-            str(spool_path(self._spool_dir, index))
-            if self._spool_dir is not None
-            else None
-        )
         config = ShardConfig(
             index=index,
             slices_per_tick=self._slices_per_tick,
             backend=self._backend,
             chunk_slices=self._chunk_slices,
             uniform_source=self._uniform_source,
-            spool=spool,
+            spool_dir=(
+                str(self._spool_dir) if self._spool_dir is not None else None
+            ),
+            fault_plan=self._fault_plan,
+            fault_ledger=(
+                str(self._fault_ledger)
+                if self._fault_ledger is not None
+                else None
+            ),
         )
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
@@ -399,33 +506,52 @@ class ShardSupervisor:
             partitions[shard].append(device)
         self._version = fleet.version
         self._tick = int(tick)
+        if self._fault_plan is not None:
+            self._injector = faults.install(
+                self._fault_plan, self._fault_ledger
+            )
         self._workers = [
             self._spawn(index, partitions[index], self._tick)
             for index in range(self._n_shards)
         ]
+        self._failures = [0] * self._n_shards
         self._started = True
 
     def stop(self) -> None:
-        """Stop every worker and clean up spool state."""
+        """Stop every worker and clean up spool state.
+
+        Shutdown never strands a process: a worker that fails to
+        acknowledge its stop command within a short deadline is
+        escalated through :func:`reap_process` (join → SIGTERM →
+        SIGKILL), whatever state it wedged in.
+        """
         for handle in self._workers:
+            if handle is None:
+                continue
             try:
                 handle.conn.send(("stop", None))
-                handle.conn.recv()
+                if handle.conn.poll(5.0):
+                    handle.conn.recv()
             except (EOFError, OSError):
                 pass
             handle.conn.close()
-            handle.process.join(timeout=10)
-            if handle.process.is_alive():  # pragma: no cover - safety net
-                handle.process.terminate()
-                handle.process.join()
+            reap_process(handle.process)
         self._workers = []
+        self._failures = []
+        self._parked = {}
         self._started = False
+        if self._injector is not None:
+            faults.uninstall()
+            self._injector = None
+        if self._fault_tempdir is not None:
+            self._fault_tempdir.cleanup()
+            self._fault_tempdir = None
         if self._tempdir is not None:
             self._tempdir.cleanup()
             self._tempdir = None
 
     # ------------------------------------------------------------------
-    # worker RPC with restart-from-spool
+    # worker RPC with restart-from-spool, backoff and quarantine
     # ------------------------------------------------------------------
     def _spool_due(self, tick: int) -> bool:
         return (
@@ -433,47 +559,151 @@ class ShardSupervisor:
             and tick % self._checkpoint_every == 0
         )
 
-    def _restart(self, handle: _WorkerHandle, target_tick: int) -> _WorkerHandle:
-        """Respawn a dead worker from its spool and replay to the target."""
-        if self._spool_dir is None:
-            raise ValidationError(
-                f"shard {handle.index} died and spooling is disabled "
-                f"(checkpoint_every=0); the run cannot recover"
-            )
-        if handle.process.is_alive():  # pragma: no cover - defensive
-            handle.process.terminate()
+    def _kill_worker(self, handle: _WorkerHandle) -> None:
+        """Put a failed worker definitively out of its misery."""
+        if handle.process.is_alive():
+            try:
+                os.kill(handle.process.pid, signal.SIGKILL)
+            except OSError:  # pragma: no cover - already gone
+                pass
         handle.process.join()
-        handle.conn.close()
-        payload = load_checkpoint(spool_path(self._spool_dir, handle.index))
-        fresh = self._spawn(
-            handle.index, list(payload["fleet"]), payload["tick"]
-        )
-        self._workers[handle.index] = fresh
-        self._restarts += 1
-        # Deterministic replay: stepping from the spooled state redoes
-        # the missed ticks byte-for-byte.
-        while fresh.tick < target_tick:
-            next_tick = fresh.tick + 1
-            spool = self._spool_due(next_tick) or next_tick == target_tick
-            self._pipe_call(fresh, "step", {"spool": spool})
-            fresh.tick = next_tick
-        return fresh
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def _recv(self, handle: _WorkerHandle):
+        """Receive one reply, bounded by the worker deadline.
+
+        A worker that neither replies nor dies within the deadline is
+        *hung* — it gets SIGKILLed right here (there is no other way
+        to unwedge it) and reported exactly like a dead one, so the
+        caller's recovery path is shared.
+        """
+        if self._worker_deadline is not None:
+            try:
+                ready = handle.conn.poll(self._worker_deadline)
+            except (EOFError, OSError):
+                raise _WorkerGone(handle.index, "pipe failed") from None
+            if not ready:
+                self._kill_worker(handle)
+                raise _WorkerGone(
+                    handle.index,
+                    f"hung (no reply within {self._worker_deadline}s)",
+                )
+        try:
+            return handle.conn.recv()
+        except (EOFError, OSError):
+            raise _WorkerGone(handle.index, "died mid-command") from None
 
     def _pipe_call(self, handle: _WorkerHandle, command: str, payload):
         """One send/recv round with a specific worker (no recovery)."""
-        handle.conn.send((command, payload))
-        status, result = handle.conn.recv()
+        try:
+            handle.conn.send((command, payload))
+        except (EOFError, OSError):
+            raise _WorkerGone(handle.index, "died before command") from None
+        status, result = self._recv(handle)
         if status == "error":
             raise ValidationError(f"shard {handle.index}: {result}")
         return result
 
-    def _call(self, handle: _WorkerHandle, command: str, payload):
-        """A worker round trip, restarting from spool on worker death."""
-        try:
-            return self._pipe_call(handle, command, payload)
-        except (EOFError, OSError):
-            fresh = self._restart(handle, self._tick)
-            return self._pipe_call(fresh, command, payload)
+    def _worker_or_raise(self, index: int) -> _WorkerHandle:
+        handle = self._workers[index]
+        if handle is None:
+            raise ValidationError(
+                f"shard {index} is quarantined (crash-looped "
+                f"{self._quarantine_after} times); it serves stale state "
+                f"but accepts no mutations"
+            )
+        return handle
+
+    def _call(self, index: int, command: str, payload):
+        """A worker round trip with full recovery.
+
+        On worker death or hang: restart from the latest valid spool
+        generation, replay to the current tick, and retry the command
+        — looping until it lands or the shard quarantines.
+        """
+        while True:
+            handle = self._worker_or_raise(index)
+            try:
+                return self._pipe_call(handle, command, payload)
+            except _WorkerGone:
+                self._kill_worker(handle)
+                self._recover(index, self._tick)
+
+    def _quarantine(self, index: int) -> None:
+        """Park a crash-looping shard and keep the fleet serving.
+
+        The shard's last spooled state is kept in-process: telemetry
+        and checkpoints serve these (stale) devices, ``info`` reports
+        the quarantine, and stepping simply excludes the shard — the
+        degraded-but-alive mode a controller in a hardware control
+        loop owes its system.
+        """
+        payload = (
+            load_spool(self._spool_dir, index)
+            if self._spool_dir is not None
+            else None
+        )
+        devices = list(payload["fleet"]) if payload is not None else []
+        self._parked[index] = {
+            "tick": payload["tick"] if payload is not None else None,
+            "devices": {device.device_id: device for device in devices},
+        }
+        self._workers[index] = None
+
+    def _recover(self, index: int, target_tick: int) -> _WorkerHandle | None:
+        """Restart shard ``index`` from spool and replay to the target.
+
+        Consecutive failures back off exponentially; after
+        ``quarantine_after`` failed attempts the shard is quarantined
+        and ``None`` is returned.  Success resets the failure count.
+        Byte-exactness: replaying from the spooled state redoes the
+        missed ticks deterministically, and the one-shot fault ledger
+        guarantees an injected fault never re-fires during replay.
+        """
+        if self._spool_dir is None:
+            raise ValidationError(
+                f"shard {index} died and spooling is disabled "
+                f"(checkpoint_every=0); the run cannot recover"
+            )
+        while True:
+            if self._failures[index] >= self._quarantine_after:
+                self._quarantine(index)
+                return None
+            if self._failures[index] > 0:
+                time.sleep(
+                    min(
+                        self._restart_backoff
+                        * 2 ** (self._failures[index] - 1),
+                        self._restart_backoff_cap,
+                    )
+                )
+            self._failures[index] += 1
+            payload = load_spool(self._spool_dir, index)
+            if payload is None:
+                raise ValidationError(
+                    f"shard {index} died and no spool generation is "
+                    f"readable; the run cannot recover"
+                )
+            fresh = self._spawn(index, list(payload["fleet"]), payload["tick"])
+            self._workers[index] = fresh
+            self._restarts += 1
+            try:
+                while fresh.tick < target_tick:
+                    next_tick = fresh.tick + 1
+                    spool = (
+                        self._spool_due(next_tick)
+                        or next_tick == target_tick
+                    )
+                    self._pipe_call(fresh, "step", {"spool": spool})
+                    fresh.tick = next_tick
+            except _WorkerGone:
+                self._kill_worker(fresh)
+                continue
+            self._failures[index] = 0
+            return fresh
 
     # ------------------------------------------------------------------
     # fleet operations
@@ -484,32 +714,39 @@ class ShardSupervisor:
         The step command fans out to all workers before any reply is
         awaited, so shards overlap their serial per-device RNG fan-in
         — the throughput the service exists for.  Workers found dead
-        at either phase are restarted from spool and replayed.
+        or hung at either phase are recovered (restart-from-spool with
+        deterministic replay, backoff, quarantine as a last resort);
+        quarantined shards are excluded.
         """
         self._require_started()
         target = self._tick + 1
         spool = self._spool_due(target)
-        dead: list[_WorkerHandle] = []
+        failed: list[int] = []
         for handle in self._workers:
+            if handle is None:
+                continue
             try:
                 handle.conn.send(("step", {"spool": spool}))
             except OSError:
-                dead.append(handle)
+                self._kill_worker(handle)
+                failed.append(handle.index)
         for handle in self._workers:
-            if handle in dead:
+            if handle is None or handle.index in failed:
                 continue
             try:
-                status, result = handle.conn.recv()
-            except (EOFError, OSError):
-                dead.append(handle)
+                status, result = self._recv(handle)
+            except _WorkerGone:
+                self._kill_worker(handle)
+                failed.append(handle.index)
                 continue
             if status == "error":
                 raise ValidationError(
                     f"shard {handle.index} failed to step: {result}"
                 )
             handle.tick = target
-        for handle in dead:
-            self._restart(handle, target)
+            self._failures[handle.index] = 0
+        for index in failed:
+            self._recover(index, target)
         self._tick = target
 
     def run(self, n_ticks: int) -> None:
@@ -546,7 +783,9 @@ class ShardSupervisor:
             self._owner[device.device_id] = shard
             per_shard.setdefault(shard, []).append(device)
         for shard in sorted(per_shard):
-            self._call(self._workers[shard], "add_devices", per_shard[shard])
+            self._worker_or_raise(shard)
+        for shard in sorted(per_shard):
+            self._call(shard, "add_devices", per_shard[shard])
         self._version += len(devices)
         return [device.device_id for device in devices]
 
@@ -557,7 +796,7 @@ class ShardSupervisor:
         shard = self._owner.get(device_id)
         if shard is None:
             raise ValidationError(f"unknown device id {device_id!r}")
-        self._call(self._workers[shard], "remove_device", device_id)
+        self._call(shard, "remove_device", device_id)
         del self._owner[device_id]
         del self._canonical[device_id]
         self._order.remove(device_id)
@@ -583,18 +822,33 @@ class ShardSupervisor:
                 (device_id, agent)
             )
         for shard in sorted(per_shard):
-            self._call(
-                self._workers[shard], "replace_agents", per_shard[shard]
-            )
+            self._worker_or_raise(shard)
+        for shard in sorted(per_shard):
+            self._call(shard, "replace_agents", per_shard[shard])
         self._version += len(pairs)
 
     def collect_records(self) -> list[dict]:
-        """Every device's telemetry record, in global registration order."""
+        """Every device's telemetry record, in global registration order.
+
+        Quarantined shards contribute the records of their *parked*
+        (last-spooled) devices — stale but present, so fleet telemetry
+        keeps its full device census while degraded.
+        """
         self._require_started()
         by_id: dict[str, dict] = {}
-        for handle in list(self._workers):
-            for record in self._call(handle, "records", None):
-                by_id[record["id"]] = record
+        for index in range(self._n_shards):
+            if self._workers[index] is not None:
+                try:
+                    for record in self._call(index, "records", None):
+                        by_id[record["id"]] = record
+                    continue
+                except ValidationError:
+                    # Quarantined mid-collection: fall through to the
+                    # parked state like any other quarantined shard.
+                    if self._workers[index] is not None:
+                        raise
+            for device in self._parked[index]["devices"].values():
+                by_id[device.device_id] = device_record(device)
         return [by_id[device_id] for device_id in self._order]
 
     def gather_fleet(self) -> Fleet:
@@ -608,8 +862,16 @@ class ShardSupervisor:
         """
         self._require_started()
         by_id: dict[str, Device] = {}
-        for handle in list(self._workers):
-            for device in self._call(handle, "gather", None):
+        for index in range(self._n_shards):
+            if self._workers[index] is not None:
+                try:
+                    for device in self._call(index, "gather", None):
+                        by_id[device.device_id] = device
+                    continue
+                except ValidationError:
+                    if self._workers[index] is not None:
+                        raise
+            for device in self._parked[index]["devices"].values():
                 by_id[device.device_id] = device
         fleet = Fleet()
         seen: set = set()
@@ -679,6 +941,39 @@ class ShardSupervisor:
         )
 
 
+#: Idempotent-request results remembered (per daemon, newest-first).
+_REPLAY_CACHE_SIZE = 256
+
+
+class _ClientChannel:
+    """A :class:`FrameChannel` that survives the client vanishing.
+
+    Sends to a dead client are swallowed (and remembered in
+    :attr:`dead`) instead of raised, so a request already dispatched
+    — a multi-tick ``step``, most importantly — runs to completion
+    and its effects (supervisor ticks, sink telemetry, the replay
+    cache) land exactly as if the client had stayed.  The client's
+    retry then finds the cached result instead of double-applying.
+    """
+
+    def __init__(self, channel: FrameChannel):
+        self._channel = channel
+        self.dead = False
+
+    def send(self, frame: dict) -> None:
+        if self.dead:
+            return
+        try:
+            self._channel.send(frame)
+        except (ProtocolError, OSError):
+            self.dead = True
+
+    def receive(self) -> dict | None:
+        if self.dead:
+            return None
+        return self._channel.receive()
+
+
 class FleetDaemon:
     """``AF_UNIX`` accept loop serving the fleet protocol.
 
@@ -687,6 +982,16 @@ class FleetDaemon:
     serving layer stays trivially correct.  Telemetry emitted during
     ``step`` requests goes to the daemon's own sink (if any) *and* is
     streamed to the requesting client as ``telemetry`` events.
+
+    **Client-failure semantics.**  A client that vanishes mid-request
+    never corrupts fleet state: the in-flight request runs to
+    completion (a ``step`` finishes its ticks and its telemetry
+    reaches the sink), the result is stored in an idempotent replay
+    cache keyed by the client-sent ``request_key``, and the daemon
+    accepts the next connection.  A reconnecting client retrying the
+    same ``request_key`` receives the cached result instead of
+    re-executing — so a step is never double-applied no matter how
+    many times the socket dies.
 
     Note the classic ``AF_UNIX`` constraint: socket paths are limited
     to ~100 bytes — keep them short (``/tmp/...``).
@@ -714,6 +1019,7 @@ class FleetDaemon:
         self._telemetry_per_device = bool(telemetry_per_device)
         self._cache = policy_cache or PolicyCache()
         self._next_group_index = int(next_group_index)
+        self._replay: OrderedDict[str, object] = OrderedDict()
         self._running = False
 
     # ------------------------------------------------------------------
@@ -740,9 +1046,9 @@ class FleetDaemon:
             self._running = True
             while self._running:
                 client, _ = server.accept()
-                channel = FrameChannel(client)
+                channel = FrameChannel(client, role="server")
                 try:
-                    self._serve_client(channel)
+                    self._serve_client(_ClientChannel(channel))
                 except (ProtocolError, OSError):
                     # A misbehaving or vanished client never takes the
                     # fleet down; drop it and accept the next one.
@@ -753,9 +1059,13 @@ class FleetDaemon:
             server.close()
             if self._socket_path.exists():
                 self._socket_path.unlink()
-            if self._telemetry is not None:
-                self._telemetry.close()
-            self._supervisor.stop()
+            # Workers first: a telemetry sink that fails to close must
+            # never leave worker processes stranded.
+            try:
+                self._supervisor.stop()
+            finally:
+                if self._telemetry is not None:
+                    self._telemetry.close()
 
     def _hello(self) -> dict:
         supervisor = self._supervisor
@@ -766,7 +1076,21 @@ class FleetDaemon:
             supervisor.n_shards,
         )
 
-    def _serve_client(self, channel: FrameChannel) -> None:
+    def _cache_result(self, request_key: str | None, result) -> None:
+        """Remember a successful result for idempotent retries.
+
+        Stored *before* the response send is attempted, so a client
+        whose socket died between dispatch and response still finds
+        the result on retry.  Only successes are cached — errors are
+        safe to re-raise and re-report.
+        """
+        if request_key is None:
+            return
+        self._replay[request_key] = result
+        while len(self._replay) > _REPLAY_CACHE_SIZE:
+            self._replay.popitem(last=False)
+
+    def _serve_client(self, channel: _ClientChannel) -> None:
         channel.send(make_event("hello", self._hello()))
         frame = channel.receive()
         if frame is None:
@@ -793,10 +1117,21 @@ class FleetDaemon:
             if frame is None:
                 return
             request_type, request_id, params = validate_request(frame)
+            request_key = params.pop("request_key", None)
             if request_type == "shutdown":
                 channel.send(make_response(request_id, {"stopped": True}))
                 self._running = False
                 return
+            if request_key is not None and request_key in self._replay:
+                # Idempotent retry: the request already executed (its
+                # client just never saw the response) — serve the
+                # cached result, never re-apply.
+                channel.send(
+                    make_response(request_id, self._replay[request_key])
+                )
+                if channel.dead:
+                    return
+                continue
             try:
                 result = self._dispatch(request_type, request_id, params, channel)
             except (ProtocolError, OSError):
@@ -804,7 +1139,10 @@ class FleetDaemon:
             except Exception as exc:
                 channel.send(make_error(request_id, str(exc)))
             else:
+                self._cache_result(request_key, result)
                 channel.send(make_response(request_id, result))
+            if channel.dead:
+                return
 
     # ------------------------------------------------------------------
     # request handlers
@@ -826,6 +1164,11 @@ class FleetDaemon:
         )
         record["backend"] = supervisor.resolved_backend
         record["uniform_source"] = supervisor.uniform_source
+        # Only stamped while degraded: fault-free (and fully recovered)
+        # snapshots stay byte-identical to single-process ones.
+        quarantined = supervisor.quarantined
+        if quarantined:
+            record["quarantined"] = quarantined
         return record
 
     def _emit_telemetry(self, channel: FrameChannel, request_id: int) -> None:

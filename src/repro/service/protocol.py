@@ -31,7 +31,9 @@ best-effort parsing of frames from a different protocol generation.
 from __future__ import annotations
 
 import json
+import time
 
+from repro import faults
 from repro.util.validation import ValidationError
 
 __all__ = [
@@ -259,15 +261,36 @@ class FrameChannel:
     Blocking and single-threaded by design — the daemon serves one
     client at a time and the client issues one request at a time, so
     plain ``sendall``/buffered ``recv`` is the whole transport.
+    Framing is terminator-driven, so a peer whose kernel fragments a
+    frame across arbitrarily many segments (or one that coalesces
+    several frames into one segment) parses identically — the
+    :mod:`repro.faults` ``channel.send`` site injects exactly those
+    shapes (``partial`` dribbles a frame byte by byte, ``drop`` resets
+    the connection) to keep that property tested.
+
+    ``role`` names this endpoint ("client"/"server") for fault-plan
+    matching; it has no wire effect.
     """
 
-    def __init__(self, sock):
+    def __init__(self, sock, role: str = "peer"):
         self._sock = sock
+        self._role = role
         self._buffer = b""
 
     def send(self, message: dict) -> None:
         """Encode and transmit one frame."""
-        self._sock.sendall(encode_frame(message))
+        data = encode_frame(message)
+        for action in faults.CHANNEL_SEND.fire(role=self._role):
+            if action.kind == "partial":
+                # Dribble the frame out in tiny chunks with pauses —
+                # the peer's framing must reassemble it identically.
+                step = action.nbytes if action.nbytes else 7
+                for start in range(0, len(data), step):
+                    self._sock.sendall(data[start : start + step])
+                    if action.seconds:
+                        time.sleep(action.seconds)
+                return
+        self._sock.sendall(data)
 
     def receive(self) -> dict | None:
         """Read one frame; ``None`` on clean EOF between frames."""

@@ -36,11 +36,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.runtime.checkpoint import checkpoint_payload, write_checkpoint
+from repro import faults
+from repro.faults.plan import FaultPlan
+from repro.runtime.checkpoint import checkpoint_payload
 from repro.runtime.controller import FLEET_CHUNK_SLICES, FleetController
 from repro.runtime.fleet import Device, Fleet
 from repro.runtime.policy_cache import costs_signature, system_signature
 from repro.runtime.telemetry import device_record
+from repro.service.spool import SpoolSlot
 from repro.util.validation import ValidationError
 
 __all__ = [
@@ -134,7 +137,12 @@ class Partitioner:
 
 
 def spool_path(spool_dir, index: int) -> Path:
-    """The per-shard restart checkpoint file."""
+    """The legacy single-file per-shard spool path.
+
+    Superseded by the CRC-stamped generation files of
+    :mod:`repro.service.spool` (``shard-N.g0.ckpt`` / ``.g1.ckpt``);
+    kept as the stable base name shards are spooled under.
+    """
     return Path(spool_dir) / f"shard-{int(index)}.ckpt"
 
 
@@ -142,9 +150,14 @@ def spool_path(spool_dir, index: int) -> Path:
 class ShardConfig:
     """Everything a worker needs to rebuild its controller.
 
-    ``spool`` is the worker's restart-checkpoint path, or ``None``
-    when spooling is disabled (``checkpoint_every=0`` — worker death
-    then loses the run).
+    ``spool_dir`` is where the worker writes its alternating
+    restart-checkpoint generations (see
+    :class:`~repro.service.spool.SpoolSlot`), or ``None`` when
+    spooling is disabled (``checkpoint_every=0`` — worker death then
+    loses the run).  ``fault_plan`` / ``fault_ledger`` carry the
+    supervisor's chaos script into the worker process so injected
+    faults fire in exactly one process per scripted fault regardless
+    of the multiprocessing start method.
     """
 
     index: int
@@ -152,7 +165,9 @@ class ShardConfig:
     backend: str = "auto"
     chunk_slices: int | None = None
     uniform_source: str = "auto"
-    spool: str | None = None
+    spool_dir: str | None = None
+    fault_plan: FaultPlan | None = None
+    fault_ledger: str | None = None
 
 
 class _ShardWorker:
@@ -171,6 +186,14 @@ class _ShardWorker:
             self._fleet.adopt_device(device)
         self._tick = int(tick)
         self._controller: FleetController | None = None
+        self._spool = (
+            SpoolSlot(config.spool_dir, config.index)
+            if config.spool_dir is not None
+            else None
+        )
+        #: Spool writes lost to I/O failure (degraded durability: the
+        #: previous generation still restores, one tick older).
+        self._spool_failures = 0
 
     # ------------------------------------------------------------------
     # controller lifecycle
@@ -192,21 +215,31 @@ class _ShardWorker:
         return self._controller
 
     def _write_spool(self) -> None:
-        if self._config.spool is None:
+        if self._spool is None:
             return
         chunk = self._config.chunk_slices
-        write_checkpoint(
-            self._config.spool,
-            checkpoint_payload(
-                self._fleet,
-                self._tick,
-                self._config.slices_per_tick,
-                self._config.backend,
-                FLEET_CHUNK_SLICES if chunk is None else chunk,
-                1,
-                False,
-                uniform_source=self._config.uniform_source,
-            ),
+        payload = checkpoint_payload(
+            self._fleet,
+            self._tick,
+            self._config.slices_per_tick,
+            self._config.backend,
+            FLEET_CHUNK_SLICES if chunk is None else chunk,
+            1,
+            False,
+            uniform_source=self._config.uniform_source,
+        )
+        try:
+            path = self._spool.write(payload)
+        except OSError:
+            # A spool generation lost to an I/O failure is degraded
+            # durability, not a dead shard: the previous generation
+            # still restores (one tick of extra replay).
+            self._spool_failures += 1
+            return
+        # Post-write corruption hook: chaos plans truncate/bit-flip
+        # the landed generation here to prove the CRC fall-back.
+        faults.SPOOL_WRITTEN.fire(
+            shard=self._config.index, tick=self._tick, path=str(path)
         )
 
     # ------------------------------------------------------------------
@@ -247,7 +280,11 @@ class _ShardWorker:
         return len(payload)
 
     def _handle_ping(self, payload):
-        return {"tick": self._tick, "n_devices": len(self._fleet)}
+        return {
+            "tick": self._tick,
+            "n_devices": len(self._fleet),
+            "spool_failures": self._spool_failures,
+        }
 
     def dispatch(self, command: str, payload):
         """Route one pipe command to its handler."""
@@ -272,6 +309,17 @@ class _ShardWorker:
             if command == "stop":
                 conn.send(("ok", None))
                 break
+            # The chaos hook: scripted kills SIGKILL here, hangs sleep
+            # past the supervisor deadline, injected errors propagate
+            # and crash the worker (a clean worker-internal-fault
+            # death, distinct from SIGKILL) — all before the command
+            # touches fleet state, so a restarted worker replays it
+            # deterministically.
+            faults.WORKER_COMMAND.fire(
+                shard=self._config.index,
+                command=command,
+                tick=self._tick + 1 if command == "step" else self._tick,
+            )
             try:
                 result = self.dispatch(command, payload)
             except Exception as exc:
@@ -282,5 +330,14 @@ class _ShardWorker:
 
 
 def shard_worker_main(conn, config: ShardConfig, devices, tick: int) -> None:
-    """Process entry point: adopt the partition, serve the pipe."""
+    """Process entry point: adopt the partition, serve the pipe.
+
+    Fault injection is (re)installed from the config — not inherited
+    ambiently — so the worker's injector state is the same whether the
+    process was forked or spawned.
+    """
+    if config.fault_plan is not None and config.fault_ledger is not None:
+        faults.install(config.fault_plan, config.fault_ledger)
+    else:
+        faults.uninstall()
     _ShardWorker(config, devices, tick).serve(conn)

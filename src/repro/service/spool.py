@@ -1,0 +1,179 @@
+"""Crash-safe shard spools: CRC-stamped, two-generation checkpoints.
+
+The supervisor restarts a dead worker from its *spool* — the most
+recent per-shard checkpoint the worker wrote.  A spool written naively
+is a single point of failure twice over: a worker killed mid-write
+leaves a torn file, and a disk that lies about durability can corrupt
+the only copy.  This module closes both holes:
+
+* **Atomic writes** — each generation is written to a temp file,
+  fsynced, and ``os.replace``\\ d into place, so a generation either
+  exists completely or not at all.
+* **CRC-stamped payloads** — a fixed header (magic, CRC-32, length)
+  over the pickled payload detects truncation and bit rot at restore
+  time instead of unpickling garbage.
+* **Two generations** — each shard alternates between ``.g0`` and
+  ``.g1`` files, so corrupting (or tearing) the newest generation
+  falls back to the previous one rather than losing the shard.  The
+  restore cost is bounded: at most one extra tick of deterministic
+  replay per lost generation.
+
+Restore (:func:`load_spool`) scans both generations, discards any that
+fail magic/CRC/payload validation, and returns the valid one with the
+highest tick — or ``None`` when the shard has never spooled.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from pathlib import Path
+
+from repro import faults
+from repro.util.validation import ValidationError
+
+__all__ = [
+    "SPOOL_GENERATIONS",
+    "SpoolSlot",
+    "load_spool",
+    "read_spool_generation",
+    "spool_generation_paths",
+    "write_spool_generation",
+]
+
+#: File magic: "Repro DPM SPooL", format 1.
+_MAGIC = b"RDPMSPL1"
+
+#: Header layout: magic, CRC-32 of the payload blob, payload length.
+_HEADER = struct.Struct(">8sIQ")
+
+#: Generations kept per shard (alternating writes).
+SPOOL_GENERATIONS = 2
+
+#: Pickle protocol — matches :mod:`repro.runtime.checkpoint`.
+_PROTOCOL = 4
+
+
+def spool_generation_paths(spool_dir, index: int) -> tuple[Path, ...]:
+    """The generation files of shard ``index`` (g0, g1)."""
+    spool_dir = Path(spool_dir)
+    return tuple(
+        spool_dir / f"shard-{index}.g{gen}.ckpt"
+        for gen in range(SPOOL_GENERATIONS)
+    )
+
+
+def write_spool_generation(path, payload: dict, *, fsync: bool = True) -> None:
+    """Atomically write one CRC-stamped spool generation to ``path``.
+
+    The temp-write + fsync + rename sequence guarantees the file at
+    ``path`` is always a *complete* generation (old or new) no matter
+    when the writer dies.  Raises :class:`ValidationError` on
+    unserializable payloads and propagates ``OSError`` on I/O failure
+    (after removing the temp file).
+    """
+    try:
+        blob = pickle.dumps(payload, protocol=_PROTOCOL)
+    except Exception as exc:
+        raise ValidationError(
+            f"spool payload is not serializable ({exc})"
+        ) from exc
+    path = Path(path)
+    header = _HEADER.pack(_MAGIC, zlib.crc32(blob) & 0xFFFFFFFF, len(blob))
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(header)
+            fh.write(blob)
+            fh.flush()
+            if fsync:
+                faults.SPOOL_FSYNC.fire(path=str(path))
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def read_spool_generation(path) -> dict | None:
+    """Read one generation; ``None`` when missing, torn, or corrupt.
+
+    Corruption is expected input here (that is the point of the CRC),
+    so every validation failure — bad magic, short header, CRC
+    mismatch, unpicklable blob, wrong payload shape — returns ``None``
+    rather than raising; the caller falls back to another generation.
+    """
+    try:
+        raw = Path(path).read_bytes()
+    except OSError:
+        return None
+    if len(raw) < _HEADER.size:
+        return None
+    magic, crc, length = _HEADER.unpack_from(raw)
+    if magic != _MAGIC:
+        return None
+    blob = raw[_HEADER.size:]
+    if len(blob) != length or (zlib.crc32(blob) & 0xFFFFFFFF) != crc:
+        return None
+    try:
+        payload = pickle.loads(blob)
+    except Exception:
+        return None
+    if not isinstance(payload, dict) or "tick" not in payload:
+        return None
+    return payload
+
+
+def load_spool(spool_dir, index: int) -> dict | None:
+    """The newest *valid* spool payload of shard ``index``.
+
+    Scans every generation, skips corrupt ones, and returns the valid
+    payload with the highest tick — or ``None`` when no generation is
+    readable (shard never spooled, or all copies lost).
+    """
+    best: dict | None = None
+    for path in spool_generation_paths(spool_dir, index):
+        payload = read_spool_generation(path)
+        if payload is None:
+            continue
+        if best is None or payload["tick"] > best["tick"]:
+            best = payload
+    return best
+
+
+class SpoolSlot:
+    """One shard's alternating-generation spool writer.
+
+    Each :meth:`write` lands in the generation slot *not* holding the
+    newest valid payload, so the previous good generation is never the
+    one being overwritten — a torn or corrupted write can only cost
+    the new generation, and restore falls back one tick.
+    """
+
+    def __init__(self, spool_dir, index: int):
+        self._paths = spool_generation_paths(spool_dir, index)
+        self._index = index
+        # Resume writing after the newest existing valid generation.
+        newest, newest_tick = 0, -1
+        for gen, path in enumerate(self._paths):
+            payload = read_spool_generation(path)
+            if payload is not None and payload["tick"] > newest_tick:
+                newest, newest_tick = gen, payload["tick"]
+        self._next = (newest + 1) % SPOOL_GENERATIONS if newest_tick >= 0 else 0
+
+    @property
+    def index(self) -> int:
+        """The shard index this slot spools."""
+        return self._index
+
+    def write(self, payload: dict, *, fsync: bool = True) -> Path:
+        """Write ``payload`` to the next generation slot; returns its path."""
+        path = self._paths[self._next]
+        write_spool_generation(path, payload, fsync=fsync)
+        self._next = (self._next + 1) % SPOOL_GENERATIONS
+        return path

@@ -414,6 +414,43 @@ def _build_parser() -> argparse.ArgumentParser:
         help="resume a checkpointed campaign (any shard count) instead "
         "of building from a spec",
     )
+    p_serve.add_argument(
+        "--worker-deadline",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="seconds before a silent worker is declared hung and "
+        "restarted from spool (default: 300; 0 disables deadlines)",
+    )
+    p_serve.add_argument(
+        "--restart-backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="base of the exponential pause between failed recoveries "
+        "of one shard (default: 0.5, capped at 30)",
+    )
+    p_serve.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=5,
+        metavar="N",
+        help="consecutive failed recoveries before a shard is "
+        "quarantined instead of crash-looping (default: 5)",
+    )
+    p_serve.add_argument(
+        "--fault-plan",
+        metavar="PATH",
+        help="JSON fault plan (repro.faults) injected across the "
+        "daemon and every worker — deterministic chaos testing",
+    )
+    p_serve.add_argument(
+        "--fault-ledger",
+        metavar="DIR",
+        help="one-shot fault ledger directory (default: "
+        "<spool-dir>/fired); share it with fleet-ctl --fault-plan "
+        "to coordinate one plan across both ends",
+    )
     p_serve.add_argument("--seed", type=int, default=0)
 
     p_ctl = sub.add_parser(
@@ -431,6 +468,35 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SECONDS",
         help="socket timeout (default: block forever)",
+    )
+    p_ctl.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="reconnect-and-retry attempts per request after a "
+        "transport failure (default: 3; 0 disables; retried requests "
+        "are idempotent — the daemon never re-applies one)",
+    )
+    p_ctl.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="base of the exponential pause between retry attempts "
+        "(default: 0.05, capped at 2)",
+    )
+    p_ctl.add_argument(
+        "--fault-plan",
+        metavar="PATH",
+        help="JSON fault plan installed in this client process "
+        "(client.send / client.recv / channel.send sites)",
+    )
+    p_ctl.add_argument(
+        "--fault-ledger",
+        metavar="DIR",
+        help="one-shot fault ledger directory (default: "
+        "<fault-plan>.fired next to the plan file)",
     )
     ctl_sub = p_ctl.add_subparsers(dest="action", required=True)
     ctl_sub.add_parser("info", help="operational summary as JSON")
@@ -973,6 +1039,15 @@ def _cmd_serve(args) -> int:
             f"starting an empty fleet across {args.shards} shard(s); "
             f"register groups with fleet-ctl"
         )
+    fault_plan = None
+    if args.fault_plan:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.load(args.fault_plan)
+        print(
+            f"chaos mode: {len(fault_plan)} fault(s) scripted from "
+            f"{args.fault_plan}"
+        )
     supervisor = ShardSupervisor(
         args.shards,
         slices_per_tick=slices_per_tick,
@@ -982,6 +1057,11 @@ def _cmd_serve(args) -> int:
         lp_backend=args.lp_backend,
         spool_dir=args.spool_dir,
         checkpoint_every=args.checkpoint_every,
+        worker_deadline=args.worker_deadline or None,
+        restart_backoff=args.restart_backoff,
+        quarantine_after=args.quarantine_after,
+        fault_plan=fault_plan,
+        fault_ledger=args.fault_ledger,
     )
     if fleet is not None:
         supervisor.start(fleet, tick=tick)
@@ -1007,7 +1087,18 @@ def _cmd_fleet_ctl(args) -> int:
 
     from repro.service import ServiceClient
 
-    with ServiceClient(args.socket, timeout=args.timeout) as client:
+    if args.fault_plan:
+        from repro import faults
+        from repro.faults import FaultPlan
+
+        ledger = args.fault_ledger or f"{args.fault_plan}.fired"
+        faults.install(FaultPlan.load(args.fault_plan), ledger)
+    with ServiceClient(
+        args.socket,
+        timeout=args.timeout,
+        retries=args.retries,
+        retry_backoff=args.retry_backoff,
+    ) as client:
         if args.action == "info":
             print(_json.dumps(client.info(), indent=2, sort_keys=True))
         elif args.action == "ping":

@@ -1,0 +1,416 @@
+"""The fault-injection framework itself: plans, ledger, crash-safe I/O.
+
+What must hold before chaos tests can mean anything:
+
+* a :class:`FaultPlan` is JSON round-trippable and seeded-randomizable
+  (same seed → same plan, byte for byte);
+* the one-shot ledger makes every fault fire exactly once **across
+  injector instances** — the property that keeps a killed-and-replayed
+  tick from being killed again forever;
+* spool generations detect corruption (CRC) and fall back to the
+  previous valid generation;
+* checkpoint writes are atomic (torn writers leave the previous file)
+  and fsync failures are retried;
+* the telemetry sink repairs a torn tail on append and tolerates
+  fsync failure as degraded durability, not a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    InjectedDisconnect,
+    InjectedFault,
+)
+from repro.runtime.checkpoint import write_checkpoint
+from repro.runtime.telemetry import JsonLinesTelemetry
+from repro.service.spool import (
+    SpoolSlot,
+    load_spool,
+    read_spool_generation,
+    spool_generation_paths,
+    write_spool_generation,
+)
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_injector():
+    """Every test starts and ends with injection off."""
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+# ----------------------------------------------------------------------
+# plans
+# ----------------------------------------------------------------------
+def test_plan_json_round_trip(tmp_path):
+    plan = FaultPlan(
+        faults=(
+            Fault(site="worker.command", kind="kill", tick=3, shard=1,
+                  command="step"),
+            Fault(site="spool.written", kind="bitflip", tick=2, shard=0,
+                  offset=11),
+            Fault(site="client.recv", kind="drop", after=2),
+        ),
+        seed=7,
+    )
+    assert FaultPlan.from_json(plan.to_json()) == plan
+    path = tmp_path / "plan.json"
+    plan.save(path)
+    assert FaultPlan.load(path) == plan
+    # canonical text: a reload re-serializes to identical bytes
+    assert FaultPlan.load(path).to_json() == plan.to_json()
+
+
+@pytest.mark.parametrize(
+    "fault, match",
+    [
+        ({"site": "nope", "kind": "kill"}, "unknown fault site"),
+        ({"site": "worker.command", "kind": "nope"}, "unknown fault kind"),
+        ({"site": "telemetry.fsync", "kind": "kill"}, "cannot fire at site"),
+        ({"site": "worker.command", "kind": "kill", "after": -1}, "after"),
+        ({"site": "worker.command", "kind": "hang", "seconds": -1}, "seconds"),
+        ({"site": "worker.command", "kind": "kill", "bogus": 1}, "unknown fault field"),
+        ({"site": "worker.command"}, "missing"),
+    ],
+)
+def test_fault_validation(fault, match):
+    with pytest.raises(ValidationError, match=match):
+        Fault.from_dict(fault)
+
+
+def test_plan_parse_rejects_malformed():
+    with pytest.raises(ValidationError, match="not valid JSON"):
+        FaultPlan.from_json("{nope")
+    with pytest.raises(ValidationError, match="must be a mapping"):
+        FaultPlan.from_dict([])
+    with pytest.raises(ValidationError, match="unknown fault-plan field"):
+        FaultPlan.from_dict({"faults": [], "extra": 1})
+    with pytest.raises(ValidationError, match="must be a list"):
+        FaultPlan.from_dict({"faults": {}})
+    with pytest.raises(ValidationError, match="does not exist"):
+        FaultPlan.load("/nonexistent/plan.json")
+
+
+def test_randomized_plan_is_a_pure_function_of_seed():
+    plan = FaultPlan.randomized(42, ticks=8, shards=4)
+    again = FaultPlan.randomized(42, ticks=8, shards=4)
+    other = FaultPlan.randomized(43, ticks=8, shards=4)
+    assert plan == again
+    assert plan.to_json() == again.to_json()
+    assert plan != other
+    # one fault per requested class (spool corruption pairs with a kill)
+    sites = [fault.site for fault in plan.faults]
+    assert sites.count("worker.command") == 3  # kill + hang + paired kill
+    assert "spool.written" in sites
+    assert "client.recv" in sites
+    # every targeted fault lands strictly mid-run
+    for fault in plan.faults:
+        if fault.tick is not None:
+            assert 2 <= fault.tick <= 7
+
+
+def test_randomized_plan_validation():
+    with pytest.raises(ValidationError, match="ticks"):
+        FaultPlan.randomized(1, ticks=3, shards=2)
+    with pytest.raises(ValidationError, match="shards"):
+        FaultPlan.randomized(1, ticks=6, shards=0)
+    with pytest.raises(ValidationError, match="unknown fault class"):
+        FaultPlan.randomized(1, ticks=6, shards=2, classes=("nope",))
+
+
+def test_site_and_kind_vocabularies_are_closed():
+    assert "worker.command" in FAULT_SITES
+    assert {"kill", "hang", "truncate", "bitflip", "drop", "partial",
+            "error", "delay"} == set(FAULT_KINDS)
+
+
+# ----------------------------------------------------------------------
+# the one-shot ledger
+# ----------------------------------------------------------------------
+def test_ledger_fires_exactly_once_across_injectors(tmp_path):
+    plan = FaultPlan((Fault(site="spool.fsync", kind="error"),))
+    first = FaultInjector(plan, tmp_path / "ledger")
+    with pytest.raises(InjectedFault):
+        first.fire("spool.fsync", path="x")
+    assert first.fire("spool.fsync", path="x") == ()
+    # a second injector (a restarted process) sees the claim and
+    # never re-fires — the property deterministic replay leans on
+    second = FaultInjector(plan, tmp_path / "ledger")
+    assert second.fire("spool.fsync", path="x") == ()
+    assert second.fired(0)
+
+
+def test_after_skips_eligible_firings(tmp_path):
+    plan = FaultPlan((Fault(site="client.recv", kind="drop", after=2),))
+    injector = FaultInjector(plan, tmp_path / "ledger")
+    assert injector.fire("client.recv") == ()
+    assert injector.fire("client.recv") == ()
+    with pytest.raises(InjectedDisconnect):
+        injector.fire("client.recv")
+
+
+def test_selectors_match_conjunctively(tmp_path):
+    plan = FaultPlan(
+        (Fault(site="worker.command", kind="error", tick=3, shard=1,
+               command="step"),)
+    )
+    injector = FaultInjector(plan, tmp_path / "ledger")
+    # wrong tick, wrong shard, wrong command: no match
+    assert injector.fire("worker.command", shard=1, command="step", tick=2) == ()
+    assert injector.fire("worker.command", shard=0, command="step", tick=3) == ()
+    assert injector.fire("worker.command", shard=1, command="records", tick=3) == ()
+    with pytest.raises(InjectedFault):
+        injector.fire("worker.command", shard=1, command="step", tick=3)
+
+
+def test_file_corruption_kinds(tmp_path):
+    victim = tmp_path / "blob"
+    victim.write_bytes(bytes(range(64)))
+    plan = FaultPlan(
+        (
+            Fault(site="spool.written", kind="bitflip", offset=5,
+                  fault_id="flip"),
+            Fault(site="spool.written", kind="truncate", nbytes=8,
+                  fault_id="cut"),
+        )
+    )
+    injector = FaultInjector(plan, tmp_path / "ledger")
+    injector.fire("spool.written", path=str(victim))
+    data = victim.read_bytes()
+    assert len(data) == 56  # truncated by 8
+    assert data[5] == 5 ^ 0xFF  # and bit-flipped at offset 5
+    # one-shot: untouched on later firings
+    injector.fire("spool.written", path=str(victim))
+    assert victim.read_bytes() == data
+
+
+def test_partial_is_advisory(tmp_path):
+    plan = FaultPlan(
+        (Fault(site="channel.send", kind="partial", nbytes=3, seconds=0.0),)
+    )
+    injector = FaultInjector(plan, tmp_path / "ledger")
+    actions = injector.fire("channel.send", role="client")
+    assert len(actions) == 1
+    assert actions[0].kind == "partial"
+    assert actions[0].nbytes == 3
+
+
+def test_module_install_and_noop_fast_path(tmp_path):
+    assert faults.fire("worker.command", shard=0) == ()
+    assert faults.installed_plan() is None
+    plan = FaultPlan((Fault(site="telemetry.fsync", kind="error"),))
+    faults.install(plan, tmp_path / "ledger")
+    assert faults.installed_plan() == plan
+    with pytest.raises(InjectedFault):
+        faults.TELEMETRY_FSYNC.fire(path="x")
+    faults.uninstall()
+    assert faults.fire("telemetry.fsync") == ()
+
+
+# ----------------------------------------------------------------------
+# spool generations
+# ----------------------------------------------------------------------
+def test_spool_generation_round_trip_and_corruption(tmp_path):
+    path = tmp_path / "shard-0.g0.ckpt"
+    payload = {"tick": 4, "fleet": [1, 2, 3]}
+    write_spool_generation(path, payload)
+    assert read_spool_generation(path) == payload
+    # bit rot is detected by the CRC, not unpickled
+    raw = bytearray(path.read_bytes())
+    raw[-1] ^= 0xFF
+    path.write_bytes(bytes(raw))
+    assert read_spool_generation(path) is None
+    # truncation too
+    write_spool_generation(path, payload)
+    path.write_bytes(path.read_bytes()[:-5])
+    assert read_spool_generation(path) is None
+    # and garbage that was never a spool
+    path.write_bytes(b"not a spool at all")
+    assert read_spool_generation(path) is None
+
+
+def test_spool_slot_alternates_and_falls_back(tmp_path):
+    slot = SpoolSlot(tmp_path, 2)
+    first = slot.write({"tick": 1, "fleet": []})
+    second = slot.write({"tick": 2, "fleet": []})
+    assert {first, second} == set(spool_generation_paths(tmp_path, 2))
+    assert load_spool(tmp_path, 2)["tick"] == 2
+    # corrupting the newest generation falls back one tick
+    second.write_bytes(second.read_bytes()[:-4])
+    assert load_spool(tmp_path, 2)["tick"] == 1
+    # a fresh slot (restarted worker) resumes without clobbering the
+    # only remaining valid generation
+    resumed = SpoolSlot(tmp_path, 2)
+    third = resumed.write({"tick": 3, "fleet": []})
+    assert third != first
+    assert load_spool(tmp_path, 2)["tick"] == 3
+    # unknown shard: nothing to restore
+    assert load_spool(tmp_path, 9) is None
+
+
+def test_spool_write_is_atomic_under_fsync_failure(tmp_path):
+    slot = SpoolSlot(tmp_path, 0)
+    slot.write({"tick": 1, "fleet": []})
+    faults.install(
+        FaultPlan((Fault(site="spool.fsync", kind="error"),)),
+        tmp_path / "ledger",
+    )
+    with pytest.raises(OSError):
+        slot.write({"tick": 2, "fleet": []})
+    # the failed generation never landed — no temp litter, previous
+    # generation intact
+    assert [p.name for p in tmp_path.iterdir() if p.name.endswith(".tmp")] == []
+    assert load_spool(tmp_path, 0)["tick"] == 1
+    # the fault is spent: the next write goes through
+    slot.write({"tick": 2, "fleet": []})
+    assert load_spool(tmp_path, 0)["tick"] == 2
+
+
+def test_spool_rejects_unserializable_payload(tmp_path):
+    with pytest.raises(ValidationError, match="not serializable"):
+        write_spool_generation(tmp_path / "x", {"tick": 0, "bad": lambda: 0})
+
+
+# ----------------------------------------------------------------------
+# atomic checkpoints
+# ----------------------------------------------------------------------
+def test_checkpoint_bytes_unchanged_and_atomic(tmp_path):
+    path = tmp_path / "c.ckpt"
+    payload = {"format": "repro-fleet-checkpoint", "version": 1, "tick": 3}
+    write_checkpoint(path, payload, fsync=True)
+    # still a plain protocol-4 pickle — resume tooling and the service
+    # byte-identity tests read these raw
+    assert path.read_bytes() == pickle.dumps(payload, protocol=4)
+    assert not (tmp_path / "c.ckpt.tmp").exists()
+
+
+def test_checkpoint_fsync_failure_is_retried(tmp_path):
+    path = tmp_path / "c.ckpt"
+    payload = {"tick": 1}
+    # two scripted failures: attempts 1 and 2 fail, attempt 3 lands
+    faults.install(
+        FaultPlan(
+            (
+                Fault(site="checkpoint.fsync", kind="error", fault_id="a"),
+                Fault(site="checkpoint.fsync", kind="error", fault_id="b"),
+            )
+        ),
+        tmp_path / "ledger",
+    )
+    write_checkpoint(path, payload, fsync=True)
+    assert pickle.loads(path.read_bytes()) == payload
+
+
+def test_checkpoint_fsync_exhaustion_raises_and_leaves_no_torn_file(tmp_path):
+    path = tmp_path / "c.ckpt"
+    write_checkpoint(path, {"tick": 0}, fsync=False)
+    before = path.read_bytes()
+    faults.install(
+        FaultPlan(
+            tuple(
+                Fault(site="checkpoint.fsync", kind="error", fault_id=f"f{i}")
+                for i in range(3)
+            )
+        ),
+        tmp_path / "ledger",
+    )
+    with pytest.raises(OSError):
+        write_checkpoint(path, {"tick": 1}, fsync=True)
+    # atomicity: the previous checkpoint is untouched, no temp litter
+    assert path.read_bytes() == before
+    assert not (tmp_path / "c.ckpt.tmp").exists()
+
+
+# ----------------------------------------------------------------------
+# hardened telemetry sink
+# ----------------------------------------------------------------------
+def test_telemetry_repairs_torn_tail_on_append(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with JsonLinesTelemetry(path) as sink:
+        sink.record({"tick": 1})
+        sink.record({"tick": 2})
+    # a crash mid-write leaves a torn final line...
+    with open(path, "a") as fh:
+        fh.write('{"tick": 3, "partial')
+    # ...which an appending resume truncates before continuing
+    with JsonLinesTelemetry(path, append=True) as sink:
+        sink.record({"tick": 3})
+    ticks = [json.loads(line)["tick"] for line in path.read_text().splitlines()]
+    assert ticks == [1, 2, 3]
+
+
+def test_telemetry_single_write_per_record(tmp_path):
+    class _Recorder:
+        def __init__(self, fh):
+            self._fh = fh
+            self.writes = []
+
+        def write(self, data):
+            self.writes.append(data)
+            return self._fh.write(data)
+
+        def __getattr__(self, name):
+            return getattr(self._fh, name)
+
+    path = tmp_path / "t.jsonl"
+    sink = JsonLinesTelemetry(path)
+    sink.record({"tick": 0})  # open the file
+    recorder = _Recorder(sink._file)
+    sink._file = recorder
+    sink.record({"tick": 1})
+    sink.close()
+    assert len(recorder.writes) == 1
+    assert recorder.writes[0].endswith("\n")
+
+
+def test_telemetry_tolerates_fsync_failure(tmp_path):
+    path = tmp_path / "t.jsonl"
+    faults.install(
+        FaultPlan((Fault(site="telemetry.fsync", kind="error"),)),
+        tmp_path / "ledger",
+    )
+    sink = JsonLinesTelemetry(path, fsync=True)
+    sink.record({"tick": 1})  # fsync fails, record still written
+    assert sink.fsync_failures == 1
+    sink.record({"tick": 2})  # fault spent: durability restored
+    assert sink.fsync_failures == 1
+    sink.close()
+    ticks = [json.loads(line)["tick"] for line in path.read_text().splitlines()]
+    assert ticks == [1, 2]
+
+
+def test_telemetry_close_retries_pending_fsync(tmp_path):
+    path = tmp_path / "t.jsonl"
+    faults.install(
+        FaultPlan((Fault(site="telemetry.fsync", kind="error"),)),
+        tmp_path / "ledger",
+    )
+    sink = JsonLinesTelemetry(path, fsync=True, flush_every=1)
+    sink.record({"tick": 1})
+    assert sink._fsync_pending
+    sink.close()  # final flush retries the sync (fault is spent)
+    assert not sink._fsync_pending
+    assert json.loads(path.read_text()) == {"tick": 1}
+
+
+def test_fault_ledger_claim_file_is_os_excl(tmp_path):
+    # the claim primitive itself: two raw attempts, one winner
+    plan = FaultPlan((Fault(site="spool.fsync", kind="error"),))
+    injector = FaultInjector(plan, tmp_path / "ledger")
+    assert injector._claim(0) is True
+    assert injector._claim(0) is False
+    assert os.path.exists(tmp_path / "ledger" / "f0")

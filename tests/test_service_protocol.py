@@ -14,6 +14,8 @@ import threading
 
 import pytest
 
+from repro import faults
+from repro.faults import Fault, FaultPlan
 from repro.lint import lint_source
 from repro.service.protocol import (
     EVENT_FIELDS,
@@ -190,6 +192,96 @@ def test_frame_cap_sanity():
     # large enough for a 100k-device per-device snapshot, small enough
     # to bound a runaway peer
     assert 10**8 < MAX_FRAME_BYTES < 10**9
+
+
+# ----------------------------------------------------------------------
+# injected transport faults (repro.faults channel.send site)
+# ----------------------------------------------------------------------
+def test_injected_partial_send_reassembles_identically(tmp_path):
+    # a scripted "partial" fault dribbles the frame out in 3-byte
+    # chunks; terminator-driven framing must parse it identically
+    faults.install(
+        FaultPlan(
+            (
+                Fault(
+                    site="channel.send",
+                    kind="partial",
+                    role="client",
+                    nbytes=3,
+                ),
+            )
+        ),
+        tmp_path / "ledger",
+    )
+    try:
+        left_sock, right_sock = socket.socketpair()
+        left = FrameChannel(left_sock, role="client")
+        right = FrameChannel(right_sock, role="server")
+        message = make_request(1, "snapshot", {"per_device": True})
+        left.send(message)  # dribbled (fault fires once)
+        left.send(make_request(2, "ping"))  # whole (fault is spent)
+        assert right.receive() == message
+        assert right.receive() == make_request(2, "ping")
+        left.close()
+        right.close()
+    finally:
+        faults.uninstall()
+
+
+def test_injected_partial_send_interleaves_with_coalescing(tmp_path):
+    # several frames sent back to back, the middle one dribbled: the
+    # receiver's buffer sees coalesced *and* fragmented boundaries in
+    # one stream and must split frames purely on the terminator
+    faults.install(
+        FaultPlan(
+            (
+                Fault(
+                    site="channel.send",
+                    kind="partial",
+                    role="client",
+                    after=1,
+                    nbytes=5,
+                ),
+            )
+        ),
+        tmp_path / "ledger",
+    )
+    try:
+        left_sock, right_sock = socket.socketpair()
+        left = FrameChannel(left_sock, role="client")
+        right = FrameChannel(right_sock, role="server")
+        messages = [make_request(i, "info") for i in range(3)]
+        for message in messages:
+            left.send(message)
+        left_sock.close()
+        assert [right.receive() for _ in range(3)] == messages
+        assert right.receive() is None
+        right.close()
+    finally:
+        faults.uninstall()
+
+
+def test_injected_drop_resets_the_sender(tmp_path):
+    faults.install(
+        FaultPlan(
+            (Fault(site="channel.send", kind="drop", role="server"),)
+        ),
+        tmp_path / "ledger",
+    )
+    try:
+        left_sock, right_sock = socket.socketpair()
+        server = FrameChannel(left_sock, role="server")
+        client = FrameChannel(right_sock, role="client")
+        with pytest.raises(ConnectionResetError):
+            server.send(make_request(0, "ping"))
+        # role selectors keep the fault on the scripted endpoint only;
+        # and the drop is one-shot, so the server works afterwards too
+        client.send(make_request(1, "ping"))
+        assert server.receive() == make_request(1, "ping")
+        server.close()
+        client.close()
+    finally:
+        faults.uninstall()
 
 
 # ----------------------------------------------------------------------
